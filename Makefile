@@ -1,0 +1,34 @@
+# coordattack — build, test, and reproduction targets.
+
+GO ?= go
+
+.PHONY: all build test test-race bench report quick-report fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Full-fidelity reproduction report (EXPERIMENTS.md body).
+report:
+	$(GO) run ./cmd/coordbench -markdown -out /tmp/coordattack-report.md
+	@echo "report written to /tmp/coordattack-report.md"
+
+quick-report:
+	$(GO) run ./cmd/coordbench -quick
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/run/
+
+clean:
+	$(GO) clean ./...

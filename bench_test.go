@@ -1,0 +1,241 @@
+package coordattack_test
+
+import (
+	"testing"
+
+	"coordattack"
+	"coordattack/internal/adversary"
+	"coordattack/internal/async"
+	"coordattack/internal/causality"
+	"coordattack/internal/core"
+	"coordattack/internal/experiments"
+	"coordattack/internal/graph"
+	"coordattack/internal/knowledge"
+	"coordattack/internal/mc"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+	"coordattack/internal/weak"
+)
+
+// Experiment benchmarks — one per reproduced table/figure (DESIGN.md §3).
+// Each iteration regenerates the full experiment at reduced (Quick)
+// fidelity; run `go run ./cmd/coordbench` for the full-fidelity report.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := experiments.Options{Quick: true, Trials: 2000, Seed: 7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK {
+			b.Fatalf("%s failed its claim check", id)
+		}
+	}
+}
+
+func BenchmarkT1ProtocolA(b *testing.B)      { benchExperiment(b, "T1") }
+func BenchmarkT2ProtocolADrop(b *testing.B)  { benchExperiment(b, "T2") }
+func BenchmarkF1TradeoffBound(b *testing.B)  { benchExperiment(b, "F1") }
+func BenchmarkT3UnsafetyS(b *testing.B)      { benchExperiment(b, "T3") }
+func BenchmarkF2LivenessS(b *testing.B)      { benchExperiment(b, "F2") }
+func BenchmarkT4LevelGap(b *testing.B)       { benchExperiment(b, "T4") }
+func BenchmarkT5Invariants(b *testing.B)     { benchExperiment(b, "T5") }
+func BenchmarkT6SecondBound(b *testing.B)    { benchExperiment(b, "T6") }
+func BenchmarkT7Impossibility(b *testing.B)  { benchExperiment(b, "T7") }
+func BenchmarkT8WeakAdversary(b *testing.B)  { benchExperiment(b, "T8") }
+func BenchmarkT9Topology(b *testing.B)       { benchExperiment(b, "T9") }
+func BenchmarkT10Amplification(b *testing.B) { benchExperiment(b, "T10") }
+func BenchmarkT12Independence(b *testing.B)  { benchExperiment(b, "T12") }
+func BenchmarkT13Exhaustive(b *testing.B)    { benchExperiment(b, "T13") }
+func BenchmarkT14Async(b *testing.B)         { benchExperiment(b, "T14") }
+func BenchmarkT15WeakExact(b *testing.B)     { benchExperiment(b, "T15") }
+func BenchmarkT16AltValidity(b *testing.B)   { benchExperiment(b, "T16") }
+func BenchmarkT17Knowledge(b *testing.B)     { benchExperiment(b, "T17") }
+func BenchmarkT18RelayVsFlood(b *testing.B)  { benchExperiment(b, "T18") }
+func BenchmarkT19FireDist(b *testing.B)      { benchExperiment(b, "T19") }
+func BenchmarkT20Certificates(b *testing.B)  { benchExperiment(b, "T20") }
+func BenchmarkT21CommCost(b *testing.B)      { benchExperiment(b, "T21") }
+func BenchmarkT11Engines(b *testing.B)       { benchExperiment(b, "T11") }
+
+// Micro-benchmarks — the hot paths under the experiments.
+
+func benchSetup(b *testing.B, m, n int) (*graph.G, *run.Run, *core.S) {
+	b.Helper()
+	g, err := graph.Complete(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := run.Good(g, n, g.Vertices()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, r, core.MustS(0.1)
+}
+
+// BenchmarkLoopEngine measures one full Protocol S execution on the loop
+// engine (the Monte-Carlo hot path).
+func BenchmarkLoopEngine(b *testing.B) {
+	g, r, s := benchSetup(b, 8, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Outputs(s, g, r, sim.SeedTapes(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChannelEngine measures the goroutine-per-general engine on the
+// same workload, for comparison with BenchmarkLoopEngine.
+func BenchmarkChannelEngine(b *testing.B) {
+	g, r, s := benchSetup(b, 8, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ConcurrentOutputs(s, g, r, sim.SeedTapes(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactAnalysis measures the closed-form Protocol S analysis
+// (level tables + probability arithmetic).
+func BenchmarkExactAnalysis(b *testing.B) {
+	g, r, s := benchSetup(b, 8, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Analyze(g, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLevelTable measures the §4 level computation alone.
+func BenchmarkLevelTable(b *testing.B) {
+	g, r, _ := benchSetup(b, 8, 16)
+	_ = g
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := causality.NewLevelTable(r, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClip measures Clip_i(R) on a dense run.
+func BenchmarkClip(b *testing.B) {
+	_, r, _ := benchSetup(b, 8, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		causality.Clip(r, 8, 1)
+	}
+}
+
+// BenchmarkMonteCarlo1k measures a 1000-trial estimation job end to end
+// (parallel workers included).
+func BenchmarkMonteCarlo1k(b *testing.B) {
+	g, r, s := benchSetup(b, 4, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mc.Estimate(mc.Config{
+			Protocol: s, Graph: g, Run: r, Trials: 1000, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHillClimb measures a short adversary search with the exact
+// objective.
+func BenchmarkHillClimb(b *testing.B) {
+	g := graph.Pair()
+	s := core.MustS(0.1)
+	obj := adversary.ExactSObjective(s, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adversary.HillClimb(g, 8, obj, adversary.HillConfig{
+			Restarts: 1, Steps: 20, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeakExact measures the closed-form weak-adversary Markov
+// chain over a long horizon.
+func BenchmarkWeakExact(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := weak.Exact(60, 0.05, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKnowledgeSpace measures building a full epistemic space and
+// computing one knowledge depth (the T17 hot path).
+func BenchmarkKnowledgeSpace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := knowledge.NewSpace(graph.Pair(), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Depth(1, knowledge.InputArrived, s.Runs()[100]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAsyncInducedRun measures the asynchronous-model reduction.
+func BenchmarkAsyncInducedRun(b *testing.B) {
+	g, err := graph.Ring(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := async.InducedRun(async.Config{
+			G: g, N: 16, Timeout: 3, Latency: async.FixedLatency(2),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacadeQuickstart measures the public-API quickstart flow.
+func BenchmarkFacadeQuickstart(b *testing.B) {
+	g := coordattack.Pair()
+	s, err := coordattack.NewS(0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := coordattack.GoodRun(g, 30, 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Analyze(g, r); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := coordattack.Outputs(s, g, r, coordattack.SeedTapes(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{"-experiment", "T2", "-quick", "-trials", "2000"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d, output:\n%s", code, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"### T2", "PASS", "liveness"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{"-experiment", "T7", "-quick", "-markdown"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(b.String(), "| graph |") {
+		t.Errorf("markdown table missing:\n%s", b.String())
+	}
+}
+
+func TestRunOutFile(t *testing.T) {
+	path := t.TempDir() + "/report.md"
+	var b strings.Builder
+	code := run([]string{"-experiment", "T13", "-quick", "-markdown", "-out", path}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != b.String() {
+		t.Error("file contents differ from stream output")
+	}
+	if !strings.Contains(string(data), "### T13") {
+		t.Error("report file missing experiment")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{"-experiment", "T13", "-quick", "-json"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	var payload struct {
+		ID     string `json:"id"`
+		OK     bool   `json:"ok"`
+		Tables []struct {
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &payload); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if payload.ID != "T13" || !payload.OK || len(payload.Tables) == 0 {
+		t.Errorf("payload wrong: %+v", payload)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if code := run([]string{"-experiment", "T99"}, &b); code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if code := run([]string{"-nonsense"}, &b); code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimGoodRunS(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{"-protocol", "s:0.5", "-graph", "pair", "-rounds", "4", "-run", "good"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"S(ε=0.5)", "outcome:", "exact:", "ML(R)="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimTraceProtocolA(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{"-protocol", "a", "-graph", "pair", "-rounds", "6", "-run", "cut:3", "-trace"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"-- process 1", "round 1:", "send→2", "exact:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimRepeatedAExact(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{"-protocol", "axk:2:all", "-graph", "pair", "-rounds", "8", "-run", "good"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "Pr[TA]=1.0000") {
+		t.Errorf("expected certain TA on good run:\n%s", b.String())
+	}
+}
+
+func TestSimSpacetimeAndCustomRun(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{
+		"-protocol", "a", "-graph", "pair", "-rounds", "4",
+		"-run", "custom:N=4;I=1,2;M=2t1r1,1t2r2,2t1r3", "-spacetime",
+	}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"P1", "ML=[", "v₀!", "Pr[TA]=0.6667"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimMonteCarloFlag(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{"-protocol", "s:0.5", "-graph", "pair", "-rounds", "4", "-run", "good", "-mc", "2000"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "mc(2000):") {
+		t.Errorf("mc output missing:\n%s", b.String())
+	}
+}
+
+func TestSimBadSpecs(t *testing.T) {
+	cases := [][]string{
+		{"-protocol", "zzz"},
+		{"-graph", "zzz"},
+		{"-run", "zzz"},
+		{"-inputs", "99"},
+		{"-bogusflag"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if code := run(args, &b); code != 2 {
+			t.Errorf("args %v: exit code %d, want 2", args, code)
+		}
+	}
+}
+
+func TestSimProtocolRunMismatch(t *testing.T) {
+	// Protocol A on a 3-general graph: machine construction fails.
+	var b strings.Builder
+	if code := run([]string{"-protocol", "a", "-graph", "ring:3", "-rounds", "4"}, &b); code != 1 {
+		t.Errorf("exit code %d, want 1", code)
+	}
+}

@@ -1,0 +1,161 @@
+// Command runexplore inspects the information structure of a run: the
+// per-process levels L_i and modified levels ML_i by round, the clipped
+// runs Clip_i(R), and the causal-independence matrix of Appendix A —
+// the quantities the paper's bounds are made of.
+//
+// Usage:
+//
+//	runexplore -graph ring:5 -rounds 6 -run tree
+//	runexplore -graph pair -rounds 8 -run cut:4 -clips
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/cliutil"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/knowledge"
+	"coordattack/internal/lowerbound"
+	"coordattack/internal/table"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("runexplore", flag.ContinueOnError)
+	var (
+		graphSpec = fs.String("graph", "pair", "graph spec")
+		rounds    = fs.Int("rounds", 8, "number of protocol rounds N")
+		runSpec   = fs.String("run", "good", "run spec")
+		inputSpec = fs.String("inputs", "all", "input spec")
+		seed      = fs.Uint64("seed", 1, "seed for random specs")
+		clips     = fs.Bool("clips", false, "print Clip_i(R) for every process")
+		epistemic = fs.Bool("knowledge", false, "compute Halpern-Moses knowledge depths (small spaces only)")
+		certify   = fs.Float64("certify", 0, "replay the Theorem 5.4 proof chain for process 1 at this ε")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	g, err := cliutil.ParseGraph(*graphSpec, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	inputs, err := cliutil.ParseInputs(*inputSpec, g)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	r, err := cliutil.ParseRun(*runSpec, g, *rounds, inputs, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	m := g.NumVertices()
+	fmt.Fprintf(out, "graph: %v\nrun:   %v\n\n", g, r)
+
+	lt, err := causality.NewLevelTable(r, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	mt, err := causality.NewModLevelTable(r, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cols := []string{"process"}
+	for round := 0; round <= r.N(); round++ {
+		cols = append(cols, fmt.Sprintf("r%d", round))
+	}
+	levels := table.New("levels L_i^r(R)", cols...)
+	mlevels := table.New("modified levels ML_i^r(R)", cols...)
+	for i := 1; i <= m; i++ {
+		lrow := []string{table.I(i)}
+		mrow := []string{table.I(i)}
+		for round := 0; round <= r.N(); round++ {
+			lrow = append(lrow, table.I(lt.At(graph.ProcID(i), round)))
+			mrow = append(mrow, table.I(mt.At(graph.ProcID(i), round)))
+		}
+		levels.AddRow(lrow...)
+		mlevels.AddRow(mrow...)
+	}
+	fmt.Fprintln(out, levels.Render())
+	fmt.Fprintln(out, mlevels.Render())
+	fmt.Fprintf(out, "L(R) = %d, ML(R) = %d, max ML_i = %d\n\n", lt.Min(), mt.Min(), mt.Max())
+
+	indep := table.New("causal independence (Appendix A): '.' linked, 'I' independent", append([]string{"i\\j"}, procHeaders(m)...)...)
+	for i := 1; i <= m; i++ {
+		row := []string{table.I(i)}
+		for j := 1; j <= m; j++ {
+			cell := "."
+			if i != j && causality.CausallyIndependent(r, m, graph.ProcID(i), graph.ProcID(j)) {
+				cell = "I"
+			}
+			row = append(row, cell)
+		}
+		indep.AddRow(row...)
+	}
+	fmt.Fprintln(out, indep.Render())
+
+	if *clips {
+		for i := 1; i <= m; i++ {
+			clip := causality.Clip(r, m, graph.ProcID(i))
+			fmt.Fprintf(out, "Clip_%d(R) = %v\n", i, clip)
+		}
+	}
+	if *certify > 0 {
+		s, err := core.NewS(*certify)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		cert, err := lowerbound.Certify(s, g, r, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprint(out, cert.String())
+		attack, budget := cert.Bound()
+		fmt.Fprintf(out, "certified: Pr[D_1|R] = %.4f ≤ ε·L_1(R) = %.4f\n\n", attack, budget)
+	}
+	if *epistemic {
+		space, err := knowledge.NewSpace(g, r.N())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		kt := table.New(fmt.Sprintf("knowledge depths over %d-run space (must equal L_i)", space.Size()),
+			"process", "depth of K_i E^(h-1)(input)", "L_i(R)")
+		lt2, err := causality.NewLevelTable(r, m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for i := 1; i <= m; i++ {
+			depth, err := space.Depth(graph.ProcID(i), knowledge.InputArrived, r)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			kt.AddRow(table.I(i), table.I(depth), table.I(lt2.Final(graph.ProcID(i))))
+		}
+		fmt.Fprintln(out, kt.Render())
+	}
+	return 0
+}
+
+func procHeaders(m int) []string {
+	out := make([]string, m)
+	for i := range out {
+		out[i] = table.I(i + 1)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExploreTreeRun(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{"-graph", "ring:5", "-rounds", "6", "-run", "tree"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"levels L_i^r(R)", "modified levels", "ML(R) = 1", "causal independence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExploreClips(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{"-graph", "pair", "-rounds", "3", "-run", "good", "-clips"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "Clip_1(R)") || !strings.Contains(b.String(), "Clip_2(R)") {
+		t.Errorf("clips missing:\n%s", b.String())
+	}
+}
+
+func TestExploreIndependenceShown(t *testing.T) {
+	// Input at 1, no deliveries: every pair of distinct generals is
+	// causally independent.
+	var b strings.Builder
+	code := run([]string{"-graph", "ring:3", "-rounds", "3", "-run", "silent", "-inputs", "1"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "I") {
+		t.Errorf("independence matrix missing I entries:\n%s", b.String())
+	}
+}
+
+func TestExploreKnowledge(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{"-graph", "pair", "-rounds", "2", "-run", "cut:2", "-knowledge"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "knowledge depths") {
+		t.Errorf("knowledge table missing:\n%s", b.String())
+	}
+	// Too-large space: runtime error.
+	var big strings.Builder
+	if code := run([]string{"-graph", "complete:4", "-rounds", "3", "-knowledge"}, &big); code != 1 {
+		t.Errorf("huge knowledge space exit code %d, want 1", code)
+	}
+}
+
+func TestExploreCertify(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{"-graph", "pair", "-rounds", "4", "-run", "cut:3", "-certify", "0.1"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, b.String())
+	}
+	for _, want := range []string{"Theorem 5.4 certificate", "certified: Pr[D_1|R]"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, b.String())
+		}
+	}
+	var bad strings.Builder
+	if code := run([]string{"-graph", "pair", "-rounds", "4", "-certify", "7"}, &bad); code != 2 {
+		t.Errorf("ε=7 exit code %d, want 2", code)
+	}
+}
+
+func TestExploreBadSpecs(t *testing.T) {
+	cases := [][]string{
+		{"-graph", "zzz"},
+		{"-run", "zzz"},
+		{"-inputs", "zz"},
+		{"-zzz"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if code := run(args, &b); code != 2 {
+			t.Errorf("args %v: exit code %d, want 2", args, code)
+		}
+	}
+	// m=1 graph: level tables need m ≥ 2 → runtime error path.
+	var b strings.Builder
+	if code := run([]string{"-graph", "line:1", "-rounds", "2"}, &b); code != 1 {
+		t.Errorf("line:1 exit code %d, want 1", code)
+	}
+}

@@ -1,0 +1,309 @@
+// Package coordattack is a complete Go implementation of randomized
+// coordinated attack as defined by Varghese & Lynch, "A Tradeoff Between
+// Safety and Liveness for Randomized Coordinated Attack Protocols"
+// (PODC 1992).
+//
+// It provides the paper's model (synchronous rounds over an unreliable
+// message graph, runs as first-class data), the optimal Protocol S with
+// its exact analysis, the §3 baseline Protocol A, the information-level
+// machinery behind the paper's tight L/U ≤ L(R) tradeoff bound, strong-
+// and weak-adversary tooling, and a Monte-Carlo harness. This root
+// package is a facade over the internal packages; it exposes everything a
+// downstream user needs to build and evaluate coordinated-attack
+// protocols:
+//
+//	g := coordattack.Pair()                         // two generals
+//	s, _ := coordattack.NewS(0.01)                  // Protocol S, ε = 1%
+//	r, _ := coordattack.GoodRun(g, 100, 1, 2)       // reliable run, both signaled
+//	a, _ := s.Analyze(g, r)                         // exact: Pr[TA] = min(1, ε·ML(R))
+//	outs, _ := coordattack.Outputs(s, g, r, coordattack.SeedTapes(7))
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record of every reproduced claim.
+package coordattack
+
+import (
+	"coordattack/internal/adversary"
+	"coordattack/internal/async"
+	"coordattack/internal/baseline"
+	"coordattack/internal/causality"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/impossibility"
+	"coordattack/internal/lowerbound"
+	"coordattack/internal/mc"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+// Model types.
+type (
+	// Graph is the undirected communication graph G(V, E) of generals.
+	Graph = graph.G
+	// Edge is an undirected edge between two generals.
+	Edge = graph.Edge
+	// ProcID identifies a general (1..m); 0 is the environment node v₀.
+	ProcID = graph.ProcID
+	// Run is R = I(R) ∪ M(R): the inputs and delivered messages of one run.
+	Run = run.Run
+	// Delivery is one (from, to, round) tuple of M(R).
+	Delivery = run.Delivery
+	// Protocol is a factory of per-general state machines F_i.
+	Protocol = protocol.Protocol
+	// Machine is one local state machine F_i.
+	Machine = protocol.Machine
+	// Message is an opaque protocol message.
+	Message = protocol.Message
+	// Received pairs a delivered message with its sender.
+	Received = protocol.Received
+	// Config is what a machine knows at start (id, graph, N, input, tape).
+	Config = protocol.Config
+	// Outcome classifies an execution: NoAttack, TotalAttack, PartialAttack.
+	Outcome = protocol.Outcome
+	// Execution is a full trace (E_i) of one protocol execution.
+	Execution = protocol.Execution
+	// Tape is one general's private random input α_i.
+	Tape = rng.Tape
+	// Stream derives independent tapes for (trial, process) labels.
+	Stream = rng.Stream
+	// Tapes supplies the tape for each general.
+	Tapes = sim.Tapes
+)
+
+// Outcome values.
+const (
+	NoAttack      = protocol.NoAttack
+	TotalAttack   = protocol.TotalAttack
+	PartialAttack = protocol.PartialAttack
+)
+
+// Protocols.
+type (
+	// S is the paper's optimal Protocol S (§6).
+	S = core.S
+	// SMachine is Protocol S's local machine, with white-box inspection.
+	SMachine = core.SMachine
+	// RunAnalysis is the exact outcome distribution of Protocol S on a run.
+	RunAnalysis = core.RunAnalysis
+	// A is the §3 two-general example protocol.
+	A = baseline.A
+	// RepeatedA is the §3 "run A several times" amplification.
+	RepeatedA = baseline.RepeatedA
+)
+
+// NewS returns Protocol S with agreement parameter 0 < ε ≤ 1 (Theorem
+// 6.7: U_s(S) ≤ ε; Theorem 6.8: L(S,R) = min(1, ε·ML(R))).
+func NewS(epsilon float64) (*S, error) { return core.NewS(epsilon) }
+
+// NewSWithSlack returns the slack-k variant of Protocol S used to exhibit
+// the Theorem A.1 tradeoff; slack 0 is Protocol S itself.
+func NewSWithSlack(epsilon float64, slack int) (*S, error) {
+	return core.NewSWithSlack(epsilon, slack)
+}
+
+// NewSAltValidity returns the footnote-1 variant S′ that satisfies the
+// alternative validity condition ("no messages delivered ⇒ nobody
+// attacks") at a cost of one level of liveness.
+func NewSAltValidity(epsilon float64) (*S, error) { return core.NewSAltValidity(epsilon) }
+
+// NewA returns the §3 example Protocol A for two generals
+// (U_s(A) = 1/(N-1), L(A, R_good) = 1).
+func NewA() A { return baseline.NewA() }
+
+// Graph constructors.
+
+// NewGraph builds a graph on m vertices with the given edges.
+func NewGraph(m int, edges []Edge) (*Graph, error) { return graph.New(m, edges) }
+
+// Pair returns K_2, the classic two-generals topology.
+func Pair() *Graph { return graph.Pair() }
+
+// Complete returns the complete graph K_m.
+func Complete(m int) (*Graph, error) { return graph.Complete(m) }
+
+// Ring returns the m-cycle (m ≥ 3).
+func Ring(m int) (*Graph, error) { return graph.Ring(m) }
+
+// Line returns the m-vertex path.
+func Line(m int) (*Graph, error) { return graph.Line(m) }
+
+// Star returns the star with center 1 and m-1 leaves.
+func Star(m int) (*Graph, error) { return graph.Star(m) }
+
+// Run constructors.
+
+// NewRun returns an empty run over n rounds.
+func NewRun(n int) (*Run, error) { return run.New(n) }
+
+// GoodRun returns the fully reliable run with the given inputs.
+func GoodRun(g *Graph, n int, inputs ...ProcID) (*Run, error) {
+	return run.Good(g, n, inputs...)
+}
+
+// SilentRun returns a run with inputs but no deliveries.
+func SilentRun(n int, inputs ...ProcID) (*Run, error) { return run.Silent(n, inputs...) }
+
+// CutAt removes every delivery in rounds ≥ round — the "links crash at
+// round" adversary.
+func CutAt(r *Run, round int) *Run { return run.CutAt(r, round) }
+
+// TreeRun returns the Lemma A.6 spanning-tree run with ML(R) = 1.
+func TreeRun(g *Graph, n int, root ProcID) (*Run, error) { return run.Tree(g, n, root) }
+
+// RandomLossRun draws a run from the §8 weak adversary: each message lost
+// independently with probability p.
+func RandomLossRun(g *Graph, n int, p float64, tape *Tape, inputs ...ProcID) (*Run, error) {
+	return run.RandomLoss(g, n, p, tape, inputs...)
+}
+
+// Execution.
+
+// SeedTapes derives per-general tapes from one seed.
+func SeedTapes(seed uint64) Tapes { return sim.SeedTapes(seed) }
+
+// NewStream returns a labeled tape family rooted at seed.
+func NewStream(seed uint64) Stream { return rng.NewStream(seed) }
+
+// Outputs executes the protocol on the run (fast loop engine) and returns
+// the decision vector, index 1..m.
+func Outputs(p Protocol, g *Graph, r *Run, tapes Tapes) ([]bool, error) {
+	return sim.Outputs(p, g, r, tapes)
+}
+
+// Execute is Outputs with a full execution trace.
+func Execute(p Protocol, g *Graph, r *Run, tapes Tapes) (*Execution, error) {
+	return sim.Execute(p, g, r, tapes)
+}
+
+// ConcurrentOutputs executes with one goroutine per general and channel
+// messaging; semantics are identical to Outputs.
+func ConcurrentOutputs(p Protocol, g *Graph, r *Run, tapes Tapes) ([]bool, error) {
+	return sim.ConcurrentOutputs(p, g, r, tapes)
+}
+
+// Classify maps a decision vector to its outcome.
+func Classify(outputs []bool) Outcome { return protocol.Classify(outputs) }
+
+// Information levels (§4, §6).
+
+// Levels returns the final information levels L_i(R), index 1..m.
+func Levels(r *Run, m int) ([]int, error) { return causality.Levels(r, m) }
+
+// ModLevels returns the final modified levels ML_i(R), index 1..m.
+func ModLevels(r *Run, m int) ([]int, error) { return causality.ModLevels(r, m) }
+
+// RunLevel returns L(R) = min_i L_i(R), the quantity that caps liveness
+// in Theorem 5.4.
+func RunLevel(r *Run, m int) (int, error) { return causality.RunLevel(r, m) }
+
+// RunModLevel returns ML(R) = min_i ML_i(R), the quantity Protocol S's
+// liveness is proportional to (Theorem 6.8).
+func RunModLevel(r *Run, m int) (int, error) { return causality.RunModLevel(r, m) }
+
+// Clip returns Clip_i(R), the run keeping exactly the tuples whose
+// receipt flows to (i, N) (Lemma 4.2).
+func Clip(r *Run, m int, i ProcID) *Run { return causality.Clip(r, m, i) }
+
+// TradeoffBound is the Theorem 5.4 ceiling min(1, ε·level) on liveness.
+func TradeoffBound(epsilon float64, level int) float64 {
+	return core.TradeoffBound(epsilon, level)
+}
+
+// Estimation and adversaries.
+
+// MCConfig configures a Monte-Carlo estimation job.
+type MCConfig = mc.Config
+
+// MCResult is a Monte-Carlo estimate of the outcome distribution.
+type MCResult = mc.Result
+
+// Estimate runs a Monte-Carlo job; results are deterministic in the seed.
+func Estimate(cfg MCConfig) (*MCResult, error) { return mc.Estimate(cfg) }
+
+// WeakSampler is the §8 weak adversary as a run sampler for Estimate.
+func WeakSampler(g *Graph, n int, p float64, inputs ...ProcID) mc.RunSampler {
+	return adversary.WeakSampler(g, n, p, inputs...)
+}
+
+// Asynchronous model (§8's extension), via the timeout synchronizer.
+
+// AsyncConfig describes one asynchronous execution: a graph, a number of
+// synchronizer rounds, the timeout τ, the latency adversary, and the
+// inputs.
+type AsyncConfig = async.Config
+
+// AsyncResult carries the decision vector, the induced synchronous run,
+// and the per-process round entry times.
+type AsyncResult = async.Result
+
+// Latency is the asynchronous adversary: per-message virtual latency or
+// drop.
+type Latency = async.Latency
+
+// FixedLatency delays every message by the same number of ticks.
+func FixedLatency(ticks int) Latency { return async.FixedLatency(ticks) }
+
+// RandomLatency draws iid latencies from [lo, hi] with drop probability
+// dropP.
+func RandomLatency(lo, hi int, dropP float64, tape *Tape) (Latency, error) {
+	return async.RandomLatency(lo, hi, dropP, tape)
+}
+
+// AsyncInducedRun computes the synchronous run induced by an asynchronous
+// timing structure — the reduction that carries every theorem of the
+// paper over to the asynchronous model.
+func AsyncInducedRun(cfg AsyncConfig) (*Run, [][]int, error) { return async.InducedRun(cfg) }
+
+// AsyncExecute runs a protocol asynchronously under the timeout
+// synchronizer (via the induced-run reduction).
+func AsyncExecute(p Protocol, cfg AsyncConfig, tapes Tapes) (*AsyncResult, error) {
+	return async.Execute(p, cfg, tapes)
+}
+
+// AsyncEventExecute runs the protocol through the discrete-event
+// simulator — a genuine event-queue executor with per-general clocks.
+// Property-tested identical to AsyncExecute.
+func AsyncEventExecute(p Protocol, cfg AsyncConfig, tapes Tapes) (*AsyncResult, error) {
+	return async.EventExecute(p, cfg, tapes)
+}
+
+// Deployment planning (the tradeoff, solved for each variable).
+
+// Plan is a parameter recommendation derived from the exact formulas.
+type Plan = core.Plan
+
+// RecommendEpsilon returns the smallest ε reaching the liveness target on
+// the good run within n rounds.
+func RecommendEpsilon(g *Graph, n int, target float64) (*Plan, error) {
+	return core.RecommendEpsilon(g, n, target)
+}
+
+// RecommendRounds returns the smallest horizon reaching the liveness
+// target at the given ε — or an error when Theorem 5.4 forbids it.
+func RecommendRounds(g *Graph, epsilon, target float64, maxN int) (*Plan, error) {
+	return core.RecommendRounds(g, epsilon, target, maxN)
+}
+
+// UsualCase checks Appendix A's usual-case assumption (connected,
+// diameter ≤ N, ε < 0.5).
+func UsualCase(g *Graph, n int, epsilon float64) error { return core.UsualCase(g, n, epsilon) }
+
+// Certificate is an executable replay of the Theorem 5.4 proof chain.
+type Certificate = lowerbound.Certificate
+
+// Certify replays the Lemma 5.3 induction for Protocol S on (g, r) from
+// process i, verifying each step numerically.
+func Certify(s *S, g *Graph, r *Run, i ProcID) (*Certificate, error) {
+	return lowerbound.Certify(s, g, r, i)
+}
+
+// Violation is the constructive witness the chain argument produces.
+type Violation = impossibility.Violation
+
+// FindViolation runs the deterministic-impossibility chain argument
+// ([G], [HM]) and returns a run on which the protocol disagrees.
+func FindViolation(p Protocol, g *Graph, n int) (*Violation, error) {
+	return impossibility.FindViolation(p, g, n)
+}

@@ -1,0 +1,147 @@
+package coordattack_test
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"testing"
+
+	"coordattack"
+)
+
+// Example reproduces the doc-comment quickstart.
+func Example() {
+	g := coordattack.Pair()
+	s, err := coordattack.NewS(0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := coordattack.GoodRun(g, 100, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := s.Analyze(g, r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pr[all attack] = %.2f, Pr[disagree] = %.2f\n", a.PTotal, a.PPartial)
+	// Output:
+	// Pr[all attack] = 1.00, Pr[disagree] = 0.00
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// Build every public artifact once, end to end.
+	g, err := coordattack.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := coordattack.NewS(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := coordattack.GoodRun(g, 10, 1, 2, 3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := coordattack.Outputs(s, g, r, coordattack.SeedTapes(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := coordattack.ConcurrentOutputs(s, g, r, coordattack.SeedTapes(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range outs {
+		if outs[i] != conc[i] {
+			t.Fatal("engines disagree through the facade")
+		}
+	}
+	exec, err := coordattack.Execute(s, g, r, coordattack.SeedTapes(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Outcome() != coordattack.Classify(outs) {
+		t.Error("trace outcome differs from outputs classification")
+	}
+
+	ml, err := coordattack.RunModLevel(r, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := coordattack.RunLevel(r, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml > l || ml < l-1 {
+		t.Errorf("facade levels inconsistent: L=%d ML=%d", l, ml)
+	}
+	if b := coordattack.TradeoffBound(0.1, l); b <= 0 || b > 1 {
+		t.Errorf("bound = %v", b)
+	}
+
+	clip := coordattack.Clip(r, 5, 1)
+	if !clip.SubsetOf(r) {
+		t.Error("clip not a subset via facade")
+	}
+
+	res, err := coordattack.Estimate(coordattack.MCConfig{
+		Protocol: s, Graph: g, Run: r, Trials: 2000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TA.Mean()-a.PTotal) > 0.05 {
+		t.Errorf("facade MC %v vs exact %v", res.TA.Mean(), a.PTotal)
+	}
+
+	v, err := coordattack.FindViolation(deterministicFullInfo{}, coordattack.Pair(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Run == nil {
+		t.Error("no violation witness")
+	}
+}
+
+// deterministicFullInfo is a minimal deterministic protocol written
+// against the public facade only — demonstrating that downstream users
+// can implement their own protocols.
+type deterministicFullInfo struct{}
+
+func (deterministicFullInfo) Name() string { return "user-protocol" }
+
+func (deterministicFullInfo) NewMachine(cfg coordattack.Config) (coordattack.Machine, error) {
+	return &userMachine{valid: cfg.Input, degree: cfg.G.Degree(cfg.ID)}, nil
+}
+
+type userMsg struct{ Valid bool }
+
+func (userMsg) CAMessage() {}
+
+type userMachine struct {
+	valid   bool
+	degree  int
+	missing bool
+}
+
+func (u *userMachine) Send(round int, to coordattack.ProcID) coordattack.Message {
+	return userMsg{Valid: u.valid}
+}
+
+func (u *userMachine) Step(round int, received []coordattack.Received) error {
+	if len(received) < u.degree {
+		u.missing = true
+	}
+	for _, r := range received {
+		if msg, ok := r.Msg.(userMsg); ok && msg.Valid {
+			u.valid = true
+		}
+	}
+	return nil
+}
+
+func (u *userMachine) Output() bool { return u.valid && !u.missing }

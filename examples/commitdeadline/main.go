@@ -1,0 +1,68 @@
+// Commit with a deadline: the paper's §1 motivation, as code.
+//
+// Two database nodes must commit or abort a transaction within a hard
+// real-time budget — say 10 communication rounds — over a line that may
+// drop anything. Standard commit protocols block ("uncertain") when the
+// line dies; the paper shows the best you can buy is a quantified gamble:
+// with disagreement risk ε, the probability both sides commit on a run R
+// is at most ε·L(R) — and Protocol S achieves it.
+//
+// This example prices that gamble: for several deadlines it reports the
+// disagreement risk you must accept to get commit probability ~1 on a
+// healthy line (ε ≈ 1/N), and what happens when the line degrades.
+//
+// Run with:
+//
+//	go run ./examples/commitdeadline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coordattack"
+)
+
+func main() {
+	g := coordattack.Pair()
+	fmt.Println("deadline-bound commit over an unreliable line (Protocol S)")
+	fmt.Println()
+	fmt.Printf("%-10s %-12s %-22s %-22s\n", "deadline N", "ε needed", "Pr[commit] healthy", "Pr[commit] flaky(10% loss)")
+
+	for _, n := range []int{10, 50, 200, 1000} {
+		// To reach commit probability 1 on a healthy line we need
+		// ε·ML(R_good) ≥ 1; ML(R_good) = N on K_2, so ε = 1/N: the
+		// Theorem 5.4 tradeoff (L/U ≤ N) made concrete — a tighter
+		// deadline means more disagreement risk.
+		eps := 1.0 / float64(n)
+		s, err := coordattack.NewS(eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		good, err := coordattack.GoodRun(g, n, 1, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		healthy, err := s.Analyze(g, good)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A flaky line: 10% iid loss (the paper's weak adversary).
+		flaky, err := coordattack.Estimate(coordattack.MCConfig{
+			Protocol: s, Graph: g,
+			Sampler: coordattack.WeakSampler(g, n, 0.10, 1, 2),
+			Trials:  5000, Seed: uint64(n),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %-12.4f %-22.3f %-22.3f\n",
+			n, eps, healthy.PTotal, flaky.TA.Mean())
+	}
+
+	fmt.Println()
+	fmt.Println("the tradeoff, in money terms: halving the acceptable disagreement risk")
+	fmt.Println("doubles the deadline you must negotiate — L/U ≤ N is not an artifact of")
+	fmt.Println("Protocol S but a bound on every protocol (Theorem 5.4). If the line is")
+	fmt.Println("merely lossy rather than adversarial, liveness barely suffers (§8).")
+}

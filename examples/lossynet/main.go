@@ -1,0 +1,81 @@
+// Lossy network: Protocol S on a six-node ring under the paper's §8
+// weak adversary — every message is lost independently with probability
+// p, unknown to the protocol.
+//
+// The strong-adversary lower bound says liveness per unit of unsafety is
+// capped by the information level; this example shows how benign random
+// loss is by comparison: levels stay high, liveness stays near 1, and
+// observed disagreement sits far below the worst-case ε.
+//
+// Run with:
+//
+//	go run ./examples/lossynet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coordattack"
+)
+
+func main() {
+	// N is generous relative to the ring's diameter, so healthy runs
+	// saturate liveness (ε·ML ≥ 1) — then disagreement requires the loss
+	// pattern to strand one general a level behind at exactly the secret
+	// threshold, which blind randomness rarely does.
+	const (
+		m   = 6
+		n   = 48
+		eps = 0.1
+	)
+	g, err := coordattack.Ring(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := coordattack.NewS(eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	everyone := make([]coordattack.ProcID, m)
+	for i := range everyone {
+		everyone[i] = coordattack.ProcID(i + 1)
+	}
+
+	fmt.Printf("ring of %d generals, N=%d rounds, ε=%.2f, iid loss probability p\n\n", m, n, eps)
+	fmt.Printf("%-8s %-12s %-14s %-16s %-12s\n", "loss p", "E[ML(R)]", "Pr[all attack]", "Pr[disagree]", "worst-case ε")
+
+	for _, p := range []float64{0, 0.02, 0.05, 0.10, 0.20, 0.40} {
+		res, err := coordattack.Estimate(coordattack.MCConfig{
+			Protocol: s, Graph: g,
+			Sampler: coordattack.WeakSampler(g, n, p, everyone...),
+			Trials:  4000, Seed: uint64(1000 * p),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Estimate the mean modified level of the lossy runs directly.
+		tape := coordattack.NewStream(99).Tape(uint64(1000*p), 0)
+		mlSum, samples := 0, 200
+		for t := 0; t < samples; t++ {
+			r, err := coordattack.RandomLossRun(g, n, p, tape, everyone...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ml, err := coordattack.RunModLevel(r, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mlSum += ml
+		}
+		fmt.Printf("%-8.2f %-12.1f %-14.3f %-16.4f %-12.2f\n",
+			p, float64(mlSum)/float64(samples), res.TA.Mean(), res.PA.Mean(), eps)
+	}
+
+	fmt.Println()
+	fmt.Println("random loss shrinks the information level slowly (the ring reroutes around")
+	fmt.Println("holes), so liveness stays saturated until loss is extreme — and disagreement")
+	fmt.Println("needs the loss to land in a one-unit window around the secret threshold,")
+	fmt.Println("which blind randomness almost never manages. The strong adversary's power")
+	fmt.Println("is aim, not volume.")
+}

@@ -1,0 +1,75 @@
+// Two generals, two protocols: the §3 story of the paper.
+//
+// Protocol A relays a single packet back and forth and attacks if the
+// relay survives past a secret random round; it is perfectly live on a
+// reliable link but dies the moment one packet is lost. Protocol S counts
+// information levels and attacks with probability proportional to what
+// got through. This example sweeps the adversary's cut round and prints
+// both protocols' exact outcome distributions side by side.
+//
+// Run with:
+//
+//	go run ./examples/twogenerals
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coordattack"
+)
+
+func main() {
+	const (
+		n   = 10
+		eps = 0.1
+	)
+	g := coordattack.Pair()
+	s, err := coordattack.NewS(eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	good, err := coordattack.GoodRun(g, n, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("two generals, N=%d rounds, ε=%.2f — adversary cuts the link at round c\n\n", n, eps)
+	fmt.Printf("%-10s  %-28s  %-28s\n", "", "Protocol A", fmt.Sprintf("Protocol S (ε=%.2f)", eps))
+	fmt.Printf("%-10s  %-8s %-9s %-9s  %-8s %-9s %-9s\n",
+		"cut round", "TA", "disagree", "silent", "TA", "disagree", "silent")
+
+	for c := 1; c <= n+1; c++ {
+		r := good
+		label := "never"
+		if c <= n {
+			r = coordattack.CutAt(good, c)
+			label = fmt.Sprintf("c=%d", c)
+		}
+		// Protocol A: simulate 20k executions (its exact analysis lives
+		// in the internal baseline package; examples stick to the public
+		// surface and measure instead).
+		resA, err := coordattack.Estimate(coordattack.MCConfig{
+			Protocol: coordattack.NewA(), Graph: g, Run: r, Trials: 20000, Seed: uint64(c),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Protocol S: exact closed form.
+		aS, err := s.Analyze(g, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s  %-8.3f %-9.3f %-9.3f  %-8.3f %-9.3f %-9.3f\n",
+			label,
+			resA.TA.Mean(), resA.PA.Mean(), resA.NA.Mean(),
+			aS.PTotal, aS.PPartial, aS.PNone)
+	}
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - Protocol A: whichever round c ≥ 2 the adversary cuts, it hits the secret")
+	fmt.Println("    rfire with probability exactly 1/(N-1) — that is U_s(A). Liveness is the")
+	fmt.Println("    all-or-nothing Pr[rfire < c]: early cuts zero it entirely.")
+	fmt.Println("  - Protocol S: liveness climbs smoothly with the cut round (more information")
+	fmt.Println("    through = higher level), and disagreement never exceeds ε on any run.")
+}

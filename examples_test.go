@@ -1,0 +1,48 @@
+package coordattack_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example application end to end and
+// checks it exits cleanly with meaningful output. Skipped under -short:
+// each `go run` compiles a binary.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are exercised only in full test runs")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("found %d examples, want ≥ 3", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			text := string(out)
+			if len(strings.TrimSpace(text)) < 40 {
+				t.Errorf("example %s produced almost no output:\n%s", name, text)
+			}
+			for _, banned := range []string{"panic:", "FAIL", "error:"} {
+				if strings.Contains(text, banned) {
+					t.Errorf("example %s output contains %q:\n%s", name, banned, text)
+				}
+			}
+		})
+	}
+}

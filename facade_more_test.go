@@ -1,0 +1,222 @@
+package coordattack_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"coordattack"
+)
+
+func TestFacadeGraphConstructors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*coordattack.Graph, error)
+		m, e  int
+	}{
+		{"complete", func() (*coordattack.Graph, error) { return coordattack.Complete(4) }, 4, 6},
+		{"ring", func() (*coordattack.Graph, error) { return coordattack.Ring(5) }, 5, 5},
+		{"line", func() (*coordattack.Graph, error) { return coordattack.Line(4) }, 4, 3},
+		{"star", func() (*coordattack.Graph, error) { return coordattack.Star(4) }, 4, 3},
+		{"new", func() (*coordattack.Graph, error) {
+			return coordattack.NewGraph(3, []coordattack.Edge{{A: 1, B: 2}, {A: 2, B: 3}})
+		}, 3, 2},
+	}
+	for _, tc := range cases {
+		g, err := tc.build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if g.NumVertices() != tc.m || g.NumEdges() != tc.e {
+			t.Errorf("%s: m=%d e=%d, want %d/%d", tc.name, g.NumVertices(), g.NumEdges(), tc.m, tc.e)
+		}
+	}
+	if g := coordattack.Pair(); g.NumVertices() != 2 {
+		t.Error("Pair wrong")
+	}
+}
+
+func TestFacadeRunHelpers(t *testing.T) {
+	g := coordattack.Pair()
+	empty, err := coordattack.NewRun(3)
+	if err != nil || empty.N() != 3 {
+		t.Fatalf("NewRun: %v", err)
+	}
+	silent, err := coordattack.SilentRun(3, 1)
+	if err != nil || !silent.HasInput(1) || silent.NumDeliveries() != 0 {
+		t.Fatalf("SilentRun: %v", err)
+	}
+	good, err := coordattack.GoodRun(g, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut := coordattack.CutAt(good, 2); cut.Delivered(1, 2, 2) || !cut.Delivered(1, 2, 1) {
+		t.Error("CutAt wrong")
+	}
+	ring, err := coordattack.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := coordattack.TreeRun(ring, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := coordattack.RunModLevel(tree, 4)
+	if err != nil || ml != 1 {
+		t.Errorf("tree ML = %d, %v; want 1", ml, err)
+	}
+	tape := coordattack.NewStream(3).Tape(0, 0)
+	lossy, err := coordattack.RandomLossRun(g, 4, 0.5, tape, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.N() != 4 {
+		t.Error("RandomLossRun horizon wrong")
+	}
+}
+
+func TestFacadeLevelsAndBounds(t *testing.T) {
+	g := coordattack.Pair()
+	good, err := coordattack.GoodRun(g, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels, err := coordattack.Levels(good, 2)
+	if err != nil || levels[1] != 5 {
+		t.Errorf("Levels = %v, %v", levels, err)
+	}
+	mls, err := coordattack.ModLevels(good, 2)
+	if err != nil || (mls[1] != 4 && mls[1] != 5) {
+		t.Errorf("ModLevels = %v, %v", mls, err)
+	}
+	l, err := coordattack.RunLevel(good, 2)
+	if err != nil || l != 5 {
+		t.Errorf("RunLevel = %d, %v", l, err)
+	}
+	if b := coordattack.TradeoffBound(0.1, l); math.Abs(b-0.5) > 1e-12 {
+		t.Errorf("TradeoffBound = %v", b)
+	}
+}
+
+func TestFacadeProtocolVariants(t *testing.T) {
+	if _, err := coordattack.NewSWithSlack(0.1, 1); err != nil {
+		t.Error(err)
+	}
+	alt, err := coordattack.NewSAltValidity(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.FireFloor() != 1 {
+		t.Error("alt validity floor wrong")
+	}
+	a := coordattack.NewA()
+	if a.Name() != "A" {
+		t.Error("A name wrong")
+	}
+	if coordattack.Classify([]bool{false, true, false}) != coordattack.PartialAttack {
+		t.Error("Classify wrong")
+	}
+	for _, o := range []coordattack.Outcome{coordattack.NoAttack, coordattack.TotalAttack} {
+		if o.String() == "" {
+			t.Error("outcome string empty")
+		}
+	}
+}
+
+func TestFacadeAsync(t *testing.T) {
+	g, err := coordattack.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := coordattack.NewS(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := coordattack.NewStream(9).Tape(0, 0)
+	lat, err := coordattack.RandomLatency(1, 3, 0.1, tape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := coordattack.AsyncConfig{
+		G: g, N: 6, Timeout: 2, Latency: lat,
+		Inputs: []coordattack.ProcID{1, 2, 3, 4},
+	}
+	induced, enter, err := coordattack.AsyncInducedRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if induced.N() != 6 || len(enter) != 5 {
+		t.Error("induced run shape wrong")
+	}
+	res, err := coordattack.AsyncExecute(s, cfg, coordattack.SeedTapes(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome().String() == "" {
+		t.Error("async outcome empty")
+	}
+	evres, err := coordattack.AsyncEventExecute(s, cfg, coordattack.SeedTapes(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !evres.Induced.Equal(res.Induced) {
+		t.Error("event engine and reduction disagree through the facade")
+	}
+	fixed := coordattack.FixedLatency(1)
+	if ticks, drop := fixed(1, 2, 3); ticks != 1 || drop {
+		t.Error("FixedLatency wrong")
+	}
+}
+
+func TestFacadePlanningAndCertificate(t *testing.T) {
+	g := coordattack.Pair()
+	if err := coordattack.UsualCase(g, 5, 0.1); err != nil {
+		t.Error(err)
+	}
+	plan, err := coordattack.RecommendEpsilon(g, 10, 1)
+	if err != nil || math.Abs(plan.Epsilon-0.1) > 1e-12 {
+		t.Errorf("RecommendEpsilon = %+v, %v", plan, err)
+	}
+	plan2, err := coordattack.RecommendRounds(g, 0.1, 1, 50)
+	if err != nil || plan2.Rounds != 10 {
+		t.Errorf("RecommendRounds = %+v, %v", plan2, err)
+	}
+	s, err := coordattack.NewS(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := coordattack.GoodRun(g, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := coordattack.Certify(s, g, good, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.Steps) == 0 || !strings.Contains(cert.String(), "certificate") {
+		t.Error("certificate malformed")
+	}
+	attack, budget := cert.Bound()
+	if attack > budget+1e-12 {
+		t.Errorf("certified bound violated: %v > %v", attack, budget)
+	}
+}
+
+func TestFacadeWeakSampler(t *testing.T) {
+	g := coordattack.Pair()
+	s, err := coordattack.NewS(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coordattack.Estimate(coordattack.MCConfig{
+		Protocol: s, Graph: g,
+		Sampler: coordattack.WeakSampler(g, 10, 0, 1, 2),
+		Trials:  500, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TA.Mean() != 1 {
+		t.Errorf("lossless weak liveness %v, want 1 (ε·ML = 2)", res.TA)
+	}
+}

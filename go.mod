@@ -1,0 +1,3 @@
+module coordattack
+
+go 1.22

@@ -1,0 +1,275 @@
+// Package adversary implements the paper's adversaries.
+//
+// The strong adversary A_s of §2 is "the set of all runs": the unsafety
+// U_s(F) = max_R Pr[PA|R] is a maximization over runs, which this package
+// performs three ways — exhaustively for small instances, over structured
+// run families that contain the known-worst runs by construction, and by
+// randomized hill-climbing for larger instances. The weak adversary of §8
+// (iid message loss with unknown probability p) is a run sampler.
+package adversary
+
+import (
+	"fmt"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/mc"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+)
+
+// Objective scores a run; unsafety search maximizes Pr[PA|R].
+type Objective func(r *run.Run) (float64, error)
+
+// Result is the best run a search found and its objective value.
+type Result struct {
+	Run         *run.Run
+	Value       float64
+	Evaluations int
+}
+
+// ExactSObjective scores runs by Protocol S's closed-form Pr[PA|R]; the
+// search objective is then noiseless and the returned maximum exact.
+func ExactSObjective(s *core.S, g *graph.G) Objective {
+	return func(r *run.Run) (float64, error) {
+		a, err := s.Analyze(g, r)
+		if err != nil {
+			return 0, err
+		}
+		return a.PPartial, nil
+	}
+}
+
+// ExactAObjective scores runs by Protocol A's closed-form Pr[PA|R].
+func ExactAObjective() Objective {
+	return func(r *run.Run) (float64, error) {
+		d, err := baseline.AnalyzeA(r)
+		if err != nil {
+			return 0, err
+		}
+		return d.PPartial, nil
+	}
+}
+
+// MCObjective scores runs by a Monte-Carlo estimate of Pr[PA|R] — for
+// protocols without a closed form. The same run always gets the same
+// score (fixed seed), so searches remain deterministic.
+func MCObjective(p protocol.Protocol, g *graph.G, trials int, seed uint64) Objective {
+	return func(r *run.Run) (float64, error) {
+		res, err := mc.Estimate(mc.Config{
+			Protocol: p, Graph: g, Run: r, Trials: trials, Seed: seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.PA.Mean(), nil
+	}
+}
+
+// Exhaustive maximizes the objective over every run of g with n rounds —
+// all input subsets, all delivery subsets. Feasible only for tiny
+// instances (see run.Enumerate's limits).
+func Exhaustive(g *graph.G, n int, obj Objective) (*Result, error) {
+	best := &Result{}
+	err := run.Enumerate(g, n, nil, func(r *run.Run) error {
+		v, err := obj(r)
+		if err != nil {
+			return err
+		}
+		best.Evaluations++
+		if v > best.Value || best.Run == nil {
+			best.Value = v
+			best.Run = r.Clone()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adversary: exhaustive search: %w", err)
+	}
+	return best, nil
+}
+
+// Structured returns the curated run family that provably contains the
+// worst case for Protocols A and S: for a range of input sets, the good
+// run, every cut-at-round run, every prefix run, total silence, the
+// spanning-tree run, and single-drop runs.
+func Structured(g *graph.G, n int) ([]*run.Run, error) {
+	inputSets := [][]graph.ProcID{
+		g.Vertices(),                    // everyone signaled
+		{1},                             // only the distinguished general
+		{graph.ProcID(g.NumVertices())}, // only the "far" general
+	}
+	var out []*run.Run
+	for _, inputs := range inputSets {
+		good, err := run.Good(g, n, inputs...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, good)
+		for c := 1; c <= n; c++ {
+			out = append(out, run.CutAt(good, c))
+			out = append(out, run.Prefix(good, c-1))
+		}
+		silent, err := run.Silent(n, inputs...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, silent)
+		// Single-drop runs: the good run minus one delivery.
+		for _, d := range good.Deliveries() {
+			out = append(out, good.Clone().Drop(d.From, d.To, d.Round))
+		}
+	}
+	if g.NumVertices() >= 2 && g.Connected() && g.Eccentricity(1) <= n {
+		tree, err := run.Tree(g, n, 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tree)
+	}
+	return out, nil
+}
+
+// SearchFamily maximizes the objective over an explicit family of runs.
+func SearchFamily(family []*run.Run, obj Objective) (*Result, error) {
+	if len(family) == 0 {
+		return nil, fmt.Errorf("adversary: empty run family")
+	}
+	best := &Result{}
+	for _, r := range family {
+		v, err := obj(r)
+		if err != nil {
+			return nil, err
+		}
+		best.Evaluations++
+		if best.Run == nil || v > best.Value {
+			best.Value = v
+			best.Run = r.Clone()
+		}
+	}
+	return best, nil
+}
+
+// HillConfig tunes the randomized search.
+type HillConfig struct {
+	Restarts int // independent starts (≥ 1)
+	Steps    int // neighbor proposals per start (≥ 1)
+	Seed     uint64
+}
+
+func (c HillConfig) validate() error {
+	if c.Restarts < 1 || c.Steps < 1 {
+		return fmt.Errorf("adversary: hill climb needs restarts ≥ 1 and steps ≥ 1, got %d/%d",
+			c.Restarts, c.Steps)
+	}
+	return nil
+}
+
+// HillClimb maximizes the objective by randomized local search over the
+// full run space: starts from random runs (plus the structured family's
+// best as one seed start) and proposes single-tuple toggles — flip one
+// delivery or one input — accepting improvements. With an exact
+// objective this is a deterministic, repeatable search.
+func HillClimb(g *graph.G, n int, obj Objective, cfg HillConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	slots := run.Slots(g, n)
+	m := g.NumVertices()
+	tape := rng.NewTape(cfg.Seed)
+
+	best := &Result{}
+	consider := func(r *run.Run) (float64, error) {
+		v, err := obj(r)
+		if err != nil {
+			return 0, err
+		}
+		best.Evaluations++
+		if best.Run == nil || v > best.Value {
+			best.Value = v
+			best.Run = r.Clone()
+		}
+		return v, nil
+	}
+
+	// Seed start: best of the structured family.
+	family, err := Structured(g, n)
+	if err != nil {
+		return nil, err
+	}
+	famBest, err := SearchFamily(family, obj)
+	if err != nil {
+		return nil, err
+	}
+	best.Evaluations += famBest.Evaluations
+	starts := []*run.Run{famBest.Run}
+	for rs := 1; rs < cfg.Restarts; rs++ {
+		r, err := run.RandomSubset(g, n, tape)
+		if err != nil {
+			return nil, err
+		}
+		starts = append(starts, r)
+	}
+	if famBest.Value > best.Value || best.Run == nil {
+		best.Value = famBest.Value
+		best.Run = famBest.Run.Clone()
+	}
+
+	for _, start := range starts {
+		cur := start.Clone()
+		curVal, err := consider(cur)
+		if err != nil {
+			return nil, err
+		}
+		for step := 0; step < cfg.Steps; step++ {
+			cand := cur.Clone()
+			// Toggle one input with probability ~1/8, else one delivery.
+			which, err := tape.UintN(8)
+			if err != nil {
+				return nil, err
+			}
+			if which == 0 || len(slots) == 0 {
+				v, err := tape.IntRange(1, m)
+				if err != nil {
+					return nil, err
+				}
+				p := graph.ProcID(v)
+				if cand.HasInput(p) {
+					cand.RemoveInput(p)
+				} else {
+					cand.AddInput(p)
+				}
+			} else {
+				idx, err := tape.UintN(uint64(len(slots)))
+				if err != nil {
+					return nil, err
+				}
+				d := slots[idx]
+				if cand.Delivered(d.From, d.To, d.Round) {
+					cand.Drop(d.From, d.To, d.Round)
+				} else if err := cand.Deliver(d.From, d.To, d.Round); err != nil {
+					return nil, err
+				}
+			}
+			v, err := consider(cand)
+			if err != nil {
+				return nil, err
+			}
+			if v > curVal {
+				cur, curVal = cand, v
+			}
+		}
+	}
+	return best, nil
+}
+
+// WeakSampler returns the §8 weak adversary as an mc.RunSampler: every
+// message is lost independently with probability p; the given processes
+// receive the input.
+func WeakSampler(g *graph.G, n int, p float64, inputs ...graph.ProcID) mc.RunSampler {
+	return func(trial uint64, tape *rng.Tape) (*run.Run, error) {
+		return run.RandomLoss(g, n, p, tape, inputs...)
+	}
+}

@@ -1,0 +1,246 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/mc"
+	"coordattack/internal/run"
+)
+
+func TestExhaustiveFindsExactUnsafetyOfS(t *testing.T) {
+	// Tiny instance: K_2, N=2 → 2^4 delivery patterns × 2^2 input sets.
+	// The exhaustive max of Pr[PA|R] must be exactly ε (Theorem 6.7 is
+	// tight; UnsafetySup).
+	eps := 0.25
+	s := core.MustS(eps)
+	g := graph.Pair()
+	res, err := Exhaustive(g, 2, ExactSObjective(s, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-eps) > 1e-12 {
+		t.Errorf("exhaustive U_s(S) = %v, want ε = %v (worst run %v)", res.Value, eps, res.Run)
+	}
+	if res.Evaluations != 64 {
+		t.Errorf("evaluated %d runs, want 64", res.Evaluations)
+	}
+}
+
+func TestExhaustiveFindsExactUnsafetyOfA(t *testing.T) {
+	// K_2, N=3: U_s(A) = 1/(N-1) = 0.5, found exhaustively.
+	g := graph.Pair()
+	res, err := Exhaustive(g, 3, ExactAObjective())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := baseline.WorstCutUnsafetyA(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-want) > 1e-12 {
+		t.Errorf("exhaustive U_s(A) = %v, want %v", res.Value, want)
+	}
+}
+
+func TestExhaustiveRejectsHugeSpace(t *testing.T) {
+	g, err := graph.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exhaustive(g, 3, ExactAObjective()); err == nil {
+		t.Error("huge exhaustive search accepted")
+	}
+}
+
+func TestStructuredFamilyContainsWorstCases(t *testing.T) {
+	// The structured family must already realize U_s for both protocols
+	// at sizes where exhaustive search is impossible.
+	g := graph.Pair()
+	const n = 12
+	family, err := Structured(g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(family) == 0 {
+		t.Fatal("empty family")
+	}
+	for _, r := range family {
+		if err := r.Validate(g); err != nil {
+			t.Fatalf("family contains invalid run: %v", err)
+		}
+	}
+
+	eps := 0.05
+	s := core.MustS(eps)
+	resS, err := SearchFamily(family, ExactSObjective(s, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resS.Value-eps) > 1e-12 {
+		t.Errorf("family U_s(S) = %v, want ε = %v", resS.Value, eps)
+	}
+
+	resA, err := SearchFamily(family, ExactAObjective())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := baseline.WorstCutUnsafetyA(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(resA.Value-wantA) > 1e-12 {
+		t.Errorf("family U_s(A) = %v, want %v", resA.Value, wantA)
+	}
+}
+
+func TestSearchFamilyEmpty(t *testing.T) {
+	if _, err := SearchFamily(nil, ExactAObjective()); err == nil {
+		t.Error("empty family accepted")
+	}
+}
+
+func TestHillClimbMatchesExhaustive(t *testing.T) {
+	// On a small instance the hill climber must find the true maximum
+	// (it starts from the structured family's best, so this also guards
+	// against regressions in the proposal loop).
+	eps := 0.3
+	s := core.MustS(eps)
+	g := graph.Pair()
+	const n = 2
+	exact, err := Exhaustive(g, n, ExactSObjective(s, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hill, err := HillClimb(g, n, ExactSObjective(s, g), HillConfig{Restarts: 3, Steps: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hill.Value-exact.Value) > 1e-12 {
+		t.Errorf("hill climb found %v, exhaustive %v", hill.Value, exact.Value)
+	}
+}
+
+func TestHillClimbOnLargerGraph(t *testing.T) {
+	// Ring of 4, N=6: exhaustive is impossible; the climber must still
+	// reach ε (we know U_s(S) = ε exactly from UnsafetySup).
+	eps := 0.1
+	s := core.MustS(eps)
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := HillClimb(g, 6, ExactSObjective(s, g), HillConfig{Restarts: 2, Steps: 80, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-eps) > 1e-12 {
+		t.Errorf("hill climb U_s(S) = %v, want ε = %v", res.Value, eps)
+	}
+}
+
+func TestHillClimbValidation(t *testing.T) {
+	g := graph.Pair()
+	if _, err := HillClimb(g, 2, ExactAObjective(), HillConfig{Restarts: 0, Steps: 5}); err == nil {
+		t.Error("restarts=0 accepted")
+	}
+	if _, err := HillClimb(g, 2, ExactAObjective(), HillConfig{Restarts: 1, Steps: 0}); err == nil {
+		t.Error("steps=0 accepted")
+	}
+}
+
+func TestHillClimbDeterministic(t *testing.T) {
+	eps := 0.2
+	s := core.MustS(eps)
+	g := graph.Pair()
+	cfg := HillConfig{Restarts: 2, Steps: 40, Seed: 77}
+	a, err := HillClimb(g, 4, ExactSObjective(s, g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HillClimb(g, 4, ExactSObjective(s, g), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || !a.Run.Equal(b.Run) {
+		t.Error("hill climb not deterministic for fixed seed")
+	}
+}
+
+func TestMCObjectiveAgreesWithExact(t *testing.T) {
+	eps := 0.3
+	s := core.MustS(eps)
+	g := graph.Pair()
+	good, err := run.Good(g, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run.CutAt(good, 3)
+	exactObj := ExactSObjective(s, g)
+	exact, err := exactObj(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcObj := MCObjective(s, g, 20000, 5)
+	est, err := mcObj(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-exact) > 0.02 {
+		t.Errorf("MC objective %v vs exact %v", est, exact)
+	}
+}
+
+func TestWeakSamplerZeroLossIsGoodRun(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.MustS(0.25)
+	res, err := mc.Estimate(mc.Config{
+		Protocol: s, Graph: g,
+		Sampler: WeakSampler(g, 8, 0, 1, 2, 3, 4),
+		Trials:  2000, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lossless weak adversary = good run: liveness = min(1, ε·ML(R_g)).
+	good, err := run.Good(g, 8, 1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(g, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := res.TA.Consistent(a.PTotal, 1e-6); err != nil || !ok {
+		t.Errorf("weak(p=0) TA %v inconsistent with good-run exact %v", res.TA, a.PTotal)
+	}
+}
+
+func TestWeakAdversaryDisagreementFarBelowEpsilon(t *testing.T) {
+	// §8's observation: against random loss the *expected* disagreement
+	// is far below the worst case ε, because landing rfire in the unit
+	// window requires adversarial precision that random loss lacks.
+	g := graph.Pair()
+	eps := 0.2
+	s := core.MustS(eps)
+	res, err := mc.Estimate(mc.Config{
+		Protocol: s, Graph: g,
+		Sampler: WeakSampler(g, 30, 0.05, 1, 2),
+		Trials:  4000, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PA.Mean() > eps/2 {
+		t.Errorf("weak-adversary disagreement %v not well below ε = %v", res.PA, eps)
+	}
+	if res.TA.Mean() < 0.9 {
+		t.Errorf("weak-adversary liveness %v unexpectedly low", res.TA)
+	}
+}

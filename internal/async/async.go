@@ -1,0 +1,213 @@
+// Package async realizes the paper's closing remark that the results
+// "can be extended to an asynchronous model" (§8), as an executable
+// reduction.
+//
+// Processes run in continuous virtual time with no shared round clock.
+// Each message (i, j, r) has an adversary-chosen latency (or is dropped).
+// A timeout synchronizer rebuilds rounds: process j enters round r+1 when
+// every neighbor's round-r message has arrived, or after a timeout of τ
+// ticks, whichever is first; round-r messages that arrive after j has
+// advanced are discarded.
+//
+// The reduction: an asynchronous execution *induces* a synchronous run —
+// the set of (i, j, r) tuples whose messages beat the receiver's advance
+// — and the protocol's outputs are exactly those of the synchronous
+// engine on the induced run with the same tapes (property-tested in this
+// package). Every theorem of the paper then applies verbatim to the
+// induced run: unsafety stays ≤ ε against any latency adversary, and
+// liveness is min(1, ε·ML(induced run)) — latency attacks can only lower
+// the level, never break agreement.
+package async
+
+import (
+	"fmt"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+// Latency decides one message's fate: its virtual latency ≥ 1, or drop.
+type Latency func(from, to graph.ProcID, round int) (ticks int, drop bool)
+
+// FixedLatency delays every message by the same number of ticks.
+func FixedLatency(ticks int) Latency {
+	return func(graph.ProcID, graph.ProcID, int) (int, bool) { return ticks, false }
+}
+
+// RandomLatency draws each message's latency uniformly from [lo, hi] and
+// drops it with probability dropP, using the given tape. The returned
+// Latency caches its decisions so repeated queries for the same message
+// are consistent.
+func RandomLatency(lo, hi int, dropP float64, tape *rng.Tape) (Latency, error) {
+	if lo < 1 || hi < lo {
+		return nil, fmt.Errorf("async: latency range [%d, %d] invalid (need 1 ≤ lo ≤ hi)", lo, hi)
+	}
+	if dropP < 0 || dropP > 1 {
+		return nil, fmt.Errorf("async: drop probability %v outside [0,1]", dropP)
+	}
+	type key struct {
+		from, to graph.ProcID
+		round    int
+	}
+	type fate struct {
+		ticks int
+		drop  bool
+	}
+	cache := make(map[key]fate)
+	return func(from, to graph.ProcID, round int) (int, bool) {
+		k := key{from: from, to: to, round: round}
+		if f, ok := cache[k]; ok {
+			return f.ticks, f.drop
+		}
+		ticks, err := tape.IntRange(lo, hi)
+		if err != nil {
+			ticks = hi // exhausted tape degrades to worst latency
+		}
+		drop, err := tape.Bernoulli(dropP)
+		if err != nil {
+			drop = false
+		}
+		f := fate{ticks: ticks, drop: drop}
+		cache[k] = f
+		return f.ticks, f.drop
+	}, nil
+}
+
+// CutLink makes all messages on the undirected link {a, b} infinitely
+// slow from the given round on, wrapping an inner latency.
+func CutLink(inner Latency, a, b graph.ProcID, fromRound int) Latency {
+	return func(from, to graph.ProcID, round int) (int, bool) {
+		onLink := (from == a && to == b) || (from == b && to == a)
+		if onLink && round >= fromRound {
+			return 1, true
+		}
+		return inner(from, to, round)
+	}
+}
+
+// Config describes one asynchronous execution.
+type Config struct {
+	G *graph.G
+	// N is the number of synchronizer rounds.
+	N int
+	// Timeout τ ≥ 1 is how many ticks a process waits in a round before
+	// advancing without stragglers.
+	Timeout int
+	// Latency is the adversary.
+	Latency Latency
+	// Inputs lists the generals that receive the attack signal.
+	Inputs []graph.ProcID
+}
+
+func (c Config) validate() error {
+	if c.G == nil {
+		return fmt.Errorf("async: nil graph")
+	}
+	if c.N < 1 {
+		return fmt.Errorf("async: need N ≥ 1, got %d", c.N)
+	}
+	if c.Timeout < 1 {
+		return fmt.Errorf("async: need timeout ≥ 1, got %d", c.Timeout)
+	}
+	if c.Latency == nil {
+		return fmt.Errorf("async: nil latency")
+	}
+	for _, i := range c.Inputs {
+		if i < 1 || int(i) > c.G.NumVertices() {
+			return fmt.Errorf("async: input %d not a vertex", i)
+		}
+	}
+	return nil
+}
+
+// Result of an asynchronous execution.
+type Result struct {
+	// Outputs is the decision vector, index 1..m (index 0 unused).
+	Outputs []bool
+	// Induced is the synchronous run the execution reduces to.
+	Induced *run.Run
+	// EnterTimes[i][r] is the virtual time process i entered round r
+	// (index [1..m][1..N+1]; column N+1 is the finish time).
+	EnterTimes [][]int
+}
+
+// Outcome classifies the result.
+func (r *Result) Outcome() protocol.Outcome { return protocol.Classify(r.Outputs) }
+
+// InducedRun computes only the reduction — the synchronous run induced by
+// the timing structure — without executing any protocol. The induced run
+// is a pure function of (graph, N, timeout, latency).
+func InducedRun(cfg Config) (*run.Run, [][]int, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	m := cfg.G.NumVertices()
+	enter := make([][]int, m+1)
+	for i := 1; i <= m; i++ {
+		enter[i] = make([]int, cfg.N+2)
+		enter[i][1] = 0 // everyone starts round 1 at time 0
+	}
+	induced, err := run.New(cfg.N)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, in := range cfg.Inputs {
+		induced.AddInput(in)
+	}
+	for r := 1; r <= cfg.N; r++ {
+		for j := 1; j <= m; j++ {
+			pj := graph.ProcID(j)
+			deadline := enter[j][r] + cfg.Timeout
+			// Earliest time all neighbor round-r messages are in.
+			allIn := enter[j][r]
+			anyDropped := false
+			for _, i := range cfg.G.Neighbors(pj) {
+				ticks, drop := cfg.Latency(i, pj, r)
+				if drop {
+					anyDropped = true
+					continue
+				}
+				if a := enter[i][r] + ticks; a > allIn {
+					allIn = a
+				}
+			}
+			advance := deadline
+			if !anyDropped && allIn < deadline {
+				advance = allIn
+			}
+			enter[j][r+1] = advance
+			// A round-r message is delivered iff it arrives by the
+			// moment j advances (and is not dropped).
+			for _, i := range cfg.G.Neighbors(pj) {
+				ticks, drop := cfg.Latency(i, pj, r)
+				if drop {
+					continue
+				}
+				if enter[i][r]+ticks <= advance {
+					if err := induced.Deliver(i, pj, r); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+	}
+	return induced, enter, nil
+}
+
+// Execute runs the protocol asynchronously: it computes the induced run
+// and drives the synchronous engine on it — which, by the synchronizer's
+// construction, is exactly what the per-process event execution does.
+func Execute(p protocol.Protocol, cfg Config, tapes sim.Tapes) (*Result, error) {
+	induced, enter, err := InducedRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := sim.Outputs(p, cfg.G, induced, tapes)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Outputs: outs, Induced: induced, EnterTimes: enter}, nil
+}

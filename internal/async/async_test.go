@@ -1,0 +1,285 @@
+package async
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	g := graph.Pair()
+	lat := FixedLatency(1)
+	bad := []Config{
+		{N: 2, Timeout: 3, Latency: lat},                                  // nil graph
+		{G: g, N: 0, Timeout: 3, Latency: lat},                            // bad N
+		{G: g, N: 2, Timeout: 0, Latency: lat},                            // bad timeout
+		{G: g, N: 2, Timeout: 3},                                          // nil latency
+		{G: g, N: 2, Timeout: 3, Latency: lat, Inputs: []graph.ProcID{9}}, // bad input
+	}
+	for i, cfg := range bad {
+		if _, _, err := InducedRun(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestFastNetworkInducesGoodRun(t *testing.T) {
+	// Latency 1 ≤ τ everywhere: every message beats every deadline, so
+	// the induced run is the good run and rounds stay in lockstep.
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{G: g, N: 5, Timeout: 3, Latency: FixedLatency(1),
+		Inputs: []graph.ProcID{1, 2, 3, 4}}
+	induced, enter, err := InducedRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := run.Good(g, 5, 1, 2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !induced.Equal(good) {
+		t.Errorf("induced run %v != good run", induced)
+	}
+	// With early advance everyone moves at the all-in time (1 tick).
+	for i := 1; i <= 4; i++ {
+		for r := 1; r <= 5; r++ {
+			if enter[i][r] != r-1 {
+				t.Errorf("enter[%d][%d] = %d, want %d", i, r, enter[i][r], r-1)
+			}
+		}
+	}
+}
+
+func TestSlowMessagesAreLost(t *testing.T) {
+	// Latency above τ: nothing ever arrives in time; the induced run is
+	// silent and rounds advance at the timeout.
+	g := graph.Pair()
+	cfg := Config{G: g, N: 3, Timeout: 2, Latency: FixedLatency(5),
+		Inputs: []graph.ProcID{1}}
+	induced, enter, err := InducedRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if induced.NumDeliveries() != 0 {
+		t.Errorf("slow network delivered %d messages", induced.NumDeliveries())
+	}
+	for r := 1; r <= 3; r++ {
+		if enter[1][r+1] != enter[1][r]+2 {
+			t.Errorf("no-progress round should advance by τ")
+		}
+	}
+}
+
+func TestCutLink(t *testing.T) {
+	g, err := graph.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := CutLink(FixedLatency(1), 1, 2, 2)
+	cfg := Config{G: g, N: 4, Timeout: 3, Latency: lat, Inputs: []graph.ProcID{1}}
+	induced, _, err := InducedRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !induced.Delivered(1, 2, 1) || !induced.Delivered(2, 1, 1) {
+		t.Error("round 1 on link 1-2 should be delivered")
+	}
+	for r := 2; r <= 4; r++ {
+		if induced.Delivered(1, 2, r) || induced.Delivered(2, 1, r) {
+			t.Errorf("round %d on cut link delivered", r)
+		}
+	}
+	if !induced.Delivered(2, 3, 4) {
+		t.Error("other link should be unaffected")
+	}
+}
+
+func TestStragglerToleratedByEarlyNeighbors(t *testing.T) {
+	// A message with latency τ+1 from a process that advanced EARLY can
+	// still make its receiver's deadline if the receiver entered the
+	// round later — timing matters beyond per-message latency. Construct:
+	// K_2; round 1: 2→1 slow (drop), 1→2 fast; so process 1 advances at
+	// its deadline, process 2 early. In round 2 a medium-latency message
+	// from 2 can reach 1 even though the same latency would miss between
+	// lockstep processes.
+	g := graph.Pair()
+	lat := func(from, to graph.ProcID, round int) (int, bool) {
+		switch {
+		case round == 1 && from == 2:
+			return 1, true // drop: 1 waits out its timeout
+		case round == 1:
+			return 1, false
+		case round == 2 && from == 2:
+			return 4, false // medium: would miss a lockstep deadline (τ=3)
+		default:
+			return 1, false
+		}
+	}
+	cfg := Config{G: g, N: 2, Timeout: 3, Latency: lat, Inputs: []graph.ProcID{1}}
+	induced, enter, err := InducedRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process 2 advanced at time 1 (early: got 1's fast message... wait —
+	// early advance requires ALL neighbor messages in; 2's only neighbor
+	// is 1, whose message arrived at t=1, so 2 advances at t=1. Process 1
+	// got nothing (drop), advances at τ=3.
+	if enter[2][2] != 1 || enter[1][2] != 3 {
+		t.Fatalf("enter times [1]=%d [2]=%d, want 3 and 1", enter[1][2], enter[2][2])
+	}
+	// Round 2: 2 sends at t=1, latency 4 → arrives t=5. 1 entered round
+	// 2 at t=3, deadline 6 → delivered despite latency > τ.
+	if !induced.Delivered(2, 1, 2) {
+		t.Error("head-start message lost; timing reduction wrong")
+	}
+}
+
+func TestExecuteMatchesSyncOnInducedRun(t *testing.T) {
+	// The reduction theorem, tested: asynchronous execution of Protocol S
+	// equals the synchronous engine on the induced run, tape for tape.
+	g, err := graph.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.MustS(0.2)
+	latTape := rng.NewTape(77)
+	for trial := 0; trial < 40; trial++ {
+		lat, err := RandomLatency(1, 5, 0.15, latTape.Fork(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{G: g, N: 6, Timeout: 3, Latency: lat,
+			Inputs: []graph.ProcID{1, 3}}
+		res, err := Execute(s, cfg, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		syncOuts, err := sim.Outputs(s, g, res.Induced, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range syncOuts {
+			if res.Outputs[i] != syncOuts[i] {
+				t.Fatalf("trial %d: async and sync-on-induced disagree: %v vs %v",
+					trial, res.Outputs, syncOuts)
+			}
+		}
+		if res.Outcome().String() == "" {
+			t.Error("empty outcome")
+		}
+	}
+}
+
+func TestAsyncAgreementStillHolds(t *testing.T) {
+	// Theorems survive the reduction: against any latency adversary the
+	// disagreement probability of Protocol S stays ≤ ε. Exact check via
+	// the induced run's analysis.
+	g := graph.Pair()
+	eps := 0.25
+	s := core.MustS(eps)
+	latTape := rng.NewTape(5)
+	for trial := 0; trial < 50; trial++ {
+		lat, err := RandomLatency(1, 6, 0.3, latTape.Fork(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{G: g, N: 8, Timeout: 4, Latency: lat, Inputs: []graph.ProcID{1, 2}}
+		induced, _, err := InducedRun(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := s.Analyze(g, induced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.PPartial > eps+1e-12 {
+			t.Fatalf("async adversary broke agreement: PA = %v on %v", a.PPartial, induced)
+		}
+	}
+}
+
+func TestRandomLatencyValidation(t *testing.T) {
+	tape := rng.NewTape(1)
+	if _, err := RandomLatency(0, 5, 0, tape); err == nil {
+		t.Error("lo=0 accepted")
+	}
+	if _, err := RandomLatency(3, 2, 0, tape); err == nil {
+		t.Error("hi<lo accepted")
+	}
+	if _, err := RandomLatency(1, 2, 1.5, tape); err == nil {
+		t.Error("dropP>1 accepted")
+	}
+}
+
+func TestRandomLatencyConsistent(t *testing.T) {
+	lat, err := RandomLatency(1, 9, 0.5, rng.NewTape(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, d1 := lat(1, 2, 4)
+	t2, d2 := lat(1, 2, 4)
+	if t1 != t2 || d1 != d2 {
+		t.Error("repeated queries for the same message disagree")
+	}
+}
+
+func TestQuickLargerTimeoutNeverLosesDeliveries(t *testing.T) {
+	// Monotonicity: raising τ can only add deliveries to the induced run
+	// when processes stay in lockstep (fixed uniform latency).
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(latRaw, tauRaw uint8) bool {
+		lat := int(latRaw%6) + 1
+		tau := int(tauRaw%6) + 1
+		small := Config{G: g, N: 4, Timeout: tau, Latency: FixedLatency(lat)}
+		big := Config{G: g, N: 4, Timeout: tau + 1, Latency: FixedLatency(lat)}
+		rs, _, err := InducedRun(small)
+		if err != nil {
+			return false
+		}
+		rb, _, err := InducedRun(big)
+		if err != nil {
+			return false
+		}
+		return rs.SubsetOf(rb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInducedLevelDegradesWithLatency(t *testing.T) {
+	// Liveness through the reduction: the slower the network relative to
+	// τ, the lower the induced run's ML — async latency is a liveness
+	// attack, never a safety one.
+	g := graph.Pair()
+	var prev = math.MaxInt
+	for _, lat := range []int{1, 3, 5} {
+		cfg := Config{G: g, N: 10, Timeout: 4, Latency: FixedLatency(lat),
+			Inputs: []graph.ProcID{1, 2}}
+		induced, _, err := InducedRun(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ml, err := causality.RunModLevel(induced, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ml > prev {
+			t.Errorf("latency %d raised ML to %d (prev %d)", lat, ml, prev)
+		}
+		prev = ml
+	}
+}

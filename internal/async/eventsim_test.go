@@ -1,0 +1,152 @@
+package async
+
+import (
+	"testing"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/sim"
+)
+
+func TestEventEngineMatchesReduction(t *testing.T) {
+	// The centerpiece: the honest event-queue executor and the InducedRun
+	// reduction agree on the induced run, the entry times, and every
+	// output bit, across random latency adversaries, graphs, and
+	// timeouts.
+	graphs := []*graph.G{graph.Pair()}
+	if g, err := graph.Ring(5); err == nil {
+		graphs = append(graphs, g)
+	}
+	if g, err := graph.Star(4); err == nil {
+		graphs = append(graphs, g)
+	}
+	s := core.MustS(0.2)
+	latTape := rng.NewTape(31)
+	for _, g := range graphs {
+		inputs := []graph.ProcID{1}
+		if g.NumVertices() >= 3 {
+			inputs = append(inputs, 3)
+		}
+		for trial := 0; trial < 30; trial++ {
+			lat, err := RandomLatency(1, 6, 0.2, latTape.Fork(uint64(trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tau := range []int{1, 3, 5} {
+				cfg := Config{G: g, N: 6, Timeout: tau, Latency: lat, Inputs: inputs}
+				fromReduction, err := Execute(s, cfg, sim.SeedTapes(uint64(trial)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				fromEvents, err := EventExecute(s, cfg, sim.SeedTapes(uint64(trial)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !fromEvents.Induced.Equal(fromReduction.Induced) {
+					t.Fatalf("%v τ=%d trial %d: induced runs differ:\nevents:    %v\nreduction: %v",
+						g, tau, trial, fromEvents.Induced, fromReduction.Induced)
+				}
+				for i := 1; i <= g.NumVertices(); i++ {
+					if fromEvents.Outputs[i] != fromReduction.Outputs[i] {
+						t.Fatalf("%v τ=%d trial %d: outputs differ at %d", g, tau, trial, i)
+					}
+					for r := 1; r <= cfg.N+1; r++ {
+						if fromEvents.EnterTimes[i][r] != fromReduction.EnterTimes[i][r] {
+							t.Fatalf("%v τ=%d trial %d: enter[%d][%d] = %d vs %d",
+								g, tau, trial, i, r,
+								fromEvents.EnterTimes[i][r], fromReduction.EnterTimes[i][r])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEventEngineFastNetworkLockstep(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EventExecute(core.MustS(0.5), Config{
+		G: g, N: 4, Timeout: 3, Latency: FixedLatency(1),
+		Inputs: g.Vertices(),
+	}, sim.SeedTapes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		for r := 1; r <= 4; r++ {
+			if res.EnterTimes[i][r] != r-1 {
+				t.Errorf("enter[%d][%d] = %d, want %d", i, r, res.EnterTimes[i][r], r-1)
+			}
+		}
+	}
+	if got, want := res.Induced.NumDeliveries(), 2*4*4; got != want {
+		t.Errorf("induced |M| = %d, want %d (everything delivered)", got, want)
+	}
+}
+
+func TestEventEngineStragglersDiscarded(t *testing.T) {
+	// τ=1 with latency 2: every message misses its round; the induced
+	// run is empty... unless a receiver is still behind, but with τ=1
+	// everyone moves in lockstep, so all messages are one round late.
+	g := graph.Pair()
+	res, err := EventExecute(baseline.NewA(), Config{
+		G: g, N: 4, Timeout: 1, Latency: FixedLatency(2),
+		Inputs: []graph.ProcID{1, 2},
+	}, sim.SeedTapes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Induced.NumDeliveries() != 0 {
+		t.Errorf("stragglers delivered: %v", res.Induced)
+	}
+	if res.Outputs[1] || res.Outputs[2] {
+		t.Error("attack with no information")
+	}
+}
+
+func TestEventEngineValidation(t *testing.T) {
+	g := graph.Pair()
+	if _, err := EventExecute(core.MustS(0.1), Config{G: g, N: 0, Timeout: 1, Latency: FixedLatency(1)},
+		sim.SeedTapes(1)); err == nil {
+		t.Error("bad config accepted")
+	}
+	// Zero-tick latency is a model violation.
+	zero := func(graph.ProcID, graph.ProcID, int) (int, bool) { return 0, false }
+	if _, err := EventExecute(core.MustS(0.1), Config{G: g, N: 2, Timeout: 2, Latency: zero},
+		sim.SeedTapes(1)); err == nil {
+		t.Error("zero latency accepted")
+	}
+}
+
+func TestEventEngineDeterministic(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := RandomLatency(1, 4, 0.3, rng.NewTape(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{G: g, N: 5, Timeout: 2, Latency: lat, Inputs: []graph.ProcID{2}}
+	a, err := EventExecute(core.MustS(0.3), cfg, sim.SeedTapes(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EventExecute(core.MustS(0.3), cfg, sim.SeedTapes(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Induced.Equal(b.Induced) {
+		t.Error("event engine not deterministic")
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i] != b.Outputs[i] {
+			t.Error("outputs not deterministic")
+		}
+	}
+}

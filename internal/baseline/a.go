@@ -1,0 +1,174 @@
+// Package baseline implements the comparators the paper measures Protocol
+// S against: the simple two-general Protocol A of §3, the "run A several
+// times" amplification RepeatedA whose failure motivates the §5 lower
+// bound, and deterministic protocols used by the impossibility chain
+// argument.
+package baseline
+
+import (
+	"fmt"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+)
+
+// A is the §3 example protocol for two generals. Process 1 draws a random
+// round rfire uniform in {2..N}. The generals relay a single packet back
+// and forth — process 2 on odd rounds, process 1 on even rounds — each
+// sending only if it received the previous packet, so the first destroyed
+// packet silences the protocol. A general attacks iff the relay survived
+// into round rfire-1, it knows rfire, and it knows the input arrived.
+// The adversary cannot see rfire, so it causes partial attack only by
+// guessing the cut round: U_s(A) = 1/(N-1) ≈ 1/N, while on the good run
+// liveness is 1.
+type A struct{}
+
+var _ protocol.Protocol = A{}
+
+// NewA returns Protocol A.
+func NewA() A { return A{} }
+
+// Name implements protocol.Protocol.
+func (A) Name() string { return "A" }
+
+// NewMachine implements protocol.Protocol. Protocol A is defined for
+// exactly two generals and needs N ≥ 2 so that rfire's range {2..N} is
+// nonempty.
+func (A) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.G.NumVertices() != 2 {
+		return nil, fmt.Errorf("baseline: Protocol A needs exactly 2 generals, got %d", cfg.G.NumVertices())
+	}
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("baseline: Protocol A needs N ≥ 2, got %d", cfg.N)
+	}
+	m := &AMachine{id: cfg.ID, n: cfg.N, valid: cfg.Input}
+	if cfg.ID == 1 {
+		f, err := cfg.Tape.IntRange(2, cfg.N)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: drawing rfire: %w", err)
+		}
+		m.rfire = f
+		m.rfireKnown = true
+	}
+	return m, nil
+}
+
+// APacket is a non-null Protocol A message ("packet" in §3): it carries
+// rfire when the sender knows it and the sender's knowledge of the input.
+type APacket struct {
+	RFire      int
+	RFireKnown bool
+	Valid      bool
+}
+
+// CAMessage implements protocol.Message.
+func (APacket) CAMessage() {}
+
+// ANull is the null message sent in rounds where the protocol has no
+// packet to send; receivers ignore it.
+type ANull struct{}
+
+// CAMessage implements protocol.Message.
+func (ANull) CAMessage() {}
+
+// Null implements protocol.NullMarker.
+func (ANull) Null() bool { return true }
+
+// AMachine is one general running Protocol A. The offset field shifts the
+// protocol in time so RepeatedA can run phases of A back to back; plain A
+// has offset 0 and span n.
+type AMachine struct {
+	id     graph.ProcID
+	n      int // virtual horizon (rfire ∈ {2..n})
+	offset int // real round = offset + virtual round
+
+	rfire      int
+	rfireKnown bool
+	valid      bool
+	lastPacket int // highest virtual round whose packet we received
+}
+
+var _ protocol.Machine = (*AMachine)(nil)
+
+// virtualRound maps a real round into this machine's phase, or 0 if the
+// round is outside the phase.
+func (a *AMachine) virtualRound(round int) int {
+	vr := round - a.offset
+	if vr < 1 || vr > a.n {
+		return 0
+	}
+	return vr
+}
+
+// sendsPacket reports whether σ emits a packet (vs a null) this round:
+// process 2 opens in virtual round 1; afterwards a process sends on its
+// parity (1 even, 2 odd) iff it received the previous round's packet —
+// with the §3 validity gate at round 2: process 1 stays silent unless it
+// knows some input arrived.
+func (a *AMachine) sendsPacket(vr int) bool {
+	if vr == 0 {
+		return false
+	}
+	if vr == 1 {
+		return a.id == 2
+	}
+	myTurn := (a.id == 1 && vr%2 == 0) || (a.id == 2 && vr%2 == 1)
+	if !myTurn || a.lastPacket != vr-1 {
+		return false
+	}
+	if a.id == 1 && vr == 2 && !a.valid {
+		return false
+	}
+	return true
+}
+
+// Send implements protocol.Machine.
+func (a *AMachine) Send(round int, to graph.ProcID) protocol.Message {
+	if !a.sendsPacket(a.virtualRound(round)) {
+		return ANull{}
+	}
+	return APacket{RFire: a.rfire, RFireKnown: a.rfireKnown, Valid: a.valid}
+}
+
+// Step implements protocol.Machine.
+func (a *AMachine) Step(round int, received []protocol.Received) error {
+	vr := a.virtualRound(round)
+	if vr == 0 {
+		return nil
+	}
+	for _, r := range received {
+		pkt, ok := r.Msg.(APacket)
+		if !ok {
+			continue // null (or foreign phase) message: ignored
+		}
+		if vr > a.lastPacket {
+			a.lastPacket = vr
+		}
+		if pkt.Valid {
+			a.valid = true
+		}
+		if pkt.RFireKnown && !a.rfireKnown {
+			a.rfire = pkt.RFire
+			a.rfireKnown = true
+		}
+	}
+	return nil
+}
+
+// Output implements protocol.Machine: attack iff the packet chain reached
+// round rfire-1, rfire is known, and the input is known to have arrived.
+func (a *AMachine) Output() bool {
+	return a.valid && a.rfireKnown && a.lastPacket >= a.rfire-1
+}
+
+// LastPacket exposes the chain length for white-box tests.
+func (a *AMachine) LastPacket() int { return a.lastPacket }
+
+// RFire exposes (rfire, known) for white-box tests.
+func (a *AMachine) RFire() (int, bool) { return a.rfire, a.rfireKnown }
+
+// Valid exposes the validity flag for white-box tests.
+func (a *AMachine) Valid() bool { return a.valid }

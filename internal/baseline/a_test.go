@@ -1,0 +1,262 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func pair() *graph.G { return graph.Pair() }
+
+func mustGood(t *testing.T, n int, inputs ...graph.ProcID) *run.Run {
+	t.Helper()
+	r, err := run.Good(pair(), n, inputs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// estimate measures outcome frequencies over Monte-Carlo trials.
+func estimate(t *testing.T, p protocol.Protocol, r *run.Run, trials int, seed uint64) (ta, pa, na float64) {
+	t.Helper()
+	stream := rng.NewStream(seed)
+	var nTA, nPA, nNA int
+	for trial := 0; trial < trials; trial++ {
+		oc, err := sim.Outcome(p, pair(), r, sim.StreamTapes(stream, uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch oc {
+		case protocol.TotalAttack:
+			nTA++
+		case protocol.PartialAttack:
+			nPA++
+		default:
+			nNA++
+		}
+	}
+	n := float64(trials)
+	return float64(nTA) / n, float64(nPA) / n, float64(nNA) / n
+}
+
+func TestAMachineValidation(t *testing.T) {
+	a := NewA()
+	tri, err := graph.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.NewMachine(protocol.Config{ID: 1, G: tri, N: 5, Tape: rng.NewTape(1)}); err == nil {
+		t.Error("Protocol A accepted 3 generals")
+	}
+	if _, err := a.NewMachine(protocol.Config{ID: 1, G: pair(), N: 1, Tape: rng.NewTape(1)}); err == nil {
+		t.Error("Protocol A accepted N=1")
+	}
+	if a.Name() != "A" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+func TestALivenessOneOnGoodRun(t *testing.T) {
+	// §3: L(A, R_g) = 1 — on the fully delivered run with valid input,
+	// both generals always attack, for every rfire.
+	a := NewA()
+	for _, n := range []int{2, 3, 5, 10} {
+		r := mustGood(t, n, 1)
+		stream := rng.NewStream(42)
+		for trial := 0; trial < 50; trial++ {
+			oc, err := sim.Outcome(a, pair(), r, sim.StreamTapes(stream, uint64(trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oc != protocol.TotalAttack {
+				t.Fatalf("N=%d trial %d: outcome %v on good run, want TA", n, trial, oc)
+			}
+		}
+		d, err := AnalyzeA(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.PTotal != 1 {
+			t.Errorf("N=%d: exact PTotal on good run = %v, want 1", n, d.PTotal)
+		}
+	}
+}
+
+func TestAValidity(t *testing.T) {
+	// No input: nobody attacks, whatever the adversary does.
+	a := NewA()
+	tape := rng.NewTape(9)
+	for trial := 0; trial < 100; trial++ {
+		r, err := run.RandomSubset(pair(), 5, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range r.Inputs() {
+			r.RemoveInput(i)
+		}
+		outs, err := sim.Outputs(a, pair(), r, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[1] || outs[2] {
+			t.Fatalf("validity violated on %v: %v", r, outs)
+		}
+	}
+}
+
+func TestACutAtRfireCausesPartialAttack(t *testing.T) {
+	// White-box: fix the tape, read the drawn rfire, cut exactly there —
+	// partial attack must result; cutting anywhere else must not.
+	a := NewA()
+	const n = 8
+	tapes := sim.SeedTapes(123)
+	mach, err := a.NewMachine(protocol.Config{ID: 1, G: pair(), N: n, Input: true, Tape: tapes(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfire, known := mach.(*AMachine).RFire()
+	if !known || rfire < 2 || rfire > n {
+		t.Fatalf("rfire = %d (known=%v), want in {2..%d}", rfire, known, n)
+	}
+	good := mustGood(t, n, 1, 2)
+	for cut := 1; cut <= n; cut++ {
+		r := run.CutAt(good, cut)
+		oc, err := sim.Outcome(a, pair(), r, sim.SeedTapes(123))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want protocol.Outcome
+		switch {
+		case cut == rfire:
+			want = protocol.PartialAttack
+		case cut > rfire:
+			want = protocol.TotalAttack
+		default:
+			want = protocol.NoAttack
+		}
+		if oc != want {
+			t.Errorf("cut=%d rfire=%d: outcome %v, want %v", cut, rfire, oc, want)
+		}
+	}
+}
+
+func TestAUnsafetyIsOneOverN(t *testing.T) {
+	// §3: U_s(A) = 1/(N-1) ≈ 1/N. The worst run is a cut at any round
+	// in {2..N}; exact analysis and Monte-Carlo agree.
+	for _, n := range []int{4, 8, 16} {
+		good := mustGood(t, n, 1, 2)
+		worst, err := WorstCutUnsafetyA(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 2; cut <= n; cut++ {
+			r := run.CutAt(good, cut)
+			d, err := AnalyzeA(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(d.PPartial-worst) > 1e-12 {
+				t.Errorf("N=%d cut=%d: exact PA = %v, want %v", n, cut, d.PPartial, worst)
+			}
+		}
+		_, pa, _ := estimate(t, NewA(), run.CutAt(good, n/2+1), 6000, uint64(n))
+		if math.Abs(pa-worst) > 0.02 {
+			t.Errorf("N=%d: measured PA = %v, want ≈ %v", n, pa, worst)
+		}
+	}
+	if _, err := WorstCutUnsafetyA(1); err == nil {
+		t.Error("WorstCutUnsafetyA(1) succeeded")
+	}
+}
+
+func TestADropOneMessageKillsLiveness(t *testing.T) {
+	// §3 question 2: drop only process 1's round-2 packet: all but one
+	// message delivered, yet L(A, R) = 0 — the motivation for Protocol S.
+	const n = 6
+	r := mustGood(t, n, 1, 2)
+	r.Drop(1, 2, 2)
+	d, err := AnalyzeA(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PTotal != 0 {
+		t.Errorf("liveness after one drop = %v, want 0", d.PTotal)
+	}
+	ta, _, _ := estimate(t, NewA(), r, 2000, 7)
+	if ta != 0 {
+		t.Errorf("measured liveness after one drop = %v, want 0", ta)
+	}
+}
+
+func TestAnalyzeAMatchesMonteCarlo(t *testing.T) {
+	// Exact analysis vs simulation on random runs — the analysis is a
+	// complete model of the protocol.
+	const n, trials = 6, 3000
+	tape := rng.NewTape(31)
+	for trialRun := 0; trialRun < 12; trialRun++ {
+		r, err := run.RandomSubset(pair(), n, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := AnalyzeA(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta, pa, na := estimate(t, NewA(), r, trials, uint64(trialRun))
+		if math.Abs(ta-d.PTotal) > 0.035 || math.Abs(pa-d.PPartial) > 0.035 || math.Abs(na-d.PNone) > 0.035 {
+			t.Errorf("run %v: exact (%.3f, %.3f, %.3f) vs measured (%.3f, %.3f, %.3f)",
+				r, d.PTotal, d.PPartial, d.PNone, ta, pa, na)
+		}
+	}
+}
+
+func TestAInputOnlyAtProcessTwo(t *testing.T) {
+	// Input at 2 only, good run: 2's round-1 packet reports the input,
+	// 1 relays — both attack always.
+	const n = 6
+	r := mustGood(t, n, 2)
+	d, err := AnalyzeA(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PTotal != 1 {
+		t.Errorf("PTotal = %v, want 1", d.PTotal)
+	}
+	// Input at 2 only and round-1 packet cut: protocol dies silently.
+	cut := run.CutAt(r.Clone(), 1)
+	d2, err := AnalyzeA(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.PNone != 1 {
+		t.Errorf("PNone = %v, want 1 (nobody ever learns anything)", d2.PNone)
+	}
+}
+
+func TestAEnginesAgree(t *testing.T) {
+	a := NewA()
+	tape := rng.NewTape(77)
+	for trial := 0; trial < 25; trial++ {
+		r, err := run.RandomSubset(pair(), 5, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loop, err := sim.Outputs(a, pair(), r, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conc, err := sim.ConcurrentOutputs(a, pair(), r, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loop[1] != conc[1] || loop[2] != conc[2] {
+			t.Fatalf("trial %d: engines disagree: %v vs %v", trial, loop, conc)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"fmt"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+)
+
+// Dist is an exact outcome distribution over (TA, PA, NA).
+type Dist struct {
+	PTotal   float64
+	PPartial float64
+	PNone    float64
+}
+
+// joint is the exact joint decision distribution of the two generals for
+// one phase of Protocol A: probabilities that (1 attacks, 2 attacks),
+// (only 1), (only 2), (neither), over the uniform choice of rfire.
+type joint struct {
+	both, only1, only2, neither float64
+}
+
+// phaseJoint deterministically simulates one Protocol A phase's packet
+// flow on run r (rounds offset+1 .. offset+length) and sweeps rfire over
+// its uniform range {2..length}. Everything except rfire is deterministic
+// given the run, which is what makes the analysis exact.
+func phaseJoint(r *run.Run, offset, length int) joint {
+	var (
+		lastRecv [3]int
+		valid    [3]bool
+		know2    bool
+	)
+	valid[1] = r.HasInput(1)
+	valid[2] = r.HasInput(2)
+	for vr := 1; vr <= length; vr++ {
+		real := offset + vr
+		if real > r.N() {
+			break
+		}
+		sender, receiver := 1, 2
+		if vr%2 == 1 {
+			sender, receiver = 2, 1
+		}
+		var sent bool
+		switch {
+		case vr == 1:
+			sent = true // process 2 opens the relay
+		case sender == 1 && vr == 2:
+			sent = lastRecv[1] == 1 && valid[1]
+		default:
+			sent = lastRecv[sender] == vr-1
+		}
+		if sent && r.Delivered(graph.ProcID(sender), graph.ProcID(receiver), real) {
+			lastRecv[receiver] = vr
+			if valid[sender] {
+				valid[receiver] = true
+			}
+			if sender == 1 {
+				know2 = true
+			}
+		}
+	}
+	var nBoth, nOnly1, nOnly2, nNeither int
+	for f := 2; f <= length; f++ {
+		o1 := valid[1] && lastRecv[1] >= f-1
+		o2 := valid[2] && know2 && lastRecv[2] >= f-1
+		switch {
+		case o1 && o2:
+			nBoth++
+		case o1:
+			nOnly1++
+		case o2:
+			nOnly2++
+		default:
+			nNeither++
+		}
+	}
+	den := float64(length - 1)
+	return joint{
+		both:    float64(nBoth) / den,
+		only1:   float64(nOnly1) / den,
+		only2:   float64(nOnly2) / den,
+		neither: float64(nNeither) / den,
+	}
+}
+
+// AnalyzeA returns the exact outcome distribution of Protocol A on run r
+// (two generals; r.N() ≥ 2). On the good run PTotal = 1; over cut runs
+// the worst PPartial is exactly 1/(N-1) — experiment T1 rediscovers both.
+func AnalyzeA(r *run.Run) (*Dist, error) {
+	if r.N() < 2 {
+		return nil, fmt.Errorf("baseline: Protocol A analysis needs N ≥ 2, got %d", r.N())
+	}
+	j := phaseJoint(r, 0, r.N())
+	return &Dist{
+		PTotal:   j.both,
+		PPartial: j.only1 + j.only2,
+		PNone:    j.neither,
+	}, nil
+}
+
+// AnalyzeRepeatedA returns the exact outcome distribution of RepeatedA on
+// run r. Phase thresholds are independent, so the joint distribution of
+// the combined decisions factors across phases.
+func AnalyzeRepeatedA(p *RepeatedA, r *run.Run) (*Dist, error) {
+	length, err := p.PhaseLength(r.N())
+	if err != nil {
+		return nil, err
+	}
+	joints := make([]joint, 0, p.k)
+	for phase := 0; phase < p.k; phase++ {
+		joints = append(joints, phaseJoint(r, phase*length, length))
+	}
+	var pBoth, p1, p2 float64
+	switch p.mode {
+	case CombineAll:
+		pBoth, p1, p2 = 1, 1, 1
+		for _, j := range joints {
+			pBoth *= j.both
+			p1 *= j.both + j.only1
+			p2 *= j.both + j.only2
+		}
+	default: // CombineAny: work with complements
+		qBoth, q1, q2 := 1.0, 1.0, 1.0
+		for _, j := range joints {
+			qBoth *= j.neither        // neither attacks in any phase
+			q1 *= j.neither + j.only2 // 1 never attacks
+			q2 *= j.neither + j.only1 // 2 never attacks
+		}
+		p1, p2 = 1-q1, 1-q2
+		// TA = 1 - P[1 never] - P[2 never] + P[neither ever]
+		pBoth = 1 - q1 - q2 + qBoth
+	}
+	d := &Dist{
+		PTotal:   pBoth,
+		PPartial: p1 + p2 - 2*pBoth,
+		PNone:    1 - p1 - p2 + pBoth,
+	}
+	return d, nil
+}
+
+// WorstCutUnsafetyA is the exact worst-case unsafety of Protocol A over
+// all runs for horizon n: the adversary's best strategy is to cut the
+// relay at its guess of rfire, succeeding with probability 1/(n-1).
+func WorstCutUnsafetyA(n int) (float64, error) {
+	if n < 2 {
+		return 0, fmt.Errorf("baseline: Protocol A needs N ≥ 2, got %d", n)
+	}
+	return 1 / float64(n-1), nil
+}

@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"fmt"
+	"math/bits"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+)
+
+// XORCoins is a deliberately naive randomized protocol used to *probe the
+// model*, not to solve coordinated attack well: every process flips one
+// fair coin at start and floods (process → coin) pairs; a process attacks
+// iff it knows some input arrived and the XOR of every coin it has heard
+// (its own included) is 1.
+//
+// Its value is that D_i is a parity over exactly the coins in i's causal
+// past, which makes Appendix A tangible: when i and j are causally
+// independent their pasts are disjoint, so D_i and D_j are parities of
+// disjoint fair coins — probabilistically independent (Lemma A.2). When
+// both hear all the same coins (e.g. the good run on K_2) the events are
+// identical — maximally correlated. Experiment T12 measures both regimes.
+type XORCoins struct{}
+
+var _ protocol.Protocol = XORCoins{}
+
+// NewXORCoins returns the coin-parity test protocol.
+func NewXORCoins() XORCoins { return XORCoins{} }
+
+// Name implements protocol.Protocol.
+func (XORCoins) Name() string { return "XORCoins" }
+
+// XORMsg floods the sender's knowledge: which processes' coins it has
+// heard (a bitmask, bit i-1 ⇔ process i), those coins' values (same
+// indexing), and validity.
+type XORMsg struct {
+	Known uint64
+	Coins uint64
+	Valid bool
+}
+
+// CAMessage implements protocol.Message.
+func (XORMsg) CAMessage() {}
+
+// NewMachine implements protocol.Protocol. Every process consumes exactly
+// one random bit (so the protocol fits a J = 1 budget).
+func (XORCoins) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if m := cfg.G.NumVertices(); m > 64 {
+		return nil, fmt.Errorf("baseline: XORCoins needs m ≤ 64, got %d", m)
+	}
+	b, err := cfg.Tape.Bit()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: flipping coin: %w", err)
+	}
+	mach := &xorMachine{valid: cfg.Input, known: 1 << uint(cfg.ID-1)}
+	if b == 1 {
+		mach.coins = 1 << uint(cfg.ID-1)
+	}
+	return mach, nil
+}
+
+type xorMachine struct {
+	known uint64
+	coins uint64
+	valid bool
+}
+
+func (x *xorMachine) Send(round int, to graph.ProcID) protocol.Message {
+	return XORMsg{Known: x.known, Coins: x.coins, Valid: x.valid}
+}
+
+func (x *xorMachine) Step(round int, received []protocol.Received) error {
+	for _, r := range received {
+		msg, ok := r.Msg.(XORMsg)
+		if !ok {
+			return fmt.Errorf("baseline: XORCoins received foreign message %T", r.Msg)
+		}
+		x.known |= msg.Known
+		x.coins |= msg.Coins & msg.Known
+		if msg.Valid {
+			x.valid = true
+		}
+	}
+	return nil
+}
+
+func (x *xorMachine) Output() bool {
+	return x.valid && bits.OnesCount64(x.coins)%2 == 1
+}

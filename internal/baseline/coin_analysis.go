@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"fmt"
+	"math/bits"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+)
+
+// CoinAnalysis is the exact behaviour of XORCoins on one run. Given the
+// run, process i's decision is deterministic in the coin vector: it
+// attacks iff it has heard the input and the parity of the coins in its
+// causal past is odd. The causal pasts are computable (flows-to), and the
+// coin vector is uniform on {0,1}^m, so every probability is a sum over
+// 2^m equally likely patterns — exact, no sampling.
+type CoinAnalysis struct {
+	// Known[i] is the bitmask of processes whose coin reached i (bit j-1
+	// for process j); index 1..m, index 0 unused.
+	Known []uint64
+	// Valid[i] reports whether i heard the input.
+	Valid []bool
+	// PAttack[i] = Pr[D_i|R]: 0 if invalid, else exactly 1/2 (a parity
+	// of ≥ 1 fair coins is a fair coin — i's own coin is always known).
+	PAttack []float64
+	// PTotal, PPartial, PNone are the exact outcome probabilities.
+	PTotal, PPartial, PNone float64
+}
+
+// AnalyzeXORCoins computes the exact outcome distribution of XORCoins on
+// run r over m processes (m ≤ 20 keeps the 2^m enumeration fast; the
+// protocol itself allows up to 64).
+func AnalyzeXORCoins(m int, r *run.Run) (*CoinAnalysis, error) {
+	if m < 2 || m > 20 {
+		return nil, fmt.Errorf("baseline: XORCoins analysis needs 2 ≤ m ≤ 20, got %d", m)
+	}
+	a := &CoinAnalysis{
+		Known:   make([]uint64, m+1),
+		Valid:   make([]bool, m+1),
+		PAttack: make([]float64, m+1),
+	}
+	inputFirst := causality.InputArrival(r, m)
+	for j := 1; j <= m; j++ {
+		arrive := causality.ArrivalFrom(r, m, graph.ProcID(j), 0)
+		for i := 1; i <= m; i++ {
+			if arrive[i] <= r.N() {
+				a.Known[i] |= 1 << uint(j-1)
+			}
+		}
+	}
+	anyValid := false
+	for i := 1; i <= m; i++ {
+		a.Valid[i] = inputFirst[i] <= r.N()
+		if a.Valid[i] {
+			a.PAttack[i] = 0.5
+			anyValid = true
+		}
+	}
+	if !anyValid {
+		a.PNone = 1
+		return a, nil
+	}
+	var nTA, nPA, nNA int
+	total := 1 << uint(m)
+	for coins := 0; coins < total; coins++ {
+		attackers, refusers := 0, 0
+		for i := 1; i <= m; i++ {
+			if a.Valid[i] && bits.OnesCount64(uint64(coins)&a.Known[i])%2 == 1 {
+				attackers++
+			} else {
+				refusers++
+			}
+		}
+		switch {
+		case attackers == m:
+			nTA++
+		case attackers > 0 && refusers > 0:
+			nPA++
+		default:
+			nNA++
+		}
+	}
+	a.PTotal = float64(nTA) / float64(total)
+	a.PPartial = float64(nPA) / float64(total)
+	a.PNone = float64(nNA) / float64(total)
+	return a, nil
+}
+
+// JointAttack returns the exact Pr[D_i ∧ D_j | R] for XORCoins: by
+// Lemma A.2 this equals Pr[D_i]·Pr[D_j] = 1/4 whenever i and j are
+// causally independent (disjoint known-sets) and both valid.
+func (a *CoinAnalysis) JointAttack(i, j graph.ProcID) float64 {
+	if !a.Valid[i] || !a.Valid[j] {
+		return 0
+	}
+	ki, kj := a.Known[i], a.Known[j]
+	m := len(a.Known) - 1
+	total := 1 << uint(m)
+	hits := 0
+	for coins := 0; coins < total; coins++ {
+		if bits.OnesCount64(uint64(coins)&ki)%2 == 1 && bits.OnesCount64(uint64(coins)&kj)%2 == 1 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func TestAnalyzeXORCoinsValidation(t *testing.T) {
+	r := run.MustNew(2)
+	if _, err := AnalyzeXORCoins(1, r); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := AnalyzeXORCoins(21, r); err == nil {
+		t.Error("m=21 accepted")
+	}
+}
+
+func TestAnalyzeXORCoinsNoInput(t *testing.T) {
+	a, err := AnalyzeXORCoins(3, run.MustNew(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PNone != 1 || a.PTotal != 0 || a.PPartial != 0 {
+		t.Errorf("no-input distribution wrong: %+v", a)
+	}
+}
+
+func TestAnalyzeXORCoinsGoodRunPair(t *testing.T) {
+	// Good run on K_2: both know both coins → decisions identical →
+	// TA and NA each 1/2, PA = 0; marginals 1/2.
+	g := graph.Pair()
+	good, err := run.Good(g, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnalyzeXORCoins(2, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PTotal != 0.5 || a.PNone != 0.5 || a.PPartial != 0 {
+		t.Errorf("good-run distribution (%v, %v, %v), want (0.5, 0, 0.5)",
+			a.PTotal, a.PPartial, a.PNone)
+	}
+	if a.PAttack[1] != 0.5 || a.PAttack[2] != 0.5 {
+		t.Errorf("marginals %v", a.PAttack)
+	}
+	if joint := a.JointAttack(1, 2); joint != 0.5 {
+		t.Errorf("entangled joint = %v, want 0.5 (identical events)", joint)
+	}
+}
+
+func TestAnalyzeXORCoinsIndependentJoint(t *testing.T) {
+	// Disjoint pasts: joint = product = 1/4 (Lemma A.2, exactly).
+	r := run.MustNew(3)
+	r.AddInput(1).AddInput(2)
+	r.MustDeliver(3, 2, 1)
+	a, err := AnalyzeXORCoins(4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !causality.CausallyIndependent(r, 4, 1, 2) {
+		t.Fatal("setup: 1 and 2 should be causally independent")
+	}
+	if joint := a.JointAttack(1, 2); math.Abs(joint-0.25) > 1e-12 {
+		t.Errorf("independent joint = %v, want exactly 1/4", joint)
+	}
+}
+
+func TestAnalyzeXORCoinsMatchesMonteCarlo(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewXORCoins()
+	tape := rng.NewTape(17)
+	for trialRun := 0; trialRun < 6; trialRun++ {
+		r, err := run.RandomSubset(g, 3, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := AnalyzeXORCoins(4, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := rng.NewStream(uint64(trialRun))
+		var nTA, nPA int
+		const trials = 6000
+		for trial := 0; trial < trials; trial++ {
+			oc, err := sim.Outcome(p, g, r, sim.StreamTapes(stream, uint64(trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch oc {
+			case protocol.TotalAttack:
+				nTA++
+			case protocol.PartialAttack:
+				nPA++
+			}
+		}
+		ta := float64(nTA) / trials
+		pa := float64(nPA) / trials
+		if math.Abs(ta-a.PTotal) > 0.03 || math.Abs(pa-a.PPartial) > 0.03 {
+			t.Errorf("run %v: exact (%.3f, %.3f) vs measured (%.3f, %.3f)",
+				r, a.PTotal, a.PPartial, ta, pa)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func TestXORCoinsValidity(t *testing.T) {
+	p := NewXORCoins()
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(3)
+	for trial := 0; trial < 60; trial++ {
+		r, err := run.RandomSubset(g, 3, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range r.Inputs() {
+			r.RemoveInput(i)
+		}
+		outs, err := sim.Outputs(p, g, r, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 4; i++ {
+			if outs[i] {
+				t.Fatalf("validity violated on %v", r)
+			}
+		}
+	}
+}
+
+func TestXORCoinsPerfectCorrelationOnGoodRun(t *testing.T) {
+	// On the K_2 good run both generals know both coins: their decisions
+	// coincide in every execution.
+	p := NewXORCoins()
+	g := graph.Pair()
+	good, err := run.Good(g, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := rng.NewStream(5)
+	attacks := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		outs, err := sim.Outputs(p, g, good, sim.StreamTapes(stream, uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[1] != outs[2] {
+			t.Fatalf("decisions diverged on good run: %v", outs)
+		}
+		if outs[1] {
+			attacks++
+		}
+	}
+	// The shared parity is a fair coin: attack frequency ≈ 1/2.
+	if frac := float64(attacks) / trials; math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("attack frequency %v far from 0.5", frac)
+	}
+}
+
+func TestXORCoinsIndependenceWhenCausallyIndependent(t *testing.T) {
+	// Ring of 4; inputs at 1 and 2; deliveries only 3→2. Process 1's
+	// past is {1}, process 2's past is {2,3}: disjoint, so D_1 ⊥ D_2
+	// (Lemma A.2). Each is a parity of fair coins: marginals ≈ 1/2,
+	// joint ≈ 1/4.
+	p := NewXORCoins()
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run.MustNew(3)
+	r.AddInput(1).AddInput(2).MustDeliver(3, 2, 1)
+	stream := rng.NewStream(11)
+	var n1, n2, nBoth int
+	const trials = 8000
+	for trial := 0; trial < trials; trial++ {
+		outs, err := sim.Outputs(p, g, r, sim.StreamTapes(stream, uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[1] {
+			n1++
+		}
+		if outs[2] {
+			n2++
+		}
+		if outs[1] && outs[2] {
+			nBoth++
+		}
+	}
+	p1 := float64(n1) / trials
+	p2 := float64(n2) / trials
+	joint := float64(nBoth) / trials
+	if math.Abs(p1-0.5) > 0.03 || math.Abs(p2-0.5) > 0.03 {
+		t.Errorf("marginals %v, %v far from 0.5", p1, p2)
+	}
+	if math.Abs(joint-p1*p2) > 0.03 {
+		t.Errorf("joint %v far from product %v: independence violated", joint, p1*p2)
+	}
+}
+
+func TestXORCoinsRejectsHugeGraph(t *testing.T) {
+	// m > 64 cannot be represented in the coin masks.
+	edges := make([]graph.Edge, 0, 65)
+	for i := 2; i <= 65; i++ {
+		edges = append(edges, graph.Edge{A: 1, B: graph.ProcID(i)})
+	}
+	big, err := graph.New(65, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run.MustNew(1)
+	if _, err := sim.Outputs(NewXORCoins(), big, r, sim.SeedTapes(1)); err == nil {
+		t.Error("m=65 accepted")
+	}
+}
+
+func TestXORCoinsConsumesOneBit(t *testing.T) {
+	g := graph.Pair()
+	r, err := run.Good(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapes := map[graph.ProcID]*rng.Tape{1: rng.NewTape(1), 2: rng.NewTape(2)}
+	if _, err := sim.Outputs(NewXORCoins(), g, r, func(i graph.ProcID) *rng.Tape { return tapes[i] }); err != nil {
+		t.Fatal(err)
+	}
+	for i, tape := range tapes {
+		if tape.Consumed() != 1 {
+			t.Errorf("process %d consumed %d bits, want exactly 1 (J = 1 protocol)", i, tape.Consumed())
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package baseline
+
+import (
+	"fmt"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+)
+
+// DetMsg is the message of the deterministic baselines: a validity flood.
+type DetMsg struct {
+	Valid bool
+}
+
+// CAMessage implements protocol.Message.
+func (DetMsg) CAMessage() {}
+
+// DetFullInfo is the natural deterministic attempt at coordinated attack:
+// flood knowledge of the input, and attack iff the input is known and
+// every neighbor's message arrived in every round (perfect information).
+// It satisfies validity and attacks on the good run, so by the Gray/
+// Halpern-Moses impossibility it must violate agreement on some run —
+// the chain argument in internal/impossibility finds that run.
+type DetFullInfo struct{}
+
+var _ protocol.Protocol = DetFullInfo{}
+
+// NewDetFullInfo returns the full-information deterministic baseline.
+func NewDetFullInfo() DetFullInfo { return DetFullInfo{} }
+
+// Name implements protocol.Protocol.
+func (DetFullInfo) Name() string { return "DetFullInfo" }
+
+// NewMachine implements protocol.Protocol. The machine never touches the
+// random tape: this is a J = 0 protocol.
+func (DetFullInfo) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &detFullInfoMachine{
+		valid:  cfg.Input,
+		degree: cfg.G.Degree(cfg.ID),
+	}, nil
+}
+
+type detFullInfoMachine struct {
+	valid   bool
+	degree  int
+	missing bool
+}
+
+func (d *detFullInfoMachine) Send(round int, to graph.ProcID) protocol.Message {
+	return DetMsg{Valid: d.valid}
+}
+
+func (d *detFullInfoMachine) Step(round int, received []protocol.Received) error {
+	if len(received) < d.degree {
+		d.missing = true
+	}
+	for _, r := range received {
+		msg, ok := r.Msg.(DetMsg)
+		if !ok {
+			return fmt.Errorf("baseline: DetFullInfo received foreign message %T", r.Msg)
+		}
+		if msg.Valid {
+			d.valid = true
+		}
+	}
+	return nil
+}
+
+func (d *detFullInfoMachine) Output() bool { return d.valid && !d.missing }
+
+// DetThreshold is a softer deterministic baseline: attack iff the input
+// is known and at least frac of all expected messages arrived. It too is
+// deterministic, so the chain argument breaks it as well — demonstrating
+// that the impossibility is not an artifact of DetFullInfo's brittleness.
+type DetThreshold struct {
+	// Num/Den is the required delivered fraction, e.g. 1/2.
+	Num, Den int
+}
+
+var _ protocol.Protocol = DetThreshold{}
+
+// NewDetThreshold returns the threshold baseline requiring num/den of all
+// expected messages.
+func NewDetThreshold(num, den int) (DetThreshold, error) {
+	if den <= 0 || num < 0 || num > den {
+		return DetThreshold{}, fmt.Errorf("baseline: threshold %d/%d not a fraction in [0,1]", num, den)
+	}
+	return DetThreshold{Num: num, Den: den}, nil
+}
+
+// Name implements protocol.Protocol.
+func (p DetThreshold) Name() string { return fmt.Sprintf("DetThreshold(%d/%d)", p.Num, p.Den) }
+
+// NewMachine implements protocol.Protocol.
+func (p DetThreshold) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &detThresholdMachine{
+		valid:    cfg.Input,
+		expected: cfg.G.Degree(cfg.ID) * cfg.N,
+		num:      p.Num,
+		den:      p.Den,
+	}, nil
+}
+
+type detThresholdMachine struct {
+	valid    bool
+	expected int
+	got      int
+	num, den int
+}
+
+func (d *detThresholdMachine) Send(round int, to graph.ProcID) protocol.Message {
+	return DetMsg{Valid: d.valid}
+}
+
+func (d *detThresholdMachine) Step(round int, received []protocol.Received) error {
+	d.got += len(received)
+	for _, r := range received {
+		if msg, ok := r.Msg.(DetMsg); ok && msg.Valid {
+			d.valid = true
+		}
+	}
+	return nil
+}
+
+func (d *detThresholdMachine) Output() bool {
+	return d.valid && d.got*d.den >= d.expected*d.num
+}

@@ -1,0 +1,161 @@
+package baseline
+
+import (
+	"testing"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func TestDetFullInfoGoodRun(t *testing.T) {
+	p := NewDetFullInfo()
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+	for _, build := range []func() (*graph.G, error){
+		func() (*graph.G, error) { return graph.Complete(2) },
+		func() (*graph.G, error) { return graph.Ring(4) },
+		func() (*graph.G, error) { return graph.Star(5) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := run.Good(g, g.NumVertices(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oc, err := sim.Outcome(p, g, r, sim.SeedTapes(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oc != protocol.TotalAttack {
+			t.Errorf("%v: good-run outcome %v, want TA (nontriviality)", g, oc)
+		}
+	}
+}
+
+func TestDetFullInfoValidity(t *testing.T) {
+	p := NewDetFullInfo()
+	g := graph.Pair()
+	r, err := run.Good(g, 4) // everything delivered, no input
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := sim.Outcome(p, g, r, sim.SeedTapes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc != protocol.NoAttack {
+		t.Errorf("outcome %v on no-input run, want NA", oc)
+	}
+}
+
+func TestDetFullInfoDisagreesAfterLastDrop(t *testing.T) {
+	// Drop one round-N delivery: the receiver loses full information and
+	// refuses; the other still attacks — the concrete two-generals
+	// disagreement.
+	p := NewDetFullInfo()
+	g := graph.Pair()
+	r, err := run.Good(g, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Drop(1, 2, 3)
+	outs, err := sim.Outputs(p, g, r, sim.SeedTapes(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outs[1] || outs[2] {
+		t.Errorf("outputs = %v, want 1 attacks and 2 does not", outs)
+	}
+}
+
+func TestDetThresholdValidation(t *testing.T) {
+	if _, err := NewDetThreshold(3, 2); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+	if _, err := NewDetThreshold(-1, 2); err == nil {
+		t.Error("negative numerator accepted")
+	}
+	if _, err := NewDetThreshold(1, 0); err == nil {
+		t.Error("zero denominator accepted")
+	}
+	p, err := NewDetThreshold(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestDetThresholdBehaviour(t *testing.T) {
+	p, err := NewDetThreshold(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Pair()
+	// Good run: full delivery ≥ half → TA.
+	good, err := run.Good(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err := sim.Outcome(p, g, good, sim.SeedTapes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc != protocol.TotalAttack {
+		t.Errorf("good run outcome %v, want TA", oc)
+	}
+	// Prefix keeping only round 1 of 4: 1/4 < 1/2 delivered → nobody
+	// attacks (both fall below threshold).
+	quarter := run.Prefix(good, 1)
+	oc, err = sim.Outcome(p, g, quarter, sim.SeedTapes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc != protocol.NoAttack {
+		t.Errorf("quarter-delivery outcome %v, want NA", oc)
+	}
+	// No input: validity.
+	silent, err := run.Good(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc, err = sim.Outcome(p, g, silent, sim.SeedTapes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oc != protocol.NoAttack {
+		t.Errorf("no-input outcome %v, want NA", oc)
+	}
+}
+
+func TestDetProtocolsIgnoreTape(t *testing.T) {
+	// J = 0: deterministic protocols must not consume a single random
+	// bit. We hand each process a persistent tape and audit consumption.
+	g := graph.Pair()
+	r, err := run.Good(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := NewDetThreshold(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []protocol.Protocol{NewDetFullInfo(), thr} {
+		tapes := map[graph.ProcID]*rng.Tape{1: rng.NewTape(1), 2: rng.NewTape(2)}
+		if _, err := sim.Outputs(p, g, r, func(i graph.ProcID) *rng.Tape { return tapes[i] }); err != nil {
+			t.Fatal(err)
+		}
+		for i, tape := range tapes {
+			if tape.Consumed() != 0 {
+				t.Errorf("%s: process %d consumed %d random bits, want 0", p.Name(), i, tape.Consumed())
+			}
+		}
+	}
+}

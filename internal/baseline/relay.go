@@ -1,0 +1,217 @@
+package baseline
+
+import (
+	"fmt"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/run"
+)
+
+// RingRelay is OUR m-general generalization of §3's Protocol A — an
+// extension, not something the paper defines. A single token circulates
+// a ring 1 → 2 → … → m → 1 …; the coordinator (process 1) seeds it with
+// a secret threshold rfire uniform in {m+1 .. N}, and a general attacks
+// iff it last held the token within the m rounds before rfire. If every
+// token hop before round rfire is delivered, everyone's last possession
+// falls in that window: total attack. The first destroyed hop at round c
+// strands the generals who held the token before the window: partial
+// attack exactly when rfire − m < c < rfire, a window of m−1 rounds, so
+//
+//	U_s(RingRelay_m) = (m−1)/(N−m),
+//
+// degrading linearly in m — the reason relaying cannot replace Protocol
+// S's flooding as the group grows (experiment T18 measures the contrast).
+//
+// Validity: the token exists only if the coordinator received the input
+// signal, and it carries that fact; no input at process 1 means no token
+// and no attacks (inputs elsewhere are ignored by this simple extension).
+type RingRelay struct{}
+
+var _ protocol.Protocol = RingRelay{}
+
+// NewRingRelay returns the ring-relay extension protocol.
+func NewRingRelay() RingRelay { return RingRelay{} }
+
+// Name implements protocol.Protocol.
+func (RingRelay) Name() string { return "RingRelay" }
+
+// RelayToken is the circulating packet.
+type RelayToken struct {
+	RFire int
+}
+
+// CAMessage implements protocol.Message.
+func (RelayToken) CAMessage() {}
+
+// RelayNull is the null message sent on non-token slots.
+type RelayNull struct{}
+
+// CAMessage implements protocol.Message.
+func (RelayNull) CAMessage() {}
+
+// Null implements protocol.NullMarker.
+func (RelayNull) Null() bool { return true }
+
+// NewMachine implements protocol.Protocol. Requires a graph containing
+// the ring edges i→i+1 (mod m) — Ring(m) or denser — m ≥ 3 and N ≥ m+1.
+func (RingRelay) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.G.NumVertices()
+	if m < 3 {
+		return nil, fmt.Errorf("baseline: RingRelay needs m ≥ 3, got %d", m)
+	}
+	if cfg.N < m+1 {
+		return nil, fmt.Errorf("baseline: RingRelay needs N ≥ m+1 = %d, got %d", m+1, cfg.N)
+	}
+	for i := 1; i <= m; i++ {
+		next := graph.ProcID(i%m + 1)
+		if !cfg.G.HasEdge(graph.ProcID(i), next) {
+			return nil, fmt.Errorf("baseline: RingRelay needs ring edge %d-%d", i, next)
+		}
+	}
+	mach := &relayMachine{id: cfg.ID, m: m}
+	if cfg.ID == 1 && cfg.Input {
+		f, err := cfg.Tape.IntRange(m+1, cfg.N)
+		if err != nil {
+			return nil, fmt.Errorf("baseline: drawing rfire: %w", err)
+		}
+		mach.rfire = f
+		mach.rfireKnown = true
+		mach.lastHeld = 0 // the coordinator holds the token "at round 0"
+		mach.holding = true
+	} else {
+		mach.lastHeld = -1
+	}
+	return mach, nil
+}
+
+type relayMachine struct {
+	id graph.ProcID
+	m  int
+
+	rfire      int
+	rfireKnown bool
+	holding    bool
+	lastHeld   int // round at the end of which we last held the token; -1 never
+}
+
+var _ protocol.Machine = (*relayMachine)(nil)
+
+// next is the clockwise successor on the ring.
+func (rm *relayMachine) next() graph.ProcID { return graph.ProcID(int(rm.id)%rm.m + 1) }
+
+// Send implements protocol.Machine: the holder forwards the token each
+// round; everyone else sends nulls.
+func (rm *relayMachine) Send(round int, to graph.ProcID) protocol.Message {
+	if rm.holding && to == rm.next() {
+		return RelayToken{RFire: rm.rfire}
+	}
+	return RelayNull{}
+}
+
+// Step implements protocol.Machine.
+func (rm *relayMachine) Step(round int, received []protocol.Received) error {
+	if rm.holding {
+		// The token was sent onward this round; whether it survives is
+		// the adversary's choice, but we no longer hold it.
+		rm.holding = false
+	}
+	for _, r := range received {
+		tok, ok := r.Msg.(RelayToken)
+		if !ok {
+			continue
+		}
+		rm.holding = true
+		rm.lastHeld = round
+		rm.rfire = tok.RFire
+		rm.rfireKnown = true
+	}
+	return nil
+}
+
+// Output implements protocol.Machine: attack iff the token's last visit
+// was within the m rounds before rfire.
+func (rm *relayMachine) Output() bool {
+	return rm.rfireKnown && rm.lastHeld >= rm.rfire-rm.m
+}
+
+// AnalyzeRingRelay returns the exact outcome distribution of RingRelay on
+// run r over a ring of m generals. The token path is deterministic given
+// the run; only rfire is random.
+func AnalyzeRingRelay(m int, r *run.Run) (*Dist, error) {
+	if m < 3 {
+		return nil, fmt.Errorf("baseline: RingRelay analysis needs m ≥ 3, got %d", m)
+	}
+	n := r.N()
+	if n < m+1 {
+		return nil, fmt.Errorf("baseline: RingRelay analysis needs N ≥ m+1 = %d, got %d", m+1, n)
+	}
+	if !r.HasInput(1) {
+		// No token ever: certain silence.
+		return &Dist{PNone: 1}, nil
+	}
+	// Deterministic token walk: holder h starts at 1 (round 0); at round
+	// t the holder sends to its successor; delivery decides survival.
+	lastHeld := make([]int, m+1)
+	for i := range lastHeld {
+		lastHeld[i] = -1
+	}
+	lastHeld[1] = 0
+	knows := make([]bool, m+1)
+	knows[1] = true
+	holder := graph.ProcID(1)
+	alive := true
+	for t := 1; t <= n && alive; t++ {
+		next := graph.ProcID(int(holder)%m + 1)
+		if r.Delivered(holder, next, t) {
+			holder = next
+			lastHeld[holder] = t
+			knows[holder] = true
+		} else {
+			alive = false
+		}
+	}
+	// Sweep rfire uniform in {m+1 .. N}.
+	var nTA, nPA, nNA int
+	for f := m + 1; f <= n; f++ {
+		attackers, refusers := 0, 0
+		for i := 1; i <= m; i++ {
+			if knows[i] && lastHeld[i] >= f-m {
+				attackers++
+			} else {
+				refusers++
+			}
+		}
+		switch {
+		case attackers == m:
+			nTA++
+		case attackers > 0 && refusers > 0:
+			nPA++
+		default:
+			nNA++
+		}
+	}
+	den := float64(n - m)
+	return &Dist{
+		PTotal:   float64(nTA) / den,
+		PPartial: float64(nPA) / den,
+		PNone:    float64(nNA) / den,
+	}, nil
+}
+
+// WorstCutUnsafetyRingRelay is the exact worst-case unsafety of the
+// ring-relay extension: the adversary cuts one hop, and partial attack
+// occurs iff rfire lands in the (m−1)-wide window after the cut.
+func WorstCutUnsafetyRingRelay(m, n int) (float64, error) {
+	if m < 3 || n < m+1 {
+		return 0, fmt.Errorf("baseline: need m ≥ 3 and N ≥ m+1, got m=%d N=%d", m, n)
+	}
+	worst := float64(m-1) / float64(n-m)
+	if worst > 1 {
+		worst = 1
+	}
+	return worst, nil
+}

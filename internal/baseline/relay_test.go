@@ -1,0 +1,210 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func ringAndGood(t *testing.T, m, n int, inputs ...graph.ProcID) (*graph.G, *run.Run) {
+	t.Helper()
+	g, err := graph.Ring(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := run.Good(g, n, inputs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, r
+}
+
+func TestRingRelayValidation(t *testing.T) {
+	p := NewRingRelay()
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NewMachine(protocol.Config{ID: 1, G: g, N: 4, Tape: rng.NewTape(1)}); err == nil {
+		t.Error("N = m accepted (needs N ≥ m+1)")
+	}
+	line, err := graph.Line(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NewMachine(protocol.Config{ID: 1, G: line, N: 9, Tape: rng.NewTape(1)}); err == nil {
+		t.Error("missing ring edge accepted")
+	}
+	if _, err := AnalyzeRingRelay(2, run.MustNew(9)); err == nil {
+		t.Error("m=2 analysis accepted")
+	}
+	if _, err := AnalyzeRingRelay(4, run.MustNew(4)); err == nil {
+		t.Error("short-horizon analysis accepted")
+	}
+	if _, err := WorstCutUnsafetyRingRelay(2, 9); err == nil {
+		t.Error("bad worst-cut params accepted")
+	}
+}
+
+func TestRingRelayLivenessOneOnGoodRun(t *testing.T) {
+	p := NewRingRelay()
+	for _, m := range []int{3, 5} {
+		n := 3 * m
+		g, good := ringAndGood(t, m, n, 1)
+		for trial := 0; trial < 40; trial++ {
+			oc, err := sim.Outcome(p, g, good, sim.SeedTapes(uint64(trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if oc != protocol.TotalAttack {
+				t.Fatalf("m=%d trial %d: outcome %v on good run", m, trial, oc)
+			}
+		}
+		d, err := AnalyzeRingRelay(m, good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.PTotal != 1 {
+			t.Errorf("m=%d: exact good-run liveness %v", m, d.PTotal)
+		}
+	}
+}
+
+func TestRingRelayValidity(t *testing.T) {
+	p := NewRingRelay()
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(3)
+	for trial := 0; trial < 60; trial++ {
+		r, err := run.RandomSubset(g, 6, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range r.Inputs() {
+			r.RemoveInput(i)
+		}
+		outs, err := sim.Outputs(p, g, r, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 4; i++ {
+			if outs[i] {
+				t.Fatalf("validity violated on %v", r)
+			}
+		}
+	}
+	// Input only away from the coordinator: token never starts.
+	silent, err := run.Good(g, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := AnalyzeRingRelay(4, silent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PNone != 1 {
+		t.Errorf("input-at-3 run: PNone = %v, want 1", d.PNone)
+	}
+}
+
+func TestRingRelayAnalysisMatchesMonteCarlo(t *testing.T) {
+	p := NewRingRelay()
+	const m, n, trials = 4, 12, 4000
+	g, good := ringAndGood(t, m, n, 1)
+	tape := rng.NewTape(7)
+	runs := []*run.Run{good, run.CutAt(good, 7), run.CutAt(good, 3)}
+	for i := 0; i < 5; i++ {
+		r, err := run.RandomSubset(g, n, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.AddInput(1)
+		runs = append(runs, r)
+	}
+	stream := rng.NewStream(11)
+	for _, r := range runs {
+		d, err := AnalyzeRingRelay(m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nTA, nPA int
+		for trial := 0; trial < trials; trial++ {
+			oc, err := sim.Outcome(p, g, r, sim.StreamTapes(stream, uint64(trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch oc {
+			case protocol.TotalAttack:
+				nTA++
+			case protocol.PartialAttack:
+				nPA++
+			}
+		}
+		ta := float64(nTA) / trials
+		pa := float64(nPA) / trials
+		if math.Abs(ta-d.PTotal) > 0.035 || math.Abs(pa-d.PPartial) > 0.035 {
+			t.Errorf("run %v: exact (%.3f, %.3f) vs measured (%.3f, %.3f)",
+				r, d.PTotal, d.PPartial, ta, pa)
+		}
+	}
+}
+
+func TestRingRelayUnsafetyWindow(t *testing.T) {
+	// The PA window is m−1 rounds wide: cutting anywhere in the middle
+	// yields PA probability exactly (m−1)/(N−m), and the worst over all
+	// cuts equals WorstCutUnsafetyRingRelay.
+	const m, n = 5, 25
+	_, good := ringAndGood(t, m, n, 1)
+	worst, err := WorstCutUnsafetyRingRelay(m, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64(m-1) / float64(n-m); math.Abs(worst-want) > 1e-12 {
+		t.Fatalf("WorstCutUnsafetyRingRelay = %v, want %v", worst, want)
+	}
+	maxPA := 0.0
+	for c := 1; c <= n; c++ {
+		d, err := AnalyzeRingRelay(m, run.CutAt(good, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.PPartial > maxPA {
+			maxPA = d.PPartial
+		}
+	}
+	if math.Abs(maxPA-worst) > 1e-12 {
+		t.Errorf("max cut PA = %v, want %v", maxPA, worst)
+	}
+	// A mid-window cut exactly realizes it.
+	d, err := AnalyzeRingRelay(m, run.CutAt(good, n/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.PPartial-worst) > 1e-12 {
+		t.Errorf("mid cut PA = %v, want %v", d.PPartial, worst)
+	}
+}
+
+func TestRingRelayDegradesWithM(t *testing.T) {
+	// The point of the extension: the disagreement window grows linearly
+	// in the ring size, unlike Protocol S's fixed ε.
+	const n = 40
+	prev := 0.0
+	for _, m := range []int{3, 5, 8, 12} {
+		worst, err := WorstCutUnsafetyRingRelay(m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst <= prev {
+			t.Errorf("m=%d: unsafety %v did not grow from %v", m, worst, prev)
+		}
+		prev = worst
+	}
+}

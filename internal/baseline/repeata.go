@@ -1,0 +1,155 @@
+package baseline
+
+import (
+	"fmt"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+)
+
+// CombineMode says how RepeatedA merges its phases' decisions.
+type CombineMode int
+
+const (
+	// CombineAll attacks iff every phase decided to attack.
+	CombineAll CombineMode = iota + 1
+	// CombineAny attacks iff at least one phase decided to attack.
+	CombineAny
+)
+
+func (c CombineMode) String() string {
+	switch c {
+	case CombineAll:
+		return "all"
+	case CombineAny:
+		return "any"
+	default:
+		return fmt.Sprintf("CombineMode(%d)", int(c))
+	}
+}
+
+// RepeatedA is the §3 amplification attempt: run k independent copies of
+// Protocol A back to back (each in N/k rounds, each with a fresh rfire)
+// and combine the phase decisions. The paper's §5 lower bound implies
+// this cannot beat the L/U ≤ L(R) tradeoff, and experiment T10 measures
+// the failure: each phase's unsafety is ≈ k/N, so the combined protocol
+// is strictly worse than a single A over all N rounds.
+type RepeatedA struct {
+	k    int
+	mode CombineMode
+}
+
+var _ protocol.Protocol = (*RepeatedA)(nil)
+
+// NewRepeatedA returns the k-phase amplification with the given combine
+// mode. k must be at least 1.
+func NewRepeatedA(k int, mode CombineMode) (*RepeatedA, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: RepeatedA needs k ≥ 1, got %d", k)
+	}
+	if mode != CombineAll && mode != CombineAny {
+		return nil, fmt.Errorf("baseline: unknown combine mode %d", mode)
+	}
+	return &RepeatedA{k: k, mode: mode}, nil
+}
+
+// Name implements protocol.Protocol.
+func (p *RepeatedA) Name() string { return fmt.Sprintf("A×%d(%s)", p.k, p.mode) }
+
+// K reports the phase count.
+func (p *RepeatedA) K() int { return p.k }
+
+// Mode reports the combine mode.
+func (p *RepeatedA) Mode() CombineMode { return p.mode }
+
+// PhaseLength returns the rounds per phase for horizon n, or an error if
+// n is too short to give every phase the minimum two rounds.
+func (p *RepeatedA) PhaseLength(n int) (int, error) {
+	l := n / p.k
+	if l < 2 {
+		return 0, fmt.Errorf("baseline: RepeatedA with k=%d needs N ≥ %d, got %d", p.k, 2*p.k, n)
+	}
+	return l, nil
+}
+
+// NewMachine implements protocol.Protocol.
+func (p *RepeatedA) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.G.NumVertices() != 2 {
+		return nil, fmt.Errorf("baseline: RepeatedA needs exactly 2 generals, got %d", cfg.G.NumVertices())
+	}
+	length, err := p.PhaseLength(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	m := &RepeatedAMachine{mode: p.mode, length: length}
+	for phase := 0; phase < p.k; phase++ {
+		am := &AMachine{id: cfg.ID, n: length, offset: phase * length, valid: cfg.Input}
+		if cfg.ID == 1 {
+			f, err := cfg.Tape.IntRange(2, length)
+			if err != nil {
+				return nil, fmt.Errorf("baseline: drawing rfire for phase %d: %w", phase, err)
+			}
+			am.rfire = f
+			am.rfireKnown = true
+		}
+		m.phases = append(m.phases, am)
+	}
+	return m, nil
+}
+
+// RepeatedAMachine runs the phase machines, routing each round to the
+// phase that owns it.
+type RepeatedAMachine struct {
+	mode   CombineMode
+	length int
+	phases []*AMachine
+}
+
+var _ protocol.Machine = (*RepeatedAMachine)(nil)
+
+func (m *RepeatedAMachine) phaseFor(round int) *AMachine {
+	idx := (round - 1) / m.length
+	if idx < 0 || idx >= len(m.phases) {
+		return nil // leftover rounds beyond k·length: idle
+	}
+	return m.phases[idx]
+}
+
+// Send implements protocol.Machine.
+func (m *RepeatedAMachine) Send(round int, to graph.ProcID) protocol.Message {
+	if ph := m.phaseFor(round); ph != nil {
+		return ph.Send(round, to)
+	}
+	return ANull{}
+}
+
+// Step implements protocol.Machine.
+func (m *RepeatedAMachine) Step(round int, received []protocol.Received) error {
+	if ph := m.phaseFor(round); ph != nil {
+		return ph.Step(round, received)
+	}
+	return nil
+}
+
+// Output implements protocol.Machine.
+func (m *RepeatedAMachine) Output() bool {
+	switch m.mode {
+	case CombineAll:
+		for _, ph := range m.phases {
+			if !ph.Output() {
+				return false
+			}
+		}
+		return true
+	default: // CombineAny
+		for _, ph := range m.phases {
+			if ph.Output() {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func TestNewRepeatedAValidation(t *testing.T) {
+	if _, err := NewRepeatedA(0, CombineAll); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewRepeatedA(2, CombineMode(9)); err == nil {
+		t.Error("bogus combine mode accepted")
+	}
+	p, err := NewRepeatedA(3, CombineAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 3 || p.Mode() != CombineAny {
+		t.Errorf("accessors: k=%d mode=%v", p.K(), p.Mode())
+	}
+	if !strings.Contains(p.Name(), "3") || !strings.Contains(p.Name(), "any") {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if _, err := p.PhaseLength(5); err == nil {
+		t.Error("N=5 with k=3 accepted (phases need ≥ 2 rounds)")
+	}
+	if l, err := p.PhaseLength(12); err != nil || l != 4 {
+		t.Errorf("PhaseLength(12) = %d, %v; want 4", l, err)
+	}
+	if _, err := p.NewMachine(protocol.Config{ID: 1, G: pair(), N: 5, Tape: rng.NewTape(1)}); err == nil {
+		t.Error("machine with too-short N accepted")
+	}
+}
+
+func TestRepeatedAEqualsAWhenKIsOne(t *testing.T) {
+	// k=1 must reproduce Protocol A exactly: same tape → same rfire →
+	// same outputs on every run.
+	p1, err := NewRepeatedA(1, CombineAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewA()
+	tape := rng.NewTape(5)
+	for trial := 0; trial < 40; trial++ {
+		r, err := run.RandomSubset(pair(), 6, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outsA, err := sim.Outputs(a, pair(), r, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outsR, err := sim.Outputs(p1, pair(), r, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outsA[1] != outsR[1] || outsA[2] != outsR[2] {
+			t.Fatalf("trial %d: A and A×1 disagree: %v vs %v on %v", trial, outsA, outsR, r)
+		}
+	}
+}
+
+func TestRepeatedALivenessOnGoodRun(t *testing.T) {
+	// Every phase succeeds on the good run, so both combine modes give
+	// liveness 1 — the amplification keeps the good-run behaviour...
+	const n = 12
+	good := mustGood(t, n, 1, 2)
+	for _, mode := range []CombineMode{CombineAll, CombineAny} {
+		p, err := NewRepeatedA(3, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := AnalyzeRepeatedA(p, good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.PTotal != 1 {
+			t.Errorf("mode %v: good-run liveness = %v, want 1", mode, d.PTotal)
+		}
+	}
+}
+
+func TestRepeatedAUnsafetyWorseThanA(t *testing.T) {
+	// ...but its worst-case unsafety is ≈ k/N, k times worse than A's
+	// 1/(N-1): amplification cannot beat the §5 tradeoff (T10).
+	const n = 12
+	good := mustGood(t, n, 1, 2)
+	singleWorst, err := WorstCutUnsafetyA(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 3} {
+		for _, mode := range []CombineMode{CombineAll, CombineAny} {
+			p, err := NewRepeatedA(k, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			length, err := p.PhaseLength(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Adversary: deliver everything except one cut inside the
+			// last phase (CombineAll) or the first phase (CombineAny);
+			// earlier/later phases then combine to expose the PA.
+			worstPA := 0.0
+			for cut := 1; cut <= n; cut++ {
+				d, err := AnalyzeRepeatedA(p, run.CutAt(good, cut))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d.PPartial > worstPA {
+					worstPA = d.PPartial
+				}
+			}
+			phaseWorst := 1 / float64(length-1)
+			if worstPA < phaseWorst-1e-9 {
+				t.Errorf("k=%d mode %v: worst cut PA %v below phase bound %v", k, mode, worstPA, phaseWorst)
+			}
+			if worstPA <= singleWorst {
+				t.Errorf("k=%d mode %v: amplification 'improved' unsafety (%v ≤ %v) — it must not",
+					k, mode, worstPA, singleWorst)
+			}
+		}
+	}
+}
+
+func TestAnalyzeRepeatedAMatchesMonteCarlo(t *testing.T) {
+	const n, trials = 8, 4000
+	p, err := NewRepeatedA(2, CombineAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAny, err := NewRepeatedA(2, CombineAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(13)
+	for trialRun := 0; trialRun < 8; trialRun++ {
+		r, err := run.RandomSubset(pair(), n, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, proto := range []*RepeatedA{p, pAny} {
+			d, err := AnalyzeRepeatedA(proto, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ta, pa, na := estimate(t, proto, r, trials, uint64(trialRun))
+			if math.Abs(ta-d.PTotal) > 0.03 || math.Abs(pa-d.PPartial) > 0.03 || math.Abs(na-d.PNone) > 0.03 {
+				t.Errorf("%s on %v: exact (%.3f,%.3f,%.3f) vs measured (%.3f,%.3f,%.3f)",
+					proto.Name(), r, d.PTotal, d.PPartial, d.PNone, ta, pa, na)
+			}
+		}
+	}
+}
+
+func TestRepeatedAValidity(t *testing.T) {
+	p, err := NewRepeatedA(2, CombineAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(17)
+	for trial := 0; trial < 50; trial++ {
+		r, err := run.RandomSubset(pair(), 8, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range r.Inputs() {
+			r.RemoveInput(i)
+		}
+		outs, err := sim.Outputs(p, pair(), r, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outs[1] || outs[2] {
+			t.Fatalf("validity violated: %v on %v", outs, r)
+		}
+	}
+}
+
+func TestCombineModeString(t *testing.T) {
+	if CombineAll.String() != "all" || CombineAny.String() != "any" {
+		t.Error("CombineMode strings wrong")
+	}
+	if !strings.HasPrefix(CombineMode(42).String(), "CombineMode(") {
+		t.Error("unknown mode string wrong")
+	}
+}

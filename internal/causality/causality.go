@@ -1,0 +1,360 @@
+// Package causality implements the information-flow machinery of §4 and
+// the appendix: the flows-to relation, information heights and levels
+// L_i^r(R), the modified levels ML_i^r(R) of §6, the clipping construction
+// Clip_i(R), and causal independence (Appendix A).
+//
+// Everything here is exact combinatorics on runs — no randomness, no
+// protocol. The lower bound (Theorem 5.4), Protocol S's analysis, and the
+// second lower bound (Theorem A.1) all reduce to these computations.
+package causality
+
+import (
+	"fmt"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+)
+
+// Never is the sentinel "round" reported when information never arrives.
+// It compares greater than every real round.
+const Never = 1 << 30
+
+// ArrivalFrom returns, for every process j (index 1..m; index 0 unused),
+// the earliest round r such that (src, s) flows to (j, r) in run r0, or
+// Never if no flow exists by round N. The flows-to relation is the
+// reflexive transitive closure of "directly flows to" from §4: (i, r)
+// directly flows to (k, r+1) iff i = k or (i, k, r+1) ∈ R.
+func ArrivalFrom(r0 *run.Run, m int, src graph.ProcID, s int) []int {
+	arrive := make([]int, m+1)
+	for i := range arrive {
+		arrive[i] = Never
+	}
+	if src >= 1 && int(src) <= m && s <= r0.N() {
+		arrive[src] = s
+	} else {
+		return arrive
+	}
+	byRound := deliveriesByRound(r0)
+	for t := s + 1; t <= r0.N(); t++ {
+		for _, d := range byRound[t] {
+			// (d.From, t-1) flows from (src, s) iff arrive[d.From] ≤ t-1.
+			if arrive[d.From] <= t-1 && t < arrive[d.To] {
+				arrive[d.To] = t
+			}
+		}
+	}
+	return arrive
+}
+
+func deliveriesByRound(r *run.Run) [][]run.Delivery {
+	byRound := make([][]run.Delivery, r.N()+1)
+	for _, d := range r.Deliveries() {
+		byRound[d.Round] = append(byRound[d.Round], d)
+	}
+	return byRound
+}
+
+// FlowsTo reports whether (i, s) flows to (j, t) in r0 for processes i, j
+// in 1..m.
+func FlowsTo(r0 *run.Run, m int, i graph.ProcID, s int, j graph.ProcID, t int) bool {
+	if t > r0.N() || s > t {
+		return false
+	}
+	if i == j && s <= t {
+		return true
+	}
+	return ArrivalFrom(r0, m, i, s)[j] <= t
+}
+
+// InputArrival returns, for every process j, the earliest round r such
+// that (v₀, -1) flows to (j, r): the round at which j first "hears the
+// input". A process with its own input hears it at round 0.
+func InputArrival(r0 *run.Run, m int) []int {
+	first := make([]int, m+1)
+	for i := range first {
+		first[i] = Never
+	}
+	for _, src := range r0.Inputs() {
+		if src < 1 || int(src) > m {
+			continue
+		}
+		a := ArrivalFrom(r0, m, src, 0)
+		for j := 1; j <= m; j++ {
+			if a[j] < first[j] {
+				first[j] = a[j]
+			}
+		}
+	}
+	return first
+}
+
+// LevelTable holds, for one run, the earliest round at which each process
+// attains each information height — for the plain level measure of §4 or
+// the modified measure of §6. Build with NewLevelTable or NewModLevelTable
+// and query per round; all per-process level facts in the repository come
+// from here.
+type LevelTable struct {
+	m, n     int
+	modified bool
+	// firsts[h][j] = earliest round at which j reaches height h+1
+	// (firsts[0] is height 1), or Never.
+	firsts [][]int
+}
+
+// NewLevelTable computes the §4 level measure L_i^r(R) for all i, r.
+// Requires m ≥ 2: with a single general the height recursion degenerates
+// (its ∀-condition is vacuous), exactly as in the paper, which assumes
+// m ≥ 2 throughout.
+func NewLevelTable(r0 *run.Run, m int) (*LevelTable, error) {
+	return newTable(r0, m, false)
+}
+
+// NewModLevelTable computes the §6 modified level measure ML_i^r(R):
+// height 1 additionally requires that (1, 0) flows to (j, r), i.e. that j
+// has heard from the distinguished process 1.
+func NewModLevelTable(r0 *run.Run, m int) (*LevelTable, error) {
+	return newTable(r0, m, true)
+}
+
+func newTable(r0 *run.Run, m int, modified bool) (*LevelTable, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("causality: level measures need m ≥ 2, got %d", m)
+	}
+	n := r0.N()
+	t := &LevelTable{m: m, n: n, modified: modified}
+
+	// Height 1.
+	first := InputArrival(r0, m)
+	if modified {
+		fromOne := ArrivalFrom(r0, m, 1, 0)
+		for j := 1; j <= m; j++ {
+			first[j] = maxInt(first[j], fromOne[j])
+			if first[j] > n {
+				first[j] = Never
+			}
+		}
+	}
+	cur := first
+	t.firsts = append(t.firsts, cur)
+
+	// Height h from h-1: j reaches h at the earliest round by which, for
+	// every i ≠ j, information originating at (i, firsts[h-1][i]) has
+	// arrived at j. Each increase in the system-wide minimum height costs
+	// at least one round, so h ≤ n+1 suffices (cf. Lemma 5.1).
+	for h := 2; h <= n+1; h++ {
+		next := make([]int, m+1)
+		for j := 1; j <= m; j++ {
+			next[j] = 0
+		}
+		next[0] = Never
+		alive := false
+		arrivals := make([][]int, m+1)
+		for i := 1; i <= m; i++ {
+			if cur[i] == Never {
+				continue
+			}
+			arrivals[i] = ArrivalFrom(r0, m, graph.ProcID(i), cur[i])
+		}
+		for j := 1; j <= m; j++ {
+			worst := 0
+			for i := 1; i <= m; i++ {
+				if i == j {
+					continue
+				}
+				if arrivals[i] == nil {
+					worst = Never
+					break
+				}
+				worst = maxInt(worst, arrivals[i][j])
+			}
+			if worst > n {
+				worst = Never
+			}
+			next[j] = worst
+			if worst != Never {
+				alive = true
+			}
+		}
+		if !alive {
+			break
+		}
+		t.firsts = append(t.firsts, next)
+		cur = next
+	}
+	return t, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Modified reports whether the table holds the modified (§6) measure.
+func (t *LevelTable) Modified() bool { return t.modified }
+
+// At returns the level of process i at the end of round r: the maximum
+// height i can reach by round r (L_i^r or ML_i^r).
+func (t *LevelTable) At(i graph.ProcID, r int) int {
+	level := 0
+	for h, firsts := range t.firsts {
+		if firsts[i] <= r {
+			level = h + 1
+		} else {
+			break
+		}
+	}
+	return level
+}
+
+// Final returns the end-of-run level of process i: L_i(R) or ML_i(R).
+func (t *LevelTable) Final(i graph.ProcID) int { return t.At(i, t.n) }
+
+// Finals returns all end-of-run levels, index 1..m (index 0 unused).
+func (t *LevelTable) Finals() []int {
+	out := make([]int, t.m+1)
+	for i := 1; i <= t.m; i++ {
+		out[i] = t.Final(graph.ProcID(i))
+	}
+	return out
+}
+
+// Min returns the run-wide level: L(R) = min_i L_i(R) (or ML(R)).
+func (t *LevelTable) Min() int {
+	low := t.Final(1)
+	for i := 2; i <= t.m; i++ {
+		if l := t.Final(graph.ProcID(i)); l < low {
+			low = l
+		}
+	}
+	return low
+}
+
+// Max returns max_i over the end-of-run levels; Protocol S's exact
+// partial-attack probability is ε·(Max − Min) (clamped), so adversary
+// searches maximize this gap.
+func (t *LevelTable) Max() int {
+	high := t.Final(1)
+	for i := 2; i <= t.m; i++ {
+		if l := t.Final(graph.ProcID(i)); l > high {
+			high = l
+		}
+	}
+	return high
+}
+
+// Levels is shorthand for the final plain levels L_i(R); see LevelTable
+// for per-round queries.
+func Levels(r0 *run.Run, m int) ([]int, error) {
+	t, err := NewLevelTable(r0, m)
+	if err != nil {
+		return nil, err
+	}
+	return t.Finals(), nil
+}
+
+// ModLevels is shorthand for the final modified levels ML_i(R).
+func ModLevels(r0 *run.Run, m int) ([]int, error) {
+	t, err := NewModLevelTable(r0, m)
+	if err != nil {
+		return nil, err
+	}
+	return t.Finals(), nil
+}
+
+// RunLevel returns L(R) = min_i L_i(R).
+func RunLevel(r0 *run.Run, m int) (int, error) {
+	t, err := NewLevelTable(r0, m)
+	if err != nil {
+		return 0, err
+	}
+	return t.Min(), nil
+}
+
+// RunModLevel returns ML(R) = min_i ML_i(R).
+func RunModLevel(r0 *run.Run, m int) (int, error) {
+	t, err := NewModLevelTable(r0, m)
+	if err != nil {
+		return 0, err
+	}
+	return t.Min(), nil
+}
+
+// ReachesSink returns canReach[k][r] = true iff (k, r) flows to (sink, N)
+// in r0, for k in 1..m and r in 0..N. This is the backward sweep behind
+// clipping and causal independence.
+func ReachesSink(r0 *run.Run, m int, sink graph.ProcID) [][]bool {
+	n := r0.N()
+	canReach := make([][]bool, m+1)
+	for k := range canReach {
+		canReach[k] = make([]bool, n+1)
+	}
+	if sink >= 1 && int(sink) <= m {
+		for r := 0; r <= n; r++ {
+			canReach[sink][r] = true
+		}
+	}
+	byRound := deliveriesByRound(r0)
+	for r := n - 1; r >= 0; r-- {
+		for k := 1; k <= m; k++ {
+			if canReach[k][r] {
+				continue
+			}
+			if canReach[k][r+1] {
+				canReach[k][r] = true
+				continue
+			}
+			for _, d := range byRound[r+1] {
+				if d.From == graph.ProcID(k) && canReach[d.To][r+1] {
+					canReach[k][r] = true
+					break
+				}
+			}
+		}
+	}
+	return canReach
+}
+
+// Clip returns Clip_i(R): the run keeping exactly the tuples of R whose
+// receipt flows to (i, N) — deliveries (j, k, r) with (k, r) flowing to
+// (i, N), and inputs (v₀, j, 0) with (j, 0) flowing to (i, N). By Lemma
+// 4.2 the clipped run is indistinguishable from R to i and preserves
+// L_i and ML_i.
+func Clip(r0 *run.Run, m int, i graph.ProcID) *run.Run {
+	canReach := ReachesSink(r0, m, i)
+	out := run.MustNew(r0.N())
+	for _, j := range r0.Inputs() {
+		if j >= 1 && int(j) <= m && canReach[j][0] {
+			out.AddInput(j)
+		}
+	}
+	for _, d := range r0.Deliveries() {
+		if canReach[d.To][d.Round] {
+			out.MustDeliver(d.From, d.To, d.Round)
+		}
+	}
+	return out
+}
+
+// IndistinguishableTo reports whether runs a and b are indistinguishable
+// to process i in the syntactic sense of Lemma 4.2: their clips with
+// respect to i coincide. Clip equality implies the semantic definition of
+// §2 (identical local executions for every α and every protocol); the
+// simulation engines property-test that implication.
+func IndistinguishableTo(a, b *run.Run, m int, i graph.ProcID) bool {
+	return Clip(a, m, i).Equal(Clip(b, m, i))
+}
+
+// CausallyIndependent reports whether i and j are causally independent in
+// r0 (Appendix A): no k such that (k, 0) flows to both (i, N) and (j, N).
+func CausallyIndependent(r0 *run.Run, m int, i, j graph.ProcID) bool {
+	ri := ReachesSink(r0, m, i)
+	rj := ReachesSink(r0, m, j)
+	for k := 1; k <= m; k++ {
+		if ri[k][0] && rj[k][0] {
+			return false
+		}
+	}
+	return true
+}

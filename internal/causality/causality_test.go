@@ -1,0 +1,532 @@
+package causality
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+)
+
+func mustGood(t *testing.T, g *graph.G, n int, inputs ...graph.ProcID) *run.Run {
+	t.Helper()
+	r, err := run.Good(g, n, inputs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestArrivalFromSingleHop(t *testing.T) {
+	r := run.MustNew(3)
+	r.MustDeliver(1, 2, 2)
+	a := ArrivalFrom(r, 2, 1, 0)
+	if a[1] != 0 {
+		t.Errorf("arrive at source = %d, want 0", a[1])
+	}
+	if a[2] != 2 {
+		t.Errorf("arrive at 2 = %d, want 2", a[2])
+	}
+}
+
+func TestArrivalFromChainAndStaleOrigin(t *testing.T) {
+	// 1 →(r1)→ 2 →(r2)→ 3: arrival at 3 is round 2 from origin (1,0),
+	// but from origin (1,1) the round-1 message predates the origin, so
+	// information never reaches 2 or 3.
+	r := run.MustNew(3)
+	r.MustDeliver(1, 2, 1).MustDeliver(2, 3, 2)
+	a0 := ArrivalFrom(r, 3, 1, 0)
+	if a0[2] != 1 || a0[3] != 2 {
+		t.Errorf("from (1,0): arrive = %v, want [_,0,1,2]", a0)
+	}
+	a1 := ArrivalFrom(r, 3, 1, 1)
+	if a1[2] != Never || a1[3] != Never {
+		t.Errorf("from (1,1): arrive = %v, want Never at 2 and 3", a1)
+	}
+}
+
+func TestArrivalFromOutOfRangeSource(t *testing.T) {
+	r := run.MustNew(2)
+	a := ArrivalFrom(r, 2, 5, 0)
+	for j := 1; j <= 2; j++ {
+		if a[j] != Never {
+			t.Errorf("arrival from bogus source at %d = %d, want Never", j, a[j])
+		}
+	}
+	late := ArrivalFrom(r, 2, 1, 99) // origin after the run ends
+	if late[1] != Never {
+		t.Errorf("origin beyond N should never arrive, got %d", late[1])
+	}
+}
+
+func TestFlowsToReflexiveOverTime(t *testing.T) {
+	r := run.MustNew(4)
+	if !FlowsTo(r, 2, 1, 0, 1, 3) {
+		t.Error("(1,0) should flow to (1,3) with no messages at all")
+	}
+	if FlowsTo(r, 2, 1, 3, 1, 0) {
+		t.Error("flow backwards in time")
+	}
+	if FlowsTo(r, 2, 1, 0, 2, 4) {
+		t.Error("flow with no deliveries between distinct processes")
+	}
+}
+
+func TestFlowsToTransitive(t *testing.T) {
+	// Lemma 4.1 on a concrete instance, plus a property check below.
+	r := run.MustNew(5)
+	r.MustDeliver(1, 2, 2).MustDeliver(2, 3, 4)
+	if !FlowsTo(r, 3, 1, 0, 2, 2) || !FlowsTo(r, 3, 2, 2, 3, 4) {
+		t.Fatal("expected direct flows missing")
+	}
+	if !FlowsTo(r, 3, 1, 0, 3, 5) {
+		t.Error("transitive flow (1,0)→(3,5) missing")
+	}
+}
+
+func TestInputArrival(t *testing.T) {
+	r := run.MustNew(3)
+	r.AddInput(1)
+	r.MustDeliver(1, 2, 1).MustDeliver(2, 3, 3)
+	first := InputArrival(r, 3)
+	if first[1] != 0 || first[2] != 1 || first[3] != 3 {
+		t.Errorf("InputArrival = %v, want [_,0,1,3]", first)
+	}
+	empty := run.MustNew(2)
+	for j, v := range InputArrival(empty, 2) {
+		if j >= 1 && v != Never {
+			t.Errorf("no-input run: InputArrival[%d] = %d, want Never", j, v)
+		}
+	}
+}
+
+func TestLevelTableRejectsSingleGeneral(t *testing.T) {
+	r := run.MustNew(2)
+	if _, err := NewLevelTable(r, 1); err == nil {
+		t.Error("m=1 level table accepted; the height recursion is degenerate there")
+	}
+	if _, err := NewModLevelTable(r, 1); err == nil {
+		t.Error("m=1 modified level table accepted")
+	}
+}
+
+func TestLevelsGoodRunPair(t *testing.T) {
+	// Good run, both inputs, m=2. Hand derivation: height h is first
+	// reached at round h-1, so L_i(R) = N+1 for both generals.
+	for _, n := range []int{1, 2, 5, 9} {
+		r := mustGood(t, graph.Pair(), n, 1, 2)
+		tab, err := NewLevelTable(r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := graph.ProcID(1); i <= 2; i++ {
+			if got := tab.Final(i); got != n+1 {
+				t.Errorf("N=%d: L_%d = %d, want %d", n, i, got, n+1)
+			}
+		}
+		if got := tab.Min(); got != n+1 {
+			t.Errorf("N=%d: L(R) = %d, want %d", n, got, n+1)
+		}
+	}
+}
+
+func TestModLevelsGoodRunPair(t *testing.T) {
+	// Hand-derived: with both inputs on K_2, mfirst_h(1) = 2⌊h/2⌋ and
+	// mfirst_h(2) = 2⌈h/2⌉-1 for h ≥ 2. One general (which one depends on
+	// the parity of N) tops out at ML = N, the other at N+1; hence
+	// ML(R) = N, one below L(R) = N+1 (the Lemma 6.1 gap, realized).
+	for _, n := range []int{2, 4, 7} {
+		r := mustGood(t, graph.Pair(), n, 1, 2)
+		tab, err := NewModLevelTable(r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tab.Min(); got != n {
+			t.Errorf("N=%d: ML(R) = %d, want %d", n, got, n)
+		}
+		if got := tab.Max(); got != n+1 {
+			t.Errorf("N=%d: max ML_i = %d, want %d", n, got, n+1)
+		}
+	}
+}
+
+func TestLevelsNoInput(t *testing.T) {
+	r := mustGood(t, graph.Pair(), 3) // all messages, no input
+	tab, err := NewLevelTable(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Final(1) != 0 || tab.Final(2) != 0 {
+		t.Errorf("levels with no input = %v, want zeros", tab.Finals())
+	}
+}
+
+func TestLevelsSilentRunWithInput(t *testing.T) {
+	r, err := run.Silent(3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := NewLevelTable(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each hears only its own input: level exactly 1, never 2.
+	if tab.Final(1) != 1 || tab.Final(2) != 1 {
+		t.Errorf("silent-run levels = %v, want [_,1,1]", tab.Finals())
+	}
+	mt, err := NewModLevelTable(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process 2 never hears from 1, so ML_2 = 0; ML_1 = 1.
+	if mt.Final(1) != 1 || mt.Final(2) != 0 {
+		t.Errorf("silent-run mod levels = %v, want [_,1,0]", mt.Finals())
+	}
+}
+
+func TestLevelAtIsMonotoneInRound(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustGood(t, g, 6, 1, 3)
+	tab, err := NewLevelTable(r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := graph.ProcID(1); i <= 4; i++ {
+		prev := tab.At(i, 0)
+		for round := 1; round <= 6; round++ {
+			cur := tab.At(i, round)
+			if cur < prev {
+				t.Errorf("L_%d decreased from %d to %d at round %d", i, prev, cur, round)
+			}
+			prev = cur
+		}
+		if tab.At(i, 6) != tab.Final(i) {
+			t.Errorf("At(i,N) != Final(i)")
+		}
+	}
+}
+
+func TestTreeRunLevels(t *testing.T) {
+	// Lemma A.6: on the spanning-tree run, ML_1(R) = ML(R) = 1 and
+	// L_1(R) = 1.
+	for _, build := range []func() (*graph.G, error){
+		func() (*graph.G, error) { return graph.Ring(5) },
+		func() (*graph.G, error) { return graph.Complete(4) },
+		func() (*graph.G, error) { return graph.Line(4) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumVertices() // ≥ eccentricity, so the tree run exists
+		r, err := run.Tree(g, n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := g.NumVertices()
+		mt, err := NewModLevelTable(r, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := mt.Final(1); got != 1 {
+			t.Errorf("%v: ML_1(tree) = %d, want 1", g, got)
+		}
+		if got := mt.Min(); got != 1 {
+			t.Errorf("%v: ML(tree) = %d, want 1", g, got)
+		}
+		lt, err := NewLevelTable(r, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := lt.Final(1); got != 1 {
+			t.Errorf("%v: L_1(tree) = %d, want 1", g, got)
+		}
+	}
+}
+
+func TestClipTreeRunForRoot(t *testing.T) {
+	// Nothing flows back to the root on a tree run, so Clip_1 keeps only
+	// the root's input: exactly the run R₂ = {(v₀,1,0)} of Theorem A.1.
+	g, err := graph.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := run.Tree(g, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := Clip(r, 5, 1)
+	if clip.NumDeliveries() != 0 {
+		t.Errorf("Clip_1(tree) kept %d deliveries, want 0", clip.NumDeliveries())
+	}
+	if !clip.HasInput(1) || len(clip.Inputs()) != 1 {
+		t.Errorf("Clip_1(tree) inputs = %v, want [1]", clip.Inputs())
+	}
+}
+
+func TestClipPreservesLevelAndIndistinguishability(t *testing.T) {
+	// Lemma 4.2 on random runs: L_i(R) = L_i(Clip_i(R)) and the clip is
+	// a subset indistinguishable to i; same for ML.
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(99)
+	for trial := 0; trial < 200; trial++ {
+		r, err := run.RandomSubset(g, 4, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := graph.ProcID(1); i <= 4; i++ {
+			clip := Clip(r, 4, i)
+			if !clip.SubsetOf(r) {
+				t.Fatalf("clip not a subset: %v ⊄ %v", clip, r)
+			}
+			lt, err := NewLevelTable(r, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct, err := NewLevelTable(clip, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lt.Final(i) != ct.Final(i) {
+				t.Fatalf("L_%d changed under clip: %d → %d (run %v)", i, lt.Final(i), ct.Final(i), r)
+			}
+			mt, err := NewModLevelTable(r, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cmt, err := NewModLevelTable(clip, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mt.Final(i) != cmt.Final(i) {
+				t.Fatalf("ML_%d changed under clip: %d → %d", i, mt.Final(i), cmt.Final(i))
+			}
+			if !IndistinguishableTo(r, clip, 4, i) {
+				t.Fatalf("run and its clip distinguishable to %d", i)
+			}
+		}
+	}
+}
+
+func TestClipIdempotent(t *testing.T) {
+	g, err := graph.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(3)
+	for trial := 0; trial < 100; trial++ {
+		r, err := run.RandomSubset(g, 3, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := graph.ProcID(1); i <= 3; i++ {
+			once := Clip(r, 3, i)
+			twice := Clip(once, 3, i)
+			if !once.Equal(twice) {
+				t.Fatalf("clip not idempotent for i=%d on %v", i, r)
+			}
+		}
+	}
+}
+
+func TestLemma52ClipDropsSomeoneALevel(t *testing.T) {
+	// Lemma 5.2: if L_i(R) = l > 0 and R̃ = Clip_i(R), some k has
+	// L_k(R̃) ≤ l-1.
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(7)
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		r, err := run.RandomSubset(g, 4, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, err := NewLevelTable(r, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := graph.ProcID(1); i <= 4; i++ {
+			l := lt.Final(i)
+			if l == 0 {
+				continue
+			}
+			checked++
+			ct, err := NewLevelTable(Clip(r, 4, i), 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ct.Min() > l-1 {
+				t.Fatalf("Lemma 5.2 violated: L_%d(R)=%d but min level of clip is %d (run %v)",
+					i, l, ct.Min(), r)
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d positive-level cases sampled; test too weak", checked)
+	}
+}
+
+func TestLemma61And62ModLevelBounds(t *testing.T) {
+	// Lemma 6.1: L_i - 1 ≤ ML_i ≤ L_i. Lemma 6.2: ML_j ≥ ML_i - 1.
+	g, err := graph.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(21)
+	for trial := 0; trial < 300; trial++ {
+		r, err := run.RandomSubset(g, 4, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, err := NewLevelTable(r, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mt, err := NewModLevelTable(r, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := graph.ProcID(1); i <= 4; i++ {
+			l, ml := lt.Final(i), mt.Final(i)
+			if ml > l || ml < l-1 {
+				t.Fatalf("Lemma 6.1 violated at %d: L=%d ML=%d (run %v)", i, l, ml, r)
+			}
+			for j := graph.ProcID(1); j <= 4; j++ {
+				if mt.Final(j) < ml-1 {
+					t.Fatalf("Lemma 6.2 violated: ML_%d=%d ML_%d=%d", i, ml, j, mt.Final(j))
+				}
+			}
+		}
+	}
+}
+
+func TestCausalIndependence(t *testing.T) {
+	// Run R̃ of Lemma A.5: input at 1 only, no deliveries touching 1;
+	// 1 and any other process are causally independent.
+	g, err := graph.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := run.MustNew(3)
+	r.AddInput(1)
+	r.MustDeliver(2, 3, 1).MustDeliver(3, 2, 2)
+	if !CausallyIndependent(r, 3, 1, 2) {
+		t.Error("1 and 2 should be causally independent")
+	}
+	if CausallyIndependent(r, 3, 2, 3) {
+		t.Error("2 and 3 exchange messages; not independent")
+	}
+	good := mustGood(t, g, 3, 1)
+	if CausallyIndependent(good, 3, 1, 2) {
+		t.Error("good run: everyone causally linked")
+	}
+}
+
+func TestReachesSinkSelf(t *testing.T) {
+	r := run.MustNew(2)
+	cr := ReachesSink(r, 2, 1)
+	for round := 0; round <= 2; round++ {
+		if !cr[1][round] {
+			t.Errorf("(1,%d) should reach (1,N)", round)
+		}
+		if cr[2][round] {
+			t.Errorf("(2,%d) should not reach (1,N) on empty run", round)
+		}
+	}
+}
+
+func TestQuickFlowsToTransitivity(t *testing.T) {
+	// Lemma 4.1 as a property over random runs and random pairs.
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, aRaw, bRaw, cRaw uint8, s1Raw, s2Raw uint8) bool {
+		const n = 4
+		r, err := run.RandomSubset(g, n, rng.NewTape(seed))
+		if err != nil {
+			return false
+		}
+		a := graph.ProcID(aRaw%4) + 1
+		b := graph.ProcID(bRaw%4) + 1
+		c := graph.ProcID(cRaw%4) + 1
+		s1 := int(s1Raw % (n + 1))
+		s2 := int(s2Raw % (n + 1))
+		if !(FlowsTo(r, 4, a, 0, b, s1) && FlowsTo(r, 4, b, s1, c, s2)) {
+			return true // antecedent fails; vacuously fine
+		}
+		return FlowsTo(r, 4, a, 0, c, s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLevelBoundedByNPlus1(t *testing.T) {
+	g, err := graph.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		r, err := run.RandomSubset(g, n, rng.NewTape(seed))
+		if err != nil {
+			return false
+		}
+		lt, err := NewLevelTable(r, 3)
+		if err != nil {
+			return false
+		}
+		for i := graph.ProcID(1); i <= 3; i++ {
+			if lt.Final(i) > n+1 || lt.Final(i) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMoreDeliveriesNeverLowerLevels(t *testing.T) {
+	// Levels are monotone in the run: adding deliveries cannot decrease
+	// any L_i. (Liveness of Protocol S inherits this monotonicity.)
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, k uint8) bool {
+		r, err := run.RandomSubset(g, 4, rng.NewTape(seed))
+		if err != nil {
+			return false
+		}
+		sub := run.Prefix(r, int(k%5))
+		lt, err := NewLevelTable(r, 4)
+		if err != nil {
+			return false
+		}
+		st, err := NewLevelTable(sub, 4)
+		if err != nil {
+			return false
+		}
+		for i := graph.ProcID(1); i <= 4; i++ {
+			if st.Final(i) > lt.Final(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

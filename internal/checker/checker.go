@@ -1,0 +1,331 @@
+// Package checker provides machine-checked audits of the paper's
+// correctness conditions and lemmas, reusable by tests, experiments, and
+// the CLIs. Each audit samples runs (and tapes where relevant), verifies
+// a property on every sample, and returns a Report with the number of
+// cases checked and any violations found.
+//
+// The audits cover: validity (Theorem 6.5 for S, and generically for any
+// protocol), agreement (Theorem 6.7), the Lemma 6.3 invariants and Lemma
+// 6.4 count = ML (white-box on Protocol S), the level lemmas (4.2, 5.2,
+// 6.1, 6.2), and the Theorem 5.4 tradeoff bound.
+package checker
+
+import (
+	"fmt"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+// Report summarizes an audit.
+type Report struct {
+	// Checked counts individual property checks performed.
+	Checked int
+	// Violations holds human-readable descriptions of failures, capped
+	// at maxViolations.
+	Violations []string
+}
+
+const maxViolations = 10
+
+// OK reports whether the audit found no violations.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Report) addViolation(format string, args ...any) {
+	if len(r.Violations) < maxViolations {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// String renders "checked N, violations K".
+func (r *Report) String() string {
+	return fmt.Sprintf("checked %d, violations %d", r.Checked, len(r.Violations))
+}
+
+// Config sets the sampling budget for audits.
+type Config struct {
+	// Runs is the number of random runs to sample (≥ 1).
+	Runs int
+	// TapesPerRun is the number of random tapes per run for properties
+	// quantified over α (≥ 1).
+	TapesPerRun int
+	// Rounds is the horizon N of sampled runs (≥ 1).
+	Rounds int
+	Seed   uint64
+}
+
+func (c Config) validate() error {
+	if c.Runs < 1 || c.TapesPerRun < 1 || c.Rounds < 1 {
+		return fmt.Errorf("checker: config needs Runs, TapesPerRun, Rounds ≥ 1, got %+v", c)
+	}
+	return nil
+}
+
+// Validity audits the validity condition for an arbitrary protocol: on
+// sampled runs with I(R) = ∅, every process outputs 0 under every sampled
+// tape.
+func Validity(p protocol.Protocol, g *graph.G, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	report := &Report{}
+	runTape := rng.NewTape(cfg.Seed)
+	stream := rng.NewStream(rng.Mix64(cfg.Seed ^ 0xbadd))
+	for trial := 0; trial < cfg.Runs; trial++ {
+		r, err := run.RandomSubset(g, cfg.Rounds, runTape)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range r.Inputs() {
+			r.RemoveInput(i)
+		}
+		for rep := 0; rep < cfg.TapesPerRun; rep++ {
+			outs, err := sim.Outputs(p, g, r, sim.StreamTapes(stream, uint64(trial*cfg.TapesPerRun+rep)))
+			if err != nil {
+				return nil, err
+			}
+			report.Checked++
+			for i := 1; i < len(outs); i++ {
+				if outs[i] {
+					report.addViolation("validity: %s: process %d attacked on input-free run %v",
+						p.Name(), i, r)
+				}
+			}
+		}
+	}
+	return report, nil
+}
+
+// AgreementS audits Theorem 6.7 with the exact analysis: Pr[PA|R] ≤ ε on
+// every sampled run, plus the structured worst-case family.
+func AgreementS(s *core.S, g *graph.G, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	report := &Report{}
+	runTape := rng.NewTape(cfg.Seed)
+	check := func(r *run.Run) error {
+		a, err := s.Analyze(g, r)
+		if err != nil {
+			return err
+		}
+		report.Checked++
+		if limit := core.UnsafetySup(s.Epsilon(), s.Slack()); a.PPartial > limit+1e-12 {
+			report.addViolation("agreement: Pr[PA|%v] = %v > %v", r, a.PPartial, limit)
+		}
+		return nil
+	}
+	for trial := 0; trial < cfg.Runs; trial++ {
+		r, err := run.RandomSubset(g, cfg.Rounds, runTape)
+		if err != nil {
+			return nil, err
+		}
+		if err := check(r); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+// Tradeoff audits Theorem 5.4 (liveness ≤ ε·L(R)) and Theorem 6.8
+// (liveness = min(1, ε·ML(R))) on sampled runs, using the exact analysis.
+func Tradeoff(s *core.S, g *graph.G, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if s.Slack() != 0 {
+		return nil, fmt.Errorf("checker: tradeoff audit applies to the paper's Protocol S (slack 0), got slack %d", s.Slack())
+	}
+	report := &Report{}
+	runTape := rng.NewTape(cfg.Seed)
+	for trial := 0; trial < cfg.Runs; trial++ {
+		r, err := run.RandomSubset(g, cfg.Rounds, runTape)
+		if err != nil {
+			return nil, err
+		}
+		a, err := s.Analyze(g, r)
+		if err != nil {
+			return nil, err
+		}
+		report.Checked++
+		if a.PTotal > a.Bound+1e-12 {
+			report.addViolation("theorem 5.4: liveness %v > bound %v on %v", a.PTotal, a.Bound, r)
+		}
+		if want := core.LivenessExact(s.Epsilon(), a.ModMin); a.PTotal != want {
+			report.addViolation("theorem 6.8: liveness %v ≠ min(1, ε·ML) = %v on %v", a.PTotal, want, r)
+		}
+	}
+	return report, nil
+}
+
+// ElementaryBounds audits the two inequalities at the root of all the
+// lower bounds, via the exact analysis: Lemma 2.2 (the unsafety is at
+// least any pairwise attack-probability gap) and Lemma 2.3 (the liveness
+// is at most any single attack probability).
+func ElementaryBounds(s *core.S, g *graph.G, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := g.NumVertices()
+	report := &Report{}
+	runTape := rng.NewTape(cfg.Seed)
+	limit := core.UnsafetySup(s.Epsilon(), s.Slack())
+	for trial := 0; trial < cfg.Runs; trial++ {
+		r, err := run.RandomSubset(g, cfg.Rounds, runTape)
+		if err != nil {
+			return nil, err
+		}
+		a, err := s.Analyze(g, r)
+		if err != nil {
+			return nil, err
+		}
+		report.Checked++
+		for i := 1; i <= m; i++ {
+			for j := 1; j <= m; j++ {
+				if gap := a.PAttack[i] - a.PAttack[j]; gap > limit+1e-12 {
+					report.addViolation("lemma 2.2: Pr[D_%d]-Pr[D_%d] = %v > U on %v", i, j, gap, r)
+				}
+			}
+			if a.PTotal > a.PAttack[i]+1e-12 {
+				report.addViolation("lemma 2.3: liveness %v > Pr[D_%d] = %v on %v",
+					a.PTotal, i, a.PAttack[i], r)
+			}
+		}
+	}
+	return report, nil
+}
+
+// LevelLemmas audits the pure-causality lemmas on sampled runs:
+// Lemma 4.2 (clipping preserves L_i and ML_i and yields a subset),
+// Lemma 5.2 (clipping drops someone below L_i), Lemma 6.1
+// (L-1 ≤ ML ≤ L), and Lemma 6.2 (|ML_i − ML_j| ≤ 1).
+func LevelLemmas(g *graph.G, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := g.NumVertices()
+	if m < 2 {
+		return nil, fmt.Errorf("checker: level lemmas need m ≥ 2, got %d", m)
+	}
+	report := &Report{}
+	runTape := rng.NewTape(cfg.Seed)
+	for trial := 0; trial < cfg.Runs; trial++ {
+		r, err := run.RandomSubset(g, cfg.Rounds, runTape)
+		if err != nil {
+			return nil, err
+		}
+		lt, err := causality.NewLevelTable(r, m)
+		if err != nil {
+			return nil, err
+		}
+		mt, err := causality.NewModLevelTable(r, m)
+		if err != nil {
+			return nil, err
+		}
+		report.Checked++
+		for i := 1; i <= m; i++ {
+			pi := graph.ProcID(i)
+			l, ml := lt.Final(pi), mt.Final(pi)
+			if ml > l || ml < l-1 {
+				report.addViolation("lemma 6.1: L_%d=%d ML_%d=%d on %v", i, l, i, ml, r)
+			}
+			for j := 1; j <= m; j++ {
+				if mt.Final(graph.ProcID(j)) < ml-1 {
+					report.addViolation("lemma 6.2: ML_%d=%d ML_%d=%d on %v",
+						i, ml, j, mt.Final(graph.ProcID(j)), r)
+				}
+			}
+			clip := causality.Clip(r, m, pi)
+			if !clip.SubsetOf(r) {
+				report.addViolation("lemma 4.2: clip not subset on %v", r)
+			}
+			clt, err := causality.NewLevelTable(clip, m)
+			if err != nil {
+				return nil, err
+			}
+			if clt.Final(pi) != l {
+				report.addViolation("lemma 4.2: L_%d changed %d→%d under clip on %v",
+					i, l, clt.Final(pi), r)
+			}
+			if l > 0 && clt.Min() > l-1 {
+				report.addViolation("lemma 5.2: clip min level %d > L_%d-1=%d on %v",
+					clt.Min(), i, l-1, r)
+			}
+		}
+	}
+	return report, nil
+}
+
+// Invariants audits the Lemma 6.3 invariants and Lemma 6.4 (count = ML)
+// by driving Protocol S round by round with white-box access.
+func Invariants(s *core.S, g *graph.G, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := g.NumVertices()
+	report := &Report{}
+	runTape := rng.NewTape(cfg.Seed)
+	stream := rng.NewStream(rng.Mix64(cfg.Seed ^ 0x1eaf))
+	for trial := 0; trial < cfg.Runs; trial++ {
+		r, err := run.RandomSubset(g, cfg.Rounds, runTape)
+		if err != nil {
+			return nil, err
+		}
+		mt, err := causality.NewModLevelTable(r, m)
+		if err != nil {
+			return nil, err
+		}
+		machines := make([]*core.SMachine, m+1)
+		for i := 1; i <= m; i++ {
+			mach, err := s.NewMachine(protocol.Config{
+				ID: graph.ProcID(i), G: g, N: r.N(),
+				Input: r.HasInput(graph.ProcID(i)),
+				Tape:  stream.Tape(uint64(trial), uint64(i)),
+			})
+			if err != nil {
+				return nil, err
+			}
+			machines[i] = mach.(*core.SMachine)
+		}
+		audit := func(round int) {
+			report.Checked++
+			for i := 1; i <= m; i++ {
+				sm := machines[i]
+				if got, want := sm.Count(), mt.At(graph.ProcID(i), round); got != want {
+					report.addViolation("lemma 6.4: count_%d^%d=%d ML=%d on %v", i, round, got, want, r)
+				}
+				if (sm.Count() >= 1) != (sm.RFireKnown() && sm.Valid()) {
+					report.addViolation("lemma 6.3(2): process %d round %d inconsistent", i, round)
+				}
+				if mask := sm.SeenMask(); m < 64 && mask == (uint64(1)<<uint(m))-1 {
+					report.addViolation("lemma 6.3(7): seen_%d = V at round %d", i, round)
+				}
+			}
+		}
+		audit(0)
+		for round := 1; round <= r.N(); round++ {
+			inboxes := make([][]protocol.Received, m+1)
+			for i := 1; i <= m; i++ {
+				from := graph.ProcID(i)
+				for _, to := range g.Neighbors(from) {
+					msg := machines[i].Send(round, to)
+					if r.Delivered(from, to, round) {
+						inboxes[to] = append(inboxes[to], protocol.Received{From: from, Msg: msg})
+					}
+				}
+			}
+			for i := 1; i <= m; i++ {
+				if err := machines[i].Step(round, inboxes[i]); err != nil {
+					return nil, err
+				}
+			}
+			audit(round)
+		}
+	}
+	return report, nil
+}

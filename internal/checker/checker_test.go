@@ -1,0 +1,205 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+)
+
+func cfg() Config { return Config{Runs: 60, TapesPerRun: 3, Rounds: 4, Seed: 42} }
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Runs: 0, TapesPerRun: 1, Rounds: 1},
+		{Runs: 1, TapesPerRun: 0, Rounds: 1},
+		{Runs: 1, TapesPerRun: 1, Rounds: 0},
+	}
+	g := graph.Pair()
+	for i, c := range bad {
+		if _, err := Validity(core.MustS(0.5), g, c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestValidityAuditPassesForS(t *testing.T) {
+	rep, err := Validity(core.MustS(0.3), graph.Pair(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("S failed validity audit: %v", rep.Violations)
+	}
+	if rep.Checked == 0 {
+		t.Error("audit checked nothing")
+	}
+	if !strings.Contains(rep.String(), "checked") {
+		t.Errorf("String = %q", rep.String())
+	}
+}
+
+func TestValidityAuditPassesForA(t *testing.T) {
+	rep, err := Validity(baseline.NewA(), graph.Pair(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("A failed validity audit: %v", rep.Violations)
+	}
+}
+
+// invalidProto attacks whenever any message arrives, input or not:
+// a validity violator the audit must catch.
+type invalidProto struct{}
+
+func (invalidProto) Name() string { return "invalid" }
+
+func (invalidProto) NewMachine(c protocol.Config) (protocol.Machine, error) {
+	return &invalidMachine{}, nil
+}
+
+type invalidMachine struct{ heard bool }
+
+func (m *invalidMachine) Send(int, graph.ProcID) protocol.Message { return baseline.DetMsg{} }
+func (m *invalidMachine) Step(_ int, rec []protocol.Received) error {
+	if len(rec) > 0 {
+		m.heard = true
+	}
+	return nil
+}
+func (m *invalidMachine) Output() bool { return m.heard }
+
+func TestValidityAuditCatchesViolator(t *testing.T) {
+	rep, err := Validity(invalidProto{}, graph.Pair(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Error("validity audit passed a protocol that attacks without input")
+	}
+	if len(rep.Violations) > 10 {
+		t.Errorf("violations uncapped: %d", len(rep.Violations))
+	}
+}
+
+func TestAgreementAuditS(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AgreementS(core.MustS(0.2), g, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("agreement audit failed: %v", rep.Violations)
+	}
+	// Slack variants are audited against their own (larger) supremum.
+	slack, err := core.NewSWithSlack(0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := AgreementS(slack, g, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.OK() {
+		t.Errorf("slack agreement audit failed: %v", rep2.Violations)
+	}
+}
+
+func TestTradeoffAudit(t *testing.T) {
+	g, err := graph.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Tradeoff(core.MustS(0.15), g, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("tradeoff audit failed: %v", rep.Violations)
+	}
+	slack, err := core.NewSWithSlack(0.15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Tradeoff(slack, g, cfg()); err == nil {
+		t.Error("tradeoff audit accepted a slack variant")
+	}
+}
+
+func TestElementaryBoundsAudit(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ElementaryBounds(core.MustS(0.2), g, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("elementary bounds failed: %v", rep.Violations)
+	}
+	slack, err := core.NewSWithSlack(0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := ElementaryBounds(slack, g, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.OK() {
+		t.Errorf("slack elementary bounds failed: %v", rep2.Violations)
+	}
+}
+
+func TestLevelLemmasAudit(t *testing.T) {
+	for _, build := range []func() (*graph.G, error){
+		func() (*graph.G, error) { return graph.Complete(2) },
+		func() (*graph.G, error) { return graph.Ring(4) },
+		func() (*graph.G, error) { return graph.Line(3) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := LevelLemmas(g, cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Errorf("%v: level lemmas failed: %v", g, rep.Violations)
+		}
+	}
+	single := graph.MustNew(1, nil)
+	if _, err := LevelLemmas(single, cfg()); err == nil {
+		t.Error("m=1 accepted")
+	}
+}
+
+func TestInvariantsAudit(t *testing.T) {
+	for _, build := range []func() (*graph.G, error){
+		func() (*graph.G, error) { return graph.Complete(2) },
+		func() (*graph.G, error) { return graph.Ring(5) },
+	} {
+		g, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Invariants(core.MustS(0.25), g, cfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Errorf("%v: invariant audit failed: %v", g, rep.Violations)
+		}
+		if rep.Checked == 0 {
+			t.Error("invariant audit checked nothing")
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func TestAltValidityName(t *testing.T) {
+	sp, err := NewSAltValidity(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.FireFloor() != 1 {
+		t.Errorf("FireFloor = %d, want 1", sp.FireFloor())
+	}
+	if !strings.Contains(sp.Name(), "S′") {
+		t.Errorf("Name = %q", sp.Name())
+	}
+	if MustS(0.2).FireFloor() != 0 {
+		t.Error("paper's S has nonzero fire floor")
+	}
+	if _, err := NewSAltValidity(0); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+}
+
+func TestAltValidityNoMessagesNoAttack(t *testing.T) {
+	// Footnote 1's condition: on ANY run with M(R) = ∅ — inputs or not —
+	// nobody attacks, for every sampled tape.
+	sp, err := NewSAltValidity(0.9) // aggressive ε to stress the floor
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputSets := [][]graph.ProcID{{}, {1}, {2}, {1, 2, 3, 4}}
+	for _, inputs := range inputSets {
+		r, err := run.Silent(4, inputs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 60; trial++ {
+			outs, err := sim.Outputs(sp, g, r, sim.SeedTapes(uint64(trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= 4; i++ {
+				if outs[i] {
+					t.Fatalf("alt-validity violated: %d attacked on message-free run with inputs %v",
+						i, inputs)
+				}
+			}
+		}
+		a, err := sp.Analyze(g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.PTotal != 0 || a.PPartial != 0 {
+			t.Errorf("inputs %v: exact distribution (%v, %v) not silent", inputs, a.PTotal, a.PPartial)
+		}
+	}
+	// The paper's S, by contrast, attacks with probability ε at process 1
+	// on the input-at-1 silent run — the two validity conditions really
+	// differ.
+	s := MustS(0.9)
+	r, err := run.Silent(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PPartial != 0.9 {
+		t.Errorf("paper's S on silent-with-input run: PA = %v, want ε", a.PPartial)
+	}
+}
+
+func TestAltValidityLivenessOneLevelBehind(t *testing.T) {
+	// L(S′, R) = min(1, ε·(ML(R)−1)), exact and measured.
+	eps := 0.1
+	sp, err := NewSAltValidity(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Pair()
+	for _, n := range []int{3, 6, 10} {
+		good, err := run.Good(g, n, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := sp.Analyze(g, good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Min(1, eps*float64(a.ModMin-1))
+		if math.Abs(a.PTotal-want) > 1e-12 {
+			t.Errorf("N=%d: exact liveness %v, want %v", n, a.PTotal, want)
+		}
+		// Monte-Carlo check.
+		stream := rng.NewStream(uint64(n))
+		hits := 0
+		const trials = 4000
+		for trial := 0; trial < trials; trial++ {
+			outs, err := sim.Outputs(sp, g, good, sim.StreamTapes(stream, uint64(trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if outs[1] && outs[2] {
+				hits++
+			}
+		}
+		if got := float64(hits) / trials; math.Abs(got-want) > 0.03 {
+			t.Errorf("N=%d: measured liveness %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestAltValidityAgreementStillEpsilon(t *testing.T) {
+	// U_s(S′) ≤ ε across random runs (exact objective).
+	eps := 0.15
+	sp, err := NewSAltValidity(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(88)
+	worst := 0.0
+	for trial := 0; trial < 300; trial++ {
+		r, err := run.RandomSubset(g, 4, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := sp.Analyze(g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.PPartial > eps+1e-12 {
+			t.Fatalf("agreement violated: PA = %v on %v", a.PPartial, r)
+		}
+		if a.PPartial > worst {
+			worst = a.PPartial
+		}
+	}
+	if worst < eps-1e-9 {
+		t.Logf("note: sampled worst PA %v below ε %v (tightness needs the right run)", worst, eps)
+	}
+}

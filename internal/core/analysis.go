@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+)
+
+// RunAnalysis is the closed-form distribution of Protocol S's behaviour
+// on one run. Because count_i^N = ML_i(R) deterministically (Lemma 6.4)
+// and only the uniform threshold rfire is random, every probability is an
+// explicit function of the modified levels:
+//
+//	Pr[D_i | R]  = min(1, ε·(ML_i+k))      if ML_i ≥ 1, else 0
+//	Pr[TA | R]   = min(1, ε·(ML_min+k))    if ML_min ≥ 1, else 0   (Thm 6.8)
+//	Pr[PA | R]   = Pr[any attacks] − Pr[TA]                        (≤ ε for k=0, Thm 6.7)
+//	Pr[NA | R]   = 1 − Pr[any attacks]
+//
+// where k is the slack (0 for the paper's Protocol S). The quantization
+// of rfire to 53-bit floats perturbs each value by < 2⁻⁵², far below
+// anything an experiment reports; Monte-Carlo columns in EXPERIMENTS.md
+// independently confirm the formulas.
+type RunAnalysis struct {
+	Epsilon float64
+	Slack   int
+
+	Levels    []int // L_i(R), index 1..m (index 0 unused)
+	ModLevels []int // ML_i(R), index 1..m (index 0 unused)
+	LevelMin  int   // L(R)
+	ModMin    int   // ML(R)
+	ModMax    int   // max_i ML_i(R)
+
+	PAttack  []float64 // Pr[D_i|R], index 1..m (index 0 unused)
+	PTotal   float64   // Pr[TA|R] — the liveness L(S, R)
+	PPartial float64   // Pr[PA|R]
+	PNone    float64   // Pr[NA|R]
+
+	// Bound is the Theorem 5.4 ceiling min(1, ε·L(R)): no protocol with
+	// unsafety ≤ ε can exceed it on this run.
+	Bound float64
+}
+
+// Analyze computes the exact distribution of Protocol S (or a slack
+// variant) on run r over m = g.NumVertices() processes.
+func (s *S) Analyze(g *graph.G, r *run.Run) (*RunAnalysis, error) {
+	if err := r.Validate(g); err != nil {
+		return nil, fmt.Errorf("core: analyze: %w", err)
+	}
+	m := g.NumVertices()
+	lt, err := causality.NewLevelTable(r, m)
+	if err != nil {
+		return nil, err
+	}
+	mt, err := causality.NewModLevelTable(r, m)
+	if err != nil {
+		return nil, err
+	}
+	a := &RunAnalysis{
+		Epsilon:   s.epsilon,
+		Slack:     s.slack,
+		Levels:    lt.Finals(),
+		ModLevels: mt.Finals(),
+		LevelMin:  lt.Min(),
+		ModMin:    mt.Min(),
+		ModMax:    mt.Max(),
+	}
+	a.PAttack = make([]float64, m+1)
+	for i := 1; i <= m; i++ {
+		a.PAttack[i] = attackProbShifted(s.epsilon, s.slack, s.fireFloor, a.ModLevels[i])
+	}
+	a.PTotal = attackProbShifted(s.epsilon, s.slack, s.fireFloor, a.ModMin)
+	pAny := attackProbShifted(s.epsilon, s.slack, s.fireFloor, a.ModMax)
+	a.PPartial = pAny - a.PTotal
+	a.PNone = 1 - pAny
+	a.Bound = TradeoffBound(s.epsilon, a.LevelMin)
+	return a, nil
+}
+
+// attackProb is Pr[count ≥ 1 and rfire ≤ count+k] for count = ml, for
+// the paper's rfire range (0, 1/ε].
+func attackProb(epsilon float64, slack, ml int) float64 {
+	return attackProbShifted(epsilon, slack, 0, ml)
+}
+
+// attackProbShifted generalizes to rfire uniform in (floor, floor+1/ε]:
+// Pr[count ≥ 1 and rfire ≤ count+k] = min(1, ε·(ml+k−floor)) clamped.
+func attackProbShifted(epsilon float64, slack, floor, ml int) float64 {
+	if ml < 1 {
+		return 0
+	}
+	return clamp01(epsilon * float64(ml+slack-floor))
+}
+
+// TradeoffBound is Theorem 5.4's ceiling on liveness for any protocol F
+// with U_s(F) ≤ ε: L(F, R) ≤ min(1, ε·L(R)). Dividing by ε gives the
+// headline tradeoff L/U ≤ L(R) ≤ N+1.
+func TradeoffBound(epsilon float64, level int) float64 {
+	if level < 0 {
+		return 0
+	}
+	return clamp01(epsilon * float64(level))
+}
+
+// LivenessExact is Theorem 6.8's exact liveness of Protocol S on a run
+// with modified level ml: min(1, ε·ml).
+func LivenessExact(epsilon float64, ml int) float64 {
+	return attackProb(epsilon, 0, ml)
+}
+
+// UnsafetySup is the exact supremum of Pr[PA|R] over all runs for the
+// slack-k variant on any graph with m ≥ 2: the worst run leaves one
+// process at ML = 1 (process 1, input, silence) and the rest at 0, so
+//
+//	U_s = min(1, ε·(1+k)).
+//
+// For the paper's Protocol S (k = 0) this is exactly ε — Theorem 6.7 is
+// tight. The adversary-search experiments (T3) rediscover this value
+// empirically.
+func UnsafetySup(epsilon float64, slack int) float64 {
+	return clamp01(epsilon * float64(1+slack))
+}
+
+// LivenessOverUnsafety is the figure of merit L(F, R)/U_s(F) that the
+// paper proves cannot exceed L(R) ≤ N+1 (Theorem 5.4 divided by U_s).
+func LivenessOverUnsafety(liveness, unsafety float64) float64 {
+	if unsafety <= 0 {
+		return 0
+	}
+	return liveness / unsafety
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+)
+
+func TestAnalyzeGoodRunPair(t *testing.T) {
+	s := MustS(0.1)
+	g := graph.Pair()
+	r, err := run.Good(g, 6, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LevelMin != 7 { // L(R_good) = N+1 on K_2 with both inputs
+		t.Errorf("L(R) = %d, want 7", a.LevelMin)
+	}
+	if a.ModMin != 6 || a.ModMax != 7 {
+		t.Errorf("ML range = [%d, %d], want [6, 7]", a.ModMin, a.ModMax)
+	}
+	if want := 0.6; math.Abs(a.PTotal-want) > 1e-12 {
+		t.Errorf("PTotal = %v, want %v", a.PTotal, want)
+	}
+	if want := 0.1; math.Abs(a.PPartial-want) > 1e-12 {
+		t.Errorf("PPartial = %v, want %v (one-level ML gap)", a.PPartial, want)
+	}
+	if want := 0.3; math.Abs(a.PNone-want) > 1e-12 {
+		t.Errorf("PNone = %v, want %v", a.PNone, want)
+	}
+	if want := 0.7; math.Abs(a.Bound-want) > 1e-12 {
+		t.Errorf("Bound = %v, want ε·L(R) = %v", a.Bound, want)
+	}
+	// Per-process attack probabilities follow the per-process levels.
+	for i := 1; i <= 2; i++ {
+		want := math.Min(1, 0.1*float64(a.ModLevels[i]))
+		if math.Abs(a.PAttack[i]-want) > 1e-12 {
+			t.Errorf("PAttack[%d] = %v, want %v", i, a.PAttack[i], want)
+		}
+	}
+}
+
+func TestAnalyzeSilentRun(t *testing.T) {
+	s := MustS(0.4)
+	g := graph.Pair()
+	r, err := run.Silent(3) // no input at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PTotal != 0 || a.PPartial != 0 || a.PNone != 1 {
+		t.Errorf("silent run distribution = (%v, %v, %v), want (0,0,1)",
+			a.PTotal, a.PPartial, a.PNone)
+	}
+
+	// Input at 1 only, still silent: ML_1 = 1, ML_2 = 0 → PA = ε exactly.
+	r1, err := run.Silent(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := s.Analyze(g, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1.PPartial-0.4) > 1e-12 {
+		t.Errorf("PA on silent-with-input = %v, want ε", a1.PPartial)
+	}
+	if a1.PTotal != 0 {
+		t.Errorf("PTotal = %v, want 0 (process 2 can never attack)", a1.PTotal)
+	}
+}
+
+func TestAnalyzeRejectsBadRun(t *testing.T) {
+	s := MustS(0.2)
+	g := graph.Pair()
+	bad := run.MustNew(2)
+	bad.AddInput(7)
+	if _, err := s.Analyze(g, bad); err == nil {
+		t.Error("Analyze accepted run with out-of-graph input")
+	}
+}
+
+func TestTradeoffBound(t *testing.T) {
+	tests := []struct {
+		eps   float64
+		level int
+		want  float64
+	}{
+		{0.1, 0, 0},
+		{0.1, 3, 0.3},
+		{0.1, 15, 1},
+		{0.5, 1, 0.5},
+		{0.2, -1, 0},
+	}
+	for _, tc := range tests {
+		if got := TradeoffBound(tc.eps, tc.level); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("TradeoffBound(%v, %d) = %v, want %v", tc.eps, tc.level, got, tc.want)
+		}
+	}
+}
+
+func TestLivenessExact(t *testing.T) {
+	if got := LivenessExact(0.25, 0); got != 0 {
+		t.Errorf("LivenessExact(ε, 0) = %v, want 0", got)
+	}
+	if got := LivenessExact(0.25, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("LivenessExact(0.25, 2) = %v, want 0.5", got)
+	}
+	if got := LivenessExact(0.25, 100); got != 1 {
+		t.Errorf("LivenessExact clamps to 1, got %v", got)
+	}
+}
+
+func TestLivenessOverUnsafety(t *testing.T) {
+	if got := LivenessOverUnsafety(0.9, 0.1); math.Abs(got-9) > 1e-12 {
+		t.Errorf("ratio = %v, want 9", got)
+	}
+	if got := LivenessOverUnsafety(0.5, 0); got != 0 {
+		t.Errorf("zero-unsafety ratio = %v, want 0 sentinel", got)
+	}
+}
+
+func TestTheorem54OnRandomRuns(t *testing.T) {
+	// L(S, R) ≤ ε·L(R) for every sampled run — Protocol S never beats
+	// the universal bound (it matches it to within the ε ML-gap).
+	s := MustS(0.15)
+	g, err := graph.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(5150)
+	for trial := 0; trial < 400; trial++ {
+		r, err := run.RandomSubset(g, 4, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := s.Analyze(g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.PTotal > a.Bound+1e-12 {
+			t.Fatalf("Theorem 5.4 violated on %v: liveness %v > bound %v", r, a.PTotal, a.Bound)
+		}
+		if a.PPartial > s.Epsilon()+1e-12 {
+			t.Fatalf("Theorem 6.7 violated on %v: PA %v > ε", r, a.PPartial)
+		}
+		if sum := a.PTotal + a.PPartial + a.PNone; math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v on %v", sum, r)
+		}
+	}
+}
+
+func TestQuickDistributionWellFormed(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, epsRaw uint8, slackRaw uint8) bool {
+		eps := (float64(epsRaw%100) + 1) / 101 // (0, 1)
+		slack := int(slackRaw % 3)
+		s, err := NewSWithSlack(eps, slack)
+		if err != nil {
+			return false
+		}
+		r, err := run.RandomSubset(g, 3, rng.NewTape(seed))
+		if err != nil {
+			return false
+		}
+		a, err := s.Analyze(g, r)
+		if err != nil {
+			return false
+		}
+		ok := a.PTotal >= 0 && a.PPartial >= 0 && a.PNone >= 0 &&
+			math.Abs(a.PTotal+a.PPartial+a.PNone-1) < 1e-9 &&
+			a.PPartial <= UnsafetySup(eps, slack)+1e-12
+		// Monotonicity of attack probabilities in ML.
+		for i := 1; i <= 4; i++ {
+			for j := 1; j <= 4; j++ {
+				if a.ModLevels[i] >= a.ModLevels[j] && a.PAttack[i] < a.PAttack[j]-1e-12 {
+					ok = false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func TestSAtSixtyFourGenerals(t *testing.T) {
+	// The seen-set bitmask boundary: m = 64 uses the full word. Protocol
+	// S must still count levels correctly on the good run (everyone at
+	// ML ≥ 1 after the star's two-hop exchange, coordinated attack with
+	// the exact probability).
+	const m = 64
+	g, err := graph.Star(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	eps := 0.5
+	s := MustS(eps)
+	good, err := run.Good(g, n, g.Vertices()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(g, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ModMin < 1 {
+		t.Fatalf("ML(R) = %d on the good run, want ≥ 1", a.ModMin)
+	}
+	outs, err := sim.Outputs(s, g, good, sim.SeedTapes(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-or-nothing given ML homogeneity is not guaranteed, but the
+	// engine must at least run cleanly and produce a legal outcome; the
+	// exact analysis bounds the disagreement.
+	if a.PPartial > eps+1e-12 {
+		t.Fatalf("PA %v > ε at m=64", a.PPartial)
+	}
+	_ = outs
+
+	// m = 65 must be rejected.
+	tooBig, err := graph.Star(65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r65 := run.MustNew(2)
+	if _, simErr := sim.Outputs(s, tooBig, r65, sim.SeedTapes(1)); simErr == nil {
+		t.Error("m = 65 accepted by Protocol S")
+	}
+}
+
+func TestSeenMaskFullWordMerge(t *testing.T) {
+	// White-box: on K_2 the seen set merges to V = {1,2} and resets every
+	// exchange; at m = 64 the fullSet mask is ^0. Exercise the fullSet
+	// path directly via a 64-general complete exchange round on a star
+	// hub: the hub hears all 63 leaves at count 1... the hub's seen set
+	// must never literally equal V (Lemma 6.3(7)).
+	const m = 64
+	g, err := graph.Star(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustS(0.5)
+	good, err := run.Good(g, 4, g.Vertices()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := driveWithInspection(t, s, g, good, 99)
+	full := ^uint64(0)
+	for round := 0; round <= 4; round++ {
+		for i := 1; i <= m; i++ {
+			if states[round][i].SeenMask() == full {
+				t.Fatalf("seen_%d = V at round %d", i, round)
+			}
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+)
+
+// ExampleS_Analyze shows the closed-form outcome distribution of Protocol
+// S on a damaged run: the adversary cuts the link halfway, liveness
+// degrades proportionally, disagreement stays pinned at ε.
+func ExampleS_Analyze() {
+	g := graph.Pair()
+	s := core.MustS(0.1)
+	good, err := run.Good(g, 10, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := s.Analyze(g, run.CutAt(good, 6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ML(R)=%d  Pr[TA]=%.2f  Pr[PA]=%.2f  Pr[NA]=%.2f\n",
+		a.ModMin, a.PTotal, a.PPartial, a.PNone)
+	// Output:
+	// ML(R)=5  Pr[TA]=0.50  Pr[PA]=0.10  Pr[NA]=0.40
+}
+
+// ExampleTradeoffBound shows the Theorem 5.4 ceiling: on a run with
+// information level 7, no ε=0.1 protocol can attack with probability
+// above 0.7.
+func ExampleTradeoffBound() {
+	fmt.Println(core.TradeoffBound(0.1, 7))
+	fmt.Println(core.TradeoffBound(0.1, 15)) // clamps at 1
+	// Output:
+	// 0.7000000000000001
+	// 1
+}

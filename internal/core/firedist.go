@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"coordattack/internal/protocol"
+)
+
+// FireDist is a distribution for the rfire threshold, the one free design
+// choice inside Protocol S. The paper draws rfire uniform on (0, 1/ε];
+// this type lets experiment T19 ablate that choice. Counts are integers,
+// so all that matters is the CDF at integer points: a protocol using
+// distribution F has
+//
+//	Pr[D_i|R] = F(ML_i(R)) for ML_i ≥ 1,
+//	U_s       = max_c [ F(c+1) − F(c) ]   (the widest one-level window),
+//	L(S_F, R) = F(ML(R)).
+//
+// Theorem 5.4 then says F(ml)/U_s ≤ ml for every ml — with equality for
+// all ml in range only when every window has equal mass, i.e. the uniform
+// distribution. Uniform rfire is not a convenience: it is the unique
+// minimax choice.
+type FireDist struct {
+	// Name labels the distribution in tables.
+	Name string
+	// CDF is F(x) = Pr[rfire ≤ x]; nondecreasing, F(0) = 0.
+	CDF func(x float64) float64
+	// Quantile maps u ∈ (0, 1] to a threshold with F(Quantile(u)) ≥ u;
+	// used to draw rfire from a uniform tape value.
+	Quantile func(u float64) float64
+}
+
+// UniformFire is the paper's choice: rfire uniform on (0, 1/ε].
+func UniformFire(epsilon float64) (FireDist, error) {
+	if epsilon <= 0 || epsilon > 1 || math.IsNaN(epsilon) {
+		return FireDist{}, fmt.Errorf("core: epsilon %v outside (0,1]", epsilon)
+	}
+	return FireDist{
+		Name:     fmt.Sprintf("uniform(0,%g]", 1/epsilon),
+		CDF:      func(x float64) float64 { return clamp01(epsilon * x) },
+		Quantile: func(u float64) float64 { return u / epsilon },
+	}, nil
+}
+
+// GeometricFire draws rfire geometric on {1, 2, ...} with continuation
+// probability q: Pr[rfire = k] = (1-q)·q^(k-1). Front-loaded: high
+// liveness at low levels, paid for with a wide first window
+// (U_s = 1-q).
+func GeometricFire(q float64) (FireDist, error) {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return FireDist{}, fmt.Errorf("core: geometric q %v outside (0,1)", q)
+	}
+	return FireDist{
+		Name: fmt.Sprintf("geometric(q=%g)", q),
+		CDF: func(x float64) float64 {
+			k := math.Floor(x)
+			if k < 1 {
+				return 0
+			}
+			return 1 - math.Pow(q, k)
+		},
+		Quantile: func(u float64) float64 {
+			// Smallest integer k with 1 - q^k ≥ u.
+			k := math.Ceil(math.Log(1-u) / math.Log(q))
+			if k < 1 || math.IsNaN(k) {
+				k = 1
+			}
+			return k
+		},
+	}, nil
+}
+
+// PowerFire uses F(x) = min(1, (εx)^α) for α > 0: α < 1 front-loads,
+// α > 1 back-loads, α = 1 is uniform.
+func PowerFire(epsilon, alpha float64) (FireDist, error) {
+	if epsilon <= 0 || epsilon > 1 || math.IsNaN(epsilon) {
+		return FireDist{}, fmt.Errorf("core: epsilon %v outside (0,1]", epsilon)
+	}
+	if alpha <= 0 || math.IsNaN(alpha) {
+		return FireDist{}, fmt.Errorf("core: alpha %v must be positive", alpha)
+	}
+	return FireDist{
+		Name: fmt.Sprintf("power(ε=%g, α=%g)", epsilon, alpha),
+		CDF: func(x float64) float64 {
+			if x <= 0 {
+				return 0
+			}
+			return clamp01(math.Pow(epsilon*x, alpha))
+		},
+		Quantile: func(u float64) float64 {
+			return math.Pow(u, 1/alpha) / epsilon
+		},
+	}, nil
+}
+
+// WindowSup computes U_s for the distribution on horizons up to maxLevel:
+// the largest probability mass the adversary can trap in one one-level
+// window, max_{0 ≤ c ≤ maxLevel} F(c+1) − F(c).
+func (d FireDist) WindowSup(maxLevel int) float64 {
+	sup := 0.0
+	for c := 0; c <= maxLevel; c++ {
+		if w := d.CDF(float64(c+1)) - d.CDF(float64(c)); w > sup {
+			sup = w
+		}
+	}
+	return sup
+}
+
+// SFire is Protocol S with a custom rfire distribution; mechanics
+// (counting, messages, decision rule) are identical to S.
+type SFire struct {
+	dist FireDist
+}
+
+var _ protocol.Protocol = (*SFire)(nil)
+
+// NewSFire returns Protocol S drawing rfire from the given distribution.
+func NewSFire(dist FireDist) (*SFire, error) {
+	if dist.CDF == nil || dist.Quantile == nil {
+		return nil, fmt.Errorf("core: fire distribution needs CDF and Quantile")
+	}
+	if f0 := dist.CDF(0); f0 != 0 {
+		return nil, fmt.Errorf("core: fire distribution has F(0) = %v, want 0", f0)
+	}
+	return &SFire{dist: dist}, nil
+}
+
+// Name implements protocol.Protocol.
+func (s *SFire) Name() string { return fmt.Sprintf("S[%s]", s.dist.Name) }
+
+// Dist reports the rfire distribution.
+func (s *SFire) Dist() FireDist { return s.dist }
+
+// NewMachine implements protocol.Protocol.
+func (s *SFire) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.G.NumVertices()
+	if m < 2 || m > MaxProcesses {
+		return nil, fmt.Errorf("core: Protocol S needs 2 ≤ m ≤ %d, got %d", MaxProcesses, m)
+	}
+	mach := &SMachine{id: cfg.ID, m: m, valid: cfg.Input}
+	if cfg.ID == 1 {
+		u, err := cfg.Tape.Float64Open01()
+		if err != nil {
+			return nil, fmt.Errorf("core: drawing rfire: %w", err)
+		}
+		mach.rfire = s.dist.Quantile(u)
+		if mach.rfire <= 0 {
+			return nil, fmt.Errorf("core: fire quantile returned %v ≤ 0", mach.rfire)
+		}
+		mach.rfireDefined = true
+		if mach.valid {
+			mach.count = 1
+			mach.seen = mach.bit(1)
+		}
+	}
+	return mach, nil
+}
+
+// LivenessAt is F(ml): the probability all processes attack on a run with
+// ML(R) = ml ≥ 1.
+func (s *SFire) LivenessAt(ml int) float64 {
+	if ml < 1 {
+		return 0
+	}
+	return s.dist.CDF(float64(ml))
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func TestFireDistValidation(t *testing.T) {
+	if _, err := UniformFire(0); err == nil {
+		t.Error("uniform ε=0 accepted")
+	}
+	if _, err := GeometricFire(0); err == nil {
+		t.Error("geometric q=0 accepted")
+	}
+	if _, err := GeometricFire(1); err == nil {
+		t.Error("geometric q=1 accepted")
+	}
+	if _, err := PowerFire(0.1, 0); err == nil {
+		t.Error("power α=0 accepted")
+	}
+	if _, err := PowerFire(2, 1); err == nil {
+		t.Error("power ε=2 accepted")
+	}
+	if _, err := NewSFire(FireDist{}); err == nil {
+		t.Error("empty dist accepted")
+	}
+	bad := FireDist{
+		Name:     "bad",
+		CDF:      func(x float64) float64 { return 0.5 },
+		Quantile: func(u float64) float64 { return 1 },
+	}
+	if _, err := NewSFire(bad); err == nil {
+		t.Error("F(0) ≠ 0 accepted")
+	}
+}
+
+func TestUniformFireMatchesS(t *testing.T) {
+	// S[uniform(ε)] must behave exactly like NewS(ε): same rfire given
+	// the same tape, same outputs on every run.
+	eps := 0.2
+	dist, err := UniformFire(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := NewSFire(dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustS(eps)
+	g := graph.Pair()
+	tape := rng.NewTape(4)
+	for trial := 0; trial < 40; trial++ {
+		r, err := run.RandomSubset(g, 5, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := sim.Outputs(s, g, r, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sim.Outputs(sf, g, r, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("S and S[uniform] diverge on %v", r)
+			}
+		}
+	}
+}
+
+func TestWindowSup(t *testing.T) {
+	uni, err := UniformFire(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := uni.WindowSup(20); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("uniform window sup = %v, want ε", got)
+	}
+	geo, err := GeometricFire(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := geo.WindowSup(20); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("geometric window sup = %v, want 1-q = 0.2", got)
+	}
+}
+
+func TestGeometricQuantileConsistent(t *testing.T) {
+	geo, err := GeometricFire(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range []float64{0.01, 0.3, 0.5, 0.9, 0.999} {
+		x := geo.Quantile(u)
+		if x < 1 || x != math.Floor(x) {
+			t.Errorf("quantile(%v) = %v not a positive integer", u, x)
+		}
+		if geo.CDF(x) < u-1e-12 {
+			t.Errorf("F(quantile(%v)) = %v < u", u, geo.CDF(x))
+		}
+		if x > 1 && geo.CDF(x-1) >= u {
+			t.Errorf("quantile(%v) = %v not minimal", u, x)
+		}
+	}
+}
+
+func TestFireLivenessMatchesCDF(t *testing.T) {
+	// Measured liveness of S[F] on a run with ML(R) = ml equals F(ml),
+	// for a non-uniform F.
+	geo, err := GeometricFire(0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := NewSFire(geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Pair()
+	good, err := run.Good(g, 8, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4, 8} {
+		r := run.Prefix(good, k)
+		mlTab, err := causalityModMin(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sf.LivenessAt(mlTab)
+		stream := rng.NewStream(uint64(k))
+		hits := 0
+		const trials = 5000
+		for trial := 0; trial < trials; trial++ {
+			outs, err := sim.Outputs(sf, g, r, sim.StreamTapes(stream, uint64(trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if outs[1] && outs[2] {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-want) > 0.025 {
+			t.Errorf("prefix %d (ML=%d): measured %v, want F(ML)=%v", k, mlTab, got, want)
+		}
+	}
+}
+
+func TestUniformIsMinimaxOptimal(t *testing.T) {
+	// Theorem 5.4 through the distribution lens: for every distribution,
+	// F(ml)/U_s ≤ ml at every level — and uniform achieves equality for
+	// all ml ≤ 1/ε simultaneously; the alternatives waste ratio at some
+	// level.
+	const maxML = 10
+	uni, err := UniformFire(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := GeometricFire(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := PowerFire(0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := PowerFire(0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []FireDist{uni, geo, front, back} {
+		u := d.WindowSup(maxML)
+		if u <= 0 {
+			t.Fatalf("%s: zero window sup", d.Name)
+		}
+		for ml := 1; ml <= maxML; ml++ {
+			ratio := d.CDF(float64(ml)) / u
+			if ratio > float64(ml)+1e-9 {
+				t.Errorf("%s: ratio %v at ML=%d beats the Theorem 5.4 frontier", d.Name, ratio, ml)
+			}
+		}
+	}
+	// Uniform: equality everywhere in range.
+	u := uni.WindowSup(maxML)
+	for ml := 1; ml <= maxML; ml++ {
+		if ratio := uni.CDF(float64(ml)) / u; math.Abs(ratio-float64(ml)) > 1e-9 {
+			t.Errorf("uniform ratio %v at ML=%d, want exactly %d", ratio, ml, ml)
+		}
+	}
+	// Each alternative falls strictly short somewhere.
+	for _, d := range []FireDist{geo, front, back} {
+		u := d.WindowSup(maxML)
+		short := false
+		for ml := 1; ml <= maxML; ml++ {
+			if d.CDF(float64(ml))/u < float64(ml)-1e-9 {
+				short = true
+			}
+		}
+		if !short {
+			t.Errorf("%s: never falls short of the frontier — uniform would not be uniquely optimal", d.Name)
+		}
+	}
+}
+
+func causalityModMin(r *run.Run) (int, error) {
+	return causality.RunModLevel(r, 2)
+}

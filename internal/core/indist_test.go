@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func TestClipSemanticIndistinguishability(t *testing.T) {
+	// Lemma 4.2's semantic content, end to end: for any run R and
+	// process i, executing Protocol S on R and on Clip_i(R) with the
+	// same tapes yields executions identical to i — same receipts, same
+	// sends, same output — even though the clipped run may drop most of
+	// the message pattern.
+	s := MustS(0.3)
+	graphs := []*graph.G{graph.Pair()}
+	if g, err := graph.Ring(4); err == nil {
+		graphs = append(graphs, g)
+	}
+	if g, err := graph.Complete(3); err == nil {
+		graphs = append(graphs, g)
+	}
+	for _, g := range graphs {
+		m := g.NumVertices()
+		runTape := rng.NewTape(uint64(900 + m))
+		for trial := 0; trial < 60; trial++ {
+			r, err := run.RandomSubset(g, 4, runTape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= m; i++ {
+				pi := graph.ProcID(i)
+				clip := causality.Clip(r, m, pi)
+				// The clip may drop inputs; executions start from the
+				// clipped run's own input set, exactly as Lemma 4.2
+				// treats (v₀, j, 0) tuples as part of R.
+				tapes := sim.SeedTapes(uint64(trial))
+				full, err := sim.Execute(s, g, r, tapes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clipped, err := sim.Execute(s, g, clip, tapes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !full.IdenticalTo(clipped, i) {
+					t.Fatalf("%v: execution on R and Clip_%d(R) differ to %d\nR    = %v\nclip = %v",
+						g, i, i, r, clip)
+				}
+			}
+		}
+	}
+}
+
+func TestIndistinguishableRunsEqualDecisions(t *testing.T) {
+	// Lemma 2.1 in executable form: if R ≡ᵢ R̃ (equal clips), then for
+	// every tape process i's decision is the same in both runs — so
+	// Pr[D_i|R] = Pr[D_i|R̃] trivially.
+	s := MustS(0.25)
+	g, err := graph.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTape := rng.NewTape(17)
+	pairsChecked := 0
+	for trial := 0; trial < 150 && pairsChecked < 40; trial++ {
+		r1, err := run.RandomSubset(g, 3, runTape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// R̃ = Clip_i(R) ∪ (noise invisible to i): add a delivery that
+		// does not flow to i by putting it in the last round between the
+		// other two processes.
+		for i := 1; i <= 3; i++ {
+			pi := graph.ProcID(i)
+			r2 := causality.Clip(r1, 3, pi)
+			others := make([]graph.ProcID, 0, 2)
+			for j := 1; j <= 3; j++ {
+				if j != i {
+					others = append(others, graph.ProcID(j))
+				}
+			}
+			r2b := r2.Clone()
+			if err := r2b.Deliver(others[0], others[1], r2.N()); err != nil {
+				t.Fatal(err)
+			}
+			if !causality.IndistinguishableTo(r1, r2b, 3, pi) {
+				continue // the added tuple happened to flow to i already
+			}
+			pairsChecked++
+			for rep := 0; rep < 10; rep++ {
+				tapes := sim.SeedTapes(uint64(trial*100 + rep))
+				o1, err := sim.Outputs(s, g, r1, tapes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				o2, err := sim.Outputs(s, g, r2b, tapes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if o1[i] != o2[i] {
+					t.Fatalf("indistinguishable runs gave %d different decisions: %v vs %v",
+						i, r1, r2b)
+				}
+			}
+		}
+	}
+	if pairsChecked < 20 {
+		t.Fatalf("only %d indistinguishable pairs exercised; test too weak", pairsChecked)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+)
+
+// UsualCase checks the Appendix A "usual case assumption" under which the
+// second lower bound (Theorem A.1) holds: G connected with diameter at
+// most N, and ε < 0.5. The paper notes these conditions exclude only
+// parameter settings with absurdly small liveness or absurdly large
+// permitted unsafety.
+func UsualCase(g *graph.G, n int, epsilon float64) error {
+	if !g.Connected() {
+		return fmt.Errorf("core: usual case needs a connected graph, got %v", g)
+	}
+	if d := g.Diameter(); d > n {
+		return fmt.Errorf("core: usual case needs diameter ≤ N, got diameter %d > N %d", d, n)
+	}
+	if epsilon >= 0.5 || epsilon <= 0 || math.IsNaN(epsilon) {
+		return fmt.Errorf("core: usual case needs 0 < ε < 0.5, got %v", epsilon)
+	}
+	return nil
+}
+
+// Plan is a deployment recommendation derived from the paper's exact
+// formulas: the parameters under which Protocol S reaches a liveness
+// target on the fully reliable run.
+type Plan struct {
+	Epsilon  float64 // required agreement parameter
+	Rounds   int     // horizon N
+	GoodML   int     // ML(R_good) at that horizon
+	Liveness float64 // min(1, ε·GoodML) — meets or exceeds the target
+}
+
+// RecommendEpsilon returns the smallest ε for which Protocol S reaches
+// the liveness target on the good run of (g, n) with all generals
+// signaled — the paper's tradeoff, solved for ε: the price in
+// disagreement risk of a given deadline.
+func RecommendEpsilon(g *graph.G, n int, target float64) (*Plan, error) {
+	if target <= 0 || target > 1 || math.IsNaN(target) {
+		return nil, fmt.Errorf("core: liveness target %v outside (0, 1]", target)
+	}
+	ml, err := goodRunML(g, n)
+	if err != nil {
+		return nil, err
+	}
+	if ml < 1 {
+		return nil, fmt.Errorf("core: good run of (m=%d, N=%d) has ML = %d; no ε can reach liveness %v",
+			g.NumVertices(), n, ml, target)
+	}
+	eps := target / float64(ml)
+	if eps > 1 {
+		eps = 1
+	}
+	live := LivenessExact(eps, ml)
+	if live < target-1e-12 {
+		return nil, fmt.Errorf("core: even ε = 1 reaches only liveness %v < target %v at N = %d", live, target, n)
+	}
+	return &Plan{Epsilon: eps, Rounds: n, GoodML: ml, Liveness: live}, nil
+}
+
+// RecommendRounds returns the smallest horizon N ≤ maxN for which
+// Protocol S at the given ε reaches the liveness target on the good run —
+// the tradeoff solved for the deadline: the price in rounds of a given
+// disagreement budget.
+func RecommendRounds(g *graph.G, epsilon, target float64, maxN int) (*Plan, error) {
+	if epsilon <= 0 || epsilon > 1 || math.IsNaN(epsilon) {
+		return nil, fmt.Errorf("core: epsilon %v outside (0, 1]", epsilon)
+	}
+	if target <= 0 || target > 1 || math.IsNaN(target) {
+		return nil, fmt.Errorf("core: liveness target %v outside (0, 1]", target)
+	}
+	if maxN < 1 {
+		return nil, fmt.Errorf("core: maxN must be positive, got %d", maxN)
+	}
+	// The good run of n+1 rounds extends that of n, so ML(R_good) — and
+	// with it the liveness — is monotone in n: binary search applies.
+	reach := func(n int) (int, float64, error) {
+		ml, err := goodRunML(g, n)
+		if err != nil {
+			return 0, 0, err
+		}
+		return ml, LivenessExact(epsilon, ml), nil
+	}
+	ml, live, err := reach(maxN)
+	if err != nil {
+		return nil, err
+	}
+	if live < target {
+		return nil, fmt.Errorf("core: liveness %v unreachable within %d rounds at ε = %v (Theorem 5.4 in action)",
+			target, maxN, epsilon)
+	}
+	lo, hi := 1, maxN
+	for lo < hi {
+		mid := (lo + hi) / 2
+		_, midLive, err := reach(mid)
+		if err != nil {
+			return nil, err
+		}
+		if midLive >= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	ml, live, err = reach(lo)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Epsilon: epsilon, Rounds: lo, GoodML: ml, Liveness: live}, nil
+}
+
+func goodRunML(g *graph.G, n int) (int, error) {
+	good, err := run.Good(g, n, g.Vertices()...)
+	if err != nil {
+		return 0, err
+	}
+	return causality.RunModLevel(good, g.NumVertices())
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"coordattack/internal/graph"
+)
+
+func TestUsualCase(t *testing.T) {
+	g := graph.Pair()
+	if err := UsualCase(g, 5, 0.1); err != nil {
+		t.Errorf("valid usual case rejected: %v", err)
+	}
+	if err := UsualCase(g, 5, 0.5); err == nil {
+		t.Error("ε = 0.5 accepted")
+	}
+	if err := UsualCase(g, 5, 0); err == nil {
+		t.Error("ε = 0 accepted")
+	}
+	disconnected := graph.MustNew(4, []graph.Edge{{A: 1, B: 2}, {A: 3, B: 4}})
+	if err := UsualCase(disconnected, 5, 0.1); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+	line, err := graph.Line(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := UsualCase(line, 3, 0.1); err == nil {
+		t.Error("diameter > N accepted")
+	}
+	if err := UsualCase(line, 5, 0.1); err != nil {
+		t.Errorf("diameter = N rejected: %v", err)
+	}
+}
+
+func TestRecommendEpsilon(t *testing.T) {
+	g := graph.Pair()
+	// ML(good) = N on K_2: liveness 1 needs ε = 1/N.
+	plan, err := RecommendEpsilon(g, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plan.Epsilon-1.0/20) > 1e-12 {
+		t.Errorf("ε = %v, want 0.05", plan.Epsilon)
+	}
+	if plan.GoodML != 20 || plan.Liveness < 1-1e-12 {
+		t.Errorf("plan = %+v", plan)
+	}
+	// Half liveness costs half the ε.
+	half, err := RecommendEpsilon(g, 20, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(half.Epsilon-0.025) > 1e-12 {
+		t.Errorf("half-liveness ε = %v, want 0.025", half.Epsilon)
+	}
+	if _, err := RecommendEpsilon(g, 20, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := RecommendEpsilon(g, 20, 1.5); err == nil {
+		t.Error("target > 1 accepted")
+	}
+}
+
+func TestRecommendRounds(t *testing.T) {
+	g := graph.Pair()
+	// At ε = 0.05, liveness 1 needs ML ≥ 20 → N = 20 on K_2.
+	plan, err := RecommendRounds(g, 0.05, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Rounds != 20 {
+		t.Errorf("N = %d, want 20", plan.Rounds)
+	}
+	// Tighter ε than the cap allows: the Theorem 5.4 wall.
+	if _, err := RecommendRounds(g, 0.01, 1, 50); err == nil {
+		t.Error("unreachable target accepted")
+	}
+	if _, err := RecommendRounds(g, 0, 1, 50); err == nil {
+		t.Error("ε = 0 accepted")
+	}
+	if _, err := RecommendRounds(g, 0.1, 2, 50); err == nil {
+		t.Error("target > 1 accepted")
+	}
+	if _, err := RecommendRounds(g, 0.1, 1, 0); err == nil {
+		t.Error("maxN = 0 accepted")
+	}
+}
+
+func TestRecommendationsConsistent(t *testing.T) {
+	// Round-trip: the ε recommended for (N, target) reaches the target
+	// within N rounds when solved the other way.
+	ring, err := graph.Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := RecommendEpsilon(ring, 24, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := RecommendRounds(ring, plan.Epsilon, 0.9, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rounds > 24 {
+		t.Errorf("round trip needs %d rounds > 24", back.Rounds)
+	}
+}

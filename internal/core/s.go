@@ -1,0 +1,293 @@
+// Package core implements the paper's primary contribution: Protocol S of
+// §6 — the randomized coordinated-attack protocol that is optimal against
+// a strong adversary — together with its exact per-run analysis, the
+// Theorem 5.4 tradeoff bound, and the slack-k variants used to exhibit
+// the Theorem A.1 tradeoff.
+//
+// Protocol S in one paragraph: the distinguished process 1 draws a random
+// threshold rfire uniform in (0, 1/ε]. Every process maintains count_i,
+// which tracks the modified information level ML_i^r(R) of the current
+// run (Lemma 6.4): count_i becomes 1 when i has heard both the input and
+// process 1's rfire, and rises to s when i has heard that every other
+// process reached s-1. After round N, i attacks iff it knows rfire and
+// count_i ≥ rfire. Since any two processes' counts differ by at most one
+// (Lemma 6.2), disagreement requires the adversary to land rfire in a
+// unit-length window it cannot see: U_s(S) ≤ ε (Theorem 6.7), while
+// liveness grows with the information the adversary lets through:
+// L(S, R) = min(1, ε·ML(R)) (Theorem 6.8).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+)
+
+// MaxProcesses bounds m for Protocol S machines; seen-sets are tracked as
+// 64-bit masks.
+const MaxProcesses = 64
+
+// S is Protocol S with agreement parameter ε. Slack 0 is the paper's
+// protocol; slack k ≥ 1 is the "greedy" variant that attacks when
+// count_i ≥ rfire − k, trading unsafety for liveness one-for-one — the
+// ablation for Theorem A.1 (no admissible protocol beats ε·ML(R)
+// everywhere).
+type S struct {
+	epsilon float64
+	slack   int
+	// fireFloor shifts rfire's range to (fireFloor, fireFloor + 1/ε].
+	// Floor 0 is the paper's protocol. Floor 1 implements footnote 1's
+	// alternative validity condition — "if no messages are delivered,
+	// then no general attacks" — since attacking then requires
+	// count ≥ 2, which is unreachable without receiving a message.
+	fireFloor int
+}
+
+var _ protocol.Protocol = (*S)(nil)
+
+// NewS returns Protocol S with agreement parameter 0 < ε ≤ 1.
+func NewS(epsilon float64) (*S, error) {
+	return NewSWithSlack(epsilon, 0)
+}
+
+// NewSWithSlack returns the slack-k variant; k = 0 is Protocol S itself.
+func NewSWithSlack(epsilon float64, slack int) (*S, error) {
+	if epsilon <= 0 || epsilon > 1 || math.IsNaN(epsilon) {
+		return nil, fmt.Errorf("core: epsilon must be in (0, 1], got %v", epsilon)
+	}
+	if slack < 0 {
+		return nil, fmt.Errorf("core: slack must be nonnegative, got %d", slack)
+	}
+	return &S{epsilon: epsilon, slack: slack}, nil
+}
+
+// MustS is NewS for known-good literals in tests and examples.
+func MustS(epsilon float64) *S {
+	s, err := NewS(epsilon)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSAltValidity returns the footnote-1 variant S′: rfire is drawn
+// uniform in (1, 1 + 1/ε], so an attack requires count ≥ 2 — impossible
+// unless some message was delivered. S′ satisfies the alternative
+// validity condition ("no messages delivered ⇒ nobody attacks") at the
+// cost of one level of liveness: L(S′, R) = min(1, ε·(ML(R) − 1)).
+// Agreement is unchanged: U_s(S′) ≤ ε.
+func NewSAltValidity(epsilon float64) (*S, error) {
+	s, err := NewS(epsilon)
+	if err != nil {
+		return nil, err
+	}
+	s.fireFloor = 1
+	return s, nil
+}
+
+// Name implements protocol.Protocol.
+func (s *S) Name() string {
+	base := "S"
+	if s.fireFloor > 0 {
+		base = "S′"
+	}
+	if s.slack == 0 {
+		return fmt.Sprintf("%s(ε=%g)", base, s.epsilon)
+	}
+	return fmt.Sprintf("%s+%d(ε=%g)", base, s.slack, s.epsilon)
+}
+
+// Epsilon reports the agreement parameter.
+func (s *S) Epsilon() float64 { return s.epsilon }
+
+// Slack reports the decision slack (0 for the paper's Protocol S).
+func (s *S) Slack() int { return s.slack }
+
+// FireFloor reports the rfire range shift (0 for the paper's Protocol S,
+// 1 for the footnote-1 alternative-validity variant S′).
+func (s *S) FireFloor() int { return s.fireFloor }
+
+// SMsg is the protocol message: the sender's full state, exactly as in
+// §6.1 ("i sends a message with its current state to all neighbors in
+// every round").
+type SMsg struct {
+	RFire        float64
+	RFireDefined bool
+	Count        int
+	Seen         uint64 // bitmask; bit i-1 set iff i ∈ seen
+	Valid        bool
+}
+
+// CAMessage implements protocol.Message.
+func (SMsg) CAMessage() {}
+
+// SMachine is one local state machine F_i of Protocol S. Its state
+// variables mirror §6.1: count_i, rfire_i (with a defined flag standing
+// in for the paper's "undefined" sentinel), seen_i, valid_i.
+type SMachine struct {
+	id    graph.ProcID
+	m     int
+	slack int
+
+	rfire        float64
+	rfireDefined bool
+	count        int
+	seen         uint64
+	valid        bool
+}
+
+var _ protocol.Machine = (*SMachine)(nil)
+
+// NewMachine implements protocol.Protocol. Process 1 draws rfire uniform
+// in (0, 1/ε] from its tape; every process starts valid iff the input
+// signal arrived; process 1 starts count_1 = 1 iff valid.
+func (s *S) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.G.NumVertices()
+	if m < 2 || m > MaxProcesses {
+		return nil, fmt.Errorf("core: Protocol S needs 2 ≤ m ≤ %d, got %d", MaxProcesses, m)
+	}
+	mach := &SMachine{id: cfg.ID, m: m, slack: s.slack, valid: cfg.Input}
+	if cfg.ID == 1 {
+		u, err := cfg.Tape.Float64Open01()
+		if err != nil {
+			return nil, fmt.Errorf("core: drawing rfire: %w", err)
+		}
+		mach.rfire = float64(s.fireFloor) + u/s.epsilon // uniform in (floor, floor + 1/ε]
+		mach.rfireDefined = true
+		if mach.valid {
+			mach.count = 1
+			mach.seen = mach.bit(1)
+		}
+	}
+	return mach, nil
+}
+
+func (sm *SMachine) bit(i graph.ProcID) uint64 { return 1 << uint(i-1) }
+
+func (sm *SMachine) fullSet() uint64 {
+	if sm.m == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(sm.m)) - 1
+}
+
+// Send implements protocol.Machine: the message generation function σ_i
+// sends the current state to every neighbor.
+func (sm *SMachine) Send(round int, to graph.ProcID) protocol.Message {
+	return SMsg{
+		RFire:        sm.rfire,
+		RFireDefined: sm.rfireDefined,
+		Count:        sm.count,
+		Seen:         sm.seen,
+		Valid:        sm.valid,
+	}
+}
+
+// Step implements protocol.Machine: PROCESS-MESSAGE(S_i, i) from Figure 1.
+func (sm *SMachine) Step(round int, received []protocol.Received) error {
+	msgs := make([]SMsg, 0, len(received))
+	for _, r := range received {
+		msg, ok := r.Msg.(SMsg)
+		if !ok {
+			return fmt.Errorf("core: machine %d received foreign message %T", sm.id, r.Msg)
+		}
+		msgs = append(msgs, msg)
+	}
+
+	// Line 1: learn rfire.
+	if !sm.rfireDefined {
+		for _, m := range msgs {
+			if m.RFireDefined {
+				sm.rfire = m.RFire
+				sm.rfireDefined = true
+				break
+			}
+		}
+	}
+	// Line 2: learn validity.
+	if !sm.valid {
+		for _, m := range msgs {
+			if m.Valid {
+				sm.valid = true
+				break
+			}
+		}
+	}
+	// Line 3: start counting. (Figure 1 leaves seen implicit here; the
+	// invariant i ∈ seen_i whenever count_i ≥ 1 — Lemma 6.3(7) — pins it
+	// to {i}, matching process 1's initial state.)
+	if sm.valid && sm.rfireDefined && sm.count == 0 {
+		sm.count = 1
+		sm.seen = sm.bit(sm.id)
+	}
+	// Counting block.
+	if sm.count >= 1 && len(msgs) > 0 {
+		highcount := msgs[0].Count
+		for _, m := range msgs[1:] {
+			if m.Count > highcount {
+				highcount = m.Count
+			}
+		}
+		var highseen uint64
+		for _, m := range msgs {
+			if m.Count == highcount {
+				highseen |= m.Seen
+			}
+		}
+		switch {
+		case highcount == sm.count:
+			sm.seen |= highseen | sm.bit(sm.id)
+		case highcount > sm.count:
+			sm.seen = highseen | sm.bit(sm.id)
+			sm.count = highcount
+		}
+		if sm.seen == sm.fullSet() {
+			sm.count++
+			sm.seen = sm.bit(sm.id)
+		}
+	}
+	return nil
+}
+
+// Output implements protocol.Machine: O_i = 1 iff rfire_i ≠ undefined and
+// count_i ≥ rfire_i (shifted by the slack for the greedy variants, which
+// additionally require count_i ≥ 1 so that validity is preserved).
+func (sm *SMachine) Output() bool {
+	if !sm.rfireDefined || sm.count < 1 {
+		return false
+	}
+	return float64(sm.count+sm.slack) >= sm.rfire
+}
+
+// Count exposes count_i for the white-box invariant audit (Lemma 6.3/6.4
+// checkers); it is not part of the protocol interface.
+func (sm *SMachine) Count() int { return sm.count }
+
+// Valid exposes valid_i for the invariant audit.
+func (sm *SMachine) Valid() bool { return sm.valid }
+
+// RFireKnown exposes whether rfire_i ≠ undefined, for the invariant audit.
+func (sm *SMachine) RFireKnown() bool { return sm.rfireDefined }
+
+// RFire exposes rfire_i; meaningful only when RFireKnown.
+func (sm *SMachine) RFire() float64 { return sm.rfire }
+
+// Seen exposes seen_i as a sorted process list, for the invariant audit.
+func (sm *SMachine) Seen() []graph.ProcID {
+	out := make([]graph.ProcID, 0, bits.OnesCount64(sm.seen))
+	for i := 1; i <= sm.m; i++ {
+		if sm.seen&sm.bit(graph.ProcID(i)) != 0 {
+			out = append(out, graph.ProcID(i))
+		}
+	}
+	return out
+}
+
+// SeenMask exposes seen_i as a bitmask (bit i-1 ⇔ process i).
+func (sm *SMachine) SeenMask() uint64 { return sm.seen }

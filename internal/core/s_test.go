@@ -1,0 +1,476 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func TestNewSValidation(t *testing.T) {
+	for _, eps := range []float64{0, -0.1, 1.5, math.NaN()} {
+		if _, err := NewS(eps); err == nil {
+			t.Errorf("NewS(%v) succeeded, want error", eps)
+		}
+	}
+	if _, err := NewSWithSlack(0.1, -1); err == nil {
+		t.Error("negative slack accepted")
+	}
+	s, err := NewS(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epsilon() != 0.25 || s.Slack() != 0 {
+		t.Errorf("accessors wrong: ε=%v slack=%d", s.Epsilon(), s.Slack())
+	}
+	if !strings.Contains(s.Name(), "S") {
+		t.Errorf("Name = %q", s.Name())
+	}
+	g1, err := NewSWithSlack(0.25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g1.Name(), "+1") {
+		t.Errorf("slack variant Name = %q", g1.Name())
+	}
+}
+
+func TestSMachineRequiresSmallM(t *testing.T) {
+	s := MustS(0.5)
+	single := graph.MustNew(1, nil)
+	cfg := protocol.Config{ID: 1, G: single, N: 2, Tape: rng.NewTape(1)}
+	if _, err := s.NewMachine(cfg); err == nil {
+		t.Error("m=1 machine accepted")
+	}
+}
+
+func TestSMachineInitialState(t *testing.T) {
+	s := MustS(0.5)
+	g := graph.Pair()
+	m1, err := s.NewMachine(protocol.Config{ID: 1, G: g, N: 3, Input: true, Tape: rng.NewTape(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm1 := m1.(*SMachine)
+	if !sm1.RFireKnown() {
+		t.Error("process 1 must know rfire at start")
+	}
+	if rf := sm1.RFire(); rf <= 0 || rf > 1/0.5 {
+		t.Errorf("rfire = %v outside (0, 2]", rf)
+	}
+	if sm1.Count() != 1 || !sm1.Valid() {
+		t.Errorf("process 1 with input: count=%d valid=%v, want 1/true", sm1.Count(), sm1.Valid())
+	}
+	if seen := sm1.Seen(); len(seen) != 1 || seen[0] != 1 {
+		t.Errorf("process 1 seen = %v, want [1]", seen)
+	}
+
+	m1ni, err := s.NewMachine(protocol.Config{ID: 1, G: g, N: 3, Input: false, Tape: rng.NewTape(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm := m1ni.(*SMachine); sm.Count() != 0 || sm.Valid() {
+		t.Errorf("process 1 without input: count=%d valid=%v, want 0/false", sm.Count(), sm.Valid())
+	}
+
+	m2, err := s.NewMachine(protocol.Config{ID: 2, G: g, N: 3, Input: true, Tape: rng.NewTape(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm := m2.(*SMachine); sm.RFireKnown() || sm.Count() != 0 || !sm.Valid() {
+		t.Errorf("process 2 with input: rfire=%v count=%d valid=%v", sm.RFireKnown(), sm.Count(), sm.Valid())
+	}
+}
+
+func TestSRejectsForeignMessage(t *testing.T) {
+	s := MustS(0.5)
+	g := graph.Pair()
+	m, err := s.NewMachine(protocol.Config{ID: 2, G: g, N: 2, Tape: rng.NewTape(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type alien struct{ protocol.Message }
+	if err := m.Step(1, []protocol.Received{{From: 1, Msg: alien{}}}); err == nil {
+		t.Error("foreign message type accepted")
+	}
+}
+
+func TestValiditySampledRuns(t *testing.T) {
+	// Theorem 6.5: on any run with I(R) = ∅, every process outputs 0 —
+	// for every random tape. We sample runs and tapes.
+	s := MustS(0.3)
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(50)
+	stream := rng.NewStream(51)
+	for trial := 0; trial < 100; trial++ {
+		r, err := run.RandomSubset(g, 3, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range r.Inputs() {
+			r.RemoveInput(i)
+		}
+		outs, err := sim.Outputs(s, g, r, sim.StreamTapes(stream, uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 4; i++ {
+			if outs[i] {
+				t.Fatalf("validity violated: process %d attacked on input-free run %v", i, r)
+			}
+		}
+	}
+}
+
+// driveWithInspection runs Protocol S round by round with direct access
+// to the machines, returning the machines after every round for white-box
+// invariant audits. It mirrors sim's loop engine exactly.
+func driveWithInspection(t *testing.T, s *S, g *graph.G, r *run.Run, seed uint64) [][]*SMachine {
+	t.Helper()
+	m := g.NumVertices()
+	stream := rng.NewStream(seed)
+	machines := make([]*SMachine, m+1)
+	for i := 1; i <= m; i++ {
+		mach, err := s.NewMachine(protocol.Config{
+			ID: graph.ProcID(i), G: g, N: r.N(),
+			Input: r.HasInput(graph.ProcID(i)),
+			Tape:  stream.Tape(0, uint64(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[i] = mach.(*SMachine)
+	}
+	snapshot := func() []*SMachine {
+		out := make([]*SMachine, m+1)
+		for i := 1; i <= m; i++ {
+			c := *machines[i]
+			out[i] = &c
+		}
+		return out
+	}
+	states := [][]*SMachine{snapshot()} // index r = state after round r
+	for round := 1; round <= r.N(); round++ {
+		inboxes := make([][]protocol.Received, m+1)
+		for i := 1; i <= m; i++ {
+			from := graph.ProcID(i)
+			for _, to := range g.Neighbors(from) {
+				msg := machines[i].Send(round, to)
+				if r.Delivered(from, to, round) {
+					inboxes[to] = append(inboxes[to], protocol.Received{From: from, Msg: msg})
+				}
+			}
+		}
+		for i := 1; i <= m; i++ {
+			if err := machines[i].Step(round, inboxes[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		states = append(states, snapshot())
+	}
+	return states
+}
+
+func TestLemma64CountTracksModifiedLevel(t *testing.T) {
+	// count_i^r = ML_i^r(R) for every process, round, and run — the
+	// linchpin of Protocol S's optimality (Lemma 6.4).
+	s := MustS(0.2)
+	graphs := []*graph.G{graph.Pair()}
+	if g, err := graph.Ring(4); err == nil {
+		graphs = append(graphs, g)
+	}
+	if g, err := graph.Complete(4); err == nil {
+		graphs = append(graphs, g)
+	}
+	if g, err := graph.Line(3); err == nil {
+		graphs = append(graphs, g)
+	}
+	for _, g := range graphs {
+		m := g.NumVertices()
+		tape := rng.NewTape(uint64(77 + m))
+		for trial := 0; trial < 120; trial++ {
+			r, err := run.RandomSubset(g, 4, tape)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mt, err := causality.NewModLevelTable(r, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			states := driveWithInspection(t, s, g, r, uint64(trial))
+			for round := 0; round <= r.N(); round++ {
+				for i := 1; i <= m; i++ {
+					want := mt.At(graph.ProcID(i), round)
+					if got := states[round][i].Count(); got != want {
+						t.Fatalf("%v trial %d: count_%d^%d = %d, ML = %d (run %v)",
+							g, trial, i, round, got, want, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLemma63Invariants(t *testing.T) {
+	// Machine-checked version of the Lemma 6.3 invariants the paper
+	// defers to the full version: (1) rfire_i ∈ {rfire, undefined};
+	// (2) count ≥ 1 ⇔ rfire known ∧ valid; (3) rfire known ⇔ (1,0)
+	// flows to (i,r); (4) valid ⇔ (v₀,-1) flows to (i,r); (7) seen ≠ V,
+	// i ∈ seen when counting; (8) ML_i^r ≥ count_i^r.
+	s := MustS(0.25)
+	g, err := graph.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.NumVertices()
+	tape := rng.NewTape(123)
+	for trial := 0; trial < 150; trial++ {
+		r, err := run.RandomSubset(g, 4, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states := driveWithInspection(t, s, g, r, uint64(trial))
+		rfire := states[0][1].RFire()
+		inputFirst := causality.InputArrival(r, m)
+		fromOne := causality.ArrivalFrom(r, m, 1, 0)
+		mt, err := causality.NewModLevelTable(r, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round <= r.N(); round++ {
+			for i := 1; i <= m; i++ {
+				sm := states[round][i]
+				if sm.RFireKnown() && sm.RFire() != rfire {
+					t.Fatalf("invariant 1: process %d holds rfire %v ≠ %v", i, sm.RFire(), rfire)
+				}
+				wantCounting := sm.RFireKnown() && sm.Valid()
+				if (sm.Count() >= 1) != wantCounting {
+					t.Fatalf("invariant 2: process %d round %d count=%d rfire=%v valid=%v",
+						i, round, sm.Count(), sm.RFireKnown(), sm.Valid())
+				}
+				if got, want := sm.RFireKnown(), fromOne[i] <= round; got != want {
+					t.Fatalf("invariant 3: process %d round %d rfireKnown=%v, flow says %v",
+						i, round, got, want)
+				}
+				if got, want := sm.Valid(), inputFirst[i] <= round; got != want {
+					t.Fatalf("invariant 4: process %d round %d valid=%v, flow says %v",
+						i, round, got, want)
+				}
+				if mask := sm.SeenMask(); mask == (uint64(1)<<uint(m))-1 {
+					t.Fatalf("invariant 7: process %d seen = V", i)
+				}
+				if sm.Count() >= 1 {
+					if mask := sm.SeenMask(); mask&(1<<uint(i-1)) == 0 {
+						t.Fatalf("invariant 7: counting process %d missing itself in seen", i)
+					}
+				}
+				if ml := mt.At(graph.ProcID(i), round); sm.Count() > ml {
+					t.Fatalf("invariant 8: count_%d^%d = %d > ML = %d", i, round, sm.Count(), ml)
+				}
+			}
+		}
+	}
+}
+
+// estimate runs trials Monte-Carlo executions of p on (g, r) and returns
+// the fraction of TA, PA outcomes.
+func estimate(t *testing.T, p protocol.Protocol, g *graph.G, r *run.Run, trials int, seed uint64) (ta, pa float64) {
+	t.Helper()
+	stream := rng.NewStream(seed)
+	var nTA, nPA int
+	for trial := 0; trial < trials; trial++ {
+		oc, err := sim.Outcome(p, g, r, sim.StreamTapes(stream, uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch oc {
+		case protocol.TotalAttack:
+			nTA++
+		case protocol.PartialAttack:
+			nPA++
+		}
+	}
+	return float64(nTA) / float64(trials), float64(nPA) / float64(trials)
+}
+
+func TestTheorem68LivenessGoodRun(t *testing.T) {
+	// L(S, R_good) = min(1, ε·ML(R_good)) = min(1, ε·N) on K_2.
+	const trials = 4000
+	for _, tc := range []struct {
+		eps float64
+		n   int
+	}{
+		{0.1, 4},  // expect 0.4
+		{0.1, 10}, // expect 1.0
+		{0.5, 1},  // expect 0.5
+		{0.02, 8}, // expect 0.16
+	} {
+		s := MustS(tc.eps)
+		g := graph.Pair()
+		r, err := run.Good(g, tc.n, 1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Min(1, tc.eps*float64(tc.n))
+		ta, _ := estimate(t, s, g, r, trials, 1000+uint64(tc.n))
+		if math.Abs(ta-want) > 0.03 {
+			t.Errorf("ε=%v N=%d: measured liveness %.3f, want %.3f", tc.eps, tc.n, ta, want)
+		}
+		// Exact analysis must agree with theory precisely.
+		a, err := s.Analyze(g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.PTotal-want) > 1e-12 {
+			t.Errorf("ε=%v N=%d: exact PTotal %.6f, want %.6f", tc.eps, tc.n, a.PTotal, want)
+		}
+	}
+}
+
+func TestTheorem67UnsafetyWindow(t *testing.T) {
+	// A run that strands exactly one process a level behind: cut the
+	// last message. Pr[PA|R] must be ≈ ε and never exceed it.
+	const trials = 6000
+	eps := 0.2
+	s := MustS(eps)
+	g := graph.Pair()
+	good, err := run.Good(g, 5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*run.Run{
+		run.CutAt(good, 5),
+		run.CutAt(good, 3),
+		good,
+	} {
+		a, err := s.Analyze(g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.PPartial > eps+1e-12 {
+			t.Errorf("exact Pr[PA|%v] = %v > ε", r, a.PPartial)
+		}
+		_, pa := estimate(t, s, g, r, trials, 777)
+		if pa > eps+0.02 {
+			t.Errorf("measured Pr[PA|%v] = %.3f > ε+noise", r, pa)
+		}
+		if math.Abs(pa-a.PPartial) > 0.03 {
+			t.Errorf("measured PA %.3f vs exact %.3f on %v", pa, a.PPartial, r)
+		}
+	}
+}
+
+func TestTreeRunLivenessIsEpsilon(t *testing.T) {
+	// Theorem A.1's pivot: on the spanning-tree run ML(R) = 1, Protocol S
+	// attacks all with probability exactly ε.
+	const trials = 8000
+	eps := 0.3
+	s := MustS(eps)
+	g, err := graph.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := run.Tree(g, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.PTotal-eps) > 1e-12 {
+		t.Errorf("exact tree-run liveness = %v, want ε = %v", a.PTotal, eps)
+	}
+	ta, _ := estimate(t, s, g, r, trials, 888)
+	if math.Abs(ta-eps) > 0.02 {
+		t.Errorf("measured tree-run liveness = %.3f, want ε = %v", ta, eps)
+	}
+}
+
+func TestSlackVariantTradesUnsafetyForLiveness(t *testing.T) {
+	// The slack-1 variant beats ε·ML(R) on every run — and pays exactly
+	// double the unsafety on the worst run, in line with Theorem A.1:
+	// per unit of unsafety it is no better than S.
+	eps := 0.15
+	greedy, err := NewSWithSlack(eps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Pair()
+
+	// Worst run for the slack variant: input at 1 only, total silence.
+	worst, err := run.Silent(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := greedy.Analyze(g, worst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * eps; math.Abs(a.PPartial-want) > 1e-12 {
+		t.Errorf("slack-1 worst-run PA = %v, want 2ε = %v", a.PPartial, want)
+	}
+	if got, want := UnsafetySup(eps, 1), 2*eps; math.Abs(got-want) > 1e-12 {
+		t.Errorf("UnsafetySup(ε,1) = %v, want %v", got, want)
+	}
+	_, pa := estimate(t, greedy, g, worst, 6000, 999)
+	if math.Abs(pa-2*eps) > 0.03 {
+		t.Errorf("measured slack-1 worst-run PA = %.3f, want %.3f", pa, 2*eps)
+	}
+
+	// And on the good run its liveness exceeds S's.
+	good, err := run.Good(g, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := greedy.Analyze(g, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MustS(eps)
+	as, err := s.Analyze(g, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag.PTotal <= as.PTotal {
+		t.Errorf("slack-1 liveness %v not above S's %v", ag.PTotal, as.PTotal)
+	}
+}
+
+func TestSOnConcurrentEngine(t *testing.T) {
+	// Protocol S behaves identically under the goroutine/channel engine.
+	s := MustS(0.25)
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(31)
+	for trial := 0; trial < 25; trial++ {
+		r, err := run.RandomSubset(g, 3, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loop, err := sim.Outputs(s, g, r, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conc, err := sim.ConcurrentOutputs(s, g, r, sim.SeedTapes(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range loop {
+			if loop[i] != conc[i] {
+				t.Fatalf("engines disagree on S at trial %d: %v vs %v", trial, loop, conc)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coordattack/internal/async"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/stats"
+	"coordattack/internal/table"
+)
+
+// T14Async realizes §8's remark that the results extend to an
+// asynchronous model: processes run on a timeout synchronizer over a
+// network with adversarial latencies, each execution *induces* a
+// synchronous run, and the paper's theorems apply to the induced run.
+// The experiment sweeps the synchronizer timeout τ against a fixed
+// latency distribution: agreement never degrades (PA ≤ ε on every
+// induced run — latency is a liveness attack, not a safety one), while
+// liveness rises with τ as more messages beat their deadlines.
+func T14Async(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	samples := 150
+	if opt.Quick {
+		samples = 50
+	}
+	const (
+		n     = 12
+		eps   = 0.1
+		latLo = 1
+		latHi = 5
+		dropP = 0.05
+	)
+	g, err := graph.Ring(4)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.NewS(eps)
+	if err != nil {
+		return nil, err
+	}
+	inputs := g.Vertices()
+
+	tb := table.New(fmt.Sprintf("T14: async reduction on ring(4), N=%d, ε=%.2f, latency U[%d,%d], drop %.2f",
+		n, eps, latLo, latHi, dropP),
+		"timeout τ", "E[ML(induced)]", "E[liveness]", "max Pr[PA|induced]", "ε")
+	ok := true
+	prevML := -1.0
+	latRoot := rng.NewTape(opt.Seed + 0xa5)
+	for _, tau := range []int{1, 2, 3, 5, 8} {
+		var mlStats, liveStats stats.Running
+		maxPA := 0.0
+		for trial := 0; trial < samples; trial++ {
+			lat, err := async.RandomLatency(latLo, latHi, dropP,
+				latRoot.Fork(uint64(tau*10000+trial)))
+			if err != nil {
+				return nil, err
+			}
+			induced, _, err := async.InducedRun(async.Config{
+				G: g, N: n, Timeout: tau, Latency: lat, Inputs: inputs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a, err := s.Analyze(g, induced)
+			if err != nil {
+				return nil, err
+			}
+			mlStats.Add(float64(a.ModMin))
+			liveStats.Add(a.PTotal)
+			if a.PPartial > maxPA {
+				maxPA = a.PPartial
+			}
+		}
+		tb.AddRow(table.I(tau), table.F(mlStats.Mean(), 2),
+			table.P(liveStats.Mean()), table.P(maxPA), table.F(eps, 2))
+		if maxPA > eps+1e-12 {
+			ok = false // agreement survives asynchrony
+		}
+		if mlStats.Mean() < prevML-0.2 {
+			ok = false // liveness (via ML) grows with τ, modulo noise
+		}
+		prevML = mlStats.Mean()
+	}
+	return &Result{
+		ID:     "T14",
+		Claim:  "§8: the results extend to an asynchronous model — the timeout synchronizer reduces async executions to runs, preserving every bound",
+		Tables: []*table.Table{tb},
+		OK:     ok,
+		Summary: "Across every sampled latency adversary and timeout, the induced run's exact Pr[PA] never " +
+			"exceeds ε — asynchrony attacks liveness only. Raising the synchronizer timeout buys level " +
+			"(more messages beat their deadlines) and with it liveness, the same rounds-for-confidence " +
+			"trade as the synchronous model.",
+	}, nil
+}

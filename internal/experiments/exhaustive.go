@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+	"coordattack/internal/stats"
+	"coordattack/internal/table"
+)
+
+// T13Exhaustive removes sampling from the picture entirely: on K_2 with
+// N = 3 it enumerates every run the strong adversary can choose (all
+// input subsets × all 2^6 delivery patterns = 256 runs) and checks, on
+// every single one, Theorem 5.4 (liveness ≤ ε·L(R)), Theorem 6.7
+// (Pr[PA|R] ≤ ε), Theorem 6.8 (liveness = min(1, ε·ML(R))), Lemma 6.1
+// (L-1 ≤ ML ≤ L), and Protocol A's exact distribution. The suprema over
+// the whole space are reported — these are U_s by definition, not by
+// search.
+func T13Exhaustive(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	const n = 3
+	eps := 0.25
+	g := graph.Pair()
+	s, err := core.NewS(eps)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		runsTotal   int
+		violations  int
+		maxPAS      float64
+		maxPAA      float64
+		mlHist      stats.IntHistogram
+		maxRatio    float64
+		worstSRunID string
+	)
+	err = run.Enumerate(g, n, nil, func(r *run.Run) error {
+		runsTotal++
+		a, err := s.Analyze(g, r)
+		if err != nil {
+			return err
+		}
+		mlHist.Add(a.ModMin)
+		if a.PTotal > a.Bound+1e-12 {
+			violations++ // Theorem 5.4
+		}
+		if a.PPartial > eps+1e-12 {
+			violations++ // Theorem 6.7
+		}
+		if want := core.LivenessExact(eps, a.ModMin); a.PTotal != want {
+			violations++ // Theorem 6.8
+		}
+		for i := 1; i <= 2; i++ {
+			if a.ModLevels[i] > a.Levels[i] || a.ModLevels[i] < a.Levels[i]-1 {
+				violations++ // Lemma 6.1
+			}
+		}
+		if a.PPartial > maxPAS {
+			maxPAS = a.PPartial
+			worstSRunID = r.String()
+		}
+		if ratio := core.LivenessOverUnsafety(a.PTotal, eps); ratio > maxRatio {
+			maxRatio = ratio
+		}
+		d, err := baseline.AnalyzeA(r)
+		if err != nil {
+			return err
+		}
+		if sum := d.PTotal + d.PPartial + d.PNone; !approxEqual(sum, 1, 1e-9) {
+			violations++
+		}
+		if d.PPartial > maxPAA {
+			maxPAA = d.PPartial
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	wantRuns := 4 * 64 // 2^2 input sets × 2^(2·3) delivery patterns
+	worstA, err := baseline.WorstCutUnsafetyA(n)
+	if err != nil {
+		return nil, err
+	}
+
+	tb := table.New(fmt.Sprintf("T13: exhaustive verification on K_2, N=%d, ε=%.2f (%d runs)", n, eps, runsTotal),
+		"quantity", "value", "paper")
+	tb.AddRow("runs enumerated", table.I(runsTotal), table.I(wantRuns))
+	tb.AddRow("claim violations", table.I(violations), "0")
+	tb.AddRow("sup_R Pr[PA|R] for S  (= U_s(S))", table.P(maxPAS), table.P(eps))
+	tb.AddRow("sup_R Pr[PA|R] for A  (= U_s(A))", table.P(maxPAA), table.P(worstA))
+	tb.AddRow("max L(S,R)/ε over runs", table.F(maxRatio, 3), fmt.Sprintf("≤ %d (N+1)", n+1))
+
+	tb2 := table.New("T13b: run census by ML(R)", "ML(R)", "runs", "L(S,R) = min(1, ε·ML)")
+	for _, ml := range mlHist.Values() {
+		tb2.AddRow(table.I(ml), table.I(mlHist.Count(ml)), table.P(core.LivenessExact(eps, ml)))
+	}
+
+	ok := runsTotal == wantRuns &&
+		violations == 0 &&
+		approxEqual(maxPAS, eps, 1e-12) &&
+		approxEqual(maxPAA, worstA, 1e-12) &&
+		maxRatio <= float64(n+1)+1e-9
+	return &Result{
+		ID:     "T13",
+		Claim:  "every theorem holds on every run of the enumerated strong-adversary space; U_s values are suprema over the whole space",
+		Tables: []*table.Table{tb, tb2},
+		OK:     ok,
+		Summary: fmt.Sprintf("All %d runs of the K_2, N=%d space verified with zero violations; "+
+			"the suprema U_s(S) = ε and U_s(A) = 1/(N-1) are attained, and no run pushes L/U past "+
+			"the Theorem 5.4 frontier. Worst run for S: %s.", runsTotal, n, worstSRunID),
+	}, nil
+}

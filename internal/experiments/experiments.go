@@ -1,0 +1,157 @@
+// Package experiments regenerates every quantitative claim of the paper
+// as a measured experiment. The paper (a theory paper) has no numbered
+// tables or figures; its evaluation is its theorems and worked examples.
+// DESIGN.md §3 maps each claim to an experiment id:
+//
+//	T1  §3        U_s(A) = 1/(N-1), L(A, R_good) = 1
+//	T2  §3        one dropped message kills Protocol A's liveness
+//	F1  Thm 5.4   L(F,R) ≤ ε·L(R): the liveness/unsafety tradeoff
+//	T3  Thm 6.7   U_s(S) ≤ ε, tight — by adversary search
+//	F2  Thm 6.8   L(S,R) = min(1, ε·ML(R))
+//	T4  L.6.1/6.2 level lemma audits
+//	T5  L.6.3/6.4 Protocol S invariant audits
+//	T6  Thm A.1   no protocol beats ε·ML(R) per unit of unsafety
+//	T7  §1        deterministic CA impossible: constructive witness
+//	T8  §8        weak adversary: vastly better in expectation
+//	T9  model     level growth and liveness across topologies
+//	T10 §3/§5     amplification (RepeatedA) cannot beat the tradeoff
+//	T11 systems   loop and channel engines agree; throughput
+//
+// Each experiment returns a Result carrying tables (and charts for the
+// F-series), a pass/fail verdict for the claim's *shape*, and a one-line
+// summary. cmd/coordbench prints them; the root benchmarks time them;
+// EXPERIMENTS.md records them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"coordattack/internal/table"
+)
+
+// Options tunes experiment fidelity.
+type Options struct {
+	// Trials is the Monte-Carlo budget per estimated point (default 20000).
+	Trials int
+	// Seed roots all randomness (default 1992, the paper's year).
+	Seed uint64
+	// Quick shrinks sweeps for use inside go test.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials == 0 {
+		o.Trials = 20000
+		if o.Quick {
+			o.Trials = 4000
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1992
+	}
+	return o
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID      string
+	Claim   string
+	Tables  []*table.Table
+	Charts  []*table.Chart
+	OK      bool
+	Summary string
+}
+
+// Render formats the result for a terminal.
+func (r *Result) Render() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.OK {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "### %s [%s] — %s\n", r.ID, verdict, r.Claim)
+	for _, t := range r.Tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	for _, c := range r.Charts {
+		b.WriteString(c.Render())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%s\n", r.Summary)
+	return b.String()
+}
+
+// Markdown formats the result for EXPERIMENTS.md.
+func (r *Result) Markdown() string {
+	var b strings.Builder
+	verdict := "PASS"
+	if !r.OK {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "### %s — %s\n\n*Verdict: %s.* %s\n\n", r.ID, r.Claim, verdict, r.Summary)
+	for _, t := range r.Tables {
+		b.WriteString(t.Markdown())
+		b.WriteByte('\n')
+	}
+	for _, c := range r.Charts {
+		b.WriteString("```\n")
+		b.WriteString(c.Render())
+		b.WriteString("```\n\n")
+	}
+	return b.String()
+}
+
+// Experiment is a named experiment function.
+type Experiment struct {
+	ID  string
+	Run func(Options) (*Result, error)
+}
+
+// All returns every experiment in report order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "T1", Run: T1ProtocolA},
+		{ID: "T2", Run: T2DropOne},
+		{ID: "F1", Run: F1Tradeoff},
+		{ID: "T3", Run: T3UnsafetyS},
+		{ID: "F2", Run: F2LivenessS},
+		{ID: "T4", Run: T4LevelLemmas},
+		{ID: "T5", Run: T5Invariants},
+		{ID: "T6", Run: T6SecondBound},
+		{ID: "T7", Run: T7Impossibility},
+		{ID: "T8", Run: T8WeakAdversary},
+		{ID: "T9", Run: T9Topology},
+		{ID: "T10", Run: T10Amplification},
+		{ID: "T11", Run: T11Engines},
+		{ID: "T12", Run: T12Independence},
+		{ID: "T13", Run: T13Exhaustive},
+		{ID: "T14", Run: T14Async},
+		{ID: "T15", Run: T15WeakExact},
+		{ID: "T16", Run: T16AltValidity},
+		{ID: "T17", Run: T17Knowledge},
+		{ID: "T18", Run: T18RelayVsFlood},
+		{ID: "T19", Run: T19FireDistribution},
+		{ID: "T20", Run: T20Certificates},
+		{ID: "T21", Run: T21CommCost},
+	}
+}
+
+// ByID returns the experiment with the given id (case-insensitive).
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+func approxEqual(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpt() Options { return Options{Quick: true, Trials: 4000, Seed: 2024} }
+
+func TestAllExperimentsPassQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(quickOpt())
+			if err != nil {
+				t.Fatalf("%s errored: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("result id %q != experiment id %q", res.ID, e.ID)
+			}
+			if !res.OK {
+				t.Errorf("%s FAILED its claim check:\n%s", e.ID, res.Render())
+			}
+			if len(res.Tables) == 0 {
+				t.Errorf("%s produced no tables", e.ID)
+			}
+			if res.Claim == "" || res.Summary == "" {
+				t.Errorf("%s missing claim or summary", e.ID)
+			}
+		})
+	}
+}
+
+func TestAllHasExpectedIDs(t *testing.T) {
+	want := []string{"T1", "T2", "F1", "T3", "F2", "T4", "T5", "T6", "T7", "T8", "T9", "T10", "T11", "T12", "T13", "T14", "T15", "T16", "T17", "T18", "T19", "T20", "T21"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("All has %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("All[%d] = %s, want %s", i, e.ID, want[i])
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("t3")
+	if err != nil || e.ID != "T3" {
+		t.Errorf("ByID(t3) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestRenderAndMarkdown(t *testing.T) {
+	res, err := T2DropOne(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Render()
+	for _, want := range []string{"T2", "PASS", "protocol", "liveness"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Render missing %q", want)
+		}
+	}
+	md := res.Markdown()
+	for _, want := range []string{"### T2", "*Verdict: PASS.*", "| protocol |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestFiguresHaveCharts(t *testing.T) {
+	for _, id := range []string{"F1", "F2"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Run(quickOpt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Charts) == 0 {
+			t.Errorf("%s has no chart", id)
+		}
+		if !strings.Contains(res.Render(), "x:") {
+			t.Errorf("%s chart not rendered", id)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Trials != 20000 || o.Seed != 1992 {
+		t.Errorf("defaults = %+v", o)
+	}
+	q := Options{Quick: true}.withDefaults()
+	if q.Trials != 4000 {
+		t.Errorf("quick default trials = %d", q.Trials)
+	}
+	keep := Options{Trials: 123, Seed: 9}.withDefaults()
+	if keep.Trials != 123 || keep.Seed != 9 {
+		t.Errorf("explicit options overridden: %+v", keep)
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/mc"
+	"coordattack/internal/run"
+	"coordattack/internal/table"
+)
+
+// T19FireDistribution ablates Protocol S's one free design choice: the
+// distribution of the secret threshold rfire. For any distribution F the
+// protocol's liveness at level ml is F(ml) and its unsafety is the widest
+// one-level window of F, so Theorem 5.4 reads F(ml)/U_s ≤ ml. The uniform
+// choice makes every window equal — achieving the frontier at EVERY level
+// simultaneously — while front-loaded alternatives buy early liveness
+// with a wide first window and back-loaded ones waste their mass. The
+// paper's uniform rfire is the unique minimax choice, and this experiment
+// measures exactly how the alternatives fall short.
+func T19FireDistribution(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	const (
+		n   = 20
+		eps = 0.1
+	)
+	uni, err := core.UniformFire(eps)
+	if err != nil {
+		return nil, err
+	}
+	geo, err := core.GeometricFire(0.9)
+	if err != nil {
+		return nil, err
+	}
+	front, err := core.PowerFire(eps, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	back, err := core.PowerFire(eps, 2)
+	if err != nil {
+		return nil, err
+	}
+	dists := []core.FireDist{uni, geo, front, back}
+	if opt.Quick {
+		dists = dists[:2]
+	}
+
+	g := graph.Pair()
+	good, err := run.Good(g, n, 1, 2)
+	if err != nil {
+		return nil, err
+	}
+	probeMLs := []int{1, 5, 10}
+	cols := []string{"rfire distribution", "U_s (widest window)"}
+	for _, ml := range probeMLs {
+		cols = append(cols, fmt.Sprintf("L@ML=%d", ml))
+		cols = append(cols, fmt.Sprintf("(L/U)/ML@%d", ml))
+	}
+	cols = append(cols, "MC check @ML=10")
+	tb := table.New(fmt.Sprintf("T19: rfire distribution ablation (K_2, N=%d)", n), cols...)
+	ok := true
+	for di, d := range dists {
+		sf, err := core.NewSFire(d)
+		if err != nil {
+			return nil, err
+		}
+		u := d.WindowSup(n + 1)
+		row := []string{d.Name, table.P(u)}
+		for _, ml := range probeMLs {
+			live := sf.LivenessAt(ml)
+			frontier := live / u / float64(ml) // ≤ 1, =1 on the frontier
+			row = append(row, table.P(live), table.F(frontier, 3))
+			if frontier > 1+1e-9 {
+				ok = false // Theorem 5.4 must cap every distribution
+			}
+			if d.Name == uni.Name && !approxEqual(frontier, 1, 1e-9) {
+				ok = false // uniform sits on the frontier at every level
+			}
+		}
+		// Monte-Carlo confirmation at ML = 10 (prefix run).
+		r10 := run.Prefix(good, 10)
+		res, err := mc.Estimate(mc.Config{
+			Protocol: sf, Graph: g, Run: r10,
+			Trials: opt.Trials, Seed: opt.Seed + uint64(di),
+		})
+		if err != nil {
+			return nil, err
+		}
+		want := sf.LivenessAt(10)
+		row = append(row, table.P(res.TA.Mean()))
+		if consistent, err := res.TA.Consistent(want, 1e-6); err != nil || !consistent {
+			ok = false
+		}
+		tb.AddRow(row...)
+	}
+	// The alternatives must each fall short of the frontier somewhere.
+	for _, d := range dists[1:] {
+		u := d.WindowSup(n + 1)
+		short := false
+		for ml := 1; ml <= n; ml++ {
+			if d.CDF(float64(ml))/u < float64(ml)-1e-9 {
+				short = true
+				break
+			}
+		}
+		if !short {
+			ok = false
+		}
+	}
+	return &Result{
+		ID:     "T19",
+		Claim:  "ablation: uniform rfire is the unique minimax distribution — equal windows sit on the Theorem 5.4 frontier at every level",
+		Tables: []*table.Table{tb},
+		OK:     ok,
+		Summary: "Every alternative distribution respects the frontier F(ml)/U ≤ ml but wastes it somewhere: " +
+			"front-loaded choices pay a wide first window (high U), back-loaded ones strand mass beyond " +
+			"reachable levels. Uniform mass-per-window is exactly what 'the adversary cannot aim inside " +
+			"one window' demands — the paper's design choice, derived rather than assumed.",
+	}, nil
+}

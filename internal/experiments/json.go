@@ -1,0 +1,40 @@
+package experiments
+
+import "encoding/json"
+
+// jsonResult is the wire form of a Result for -json output.
+type jsonResult struct {
+	ID      string      `json:"id"`
+	Claim   string      `json:"claim"`
+	OK      bool        `json:"ok"`
+	Summary string      `json:"summary"`
+	Tables  []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// JSON renders the result as machine-readable JSON (tables only; charts
+// are a terminal affordance and are omitted).
+func (r *Result) JSON() ([]byte, error) {
+	out := jsonResult{
+		ID:      r.ID,
+		Claim:   r.Claim,
+		OK:      r.OK,
+		Summary: r.Summary,
+		Tables:  make([]jsonTable, 0, len(r.Tables)),
+	}
+	for _, t := range r.Tables {
+		out.Tables = append(out.Tables, jsonTable{
+			Title:   t.Title,
+			Note:    t.Note,
+			Columns: t.Columns,
+			Rows:    t.Rows,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"coordattack/internal/causality"
+	"coordattack/internal/graph"
+	"coordattack/internal/knowledge"
+	"coordattack/internal/table"
+)
+
+// T17Knowledge grounds §4's information levels in their cited semantics
+// ([HM] knowledge): over fully enumerated run spaces it checks, run by
+// run and process by process, that the combinatorial level L_i(R)
+// (flows-to dynamic programming) equals the Halpern-Moses knowledge depth
+// (the largest h with K_i E^(h-1) "input arrived", computed from
+// clip-indistinguishability classes) — and that common knowledge of the
+// input is attained on no run at all, the epistemic root of the
+// coordinated-attack impossibility.
+func T17Knowledge(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	ring3, err := graph.Ring(3)
+	if err != nil {
+		return nil, err
+	}
+	type spec struct {
+		name string
+		g    *graph.G
+		n    int
+	}
+	specs := []spec{
+		{"K_2, N=1", graph.Pair(), 1},
+		{"K_2, N=2", graph.Pair(), 2},
+		{"K_2, N=3", graph.Pair(), 3},
+		{"ring(3), N=1", ring3, 1},
+	}
+	if opt.Quick {
+		specs = specs[:2]
+	}
+	tb := table.New("T17: information levels = knowledge depth (exhaustive)",
+		"space", "runs", "(run, process) checks", "level ≠ depth", "runs with CK(input)")
+	ok := true
+	for _, sp := range specs {
+		s, err := knowledge.NewSpace(sp.g, sp.n)
+		if err != nil {
+			return nil, err
+		}
+		m := sp.g.NumVertices()
+		mismatches, checks := 0, 0
+		for _, r := range s.Runs() {
+			lt, err := causality.NewLevelTable(r, m)
+			if err != nil {
+				return nil, err
+			}
+			for i := 1; i <= m; i++ {
+				depth, err := s.Depth(graph.ProcID(i), knowledge.InputArrived, r)
+				if err != nil {
+					return nil, err
+				}
+				checks++
+				if depth != lt.Final(graph.ProcID(i)) {
+					mismatches++
+				}
+			}
+		}
+		ck, err := s.CommonKnowledgeAll(knowledge.InputArrived)
+		if err != nil {
+			return nil, err
+		}
+		ckRuns := 0
+		for _, v := range ck {
+			if v {
+				ckRuns++
+			}
+		}
+		tb.AddRow(sp.name, table.I(s.Size()), table.I(checks), table.I(mismatches), table.I(ckRuns))
+		if mismatches != 0 || ckRuns != 0 {
+			ok = false
+		}
+	}
+	return &Result{
+		ID:     "T17",
+		Claim:  "§4/[HM]: the level measure is exactly Halpern-Moses knowledge depth, and common knowledge of the input is unattainable",
+		Tables: []*table.Table{tb},
+		OK:     ok,
+		Summary: "Across every run of every enumerated space, the flows-to levels and the " +
+			"indistinguishability-class knowledge depths coincide exactly — §4's 'knowledge' framing is " +
+			"literal. No run attains common knowledge of the input: the epistemic statement of the " +
+			"impossibility that forces the paper's probabilistic compromise.",
+	}, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/mc"
+	"coordattack/internal/run"
+	"coordattack/internal/table"
+)
+
+// T18RelayVsFlood is an extension experiment (our generalization, not the
+// paper's): the natural m-general ring-relay descendant of Protocol A has
+// a disagreement window m−1 rounds wide — U_s = (m−1)/(N−m) — because a
+// single circulating token leaves a full lap of generals behind whenever
+// it dies. Protocol S floods its full state every round, so its window
+// stays one rfire-unit wide at any m. At matched unsafety budgets the
+// comparison quantifies why the paper's protocol counts levels instead of
+// passing tokens.
+func T18RelayVsFlood(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	const n = 40
+	ms := []int{3, 5, 8}
+	if opt.Quick {
+		ms = ms[:2]
+	}
+	relay := baseline.NewRingRelay()
+	tb := table.New(fmt.Sprintf("T18: ring relay vs Protocol S flooding (N=%d, good run, matched unsafety)", n),
+		"m", "U_s(relay) exact", "U_s(relay) MC@worst", "relay liveness", "S liveness @ same ε", "S window width")
+	ok := true
+	for idx, m := range ms {
+		g, err := graph.Ring(m)
+		if err != nil {
+			return nil, err
+		}
+		good, err := run.Good(g, n, 1)
+		if err != nil {
+			return nil, err
+		}
+		worst, err := baseline.WorstCutUnsafetyRingRelay(m, n)
+		if err != nil {
+			return nil, err
+		}
+		// Monte-Carlo confirmation on a worst cut.
+		resWorst, err := mc.Estimate(mc.Config{
+			Protocol: relay, Graph: g, Run: run.CutAt(good, n/2),
+			Trials: opt.Trials, Seed: opt.Seed + uint64(idx),
+		})
+		if err != nil {
+			return nil, err
+		}
+		relayGood, err := baseline.AnalyzeRingRelay(m, good)
+		if err != nil {
+			return nil, err
+		}
+		// Protocol S granted the same unsafety budget ε = U_s(relay).
+		s, err := core.NewS(worst)
+		if err != nil {
+			return nil, err
+		}
+		sAnalysis, err := s.Analyze(g, good)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(table.I(m), table.P(worst), table.P(resWorst.PA.Mean()),
+			table.P(relayGood.PTotal), table.P(sAnalysis.PTotal), "1 rfire unit")
+		if relayGood.PTotal != 1 {
+			ok = false
+		}
+		if consistent, err := resWorst.PA.Consistent(worst, 1e-6); err != nil || !consistent {
+			ok = false
+		}
+		if sAnalysis.PPartial > worst+1e-12 {
+			ok = false // S within the granted budget
+		}
+		if sAnalysis.PTotal < 1-1e-12 {
+			ok = false // at ε = (m−1)/(N−m), ε·ML(good) ≥ 1 on these rings
+		}
+		if want := float64(m-1) / float64(n-m); !approxEqual(worst, want, 1e-12) {
+			ok = false
+		}
+	}
+	return &Result{
+		ID:     "T18",
+		Claim:  "extension: a relay token's disagreement window grows linearly with m; flooding (Protocol S) keeps it at one unit for any m",
+		Tables: []*table.Table{tb},
+		OK:     ok,
+		Summary: "The ring-relay generalization of Protocol A pays (m−1)/(N−m) worst-case disagreement — " +
+			"confirmed by exact analysis and Monte Carlo — while Protocol S, granted the same unsafety " +
+			"budget, saturates liveness on the good run with its window still a single rfire unit. " +
+			"Flooding full state is what makes the paper's optimal tradeoff scale with group size.",
+	}, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/mc"
+	"coordattack/internal/run"
+	"coordattack/internal/table"
+)
+
+// T6SecondBound probes Theorem A.1: under the usual-case assumption no
+// protocol can beat ε·ML(R) on all runs. We realize the theorem's pivot —
+// the spanning-tree run with ML(R) = 1, where Protocol S's liveness is
+// exactly ε — and then measure the slack-1 variant, which *does* beat
+// ε·ML(R) on every run (liveness ε·(ML+1)) and pays for it exactly as
+// the theorem requires: its true unsafety doubles, so per unit of
+// unsafety it is no better than S.
+func T6SecondBound(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	eps := 0.15
+	ring, err := graph.Ring(5)
+	if err != nil {
+		return nil, err
+	}
+	star, err := graph.Star(5)
+	if err != nil {
+		return nil, err
+	}
+	type scenario struct {
+		gname string
+		g     *graph.G
+		n     int
+	}
+	scenarios := []scenario{
+		{"ring(5)", ring, 5},
+		{"star(5)", star, 4},
+	}
+	if opt.Quick {
+		scenarios = scenarios[:1]
+	}
+	s := core.MustS(eps)
+	greedy, err := core.NewSWithSlack(eps, 1)
+	if err != nil {
+		return nil, err
+	}
+	tb := table.New(fmt.Sprintf("T6: tree run (ML=1) and the slack tradeoff, ε=%.3g", eps),
+		"graph", "protocol", "run", "ML(R)", "liveness exact", "liveness MC", "U_s sup", "(L/U)·1[ML=1]")
+	ok := true
+	for i, sc := range scenarios {
+		// Theorem A.1 needs the usual-case assumption; assert it holds
+		// for the scenario before leaning on the theorem.
+		if err := core.UsualCase(sc.g, sc.n, eps); err != nil {
+			return nil, err
+		}
+		tree, err := run.Tree(sc.g, sc.n, 1)
+		if err != nil {
+			return nil, err
+		}
+		for j, p := range []*core.S{s, greedy} {
+			a, err := p.Analyze(sc.g, tree)
+			if err != nil {
+				return nil, err
+			}
+			res, err := mc.Estimate(mc.Config{
+				Protocol: p, Graph: sc.g, Run: tree,
+				Trials: opt.Trials, Seed: opt.Seed + uint64(i*10+j),
+			})
+			if err != nil {
+				return nil, err
+			}
+			usup := core.UnsafetySup(eps, p.Slack())
+			ratio := core.LivenessOverUnsafety(a.PTotal, usup)
+			tb.AddRow(sc.gname, p.Name(), "tree", table.I(a.ModMin),
+				table.P(a.PTotal), table.P(res.TA.Mean()), table.P(usup), table.F(ratio, 3))
+			// Theorem A.1's pivot: S achieves exactly ε on the ML=1 run.
+			if p.Slack() == 0 && !approxEqual(a.PTotal, eps, 1e-12) {
+				ok = false
+			}
+			// The slack variant beats ε·ML — but only by paying in U:
+			// both protocols have identical L/U on this run.
+			if p.Slack() == 1 && !approxEqual(a.PTotal, 2*eps, 1e-12) {
+				ok = false
+			}
+			if !approxEqual(ratio, 1, 1e-9) {
+				ok = false // liveness/unsafety = 1 on the ML=1 run, for both
+			}
+			if consistent, err := res.TA.Consistent(a.PTotal, 1e-6); err != nil || !consistent {
+				ok = false
+			}
+		}
+	}
+	return &Result{
+		ID:     "T6",
+		Claim:  "Thm A.1: beating ε·ML(R) anywhere costs unsafety elsewhere — liveness per unit unsafety is capped by ML(R)",
+		Tables: []*table.Table{tb},
+		OK:     ok,
+		Summary: "On the Lemma A.6 tree run (ML = 1), Protocol S attacks with probability exactly ε. " +
+			"The slack-1 variant doubles its liveness on every run — and its worst-case unsafety doubles " +
+			"with it (U_s = 2ε on the silent run), leaving the normalized ratio unchanged: " +
+			"Protocol S is optimal per unit of unsafety, as Theorem A.1 demands.",
+	}, nil
+}

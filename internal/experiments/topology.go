@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+	"coordattack/internal/table"
+)
+
+// T9Topology maps how the information level — and with it Protocol S's
+// liveness — grows across topologies. Levels rise roughly once per
+// diameter's worth of rounds, so for a fixed horizon the complete graph
+// dominates the ring, which dominates the line: redundancy buys liveness.
+func T9Topology(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	const m = 8
+	n := 2 * m
+	eps := 1.0 / float64(n)
+	ring, err := graph.Ring(m)
+	if err != nil {
+		return nil, err
+	}
+	line, err := graph.Line(m)
+	if err != nil {
+		return nil, err
+	}
+	star, err := graph.Star(m)
+	if err != nil {
+		return nil, err
+	}
+	complete, err := graph.Complete(m)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := graph.Grid(2, m/2)
+	if err != nil {
+		return nil, err
+	}
+	cube, err := graph.Hypercube(3)
+	if err != nil {
+		return nil, err
+	}
+	type topo struct {
+		name string
+		g    *graph.G
+	}
+	topos := []topo{
+		{"complete", complete},
+		{"hypercube(3)", cube},
+		{"star", star},
+		{"grid(2x4)", grid},
+		{"ring", ring},
+		{"line", line},
+	}
+	if opt.Quick {
+		topos = []topo{{"complete", complete}, {"ring", ring}, {"line", line}}
+	}
+	s, err := core.NewS(eps)
+	if err != nil {
+		return nil, err
+	}
+	tb := table.New(fmt.Sprintf("T9: level growth by topology (m=%d, N=%d, ε=%.3g, good run)", m, n, eps),
+		"topology", "|E|", "diameter", "ML(R_g)", "L(R_g)", "liveness exact", "bound ε·L")
+	ok := true
+	mls := make(map[string]int, len(topos))
+	for _, tp := range topos {
+		good, err := run.Good(tp.g, n, tp.g.Vertices()...)
+		if err != nil {
+			return nil, err
+		}
+		a, err := s.Analyze(tp.g, good)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(tp.name, table.I(tp.g.NumEdges()), table.I(tp.g.Diameter()),
+			table.I(a.ModMin), table.I(a.LevelMin), table.P(a.PTotal), table.P(a.Bound))
+		mls[tp.name] = a.ModMin
+		if a.PTotal > a.Bound+1e-12 {
+			ok = false
+		}
+		// Sanity: levels need at least diameter rounds per increment
+		// beyond the first, so ML ≤ N/diam + 1 (coarse ceiling).
+		if d := tp.g.Diameter(); d > 0 && a.ModMin > n/d+2 {
+			ok = false
+		}
+	}
+	if mls["complete"] < mls["ring"] || mls["ring"] < mls["line"] {
+		ok = false // denser graphs must not lose levels
+	}
+
+	// Second table: liveness vs N on the ring, showing the linear climb.
+	tb2 := table.New("T9b: Protocol S liveness vs N on ring(8), ε=1/16, good run",
+		"N", "ML(R_g)", "liveness exact")
+	sweep := []int{8, 12, 16, 24, 32}
+	if opt.Quick {
+		sweep = []int{8, 16}
+	}
+	prevML := -1
+	var xs, livenessSeries, mlSeries []float64
+	for _, nn := range sweep {
+		good, err := run.Good(ring, nn, ring.Vertices()...)
+		if err != nil {
+			return nil, err
+		}
+		ml, err := causality.RunModLevel(good, m)
+		if err != nil {
+			return nil, err
+		}
+		tb2.AddRow(table.I(nn), table.I(ml), table.P(core.LivenessExact(eps, ml)))
+		xs = append(xs, float64(nn))
+		mlSeries = append(mlSeries, float64(ml))
+		livenessSeries = append(livenessSeries, core.LivenessExact(eps, ml))
+		if ml < prevML {
+			ok = false // monotone in N
+		}
+		prevML = ml
+	}
+	chart := table.NewChart("T9b: ring(8) level (*) and liveness×10 (+) vs N", xs)
+	if err := chart.Add("ML(R_g)", '*', mlSeries); err != nil {
+		return nil, err
+	}
+	scaled := make([]float64, len(livenessSeries))
+	for i, v := range livenessSeries {
+		scaled[i] = 10 * v
+	}
+	if err := chart.Add("liveness × 10", '+', scaled); err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "T9",
+		Claim:  "levels (hence liveness per ε) grow with rounds and shrink with diameter: topology buys liveness",
+		Tables: []*table.Table{tb, tb2},
+		Charts: []*table.Chart{chart},
+		OK:     ok,
+		Summary: "On a fixed horizon the complete graph reaches the highest modified level and the line the " +
+			"lowest; on a fixed ring the level climbs with N. Protocol S's liveness min(1, ε·ML) inherits " +
+			"both trends, always below the Theorem 5.4 ceiling.",
+	}, nil
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/mc"
+	"coordattack/internal/run"
+	"coordattack/internal/table"
+)
+
+// F1Tradeoff regenerates the paper's central tradeoff as a figure:
+// sweeping runs of increasing information level L(R) (prefixes of the
+// good run), it plots the Theorem 5.4 ceiling ε·L(R), Protocol S's
+// exact and measured liveness hugging the ceiling from below, and
+// Protocol A's all-or-nothing liveness. The headline L/U ≤ N is the
+// endpoint of the ceiling.
+func F1Tradeoff(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	n := 20
+	if opt.Quick {
+		n = 10
+	}
+	eps := 1.0 / float64(n) // ceiling reaches 1 exactly at L(R) = N
+	g := graph.Pair()
+	s, err := core.NewS(eps)
+	if err != nil {
+		return nil, err
+	}
+	good, err := run.Good(g, n, 1, 2)
+	if err != nil {
+		return nil, err
+	}
+
+	tb := table.New(fmt.Sprintf("F1: liveness vs information level (K_2, N=%d, ε=%.3g)", n, eps),
+		"prefix k", "L(R)", "ML(R)", "bound ε·L(R)", "S exact", "S MC", "A exact", "L/U(S)")
+	var xs, bound, sExactS, sMC, aSeries []float64
+	ok := true
+	for k := 0; k <= n; k++ {
+		r := run.Prefix(good, k)
+		a, err := s.Analyze(g, r)
+		if err != nil {
+			return nil, err
+		}
+		res, err := mc.Estimate(mc.Config{
+			Protocol: s, Graph: g, Run: r,
+			Trials: opt.Trials, Seed: opt.Seed + uint64(k),
+		})
+		if err != nil {
+			return nil, err
+		}
+		aDist, err := baseline.AnalyzeA(r)
+		if err != nil {
+			return nil, err
+		}
+		ratio := core.LivenessOverUnsafety(a.PTotal, core.UnsafetySup(eps, 0))
+		tb.AddRow(table.I(k), table.I(a.LevelMin), table.I(a.ModMin),
+			table.P(a.Bound), table.P(a.PTotal), table.P(res.TA.Mean()),
+			table.P(aDist.PTotal), table.F(ratio, 2))
+		xs = append(xs, float64(a.LevelMin))
+		bound = append(bound, a.Bound)
+		sExactS = append(sExactS, a.PTotal)
+		sMC = append(sMC, res.TA.Mean())
+		aSeries = append(aSeries, aDist.PTotal)
+
+		if a.PTotal > a.Bound+1e-12 {
+			ok = false // Theorem 5.4 must hold
+		}
+		if a.Bound-a.PTotal > eps+1e-12 {
+			ok = false // S is within one ε of the ceiling (Lemma 6.1 gap)
+		}
+		if consistent, err := res.TA.Consistent(a.PTotal, 1e-6); err != nil || !consistent {
+			ok = false
+		}
+		if ratio > float64(n)+1+1e-9 {
+			ok = false // L/U ≤ L(R) ≤ N+1
+		}
+	}
+	chart := table.NewChart("F1: liveness vs L(R) — ceiling (#), S exact (*), S MC (+), A (o)", xs)
+	for _, sAdd := range []struct {
+		name string
+		sym  byte
+		ys   []float64
+	}{
+		{"bound ε·L(R)", '#', bound},
+		{"Protocol S exact", '*', sExactS},
+		{"Protocol S MC", '+', sMC},
+		{"Protocol A exact", 'o', aSeries},
+	} {
+		if err := chart.Add(sAdd.name, sAdd.sym, sAdd.ys); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		ID:     "F1",
+		Claim:  "Thm 5.4: L(F,R) ≤ U_s(F)·L(R) — liveness per unit unsafety is at most the information level, hence L/U ≤ N",
+		Tables: []*table.Table{tb},
+		Charts: []*table.Chart{chart},
+		OK:     ok,
+		Summary: "Protocol S tracks the ε·L(R) ceiling to within one ε at every level; " +
+			"Protocol A is all-or-nothing (1 only on the full prefix, else 0). " +
+			"The ratio L/U grows linearly in L(R) and saturates at the Theorem 5.4 ceiling.",
+	}, nil
+}
+
+// F2LivenessS regenerates Theorem 6.8 as a figure: over runs with
+// modified level ML(R) = 0..N, Protocol S's measured liveness equals
+// min(1, ε·ML(R)) — exactly, not just in trend.
+func F2LivenessS(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	n := 16
+	if opt.Quick {
+		n = 8
+	}
+	eps := 2.0 / float64(n) // saturation visible at ML = N/2
+	g := graph.Pair()
+	s, err := core.NewS(eps)
+	if err != nil {
+		return nil, err
+	}
+	good, err := run.Good(g, n, 1, 2)
+	if err != nil {
+		return nil, err
+	}
+	tb := table.New(fmt.Sprintf("F2: Protocol S liveness vs ML(R) (K_2, N=%d, ε=%.3g)", n, eps),
+		"ML(R)", "formula min(1,ε·ML)", "exact", "MC", "|MC−formula|")
+	var xs, formula, measured []float64
+	ok := true
+	seen := map[int]bool{}
+	for k := 0; k <= n; k++ {
+		r := run.Prefix(good, k)
+		a, err := s.Analyze(g, r)
+		if err != nil {
+			return nil, err
+		}
+		if seen[a.ModMin] {
+			continue // prefixes can repeat a level; one point per level
+		}
+		seen[a.ModMin] = true
+		want := core.LivenessExact(eps, a.ModMin)
+		res, err := mc.Estimate(mc.Config{
+			Protocol: s, Graph: g, Run: r,
+			Trials: opt.Trials, Seed: opt.Seed + uint64(100+k),
+		})
+		if err != nil {
+			return nil, err
+		}
+		diff := math.Abs(res.TA.Mean() - want)
+		tb.AddRow(table.I(a.ModMin), table.P(want), table.P(a.PTotal), table.P(res.TA.Mean()), table.P(diff))
+		xs = append(xs, float64(a.ModMin))
+		formula = append(formula, want)
+		measured = append(measured, res.TA.Mean())
+		if a.PTotal != want {
+			ok = false
+		}
+		if consistent, err := res.TA.Consistent(want, 1e-6); err != nil || !consistent {
+			ok = false
+		}
+	}
+	chart := table.NewChart("F2: liveness vs ML(R) — formula (*), measured (+)", xs)
+	if err := chart.Add("min(1, ε·ML)", '*', formula); err != nil {
+		return nil, err
+	}
+	if err := chart.Add("measured", '+', measured); err != nil {
+		return nil, err
+	}
+	return &Result{
+		ID:     "F2",
+		Claim:  "Thm 6.8: L(S,R) = min(1, ε·ML(R)) — liveness grows linearly with the run's modified level, then saturates",
+		Tables: []*table.Table{tb},
+		Charts: []*table.Chart{chart},
+		OK:     ok,
+		Summary: fmt.Sprintf("Measured liveness matches min(1, ε·ML(R)) at every sampled level "+
+			"(Hoeffding-consistent at %d trials); the exact analysis matches to machine precision.", opt.Trials),
+	}, nil
+}

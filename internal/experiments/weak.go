@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coordattack/internal/adversary"
+	"coordattack/internal/causality"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/mc"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/stats"
+	"coordattack/internal/table"
+)
+
+// T8WeakAdversary measures §8's closing remark: against a weak
+// (probabilistic) adversary that loses each message independently with
+// probability p, Protocol S performs vastly better than its worst case —
+// expected modified levels stay near N, liveness stays near 1, and the
+// expected disagreement probability is far below ε, because random loss
+// almost never lands rfire in the one-unit window that a strong adversary
+// targets deliberately.
+func T8WeakAdversary(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	eps := 0.1
+	n := 30
+	mlSamples := 300
+	if opt.Quick {
+		n = 16
+		mlSamples = 100
+	}
+	g := graph.Pair()
+	s, err := core.NewS(eps)
+	if err != nil {
+		return nil, err
+	}
+	ps := []float64{0, 0.01, 0.05, 0.1, 0.3}
+	tb := table.New(fmt.Sprintf("T8: Protocol S under the weak adversary (K_2, N=%d, ε=%.3g)", n, eps),
+		"loss p", "E[ML(R)]", "liveness MC", "disagreement MC", "worst-case ε")
+	ok := true
+	for i, p := range ps {
+		res, err := mc.Estimate(mc.Config{
+			Protocol: s, Graph: g,
+			Sampler: adversary.WeakSampler(g, n, p, 1, 2),
+			Trials:  opt.Trials, Seed: opt.Seed + uint64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Expected modified level of sampled runs, estimated separately.
+		var mlStats stats.Running
+		mlTape := rng.NewTape(opt.Seed + uint64(1000+i))
+		for t := 0; t < mlSamples; t++ {
+			r, err := run.RandomLoss(g, n, p, mlTape, 1, 2)
+			if err != nil {
+				return nil, err
+			}
+			ml, err := causality.RunModLevel(r, 2)
+			if err != nil {
+				return nil, err
+			}
+			mlStats.Add(float64(ml))
+		}
+		tb.AddRow(table.F(p, 2), table.F(mlStats.Mean(), 1),
+			table.P(res.TA.Mean()), table.P(res.PA.Mean()), table.F(eps, 3))
+		if res.PA.Mean() > eps+1e-9 {
+			ok = false // expected disagreement can never exceed the worst case
+		}
+		if p <= 0.05 && res.TA.Mean() < 0.95 {
+			ok = false // near-lossless: liveness ≈ 1
+		}
+		if p <= 0.1 && res.PA.Mean() > eps/2 {
+			ok = false // "vastly better": well under the strong-adversary ε
+		}
+	}
+	return &Result{
+		ID:     "T8",
+		Claim:  "§8: against a weak (iid-loss) adversary, performance is vastly better than the strong-adversary tradeoff",
+		Tables: []*table.Table{tb},
+		OK:     ok,
+		Summary: "Random loss keeps ML(R) near N, so liveness saturates at 1 for realistic loss rates, " +
+			"while the expected disagreement sits an order of magnitude below the worst-case ε: " +
+			"the adversary's power in the lower bound is its *aim*, not its loss volume.",
+	}, nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coordattack/internal/adversary"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/mc"
+	"coordattack/internal/table"
+	"coordattack/internal/weak"
+)
+
+// T15WeakExact sharpens §8's "preliminary results" into exact numbers:
+// on K_2, Protocol S's counters under iid loss form a small Markov chain
+// (Lemma 6.2 pins them one apart), so expected liveness and expected
+// disagreement under the weak adversary have closed forms. The table
+// reports them against Monte-Carlo estimates of the real protocol, plus
+// the deadline needed to saturate liveness — which grows only by a
+// constant factor in the loss rate, not in ε.
+func T15WeakExact(opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	const n = 25
+	eps := 0.08
+	g := graph.Pair()
+	s, err := core.NewS(eps)
+	if err != nil {
+		return nil, err
+	}
+	tb := table.New(fmt.Sprintf("T15: exact weak-adversary analysis (K_2, N=%d, ε=%.2f)", n, eps),
+		"loss p", "E[ML] exact", "liveness exact", "liveness MC", "disagree exact", "disagree MC")
+	ok := true
+	var xs, liveSeries, disagreeSeries []float64
+	for i, p := range []float64{0, 0.02, 0.05, 0.1, 0.2, 0.4} {
+		exact, err := weak.Exact(n, eps, p)
+		if err != nil {
+			return nil, err
+		}
+		res, err := mc.Estimate(mc.Config{
+			Protocol: s, Graph: g,
+			Sampler: adversary.WeakSampler(g, n, p, 1, 2),
+			Trials:  opt.Trials, Seed: opt.Seed + uint64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(table.F(p, 2), table.F(exact.MeanMinCount, 2),
+			table.P(exact.Liveness), table.P(res.TA.Mean()),
+			table.P(exact.Disagreement), table.P(res.PA.Mean()))
+		if consistent, err := res.TA.Consistent(exact.Liveness, 1e-6); err != nil || !consistent {
+			ok = false
+		}
+		if consistent, err := res.PA.Consistent(exact.Disagreement, 1e-6); err != nil || !consistent {
+			ok = false
+		}
+		if exact.Disagreement > eps+1e-12 {
+			ok = false // expectation can never exceed the worst case
+		}
+		xs = append(xs, p)
+		liveSeries = append(liveSeries, exact.Liveness)
+		disagreeSeries = append(disagreeSeries, exact.Disagreement/eps)
+	}
+	chart := table.NewChart("T15: exact liveness (*) and disagreement/ε (o) vs loss p", xs)
+	if err := chart.Add("liveness", '*', liveSeries); err != nil {
+		return nil, err
+	}
+	if err := chart.Add("disagreement / ε", 'o', disagreeSeries); err != nil {
+		return nil, err
+	}
+
+	tb2 := table.New(fmt.Sprintf("T15b: rounds to 99%% liveness (ε=%.2f)", eps),
+		"loss p", "rounds needed", "vs lossless")
+	base, err := weak.SaturationRounds(eps, 0, 0.99, 500)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range []float64{0, 0.05, 0.1, 0.2, 0.3} {
+		need, err := weak.SaturationRounds(eps, p, 0.99, 500)
+		if err != nil {
+			return nil, err
+		}
+		tb2.AddRow(table.F(p, 2), table.I(need), table.F(float64(need)/float64(base), 2))
+		if need > 4*base {
+			ok = false // constant-factor slowdown, per §8's optimism
+		}
+	}
+	return &Result{
+		ID:     "T15",
+		Claim:  "§8 sharpened: under iid loss the exact expected disagreement collapses below ε and the liveness deadline grows by a constant factor only",
+		Tables: []*table.Table{tb, tb2},
+		Charts: []*table.Chart{chart},
+		OK:     ok,
+		Summary: "The closed-form Markov-chain analysis of Protocol S's counters matches the simulated " +
+			"protocol at every loss rate. Against the weak adversary the deadline for 99% liveness " +
+			"stretches by ≈1/(1-p)², while the strong-adversary bound would demand 1/ε rounds per " +
+			"unit of liveness regardless — randomness without aim barely hurts.",
+	}, nil
+}

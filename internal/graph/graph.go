@@ -1,0 +1,259 @@
+// Package graph is the topology substrate: the undirected graph G(V, E) of
+// generals from §2 of the paper, with the constructors and queries the
+// protocols, adversaries, and experiments need.
+//
+// Vertices are process identifiers 1..m, matching the paper's convention
+// (process 1 is the distinguished general that draws rfire in Protocol S).
+// The environment node v₀ is *not* part of the graph; it is modeled by the
+// run's input set.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProcID identifies a general: an integer in 1..m. The zero value is
+// reserved for the environment node v₀ and never appears as a vertex.
+type ProcID int
+
+// Env is the environment node v₀ that delivers the "try to attack" input
+// signal at the end of round 0.
+const Env ProcID = 0
+
+// Edge is an unordered pair of distinct vertices. Canonical form has
+// A < B; use NewEdge to construct.
+type Edge struct {
+	A, B ProcID
+}
+
+// NewEdge returns the canonical (smaller-first) form of the edge {a, b}.
+func NewEdge(a, b ProcID) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{A: a, B: b}
+}
+
+// G is an undirected simple graph on vertices 1..m. Construct with New or
+// one of the topology constructors; a G is immutable after construction
+// and safe for concurrent readers.
+type G struct {
+	m     int
+	adj   [][]ProcID // adj[i] sorted neighbor lists, index 1..m
+	edges []Edge     // sorted canonical edge list
+}
+
+// New builds a graph on m ≥ 1 vertices with the given edges. Self-loops,
+// duplicate edges (in either orientation), and out-of-range endpoints are
+// rejected.
+func New(m int, edges []Edge) (*G, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("graph: need at least 1 vertex, got %d", m)
+	}
+	seen := make(map[Edge]bool, len(edges))
+	canon := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if e.A == e.B {
+			return nil, fmt.Errorf("graph: self-loop on vertex %d", e.A)
+		}
+		if e.A < 1 || e.A > ProcID(m) || e.B < 1 || e.B > ProcID(m) {
+			return nil, fmt.Errorf("graph: edge {%d,%d} out of range 1..%d", e.A, e.B, m)
+		}
+		c := NewEdge(e.A, e.B)
+		if seen[c] {
+			return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", c.A, c.B)
+		}
+		seen[c] = true
+		canon = append(canon, c)
+	}
+	sort.Slice(canon, func(i, j int) bool {
+		if canon[i].A != canon[j].A {
+			return canon[i].A < canon[j].A
+		}
+		return canon[i].B < canon[j].B
+	})
+	adj := make([][]ProcID, m+1)
+	for _, e := range canon {
+		adj[e.A] = append(adj[e.A], e.B)
+		adj[e.B] = append(adj[e.B], e.A)
+	}
+	for i := 1; i <= m; i++ {
+		sort.Slice(adj[i], func(a, b int) bool { return adj[i][a] < adj[i][b] })
+	}
+	return &G{m: m, adj: adj, edges: canon}, nil
+}
+
+// MustNew is New but panics on error; for use with known-good literals in
+// tests and examples.
+func MustNew(m int, edges []Edge) *G {
+	g, err := New(m, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumVertices reports m, the number of generals.
+func (g *G) NumVertices() int { return g.m }
+
+// NumEdges reports |E|.
+func (g *G) NumEdges() int { return len(g.edges) }
+
+// Vertices returns 1..m as a fresh slice.
+func (g *G) Vertices() []ProcID {
+	vs := make([]ProcID, g.m)
+	for i := range vs {
+		vs[i] = ProcID(i + 1)
+	}
+	return vs
+}
+
+// Edges returns a copy of the canonical sorted edge list.
+func (g *G) Edges() []Edge {
+	out := make([]Edge, len(g.edges))
+	copy(out, g.edges)
+	return out
+}
+
+// Neighbors returns a copy of i's sorted neighbor list. It panics if i is
+// out of range, which indicates a programming error rather than bad input.
+func (g *G) Neighbors(i ProcID) []ProcID {
+	g.check(i)
+	out := make([]ProcID, len(g.adj[i]))
+	copy(out, g.adj[i])
+	return out
+}
+
+// Degree reports the number of neighbors of i.
+func (g *G) Degree(i ProcID) int {
+	g.check(i)
+	return len(g.adj[i])
+}
+
+// HasEdge reports whether {a, b} ∈ E.
+func (g *G) HasEdge(a, b ProcID) bool {
+	if a < 1 || a > ProcID(g.m) || b < 1 || b > ProcID(g.m) || a == b {
+		return false
+	}
+	for _, n := range g.adj[a] {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *G) check(i ProcID) {
+	if i < 1 || i > ProcID(g.m) {
+		panic(fmt.Sprintf("graph: vertex %d out of range 1..%d", i, g.m))
+	}
+}
+
+// BFSFrom returns dist[v] = hop distance from src to every vertex, with -1
+// for unreachable vertices. Index 0 of the returned slice is unused.
+func (g *G) BFSFrom(src ProcID) []int {
+	g.check(src)
+	dist := make([]int, g.m+1)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]ProcID, 0, g.m)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Connected reports whether the graph is connected. A single vertex is
+// connected.
+func (g *G) Connected() bool {
+	dist := g.BFSFrom(1)
+	for i := 1; i <= g.m; i++ {
+		if dist[i] == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the largest hop distance between any two vertices, or
+// -1 if the graph is disconnected.
+func (g *G) Diameter() int {
+	diam := 0
+	for s := 1; s <= g.m; s++ {
+		dist := g.BFSFrom(ProcID(s))
+		for i := 1; i <= g.m; i++ {
+			if dist[i] == -1 {
+				return -1
+			}
+			if dist[i] > diam {
+				diam = dist[i]
+			}
+		}
+	}
+	return diam
+}
+
+// Eccentricity returns the largest hop distance from src to any vertex, or
+// -1 if some vertex is unreachable from src.
+func (g *G) Eccentricity(src ProcID) int {
+	dist := g.BFSFrom(src)
+	ecc := 0
+	for i := 1; i <= g.m; i++ {
+		if dist[i] == -1 {
+			return -1
+		}
+		if dist[i] > ecc {
+			ecc = dist[i]
+		}
+	}
+	return ecc
+}
+
+// SpanningTree returns the BFS spanning tree rooted at root as a parent
+// map: parent[v] is v's parent, parent[root] = Env (0). Returns an error
+// if the graph is disconnected. This is the tree used in Lemma A.6 to
+// construct the run R₁ with ML(R) = 1.
+func (g *G) SpanningTree(root ProcID) (map[ProcID]ProcID, error) {
+	g.check(root)
+	parent := make(map[ProcID]ProcID, g.m)
+	parent[root] = Env
+	queue := []ProcID{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if _, ok := parent[w]; !ok {
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(parent) != g.m {
+		return nil, fmt.Errorf("graph: not connected; spanning tree from %d covers %d of %d vertices",
+			root, len(parent), g.m)
+	}
+	return parent, nil
+}
+
+// String renders the graph compactly, e.g. "G(m=3; 1-2 2-3)".
+func (g *G) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "G(m=%d;", g.m)
+	for _, e := range g.edges {
+		fmt.Fprintf(&b, " %d-%d", e.A, e.B)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

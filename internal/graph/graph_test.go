@@ -1,0 +1,332 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coordattack/internal/rng"
+)
+
+func TestNewEdgeCanonical(t *testing.T) {
+	if e := NewEdge(3, 1); e.A != 1 || e.B != 3 {
+		t.Errorf("NewEdge(3,1) = %v, want {1,3}", e)
+	}
+	if e := NewEdge(1, 3); e.A != 1 || e.B != 3 {
+		t.Errorf("NewEdge(1,3) = %v, want {1,3}", e)
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	tests := []struct {
+		name  string
+		m     int
+		edges []Edge
+	}{
+		{"zero vertices", 0, nil},
+		{"negative vertices", -1, nil},
+		{"self loop", 2, []Edge{{A: 1, B: 1}}},
+		{"out of range high", 2, []Edge{{A: 1, B: 3}}},
+		{"out of range low", 2, []Edge{{A: 0, B: 1}}},
+		{"duplicate", 3, []Edge{{A: 1, B: 2}, {A: 2, B: 1}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.m, tc.edges); err == nil {
+				t.Errorf("New(%d, %v) succeeded, want error", tc.m, tc.edges)
+			}
+		})
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := MustNew(4, []Edge{{A: 1, B: 2}, {A: 2, B: 3}, {A: 3, B: 4}, {A: 4, B: 1}})
+	if got := g.NumVertices(); got != 4 {
+		t.Errorf("NumVertices = %d, want 4", got)
+	}
+	if got := g.NumEdges(); got != 4 {
+		t.Errorf("NumEdges = %d, want 4", got)
+	}
+	if got := g.Degree(2); got != 2 {
+		t.Errorf("Degree(2) = %d, want 2", got)
+	}
+	if !g.HasEdge(4, 1) || !g.HasEdge(1, 4) {
+		t.Error("HasEdge(4,1) should hold in both orientations")
+	}
+	if g.HasEdge(1, 3) {
+		t.Error("HasEdge(1,3) should be false")
+	}
+	if g.HasEdge(1, 1) {
+		t.Error("HasEdge(1,1) self-loop should be false")
+	}
+	if g.HasEdge(0, 1) || g.HasEdge(1, 99) {
+		t.Error("HasEdge with out-of-range vertex should be false")
+	}
+	vs := g.Vertices()
+	if len(vs) != 4 || vs[0] != 1 || vs[3] != 4 {
+		t.Errorf("Vertices = %v", vs)
+	}
+}
+
+func TestNeighborsSortedAndCopied(t *testing.T) {
+	g := MustNew(4, []Edge{{A: 3, B: 1}, {A: 1, B: 4}, {A: 1, B: 2}})
+	n := g.Neighbors(1)
+	want := []ProcID{2, 3, 4}
+	if len(n) != len(want) {
+		t.Fatalf("Neighbors(1) = %v, want %v", n, want)
+	}
+	for i := range want {
+		if n[i] != want[i] {
+			t.Fatalf("Neighbors(1) = %v, want %v", n, want)
+		}
+	}
+	n[0] = 99 // mutation must not leak into the graph
+	if g.Neighbors(1)[0] != 2 {
+		t.Error("Neighbors returned a view into internal state")
+	}
+}
+
+func TestEdgesSortedAndCopied(t *testing.T) {
+	g := MustNew(3, []Edge{{A: 2, B: 3}, {A: 1, B: 2}})
+	es := g.Edges()
+	if es[0] != (Edge{A: 1, B: 2}) || es[1] != (Edge{A: 2, B: 3}) {
+		t.Errorf("Edges = %v, want sorted canonical order", es)
+	}
+	es[0] = Edge{A: 9, B: 9}
+	if g.Edges()[0] != (Edge{A: 1, B: 2}) {
+		t.Error("Edges returned a view into internal state")
+	}
+}
+
+func TestBFSAndDiameter(t *testing.T) {
+	line, err := Line(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := line.BFSFrom(1)
+	for i := 1; i <= 5; i++ {
+		if dist[i] != i-1 {
+			t.Errorf("line dist[1->%d] = %d, want %d", i, dist[i], i-1)
+		}
+	}
+	if got := line.Diameter(); got != 4 {
+		t.Errorf("line(5) diameter = %d, want 4", got)
+	}
+	if got := line.Eccentricity(3); got != 2 {
+		t.Errorf("line(5) ecc(3) = %d, want 2", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := MustNew(4, []Edge{{A: 1, B: 2}, {A: 3, B: 4}})
+	if g.Connected() {
+		t.Error("two components reported connected")
+	}
+	if got := g.Diameter(); got != -1 {
+		t.Errorf("disconnected diameter = %d, want -1", got)
+	}
+	if got := g.Eccentricity(1); got != -1 {
+		t.Errorf("disconnected eccentricity = %d, want -1", got)
+	}
+	if _, err := g.SpanningTree(1); err == nil {
+		t.Error("SpanningTree on disconnected graph succeeded")
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	g := MustNew(1, nil)
+	if !g.Connected() {
+		t.Error("K_1 should be connected")
+	}
+	if got := g.Diameter(); got != 0 {
+		t.Errorf("K_1 diameter = %d, want 0", got)
+	}
+}
+
+func TestSpanningTree(t *testing.T) {
+	g, err := Ring(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := g.SpanningTree(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent[1] != Env {
+		t.Errorf("root parent = %d, want Env", parent[1])
+	}
+	if len(parent) != 6 {
+		t.Errorf("tree covers %d vertices, want 6", len(parent))
+	}
+	// Every non-root must reach the root via parents, without cycles.
+	for v := ProcID(2); v <= 6; v++ {
+		cur, steps := v, 0
+		for cur != 1 {
+			cur = parent[cur]
+			steps++
+			if steps > 6 {
+				t.Fatalf("parent chain from %d does not reach root", v)
+			}
+			if !g.HasEdge(cur, v) && steps == 1 {
+				t.Fatalf("tree edge %d-%d not in graph", parent[v], v)
+			}
+		}
+	}
+}
+
+func TestTopologyShapes(t *testing.T) {
+	tests := []struct {
+		name     string
+		build    func() (*G, error)
+		m, e     int
+		diameter int
+	}{
+		{"complete4", func() (*G, error) { return Complete(4) }, 4, 6, 1},
+		{"complete2", func() (*G, error) { return Complete(2) }, 2, 1, 1},
+		{"line6", func() (*G, error) { return Line(6) }, 6, 5, 5},
+		{"line1", func() (*G, error) { return Line(1) }, 1, 0, 0},
+		{"ring5", func() (*G, error) { return Ring(5) }, 5, 5, 2},
+		{"ring6", func() (*G, error) { return Ring(6) }, 6, 6, 3},
+		{"star7", func() (*G, error) { return Star(7) }, 7, 6, 2},
+		{"star2", func() (*G, error) { return Star(2) }, 2, 1, 1},
+		{"grid2x3", func() (*G, error) { return Grid(2, 3) }, 6, 7, 3},
+		{"grid1x4", func() (*G, error) { return Grid(1, 4) }, 4, 3, 3},
+		{"cube3", func() (*G, error) { return Hypercube(3) }, 8, 12, 3},
+		{"cube1", func() (*G, error) { return Hypercube(1) }, 2, 1, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := g.NumVertices(); got != tc.m {
+				t.Errorf("vertices = %d, want %d", got, tc.m)
+			}
+			if got := g.NumEdges(); got != tc.e {
+				t.Errorf("edges = %d, want %d", got, tc.e)
+			}
+			if !g.Connected() {
+				t.Error("not connected")
+			}
+			if got := g.Diameter(); got != tc.diameter {
+				t.Errorf("diameter = %d, want %d", got, tc.diameter)
+			}
+		})
+	}
+}
+
+func TestTopologyRejectsBadSizes(t *testing.T) {
+	if _, err := Complete(0); err == nil {
+		t.Error("Complete(0) succeeded")
+	}
+	if _, err := Line(0); err == nil {
+		t.Error("Line(0) succeeded")
+	}
+	if _, err := Ring(2); err == nil {
+		t.Error("Ring(2) succeeded")
+	}
+	if _, err := Star(1); err == nil {
+		t.Error("Star(1) succeeded")
+	}
+	if _, err := Grid(0, 3); err == nil {
+		t.Error("Grid(0,3) succeeded")
+	}
+	if _, err := Hypercube(0); err == nil {
+		t.Error("Hypercube(0) succeeded")
+	}
+	if _, err := Hypercube(17); err == nil {
+		t.Error("Hypercube(17) succeeded")
+	}
+}
+
+func TestPair(t *testing.T) {
+	g := Pair()
+	if g.NumVertices() != 2 || !g.HasEdge(1, 2) {
+		t.Errorf("Pair() = %v", g)
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	tape := rng.NewTape(42)
+	for _, m := range []int{1, 2, 5, 12} {
+		for _, p := range []float64{0, 0.3, 1} {
+			g, err := RandomConnected(m, p, tape)
+			if err != nil {
+				t.Fatalf("RandomConnected(%d, %v): %v", m, p, err)
+			}
+			if !g.Connected() {
+				t.Errorf("RandomConnected(%d, %v) not connected", m, p)
+			}
+			if p == 1 && g.NumEdges() != m*(m-1)/2 {
+				t.Errorf("p=1 should give complete graph, got %d edges", g.NumEdges())
+			}
+			if p == 0 && m > 1 && g.NumEdges() != m-1 {
+				t.Errorf("p=0 should give a tree, got %d edges for m=%d", g.NumEdges(), m)
+			}
+		}
+	}
+	if _, err := RandomConnected(0, 0.5, tape); err == nil {
+		t.Error("RandomConnected(0) succeeded")
+	}
+	if _, err := RandomConnected(3, 1.5, tape); err == nil {
+		t.Error("RandomConnected(p=1.5) succeeded")
+	}
+}
+
+func TestRandomConnectedDeterministic(t *testing.T) {
+	g1, err := RandomConnected(8, 0.4, rng.NewTape(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := RandomConnected(8, 0.4, rng.NewTape(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.String() != g2.String() {
+		t.Errorf("same seed produced different graphs:\n%s\n%s", g1, g2)
+	}
+}
+
+func TestString(t *testing.T) {
+	g := MustNew(3, []Edge{{A: 2, B: 3}, {A: 1, B: 2}})
+	if got, want := g.String(), "G(m=3; 1-2 2-3)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestQuickDiameterAtMostVertices(t *testing.T) {
+	f := func(seed uint64, mRaw uint8, pRaw uint8) bool {
+		m := int(mRaw%10) + 1
+		p := float64(pRaw) / 255
+		g, err := RandomConnected(m, p, rng.NewTape(seed))
+		if err != nil {
+			return false
+		}
+		d := g.Diameter()
+		return d >= 0 && d < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBFSSymmetric(t *testing.T) {
+	f := func(seed uint64) bool {
+		g, err := RandomConnected(7, 0.3, rng.NewTape(seed))
+		if err != nil {
+			return false
+		}
+		for a := ProcID(1); a <= 7; a++ {
+			da := g.BFSFrom(a)
+			for b := ProcID(1); b <= 7; b++ {
+				if g.BFSFrom(b)[a] != da[b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package graph
+
+import "fmt"
+
+// BinaryTree returns the complete binary tree of the given depth: depth 0
+// is a single root (vertex 1), depth d has 2^(d+1)-1 vertices numbered in
+// level order (vertex k's children are 2k and 2k+1).
+func BinaryTree(depth int) (*G, error) {
+	if depth < 0 || depth > 15 {
+		return nil, fmt.Errorf("graph: binary tree depth %d outside 0..15", depth)
+	}
+	m := (1 << uint(depth+1)) - 1
+	edges := make([]Edge, 0, m-1)
+	for v := 2; v <= m; v++ {
+		edges = append(edges, Edge{A: ProcID(v / 2), B: ProcID(v)})
+	}
+	return New(m, edges)
+}
+
+// Torus returns the rows×cols grid with wraparound in both dimensions
+// (each vertex has degree 4 when rows, cols ≥ 3). Requires rows, cols ≥ 3
+// to avoid duplicate wrap edges.
+func Torus(rows, cols int) (*G, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("graph: torus needs rows, cols ≥ 3, got %dx%d", rows, cols)
+	}
+	id := func(r, c int) ProcID { return ProcID(r*cols + c + 1) }
+	var edges []Edge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			edges = append(edges, NewEdge(id(r, c), id(r, (c+1)%cols)))
+			edges = append(edges, NewEdge(id(r, c), id((r+1)%rows, c)))
+		}
+	}
+	return New(rows*cols, edges)
+}
+
+// Wheel returns the wheel graph: a hub (vertex 1) connected to every
+// vertex of an (m-1)-cycle. Requires m ≥ 4.
+func Wheel(m int) (*G, error) {
+	if m < 4 {
+		return nil, fmt.Errorf("graph: wheel needs m ≥ 4, got %d", m)
+	}
+	edges := make([]Edge, 0, 2*(m-1))
+	for v := 2; v <= m; v++ {
+		edges = append(edges, Edge{A: 1, B: ProcID(v)})
+	}
+	for v := 2; v < m; v++ {
+		edges = append(edges, Edge{A: ProcID(v), B: ProcID(v + 1)})
+	}
+	edges = append(edges, Edge{A: 2, B: ProcID(m)})
+	return New(m, edges)
+}

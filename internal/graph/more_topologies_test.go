@@ -1,0 +1,110 @@
+package graph
+
+import "testing"
+
+func TestBinaryTree(t *testing.T) {
+	tests := []struct {
+		depth, m, e, diam int
+	}{
+		{0, 1, 0, 0},
+		{1, 3, 2, 2},
+		{2, 7, 6, 4},
+		{3, 15, 14, 6},
+	}
+	for _, tc := range tests {
+		g, err := BinaryTree(tc.depth)
+		if err != nil {
+			t.Fatalf("depth %d: %v", tc.depth, err)
+		}
+		if g.NumVertices() != tc.m || g.NumEdges() != tc.e {
+			t.Errorf("depth %d: m=%d e=%d, want %d/%d",
+				tc.depth, g.NumVertices(), g.NumEdges(), tc.m, tc.e)
+		}
+		if !g.Connected() {
+			t.Errorf("depth %d: not connected", tc.depth)
+		}
+		if got := g.Diameter(); got != tc.diam {
+			t.Errorf("depth %d: diameter %d, want %d", tc.depth, got, tc.diam)
+		}
+	}
+	if _, err := BinaryTree(-1); err == nil {
+		t.Error("negative depth accepted")
+	}
+	if _, err := BinaryTree(16); err == nil {
+		t.Error("depth 16 accepted")
+	}
+}
+
+func TestBinaryTreeParentStructure(t *testing.T) {
+	g, err := BinaryTree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 2; v <= 15; v++ {
+		if !g.HasEdge(ProcID(v/2), ProcID(v)) {
+			t.Errorf("missing parent edge %d-%d", v/2, v)
+		}
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("root degree %d, want 2", g.Degree(1))
+	}
+	if g.Degree(15) != 1 {
+		t.Errorf("leaf degree %d, want 1", g.Degree(15))
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g, err := Torus(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 12 {
+		t.Errorf("m = %d, want 12", g.NumVertices())
+	}
+	// Every vertex of a torus has degree 4.
+	for _, v := range g.Vertices() {
+		if g.Degree(v) != 4 {
+			t.Errorf("vertex %d degree %d, want 4", v, g.Degree(v))
+		}
+	}
+	if g.NumEdges() != 24 { // m·4/2
+		t.Errorf("edges = %d, want 24", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Error("torus not connected")
+	}
+	// Diameter of 3x4 torus: ⌊3/2⌋+⌊4/2⌋ = 3.
+	if got := g.Diameter(); got != 3 {
+		t.Errorf("diameter = %d, want 3", got)
+	}
+	if _, err := Torus(2, 4); err == nil {
+		t.Error("2-row torus accepted")
+	}
+	if _, err := Torus(4, 2); err == nil {
+		t.Error("2-col torus accepted")
+	}
+}
+
+func TestWheel(t *testing.T) {
+	g, err := Wheel(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 6 || g.NumEdges() != 10 {
+		t.Errorf("wheel(6): m=%d e=%d, want 6/10", g.NumVertices(), g.NumEdges())
+	}
+	if g.Degree(1) != 5 {
+		t.Errorf("hub degree %d, want 5", g.Degree(1))
+	}
+	for v := ProcID(2); v <= 6; v++ {
+		if g.Degree(v) != 3 {
+			t.Errorf("rim vertex %d degree %d, want 3", v, g.Degree(v))
+		}
+	}
+	if got := g.Diameter(); got != 2 {
+		t.Errorf("diameter = %d, want 2", got)
+	}
+	if _, err := Wheel(3); err == nil {
+		t.Error("wheel(3) accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"fmt"
+
+	"coordattack/internal/rng"
+)
+
+// Complete returns K_m, the complete graph on m vertices.
+func Complete(m int) (*G, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("graph: complete graph needs m ≥ 1, got %d", m)
+	}
+	edges := make([]Edge, 0, m*(m-1)/2)
+	for a := 1; a <= m; a++ {
+		for b := a + 1; b <= m; b++ {
+			edges = append(edges, Edge{A: ProcID(a), B: ProcID(b)})
+		}
+	}
+	return New(m, edges)
+}
+
+// Pair returns K_2, the classic two-generals topology.
+func Pair() *G {
+	g, err := Complete(2)
+	if err != nil {
+		panic(err) // cannot happen: Complete(2) is always valid
+	}
+	return g
+}
+
+// Line returns the path 1-2-…-m.
+func Line(m int) (*G, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("graph: line needs m ≥ 1, got %d", m)
+	}
+	edges := make([]Edge, 0, m-1)
+	for a := 1; a < m; a++ {
+		edges = append(edges, Edge{A: ProcID(a), B: ProcID(a + 1)})
+	}
+	return New(m, edges)
+}
+
+// Ring returns the cycle 1-2-…-m-1. Requires m ≥ 3.
+func Ring(m int) (*G, error) {
+	if m < 3 {
+		return nil, fmt.Errorf("graph: ring needs m ≥ 3, got %d", m)
+	}
+	edges := make([]Edge, 0, m)
+	for a := 1; a < m; a++ {
+		edges = append(edges, Edge{A: ProcID(a), B: ProcID(a + 1)})
+	}
+	edges = append(edges, Edge{A: 1, B: ProcID(m)})
+	return New(m, edges)
+}
+
+// Star returns the star with center 1 and m-1 leaves. Requires m ≥ 2.
+func Star(m int) (*G, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("graph: star needs m ≥ 2, got %d", m)
+	}
+	edges := make([]Edge, 0, m-1)
+	for a := 2; a <= m; a++ {
+		edges = append(edges, Edge{A: 1, B: ProcID(a)})
+	}
+	return New(m, edges)
+}
+
+// Grid returns the rows×cols king-less grid (4-neighborhood), vertices
+// numbered row-major starting at 1.
+func Grid(rows, cols int) (*G, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("graph: grid needs positive dims, got %dx%d", rows, cols)
+	}
+	id := func(r, c int) ProcID { return ProcID(r*cols + c + 1) }
+	var edges []Edge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, Edge{A: id(r, c), B: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{A: id(r, c), B: id(r+1, c)})
+			}
+		}
+	}
+	return New(rows*cols, edges)
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d vertices.
+// Requires 1 ≤ d ≤ 16.
+func Hypercube(d int) (*G, error) {
+	if d < 1 || d > 16 {
+		return nil, fmt.Errorf("graph: hypercube dimension %d out of 1..16", d)
+	}
+	m := 1 << uint(d)
+	edges := make([]Edge, 0, m*d/2)
+	for v := 0; v < m; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ (1 << uint(b))
+			if v < w {
+				edges = append(edges, Edge{A: ProcID(v + 1), B: ProcID(w + 1)})
+			}
+		}
+	}
+	return New(m, edges)
+}
+
+// RandomConnected returns a connected Erdős–Rényi-style graph: a uniform
+// random spanning tree skeleton (random attachment) plus each remaining
+// edge independently with probability p, drawn from tape. Always connected
+// by construction.
+func RandomConnected(m int, p float64, tape *rng.Tape) (*G, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("graph: random graph needs m ≥ 1, got %d", m)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: edge probability %v out of [0,1]", p)
+	}
+	have := make(map[Edge]bool, m*2)
+	var edges []Edge
+	add := func(e Edge) {
+		if !have[e] {
+			have[e] = true
+			edges = append(edges, e)
+		}
+	}
+	// Random attachment tree: vertex v attaches to a uniform earlier vertex.
+	for v := 2; v <= m; v++ {
+		u, err := tape.IntRange(1, v-1)
+		if err != nil {
+			return nil, fmt.Errorf("graph: drawing tree edge: %w", err)
+		}
+		add(NewEdge(ProcID(u), ProcID(v)))
+	}
+	for a := 1; a <= m; a++ {
+		for b := a + 1; b <= m; b++ {
+			e := Edge{A: ProcID(a), B: ProcID(b)}
+			if have[e] {
+				continue
+			}
+			hit, err := tape.Bernoulli(p)
+			if err != nil {
+				return nil, fmt.Errorf("graph: drawing extra edge: %w", err)
+			}
+			if hit {
+				add(e)
+			}
+		}
+	}
+	return New(m, edges)
+}

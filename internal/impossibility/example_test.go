@@ -1,0 +1,25 @@
+package impossibility_test
+
+import (
+	"fmt"
+	"log"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/graph"
+	"coordattack/internal/impossibility"
+	"coordattack/internal/protocol"
+)
+
+// ExampleFindViolation runs the chain argument against the natural
+// deterministic protocol and prints the disagreement it is forced into.
+func ExampleFindViolation() {
+	v, err := impossibility.FindViolation(baseline.NewDetFullInfo(), graph.Pair(), 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("outcome on witness run:", protocol.Classify(v.Outputs))
+	fmt.Println("found within chain:", v.Steps >= 1)
+	// Output:
+	// outcome on witness run: PA
+	// found within chain: true
+}

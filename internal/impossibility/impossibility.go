@@ -1,0 +1,165 @@
+// Package impossibility implements the Gray / Halpern-Moses chain
+// argument (§1's citation [G], [HM]): no deterministic protocol can
+// satisfy validity, agreement, and nontriviality for coordinated attack.
+//
+// The argument, made executable: start from a run on which the protocol
+// attacks everywhere (nontriviality), and peel away tuples one at a time —
+// deliveries in descending round order, then inputs. Each removal changes
+// the view of exactly one process (the removed message's receiver has no
+// surviving causal path to anyone else), so at most one coordinate of the
+// output vector can change per step. The chain ends at the empty run,
+// where validity forces the all-zero vector; somewhere in between the
+// vector was mixed — a concrete run with partial attack. FindViolation
+// returns that run.
+package impossibility
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+// ErrRandomized is returned when the protocol's outputs depend on its
+// random tapes: the chain argument applies only to deterministic
+// protocols (randomization is exactly the paper's escape hatch).
+var ErrRandomized = errors.New("impossibility: protocol is randomized; chain argument does not apply")
+
+// ErrNotLive is returned when the protocol does not attack everywhere on
+// the starting run, so it fails nontriviality there and the chain has
+// nowhere to start. (Such a protocol evades the impossibility by being
+// useless, not by being clever.)
+var ErrNotLive = errors.New("impossibility: protocol does not attack on the starting run")
+
+// ErrNoViolation is returned when the chain reaches the empty run without
+// encountering disagreement — possible only if the protocol violates
+// validity instead (it attacked with no input), which is reported
+// separately, or if determinism was misdetected.
+var ErrNoViolation = errors.New("impossibility: chain ended without finding disagreement")
+
+// ErrInvalid is returned when the protocol attacks on the empty run:
+// a validity violation, the other horn of the impossibility.
+var ErrInvalid = errors.New("impossibility: protocol violates validity on the input-free run")
+
+// Violation is the constructive witness: a run on which the deterministic
+// protocol produces partial attack.
+type Violation struct {
+	// Run is the disagreement run.
+	Run *run.Run
+	// Outputs is the decision vector on Run (index 1..m; index 0 unused).
+	Outputs []bool
+	// Steps is how many chain steps were examined before disagreement.
+	Steps int
+}
+
+// FindViolation runs the chain argument for protocol p on graph g over n
+// rounds, starting from the good run with inputs everywhere.
+func FindViolation(p protocol.Protocol, g *graph.G, n int) (*Violation, error) {
+	start, err := run.Good(g, n, g.Vertices()...)
+	if err != nil {
+		return nil, err
+	}
+	return FindViolationFrom(p, g, start)
+}
+
+// FindViolationFrom runs the chain argument starting from an arbitrary
+// run on which p must attack everywhere.
+func FindViolationFrom(p protocol.Protocol, g *graph.G, start *run.Run) (*Violation, error) {
+	if g.NumVertices() < 2 {
+		return nil, fmt.Errorf("impossibility: need at least 2 generals, got %d", g.NumVertices())
+	}
+	exec := func(r *run.Run) ([]bool, error) {
+		// Two disjoint tape seeds: a deterministic protocol must ignore
+		// them. Divergence means randomization.
+		o1, err := sim.Outputs(p, g, r, sim.SeedTapes(0x51))
+		if err != nil {
+			return nil, err
+		}
+		o2, err := sim.Outputs(p, g, r, sim.SeedTapes(0xA7))
+		if err != nil {
+			return nil, err
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				return nil, fmt.Errorf("%w (outputs differ on %v)", ErrRandomized, r)
+			}
+		}
+		return o1, nil
+	}
+
+	outs, err := exec(start)
+	if err != nil {
+		return nil, err
+	}
+	if protocol.Classify(outs) != protocol.TotalAttack {
+		return nil, fmt.Errorf("%w: outcome %v on %v", ErrNotLive, protocol.Classify(outs), start)
+	}
+
+	cur := start.Clone()
+	steps := 0
+	examine := func(next *run.Run) (*Violation, error) {
+		steps++
+		outs, err := exec(next)
+		if err != nil {
+			return nil, err
+		}
+		if protocol.Classify(outs) == protocol.PartialAttack {
+			return &Violation{Run: next, Outputs: outs, Steps: steps}, nil
+		}
+		return nil, nil
+	}
+
+	// Phase 1: strip deliveries in descending (round, from, to) order, so
+	// each removal is invisible to everyone but the receiver.
+	deliveries := cur.Deliveries()
+	sort.Slice(deliveries, func(a, b int) bool {
+		if deliveries[a].Round != deliveries[b].Round {
+			return deliveries[a].Round > deliveries[b].Round
+		}
+		if deliveries[a].From != deliveries[b].From {
+			return deliveries[a].From > deliveries[b].From
+		}
+		return deliveries[a].To > deliveries[b].To
+	})
+	for _, d := range deliveries {
+		next := cur.Clone().Drop(d.From, d.To, d.Round)
+		v, err := examine(next)
+		if err != nil {
+			return nil, err
+		}
+		if v != nil {
+			return v, nil
+		}
+		cur = next
+	}
+
+	// Phase 2: strip inputs; with no deliveries left, removing (v₀,i,0)
+	// changes only i's view.
+	inputs := cur.Inputs()
+	for idx := len(inputs) - 1; idx >= 0; idx-- {
+		next := cur.Clone().RemoveInput(inputs[idx])
+		v, err := examine(next)
+		if err != nil {
+			return nil, err
+		}
+		if v != nil {
+			return v, nil
+		}
+		cur = next
+	}
+
+	// Chain exhausted without disagreement: the empty run's outcome
+	// decides which impossibility horn the protocol fell on.
+	finalOuts, err := exec(cur)
+	if err != nil {
+		return nil, err
+	}
+	if protocol.Classify(finalOuts) == protocol.TotalAttack {
+		return nil, fmt.Errorf("%w after %d steps", ErrInvalid, steps)
+	}
+	return nil, fmt.Errorf("%w after %d steps", ErrNoViolation, steps)
+}

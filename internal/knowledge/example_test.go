@@ -1,0 +1,59 @@
+package knowledge_test
+
+import (
+	"fmt"
+	"log"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/knowledge"
+	"coordattack/internal/run"
+)
+
+// ExampleSpace_Depth shows the §4 correspondence: only general 1 is
+// signaled and one message crosses. General 2 reaches depth 2 (it heard
+// from 1, so it knows that 1 knows), while general 1 — hearing nothing
+// back — is stuck at depth 1; the depths equal the information levels
+// L_i(R) exactly.
+func ExampleSpace_Depth() {
+	g := graph.Pair()
+	space, err := knowledge.NewSpace(g, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := run.MustNew(2)
+	r.AddInput(1)
+	r.MustDeliver(1, 2, 1)
+	for i := graph.ProcID(1); i <= 2; i++ {
+		depth, err := space.Depth(i, knowledge.InputArrived, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("general %d: depth %d\n", i, depth)
+	}
+	// Output:
+	// general 1: depth 1
+	// general 2: depth 2
+}
+
+// ExampleSpace_CommonKnowledgeAll shows the famous negative result: over
+// links that can drop anything, the input can never become common
+// knowledge — not even on the fully reliable run.
+func ExampleSpace_CommonKnowledgeAll() {
+	space, err := knowledge.NewSpace(graph.Pair(), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ck, err := space.CommonKnowledgeAll(knowledge.InputArrived)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attained := 0
+	for _, v := range ck {
+		if v {
+			attained++
+		}
+	}
+	fmt.Printf("runs where the input is common knowledge: %d of %d\n", attained, space.Size())
+	// Output:
+	// runs where the input is common knowledge: 0 of 64
+}

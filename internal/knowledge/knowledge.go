@@ -1,0 +1,225 @@
+// Package knowledge implements the Halpern-Moses epistemic semantics that
+// §4 of the paper cites as the meaning of its information levels.
+//
+// A fact is a predicate on runs. Process i *knows* a fact at the end of
+// run R if the fact holds on every run indistinguishable from R to i —
+// where indistinguishability is the paper's own Clip-based relation
+// (Lemma 4.2): R ≡ᵢ R̃ iff Clip_i(R) = Clip_i(R̃). "Everyone knows"
+// (E φ) and its iterates E^h φ are built on top, and the *knowledge
+// depth* of i is the largest h with K_i E^(h-1) φ.
+//
+// The punchline, verified by experiment T17 and this package's tests: for
+// φ = "some input arrived", the knowledge depth of i in R equals the
+// paper's information level L_i(R) on every run of every enumerable
+// space. The combinatorial levels of §4 and the semantic knowledge of
+// [HM] are the same thing — computed by two entirely independent
+// implementations here.
+//
+// Everything is exact: the package enumerates the full run space (all
+// input subsets × all delivery subsets), so it is limited to small
+// instances, exactly like the exhaustive adversary.
+package knowledge
+
+import (
+	"fmt"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+)
+
+// Fact is a predicate on runs.
+type Fact func(r *run.Run) bool
+
+// InputArrived is the paper's base fact: I(R) ≠ ∅.
+func InputArrived(r *run.Run) bool { return r.AnyInput() }
+
+// Space is a fully enumerated run space for one (graph, N) pair, with
+// clip-equivalence classes precomputed for every process.
+type Space struct {
+	g    *graph.G
+	n    int
+	m    int
+	runs []*run.Run
+	// index maps run keys to positions in runs.
+	index map[string]int
+	// class[i][idx] = identifier of idx's ≡ᵢ equivalence class; runs
+	// share a class iff their Clip_i keys coincide.
+	class [][]int
+	// members[i][c] = indices of the runs in class c of process i.
+	members [][][]int
+}
+
+// NewSpace enumerates every run of g over n rounds. It fails, like
+// run.Enumerate, when the space is too large to enumerate.
+func NewSpace(g *graph.G, n int) (*Space, error) {
+	m := g.NumVertices()
+	if m < 2 {
+		return nil, fmt.Errorf("knowledge: need m ≥ 2, got %d", m)
+	}
+	s := &Space{g: g, n: n, m: m, index: make(map[string]int)}
+	err := run.Enumerate(g, n, nil, func(r *run.Run) error {
+		c := r.Clone()
+		s.index[c.Key()] = len(s.runs)
+		s.runs = append(s.runs, c)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.class = make([][]int, m+1)
+	s.members = make([][][]int, m+1)
+	for i := 1; i <= m; i++ {
+		s.class[i] = make([]int, len(s.runs))
+		classOf := make(map[string]int)
+		for idx, r := range s.runs {
+			key := causality.Clip(r, m, graph.ProcID(i)).Key()
+			c, ok := classOf[key]
+			if !ok {
+				c = len(s.members[i])
+				classOf[key] = c
+				s.members[i] = append(s.members[i], nil)
+			}
+			s.class[i][idx] = c
+			s.members[i][c] = append(s.members[i][c], idx)
+		}
+	}
+	return s, nil
+}
+
+// Size reports the number of runs in the space.
+func (s *Space) Size() int { return len(s.runs) }
+
+// Runs returns the enumerated runs (shared slice; treat as read-only).
+func (s *Space) Runs() []*run.Run { return s.runs }
+
+// find locates a run in the space.
+func (s *Space) find(r *run.Run) (int, error) {
+	idx, ok := s.index[r.Key()]
+	if !ok {
+		return 0, fmt.Errorf("knowledge: run %v not in the (m=%d, N=%d) space", r, s.m, s.n)
+	}
+	return idx, nil
+}
+
+// Eval evaluates a fact on every run, as a bit vector indexed like Runs.
+func (s *Space) Eval(fact Fact) []bool {
+	vals := make([]bool, len(s.runs))
+	for idx, r := range s.runs {
+		vals[idx] = fact(r)
+	}
+	return vals
+}
+
+// KnowsAll returns, for every run, whether process i knows the fact
+// (given as a bit vector): true iff the fact holds on i's entire
+// clip-equivalence class.
+func (s *Space) KnowsAll(i graph.ProcID, vals []bool) ([]bool, error) {
+	if int(i) < 1 || int(i) > s.m {
+		return nil, fmt.Errorf("knowledge: process %d out of range 1..%d", i, s.m)
+	}
+	if len(vals) != len(s.runs) {
+		return nil, fmt.Errorf("knowledge: fact vector has %d entries, space has %d", len(vals), len(s.runs))
+	}
+	classTrue := make([]bool, len(s.members[i]))
+	for c, idxs := range s.members[i] {
+		classTrue[c] = true
+		for _, idx := range idxs {
+			if !vals[idx] {
+				classTrue[c] = false
+				break
+			}
+		}
+	}
+	out := make([]bool, len(s.runs))
+	for idx := range s.runs {
+		out[idx] = classTrue[s.class[i][idx]]
+	}
+	return out, nil
+}
+
+// EveryoneKnowsAll is the E operator: E φ holds on a run iff every
+// process knows φ there.
+func (s *Space) EveryoneKnowsAll(vals []bool) ([]bool, error) {
+	out := make([]bool, len(s.runs))
+	for idx := range out {
+		out[idx] = true
+	}
+	for i := 1; i <= s.m; i++ {
+		ki, err := s.KnowsAll(graph.ProcID(i), vals)
+		if err != nil {
+			return nil, err
+		}
+		for idx := range out {
+			out[idx] = out[idx] && ki[idx]
+		}
+	}
+	return out, nil
+}
+
+// Knows reports whether process i knows the fact at the end of run r.
+func (s *Space) Knows(i graph.ProcID, fact Fact, r *run.Run) (bool, error) {
+	idx, err := s.find(r)
+	if err != nil {
+		return false, err
+	}
+	ki, err := s.KnowsAll(i, s.Eval(fact))
+	if err != nil {
+		return false, err
+	}
+	return ki[idx], nil
+}
+
+// Depth returns the knowledge depth of process i for the fact in run r:
+// the largest h ≥ 1 with K_i E^(h-1) φ, or 0 if i does not even know φ.
+// For φ = InputArrived this equals the paper's L_i(R) — tested
+// exhaustively.
+func (s *Space) Depth(i graph.ProcID, fact Fact, r *run.Run) (int, error) {
+	idx, err := s.find(r)
+	if err != nil {
+		return 0, err
+	}
+	cur := s.Eval(fact) // E^0 φ
+	depth := 0
+	for h := 1; h <= s.n+2; h++ {
+		ki, err := s.KnowsAll(i, cur)
+		if err != nil {
+			return 0, err
+		}
+		if !ki[idx] {
+			break
+		}
+		depth = h
+		cur, err = s.EveryoneKnowsAll(cur)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return depth, nil
+}
+
+// CommonKnowledgeAll reports, per run, whether the fact is common
+// knowledge: the greatest fixpoint of E — equivalently, E^h φ for every
+// h. The two-generals impossibility is the statement that "attack" can
+// never become common knowledge; over a finite space the fixpoint is
+// computed by iterating E until stable.
+func (s *Space) CommonKnowledgeAll(fact Fact) ([]bool, error) {
+	cur := s.Eval(fact)
+	for {
+		next, err := s.EveryoneKnowsAll(cur)
+		if err != nil {
+			return nil, err
+		}
+		stable := true
+		for idx := range cur {
+			if cur[idx] != next[idx] {
+				stable = false
+				break
+			}
+		}
+		cur = next
+		if stable {
+			return cur, nil
+		}
+	}
+}

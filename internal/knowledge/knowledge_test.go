@@ -1,0 +1,209 @@
+package knowledge
+
+import (
+	"testing"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+)
+
+func newSpace(t *testing.T, g *graph.G, n int) *Space {
+	t.Helper()
+	s, err := NewSpace(g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(graph.MustNew(1, nil), 2); err == nil {
+		t.Error("m=1 accepted")
+	}
+	big, err := graph.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSpace(big, 3); err == nil {
+		t.Error("huge space accepted")
+	}
+}
+
+func TestSpaceSize(t *testing.T) {
+	s := newSpace(t, graph.Pair(), 2)
+	// 2^2 input subsets × 2^(2·2) delivery subsets.
+	if s.Size() != 4*16 {
+		t.Errorf("size = %d, want 64", s.Size())
+	}
+	if len(s.Runs()) != s.Size() {
+		t.Error("Runs length mismatch")
+	}
+}
+
+func TestKnowsInputIffHeardIt(t *testing.T) {
+	// K_i("some input") ⟺ the input's information flowed to i — the
+	// h = 1 case of the level/knowledge correspondence, on every run.
+	g := graph.Pair()
+	s := newSpace(t, g, 2)
+	vals := s.Eval(InputArrived)
+	for i := graph.ProcID(1); i <= 2; i++ {
+		ki, err := s.KnowsAll(i, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx, r := range s.Runs() {
+			heard := causality.InputArrival(r, 2)[i] <= r.N()
+			if ki[idx] != heard {
+				t.Fatalf("run %v: K_%d(input) = %v, flow says %v", r, i, ki[idx], heard)
+			}
+		}
+	}
+}
+
+func TestDepthEqualsInformationLevel(t *testing.T) {
+	// The centerpiece: the §4 combinatorial level L_i(R) equals the
+	// Halpern-Moses knowledge depth of "some input arrived", on every
+	// run of every enumerable space tried. Two independent
+	// implementations (flows-to DP vs indistinguishability classes) must
+	// agree exactly.
+	type spaceSpec struct {
+		g *graph.G
+		n int
+	}
+	ring3, err := graph.Ring(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []spaceSpec{
+		{graph.Pair(), 1},
+		{graph.Pair(), 2},
+		{graph.Pair(), 3},
+		{ring3, 1},
+	}
+	for _, spec := range specs {
+		s := newSpace(t, spec.g, spec.n)
+		m := spec.g.NumVertices()
+		for _, r := range s.Runs() {
+			lt, err := causality.NewLevelTable(r, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= m; i++ {
+				depth, err := s.Depth(graph.ProcID(i), InputArrived, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := lt.Final(graph.ProcID(i)); depth != want {
+					t.Fatalf("(%v, N=%d) run %v: knowledge depth of %d = %d, level = %d",
+						spec.g, spec.n, r, i, depth, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCommonKnowledgeOfInputIsUnattainable(t *testing.T) {
+	// The classic result behind the whole problem: over links that can
+	// drop anything, "an input arrived" can NEVER become common
+	// knowledge — on any run of the space, including the good run. This
+	// is the epistemic face of the chain argument of T7.
+	s := newSpace(t, graph.Pair(), 2)
+	ck, err := s.CommonKnowledgeAll(InputArrived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx, r := range s.Runs() {
+		if ck[idx] {
+			t.Fatalf("common knowledge of the input attained on %v", r)
+		}
+	}
+}
+
+func TestCommonKnowledgeOfTautology(t *testing.T) {
+	s := newSpace(t, graph.Pair(), 1)
+	ck, err := s.CommonKnowledgeAll(func(*run.Run) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := range ck {
+		if !ck[idx] {
+			t.Fatal("tautology not common knowledge")
+		}
+	}
+}
+
+func TestKnowledgeImpliesTruth(t *testing.T) {
+	// The T axiom: K_i φ ⟹ φ, for the input fact on every run.
+	s := newSpace(t, graph.Pair(), 2)
+	vals := s.Eval(InputArrived)
+	for i := graph.ProcID(1); i <= 2; i++ {
+		ki, err := s.KnowsAll(i, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx := range ki {
+			if ki[idx] && !vals[idx] {
+				t.Fatalf("K_%d φ without φ at run %v", i, s.Runs()[idx])
+			}
+		}
+	}
+}
+
+func TestKnowledgeIntrospection(t *testing.T) {
+	// Positive introspection: K_i φ ⟹ K_i K_i φ (classes are classes).
+	s := newSpace(t, graph.Pair(), 2)
+	vals := s.Eval(InputArrived)
+	for i := graph.ProcID(1); i <= 2; i++ {
+		ki, err := s.KnowsAll(i, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kki, err := s.KnowsAll(i, ki)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx := range ki {
+			if ki[idx] != kki[idx] {
+				t.Fatalf("introspection failed at %v", s.Runs()[idx])
+			}
+		}
+	}
+}
+
+func TestEDecreasing(t *testing.T) {
+	// E φ ⟹ φ pointwise, and iterating E is monotone decreasing — the
+	// property that makes knowledge depth well-defined.
+	s := newSpace(t, graph.Pair(), 2)
+	cur := s.Eval(InputArrived)
+	for h := 0; h < 4; h++ {
+		next, err := s.EveryoneKnowsAll(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx := range cur {
+			if next[idx] && !cur[idx] {
+				t.Fatalf("E^%d grew at %v", h+1, s.Runs()[idx])
+			}
+		}
+		cur = next
+	}
+}
+
+func TestErrorsOnForeignRun(t *testing.T) {
+	s := newSpace(t, graph.Pair(), 2)
+	foreign := run.MustNew(5)
+	if _, err := s.Depth(1, InputArrived, foreign); err == nil {
+		t.Error("foreign run accepted")
+	}
+	if _, err := s.Knows(1, InputArrived, foreign); err == nil {
+		t.Error("foreign run accepted by Knows")
+	}
+	good := s.Runs()[0]
+	if _, err := s.Knows(9, InputArrived, good); err == nil {
+		t.Error("out-of-range process accepted")
+	}
+	if _, err := s.KnowsAll(1, []bool{true}); err == nil {
+		t.Error("short fact vector accepted")
+	}
+}

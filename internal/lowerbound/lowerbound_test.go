@@ -1,0 +1,115 @@
+package lowerbound
+
+import (
+	"strings"
+	"testing"
+
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+)
+
+func TestCertifyGoodRun(t *testing.T) {
+	s := core.MustS(0.1)
+	g := graph.Pair()
+	r, err := run.Good(g, 5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := Certify(s, g, r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.Steps) < 2 {
+		t.Fatalf("chain too short: %d steps", len(cert.Steps))
+	}
+	// The chain must end at level 0 with probability 0.
+	last := cert.Steps[len(cert.Steps)-1]
+	if last.Level != 0 || last.AttackProb != 0 {
+		t.Errorf("final step level=%d prob=%v, want 0/0", last.Level, last.AttackProb)
+	}
+	// Levels strictly descend along the chain.
+	for i := 1; i < len(cert.Steps); i++ {
+		if cert.Steps[i].Level >= cert.Steps[i-1].Level {
+			t.Errorf("level did not descend: step %d has %d after %d",
+				i, cert.Steps[i].Level, cert.Steps[i-1].Level)
+		}
+	}
+	attack, budget := cert.Bound()
+	if attack > budget+1e-12 {
+		t.Errorf("certified bound violated: %v > %v", attack, budget)
+	}
+	if !strings.Contains(cert.String(), "Theorem 5.4 certificate") {
+		t.Error("String rendering broken")
+	}
+}
+
+func TestCertifyRandomRuns(t *testing.T) {
+	s := core.MustS(0.2)
+	ring, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(55)
+	for trial := 0; trial < 100; trial++ {
+		r, err := run.RandomSubset(ring, 4, tape)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := graph.ProcID(1); i <= 4; i++ {
+			cert, err := Certify(s, ring, r, i)
+			if err != nil {
+				t.Fatalf("trial %d, proc %d on %v: %v", trial, i, r, err)
+			}
+			// Each step's clipped run is a subset of its run.
+			for _, st := range cert.Steps {
+				if !st.Clipped.SubsetOf(st.Run) {
+					t.Fatal("clip not subset in certificate")
+				}
+			}
+		}
+	}
+}
+
+func TestCertifyChainLengthMatchesLevel(t *testing.T) {
+	// The chain has exactly L_i(R)+1 steps: one per level, plus the base.
+	s := core.MustS(0.05)
+	g := graph.Pair()
+	good, err := run.Good(g, 6, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 2, 4, 6} {
+		r := run.Prefix(good, k)
+		cert, err := Certify(s, g, r, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := cert.Steps[0].Level + 1; len(cert.Steps) != want {
+			t.Errorf("prefix %d: %d steps, want L+1 = %d", k, len(cert.Steps), want)
+		}
+	}
+}
+
+func TestCertifyRejectsVariants(t *testing.T) {
+	g := graph.Pair()
+	r, err := run.Good(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack, err := core.NewSWithSlack(0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Certify(slack, g, r, 1); err == nil {
+		t.Error("slack variant accepted")
+	}
+	alt, err := core.NewSAltValidity(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Certify(alt, g, r, 1); err == nil {
+		t.Error("alt-validity variant accepted")
+	}
+}

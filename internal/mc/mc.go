@@ -1,0 +1,173 @@
+// Package mc is the Monte-Carlo harness: it estimates outcome
+// probabilities Pr[TA|R], Pr[PA|R], Pr[NA|R] and per-process attack
+// probabilities Pr[D_i|R] by repeated execution with independent tapes.
+//
+// Determinism discipline: trial t always uses the tapes derived from
+// (seed, t), whatever the worker count, so results are bit-for-bit
+// reproducible and parallelism is purely a speedup. When a RunSampler is
+// set, trial t's run likewise depends only on (seed, t).
+package mc
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+	"coordattack/internal/stats"
+)
+
+// RunSampler draws the run for one trial — the weak adversary of §8 is a
+// RunSampler. The tape is derived from (seed, trial) and is independent
+// of the protocol tapes of the same trial.
+type RunSampler func(trial uint64, tape *rng.Tape) (*run.Run, error)
+
+// Config describes one estimation job.
+type Config struct {
+	Protocol protocol.Protocol
+	Graph    *graph.G
+	// Run is the fixed run to condition on; ignored when Sampler is set.
+	Run *run.Run
+	// Sampler, when non-nil, draws a fresh run per trial.
+	Sampler RunSampler
+	Trials  int
+	Seed    uint64
+	// Workers is the parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) validate() error {
+	if c.Protocol == nil {
+		return fmt.Errorf("mc: nil protocol")
+	}
+	if c.Graph == nil {
+		return fmt.Errorf("mc: nil graph")
+	}
+	if c.Run == nil && c.Sampler == nil {
+		return fmt.Errorf("mc: need a run or a sampler")
+	}
+	if c.Trials <= 0 {
+		return fmt.Errorf("mc: trials must be positive, got %d", c.Trials)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("mc: workers must be nonnegative, got %d", c.Workers)
+	}
+	return nil
+}
+
+// Result aggregates an estimation job's outcomes.
+type Result struct {
+	Trials int
+	TA     stats.Proportion // total attack — the liveness estimate
+	PA     stats.Proportion // partial attack — the unsafety estimate
+	NA     stats.Proportion
+	// AttackCounts[i] is how many trials process i attacked (index 1..m;
+	// index 0 unused): the Pr[D_i|R] estimates.
+	AttackCounts []int
+}
+
+// AttackProportion returns the Pr[D_i|R] estimate for process i.
+func (r *Result) AttackProportion(i graph.ProcID) (stats.Proportion, error) {
+	if int(i) < 1 || int(i) >= len(r.AttackCounts) {
+		return stats.Proportion{}, fmt.Errorf("mc: process %d out of range", i)
+	}
+	return stats.NewProportion(r.AttackCounts[i], r.Trials)
+}
+
+type tally struct {
+	ta, pa, na int
+	attacks    []int
+}
+
+func (t *tally) merge(o *tally) {
+	t.ta += o.ta
+	t.pa += o.pa
+	t.na += o.na
+	for i := range t.attacks {
+		t.attacks[i] += o.attacks[i]
+	}
+}
+
+// Estimate runs the job. The same Config always yields the same Result.
+func Estimate(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	m := cfg.Graph.NumVertices()
+	protoStream := rng.NewStream(cfg.Seed)
+	runStream := rng.NewStream(rng.Mix64(cfg.Seed ^ 0xc0ffee))
+
+	tallies := make([]*tally, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		tallies[w] = &tally{attacks: make([]int, m+1)}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := tallies[w]
+			for trial := w; trial < cfg.Trials; trial += workers {
+				r := cfg.Run
+				if cfg.Sampler != nil {
+					var err error
+					r, err = cfg.Sampler(uint64(trial), runStream.Tape(uint64(trial), 0))
+					if err != nil {
+						errs[w] = fmt.Errorf("mc: sampling run for trial %d: %w", trial, err)
+						return
+					}
+				}
+				outs, err := sim.Outputs(cfg.Protocol, cfg.Graph, r, sim.StreamTapes(protoStream, uint64(trial)))
+				if err != nil {
+					errs[w] = fmt.Errorf("mc: trial %d: %w", trial, err)
+					return
+				}
+				for i := 1; i <= m; i++ {
+					if outs[i] {
+						local.attacks[i]++
+					}
+				}
+				switch protocol.Classify(outs) {
+				case protocol.TotalAttack:
+					local.ta++
+				case protocol.PartialAttack:
+					local.pa++
+				default:
+					local.na++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := &tally{attacks: make([]int, m+1)}
+	for _, t := range tallies {
+		total.merge(t)
+	}
+	res := &Result{Trials: cfg.Trials, AttackCounts: total.attacks}
+	var err error
+	if res.TA, err = stats.NewProportion(total.ta, cfg.Trials); err != nil {
+		return nil, err
+	}
+	if res.PA, err = stats.NewProportion(total.pa, cfg.Trials); err != nil {
+		return nil, err
+	}
+	if res.NA, err = stats.NewProportion(total.na, cfg.Trials); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,173 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+)
+
+func TestEstimateValidation(t *testing.T) {
+	g := graph.Pair()
+	r := run.MustNew(2)
+	s := core.MustS(0.5)
+	bad := []Config{
+		{Graph: g, Run: r, Trials: 10},                          // nil protocol
+		{Protocol: s, Run: r, Trials: 10},                       // nil graph
+		{Protocol: s, Graph: g, Trials: 10},                     // no run or sampler
+		{Protocol: s, Graph: g, Run: r, Trials: 0},              // no trials
+		{Protocol: s, Graph: g, Run: r, Trials: 5, Workers: -1}, // bad workers
+	}
+	for i, cfg := range bad {
+		if _, err := Estimate(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestEstimateMatchesExactForS(t *testing.T) {
+	// The MC estimate of Protocol S on a fixed run must agree with the
+	// closed-form analysis to within the Hoeffding radius.
+	eps := 0.2
+	s := core.MustS(eps)
+	g := graph.Pair()
+	r, err := run.Good(g, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(g, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Estimate(Config{Protocol: s, Graph: g, Run: r, Trials: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := res.TA.Consistent(a.PTotal, 1e-6); err != nil || !ok {
+		t.Errorf("TA %v inconsistent with exact %v", res.TA, a.PTotal)
+	}
+	if ok, err := res.PA.Consistent(a.PPartial, 1e-6); err != nil || !ok {
+		t.Errorf("PA %v inconsistent with exact %v", res.PA, a.PPartial)
+	}
+	for i := graph.ProcID(1); i <= 2; i++ {
+		p, err := res.AttackProportion(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, _ := p.Consistent(a.PAttack[i], 1e-6); !ok {
+			t.Errorf("attack[%d] = %v inconsistent with exact %v", i, p, a.PAttack[i])
+		}
+	}
+	if _, err := res.AttackProportion(9); err == nil {
+		t.Error("out-of-range attack proportion accepted")
+	}
+}
+
+func TestEstimateDeterministicAcrossWorkerCounts(t *testing.T) {
+	s := core.MustS(0.3)
+	g := graph.Pair()
+	r, err := run.Good(g, 5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Estimate(Config{Protocol: s, Graph: g, Run: r, Trials: 2000, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		res, err := Estimate(Config{Protocol: s, Graph: g, Run: r, Trials: 2000, Seed: 7, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TA != base.TA || res.PA != base.PA || res.NA != base.NA {
+			t.Errorf("workers=%d changed results: %+v vs %+v", workers, res, base)
+		}
+		for i := range base.AttackCounts {
+			if res.AttackCounts[i] != base.AttackCounts[i] {
+				t.Errorf("workers=%d changed attack counts", workers)
+			}
+		}
+	}
+}
+
+func TestEstimateWithSampler(t *testing.T) {
+	// Weak adversary sampler: loss probability 0 must reproduce the
+	// good run exactly (liveness 1 for Protocol A).
+	g := graph.Pair()
+	a := baseline.NewA()
+	sampler := func(trial uint64, tape *rng.Tape) (*run.Run, error) {
+		return run.RandomLoss(g, 6, 0, tape, 1, 2)
+	}
+	res, err := Estimate(Config{Protocol: a, Graph: g, Sampler: sampler, Trials: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TA.Mean() != 1 {
+		t.Errorf("lossless sampler: TA = %v, want 1", res.TA)
+	}
+
+	// Loss probability 1: nothing delivered, nobody attacks.
+	sampler1 := func(trial uint64, tape *rng.Tape) (*run.Run, error) {
+		return run.RandomLoss(g, 6, 1, tape, 1, 2)
+	}
+	res1, err := Estimate(Config{Protocol: a, Graph: g, Sampler: sampler1, Trials: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.NA.Mean() != 1 {
+		t.Errorf("total-loss sampler: NA = %v, want 1", res1.NA)
+	}
+}
+
+func TestEstimateSamplerDeterministic(t *testing.T) {
+	g := graph.Pair()
+	s := core.MustS(0.25)
+	sampler := func(trial uint64, tape *rng.Tape) (*run.Run, error) {
+		return run.RandomLoss(g, 5, 0.3, tape, 1)
+	}
+	r1, err := Estimate(Config{Protocol: s, Graph: g, Sampler: sampler, Trials: 1000, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Estimate(Config{Protocol: s, Graph: g, Sampler: sampler, Trials: 1000, Seed: 11, Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TA != r2.TA || r1.PA != r2.PA {
+		t.Errorf("sampler results depend on worker count: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestEstimateErrorPropagates(t *testing.T) {
+	g := graph.Pair()
+	s := core.MustS(0.5)
+	sampler := func(trial uint64, tape *rng.Tape) (*run.Run, error) {
+		bad := run.MustNew(2)
+		bad.AddInput(7) // not a vertex: Outputs will reject
+		return bad, nil
+	}
+	if _, err := Estimate(Config{Protocol: s, Graph: g, Sampler: sampler, Trials: 10, Seed: 1}); err == nil {
+		t.Error("bad sampled run did not surface an error")
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	g := graph.Pair()
+	s := core.MustS(0.4)
+	r, err := run.Good(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Estimate(Config{Protocol: s, Graph: g, Run: r, Trials: 3000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.TA.Mean() + res.PA.Mean() + res.NA.Mean()
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("outcome fractions sum to %v", sum)
+	}
+}

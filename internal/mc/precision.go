@@ -1,0 +1,86 @@
+package mc
+
+import (
+	"fmt"
+
+	"coordattack/internal/stats"
+)
+
+// PrecisionConfig asks for an estimate of a chosen outcome probability
+// with a target confidence-interval half-width, instead of a fixed trial
+// budget: trials double until the Wilson interval at the given z is
+// narrow enough (or MaxTrials is hit).
+type PrecisionConfig struct {
+	// Base is the estimation job; its Trials field is the starting
+	// budget (default 1000).
+	Base Config
+	// HalfWidth is the target Wilson half-width (required, in (0, 0.5)).
+	HalfWidth float64
+	// Z is the Wilson z-score (default 1.96 ≈ 95%).
+	Z float64
+	// MaxTrials caps the doubling (default 1 << 20).
+	MaxTrials int
+}
+
+// PrecisionResult reports the final estimate and the budget it took.
+type PrecisionResult struct {
+	Result *Result
+	// Trials is the final budget used.
+	Trials int
+	// Achieved reports whether the target half-width was reached for all
+	// three outcome probabilities before MaxTrials.
+	Achieved bool
+}
+
+// EstimateToPrecision runs Estimate with a doubling trial budget until
+// the Wilson intervals of TA, PA, and NA are all narrower than the
+// target. Determinism: trial t always uses the tapes derived from
+// (seed, t), so growing the budget extends — never resamples — the
+// earlier trials' universe, and the final result is reproducible.
+func EstimateToPrecision(cfg PrecisionConfig) (*PrecisionResult, error) {
+	if cfg.HalfWidth <= 0 || cfg.HalfWidth >= 0.5 {
+		return nil, fmt.Errorf("mc: target half-width %v outside (0, 0.5)", cfg.HalfWidth)
+	}
+	if cfg.Z == 0 {
+		cfg.Z = 1.96
+	}
+	if cfg.Z < 0 {
+		return nil, fmt.Errorf("mc: z-score %v must be positive", cfg.Z)
+	}
+	if cfg.MaxTrials == 0 {
+		cfg.MaxTrials = 1 << 20
+	}
+	trials := cfg.Base.Trials
+	if trials <= 0 {
+		trials = 1000
+	}
+	for {
+		base := cfg.Base
+		base.Trials = trials
+		res, err := Estimate(base)
+		if err != nil {
+			return nil, err
+		}
+		if wide := widest(res); wide <= cfg.HalfWidth {
+			return &PrecisionResult{Result: res, Trials: trials, Achieved: true}, nil
+		}
+		if trials >= cfg.MaxTrials {
+			return &PrecisionResult{Result: res, Trials: trials, Achieved: false}, nil
+		}
+		trials *= 2
+		if trials > cfg.MaxTrials {
+			trials = cfg.MaxTrials
+		}
+	}
+}
+
+func widest(res *Result) float64 {
+	wide := 0.0
+	for _, p := range []stats.Proportion{res.TA, res.PA, res.NA} {
+		lo, hi := p.Wilson(1.96)
+		if hw := (hi - lo) / 2; hw > wide {
+			wide = hw
+		}
+	}
+	return wide
+}

@@ -1,0 +1,92 @@
+package mc
+
+import (
+	"testing"
+
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+)
+
+func precisionBase(t *testing.T) Config {
+	t.Helper()
+	g := graph.Pair()
+	good, err := run.Good(g, 5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut at 3 → ML = 2 → Pr[TA] = 0.4: mid-range probabilities whose
+	// Wilson intervals genuinely need trials to narrow.
+	return Config{Protocol: core.MustS(0.2), Graph: g, Run: run.CutAt(good, 3), Seed: 5}
+}
+
+func TestEstimateToPrecisionValidation(t *testing.T) {
+	base := precisionBase(t)
+	if _, err := EstimateToPrecision(PrecisionConfig{Base: base, HalfWidth: 0}); err == nil {
+		t.Error("zero half-width accepted")
+	}
+	if _, err := EstimateToPrecision(PrecisionConfig{Base: base, HalfWidth: 0.6}); err == nil {
+		t.Error("half-width ≥ 0.5 accepted")
+	}
+	if _, err := EstimateToPrecision(PrecisionConfig{Base: base, HalfWidth: 0.1, Z: -1}); err == nil {
+		t.Error("negative z accepted")
+	}
+}
+
+func TestEstimateToPrecisionReachesTarget(t *testing.T) {
+	base := precisionBase(t)
+	base.Trials = 200
+	res, err := EstimateToPrecision(PrecisionConfig{Base: base, HalfWidth: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Achieved {
+		t.Fatalf("target not achieved at %d trials", res.Trials)
+	}
+	if res.Trials <= 200 {
+		t.Errorf("no doubling happened: %d trials", res.Trials)
+	}
+	if w := widest(res.Result); w > 0.02 {
+		t.Errorf("widest half-width %v > target", w)
+	}
+	// The estimate must still match the exact analysis.
+	s := core.MustS(0.2)
+	a, err := s.Analyze(base.Graph, base.Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := res.Result.TA.Consistent(a.PTotal, 1e-9); err != nil || !ok {
+		t.Errorf("precision estimate %v inconsistent with exact %v", res.Result.TA, a.PTotal)
+	}
+}
+
+func TestEstimateToPrecisionRespectsCap(t *testing.T) {
+	base := precisionBase(t)
+	base.Trials = 100
+	res, err := EstimateToPrecision(PrecisionConfig{Base: base, HalfWidth: 0.0001, MaxTrials: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Achieved {
+		t.Error("impossible precision reported achieved")
+	}
+	if res.Trials != 800 {
+		t.Errorf("cap not respected: %d trials", res.Trials)
+	}
+}
+
+func TestEstimateToPrecisionDeterministic(t *testing.T) {
+	base := precisionBase(t)
+	base.Trials = 250
+	a, err := EstimateToPrecision(PrecisionConfig{Base: base, HalfWidth: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateToPrecision(PrecisionConfig{Base: base, HalfWidth: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Trials != b.Trials || a.Result.TA != b.Result.TA {
+		t.Error("precision estimation not deterministic")
+	}
+}

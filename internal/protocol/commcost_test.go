@@ -1,0 +1,58 @@
+package protocol
+
+import "testing"
+
+type nullMsg struct{}
+
+func (nullMsg) CAMessage() {}
+func (nullMsg) Null() bool { return true }
+
+type loudNull struct{}
+
+func (loudNull) CAMessage() {}
+func (loudNull) Null() bool { return false } // marker present but not null
+
+func TestIsNull(t *testing.T) {
+	if !IsNull(nullMsg{}) {
+		t.Error("null marker not recognized")
+	}
+	if IsNull(tMsg{V: 1}) {
+		t.Error("plain message reported null")
+	}
+	if IsNull(loudNull{}) {
+		t.Error("Null() == false message reported null")
+	}
+}
+
+func TestCommCost(t *testing.T) {
+	e := &Execution{N: 2, Locals: make([]LocalExecution, 3)}
+	e.Locals[1] = LocalExecution{
+		ID: 1,
+		Rounds: []RoundRecord{
+			{Sent: []SentRecord{
+				{To: 2, Msg: tMsg{V: 1}, Delivered: true},
+				{To: 2, Msg: nullMsg{}, Delivered: true},
+			}},
+			{Sent: []SentRecord{
+				{To: 2, Msg: tMsg{V: 2}, Delivered: false},
+			}},
+		},
+	}
+	e.Locals[2] = LocalExecution{
+		ID: 2,
+		Rounds: []RoundRecord{
+			{Sent: []SentRecord{{To: 1, Msg: nullMsg{}, Delivered: false}}},
+			{},
+		},
+	}
+	c := e.CommCost()
+	if c.SendSlots != 4 {
+		t.Errorf("SendSlots = %d, want 4", c.SendSlots)
+	}
+	if c.PacketsSent != 2 {
+		t.Errorf("PacketsSent = %d, want 2 (nulls excluded)", c.PacketsSent)
+	}
+	if c.PacketsDelivered != 1 {
+		t.Errorf("PacketsDelivered = %d, want 1", c.PacketsDelivered)
+	}
+}

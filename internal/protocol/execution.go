@@ -1,0 +1,78 @@
+package protocol
+
+// IdenticalTo reports whether two executions are "identical to i" in the
+// §2 sense: process i's local executions E_i coincide — same input, same
+// per-round receipts, same sent messages, same output. This is the
+// semantic side of indistinguishability; Lemma 4.2's clipping gives the
+// syntactic criterion, and the test suite checks that the two agree.
+//
+// Message comparison uses Go equality, which is well-defined because
+// every protocol in this repository sends comparable message values.
+func (e *Execution) IdenticalTo(o *Execution, i int) bool {
+	if o == nil || e.N != o.N || i < 1 || i >= len(e.Locals) || i >= len(o.Locals) {
+		return false
+	}
+	a, b := e.Locals[i], o.Locals[i]
+	if a.ID != b.ID || a.Input != b.Input || a.Output != b.Output || len(a.Rounds) != len(b.Rounds) {
+		return false
+	}
+	for r := range a.Rounds {
+		ra, rb := a.Rounds[r], b.Rounds[r]
+		if len(ra.Received) != len(rb.Received) || len(ra.Sent) != len(rb.Sent) {
+			return false
+		}
+		for k := range ra.Received {
+			if ra.Received[k] != rb.Received[k] {
+				return false
+			}
+		}
+		for k := range ra.Sent {
+			// Delivery fate may legitimately differ between the two runs
+			// (the messages sent are part of E_i; their fate is not
+			// observable by i), so compare destination and content only.
+			if ra.Sent[k].To != rb.Sent[k].To || ra.Sent[k].Msg != rb.Sent[k].Msg {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CommCost tallies an execution's message complexity: total send slots,
+// non-null packets sent, and non-null packets delivered. The model makes
+// every process send every round; packets are where the information is.
+type CommCost struct {
+	SendSlots        int
+	PacketsSent      int
+	PacketsDelivered int
+}
+
+// CommCost computes the execution's message-complexity tally.
+func (e *Execution) CommCost() CommCost {
+	var c CommCost
+	for i := 1; i < len(e.Locals); i++ {
+		for _, round := range e.Locals[i].Rounds {
+			for _, s := range round.Sent {
+				c.SendSlots++
+				if !IsNull(s.Msg) {
+					c.PacketsSent++
+					if s.Delivered {
+						c.PacketsDelivered++
+					}
+				}
+			}
+		}
+	}
+	return c
+}
+
+// NumAttacking counts processes with O_i = 1.
+func (e *Execution) NumAttacking() int {
+	n := 0
+	for i := 1; i < len(e.Locals); i++ {
+		if e.Locals[i].Output {
+			n++
+		}
+	}
+	return n
+}

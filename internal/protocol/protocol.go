@@ -1,0 +1,191 @@
+// Package protocol defines the §2 protocol model: per-process state
+// machines F_i = (start states, transition function δ_i, message function
+// σ_i, output O_i), plus execution records and the TA/NA/PA outcome
+// classification.
+//
+// Execution engines live in package sim; concrete protocols (S, A, the
+// deterministic baselines) live in internal/core and internal/baseline.
+package protocol
+
+import (
+	"fmt"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+)
+
+// Message is one protocol message m_ij^r. Concrete protocols define their
+// own message types and tag them with the CAMessage marker; engines treat
+// messages as opaque values. The model requires a message on every edge in
+// every round — protocols with "nothing to say" send an explicit null
+// message type of their own, which receivers ignore.
+type Message interface {
+	// CAMessage marks a type as a coordinated-attack protocol message.
+	CAMessage()
+}
+
+// NullMarker is implemented by protocols' explicit null messages — the
+// "nothing to say" placeholders the model requires each round. IsNull
+// recognizes them for message-complexity accounting.
+type NullMarker interface {
+	Message
+	// Null reports whether the message carries no information.
+	Null() bool
+}
+
+// IsNull reports whether a message is an explicit null.
+func IsNull(m Message) bool {
+	n, ok := m.(NullMarker)
+	return ok && n.Null()
+}
+
+// Received pairs a delivered message with its sender; S_i^r is a slice of
+// these, sorted by sender for determinism.
+type Received struct {
+	From graph.ProcID
+	Msg  Message
+}
+
+// Config carries everything F_i knows at start: its identity, the graph
+// (protocols are designed for a topology), the horizon N, whether the
+// input signal arrived in round 0 (selecting start state s_i^0 or s_i^1),
+// and the private random tape α_i.
+type Config struct {
+	ID    graph.ProcID
+	G     *graph.G
+	N     int
+	Input bool
+	Tape  *rng.Tape
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.G == nil {
+		return fmt.Errorf("protocol: config for %d has nil graph", c.ID)
+	}
+	if c.ID < 1 || int(c.ID) > c.G.NumVertices() {
+		return fmt.Errorf("protocol: id %d not a vertex of %v", c.ID, c.G)
+	}
+	if c.N < 1 {
+		return fmt.Errorf("protocol: config needs N ≥ 1, got %d", c.N)
+	}
+	if c.Tape == nil {
+		return fmt.Errorf("protocol: config for %d has nil tape", c.ID)
+	}
+	return nil
+}
+
+// Machine is one running local protocol F_i. Engines drive it strictly in
+// round order: for each round r = 1..N first Send for every neighbor,
+// then one Step with the delivered messages; after round N, Output.
+type Machine interface {
+	// Send returns m_ij^r = σ_i(q_i^{r-1}, to). It must not mutate state:
+	// all sends of a round happen "simultaneously" from the same q^{r-1}.
+	Send(round int, to graph.ProcID) Message
+
+	// Step applies δ_i: consumes S_i^r (sorted by sender) and moves to
+	// q_i^r. It returns an error only on model violations such as random
+	// tape exhaustion.
+	Step(round int, received []Received) error
+
+	// Output returns O_i(q_i^N); it must be stable once round N has run.
+	Output() bool
+}
+
+// Protocol is a factory for local machines — the full F = (F_1, ..., F_m).
+type Protocol interface {
+	// Name identifies the protocol in traces and tables.
+	Name() string
+
+	// NewMachine builds F_i in its start state. The machine must draw all
+	// randomness from cfg.Tape.
+	NewMachine(cfg Config) (Machine, error)
+}
+
+// Outcome classifies an execution's output vector.
+type Outcome int
+
+const (
+	// NoAttack: all generals output 0 (the NA event).
+	NoAttack Outcome = iota + 1
+	// TotalAttack: all generals output 1 (the TA event).
+	TotalAttack
+	// PartialAttack: some pair of generals disagrees (the PA event, whose
+	// worst-case probability is the unsafety U).
+	PartialAttack
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case NoAttack:
+		return "NA"
+	case TotalAttack:
+		return "TA"
+	case PartialAttack:
+		return "PA"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Classify maps an output vector (index 1..m; index 0 ignored) to its
+// outcome.
+func Classify(outputs []bool) Outcome {
+	any, all := false, true
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] {
+			any = true
+		} else {
+			all = false
+		}
+	}
+	switch {
+	case all:
+		return TotalAttack
+	case any:
+		return PartialAttack
+	default:
+		return NoAttack
+	}
+}
+
+// SentRecord is one sent message, retained by traces.
+type SentRecord struct {
+	To        graph.ProcID
+	Msg       Message
+	Delivered bool
+}
+
+// RoundRecord is one round of a local execution: what i sent and what it
+// received.
+type RoundRecord struct {
+	Sent     []SentRecord
+	Received []Received
+}
+
+// LocalExecution is the paper's E_i: the input, the per-round sends and
+// receipts, and the output bit of one process.
+type LocalExecution struct {
+	ID     graph.ProcID
+	Input  bool
+	Rounds []RoundRecord // index 0 = round 1
+	Output bool
+}
+
+// Execution is the vector (E_i) plus the output vector.
+type Execution struct {
+	N      int
+	Locals []LocalExecution // index 1..m; index 0 unused
+}
+
+// Outputs returns the decision vector O, index 1..m (index 0 unused).
+func (e *Execution) Outputs() []bool {
+	out := make([]bool, len(e.Locals))
+	for i := 1; i < len(e.Locals); i++ {
+		out[i] = e.Locals[i].Output
+	}
+	return out
+}
+
+// Outcome classifies the execution as TA, NA, or PA.
+func (e *Execution) Outcome() Outcome { return Classify(e.Outputs()) }

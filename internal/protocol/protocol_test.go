@@ -1,0 +1,134 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+)
+
+type tMsg struct{ V int }
+
+func (tMsg) CAMessage() {}
+
+func twoProcExecution(outputs [2]bool) *Execution {
+	e := &Execution{N: 2, Locals: make([]LocalExecution, 3)}
+	for i := 1; i <= 2; i++ {
+		e.Locals[i] = LocalExecution{
+			ID:     graph.ProcID(i),
+			Input:  i == 1,
+			Output: outputs[i-1],
+			Rounds: []RoundRecord{
+				{
+					Sent:     []SentRecord{{To: graph.ProcID(3 - i), Msg: tMsg{V: i}, Delivered: true}},
+					Received: []Received{{From: graph.ProcID(3 - i), Msg: tMsg{V: 3 - i}}},
+				},
+				{
+					Sent: []SentRecord{{To: graph.ProcID(3 - i), Msg: tMsg{V: i * 10}, Delivered: false}},
+				},
+			},
+		}
+	}
+	return e
+}
+
+func TestOutputsAndOutcome(t *testing.T) {
+	e := twoProcExecution([2]bool{true, true})
+	outs := e.Outputs()
+	if len(outs) != 3 || !outs[1] || !outs[2] {
+		t.Errorf("Outputs = %v", outs)
+	}
+	if e.Outcome() != TotalAttack {
+		t.Errorf("Outcome = %v", e.Outcome())
+	}
+	if e.NumAttacking() != 2 {
+		t.Errorf("NumAttacking = %d", e.NumAttacking())
+	}
+	mixed := twoProcExecution([2]bool{true, false})
+	if mixed.Outcome() != PartialAttack || mixed.NumAttacking() != 1 {
+		t.Errorf("mixed outcome %v attacking %d", mixed.Outcome(), mixed.NumAttacking())
+	}
+}
+
+func TestIdenticalTo(t *testing.T) {
+	a := twoProcExecution([2]bool{true, true})
+	b := twoProcExecution([2]bool{true, true})
+	for i := 1; i <= 2; i++ {
+		if !a.IdenticalTo(b, i) {
+			t.Errorf("identical executions reported different to %d", i)
+		}
+	}
+	// Changing only process 2's output breaks identity to 2, not to 1.
+	c := twoProcExecution([2]bool{true, false})
+	if !a.IdenticalTo(c, 1) {
+		t.Error("process 1's view should be unchanged")
+	}
+	if a.IdenticalTo(c, 2) {
+		t.Error("process 2's output differs; identity to 2 should fail")
+	}
+	// Changing a received message breaks identity for the receiver.
+	d := twoProcExecution([2]bool{true, true})
+	d.Locals[1].Rounds[0].Received[0].Msg = tMsg{V: 99}
+	if a.IdenticalTo(d, 1) {
+		t.Error("received-message change undetected")
+	}
+	if !a.IdenticalTo(d, 2) {
+		t.Error("process 2 unaffected by 1's receipt change")
+	}
+	// Delivery fate of sends is NOT part of i's view.
+	f := twoProcExecution([2]bool{true, true})
+	f.Locals[1].Rounds[0].Sent[0].Delivered = false
+	if !a.IdenticalTo(f, 1) {
+		t.Error("send delivery fate must not affect identity")
+	}
+	// But sent content is.
+	g := twoProcExecution([2]bool{true, true})
+	g.Locals[1].Rounds[0].Sent[0].Msg = tMsg{V: 123}
+	if a.IdenticalTo(g, 1) {
+		t.Error("sent-content change undetected")
+	}
+	// Degenerate comparisons.
+	if a.IdenticalTo(nil, 1) || a.IdenticalTo(b, 0) || a.IdenticalTo(b, 9) {
+		t.Error("degenerate IdenticalTo returned true")
+	}
+	short := &Execution{N: 3, Locals: make([]LocalExecution, 3)}
+	if a.IdenticalTo(short, 1) {
+		t.Error("different N reported identical")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if NoAttack.String() != "NA" || TotalAttack.String() != "TA" || PartialAttack.String() != "PA" {
+		t.Error("outcome strings wrong")
+	}
+	if !strings.Contains(Outcome(0).String(), "0") {
+		t.Error("zero outcome string wrong")
+	}
+}
+
+func TestClassifyEmptyAndSingle(t *testing.T) {
+	// Empty vector (index 0 only) counts as "all attack" vacuously; the
+	// engines never produce it, but Classify must not panic.
+	if got := Classify([]bool{false}); got != TotalAttack {
+		t.Errorf("vacuous Classify = %v", got)
+	}
+	if got := Classify([]bool{false, true}); got != TotalAttack {
+		t.Errorf("single-attacker Classify = %v", got)
+	}
+	if got := Classify([]bool{false, false}); got != NoAttack {
+		t.Errorf("single-refuser Classify = %v", got)
+	}
+}
+
+func TestConfigValidateDirect(t *testing.T) {
+	g := graph.Pair()
+	good := Config{ID: 2, G: g, N: 1, Tape: rng.NewTape(1)}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := Config{ID: 2, G: g, N: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("nil tape accepted")
+	}
+}

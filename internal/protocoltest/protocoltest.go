@@ -1,0 +1,138 @@
+// Package protocoltest is a reusable conformance suite for
+// coordinated-attack protocols: any protocol.Protocol implementation can
+// be checked against the §2 model's ground rules — non-nil messages every
+// round, determinism in (run, α), validity, loop/channel engine
+// agreement, and (for randomized protocols) bounded tape usage. The
+// repository's own protocol zoo runs through it; downstream protocol
+// authors can too.
+package protocoltest
+
+import (
+	"fmt"
+	"testing"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+// Options tunes the conformance suite.
+type Options struct {
+	// Runs is how many random runs to sample (default 40).
+	Runs int
+	// Seed roots the sampling (default 7).
+	Seed uint64
+	// MaxTapeBits, when positive, asserts the paper's J bound: no
+	// process may consume more random bits than this per execution.
+	MaxTapeBits int
+	// SkipValidity skips the validity check, for protocols that are
+	// deliberately invalid (none in this repository).
+	SkipValidity bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs == 0 {
+		o.Runs = 40
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// Conformance runs the full suite for protocol p on graph g over n
+// rounds. Failures are reported through t with the offending run
+// attached.
+func Conformance(t *testing.T, p protocol.Protocol, g *graph.G, n int, opts Options) {
+	t.Helper()
+	opts = opts.withDefaults()
+	runTape := rng.NewTape(opts.Seed)
+
+	for trial := 0; trial < opts.Runs; trial++ {
+		r, err := run.RandomSubset(g, n, runTape)
+		if err != nil {
+			t.Fatalf("protocoltest: sampling run: %v", err)
+		}
+		seed := opts.Seed ^ uint64(trial*7919+13)
+
+		// Determinism: two executions with identical tapes agree.
+		o1, err := sim.Outputs(p, g, r, sim.SeedTapes(seed))
+		if err != nil {
+			t.Fatalf("protocoltest: %s on %v: %v", p.Name(), r, err)
+		}
+		o2, err := sim.Outputs(p, g, r, sim.SeedTapes(seed))
+		if err != nil {
+			t.Fatalf("protocoltest: %s re-execution: %v", p.Name(), err)
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("protocoltest: %s not deterministic in (run, α) on %v", p.Name(), r)
+			}
+		}
+
+		// Engine agreement: channel engine must match the loop engine.
+		conc, err := sim.ConcurrentOutputs(p, g, r, sim.SeedTapes(seed))
+		if err != nil {
+			t.Fatalf("protocoltest: %s concurrent engine: %v", p.Name(), err)
+		}
+		for i := range o1 {
+			if o1[i] != conc[i] {
+				t.Fatalf("protocoltest: %s engines disagree on %v", p.Name(), r)
+			}
+		}
+
+		// Validity: strip inputs, nobody may attack.
+		if !opts.SkipValidity {
+			stripped := r.Clone()
+			for _, i := range stripped.Inputs() {
+				stripped.RemoveInput(i)
+			}
+			outs, err := sim.Outputs(p, g, stripped, sim.SeedTapes(seed))
+			if err != nil {
+				t.Fatalf("protocoltest: %s validity execution: %v", p.Name(), err)
+			}
+			for i := 1; i < len(outs); i++ {
+				if outs[i] {
+					t.Fatalf("protocoltest: %s violates validity: process %d attacked on %v",
+						p.Name(), i, stripped)
+				}
+			}
+		}
+
+		// Tape budget (the paper's J bound).
+		if opts.MaxTapeBits > 0 {
+			if err := checkTapeBudget(p, g, r, seed, opts.MaxTapeBits); err != nil {
+				t.Fatalf("protocoltest: %s: %v", p.Name(), err)
+			}
+		}
+
+		// Full trace must classify identically to the fast path.
+		exec, err := sim.Execute(p, g, r, sim.SeedTapes(seed))
+		if err != nil {
+			t.Fatalf("protocoltest: %s trace execution: %v", p.Name(), err)
+		}
+		if exec.Outcome() != protocol.Classify(o1) {
+			t.Fatalf("protocoltest: %s trace outcome differs from outputs on %v", p.Name(), r)
+		}
+	}
+}
+
+func checkTapeBudget(p protocol.Protocol, g *graph.G, r *run.Run, seed uint64, budget int) error {
+	m := g.NumVertices()
+	tapes := make(map[graph.ProcID]*rng.Tape, m)
+	for i := 1; i <= m; i++ {
+		tapes[graph.ProcID(i)] = rng.NewTape(seed + uint64(i))
+	}
+	if _, err := sim.Outputs(p, g, r, func(i graph.ProcID) *rng.Tape { return tapes[i] }); err != nil {
+		return err
+	}
+	for i, tape := range tapes {
+		if tape.Consumed() > budget {
+			return fmt.Errorf("process %d consumed %d random bits, budget J = %d",
+				i, tape.Consumed(), budget)
+		}
+	}
+	return nil
+}

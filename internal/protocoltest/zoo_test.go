@@ -1,0 +1,125 @@
+package protocoltest
+
+import (
+	"testing"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+// TestZooConformance runs the entire protocol zoo through the suite on
+// its natural topologies.
+func TestZooConformance(t *testing.T) {
+	pair := graph.Pair()
+	ring4, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete3, err := graph.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAlt, err := core.NewSAltValidity(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack, err := core.NewSWithSlack(0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax2, err := baseline.NewRepeatedA(2, baseline.CombineAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	axAny, err := baseline.NewRepeatedA(3, baseline.CombineAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := baseline.NewDetThreshold(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geoDist, err := core.GeometricFire(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sGeo, err := core.NewSFire(geoDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powDist, err := core.PowerFire(0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sPow, err := core.NewSFire(powDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		p       protocol.Protocol
+		g       *graph.G
+		n       int
+		maxBits int
+	}{
+		{"S on pair", core.MustS(0.2), pair, 6, 64},
+		{"S on ring", core.MustS(0.1), ring4, 6, 64},
+		{"S on complete", core.MustS(0.3), complete3, 5, 64},
+		{"S-alt-validity", sAlt, pair, 6, 64},
+		{"S slack 1", slack, ring4, 5, 64},
+		{"A", baseline.NewA(), pair, 8, 128},
+		{"A×2 all", ax2, pair, 8, 256},
+		{"A×3 any", axAny, pair, 9, 384},
+		{"RingRelay", baseline.NewRingRelay(), ring4, 10, 128},
+		{"DetFullInfo", baseline.NewDetFullInfo(), ring4, 5, 0}, // det: no tape use at all
+		{"DetThreshold", thr, complete3, 5, 0},
+		{"XORCoins", baseline.NewXORCoins(), ring4, 4, 1},
+		{"S[geometric]", sGeo, pair, 6, 64},
+		{"S[power]", sPow, ring4, 5, 64},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			opts := Options{Runs: 25, Seed: 11, MaxTapeBits: tc.maxBits}
+			Conformance(t, tc.p, tc.g, tc.n, opts)
+		})
+	}
+}
+
+// TestDeterministicProtocolsUseNoTape asserts J = 0 for the deterministic
+// baselines explicitly (MaxTapeBits 0 disables the generic check, so this
+// pins it directly).
+func TestDeterministicProtocolsUseNoTape(t *testing.T) {
+	ring4, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := baseline.NewDetThreshold(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := run.Good(ring4, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []protocol.Protocol{baseline.NewDetFullInfo(), thr} {
+		tapes := map[graph.ProcID]*rng.Tape{}
+		for i := 1; i <= 4; i++ {
+			tapes[graph.ProcID(i)] = rng.NewTape(uint64(i))
+		}
+		if _, err := sim.Outputs(p, ring4, good, func(i graph.ProcID) *rng.Tape { return tapes[i] }); err != nil {
+			t.Fatal(err)
+		}
+		for i, tape := range tapes {
+			if tape.Consumed() != 0 {
+				t.Errorf("%s: process %d consumed %d bits, want 0", p.Name(), i, tape.Consumed())
+			}
+		}
+	}
+}

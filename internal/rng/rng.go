@@ -1,0 +1,301 @@
+// Package rng is the deterministic randomness substrate for the
+// coordinated-attack model.
+//
+// The model of Varghese & Lynch (PODC 1992, §2) gives each process i a
+// private sequence α_i of J uniform random bits. This package implements
+// that abstraction from scratch on top of two classic generators:
+//
+//   - SplitMix64 — used for seeding and stream derivation, and
+//   - xoshiro256** — the bulk generator behind every tape.
+//
+// Nothing in this repository draws randomness from anywhere else: no
+// time-based seeds, no global generators. Every experiment is reproducible
+// bit-for-bit from its explicit seed.
+package rng
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrTapeExhausted is returned by bounded tapes when a protocol asks for
+// more random bits than its declared budget J allows.
+var ErrTapeExhausted = errors.New("rng: random tape exhausted")
+
+// SplitMix64 is a tiny, fast 64-bit generator with full period 2^64.
+// It is used to expand seeds and to derive independent streams; it is the
+// standard seeding companion for the xoshiro family.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 generator seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next 64-bit output and advances the generator.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes x through one SplitMix64 finalization round. It is a
+// stateless convenience used for deriving stream seeds from labels.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Xoshiro256 is the xoshiro256** generator of Blackman and Vigna: 256 bits
+// of state, period 2^256-1, and excellent statistical quality for
+// simulation workloads. The zero value is invalid; construct with
+// NewXoshiro256.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator whose state is expanded from seed via
+// SplitMix64, per the reference initialization procedure.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// An all-zero state would be a fixed point; SplitMix64 cannot emit four
+	// consecutive zeros, but guard anyway so the invariant is local.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+// Jump advances the generator by 2^128 steps — equivalent to 2^128 calls
+// to Uint64 — partitioning the sequence into non-overlapping streams.
+// This is the reference long-range jump of the xoshiro256 family; the
+// Stream helpers use hashed seeds instead, but Jump is provided for
+// workloads that want provably disjoint subsequences.
+func (x *Xoshiro256) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= x.s[0]
+				s1 ^= x.s[1]
+				s2 ^= x.s[2]
+				s3 ^= x.s[3]
+			}
+			x.Uint64()
+		}
+	}
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
+}
+
+// Uint64 returns the next 64 random bits.
+func (x *Xoshiro256) Uint64() uint64 {
+	result := bits.RotateLeft64(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = bits.RotateLeft64(x.s[3], 45)
+	return result
+}
+
+// Tape is one process's private random input α_i: a stream of uniform bits
+// with an optional budget J. It mirrors the paper's model, where J bounds
+// the total number of random bits any general may consume; a Tape with
+// Budget 0 is unbounded.
+//
+// A Tape is not safe for concurrent use; each process owns its own tape,
+// exactly as each general owns its own α_i.
+type Tape struct {
+	src      *Xoshiro256
+	budget   int // J; 0 means unlimited
+	consumed int // bits drawn so far
+
+	word     uint64 // buffered bits
+	wordLeft int    // bits remaining in word
+
+	lineage uint64 // immutable seed identity, used by Fork
+}
+
+// NewTape returns an unbounded tape seeded with seed.
+func NewTape(seed uint64) *Tape {
+	return &Tape{src: NewXoshiro256(seed), lineage: seed}
+}
+
+// NewBoundedTape returns a tape that permits at most budget bits (the
+// paper's J). budget must be positive.
+func NewBoundedTape(seed uint64, budget int) (*Tape, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("rng: budget must be positive, got %d", budget)
+	}
+	return &Tape{src: NewXoshiro256(seed), budget: budget, lineage: seed}, nil
+}
+
+// Consumed reports the number of random bits drawn from the tape so far.
+func (t *Tape) Consumed() int { return t.consumed }
+
+// Budget reports the bit budget J, or 0 if the tape is unbounded.
+func (t *Tape) Budget() int { return t.budget }
+
+// Remaining reports how many bits may still be drawn, or -1 if unbounded.
+func (t *Tape) Remaining() int {
+	if t.budget == 0 {
+		return -1
+	}
+	return t.budget - t.consumed
+}
+
+func (t *Tape) charge(n int) error {
+	if t.budget != 0 && t.consumed+n > t.budget {
+		return fmt.Errorf("%w: need %d bits, %d of %d used",
+			ErrTapeExhausted, n, t.consumed, t.budget)
+	}
+	t.consumed += n
+	return nil
+}
+
+// Bit draws one uniform bit.
+func (t *Tape) Bit() (byte, error) {
+	if err := t.charge(1); err != nil {
+		return 0, err
+	}
+	if t.wordLeft == 0 {
+		t.word = t.src.Uint64()
+		t.wordLeft = 64
+	}
+	b := byte(t.word & 1)
+	t.word >>= 1
+	t.wordLeft--
+	return b, nil
+}
+
+// Uint64 draws 64 uniform bits as one word.
+func (t *Tape) Uint64() (uint64, error) {
+	if err := t.charge(64); err != nil {
+		return 0, err
+	}
+	return t.src.Uint64(), nil
+}
+
+// UintN draws a uniform integer in [0, n). n must be positive. Rejection
+// sampling removes modulo bias entirely.
+func (t *Tape) UintN(n uint64) (uint64, error) {
+	if n == 0 {
+		return 0, errors.New("rng: UintN requires n > 0")
+	}
+	if n&(n-1) == 0 { // power of two: mask, no rejection
+		v, err := t.Uint64()
+		if err != nil {
+			return 0, err
+		}
+		return v & (n - 1), nil
+	}
+	// Lemire-style threshold rejection on the top bits.
+	thresh := -n % n
+	for {
+		v, err := t.Uint64()
+		if err != nil {
+			return 0, err
+		}
+		hi, lo := bits.Mul64(v, n)
+		if lo >= thresh {
+			return hi, nil
+		}
+	}
+}
+
+// IntRange draws a uniform integer in [lo, hi] inclusive. Requires lo ≤ hi.
+func (t *Tape) IntRange(lo, hi int) (int, error) {
+	if lo > hi {
+		return 0, fmt.Errorf("rng: empty range [%d, %d]", lo, hi)
+	}
+	v, err := t.UintN(uint64(hi-lo) + 1)
+	if err != nil {
+		return 0, err
+	}
+	return lo + int(v), nil
+}
+
+// Float64Open01 draws a uniform value in the half-open interval (0, 1]:
+// (k+1)/2^53 for uniform k in [0, 2^53). This is the quantization used for
+// rfire; the paper's uniform real on (0, 1/ε] is approximated to within
+// 2^-53, far below every probability reported by any experiment.
+func (t *Tape) Float64Open01() (float64, error) {
+	v, err := t.Uint64()
+	if err != nil {
+		return 0, err
+	}
+	k := v >> 11 // top 53 bits
+	return float64(k+1) / (1 << 53), nil
+}
+
+// Bernoulli draws true with probability p. Requires 0 ≤ p ≤ 1.
+func (t *Tape) Bernoulli(p float64) (bool, error) {
+	if p < 0 || p > 1 {
+		return false, fmt.Errorf("rng: probability %v out of [0,1]", p)
+	}
+	if p == 0 {
+		return false, nil
+	}
+	v, err := t.Float64Open01()
+	if err != nil {
+		return false, err
+	}
+	return v <= p, nil
+}
+
+// Fork derives an independent tape from this tape's immutable seed lineage
+// and a label. Forking neither consumes bits from the parent nor depends on
+// how many bits the parent has already consumed, so forked tapes are stable
+// identities: fork k of tape t is the same stream no matter when it is
+// taken. This is how one experiment seed fans out into per-process α_i
+// streams without correlation.
+func (t *Tape) Fork(label uint64) *Tape {
+	seed := Mix64(t.lineage ^ Mix64(label)*0x9e3779b97f4a7c15)
+	return &Tape{src: NewXoshiro256(seed), lineage: seed}
+}
+
+func (t *Tape) setLineage(l uint64) *Tape { t.lineage = l; return t }
+
+// Stream is a labeled family of tapes: a deterministic function from labels
+// to independent tapes. Experiments use one Stream per experiment and draw
+//
+//	stream.Tape(trial, process)
+//
+// so that trial t, process i always sees the same α_i no matter what ran
+// before it — including under parallel execution.
+type Stream struct {
+	seed uint64
+}
+
+// NewStream returns a stream rooted at seed.
+func NewStream(seed uint64) Stream { return Stream{seed: seed} }
+
+// Seed reports the root seed.
+func (s Stream) Seed() uint64 { return s.seed }
+
+// Tape returns the tape for (trial, proc). Distinct label pairs yield
+// statistically independent tapes.
+func (s Stream) Tape(trial, proc uint64) *Tape {
+	seed := Mix64(s.seed ^ Mix64(trial+0x1234)*0x9e3779b97f4a7c15 ^ Mix64(proc+0xabcd))
+	t := NewTape(seed)
+	return t.setLineage(seed)
+}
+
+// Sub derives a child stream for a named sub-experiment.
+func (s Stream) Sub(label uint64) Stream {
+	return Stream{seed: Mix64(s.seed ^ Mix64(label)*0x2545f4914f6cdd1d)}
+}

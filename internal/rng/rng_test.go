@@ -1,0 +1,381 @@
+package rng
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference outputs for seed 0 from the canonical C implementation.
+	sm := NewSplitMix64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+		0xf88bb8a8724c81ec,
+		0x1b39896a51a8749b,
+	}
+	for i, w := range want {
+		if got := sm.Next(); got != w {
+			t.Fatalf("SplitMix64(0) output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestMix64MatchesSplitMix(t *testing.T) {
+	// Mix64(x) must equal the first output of a SplitMix64 seeded at x.
+	for _, x := range []uint64{0, 1, 42, 0xdeadbeef, math.MaxUint64} {
+		if got, want := Mix64(x), NewSplitMix64(x).Next(); got != want {
+			t.Errorf("Mix64(%#x) = %#x, want %#x", x, got, want)
+		}
+	}
+}
+
+func TestXoshiroDeterminism(t *testing.T) {
+	a := NewXoshiro256(12345)
+	b := NewXoshiro256(12345)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("same-seed generators diverged at step %d: %#x vs %#x", i, av, bv)
+		}
+	}
+}
+
+func TestXoshiroSeedSensitivity(t *testing.T) {
+	a := NewXoshiro256(1)
+	b := NewXoshiro256(2)
+	same := 0
+	const n = 100
+	for i := 0; i < n; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds produced %d/%d identical words", same, n)
+	}
+}
+
+func TestXoshiroBitBalance(t *testing.T) {
+	// Crude sanity: each bit position should be ~50% ones over many draws.
+	x := NewXoshiro256(7)
+	const n = 20000
+	var counts [64]int
+	for i := 0; i < n; i++ {
+		v := x.Uint64()
+		for b := 0; b < 64; b++ {
+			if v&(1<<uint(b)) != 0 {
+				counts[b]++
+			}
+		}
+	}
+	for b, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.47 || frac > 0.53 {
+			t.Errorf("bit %d frequency %.4f outside [0.47, 0.53]", b, frac)
+		}
+	}
+}
+
+func TestXoshiroJumpDisjointStreams(t *testing.T) {
+	// Jump must produce a stream disjoint from the original's prefix:
+	// compare a window of outputs before and after the jump.
+	base := NewXoshiro256(99)
+	jumped := NewXoshiro256(99)
+	jumped.Jump()
+	seen := make(map[uint64]bool, 2000)
+	for i := 0; i < 2000; i++ {
+		seen[base.Uint64()] = true
+	}
+	overlaps := 0
+	for i := 0; i < 2000; i++ {
+		if seen[jumped.Uint64()] {
+			overlaps++
+		}
+	}
+	if overlaps > 0 {
+		t.Errorf("jumped stream repeated %d words from the base prefix", overlaps)
+	}
+}
+
+func TestXoshiroJumpDeterministic(t *testing.T) {
+	a := NewXoshiro256(7)
+	b := NewXoshiro256(7)
+	a.Jump()
+	b.Jump()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("jump not deterministic")
+		}
+	}
+}
+
+func TestTapeBitBudget(t *testing.T) {
+	tape, err := NewBoundedTape(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := tape.Bit(); err != nil {
+			t.Fatalf("bit %d within budget failed: %v", i, err)
+		}
+	}
+	if _, err := tape.Bit(); !errors.Is(err, ErrTapeExhausted) {
+		t.Fatalf("4th bit of a 3-bit tape: err = %v, want ErrTapeExhausted", err)
+	}
+	if got := tape.Consumed(); got != 3 {
+		t.Errorf("Consumed = %d, want 3 (failed draw must not charge)", got)
+	}
+}
+
+func TestBoundedTapeRejectsNonPositiveBudget(t *testing.T) {
+	for _, budget := range []int{0, -1, -100} {
+		if _, err := NewBoundedTape(1, budget); err == nil {
+			t.Errorf("NewBoundedTape(budget=%d) succeeded, want error", budget)
+		}
+	}
+}
+
+func TestTapeUint64Budget(t *testing.T) {
+	tape, err := NewBoundedTape(9, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tape.Uint64(); err != nil {
+		t.Fatalf("first word within budget: %v", err)
+	}
+	if _, err := tape.Uint64(); !errors.Is(err, ErrTapeExhausted) {
+		t.Fatalf("second word over budget: err = %v, want ErrTapeExhausted", err)
+	}
+	if got, want := tape.Remaining(), 100-64; got != want {
+		t.Errorf("Remaining = %d, want %d", got, want)
+	}
+}
+
+func TestTapeUnboundedRemaining(t *testing.T) {
+	tape := NewTape(5)
+	if got := tape.Remaining(); got != -1 {
+		t.Errorf("unbounded Remaining = %d, want -1", got)
+	}
+	if got := tape.Budget(); got != 0 {
+		t.Errorf("unbounded Budget = %d, want 0", got)
+	}
+}
+
+func TestUintNBounds(t *testing.T) {
+	tape := NewTape(11)
+	for _, n := range []uint64{1, 2, 3, 7, 8, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			v, err := tape.UintN(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v >= n {
+				t.Fatalf("UintN(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	if _, err := tape.UintN(0); err == nil {
+		t.Error("UintN(0) succeeded, want error")
+	}
+}
+
+func TestUintNUniformity(t *testing.T) {
+	tape := NewTape(13)
+	const n, trials = 6, 60000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		v, err := tape.UintN(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[v]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("UintN(%d): value %d count %d deviates >5σ from %v", n, v, c, want)
+		}
+	}
+}
+
+func TestIntRange(t *testing.T) {
+	tape := NewTape(17)
+	tests := []struct{ lo, hi int }{
+		{2, 10}, {-5, 5}, {0, 0}, {7, 7},
+	}
+	for _, tc := range tests {
+		for i := 0; i < 100; i++ {
+			v, err := tape.IntRange(tc.lo, tc.hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < tc.lo || v > tc.hi {
+				t.Fatalf("IntRange(%d,%d) = %d out of range", tc.lo, tc.hi, v)
+			}
+		}
+	}
+	if _, err := tape.IntRange(3, 2); err == nil {
+		t.Error("IntRange(3,2) succeeded, want error")
+	}
+}
+
+func TestFloat64Open01(t *testing.T) {
+	tape := NewTape(19)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v, err := tape.Float64Open01()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= 0 || v > 1 {
+			t.Fatalf("Float64Open01 = %v outside (0,1]", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %v far from 0.5", mean)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	tape := NewTape(23)
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		hits := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			b, err := tape.Bernoulli(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b {
+				hits++
+			}
+		}
+		frac := float64(hits) / n
+		if math.Abs(frac-p) > 0.02 {
+			t.Errorf("Bernoulli(%v) frequency %v", p, frac)
+		}
+	}
+	if _, err := tape.Bernoulli(-0.1); err == nil {
+		t.Error("Bernoulli(-0.1) succeeded, want error")
+	}
+	if _, err := tape.Bernoulli(1.1); err == nil {
+		t.Error("Bernoulli(1.1) succeeded, want error")
+	}
+}
+
+func TestForkStability(t *testing.T) {
+	// Forks must not depend on parent consumption.
+	a := NewTape(31)
+	forkEarly := a.Fork(9)
+	for i := 0; i < 100; i++ {
+		if _, err := a.Uint64(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	forkLate := a.Fork(9)
+	for i := 0; i < 100; i++ {
+		e, err := forkEarly.Uint64()
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := forkLate.Uint64()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != l {
+			t.Fatalf("fork taken before/after consumption diverged at word %d", i)
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := NewTape(37)
+	f1 := a.Fork(1)
+	f2 := a.Fork(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		v1, _ := f1.Uint64()
+		v2, _ := f2.Uint64()
+		if v1 == v2 {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("distinct fork labels produced %d identical words", same)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	s := NewStream(99)
+	t1 := s.Tape(3, 1)
+	t2 := s.Tape(3, 1)
+	for i := 0; i < 50; i++ {
+		a, _ := t1.Uint64()
+		b, _ := t2.Uint64()
+		if a != b {
+			t.Fatalf("same (trial,proc) tapes diverged at word %d", i)
+		}
+	}
+}
+
+func TestStreamSeparation(t *testing.T) {
+	s := NewStream(99)
+	pairs := [][2]uint64{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {7, 3}}
+	first := make(map[uint64][2]uint64, len(pairs))
+	for _, p := range pairs {
+		v, err := s.Tape(p[0], p[1]).Uint64()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := first[v]; dup {
+			t.Fatalf("tapes %v and %v start with identical word %#x", prev, p, v)
+		}
+		first[v] = p
+	}
+}
+
+func TestStreamSubSeparation(t *testing.T) {
+	s := NewStream(4242)
+	a, _ := s.Sub(1).Tape(0, 0).Uint64()
+	b, _ := s.Sub(2).Tape(0, 0).Uint64()
+	if a == b {
+		t.Error("sub-streams with distinct labels produced identical first word")
+	}
+	if s.Sub(1).Seed() == s.Seed() {
+		t.Error("Sub did not change the seed")
+	}
+}
+
+func TestQuickUintNAlwaysInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint32) bool {
+		n := uint64(nRaw%1000) + 1
+		tape := NewTape(seed)
+		v, err := tape.UintN(n)
+		return err == nil && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickForkStableUnderConsumption(t *testing.T) {
+	f := func(seed, label uint64, consume uint8) bool {
+		a := NewTape(seed)
+		early, _ := a.Fork(label).Uint64()
+		for i := 0; i < int(consume); i++ {
+			if _, err := a.Uint64(); err != nil {
+				return false
+			}
+		}
+		late, _ := a.Fork(label).Uint64()
+		return early == late
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package run
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"coordattack/internal/graph"
+)
+
+// Format serializes the run compactly and losslessly:
+//
+//	N=<n>;I=<i1,i2,...>;M=<f>t<t>r<r>,...
+//
+// for example "N=3;I=1,2;M=1t2r1,2t1r3". Parse inverts it. The format is
+// stable and used by the CLIs to pass explicit runs on the command line.
+func Format(r *Run) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "N=%d;I=", r.N())
+	for idx, i := range r.Inputs() {
+		if idx > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", i)
+	}
+	b.WriteString(";M=")
+	for idx, d := range r.Deliveries() {
+		if idx > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%dt%dr%d", d.From, d.To, d.Round)
+	}
+	return b.String()
+}
+
+// Parse inverts Format.
+func Parse(s string) (*Run, error) {
+	parts := strings.Split(s, ";")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("run: parse %q: want 3 ';'-separated sections, got %d", s, len(parts))
+	}
+	nPart, ok := strings.CutPrefix(parts[0], "N=")
+	if !ok {
+		return nil, fmt.Errorf("run: parse %q: first section must be N=<n>", s)
+	}
+	n, err := strconv.Atoi(nPart)
+	if err != nil {
+		return nil, fmt.Errorf("run: parse N: %w", err)
+	}
+	r, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	iPart, ok := strings.CutPrefix(parts[1], "I=")
+	if !ok {
+		return nil, fmt.Errorf("run: parse %q: second section must be I=<list>", s)
+	}
+	if iPart != "" {
+		for _, tok := range strings.Split(iPart, ",") {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("run: parse input %q: %w", tok, err)
+			}
+			if v < 1 {
+				return nil, fmt.Errorf("run: input process %d must be ≥ 1", v)
+			}
+			r.AddInput(graph.ProcID(v))
+		}
+	}
+	mPart, ok := strings.CutPrefix(parts[2], "M=")
+	if !ok {
+		return nil, fmt.Errorf("run: parse %q: third section must be M=<list>", s)
+	}
+	if mPart != "" {
+		for _, tok := range strings.Split(mPart, ",") {
+			d, err := parseDelivery(tok)
+			if err != nil {
+				return nil, err
+			}
+			if err := r.Deliver(d.From, d.To, d.Round); err != nil {
+				return nil, fmt.Errorf("run: parse delivery %q: %w", tok, err)
+			}
+		}
+	}
+	return r, nil
+}
+
+func parseDelivery(tok string) (Delivery, error) {
+	fromPart, rest, ok := strings.Cut(tok, "t")
+	if !ok {
+		return Delivery{}, fmt.Errorf("run: delivery %q: want <f>t<t>r<r>", tok)
+	}
+	toPart, roundPart, ok := strings.Cut(rest, "r")
+	if !ok {
+		return Delivery{}, fmt.Errorf("run: delivery %q: want <f>t<t>r<r>", tok)
+	}
+	from, err := strconv.Atoi(fromPart)
+	if err != nil {
+		return Delivery{}, fmt.Errorf("run: delivery sender %q: %w", fromPart, err)
+	}
+	to, err := strconv.Atoi(toPart)
+	if err != nil {
+		return Delivery{}, fmt.Errorf("run: delivery receiver %q: %w", toPart, err)
+	}
+	round, err := strconv.Atoi(roundPart)
+	if err != nil {
+		return Delivery{}, fmt.Errorf("run: delivery round %q: %w", roundPart, err)
+	}
+	return Delivery{From: graph.ProcID(from), To: graph.ProcID(to), Round: round}, nil
+}

@@ -1,0 +1,86 @@
+package run
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	r := MustNew(3)
+	r.AddInput(2).AddInput(1)
+	r.MustDeliver(1, 2, 1).MustDeliver(2, 1, 3)
+	s := Format(r)
+	if want := "N=3;I=1,2;M=1t2r1,2t1r3"; s != want {
+		t.Errorf("Format = %q, want %q", s, want)
+	}
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Errorf("round trip lost data: %v vs %v", back, r)
+	}
+}
+
+func TestFormatEmptyRun(t *testing.T) {
+	r := MustNew(2)
+	s := Format(r)
+	if want := "N=2;I=;M="; s != want {
+		t.Errorf("Format = %q, want %q", s, want)
+	}
+	back, err := Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Error("empty round trip failed")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"N=3",
+		"N=3;I=1",
+		"N=x;I=;M=",
+		"X=3;I=;M=",
+		"N=3;J=;M=",
+		"N=3;I=;X=",
+		"N=0;I=;M=",
+		"N=3;I=a;M=",
+		"N=3;I=0;M=",
+		"N=3;I=;M=1t2",
+		"N=3;I=;M=1-2r1",
+		"N=3;I=;M=at2r1",
+		"N=3;I=;M=1tbr1",
+		"N=3;I=;M=1t2rc",
+		"N=3;I=;M=1t2r9", // round out of range
+		"N=3;I=;M=1t1r1", // self delivery
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestQuickFormatParseIdentity(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64) bool {
+		r, err := RandomSubset(g, 4, rng.NewTape(seed))
+		if err != nil {
+			return false
+		}
+		back, err := Parse(Format(r))
+		return err == nil && back.Equal(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,74 @@
+package run
+
+import (
+	"strings"
+	"testing"
+
+	"coordattack/internal/graph"
+)
+
+// FuzzParse checks that Parse never panics and that every successfully
+// parsed run survives a Format/Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"N=3;I=1,2;M=1t2r1,2t1r3",
+		"N=1;I=;M=",
+		"N=10;I=5;M=1t2r10",
+		"N=3;I=1;M=1t2r1,1t2r1", // duplicate tuple: set semantics
+		"N=;I=;M=",
+		"N=3;I=1,2",
+		"garbage",
+		"N=3;I=-1;M=",
+		"N=3;I=1;M=0t2r1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(Format(r))
+		if err != nil {
+			t.Fatalf("re-parse of formatted run failed: %v (input %q)", err, s)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("format/parse round trip changed run (input %q)", s)
+		}
+	})
+}
+
+// FuzzKeyEqualConsistency checks that Key collisions imply equality for
+// runs built from fuzzer-shaped tuples.
+func FuzzKeyEqualConsistency(f *testing.F) {
+	f.Add(uint8(3), uint8(1), uint8(2), uint8(1), uint8(2), uint8(1), uint8(3))
+	f.Fuzz(func(t *testing.T, n, i1, f1, t1, r1, f2, r2 uint8) {
+		rounds := int(n%6) + 1
+		a := MustNew(rounds)
+		b := MustNew(rounds)
+		if i1 > 0 {
+			a.AddInput(graph.ProcID(i1%8) + 1)
+			b.AddInput(graph.ProcID(i1%8) + 1)
+		}
+		addDelivery(a, f1, t1, r1, rounds)
+		addDelivery(b, f1, t1, r1, rounds)
+		addDelivery(a, f2, f1, r2, rounds)
+		if (a.Key() == b.Key()) != a.Equal(b) {
+			t.Fatalf("Key/Equal inconsistent:\na=%v\nb=%v", a, b)
+		}
+		if strings.Contains(a.Key(), "\n") {
+			t.Fatal("key contains newline")
+		}
+	})
+}
+
+func addDelivery(r *Run, from, to, round uint8, n int) {
+	f := graph.ProcID(from%8) + 1
+	tt := graph.ProcID(to%8) + 1
+	rr := int(round%uint8(n)) + 1
+	if f == tt {
+		return
+	}
+	r.MustDeliver(f, tt, rr)
+}

@@ -1,0 +1,257 @@
+package run
+
+import (
+	"fmt"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+)
+
+// Good returns the fully reliable run R_g on graph g: the given processes
+// receive inputs and every message on every edge in both directions is
+// delivered in every round 1..n. This is the run on which Protocol A
+// attains liveness 1 (§3).
+func Good(g *graph.G, n int, inputs ...graph.ProcID) (*Run, error) {
+	r, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range inputs {
+		if i < 1 || int(i) > g.NumVertices() {
+			return nil, fmt.Errorf("run: input process %d not in graph with m=%d", i, g.NumVertices())
+		}
+		r.AddInput(i)
+	}
+	for _, e := range g.Edges() {
+		for round := 1; round <= n; round++ {
+			if err := r.Deliver(e.A, e.B, round); err != nil {
+				return nil, err
+			}
+			if err := r.Deliver(e.B, e.A, round); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// AllInputs returns every vertex of g, for use as Good's input list when
+// every general receives the attack signal.
+func AllInputs(g *graph.G) []graph.ProcID { return g.Vertices() }
+
+// Silent returns the run with the given inputs and no deliveries at all.
+// With no inputs it is the run on which validity forces silence.
+func Silent(n int, inputs ...graph.ProcID) (*Run, error) {
+	r, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range inputs {
+		r.AddInput(i)
+	}
+	return r, nil
+}
+
+// CutAt returns a copy of r with every delivery in rounds ≥ round removed:
+// the "links all crash at round" pattern that is the worst case for
+// Protocol A (the adversary guessing rfire is exactly CutAt(good, rfire)).
+func CutAt(r *Run, round int) *Run {
+	return r.Restrict(func(d Delivery) bool { return d.Round < round })
+}
+
+// Prefix returns a copy of r keeping only deliveries in rounds ≤ k.
+// Prefix(r, n) is r itself; Prefix(r, 0) removes all deliveries.
+func Prefix(r *Run, k int) *Run {
+	return r.Restrict(func(d Delivery) bool { return d.Round <= k })
+}
+
+// DropLink returns a copy of r with all deliveries between a and b (both
+// directions, all rounds) removed.
+func DropLink(r *Run, a, b graph.ProcID) *Run {
+	return r.Restrict(func(d Delivery) bool {
+		return !(d.From == a && d.To == b) && !(d.From == b && d.To == a)
+	})
+}
+
+// Isolate returns a copy of r with every delivery into or out of process
+// i removed (inputs untouched). Isolate(R, 1) ∪ {(v₀,1,0)} is the run
+// family of Lemma A.5, in which process 1 is causally independent of
+// everyone else.
+func Isolate(r *Run, i graph.ProcID) *Run {
+	return r.Restrict(func(d Delivery) bool {
+		return d.From != i && d.To != i
+	})
+}
+
+// Tree returns the run of Lemma A.6: input only at root, and for every
+// round 1..n exactly the down-tree deliveries parent→child of a BFS
+// spanning tree rooted at root. On this run ML(R) = 1: every process hears
+// the input and hears from the root, but the root never hears back.
+func Tree(g *graph.G, n int, root graph.ProcID) (*Run, error) {
+	if g.Eccentricity(root) > n {
+		return nil, fmt.Errorf("run: tree run needs height ≤ N; eccentricity(%d)=%d > N=%d",
+			root, g.Eccentricity(root), n)
+	}
+	parent, err := g.SpanningTree(root)
+	if err != nil {
+		return nil, fmt.Errorf("run: building tree run: %w", err)
+	}
+	r, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	r.AddInput(root)
+	for child, p := range parent {
+		if p == graph.Env {
+			continue
+		}
+		for round := 1; round <= n; round++ {
+			if err := r.Deliver(p, child, round); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// RandomLoss returns a run drawn from the weak adversary of §8: starting
+// from the given inputs, each directed (edge, round) message is delivered
+// independently with probability 1-p, using tape for randomness.
+func RandomLoss(g *graph.G, n int, p float64, tape *rng.Tape, inputs ...graph.ProcID) (*Run, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("run: loss probability %v outside [0,1]", p)
+	}
+	r, err := Silent(n, inputs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range g.Edges() {
+		for round := 1; round <= n; round++ {
+			for _, dir := range [2][2]graph.ProcID{{e.A, e.B}, {e.B, e.A}} {
+				lost, err := tape.Bernoulli(p)
+				if err != nil {
+					return nil, err
+				}
+				if !lost {
+					if err := r.Deliver(dir[0], dir[1], round); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// RandomSubset returns a uniformly random run: each input present with
+// probability half and each directed (edge, round) delivery present with
+// probability half. Used by property tests to sample the adversary's
+// entire run space.
+func RandomSubset(g *graph.G, n int, tape *rng.Tape) (*Run, error) {
+	r, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range g.Vertices() {
+		b, err := tape.Bit()
+		if err != nil {
+			return nil, err
+		}
+		if b == 1 {
+			r.AddInput(v)
+		}
+	}
+	for _, e := range g.Edges() {
+		for round := 1; round <= n; round++ {
+			for _, dir := range [2][2]graph.ProcID{{e.A, e.B}, {e.B, e.A}} {
+				b, err := tape.Bit()
+				if err != nil {
+					return nil, err
+				}
+				if b == 1 {
+					if err := r.Deliver(dir[0], dir[1], round); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// slots lists every possible directed delivery tuple for g over n rounds,
+// in canonical order.
+func slots(g *graph.G, n int) []Delivery {
+	es := g.Edges()
+	out := make([]Delivery, 0, 2*len(es)*n)
+	for round := 1; round <= n; round++ {
+		for _, e := range es {
+			out = append(out, Delivery{From: e.A, To: e.B, Round: round})
+			out = append(out, Delivery{From: e.B, To: e.A, Round: round})
+		}
+	}
+	return out
+}
+
+// Slots returns every possible directed delivery tuple for g over n
+// rounds, in canonical (round, from, to) order. The strong adversary's run
+// space is exactly the power set of these tuples crossed with input sets.
+func Slots(g *graph.G, n int) []Delivery { return slots(g, n) }
+
+// MaxEnumeration bounds the run-space size Enumerate will walk; beyond
+// roughly 2^22 runs exhaustive search stops being a test-time tool.
+const MaxEnumeration = 1 << 22
+
+// Enumerate calls visit for every run of g over n rounds whose input set
+// is drawn from inputSets (pass nil for "all subsets of vertices"). It
+// returns an error if the space exceeds MaxEnumeration runs or visit
+// returns an error; visit may return ErrStopEnumeration to end early.
+func Enumerate(g *graph.G, n int, inputSets [][]graph.ProcID, visit func(*Run) error) error {
+	sl := slots(g, n)
+	if len(sl) > 21 {
+		return fmt.Errorf("run: enumeration over %d delivery slots (>21) is infeasible", len(sl))
+	}
+	if inputSets == nil {
+		m := g.NumVertices()
+		if m > 8 {
+			return fmt.Errorf("run: enumeration over all input subsets needs m ≤ 8, got %d", m)
+		}
+		for mask := 0; mask < 1<<uint(m); mask++ {
+			var set []graph.ProcID
+			for i := 0; i < m; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					set = append(set, graph.ProcID(i+1))
+				}
+			}
+			inputSets = append(inputSets, set)
+		}
+	}
+	total := uint64(len(inputSets)) << uint(len(sl))
+	if total > MaxEnumeration {
+		return fmt.Errorf("run: enumeration of %d runs exceeds limit %d", total, MaxEnumeration)
+	}
+	for _, inputs := range inputSets {
+		for mask := uint64(0); mask < 1<<uint(len(sl)); mask++ {
+			r := MustNew(n)
+			for _, i := range inputs {
+				r.AddInput(i)
+			}
+			for b, d := range sl {
+				if mask&(1<<uint(b)) != 0 {
+					r.msgs[d] = true
+				}
+			}
+			if err := visit(r); err != nil {
+				if err == ErrStopEnumeration {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ErrStopEnumeration may be returned by an Enumerate visitor to end the
+// walk early without error.
+var ErrStopEnumeration = fmt.Errorf("run: stop enumeration")

@@ -1,0 +1,276 @@
+// Package run implements the paper's runs: R = I(R) ∪ M(R) (§2).
+//
+// A run is pure data — which processes receive the "try to attack" input
+// at round 0, and which (sender, receiver, round) messages are delivered
+// during rounds 1..N. Execution engines consume runs; adversaries are
+// searches over or distributions on runs; every probability in the paper
+// is conditioned on a run. Keeping runs first-class makes clipping,
+// enumeration, minimization, and worst-case search direct.
+package run
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"coordattack/internal/graph"
+)
+
+// Delivery is a tuple (from, to, round) ∈ M(R): the message sent by from
+// to to in the given round is delivered. Rounds are 1..N.
+type Delivery struct {
+	From  graph.ProcID
+	To    graph.ProcID
+	Round int
+}
+
+func (d Delivery) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", d.From, d.To, d.Round)
+}
+
+// Run is one run R over N protocol rounds. The zero value is unusable;
+// construct with New. Mutating methods return the receiver for chaining.
+// A Run is not safe for concurrent mutation; treat it as frozen once it is
+// handed to an engine or experiment.
+type Run struct {
+	n      int
+	inputs map[graph.ProcID]bool
+	msgs   map[Delivery]bool
+}
+
+// New returns an empty run (no inputs, no deliveries) over n ≥ 1 rounds.
+func New(n int) (*Run, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("run: need N ≥ 1, got %d", n)
+	}
+	return &Run{
+		n:      n,
+		inputs: make(map[graph.ProcID]bool),
+		msgs:   make(map[Delivery]bool),
+	}, nil
+}
+
+// MustNew is New but panics on error, for literals in tests and examples.
+func MustNew(n int) *Run {
+	r, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// N reports the number of protocol rounds.
+func (r *Run) N() int { return r.n }
+
+// AddInput records that process i receives the input signal: the tuple
+// (v₀, i, 0) ∈ I(R). Adding an existing input is a no-op.
+func (r *Run) AddInput(i graph.ProcID) *Run {
+	r.inputs[i] = true
+	return r
+}
+
+// RemoveInput deletes (v₀, i, 0) from I(R).
+func (r *Run) RemoveInput(i graph.ProcID) *Run {
+	delete(r.inputs, i)
+	return r
+}
+
+// HasInput reports whether (v₀, i, 0) ∈ I(R).
+func (r *Run) HasInput(i graph.ProcID) bool { return r.inputs[i] }
+
+// AnyInput reports whether I(R) is nonempty. Validity constrains exactly
+// the runs for which this is false.
+func (r *Run) AnyInput() bool { return len(r.inputs) > 0 }
+
+// Inputs returns the processes with inputs, sorted ascending.
+func (r *Run) Inputs() []graph.ProcID {
+	out := make([]graph.ProcID, 0, len(r.inputs))
+	for i := range r.inputs {
+		out = append(out, i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Deliver records that the message from→to in the given round is
+// delivered. Returns an error if the round is outside 1..N or the
+// endpoints coincide.
+func (r *Run) Deliver(from, to graph.ProcID, round int) error {
+	if round < 1 || round > r.n {
+		return fmt.Errorf("run: round %d outside 1..%d", round, r.n)
+	}
+	if from == to {
+		return fmt.Errorf("run: self-delivery at process %d", from)
+	}
+	r.msgs[Delivery{From: from, To: to, Round: round}] = true
+	return nil
+}
+
+// MustDeliver is Deliver but panics on error.
+func (r *Run) MustDeliver(from, to graph.ProcID, round int) *Run {
+	if err := r.Deliver(from, to, round); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Drop removes a delivery tuple; dropping an absent tuple is a no-op.
+func (r *Run) Drop(from, to graph.ProcID, round int) *Run {
+	delete(r.msgs, Delivery{From: from, To: to, Round: round})
+	return r
+}
+
+// Delivered reports whether (from, to, round) ∈ M(R).
+func (r *Run) Delivered(from, to graph.ProcID, round int) bool {
+	return r.msgs[Delivery{From: from, To: to, Round: round}]
+}
+
+// Deliveries returns M(R) sorted by (round, from, to).
+func (r *Run) Deliveries() []Delivery {
+	out := make([]Delivery, 0, len(r.msgs))
+	for d := range r.msgs {
+		out = append(out, d)
+	}
+	sortDeliveries(out)
+	return out
+}
+
+func sortDeliveries(ds []Delivery) {
+	sort.Slice(ds, func(a, b int) bool {
+		if ds[a].Round != ds[b].Round {
+			return ds[a].Round < ds[b].Round
+		}
+		if ds[a].From != ds[b].From {
+			return ds[a].From < ds[b].From
+		}
+		return ds[a].To < ds[b].To
+	})
+}
+
+// NumDeliveries reports |M(R)|.
+func (r *Run) NumDeliveries() int { return len(r.msgs) }
+
+// Clone returns a deep copy.
+func (r *Run) Clone() *Run {
+	c := MustNew(r.n)
+	for i := range r.inputs {
+		c.inputs[i] = true
+	}
+	for d := range r.msgs {
+		c.msgs[d] = true
+	}
+	return c
+}
+
+// Equal reports whether two runs have the same N, inputs, and deliveries.
+func (r *Run) Equal(o *Run) bool {
+	if o == nil || r.n != o.n || len(r.inputs) != len(o.inputs) || len(r.msgs) != len(o.msgs) {
+		return false
+	}
+	for i := range r.inputs {
+		if !o.inputs[i] {
+			return false
+		}
+	}
+	for d := range r.msgs {
+		if !o.msgs[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether r's inputs and deliveries are both subsets of
+// o's (with equal N). Clipping always produces a subset of its argument.
+func (r *Run) SubsetOf(o *Run) bool {
+	if o == nil || r.n != o.n {
+		return false
+	}
+	for i := range r.inputs {
+		if !o.inputs[i] {
+			return false
+		}
+	}
+	for d := range r.msgs {
+		if !o.msgs[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string identity for use as a map key in
+// adversary searches and deduplication. Equal runs have equal keys.
+func (r *Run) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "N=%d|I=", r.n)
+	for _, i := range r.Inputs() {
+		fmt.Fprintf(&b, "%d,", i)
+	}
+	b.WriteString("|M=")
+	for _, d := range r.Deliveries() {
+		fmt.Fprintf(&b, "%d>%d@%d,", d.From, d.To, d.Round)
+	}
+	return b.String()
+}
+
+// String renders the run compactly for traces and error messages.
+func (r *Run) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Run{N=%d inputs=%v |M|=%d", r.n, r.Inputs(), len(r.msgs))
+	if len(r.msgs) > 0 && len(r.msgs) <= 12 {
+		b.WriteString(" M=")
+		for _, d := range r.Deliveries() {
+			b.WriteString(d.String())
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Validate checks the run against a graph: every delivery must use an edge
+// of g in a round within 1..N, and every input must name a vertex of g.
+func (r *Run) Validate(g *graph.G) error {
+	for i := range r.inputs {
+		if i < 1 || int(i) > g.NumVertices() {
+			return fmt.Errorf("run: input at %d, not a vertex of %v", i, g)
+		}
+	}
+	for d := range r.msgs {
+		if !g.HasEdge(d.From, d.To) {
+			return fmt.Errorf("run: delivery %v uses a non-edge of %v", d, g)
+		}
+	}
+	return nil
+}
+
+// Restrict returns a copy of r keeping only deliveries accepted by keep.
+// Inputs are preserved. This is the workhorse for building damaged runs.
+func (r *Run) Restrict(keep func(Delivery) bool) *Run {
+	c := MustNew(r.n)
+	for i := range r.inputs {
+		c.inputs[i] = true
+	}
+	for d := range r.msgs {
+		if keep(d) {
+			c.msgs[d] = true
+		}
+	}
+	return c
+}
+
+// Union returns a new run with the inputs and deliveries of both r and o.
+// The runs must have equal N.
+func (r *Run) Union(o *Run) (*Run, error) {
+	if r.n != o.n {
+		return nil, fmt.Errorf("run: union of runs with N=%d and N=%d", r.n, o.n)
+	}
+	c := r.Clone()
+	for i := range o.inputs {
+		c.inputs[i] = true
+	}
+	for d := range o.msgs {
+		c.msgs[d] = true
+	}
+	return c, nil
+}

@@ -1,0 +1,497 @@
+package run
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) succeeded")
+	}
+	if _, err := New(-3); err == nil {
+		t.Error("New(-3) succeeded")
+	}
+	r, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 5 {
+		t.Errorf("N = %d, want 5", r.N())
+	}
+}
+
+func TestInputs(t *testing.T) {
+	r := MustNew(3)
+	if r.AnyInput() {
+		t.Error("fresh run has inputs")
+	}
+	r.AddInput(2).AddInput(1).AddInput(2)
+	if got := r.Inputs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Inputs = %v, want [1 2]", got)
+	}
+	if !r.HasInput(1) || r.HasInput(3) {
+		t.Error("HasInput wrong")
+	}
+	r.RemoveInput(1)
+	if r.HasInput(1) {
+		t.Error("RemoveInput did not remove")
+	}
+	if !r.AnyInput() {
+		t.Error("AnyInput false with input at 2")
+	}
+}
+
+func TestDeliverValidation(t *testing.T) {
+	r := MustNew(3)
+	if err := r.Deliver(1, 2, 0); err == nil {
+		t.Error("round 0 delivery accepted")
+	}
+	if err := r.Deliver(1, 2, 4); err == nil {
+		t.Error("round N+1 delivery accepted")
+	}
+	if err := r.Deliver(1, 1, 2); err == nil {
+		t.Error("self delivery accepted")
+	}
+	if err := r.Deliver(1, 2, 3); err != nil {
+		t.Errorf("valid delivery rejected: %v", err)
+	}
+	if !r.Delivered(1, 2, 3) {
+		t.Error("Delivered(1,2,3) false after Deliver")
+	}
+	if r.Delivered(2, 1, 3) {
+		t.Error("reverse direction spuriously delivered")
+	}
+}
+
+func TestDeliveriesSorted(t *testing.T) {
+	r := MustNew(4)
+	r.MustDeliver(2, 1, 3).MustDeliver(1, 2, 1).MustDeliver(3, 1, 1).MustDeliver(1, 3, 1)
+	ds := r.Deliveries()
+	want := []Delivery{{1, 2, 1}, {1, 3, 1}, {3, 1, 1}, {2, 1, 3}}
+	if len(ds) != len(want) {
+		t.Fatalf("Deliveries = %v", ds)
+	}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("Deliveries[%d] = %v, want %v", i, ds[i], want[i])
+		}
+	}
+	if got := r.NumDeliveries(); got != 4 {
+		t.Errorf("NumDeliveries = %d, want 4", got)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	r := MustNew(2)
+	r.MustDeliver(1, 2, 1)
+	r.Drop(1, 2, 1)
+	if r.Delivered(1, 2, 1) {
+		t.Error("Drop did not remove delivery")
+	}
+	r.Drop(1, 2, 2) // absent: no-op, must not panic
+}
+
+func TestCloneEqualKey(t *testing.T) {
+	r := MustNew(3)
+	r.AddInput(1).MustDeliver(1, 2, 2).MustDeliver(2, 1, 3)
+	c := r.Clone()
+	if !r.Equal(c) || !c.Equal(r) {
+		t.Error("clone not Equal to original")
+	}
+	if r.Key() != c.Key() {
+		t.Error("clone Key differs")
+	}
+	c.MustDeliver(1, 2, 1)
+	if r.Equal(c) {
+		t.Error("Equal after divergence")
+	}
+	if r.Key() == c.Key() {
+		t.Error("Key equal after divergence")
+	}
+	if r.Delivered(1, 2, 1) {
+		t.Error("mutating clone leaked into original")
+	}
+	if r.Equal(nil) {
+		t.Error("Equal(nil) true")
+	}
+	r2 := MustNew(4)
+	if r.Equal(r2) {
+		t.Error("runs with different N Equal")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	big := MustNew(3)
+	big.AddInput(1).AddInput(2).MustDeliver(1, 2, 1).MustDeliver(2, 1, 2)
+	small := MustNew(3)
+	small.AddInput(1).MustDeliver(1, 2, 1)
+	if !small.SubsetOf(big) {
+		t.Error("subset not detected")
+	}
+	if big.SubsetOf(small) {
+		t.Error("superset reported as subset")
+	}
+	if !big.SubsetOf(big) {
+		t.Error("run not subset of itself")
+	}
+	if small.SubsetOf(nil) {
+		t.Error("SubsetOf(nil) true")
+	}
+	otherN := MustNew(4)
+	if small.SubsetOf(otherN) {
+		t.Error("subset across different N")
+	}
+	inputOnly := MustNew(3)
+	inputOnly.AddInput(3)
+	if inputOnly.SubsetOf(big) {
+		t.Error("input 3 not in big, yet subset")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := graph.MustNew(3, []graph.Edge{{A: 1, B: 2}, {A: 2, B: 3}})
+	r := MustNew(2)
+	r.AddInput(1).MustDeliver(1, 2, 1)
+	if err := r.Validate(g); err != nil {
+		t.Errorf("valid run rejected: %v", err)
+	}
+	bad := MustNew(2)
+	bad.MustDeliver(1, 3, 1) // non-edge
+	if err := bad.Validate(g); err == nil {
+		t.Error("non-edge delivery accepted")
+	}
+	badInput := MustNew(2)
+	badInput.AddInput(7)
+	if err := badInput.Validate(g); err == nil {
+		t.Error("out-of-graph input accepted")
+	}
+}
+
+func TestRestrictAndUnion(t *testing.T) {
+	r := MustNew(3)
+	r.AddInput(1).MustDeliver(1, 2, 1).MustDeliver(1, 2, 2).MustDeliver(2, 1, 3)
+	odd := r.Restrict(func(d Delivery) bool { return d.Round%2 == 1 })
+	if odd.NumDeliveries() != 2 || !odd.HasInput(1) {
+		t.Errorf("Restrict wrong: %v", odd)
+	}
+	even := r.Restrict(func(d Delivery) bool { return d.Round%2 == 0 })
+	u, err := odd.Union(even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Equal(r) {
+		t.Errorf("odd ∪ even != original: %v vs %v", u, r)
+	}
+	other := MustNew(4)
+	if _, err := r.Union(other); err == nil {
+		t.Error("union across N succeeded")
+	}
+}
+
+func TestGood(t *testing.T) {
+	g := graph.MustNew(3, []graph.Edge{{A: 1, B: 2}, {A: 2, B: 3}})
+	r, err := Good(g, 4, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.NumDeliveries(); got != 2*2*4 {
+		t.Errorf("good run |M| = %d, want 16", got)
+	}
+	if !r.HasInput(1) || !r.HasInput(3) || r.HasInput(2) {
+		t.Errorf("good run inputs = %v", r.Inputs())
+	}
+	for round := 1; round <= 4; round++ {
+		if !r.Delivered(1, 2, round) || !r.Delivered(2, 1, round) {
+			t.Errorf("round %d edge 1-2 not fully delivered", round)
+		}
+	}
+	if r.Delivered(1, 3, 1) {
+		t.Error("good run delivered on a non-edge")
+	}
+	if _, err := Good(g, 4, 9); err == nil {
+		t.Error("Good with out-of-range input succeeded")
+	}
+}
+
+func TestAllInputs(t *testing.T) {
+	g := graph.MustNew(3, []graph.Edge{{A: 1, B: 2}, {A: 2, B: 3}})
+	ins := AllInputs(g)
+	if len(ins) != 3 || ins[0] != 1 || ins[2] != 3 {
+		t.Errorf("AllInputs = %v", ins)
+	}
+}
+
+func TestSilent(t *testing.T) {
+	r, err := Silent(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumDeliveries() != 0 || !r.HasInput(2) {
+		t.Errorf("Silent wrong: %v", r)
+	}
+}
+
+func TestCutAtAndPrefix(t *testing.T) {
+	g := graph.Pair()
+	good, err := Good(g, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := CutAt(good, 3)
+	for round := 1; round <= 5; round++ {
+		want := round < 3
+		if cut.Delivered(1, 2, round) != want {
+			t.Errorf("CutAt(3): round %d delivered=%v, want %v", round, !want, want)
+		}
+	}
+	pre := Prefix(good, 2)
+	if pre.NumDeliveries() != 2*2 {
+		t.Errorf("Prefix(2) |M| = %d, want 4", pre.NumDeliveries())
+	}
+	if !Prefix(good, 5).Equal(good) {
+		t.Error("Prefix(N) != original")
+	}
+	if Prefix(good, 0).NumDeliveries() != 0 {
+		t.Error("Prefix(0) kept deliveries")
+	}
+}
+
+func TestDropLink(t *testing.T) {
+	g, err := graph.Line(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Good(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := DropLink(good, 2, 1)
+	if cut.Delivered(1, 2, 1) || cut.Delivered(2, 1, 2) {
+		t.Error("DropLink left deliveries on dropped link")
+	}
+	if !cut.Delivered(2, 3, 1) {
+		t.Error("DropLink removed deliveries on other links")
+	}
+}
+
+func TestIsolate(t *testing.T) {
+	g, err := graph.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := Good(g, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso := Isolate(good, 1)
+	for _, d := range iso.Deliveries() {
+		if d.From == 1 || d.To == 1 {
+			t.Fatalf("Isolate left delivery %v touching process 1", d)
+		}
+	}
+	if !iso.Delivered(2, 3, 1) || !iso.Delivered(3, 2, 2) {
+		t.Error("Isolate removed deliveries not touching process 1")
+	}
+	if !iso.HasInput(1) {
+		t.Error("Isolate must not remove inputs")
+	}
+}
+
+func TestTreeRun(t *testing.T) {
+	g, err := graph.Ring(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Tree(g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasInput(1) || len(r.Inputs()) != 1 {
+		t.Errorf("tree run inputs = %v, want [1]", r.Inputs())
+	}
+	// Down-tree only: no delivery into the root, 4 tree edges × 4 rounds.
+	for _, d := range r.Deliveries() {
+		if d.To == 1 {
+			t.Errorf("tree run delivers into root: %v", d)
+		}
+	}
+	if got := r.NumDeliveries(); got != 4*4 {
+		t.Errorf("tree run |M| = %d, want 16", got)
+	}
+	// Too few rounds for the eccentricity: must fail.
+	line, err := graph.Line(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Tree(line, 3, 1); err == nil {
+		t.Error("Tree with N < eccentricity succeeded")
+	}
+}
+
+func TestRandomLoss(t *testing.T) {
+	g, err := graph.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tape := rng.NewTape(5)
+	r0, err := RandomLoss(g, 3, 0, tape, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r0.NumDeliveries(), 2*6*3; got != want {
+		t.Errorf("p=0 |M| = %d, want %d (all delivered)", got, want)
+	}
+	r1, err := RandomLoss(g, 3, 1, tape, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.NumDeliveries() != 0 {
+		t.Errorf("p=1 delivered %d messages", r1.NumDeliveries())
+	}
+	rHalf, err := RandomLoss(g, 50, 0.5, tape, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(rHalf.NumDeliveries()) / float64(2*6*50)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("p=0.5 delivered fraction %v far from 0.5", frac)
+	}
+	if _, err := RandomLoss(g, 3, -0.1, tape); err == nil {
+		t.Error("negative p accepted")
+	}
+}
+
+func TestRandomSubsetDeterministic(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RandomSubset(g, 3, rng.NewTape(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomSubset(g, 3, rng.NewTape(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same-seed RandomSubset runs differ")
+	}
+}
+
+func TestSlots(t *testing.T) {
+	g := graph.Pair()
+	sl := Slots(g, 3)
+	if len(sl) != 6 {
+		t.Fatalf("Slots = %v, want 6 tuples", sl)
+	}
+	if sl[0].Round != 1 || sl[5].Round != 3 {
+		t.Errorf("Slots not round-ordered: %v", sl)
+	}
+}
+
+func TestEnumerateCountsPairRuns(t *testing.T) {
+	g := graph.Pair()
+	const n = 2 // 4 slots, 2 input subsets given below
+	count := 0
+	err := Enumerate(g, n, [][]graph.ProcID{{}, {1, 2}}, func(r *Run) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 16; count != want {
+		t.Errorf("enumerated %d runs, want %d", count, want)
+	}
+}
+
+func TestEnumerateAllInputSubsets(t *testing.T) {
+	g := graph.Pair()
+	count := 0
+	if err := Enumerate(g, 1, nil, func(r *Run) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 4; count != want { // 2^2 input sets × 2^2 delivery slots
+		t.Errorf("enumerated %d runs, want %d", count, want)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	g := graph.Pair()
+	count := 0
+	err := Enumerate(g, 1, [][]graph.ProcID{{}}, func(r *Run) error {
+		count++
+		if count == 3 {
+			return ErrStopEnumeration
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("early stop reported error: %v", err)
+	}
+	if count != 3 {
+		t.Errorf("visited %d runs after stop, want 3", count)
+	}
+}
+
+func TestEnumeratePropagatesVisitorError(t *testing.T) {
+	g := graph.Pair()
+	boom := errors.New("boom")
+	err := Enumerate(g, 1, [][]graph.ProcID{{}}, func(r *Run) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestEnumerateRejectsHugeSpaces(t *testing.T) {
+	g, err := graph.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 edges × 2 dirs × 2 rounds = 24 slots > 21.
+	if err := Enumerate(g, 2, nil, func(r *Run) error { return nil }); err == nil {
+		t.Error("huge enumeration accepted")
+	}
+}
+
+func TestQuickRestrictIsSubset(t *testing.T) {
+	g, err := graph.Ring(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint64, k uint8) bool {
+		r, err := RandomSubset(g, 4, rng.NewTape(seed))
+		if err != nil {
+			return false
+		}
+		p := Prefix(r, int(k%6))
+		return p.SubsetOf(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickKeyAgreesWithEqual(t *testing.T) {
+	g := graph.Pair()
+	f := func(s1, s2 uint64) bool {
+		a, err := RandomSubset(g, 3, rng.NewTape(s1))
+		if err != nil {
+			return false
+		}
+		b, err := RandomSubset(g, 3, rng.NewTape(s2))
+		if err != nil {
+			return false
+		}
+		return a.Equal(b) == (a.Key() == b.Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package sim
+
+import "sync"
+
+// barrier is a reusable cyclic barrier for n parties. Await blocks until
+// all n parties have arrived, then releases them together and resets for
+// the next cycle. The zero value is unusable; construct with newBarrier.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	cycle   uint64
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all parties have called Await for the current cycle.
+func (b *barrier) Await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cycle := b.cycle
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.cycle++
+		b.cond.Broadcast()
+		return
+	}
+	for cycle == b.cycle {
+		b.cond.Wait()
+	}
+}

@@ -1,0 +1,34 @@
+package sim_test
+
+import (
+	"fmt"
+	"log"
+
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+// ExampleOutputs executes Protocol S on a damaged run: the loop engine is
+// the fast path every Monte-Carlo estimate rides on.
+func ExampleOutputs() {
+	g := graph.Pair()
+	s := core.MustS(0.5)
+	good, err := run.Good(g, 6, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := run.CutAt(good, 4)
+	outs, err := sim.Outputs(s, g, r, sim.SeedTapes(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	conc, err := sim.ConcurrentOutputs(s, g, r, sim.SeedTapes(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("engines agree:", outs[1] == conc[1] && outs[2] == conc[2])
+	// Output:
+	// engines agree: true
+}

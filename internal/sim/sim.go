@@ -1,0 +1,169 @@
+// Package sim executes protocols over runs.
+//
+// It provides two engines with identical semantics: a fast sequential
+// loop engine (the reference), and a concurrent engine with one goroutine
+// per general exchanging messages over channels with a barrier per round —
+// the natural Go rendering of the synchronous model. Property tests drive
+// both with identical (run, α) and require identical executions.
+//
+// Per §2 of the paper: in every round 1..N every process sends a message
+// to every neighbor (σ_i), the run decides which are delivered, and every
+// process then steps its state machine (δ_i) on the delivered set S_i^r.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+)
+
+// Tapes supplies the private random tape α_i for each process. Use
+// StreamTapes for the common case.
+type Tapes func(graph.ProcID) *rng.Tape
+
+// StreamTapes adapts an rng.Stream trial to a Tapes function.
+func StreamTapes(s rng.Stream, trial uint64) Tapes {
+	return func(i graph.ProcID) *rng.Tape { return s.Tape(trial, uint64(i)) }
+}
+
+// SeedTapes derives per-process tapes from a single seed; convenient for
+// one-off executions.
+func SeedTapes(seed uint64) Tapes {
+	s := rng.NewStream(seed)
+	return StreamTapes(s, 0)
+}
+
+func newMachines(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes) ([]protocol.Machine, error) {
+	if err := r.Validate(g); err != nil {
+		return nil, fmt.Errorf("sim: run does not fit graph: %w", err)
+	}
+	m := g.NumVertices()
+	machines := make([]protocol.Machine, m+1)
+	for i := 1; i <= m; i++ {
+		id := graph.ProcID(i)
+		cfg := protocol.Config{
+			ID:    id,
+			G:     g,
+			N:     r.N(),
+			Input: r.HasInput(id),
+			Tape:  tapes(id),
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		mach, err := p.NewMachine(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: creating machine %d for %s: %w", i, p.Name(), err)
+		}
+		machines[i] = mach
+	}
+	return machines, nil
+}
+
+// Outputs runs the loop engine and returns only the decision vector
+// (index 1..m; index 0 unused). This is the fast path used by Monte-Carlo
+// estimation; it records no trace.
+func Outputs(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes) ([]bool, error) {
+	machines, err := newMachines(p, g, r, tapes)
+	if err != nil {
+		return nil, err
+	}
+	m := g.NumVertices()
+	inboxes := make([][]protocol.Received, m+1)
+	for round := 1; round <= r.N(); round++ {
+		for i := 1; i <= m; i++ {
+			inboxes[i] = inboxes[i][:0]
+		}
+		for i := 1; i <= m; i++ {
+			from := graph.ProcID(i)
+			for _, to := range g.Neighbors(from) {
+				msg := machines[i].Send(round, to)
+				if msg == nil {
+					return nil, fmt.Errorf("sim: %s machine %d sent nil in round %d", p.Name(), i, round)
+				}
+				if r.Delivered(from, to, round) {
+					inboxes[to] = append(inboxes[to], protocol.Received{From: from, Msg: msg})
+				}
+			}
+		}
+		for i := 1; i <= m; i++ {
+			sortReceived(inboxes[i])
+			if err := machines[i].Step(round, inboxes[i]); err != nil {
+				return nil, fmt.Errorf("sim: %s machine %d step %d: %w", p.Name(), i, round, err)
+			}
+		}
+	}
+	outs := make([]bool, m+1)
+	for i := 1; i <= m; i++ {
+		outs[i] = machines[i].Output()
+	}
+	return outs, nil
+}
+
+// Outcome runs the loop engine and classifies the result.
+func Outcome(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes) (protocol.Outcome, error) {
+	outs, err := Outputs(p, g, r, tapes)
+	if err != nil {
+		return 0, err
+	}
+	return protocol.Classify(outs), nil
+}
+
+// Execute runs the loop engine recording a full execution trace: per
+// process and round, every sent message with its delivery fate and every
+// received message — the paper's (E_i) vector.
+func Execute(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes) (*protocol.Execution, error) {
+	machines, err := newMachines(p, g, r, tapes)
+	if err != nil {
+		return nil, err
+	}
+	m := g.NumVertices()
+	exec := &protocol.Execution{N: r.N(), Locals: make([]protocol.LocalExecution, m+1)}
+	for i := 1; i <= m; i++ {
+		exec.Locals[i] = protocol.LocalExecution{
+			ID:     graph.ProcID(i),
+			Input:  r.HasInput(graph.ProcID(i)),
+			Rounds: make([]protocol.RoundRecord, r.N()),
+		}
+	}
+	inboxes := make([][]protocol.Received, m+1)
+	for round := 1; round <= r.N(); round++ {
+		for i := 1; i <= m; i++ {
+			inboxes[i] = nil // fresh slices: the trace retains them
+		}
+		for i := 1; i <= m; i++ {
+			from := graph.ProcID(i)
+			rec := &exec.Locals[i].Rounds[round-1]
+			for _, to := range g.Neighbors(from) {
+				msg := machines[i].Send(round, to)
+				if msg == nil {
+					return nil, fmt.Errorf("sim: %s machine %d sent nil in round %d", p.Name(), i, round)
+				}
+				delivered := r.Delivered(from, to, round)
+				rec.Sent = append(rec.Sent, protocol.SentRecord{To: to, Msg: msg, Delivered: delivered})
+				if delivered {
+					inboxes[to] = append(inboxes[to], protocol.Received{From: from, Msg: msg})
+				}
+			}
+		}
+		for i := 1; i <= m; i++ {
+			sortReceived(inboxes[i])
+			exec.Locals[i].Rounds[round-1].Received = inboxes[i]
+			if err := machines[i].Step(round, inboxes[i]); err != nil {
+				return nil, fmt.Errorf("sim: %s machine %d step %d: %w", p.Name(), i, round, err)
+			}
+		}
+	}
+	for i := 1; i <= m; i++ {
+		exec.Locals[i].Output = machines[i].Output()
+	}
+	return exec, nil
+}
+
+func sortReceived(rs []protocol.Received) {
+	sort.Slice(rs, func(a, b int) bool { return rs[a].From < rs[b].From })
+}

@@ -1,0 +1,196 @@
+// Package stats provides the scalar statistics the experiment harness
+// needs: frequency estimators with Wilson score confidence intervals,
+// Hoeffding deviation bounds, running moments, and simple histograms.
+// Everything is stdlib-only and deterministic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Proportion is a Bernoulli frequency estimate: hits out of trials.
+type Proportion struct {
+	Hits   int
+	Trials int
+}
+
+// NewProportion returns the estimate hits/trials. trials must be
+// positive and hits within [0, trials].
+func NewProportion(hits, trials int) (Proportion, error) {
+	if trials <= 0 {
+		return Proportion{}, fmt.Errorf("stats: trials must be positive, got %d", trials)
+	}
+	if hits < 0 || hits > trials {
+		return Proportion{}, fmt.Errorf("stats: hits %d outside [0, %d]", hits, trials)
+	}
+	return Proportion{Hits: hits, Trials: trials}, nil
+}
+
+// Mean is the point estimate hits/trials.
+func (p Proportion) Mean() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.Trials)
+}
+
+// Wilson returns the Wilson score interval at confidence z (e.g. z=1.96
+// for 95%). Unlike the normal approximation it behaves sensibly at the
+// boundaries p≈0 and p≈1, where most of our probabilities live.
+func (p Proportion) Wilson(z float64) (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 1
+	}
+	n := float64(p.Trials)
+	phat := p.Mean()
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (phat + z2/(2*n)) / denom
+	margin := z / denom * math.Sqrt(phat*(1-phat)/n+z2/(4*n*n))
+	lo = center - margin
+	hi = center + margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// HoeffdingRadius returns the two-sided deviation radius t such that
+// Pr[|p̂ − p| ≥ t] ≤ delta, by Hoeffding's inequality:
+// t = sqrt(ln(2/δ) / (2n)). Used by tests that compare Monte-Carlo
+// estimates against exact values.
+func HoeffdingRadius(trials int, delta float64) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("stats: trials must be positive, got %d", trials)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("stats: delta %v outside (0,1)", delta)
+	}
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(trials))), nil
+}
+
+// Consistent reports whether estimate p̂ is within the Hoeffding radius
+// of the exact value at failure probability delta.
+func (p Proportion) Consistent(exact, delta float64) (bool, error) {
+	radius, err := HoeffdingRadius(p.Trials, delta)
+	if err != nil {
+		return false, err
+	}
+	return math.Abs(p.Mean()-exact) <= radius, nil
+}
+
+// String renders "0.1234 (k/n)".
+func (p Proportion) String() string {
+	return fmt.Sprintf("%.4f (%d/%d)", p.Mean(), p.Hits, p.Trials)
+}
+
+// Running accumulates mean and variance online (Welford's algorithm).
+// The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add feeds one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N reports the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean reports the sample mean (0 with no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance reports the unbiased sample variance (0 with < 2 observations).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// StdErr reports the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// IntHistogram counts occurrences of small integer values (levels,
+// counts, cut rounds). The zero value is ready to use.
+type IntHistogram struct {
+	counts map[int]int
+	total  int
+}
+
+// Add records one observation.
+func (h *IntHistogram) Add(v int) {
+	if h.counts == nil {
+		h.counts = make(map[int]int)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Count reports occurrences of v.
+func (h *IntHistogram) Count(v int) int { return h.counts[v] }
+
+// Total reports the number of observations.
+func (h *IntHistogram) Total() int { return h.total }
+
+// Frac reports the fraction of observations equal to v.
+func (h *IntHistogram) Frac(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// Values returns the observed values in ascending order.
+func (h *IntHistogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Mean reports the mean of the observations.
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0
+	for v, c := range h.counts {
+		sum += v * c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// String renders "v:count" pairs in order.
+func (h *IntHistogram) String() string {
+	var b strings.Builder
+	for i, v := range h.Values() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", v, h.counts[v])
+	}
+	return b.String()
+}

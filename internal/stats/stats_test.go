@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewProportionValidation(t *testing.T) {
+	if _, err := NewProportion(1, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := NewProportion(-1, 5); err == nil {
+		t.Error("negative hits accepted")
+	}
+	if _, err := NewProportion(6, 5); err == nil {
+		t.Error("hits > trials accepted")
+	}
+	p, err := NewProportion(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mean() != 0.75 {
+		t.Errorf("Mean = %v, want 0.75", p.Mean())
+	}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestWilsonContainsMean(t *testing.T) {
+	tests := []Proportion{
+		{Hits: 0, Trials: 100},
+		{Hits: 100, Trials: 100},
+		{Hits: 50, Trials: 100},
+		{Hits: 1, Trials: 10},
+	}
+	for _, p := range tests {
+		lo, hi := p.Wilson(1.96)
+		if lo < 0 || hi > 1 || lo > hi {
+			t.Errorf("%v: Wilson = [%v, %v] malformed", p, lo, hi)
+		}
+		if m := p.Mean(); m < lo-1e-9 || m > hi+1e-9 {
+			t.Errorf("%v: mean %v outside Wilson [%v, %v]", p, m, lo, hi)
+		}
+	}
+	lo, hi := (Proportion{}).Wilson(1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("empty proportion Wilson = [%v, %v], want [0,1]", lo, hi)
+	}
+}
+
+func TestWilsonShrinksWithTrials(t *testing.T) {
+	small := Proportion{Hits: 5, Trials: 10}
+	large := Proportion{Hits: 500, Trials: 1000}
+	sl, sh := small.Wilson(1.96)
+	ll, lh := large.Wilson(1.96)
+	if lh-ll >= sh-sl {
+		t.Errorf("more trials did not shrink interval: %v vs %v", lh-ll, sh-sl)
+	}
+}
+
+func TestHoeffding(t *testing.T) {
+	r, err := HoeffdingRadius(10000, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(math.Log(2000) / 20000)
+	if math.Abs(r-want) > 1e-12 {
+		t.Errorf("radius = %v, want %v", r, want)
+	}
+	if _, err := HoeffdingRadius(0, 0.5); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := HoeffdingRadius(10, 1.5); err == nil {
+		t.Error("delta > 1 accepted")
+	}
+	p := Proportion{Hits: 5000, Trials: 10000}
+	ok, err := p.Consistent(0.5, 0.001)
+	if err != nil || !ok {
+		t.Errorf("0.5 estimate inconsistent with 0.5 exact: ok=%v err=%v", ok, err)
+	}
+	ok, err = p.Consistent(0.9, 0.001)
+	if err != nil || ok {
+		t.Errorf("0.5 estimate consistent with 0.9 exact: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.StdErr() != 0 {
+		t.Error("zero-value Running not zeroed")
+	}
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range data {
+		r.Add(x)
+	}
+	if r.N() != len(data) {
+		t.Errorf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if want := 32.0 / 7; math.Abs(r.Variance()-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", r.Variance(), want)
+	}
+	if r.StdDev() <= 0 || r.StdErr() <= 0 {
+		t.Error("spread stats not positive")
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	var h IntHistogram
+	if h.Total() != 0 || h.Mean() != 0 || h.Frac(3) != 0 {
+		t.Error("zero-value histogram not empty")
+	}
+	for _, v := range []int{3, 1, 3, 2, 3} {
+		h.Add(v)
+	}
+	if h.Total() != 5 || h.Count(3) != 3 || h.Count(9) != 0 {
+		t.Errorf("counts wrong: total=%d c3=%d", h.Total(), h.Count(3))
+	}
+	if got := h.Values(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Values = %v", got)
+	}
+	if math.Abs(h.Frac(3)-0.6) > 1e-12 {
+		t.Errorf("Frac(3) = %v", h.Frac(3))
+	}
+	if math.Abs(h.Mean()-2.4) > 1e-12 {
+		t.Errorf("Mean = %v, want 2.4", h.Mean())
+	}
+	if h.String() != "1:1 2:1 3:3" {
+		t.Errorf("String = %q", h.String())
+	}
+}
+
+func TestQuickWilsonWellFormed(t *testing.T) {
+	f := func(hitsRaw, trialsRaw uint16) bool {
+		trials := int(trialsRaw%1000) + 1
+		hits := int(hitsRaw) % (trials + 1)
+		p, err := NewProportion(hits, trials)
+		if err != nil {
+			return false
+		}
+		lo, hi := p.Wilson(1.96)
+		m := p.Mean()
+		return lo >= 0 && hi <= 1 && lo <= m+1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRunningMeanBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		var r Running
+		lo, hi := math.Inf(1), math.Inf(-1)
+		count := 0
+		for _, x := range xs {
+			// Skip non-finite and near-overflow magnitudes; Welford is
+			// not an arbitrary-precision accumulator.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e15 {
+				continue
+			}
+			r.Add(x)
+			count++
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		if count == 0 {
+			return true
+		}
+		return r.Mean() >= lo-1e-9 && r.Mean() <= hi+1e-9 && r.Variance() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

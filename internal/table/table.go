@@ -1,0 +1,226 @@
+// Package table renders experiment results as aligned ASCII tables and
+// simple ASCII charts, for cmd/coordbench and EXPERIMENTS.md.
+package table
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) *Table {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len([]rune(cell)) > widths[i] {
+				widths[i] = len([]rune(cell))
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	writeRow := func(cells []string) {
+		for i := range t.Columns {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if n := w - len([]rune(s)); n > 0 {
+		return s + strings.Repeat(" ", n)
+	}
+	return s
+}
+
+// Markdown renders the table as GitHub-flavored markdown, for
+// EXPERIMENTS.md. Pipes inside cells (e.g. "|M|") are escaped so they
+// cannot break the table syntax.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Note)
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(escapeCells(t.Columns), " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		copy(cells, row)
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(escapeCells(cells), " | "))
+	}
+	return b.String()
+}
+
+func escapeCells(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = strings.ReplaceAll(c, "|", `\|`)
+	}
+	return out
+}
+
+// F formats a float with the given number of decimals.
+func F(x float64, decimals int) string {
+	return strconv.FormatFloat(x, 'f', decimals, 64)
+}
+
+// P formats a probability with four decimals.
+func P(x float64) string { return F(x, 4) }
+
+// I formats an integer.
+func I(x int) string { return strconv.Itoa(x) }
+
+// Chart draws series as a plain ASCII chart: one symbol per series, x
+// indices mapped across the width, y values scaled into the height. It
+// is deliberately crude — enough to show the *shape* of a figure
+// (linearity, saturation, crossover) in a terminal or a text file.
+type Chart struct {
+	Title  string
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+
+	xs     []float64
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	symbol byte
+	ys     []float64
+}
+
+// NewChart returns an empty chart with the shared x coordinates.
+func NewChart(title string, xs []float64) *Chart {
+	return &Chart{Title: title, Width: 60, Height: 16, xs: xs}
+}
+
+// Add attaches one series; ys must have one value per x (NaN = missing).
+func (c *Chart) Add(name string, symbol byte, ys []float64) error {
+	if len(ys) != len(c.xs) {
+		return fmt.Errorf("table: series %q has %d points, chart has %d xs", name, len(ys), len(c.xs))
+	}
+	c.series = append(c.series, chartSeries{name: name, symbol: symbol, ys: ys})
+	return nil
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", c.Title)
+	}
+	if len(c.xs) == 0 || len(c.series) == 0 {
+		b.WriteString("(empty chart)\n")
+		return b.String()
+	}
+	xmin, xmax := minMax(c.xs)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		lo, hi := minMax(s.ys)
+		ymin = math.Min(ymin, lo)
+		ymax = math.Max(ymax, hi)
+	}
+	if math.IsInf(ymin, 1) { // all values NaN
+		b.WriteString("(no finite data)\n")
+		return b.String()
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for _, s := range c.series {
+		for i, y := range s.ys {
+			if math.IsNaN(y) {
+				continue
+			}
+			col := int((c.xs[i] - xmin) / (xmax - xmin) * float64(c.Width-1))
+			rowF := (y - ymin) / (ymax - ymin) * float64(c.Height-1)
+			row := c.Height - 1 - int(rowF+0.5)
+			grid[row][col] = s.symbol
+		}
+	}
+	for r, line := range grid {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(c.Height-1)
+		fmt.Fprintf(&b, "%8.3f |%s\n", yVal, string(line))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", c.Width))
+	fmt.Fprintf(&b, "%8s  x: %.3g .. %.3g\n", "", xmin, xmax)
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "%8s  %c = %s\n", "", s.symbol, s.name)
+	}
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}

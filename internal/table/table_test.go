@@ -1,0 +1,112 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("demo", "N", "liveness", "bound")
+	tb.Note = "a note"
+	tb.AddRow("4", "0.40", "0.50")
+	tb.AddRow("10", "1.00", "1.00")
+	out := tb.Render()
+	for _, want := range []string{"== demo ==", "a note", "N", "liveness", "bound", "0.40", "10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, note, header, separator, two rows
+		t.Errorf("Render has %d lines, want 6:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rows share the position of column 2.
+	header := lines[2]
+	row := lines[4]
+	if strings.Index(header, "liveness") != strings.Index(row, "0.40") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only")
+	out := tb.Render()
+	if !strings.Contains(out, "only") {
+		t.Errorf("row lost: %s", out)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("T1", "N", "U")
+	tb.AddRow("5", "0.25")
+	md := tb.Markdown()
+	for _, want := range []string{"**T1**", "| N | U |", "| --- | --- |", "| 5 | 0.25 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tb := New("", "witness |M|", "v")
+	tb.AddRow("a|b", "1")
+	md := tb.Markdown()
+	if !strings.Contains(md, `witness \|M\|`) || !strings.Contains(md, `a\|b`) {
+		t.Errorf("pipes not escaped:\n%s", md)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F = %q", F(1.23456, 2))
+	}
+	if P(0.5) != "0.5000" {
+		t.Errorf("P = %q", P(0.5))
+	}
+	if I(42) != "42" {
+		t.Errorf("I = %q", I(42))
+	}
+}
+
+func TestChart(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	c := NewChart("fig", xs)
+	if err := c.Add("linear", '*', []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("flat", 'o', []float64{2, 2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add("bad", 'x', []float64{1}); err == nil {
+		t.Error("mismatched series length accepted")
+	}
+	out := c.Render()
+	for _, want := range []string{"== fig ==", "*", "o", "linear", "flat", "x: 1 .. 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartEdgeCases(t *testing.T) {
+	empty := NewChart("e", nil)
+	if !strings.Contains(empty.Render(), "empty") {
+		t.Error("empty chart not flagged")
+	}
+	allNaN := NewChart("n", []float64{1, 2})
+	if err := allNaN.Add("nan", '*', []float64{math.NaN(), math.NaN()}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(allNaN.Render(), "no finite data") {
+		t.Error("all-NaN chart not flagged")
+	}
+	constant := NewChart("c", []float64{5, 5})
+	if err := constant.Add("pt", '*', []float64{3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if out := constant.Render(); !strings.Contains(out, "*") {
+		t.Errorf("constant chart lost its points:\n%s", out)
+	}
+}

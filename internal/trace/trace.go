@@ -1,0 +1,138 @@
+// Package trace renders runs and executions as ASCII spacetime diagrams —
+// processes as columns, rounds as rows, deliveries as arrows — the
+// pictures distributed-computing papers draw when reasoning about
+// information flow, generated from the real artifacts.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/run"
+)
+
+// Spacetime renders the run as a round-by-round diagram. Each round block
+// shows, for every delivered tuple (i, j, r), a line "i --> j"; lost
+// sends are not shown (the adversary ate them). Inputs appear at round 0.
+// When levels is true, each process column is annotated with its modified
+// level at the end of each round.
+func Spacetime(r *run.Run, m int, levels bool) (string, error) {
+	if m < 1 {
+		return "", fmt.Errorf("trace: need m ≥ 1, got %d", m)
+	}
+	var mt *causality.LevelTable
+	if levels {
+		var err error
+		mt, err = causality.NewModLevelTable(r, m)
+		if err != nil {
+			return "", err
+		}
+	}
+	var b strings.Builder
+	header(&b, m)
+	// Round 0: inputs.
+	fmt.Fprintf(&b, "r=%-3d ", 0)
+	for i := 1; i <= m; i++ {
+		if r.HasInput(graph.ProcID(i)) {
+			b.WriteString("  v₀!")
+		} else {
+			b.WriteString("   . ")
+		}
+	}
+	annotate(&b, mt, m, 0)
+	b.WriteByte('\n')
+
+	byRound := make([][]run.Delivery, r.N()+1)
+	for _, d := range r.Deliveries() {
+		byRound[d.Round] = append(byRound[d.Round], d)
+	}
+	for round := 1; round <= r.N(); round++ {
+		fmt.Fprintf(&b, "r=%-3d ", round)
+		for i := 1; i <= m; i++ {
+			b.WriteString("   | ")
+		}
+		annotate(&b, mt, m, round)
+		b.WriteByte('\n')
+		for _, d := range byRound[round] {
+			fmt.Fprintf(&b, "      %s\n", arrow(d, m))
+		}
+	}
+	return b.String(), nil
+}
+
+func header(b *strings.Builder, m int) {
+	b.WriteString("      ")
+	for i := 1; i <= m; i++ {
+		fmt.Fprintf(b, "  P%-2d ", i)
+	}
+	b.WriteByte('\n')
+}
+
+func annotate(b *strings.Builder, mt *causality.LevelTable, m, round int) {
+	if mt == nil {
+		return
+	}
+	b.WriteString("   ML=[")
+	for i := 1; i <= m; i++ {
+		if i > 1 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(b, "%d", mt.At(graph.ProcID(i), round))
+	}
+	b.WriteByte(']')
+}
+
+// arrow draws one delivery as a left-to-right (or right-to-left) arrow
+// across the process columns.
+func arrow(d run.Delivery, m int) string {
+	lo, hi := d.From, d.To
+	leftToRight := lo < hi
+	if !leftToRight {
+		lo, hi = hi, lo
+	}
+	cells := make([]string, m)
+	for i := range cells {
+		cells[i] = "     "
+	}
+	for i := int(lo); i <= int(hi); i++ {
+		switch {
+		case i == int(d.From):
+			if leftToRight {
+				cells[i-1] = "   *-"
+			} else {
+				cells[i-1] = "  -* "
+			}
+		case i == int(d.To):
+			if leftToRight {
+				cells[i-1] = "-->  "
+			} else {
+				cells[i-1] = "  <--"
+			}
+		default:
+			cells[i-1] = "-----"
+		}
+	}
+	return strings.Join(cells, "")
+}
+
+// ExecutionSummary renders one execution's decisions beneath its run
+// diagram: the output bit per general and the outcome classification.
+func ExecutionSummary(e *protocol.Execution) string {
+	var b strings.Builder
+	b.WriteString("decisions: ")
+	for i := 1; i < len(e.Locals); i++ {
+		if i > 1 {
+			b.WriteByte(' ')
+		}
+		mark := "0"
+		if e.Locals[i].Output {
+			mark = "1"
+		}
+		fmt.Fprintf(&b, "P%d=%s", i, mark)
+	}
+	fmt.Fprintf(&b, "  → %v\n", e.Outcome())
+	return b.String()
+}

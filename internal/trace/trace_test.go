@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func TestSpacetimeBasics(t *testing.T) {
+	r := run.MustNew(2)
+	r.AddInput(1)
+	r.MustDeliver(1, 2, 1).MustDeliver(2, 1, 2)
+	out, err := Spacetime(r, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"P1", "P2", "v₀!", "r=0", "r=1", "r=2", "*-", "-->", "<--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spacetime missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpacetimeWithLevels(t *testing.T) {
+	g := graph.Pair()
+	good, err := run.Good(g, 3, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Spacetime(good, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ML=[") {
+		t.Errorf("levels annotation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ML=[1 0]") {
+		t.Errorf("round-0 levels wrong:\n%s", out)
+	}
+}
+
+func TestSpacetimeLongArrow(t *testing.T) {
+	// Delivery across non-adjacent columns spans the middle ones.
+	r := run.MustNew(1)
+	r.MustDeliver(1, 3, 1)
+	out, err := Spacetime(r, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*-") || !strings.Contains(out, "-->") || !strings.Contains(out, "-----") {
+		t.Errorf("long arrow malformed:\n%s", out)
+	}
+}
+
+func TestSpacetimeValidation(t *testing.T) {
+	r := run.MustNew(1)
+	if _, err := Spacetime(r, 0, false); err == nil {
+		t.Error("m=0 accepted")
+	}
+	// Levels require m ≥ 2.
+	if _, err := Spacetime(r, 1, true); err == nil {
+		t.Error("levels with m=1 accepted")
+	}
+}
+
+func TestExecutionSummary(t *testing.T) {
+	g := graph.Pair()
+	good, err := run.Good(g, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := sim.Execute(baseline.NewDetFullInfo(), g, good, sim.SeedTapes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ExecutionSummary(exec)
+	for _, want := range []string{"P1=1", "P2=1", "TA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q: %s", want, out)
+		}
+	}
+}

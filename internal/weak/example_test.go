@@ -1,0 +1,40 @@
+package weak_test
+
+import (
+	"fmt"
+	"log"
+
+	"coordattack/internal/weak"
+)
+
+// ExampleExact prices the §8 weak adversary exactly: with ε = 0.1 over 40
+// rounds and 5% iid loss, liveness is saturated and expected disagreement
+// is negligible next to the worst-case ε.
+func ExampleExact() {
+	d, err := weak.Exact(40, 0.1, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("liveness ≥ 0.999: %v\n", d.Liveness >= 0.999)
+	fmt.Printf("disagreement < ε/100: %v\n", d.Disagreement < 0.1/100)
+	// Output:
+	// liveness ≥ 0.999: true
+	// disagreement < ε/100: true
+}
+
+// ExampleSaturationRounds compares deadlines: random loss stretches the
+// rounds needed for near-certain attack by a constant factor, not by the
+// 1/ε wall the strong adversary imposes.
+func ExampleSaturationRounds() {
+	lossless, err := weak.SaturationRounds(0.1, 0, 1, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lossy, err := weak.SaturationRounds(0.1, 0.2, 0.99, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lossless: %d rounds; 20%% loss: within 3x: %v\n", lossless, lossy <= 3*lossless)
+	// Output:
+	// lossless: 10 rounds; 20% loss: within 3x: true
+}

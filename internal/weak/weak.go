@@ -1,0 +1,195 @@
+// Package weak develops §8's closing remark — that against a *weak*
+// adversary, a probabilistic one that destroys each message independently
+// with unknown probability p, performance is vastly better than the
+// strong-adversary tradeoff — into exact, checkable numbers for the
+// two-generals case.
+//
+// On K_2, Protocol S's pair of counters (count_1, count_2) evolves as a
+// Markov chain driven by the four per-round delivery patterns (each
+// direction delivered independently with probability 1-p). The chain is
+// small because Lemma 6.2 pins |count_1 − count_2| ≤ 1, so this package
+// computes the exact end-of-run distribution of (count_1, count_2), and
+// from it the exact expected liveness E[Pr[TA|R]] and expected
+// disagreement E[Pr[PA|R]] under the weak adversary — no sampling. The
+// Monte-Carlo estimates of experiment T8/T15 validate against these.
+//
+// The qualitative content: expected disagreement decays because a blind
+// adversary must land the one-unit window around the hidden rfire, while
+// the counters march upward at rate ≈ (1-p)² per exchange — liveness
+// saturates long before the deadline for any realistic loss rate.
+package weak
+
+import (
+	"fmt"
+	"math"
+)
+
+// PairState is the joint counter state of the two generals on K_2, after
+// both have started counting. The transition structure below also covers
+// the startup phase (before general 2 has heard rfire).
+type PairState struct {
+	// C1, C2 are count_1 and count_2.
+	C1, C2 int
+}
+
+// Dist is the exact weak-adversary outcome distribution for Protocol S
+// on K_2: probabilities averaged over both the delivery randomness (iid
+// loss p) and rfire.
+type Dist struct {
+	// Liveness is E[Pr[TA|R]] = Pr[both attack].
+	Liveness float64
+	// Disagreement is E[Pr[PA|R]].
+	Disagreement float64
+	// Silence is E[Pr[NA|R]].
+	Silence float64
+	// MeanMinCount is E[min(count_1, count_2)] at the end of the run —
+	// the expected modified level E[ML(R)].
+	MeanMinCount float64
+}
+
+// Exact computes the exact Protocol S outcome distribution on K_2 over n
+// rounds with both generals signaled, agreement parameter epsilon, and
+// iid per-message loss probability p.
+//
+// The state space: before general 2 hears rfire it holds count_2 = 0 and
+// general 1 is stuck at count_1 = 1 (it can learn nothing new — hearing
+// count 0 from 2 never merges to V... it does not: a count-0 message
+// carries seen = ∅ < V). After the first 1→2 delivery the pair behaves as
+// the coupled chain with |C1−C2| ≤ 1. Transitions per round, given the
+// pre-round state (c1, c2) and delivery pattern (d12, d21):
+//
+//	receiving an equal count merges seen to V: count += 1;
+//	receiving a higher count jumps to that count + 1 (seen merges to V);
+//	receiving a lower count changes nothing.
+//
+// Both generals process the same round's messages from pre-round states.
+func Exact(n int, epsilon, p float64) (*Dist, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("weak: need n ≥ 1, got %d", n)
+	}
+	if epsilon <= 0 || epsilon > 1 || math.IsNaN(epsilon) {
+		return nil, fmt.Errorf("weak: epsilon %v outside (0,1]", epsilon)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("weak: loss probability %v outside [0,1]", p)
+	}
+	q := 1 - p // delivery probability
+
+	// Probability mass over states. The startup state (c2 = 0, general 2
+	// has not heard rfire) is encoded as C2 = 0; every post-startup state
+	// has C2 ≥ 1... general 2's first transition on hearing count c1 ≥ 1
+	// jumps it to c1 + 1 (higher-count rule).
+	type state = PairState
+	mass := map[state]float64{{C1: 1, C2: 0}: 1}
+
+	step := func(c1, c2 int, d12, d21 bool) (int, int) {
+		n1, n2 := c1, c2
+		// General 2 receives general 1's message.
+		if d12 {
+			switch {
+			case c1 > c2:
+				n2 = c1 + 1
+			case c1 == c2 && c1 >= 1:
+				n2 = c2 + 1
+			}
+		}
+		// General 1 receives general 2's message (pre-round value c2).
+		if d21 {
+			switch {
+			case c2 > c1:
+				n1 = c2 + 1
+			case c2 == c1 && c2 >= 1:
+				n1 = c1 + 1
+			}
+		}
+		return n1, n2
+	}
+
+	patterns := []struct {
+		d12, d21 bool
+		prob     float64
+	}{
+		{false, false, p * p},
+		{true, false, q * p},
+		{false, true, p * q},
+		{true, true, q * q},
+	}
+	for round := 0; round < n; round++ {
+		next := make(map[state]float64, len(mass)*2)
+		for st, pr := range mass {
+			if pr == 0 {
+				continue
+			}
+			for _, pat := range patterns {
+				c1, c2 := step(st.C1, st.C2, pat.d12, pat.d21)
+				next[state{C1: c1, C2: c2}] += pr * pat.prob
+			}
+		}
+		mass = next
+	}
+
+	d := &Dist{}
+	total := 0.0
+	for st, pr := range mass {
+		total += pr
+		lo, hi := st.C1, st.C2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		// Conditional on the counters, rfire uniform on (0, 1/ε] gives
+		// TA iff rfire ≤ lo, PA iff lo < rfire ≤ hi (only the general
+		// with the higher, rfire-knowing counter attacks), NA otherwise.
+		// A counter of 0 means that general can never attack.
+		pTA := 0.0
+		if lo >= 1 {
+			pTA = clamp01(epsilon * float64(lo))
+		}
+		pAny := 0.0
+		if hi >= 1 {
+			pAny = clamp01(epsilon * float64(hi))
+		}
+		d.Liveness += pr * pTA
+		d.Disagreement += pr * (pAny - pTA)
+		d.Silence += pr * (1 - pAny)
+		d.MeanMinCount += pr * float64(lo)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return nil, fmt.Errorf("weak: probability mass leaked to %v", total)
+	}
+	return d, nil
+}
+
+// SaturationRounds returns the smallest horizon n at which the exact
+// expected liveness reaches the target (e.g. 0.99) for the given ε and
+// loss rate, or an error if it does not happen within maxN. It quantifies
+// §8's "vastly improved performance": under random loss the required
+// deadline grows only by a 1/(1-p)²-ish factor, not at all in ε.
+func SaturationRounds(epsilon, p, target float64, maxN int) (int, error) {
+	if target <= 0 || target > 1 {
+		return 0, fmt.Errorf("weak: target %v outside (0,1]", target)
+	}
+	if maxN < 1 {
+		return 0, fmt.Errorf("weak: maxN must be positive")
+	}
+	for n := 1; n <= maxN; n++ {
+		d, err := Exact(n, epsilon, p)
+		if err != nil {
+			return 0, err
+		}
+		if d.Liveness >= target {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("weak: liveness %v not reached within %d rounds", target, maxN)
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}

@@ -1,0 +1,219 @@
+package weak
+
+import (
+	"math"
+	"testing"
+
+	"coordattack/internal/adversary"
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/mc"
+)
+
+func TestExactValidation(t *testing.T) {
+	if _, err := Exact(0, 0.1, 0.1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Exact(5, 0, 0.1); err == nil {
+		t.Error("epsilon=0 accepted")
+	}
+	if _, err := Exact(5, 1.5, 0.1); err == nil {
+		t.Error("epsilon>1 accepted")
+	}
+	if _, err := Exact(5, math.NaN(), 0.1); err == nil {
+		t.Error("NaN epsilon accepted")
+	}
+	if _, err := Exact(5, 0.1, -0.1); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := Exact(5, 0.1, 1.1); err == nil {
+		t.Error("p>1 accepted")
+	}
+}
+
+func TestExactLosslessMatchesGoodRunAnalysis(t *testing.T) {
+	// p = 0 is the good run: liveness = min(1, ε·N) (ML of the good K_2
+	// run with both inputs is N), disagreement = min(1, ε·(N+1)) − that.
+	for _, n := range []int{2, 5, 9, 20} {
+		for _, eps := range []float64{0.05, 0.2} {
+			d, err := Exact(n, eps, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLive := math.Min(1, eps*float64(n))
+			if math.Abs(d.Liveness-wantLive) > 1e-12 {
+				t.Errorf("n=%d ε=%v: lossless liveness %v, want %v", n, eps, d.Liveness, wantLive)
+			}
+			wantPA := math.Min(1, eps*float64(n+1)) - wantLive
+			if math.Abs(d.Disagreement-wantPA) > 1e-12 {
+				t.Errorf("n=%d ε=%v: lossless disagreement %v, want %v", n, eps, d.Disagreement, wantPA)
+			}
+			if math.Abs(d.MeanMinCount-float64(n)) > 1e-12 {
+				t.Errorf("n=%d: lossless E[min count] = %v, want %d", n, d.MeanMinCount, n)
+			}
+		}
+	}
+}
+
+func TestExactTotalLossIsSilent(t *testing.T) {
+	d, err := Exact(10, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing delivered: general 2 never counts, general 1 sits at 1.
+	// Only general 1 can attack: disagreement = ε, liveness = 0.
+	if d.Liveness != 0 {
+		t.Errorf("total-loss liveness = %v, want 0", d.Liveness)
+	}
+	if math.Abs(d.Disagreement-0.3) > 1e-12 {
+		t.Errorf("total-loss disagreement = %v, want ε", d.Disagreement)
+	}
+	if d.MeanMinCount != 0 {
+		t.Errorf("total-loss E[min count] = %v, want 0", d.MeanMinCount)
+	}
+}
+
+func TestExactDistributionWellFormed(t *testing.T) {
+	for _, p := range []float64{0, 0.05, 0.3, 0.7, 1} {
+		d, err := Exact(12, 0.1, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := d.Liveness + d.Disagreement + d.Silence
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("p=%v: outcome mass %v", p, sum)
+		}
+		if d.Liveness < 0 || d.Disagreement < 0 || d.Silence < 0 {
+			t.Errorf("p=%v: negative component %+v", p, d)
+		}
+		if d.MeanMinCount < 0 || d.MeanMinCount > 12 {
+			t.Errorf("p=%v: mean min count %v out of range", p, d.MeanMinCount)
+		}
+	}
+}
+
+func TestExactMonotoneInLoss(t *testing.T) {
+	// More loss cannot increase expected liveness or the mean level.
+	prevLive, prevML := math.Inf(1), math.Inf(1)
+	for _, p := range []float64{0, 0.1, 0.2, 0.4, 0.6, 0.8, 1} {
+		d, err := Exact(15, 0.05, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Liveness > prevLive+1e-12 {
+			t.Errorf("liveness rose with loss at p=%v", p)
+		}
+		if d.MeanMinCount > prevML+1e-12 {
+			t.Errorf("mean level rose with loss at p=%v", p)
+		}
+		prevLive, prevML = d.Liveness, d.MeanMinCount
+	}
+}
+
+func TestExactMatchesMonteCarlo(t *testing.T) {
+	// The Markov chain against the real protocol under the real sampler:
+	// expected liveness and disagreement must agree within MC noise.
+	g := graph.Pair()
+	const n = 14
+	eps := 0.08
+	s := core.MustS(eps)
+	for _, p := range []float64{0.05, 0.2, 0.5} {
+		exact, err := Exact(n, eps, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mc.Estimate(mc.Config{
+			Protocol: s, Graph: g,
+			Sampler: adversary.WeakSampler(g, n, p, 1, 2),
+			Trials:  30000, Seed: uint64(1000 * p),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := res.TA.Consistent(exact.Liveness, 1e-6); err != nil || !ok {
+			t.Errorf("p=%v: MC liveness %v inconsistent with exact %v", p, res.TA, exact.Liveness)
+		}
+		if ok, err := res.PA.Consistent(exact.Disagreement, 1e-6); err != nil || !ok {
+			t.Errorf("p=%v: MC disagreement %v inconsistent with exact %v", p, res.PA, exact.Disagreement)
+		}
+	}
+}
+
+func TestExactAlsoModelsSingleInputRuns(t *testing.T) {
+	// With input at general 1 only, general 2 learns validity and rfire
+	// from the same first message, so the counter chain is unchanged —
+	// the MC of the real protocol under the single-input weak adversary
+	// must still match Exact.
+	g := graph.Pair()
+	const n = 12
+	eps := 0.1
+	s := core.MustS(eps)
+	for _, p := range []float64{0.1, 0.4} {
+		exact, err := Exact(n, eps, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mc.Estimate(mc.Config{
+			Protocol: s, Graph: g,
+			Sampler: adversary.WeakSampler(g, n, p, 1), // input at 1 only
+			Trials:  30000, Seed: uint64(7000 * p),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, err := res.TA.Consistent(exact.Liveness, 1e-6); err != nil || !ok {
+			t.Errorf("p=%v single-input: MC liveness %v vs exact %v", p, res.TA, exact.Liveness)
+		}
+		if ok, err := res.PA.Consistent(exact.Disagreement, 1e-6); err != nil || !ok {
+			t.Errorf("p=%v single-input: MC disagreement %v vs exact %v", p, res.PA, exact.Disagreement)
+		}
+	}
+}
+
+func TestDisagreementFarBelowEpsilonWhenSaturated(t *testing.T) {
+	// §8's headline: at ε·N comfortably above 1 and modest loss, the
+	// expected disagreement is orders of magnitude below ε.
+	eps := 0.1
+	d, err := Exact(40, eps, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Liveness < 0.999 {
+		t.Errorf("liveness %v below saturation", d.Liveness)
+	}
+	if d.Disagreement > eps/100 {
+		t.Errorf("disagreement %v not ≪ ε = %v", d.Disagreement, eps)
+	}
+}
+
+func TestSaturationRounds(t *testing.T) {
+	// Lossless: liveness 1 needs exactly ⌈1/ε⌉ rounds.
+	n0, err := SaturationRounds(0.1, 0, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n0 != 10 {
+		t.Errorf("lossless saturation at %d rounds, want 10", n0)
+	}
+	// 20% loss: later, but by far less than the strong adversary's
+	// "no better than linear" — a constant factor ≈ 1/(1-p)².
+	n20, err := SaturationRounds(0.1, 0.2, 0.99, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n20 <= n0 {
+		t.Errorf("lossy saturation %d not after lossless %d", n20, n0)
+	}
+	if n20 > 3*n0 {
+		t.Errorf("lossy saturation %d more than 3× lossless %d — not 'vastly better'", n20, n0)
+	}
+	if _, err := SaturationRounds(0.1, 0.9, 1, 5); err == nil {
+		t.Error("unreachable target accepted")
+	}
+	if _, err := SaturationRounds(0.1, 0, 2, 10); err == nil {
+		t.Error("target > 1 accepted")
+	}
+	if _, err := SaturationRounds(0.1, 0, 0.5, 0); err == nil {
+		t.Error("maxN = 0 accepted")
+	}
+}
