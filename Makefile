@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench report quick-report fuzz clean
+.PHONY: all build test test-race bench report quick-report fault-demo fuzz clean
 
 all: build test
 
@@ -26,6 +26,12 @@ report:
 
 quick-report:
 	$(GO) run ./cmd/coordbench -quick
+
+# Crash-fault injection on the two-generals good run: liveness drops from
+# certainty to the fault-equivalent exact value while Pr[PA] stays under
+# the Theorem 5.4 ceiling.
+fault-demo:
+	$(GO) run ./cmd/coordsim -protocol s:0.1 -graph pair -rounds 10 -run good -fault crash:2@4 -mc 20000
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/run/

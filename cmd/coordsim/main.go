@@ -8,17 +8,23 @@
 //	coordsim -protocol a -graph pair -rounds 8 -run cut:5 -trace
 //	coordsim -protocol s:0.1 -graph ring:5 -rounds 10 -run tree -inputs 1
 //	coordsim -protocol axk:2:all -graph pair -rounds 12 -run loss:0.1
+//	coordsim -protocol s:0.1 -graph pair -rounds 10 -run good -fault crash:2@4 -mc 20000
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"coordattack/internal/baseline"
 	"coordattack/internal/cliutil"
 	"coordattack/internal/core"
+	"coordattack/internal/fault"
+	"coordattack/internal/graph"
 	"coordattack/internal/mc"
 	"coordattack/internal/sim"
 	"coordattack/internal/trace"
@@ -37,6 +43,7 @@ func run(args []string, out io.Writer) int {
 		runSpec   = fs.String("run", "good", "run spec (good | silent | cut:R | prefix:K | drop:F-T@R | tree | loss:P)")
 		inputSpec = fs.String("inputs", "all", "which generals receive the attack signal (all | none | 1,3,...)")
 		seed      = fs.Uint64("seed", 1, "random seed for tapes (and loss/random specs)")
+		faultSpec = fs.String("fault", "", "inject process faults: kind:proc[@round],... (crash|omit|stutter|garbage|nilsend|panicsend|panicstep|flip) or rand:P")
 		traceFlag = fs.Bool("trace", false, "print the full execution trace")
 		spacetime = fs.Bool("spacetime", false, "print the run as a spacetime diagram with ML annotations")
 		mcTrials  = fs.Int("mc", 0, "also estimate the outcome distribution with this many Monte-Carlo trials")
@@ -65,7 +72,19 @@ func run(args []string, out io.Writer) int {
 		return 2
 	}
 
+	plan, err := parseFault(*faultSpec, g, *rounds, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	// The executed protocol carries the injected faults; p stays the
+	// fault-free protocol for the exact analyses.
+	executed := fault.Inject(p, plan)
+
 	fmt.Fprintf(out, "protocol: %s\ngraph:    %v\nrun:      %v\n", p.Name(), g, r)
+	if !plan.Empty() {
+		fmt.Fprintf(out, "faults:   %v\n", plan)
+	}
 
 	if *spacetime {
 		diagram, err := trace.Spacetime(r, g.NumVertices(), g.NumVertices() >= 2)
@@ -75,12 +94,20 @@ func run(args []string, out io.Writer) int {
 		}
 		fmt.Fprint(out, diagram)
 	}
-	exec, err := sim.Execute(p, g, r, sim.SeedTapes(*seed))
+	exec, err := sim.Execute(executed, g, r, sim.SeedTapes(*seed))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
+		// A fault-injected machine dying is an expected outcome, not a
+		// reason to abort: report it and carry on to the estimates.
+		var me *sim.MachineError
+		if !plan.Empty() && errors.As(err, &me) {
+			fmt.Fprintf(out, "outcome:  execution failed under injected faults (%v)\n", me)
+			exec = nil
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
 	}
-	if *traceFlag {
+	if exec != nil && *traceFlag {
 		for i := 1; i < len(exec.Locals); i++ {
 			le := exec.Locals[i]
 			fmt.Fprintf(out, "-- process %d (input=%v)\n", le.ID, le.Input)
@@ -100,12 +127,17 @@ func run(args []string, out io.Writer) int {
 			}
 		}
 	}
-	outs := exec.Outputs()
-	fmt.Fprintf(out, "outputs:  %v\noutcome:  %v\n", outs[1:], exec.Outcome())
+	if exec != nil {
+		outs := exec.Outputs()
+		fmt.Fprintf(out, "outputs:  %v\noutcome:  %v\n", outs[1:], exec.Outcome())
+	}
 
 	if *mcTrials > 0 {
+		// Trials whose injected faults are fatal (panics, nil sends)
+		// count against the budget instead of aborting the estimate.
 		res, err := mc.Estimate(mc.Config{
-			Protocol: p, Graph: g, Run: r, Trials: *mcTrials, Seed: *seed,
+			Protocol: executed, Graph: g, Run: r, Trials: *mcTrials, Seed: *seed,
+			MaxFailures: *mcTrials,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -113,6 +145,9 @@ func run(args []string, out io.Writer) int {
 		}
 		fmt.Fprintf(out, "mc(%d):   Pr[TA]=%.4f Pr[PA]=%.4f Pr[NA]=%.4f\n",
 			*mcTrials, res.TA.Mean(), res.PA.Mean(), res.NA.Mean())
+		if res.Failed > 0 {
+			fmt.Fprintf(out, "          (%d/%d trials failed under injected faults)\n", res.Failed, res.Trials)
+		}
 	}
 	switch proto := p.(type) {
 	case *core.S:
@@ -123,6 +158,19 @@ func run(args []string, out io.Writer) int {
 		}
 		fmt.Fprintf(out, "exact:    Pr[TA]=%.4f Pr[PA]=%.4f Pr[NA]=%.4f  ML(R)=%d L(R)=%d bound=%.4f\n",
 			a.PTotal, a.PPartial, a.PNone, a.ModMin, a.LevelMin, a.Bound)
+		if !plan.Empty() {
+			if eq, eqErr := fault.EquivalentRun(r, plan); eqErr == nil {
+				af, err := proto.Analyze(g, eq)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return 1
+				}
+				fmt.Fprintf(out, "faulty:   Pr[TA]=%.4f Pr[PA]=%.4f Pr[NA]=%.4f  ML=%d (liveness %.4f → %.4f vs Theorem 5.4 ceiling %.4f; safety Pr[PA] ≤ ε=%g intact)\n",
+					af.PTotal, af.PPartial, af.PNone, af.ModMin, a.PTotal, af.PTotal, a.Bound, proto.Epsilon())
+			} else {
+				fmt.Fprintf(out, "faulty:   plan %v is not omission-equivalent; no exact analysis (use -mc)\n", plan)
+			}
+		}
 	case baseline.A:
 		d, err := baseline.AnalyzeA(r)
 		if err != nil {
@@ -139,4 +187,19 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintf(out, "exact:    Pr[TA]=%.4f Pr[PA]=%.4f Pr[NA]=%.4f\n", d.PTotal, d.PPartial, d.PNone)
 	}
 	return 0
+}
+
+// parseFault turns the -fault flag into a Plan. The empty spec (and
+// "none") yields the empty plan. "rand:P" samples a plan with per-process
+// fault probability P from the run seed; anything else is the explicit
+// kind:proc[@round] list understood by fault.Parse.
+func parseFault(spec string, g *graph.G, n int, seed uint64) (*fault.Plan, error) {
+	if rest, ok := strings.CutPrefix(spec, "rand:"); ok {
+		pf, err := strconv.ParseFloat(rest, 64)
+		if err != nil || pf < 0 || pf > 1 {
+			return nil, fmt.Errorf("coordsim: bad fault spec %q: want rand:P with P in [0,1]", spec)
+		}
+		return fault.Sample(seed, 0, g, n, fault.SampleConfig{PFault: pf})
+	}
+	return fault.Parse(spec, g.NumVertices(), n)
 }

@@ -72,12 +72,77 @@ func TestSimMonteCarloFlag(t *testing.T) {
 	}
 }
 
+func TestSimFaultFlag(t *testing.T) {
+	var b strings.Builder
+	code := run([]string{
+		"-protocol", "s:0.1", "-graph", "pair", "-rounds", "10",
+		"-run", "good", "-fault", "crash:2@4", "-mc", "5000",
+	}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"faults:   crash:2@4", "mc(5000):", "faulty:", "Theorem 5.4 ceiling"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimFatalFaultDegradesGracefully(t *testing.T) {
+	// A panicking machine kills the showcase execution but must not kill
+	// the command: the estimate still runs with failures budgeted.
+	var b strings.Builder
+	code := run([]string{
+		"-protocol", "s:0.2", "-graph", "pair", "-rounds", "4",
+		"-run", "good", "-fault", "panicstep:2@2", "-mc", "200",
+	}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"execution failed under injected faults", "mc(200):", "trials failed under injected faults"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimFaultRandAndNonOmission(t *testing.T) {
+	// Sampled plan: accepted and echoed (plan contents depend on seed).
+	var b strings.Builder
+	if code := run([]string{
+		"-protocol", "s:0.5", "-graph", "pair", "-rounds", "4",
+		"-run", "good", "-fault", "rand:1",
+	}, &b); code != 0 {
+		t.Fatalf("rand plan: exit code %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "faults:   ") {
+		t.Errorf("sampled plan not echoed:\n%s", b.String())
+	}
+	// A stutter fault has no omission-equivalent run: the exact analysis
+	// degrades to a notice instead of failing.
+	b.Reset()
+	if code := run([]string{
+		"-protocol", "s:0.5", "-graph", "pair", "-rounds", "4",
+		"-run", "good", "-fault", "stutter:1@2",
+	}, &b); code != 0 {
+		t.Fatalf("stutter plan: exit code %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "not omission-equivalent") {
+		t.Errorf("missing non-omission notice:\n%s", b.String())
+	}
+}
+
 func TestSimBadSpecs(t *testing.T) {
 	cases := [][]string{
 		{"-protocol", "zzz"},
 		{"-graph", "zzz"},
 		{"-run", "zzz"},
 		{"-inputs", "99"},
+		{"-fault", "zzz"},
+		{"-fault", "crash:99@1"},
+		{"-fault", "rand:2"},
 		{"-bogusflag"},
 	}
 	for _, args := range cases {

@@ -28,6 +28,7 @@ import (
 	"coordattack/internal/baseline"
 	"coordattack/internal/causality"
 	"coordattack/internal/core"
+	"coordattack/internal/fault"
 	"coordattack/internal/graph"
 	"coordattack/internal/impossibility"
 	"coordattack/internal/lowerbound"
@@ -213,18 +214,96 @@ func TradeoffBound(epsilon float64, level int) float64 {
 
 // Estimation and adversaries.
 
-// MCConfig configures a Monte-Carlo estimation job.
+// MCConfig configures a Monte-Carlo estimation job. Set Ctx for
+// cancellation/deadline support, MaxFailures for a failure budget
+// (failed trials are counted in the Result instead of aborting the
+// job), and Mutator for per-trial protocol transforms such as fault
+// injection.
 type MCConfig = mc.Config
 
-// MCResult is a Monte-Carlo estimate of the outcome distribution.
+// MCResult is a Monte-Carlo estimate of the outcome distribution, with
+// Completed/Failed trial accounting.
 type MCResult = mc.Result
 
-// Estimate runs a Monte-Carlo job; results are deterministic in the seed.
+// MCMutator transforms the protocol per trial — FaultMutator is the
+// canonical instance.
+type MCMutator = mc.Mutator
+
+// Estimate runs a Monte-Carlo job; results are deterministic in the
+// seed, whatever the worker count. When the job is cancelled or its
+// failure budget is exhausted it returns the partial Result together
+// with a joined error.
 func Estimate(cfg MCConfig) (*MCResult, error) { return mc.Estimate(cfg) }
 
 // WeakSampler is the §8 weak adversary as a run sampler for Estimate.
 func WeakSampler(g *Graph, n int, p float64, inputs ...ProcID) mc.RunSampler {
 	return adversary.WeakSampler(g, n, p, inputs...)
+}
+
+// Fault injection (internal/fault): deterministic process faults beyond
+// the paper's link adversary. Non-Byzantine faults (crash, omission,
+// stutter) preserve Validity and Agreement(ε) and only shed liveness —
+// the Theorem 5.4 tradeoff exercised from the process side.
+
+type (
+	// FaultKind enumerates injectable fault behaviors (CrashStop,
+	// OmitRound, Stutter, GarbageMessage, NilSend, PanicSend, PanicStep,
+	// DecisionFlip).
+	FaultKind = fault.Kind
+	// Fault is one injected fault: process, kind, round.
+	Fault = fault.Fault
+	// FaultPlan is the deterministic fault schedule of one execution.
+	FaultPlan = fault.Plan
+	// FaultSampleConfig tunes random fault-plan generation.
+	FaultSampleConfig = fault.SampleConfig
+	// MachineError is how the engines report a machine failure —
+	// including recovered panics — instead of crashing or deadlocking.
+	MachineError = sim.MachineError
+)
+
+// Fault kinds.
+const (
+	CrashStop      = fault.CrashStop
+	OmitRound      = fault.OmitRound
+	Stutter        = fault.Stutter
+	GarbageMessage = fault.GarbageMessage
+	NilSend        = fault.NilSend
+	PanicSend      = fault.PanicSend
+	PanicStep      = fault.PanicStep
+	DecisionFlip   = fault.DecisionFlip
+)
+
+// ErrMachineFault classifies engine failures: errors.Is(err,
+// ErrMachineFault) is true for every MachineError an engine returns.
+var ErrMachineFault = sim.ErrMachineFault
+
+// NewFaultPlan builds a validated fault plan.
+func NewFaultPlan(faults ...Fault) (*FaultPlan, error) { return fault.NewPlan(faults...) }
+
+// ParseFaultPlan parses a CLI fault spec such as "crash:2@4,flip:1" for
+// a graph of m processes over n rounds.
+func ParseFaultPlan(spec string, m, n int) (*FaultPlan, error) { return fault.Parse(spec, m, n) }
+
+// SampleFaultPlan derives a plan from (seed, trial): the same label
+// always yields the same faults, whatever the worker count.
+func SampleFaultPlan(seed, trial uint64, g *Graph, n int, cfg FaultSampleConfig) (*FaultPlan, error) {
+	return fault.Sample(seed, trial, g, n, cfg)
+}
+
+// InjectFaults wraps a protocol so its machines express the plan's
+// faults; an empty plan returns the protocol unchanged.
+func InjectFaults(p Protocol, plan *FaultPlan) Protocol { return fault.Inject(p, plan) }
+
+// FaultMutator plugs per-trial sampled fault plans into MCConfig.Mutator.
+func FaultMutator(seed uint64, g *Graph, n int, cfg FaultSampleConfig) MCMutator {
+	return fault.Mutator(seed, g, n, cfg)
+}
+
+// FaultEquivalentRun folds omission-equivalent faults (crash, omit,
+// garbage) into the run: injecting them equals executing the plain
+// protocol on the returned run.
+func FaultEquivalentRun(r *Run, plan *FaultPlan) (*Run, error) {
+	return fault.EquivalentRun(r, plan)
 }
 
 // Asynchronous model (§8's extension), via the timeout synchronizer.

@@ -1,0 +1,96 @@
+package coordattack_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"coordattack"
+)
+
+// TestFacadeFaultInjection drives the fault subsystem end to end through
+// the public facade: plan construction, injection, the crash ≡ link-loss
+// equivalence, and Monte-Carlo estimation with a failure budget.
+func TestFacadeFaultInjection(t *testing.T) {
+	g := coordattack.Pair()
+	s, err := coordattack.NewS(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := coordattack.GoodRun(g, 8, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := coordattack.NewFaultPlan(coordattack.Fault{Proc: 2, Kind: coordattack.CrashStop, Round: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := coordattack.FaultEquivalentRun(r, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, err := coordattack.Outputs(coordattack.InjectFaults(s, plan), g, r, coordattack.SeedTapes(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := coordattack.Outputs(s, g, eq, coordattack.SeedTapes(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if injected[i] != plain[i] {
+			t.Errorf("process %d: injected %v ≠ plain-on-equivalent-run %v", i, injected[i], plain[i])
+		}
+	}
+	// The crash sheds liveness, never safety: exact analysis on the
+	// equivalent run stays under the Theorem 5.4 ceiling.
+	a, err := s.Analyze(g, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PTotal > a.Bound+1e-12 {
+		t.Errorf("crash-degraded liveness %v exceeds ceiling %v", a.PTotal, a.Bound)
+	}
+
+	parsed, err := coordattack.ParseFaultPlan("crash:2@3", 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.String() != plan.String() {
+		t.Errorf("parsed plan %v ≠ built plan %v", parsed, plan)
+	}
+
+	res, err := coordattack.Estimate(coordattack.MCConfig{
+		Protocol: s,
+		Graph:    g,
+		Run:      r,
+		Mutator: coordattack.FaultMutator(3, g, r.N(), coordattack.FaultSampleConfig{
+			PFault: 0.5,
+			Kinds:  []coordattack.FaultKind{coordattack.CrashStop, coordattack.PanicStep},
+		}),
+		Trials:      500,
+		Seed:        1,
+		MaxFailures: 500,
+		Ctx:         context.Background(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed+res.Failed != res.Trials {
+		t.Errorf("accounting off: %d completed + %d failed ≠ %d trials", res.Completed, res.Failed, res.Trials)
+	}
+
+	// Recovered panics classify via the sentinel.
+	panicPlan, err := coordattack.NewFaultPlan(coordattack.Fault{Proc: 1, Kind: coordattack.PanicSend, Round: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, perr := coordattack.ConcurrentOutputs(coordattack.InjectFaults(s, panicPlan), g, r, coordattack.SeedTapes(1))
+	if !errors.Is(perr, coordattack.ErrMachineFault) {
+		t.Errorf("panic not classified as ErrMachineFault: %v", perr)
+	}
+	var me *coordattack.MachineError
+	if !errors.As(perr, &me) || !me.Panicked {
+		t.Errorf("panic not surfaced as MachineError: %v", perr)
+	}
+}

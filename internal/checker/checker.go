@@ -20,6 +20,7 @@ import (
 	"coordattack/internal/rng"
 	"coordattack/internal/run"
 	"coordattack/internal/sim"
+	"coordattack/internal/stats"
 )
 
 // Report summarizes an audit.
@@ -96,6 +97,56 @@ func Validity(p protocol.Protocol, g *graph.G, cfg Config) (*Report, error) {
 						p.Name(), i, r)
 				}
 			}
+		}
+	}
+	return report, nil
+}
+
+// AgreementEmpirical audits Agreement(ε) for an arbitrary protocol —
+// including fault-injected wrappers (internal/fault), where the exact
+// Protocol S analysis does not apply. On each sampled run it estimates
+// Pr[PA|R] over TapesPerRun tapes and flags a violation when the
+// empirical frequency exceeds ε by more than the Hoeffding radius at
+// confidence delta (per run); delta ≤ 0 defaults to 1e-9. A Byzantine
+// fault such as a decision flip forces disagreement with probability far
+// above ε and is caught here; non-Byzantine faults only shed liveness
+// and pass.
+func AgreementEmpirical(p protocol.Protocol, g *graph.G, eps, delta float64, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if eps <= 0 || eps > 1 {
+		return nil, fmt.Errorf("checker: eps must be in (0, 1], got %v", eps)
+	}
+	if delta <= 0 {
+		delta = 1e-9
+	}
+	radius, err := stats.HoeffdingRadius(cfg.TapesPerRun, delta)
+	if err != nil {
+		return nil, err
+	}
+	report := &Report{}
+	runTape := rng.NewTape(cfg.Seed)
+	stream := rng.NewStream(rng.Mix64(cfg.Seed ^ 0xfa117))
+	for trial := 0; trial < cfg.Runs; trial++ {
+		r, err := run.RandomSubset(g, cfg.Rounds, runTape)
+		if err != nil {
+			return nil, err
+		}
+		pa := 0
+		for rep := 0; rep < cfg.TapesPerRun; rep++ {
+			outs, err := sim.Outputs(p, g, r, sim.StreamTapes(stream, uint64(trial*cfg.TapesPerRun+rep)))
+			if err != nil {
+				return nil, err
+			}
+			if protocol.Classify(outs) == protocol.PartialAttack {
+				pa++
+			}
+		}
+		report.Checked++
+		if freq := float64(pa) / float64(cfg.TapesPerRun); freq > eps+radius {
+			report.addViolation("agreement: %s: Pr[PA|%v] ≈ %.4f > ε=%v (+%.4f radius)",
+				p.Name(), r, freq, eps, radius)
 		}
 	}
 	return report, nil

@@ -1,0 +1,74 @@
+package checker
+
+import (
+	"testing"
+
+	"coordattack/internal/core"
+	"coordattack/internal/fault"
+	"coordattack/internal/graph"
+)
+
+// agreementCfg needs more tapes per run than the default cfg() so the
+// Hoeffding radius is meaningfully smaller than 1-ε.
+func agreementCfg() Config { return Config{Runs: 12, TapesPerRun: 400, Rounds: 4, Seed: 9} }
+
+func TestAgreementEmpiricalPassesForS(t *testing.T) {
+	eps := 0.3
+	rep, err := AgreementEmpirical(core.MustS(eps), graph.Pair(), eps, 1e-9, agreementCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("agreement audit failed for plain S: %v", rep.Violations)
+	}
+	if rep.Checked == 0 {
+		t.Error("agreement audit checked nothing")
+	}
+	if _, err := AgreementEmpirical(core.MustS(eps), graph.Pair(), 1.5, 0, agreementCfg()); err == nil {
+		t.Error("eps > 1 accepted")
+	}
+}
+
+// TestAgreementEmpiricalPassesUnderNonByzantineFaults: crash, omission,
+// and stutter faults shed liveness but never safety, so the audit stays
+// clean on the fault-injected protocol.
+func TestAgreementEmpiricalPassesUnderNonByzantineFaults(t *testing.T) {
+	eps := 0.3
+	s := core.MustS(eps)
+	plan := fault.MustPlan(
+		fault.Fault{Proc: 1, Kind: fault.OmitRound, Round: 2},
+		fault.Fault{Proc: 2, Kind: fault.CrashStop, Round: 3},
+	)
+	rep, err := AgreementEmpirical(fault.Inject(s, plan), graph.Pair(), eps, 1e-9, agreementCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("agreement audit failed under non-Byzantine faults: %v", rep.Violations)
+	}
+}
+
+// TestCheckerCatchesDecisionFlip: the Byzantine decision flip must be
+// caught by both safety audits — Validity (the flipped process attacks
+// on input-free runs) and AgreementEmpirical (near-certain disagreement
+// on connected runs).
+func TestCheckerCatchesDecisionFlip(t *testing.T) {
+	s := core.MustS(0.3)
+	flipped := fault.Inject(s, fault.MustPlan(fault.Fault{Proc: 2, Kind: fault.DecisionFlip}))
+
+	vrep, err := Validity(flipped, graph.Pair(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vrep.OK() {
+		t.Error("validity audit missed the decision flip")
+	}
+
+	arep, err := AgreementEmpirical(flipped, graph.Pair(), 0.3, 1e-9, agreementCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arep.OK() {
+		t.Error("agreement audit missed the decision flip")
+	}
+}

@@ -1,0 +1,408 @@
+// Package fault is deterministic, seed-reproducible process-fault
+// injection for coordinated-attack protocols.
+//
+// The paper's adversary controls only the links: any message may be lost
+// (§2), and Theorem 5.4 bounds liveness no matter how the protocol
+// responds. This package models the complementary hazard — misbehaving
+// processes — in the spirit of the generalized-omission faults of Godard
+// & Perdereau's "Back to the Coordinated Attack Problem": crash-stop,
+// per-round send omission, stuttering (resending a stale message),
+// garbage and nil messages, panics inside Send/Step, and Byzantine
+// decision flips.
+//
+// A Plan pins the faults of one execution; Sample derives a Plan from a
+// (seed, trial) label so a given trial always injects the same faults,
+// whatever the worker count — the same determinism discipline as
+// internal/mc. Inject wraps any protocol.Protocol so its machines
+// express the planned faults; receivers of the wrapped protocol silently
+// discard the injected placeholder messages, which makes every omission
+// fault exactly equivalent to the paper's link adversary dropping the
+// same messages (see EquivalentRun). Validity and Agreement(ε) therefore
+// survive all non-Byzantine injected faults; only liveness degrades —
+// exactly the Theorem 5.4 tradeoff, now exercised from the process side.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+)
+
+// Kind enumerates the injectable fault behaviors.
+type Kind int
+
+const (
+	// CrashStop halts the process at its round: from round r on it sends
+	// nothing (Silence placeholders), ignores every received message, and
+	// its output is frozen at the pre-crash state.
+	CrashStop Kind = iota + 1
+	// OmitRound suppresses all of the process's sends in one round — the
+	// transient "nil-message" omission fault.
+	OmitRound
+	// Stutter makes the process resend its previous round's messages in
+	// one round instead of fresh ones.
+	Stutter
+	// GarbageMessage makes the process send an alien message type in one
+	// round; wrapped receivers discard it (an effective omission), while
+	// unwrapped protocols surface it as a Step error.
+	GarbageMessage
+	// NilSend makes Send return a literal nil in one round — illegal
+	// under the model; engines must convert it to an error, not crash.
+	NilSend
+	// PanicSend panics inside Send in one round, exercising engine panic
+	// isolation.
+	PanicSend
+	// PanicStep panics inside Step in one round.
+	PanicStep
+	// DecisionFlip negates the final output — the minimal Byzantine
+	// fault; it violates safety and must be caught by internal/checker.
+	DecisionFlip
+)
+
+var kindNames = map[Kind]string{
+	CrashStop:      "crash",
+	OmitRound:      "omit",
+	Stutter:        "stutter",
+	GarbageMessage: "garbage",
+	NilSend:        "nilsend",
+	PanicSend:      "panicsend",
+	PanicStep:      "panicstep",
+	DecisionFlip:   "flip",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Byzantine reports whether the fault can corrupt safety (Validity or
+// Agreement) rather than only degrade liveness or fail the trial.
+func (k Kind) Byzantine() bool { return k == DecisionFlip }
+
+// OmissionEquivalent reports whether the fault's effect on the other
+// processes equals a link adversary dropping messages — i.e. whether it
+// can be folded into the run (EquivalentRun).
+func (k Kind) OmissionEquivalent() bool {
+	switch k {
+	case CrashStop, OmitRound, GarbageMessage:
+		return true
+	}
+	return false
+}
+
+// Fault is one injected fault: a process, a behavior, and the round at
+// which it strikes (CrashStop: every round ≥ Round; DecisionFlip ignores
+// Round; every other kind: exactly round Round).
+type Fault struct {
+	Proc  graph.ProcID
+	Kind  Kind
+	Round int
+}
+
+func (f Fault) String() string {
+	if f.Kind == DecisionFlip {
+		return fmt.Sprintf("%v:%d", f.Kind, f.Proc)
+	}
+	return fmt.Sprintf("%v:%d@%d", f.Kind, f.Proc, f.Round)
+}
+
+func (f Fault) validate() error {
+	if f.Proc < 1 {
+		return fmt.Errorf("fault: %v has invalid process %d", f, f.Proc)
+	}
+	if _, ok := kindNames[f.Kind]; !ok {
+		return fmt.Errorf("fault: unknown kind %d", int(f.Kind))
+	}
+	if f.Kind != DecisionFlip && f.Round < 1 {
+		return fmt.Errorf("fault: %v needs round ≥ 1", f)
+	}
+	return nil
+}
+
+// Plan is the fault schedule of one execution. The zero value injects
+// nothing; NewPlan validates and normalizes its faults.
+type Plan struct {
+	faults []Fault
+}
+
+// NewPlan builds a plan from explicit faults, sorted into canonical
+// (proc, round, kind) order.
+func NewPlan(faults ...Fault) (*Plan, error) {
+	p := &Plan{faults: append([]Fault(nil), faults...)}
+	for i, f := range p.faults {
+		if err := f.validate(); err != nil {
+			return nil, err
+		}
+		if f.Kind == DecisionFlip {
+			p.faults[i].Round = 0 // flip has no round; normalize for canonical order
+		}
+	}
+	sort.Slice(p.faults, func(a, b int) bool {
+		fa, fb := p.faults[a], p.faults[b]
+		if fa.Proc != fb.Proc {
+			return fa.Proc < fb.Proc
+		}
+		if fa.Round != fb.Round {
+			return fa.Round < fb.Round
+		}
+		return fa.Kind < fb.Kind
+	})
+	return p, nil
+}
+
+// MustPlan is NewPlan for known-good literals in tests and examples.
+func MustPlan(faults ...Fault) *Plan {
+	p, err := NewPlan(faults...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Faults returns the plan's faults in canonical order.
+func (p *Plan) Faults() []Fault {
+	if p == nil {
+		return nil
+	}
+	return append([]Fault(nil), p.faults...)
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.faults) == 0 }
+
+// Byzantine reports whether any fault in the plan can corrupt safety.
+func (p *Plan) Byzantine() bool {
+	for _, f := range p.faults {
+		if f.Kind.Byzantine() {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultyProcs returns the sorted set of processes with at least one
+// fault.
+func (p *Plan) FaultyProcs() []graph.ProcID {
+	seen := map[graph.ProcID]bool{}
+	var out []graph.ProcID
+	for _, f := range p.faults {
+		if !seen[f.Proc] {
+			seen[f.Proc] = true
+			out = append(out, f.Proc)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func (p *Plan) String() string {
+	if p.Empty() {
+		return "fault-free"
+	}
+	parts := make([]string, len(p.faults))
+	for i, f := range p.faults {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Silence is the placeholder a crashed or omitting process puts on the
+// wire so the engines' per-edge plumbing stays balanced. Wrapped
+// receivers treat it as "nothing arrived"; it is an explicit null for
+// message-complexity accounting.
+type Silence struct{}
+
+// CAMessage implements protocol.Message.
+func (Silence) CAMessage() {}
+
+// Null implements protocol.NullMarker.
+func (Silence) Null() bool { return true }
+
+// Junk is the garbage message: an alien type no real protocol
+// recognizes.
+type Junk struct{ Payload uint64 }
+
+// CAMessage implements protocol.Message.
+func (Junk) CAMessage() {}
+
+// injectedMsg reports whether m is one of this package's placeholder
+// messages, which wrapped receivers must discard.
+func injectedMsg(m protocol.Message) bool {
+	switch m.(type) {
+	case Silence, Junk:
+		return true
+	}
+	return false
+}
+
+// PanicValue is the value injected panics carry, so tests and engine
+// hardening can distinguish injected panics from genuine bugs.
+type PanicValue struct {
+	Fault Fault
+}
+
+func (v PanicValue) String() string { return fmt.Sprintf("injected fault %v", v.Fault) }
+
+// Inject wraps p so its machines express the plan's faults. A nil or
+// empty plan returns p unchanged. All machines are wrapped — including
+// fault-free ones — so that receivers uniformly discard injected
+// placeholder messages; an omission fault is thereby exactly a link-loss
+// in disguise.
+func Inject(p protocol.Protocol, plan *Plan) protocol.Protocol {
+	if plan.Empty() {
+		return p
+	}
+	return &injected{inner: p, plan: plan}
+}
+
+type injected struct {
+	inner protocol.Protocol
+	plan  *Plan
+}
+
+// Name implements protocol.Protocol.
+func (ip *injected) Name() string {
+	return fmt.Sprintf("faulty(%s; %v)", ip.inner.Name(), ip.plan)
+}
+
+// Unwrap returns the protocol being injected, for callers (such as
+// coordsim) that dispatch on the concrete protocol type.
+func (ip *injected) Unwrap() protocol.Protocol { return ip.inner }
+
+// Plan returns the fault schedule.
+func (ip *injected) Plan() *Plan { return ip.plan }
+
+// NewMachine implements protocol.Protocol.
+func (ip *injected) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
+	inner, err := ip.inner.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fm := &machine{
+		inner:      inner,
+		crashRound: 0,
+		last:       map[graph.ProcID]protocol.Message{},
+	}
+	for _, f := range ip.plan.faults {
+		if f.Proc != cfg.ID {
+			continue
+		}
+		switch f.Kind {
+		case CrashStop:
+			if fm.crashRound == 0 || f.Round < fm.crashRound {
+				fm.crashRound = f.Round
+			}
+		case OmitRound:
+			fm.omit = addRound(fm.omit, f.Round)
+		case Stutter:
+			fm.stutter = addRound(fm.stutter, f.Round)
+		case GarbageMessage:
+			fm.garbage = addRound(fm.garbage, f.Round)
+		case NilSend:
+			fm.nilsend = addRound(fm.nilsend, f.Round)
+		case PanicSend:
+			fm.panicSend = f
+			fm.panicSendSet = true
+		case PanicStep:
+			fm.panicStep = f
+			fm.panicStepSet = true
+		case DecisionFlip:
+			fm.flip = true
+		}
+	}
+	return fm, nil
+}
+
+func addRound(set map[int]bool, r int) map[int]bool {
+	if set == nil {
+		set = map[int]bool{}
+	}
+	set[r] = true
+	return set
+}
+
+// machine wraps one protocol.Machine with its planned faults.
+type machine struct {
+	inner protocol.Machine
+
+	crashRound   int // 0 = never
+	omit         map[int]bool
+	stutter      map[int]bool
+	garbage      map[int]bool
+	nilsend      map[int]bool
+	panicSend    Fault
+	panicSendSet bool
+	panicStep    Fault
+	panicStepSet bool
+	flip         bool
+
+	// last caches the most recent genuine message per neighbor, so
+	// Stutter has something stale to resend.
+	last map[graph.ProcID]protocol.Message
+}
+
+var _ protocol.Machine = (*machine)(nil)
+
+func (fm *machine) crashed(round int) bool {
+	return fm.crashRound > 0 && round >= fm.crashRound
+}
+
+// Send implements protocol.Machine with the planned send-side faults.
+func (fm *machine) Send(round int, to graph.ProcID) protocol.Message {
+	switch {
+	case fm.panicSendSet && round == fm.panicSend.Round:
+		panic(PanicValue{Fault: fm.panicSend})
+	case fm.crashed(round), fm.omit[round]:
+		return Silence{}
+	case fm.nilsend[round]:
+		return nil
+	case fm.garbage[round]:
+		return Junk{Payload: uint64(round)<<16 | uint64(to)}
+	case fm.stutter[round]:
+		if msg, ok := fm.last[to]; ok {
+			return msg
+		}
+		return Silence{}
+	}
+	msg := fm.inner.Send(round, to)
+	if msg != nil {
+		fm.last[to] = msg
+	}
+	return msg
+}
+
+// Step implements protocol.Machine: injected placeholder messages are
+// discarded (they model "nothing arrived"), a crashed machine ignores
+// everything, and a planned Step panic fires before the inner protocol
+// runs.
+func (fm *machine) Step(round int, received []protocol.Received) error {
+	if fm.panicStepSet && round == fm.panicStep.Round {
+		panic(PanicValue{Fault: fm.panicStep})
+	}
+	if fm.crashed(round) {
+		return nil
+	}
+	kept := received[:0:0]
+	for _, r := range received {
+		if !injectedMsg(r.Msg) {
+			kept = append(kept, r)
+		}
+	}
+	return fm.inner.Step(round, kept)
+}
+
+// Output implements protocol.Machine. A crashed machine's output is its
+// frozen pre-crash state (Step has been a no-op since); DecisionFlip
+// negates the inner decision.
+func (fm *machine) Output() bool {
+	out := fm.inner.Output()
+	if fm.flip {
+		out = !out
+	}
+	return out
+}

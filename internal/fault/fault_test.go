@@ -1,0 +1,300 @@
+package fault_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"coordattack/internal/core"
+	"coordattack/internal/fault"
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+func TestPlanValidationAndString(t *testing.T) {
+	if _, err := fault.NewPlan(fault.Fault{Proc: 0, Kind: fault.CrashStop, Round: 1}); err == nil {
+		t.Error("process 0 accepted")
+	}
+	if _, err := fault.NewPlan(fault.Fault{Proc: 1, Kind: fault.CrashStop, Round: 0}); err == nil {
+		t.Error("round 0 accepted")
+	}
+	if _, err := fault.NewPlan(fault.Fault{Proc: 1, Kind: fault.Kind(99), Round: 1}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	p := fault.MustPlan(
+		fault.Fault{Proc: 2, Kind: fault.Stutter, Round: 3},
+		fault.Fault{Proc: 1, Kind: fault.CrashStop, Round: 2},
+		fault.Fault{Proc: 1, Kind: fault.DecisionFlip},
+	)
+	want := "flip:1,crash:1@2,stutter:2@3"
+	if got := p.String(); got != want {
+		t.Errorf("plan string = %q, want %q", got, want)
+	}
+	if !p.Byzantine() {
+		t.Error("plan with flip not flagged Byzantine")
+	}
+	if got := p.FaultyProcs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("faulty procs = %v", got)
+	}
+	var empty *fault.Plan
+	if !empty.Empty() {
+		t.Error("nil plan not empty")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	plan, err := fault.Parse("crash:2@4, stutter:1@3 ,flip:2", 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.String(); got != "stutter:1@3,flip:2,crash:2@4" {
+		t.Errorf("parsed plan = %q", got)
+	}
+	bad := []string{
+		"crash:2",       // missing round
+		"crash:9@4",     // process out of range
+		"crash:2@40",    // round out of range
+		"blorp:1@1",     // unknown kind
+		"flip:1@3",      // flip takes no round
+		"crash",         // no colon
+		"omit:zero@1",   // non-numeric proc
+		"omit:1@twelve", // non-numeric round
+	}
+	for _, spec := range bad {
+		if _, err := fault.Parse(spec, 3, 8); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	empty, err := fault.Parse("none", 3, 8)
+	if err != nil || !empty.Empty() {
+		t.Errorf("Parse(none) = %v, %v", empty, err)
+	}
+}
+
+// TestInjectNameAndUnwrap: the wrapper identifies itself and exposes the
+// wrapped protocol for type dispatch.
+func TestInjectNameAndUnwrap(t *testing.T) {
+	s := core.MustS(0.1)
+	plan := fault.MustPlan(fault.Fault{Proc: 1, Kind: fault.CrashStop, Round: 2})
+	p := fault.Inject(s, plan)
+	if !strings.Contains(p.Name(), "crash:1@2") || !strings.Contains(p.Name(), s.Name()) {
+		t.Errorf("injected name = %q", p.Name())
+	}
+	up, ok := p.(interface{ Unwrap() protocol.Protocol })
+	if !ok || up.Unwrap() != protocol.Protocol(s) {
+		t.Error("injected protocol does not unwrap to the original")
+	}
+	if fault.Inject(s, nil) != s {
+		t.Error("empty plan should return the protocol unchanged")
+	}
+}
+
+// TestCrashEquivalentRun is the cornerstone semantics test: executing
+// Protocol S with an injected crash (or omission) equals executing plain
+// S on the run with the corresponding deliveries removed — the fault is
+// exactly the paper's link adversary in disguise. Checked on every
+// process's output, over random runs, plans, and both engines.
+func TestCrashEquivalentRun(t *testing.T) {
+	s := core.MustS(0.3)
+	graphs := []*graph.G{graph.Pair()}
+	if g, err := graph.Complete(4); err == nil {
+		graphs = append(graphs, g)
+	}
+	if g, err := graph.Ring(5); err == nil {
+		graphs = append(graphs, g)
+	}
+	for _, g := range graphs {
+		for trial := uint64(0); trial < 40; trial++ {
+			r := randomRun(t, g, 6, trial)
+			plan, err := fault.Sample(11, trial, g, r.N(), fault.SampleConfig{
+				PFault: 0.6,
+				Kinds:  []fault.Kind{fault.CrashStop, fault.OmitRound, fault.GarbageMessage},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq, err := fault.EquivalentRun(r, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tapes := sim.SeedTapes(trial)
+			injected, err := sim.Outputs(fault.Inject(s, plan), g, r, tapes)
+			if err != nil {
+				t.Fatalf("%v plan %v: %v", g, plan, err)
+			}
+			plain, err := sim.Outputs(s, g, eq, tapes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= g.NumVertices(); i++ {
+				if injected[i] != plain[i] {
+					t.Fatalf("%v trial %d plan %v: process %d differs: injected=%v plain-on-%v=%v",
+						g, trial, plan, i, injected[i], eq, plain[i])
+				}
+			}
+			conc, err := sim.ConcurrentOutputs(fault.Inject(s, plan), g, r, tapes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 1; i <= g.NumVertices(); i++ {
+				if conc[i] != injected[i] {
+					t.Fatalf("engines disagree under plan %v at %d", plan, i)
+				}
+			}
+		}
+	}
+}
+
+func TestEquivalentRunRejectsNonOmission(t *testing.T) {
+	r := run.MustNew(4)
+	for _, k := range []fault.Kind{fault.Stutter, fault.NilSend, fault.PanicSend, fault.PanicStep, fault.DecisionFlip} {
+		plan := fault.MustPlan(fault.Fault{Proc: 1, Kind: k, Round: 2})
+		if _, err := fault.EquivalentRun(r, plan); err == nil {
+			t.Errorf("kind %v accepted by EquivalentRun", k)
+		}
+	}
+	same, err := fault.EquivalentRun(r, nil)
+	if err != nil || same != r {
+		t.Errorf("empty plan should pass the run through: %v, %v", same, err)
+	}
+}
+
+// TestInjectedPanicsAreIsolated: planned Send/Step panics surface as
+// sim.MachineError carrying the fault.PanicValue — never as a process
+// crash or a deadlock.
+func TestInjectedPanicsAreIsolated(t *testing.T) {
+	s := core.MustS(0.2)
+	g := graph.Pair()
+	good, err := run.Good(g, 5, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []fault.Kind{fault.PanicSend, fault.PanicStep} {
+		plan := fault.MustPlan(fault.Fault{Proc: 2, Kind: k, Round: 3})
+		for name, engine := range map[string]func() ([]bool, error){
+			"loop":       func() ([]bool, error) { return sim.Outputs(fault.Inject(s, plan), g, good, sim.SeedTapes(1)) },
+			"concurrent": func() ([]bool, error) { return sim.ConcurrentOutputs(fault.Inject(s, plan), g, good, sim.SeedTapes(1)) },
+		} {
+			_, err := engine()
+			if err == nil {
+				t.Fatalf("%s engine: injected %v produced no error", name, k)
+			}
+			var me *sim.MachineError
+			if !errors.As(err, &me) || !me.Panicked {
+				t.Errorf("%s engine: %v is not a recovered panic MachineError", name, err)
+				continue
+			}
+			if pv, ok := me.Value.(fault.PanicValue); !ok || pv.Fault.Kind != k {
+				t.Errorf("%s engine: panic value %v does not carry the fault", name, me.Value)
+			}
+		}
+	}
+}
+
+// TestNilSendSurfacesAsError: a NilSend fault is the illegal-model case;
+// both engines must reject it with an error rather than crash.
+func TestNilSendSurfacesAsError(t *testing.T) {
+	s := core.MustS(0.2)
+	g := graph.Pair()
+	good, err := run.Good(g, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.MustPlan(fault.Fault{Proc: 1, Kind: fault.NilSend, Round: 2})
+	if _, err := sim.Outputs(fault.Inject(s, plan), g, good, sim.SeedTapes(3)); err == nil {
+		t.Error("loop engine accepted nil send")
+	}
+	if _, err := sim.ConcurrentOutputs(fault.Inject(s, plan), g, good, sim.SeedTapes(3)); err == nil {
+		t.Error("concurrent engine accepted nil send")
+	}
+}
+
+// TestStutterAndFlipBehavior: a stutter fault re-delivers stale state
+// and must keep the execution well-formed; a flip fault negates exactly
+// the faulty process's output.
+func TestStutterAndFlipBehavior(t *testing.T) {
+	s := core.MustS(1.0) // ε = 1: rfire ≤ 1, everyone with count ≥ 1 attacks
+	g := graph.Pair()
+	good, err := run.Good(g, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sim.Outputs(s, g, good, sim.SeedTapes(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base[1] || !base[2] {
+		t.Fatalf("baseline good run should attack everywhere, got %v", base)
+	}
+	flip := fault.MustPlan(fault.Fault{Proc: 2, Kind: fault.DecisionFlip})
+	flipped, err := sim.Outputs(fault.Inject(s, flip), g, good, sim.SeedTapes(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flipped[1] != base[1] || flipped[2] == base[2] {
+		t.Errorf("flip: got %v from base %v", flipped, base)
+	}
+	stutter := fault.MustPlan(fault.Fault{Proc: 1, Kind: fault.Stutter, Round: 2})
+	st, err := sim.Outputs(fault.Inject(s, stutter), g, good, sim.SeedTapes(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st[1] || !st[2] {
+		t.Errorf("stutter on the good run with ε=1 should still reach TA, got %v", st)
+	}
+}
+
+// TestSampleDeterministic: the same (seed, trial) always yields the same
+// plan; different trials eventually differ.
+func TestSampleDeterministic(t *testing.T) {
+	g, err := graph.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fault.SampleConfig{PFault: 0.5}
+	seenDifferent := false
+	first := ""
+	for trial := uint64(0); trial < 50; trial++ {
+		a, err := fault.Sample(42, trial, g, 8, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fault.Sample(42, trial, g, 8, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("trial %d: resample differs: %v vs %v", trial, a, b)
+		}
+		if trial == 0 {
+			first = a.String()
+		} else if a.String() != first {
+			seenDifferent = true
+		}
+	}
+	if !seenDifferent {
+		t.Error("50 trials all drew the same plan")
+	}
+	if _, err := fault.Sample(1, 1, g, 8, fault.SampleConfig{PFault: 1.5}); err == nil {
+		t.Error("PFault > 1 accepted")
+	}
+	capped, err := fault.Sample(1, 1, g, 8, fault.SampleConfig{PFault: 1, MaxFaulty: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(capped.FaultyProcs()); got > 2 {
+		t.Errorf("MaxFaulty 2 violated: %d faulty", got)
+	}
+}
+
+func randomRun(t *testing.T, g *graph.G, n int, trial uint64) *run.Run {
+	t.Helper()
+	tape := sim.SeedTapes(trial ^ 0x5eed)(1)
+	r, err := run.RandomSubset(g, n, tape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}

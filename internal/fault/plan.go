@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+)
+
+// SampleConfig tunes random plan generation.
+type SampleConfig struct {
+	// PFault is the probability that each process is faulty.
+	PFault float64
+	// Kinds is the menu of fault kinds drawn from, uniformly; empty
+	// defaults to the non-Byzantine menu {CrashStop, OmitRound, Stutter}.
+	Kinds []Kind
+	// MaxFaulty caps the number of faulty processes; 0 means no cap.
+	MaxFaulty int
+}
+
+func (c SampleConfig) validate() error {
+	if c.PFault < 0 || c.PFault > 1 {
+		return fmt.Errorf("fault: PFault must be in [0, 1], got %v", c.PFault)
+	}
+	if c.MaxFaulty < 0 {
+		return fmt.Errorf("fault: MaxFaulty must be nonnegative, got %d", c.MaxFaulty)
+	}
+	for _, k := range c.Kinds {
+		if _, ok := kindNames[k]; !ok {
+			return fmt.Errorf("fault: unknown kind %d in menu", int(k))
+		}
+	}
+	return nil
+}
+
+func (c SampleConfig) kinds() []Kind {
+	if len(c.Kinds) > 0 {
+		return c.Kinds
+	}
+	return []Kind{CrashStop, OmitRound, Stutter}
+}
+
+// Sample derives the fault plan of one trial from (seed, trial): the
+// same label always yields the same plan, whatever the worker count —
+// the repository's determinism discipline. Each process independently
+// becomes faulty with probability PFault and draws one fault (kind
+// uniform from the menu, round uniform in 1..n).
+func Sample(seed, trial uint64, g *graph.G, n int, cfg SampleConfig) (*Plan, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("fault: nil graph")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("fault: need n ≥ 1, got %d", n)
+	}
+	tape := rng.NewStream(rng.Mix64(seed^0xfa017)).Tape(trial, 0)
+	menu := cfg.kinds()
+	var faults []Fault
+	for i := 1; i <= g.NumVertices(); i++ {
+		if cfg.MaxFaulty > 0 && len(faults) >= cfg.MaxFaulty {
+			break
+		}
+		hit, err := tape.Bernoulli(cfg.PFault)
+		if err != nil {
+			return nil, err
+		}
+		if !hit {
+			continue
+		}
+		ki, err := tape.UintN(uint64(len(menu)))
+		if err != nil {
+			return nil, err
+		}
+		round, err := tape.IntRange(1, n)
+		if err != nil {
+			return nil, err
+		}
+		faults = append(faults, Fault{Proc: graph.ProcID(i), Kind: menu[ki], Round: round})
+	}
+	return NewPlan(faults...)
+}
+
+// Mutator adapts sampled fault plans to the Monte-Carlo harness: it is a
+// per-trial protocol transformer for mc.Config.Mutator, where trial t
+// executes Inject(p, Sample(seed, t, ...)).
+func Mutator(seed uint64, g *graph.G, n int, cfg SampleConfig) func(trial uint64, p protocol.Protocol) (protocol.Protocol, error) {
+	return func(trial uint64, p protocol.Protocol) (protocol.Protocol, error) {
+		plan, err := Sample(seed, trial, g, n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return Inject(p, plan), nil
+	}
+}
+
+// EquivalentRun folds a plan of omission-equivalent faults into the run:
+// the execution of Inject(p, plan) on r is the execution of plain p on
+// the returned run. CrashStop removes every delivery from and to the
+// process at rounds ≥ its crash round; OmitRound and GarbageMessage
+// remove the process's outgoing deliveries in their round. It errors on
+// kinds whose effect cannot be expressed as message loss (Stutter,
+// NilSend, the panics, DecisionFlip).
+//
+// The from-and-to convention makes the equivalence exact for protocols
+// whose Step is a no-op on an empty inbox (information-driven protocols
+// such as Protocol S): a crashed machine frozen mid-run and a live
+// machine that never hears anything again end in the same state.
+func EquivalentRun(r *run.Run, plan *Plan) (*run.Run, error) {
+	if plan.Empty() {
+		return r, nil
+	}
+	for _, f := range plan.faults {
+		if !f.Kind.OmissionEquivalent() {
+			return nil, fmt.Errorf("fault: %v is not omission-equivalent", f)
+		}
+	}
+	return r.Restrict(func(d run.Delivery) bool {
+		for _, f := range plan.faults {
+			switch f.Kind {
+			case CrashStop:
+				if d.Round >= f.Round && (d.From == f.Proc || d.To == f.Proc) {
+					return false
+				}
+			case OmitRound, GarbageMessage:
+				if d.Round == f.Round && d.From == f.Proc {
+					return false
+				}
+			}
+		}
+		return true
+	}), nil
+}
+
+// Parse parses a comma-separated fault spec for the CLIs. Each item is
+// kind:proc@round (round omitted for flip): for example
+// "crash:2@4,stutter:1@3,flip:1". Kinds: crash, omit, stutter, garbage,
+// nilsend, panicsend, panicstep, flip. m and n bound the process ids and
+// rounds.
+func Parse(spec string, m, n int) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return &Plan{}, nil
+	}
+	byName := map[string]Kind{}
+	for k, name := range kindNames {
+		byName[name] = k
+	}
+	var faults []Fault
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		kindStr, rest, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault: item %q is not kind:proc[@round]", item)
+		}
+		kind, ok := byName[kindStr]
+		if !ok {
+			return nil, fmt.Errorf("fault: unknown kind %q (want crash|omit|stutter|garbage|nilsend|panicsend|panicstep|flip)", kindStr)
+		}
+		procStr, roundStr, hasRound := strings.Cut(rest, "@")
+		proc, err := strconv.Atoi(procStr)
+		if err != nil || proc < 1 || proc > m {
+			return nil, fmt.Errorf("fault: item %q: process must be in 1..%d", item, m)
+		}
+		round := 1
+		if kind == DecisionFlip {
+			if hasRound {
+				return nil, fmt.Errorf("fault: item %q: flip takes no round", item)
+			}
+		} else {
+			if !hasRound {
+				return nil, fmt.Errorf("fault: item %q needs @round", item)
+			}
+			round, err = strconv.Atoi(roundStr)
+			if err != nil || round < 1 || round > n {
+				return nil, fmt.Errorf("fault: item %q: round must be in 1..%d", item, n)
+			}
+		}
+		faults = append(faults, Fault{Proc: graph.ProcID(proc), Kind: kind, Round: round})
+	}
+	return NewPlan(faults...)
+}

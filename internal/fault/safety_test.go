@@ -1,0 +1,142 @@
+package fault_test
+
+import (
+	"math"
+	"testing"
+
+	"coordattack/internal/core"
+	"coordattack/internal/fault"
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+// TestSafetySurvivesNonByzantineFaults is the safety regression harness
+// of the fault subsystem: Protocol S under injected crash, omission, and
+// stutter faults must still satisfy Validity (input-free runs never
+// attack) and Agreement(ε) (per-(run, plan) disagreement probability at
+// most ε). Per Theorem 5.4, process faults can only lower liveness —
+// they shrink the information the run delivers — so any safety
+// violation here is a bug in the injector or the engines. The test
+// drives ≥ 10 000 randomized trials across graphs, runs, plans, and
+// tapes.
+func TestSafetySurvivesNonByzantineFaults(t *testing.T) {
+	const (
+		eps         = 0.25
+		rounds      = 6
+		runsPer     = 8
+		plansPerRun = 2
+		tapesPer    = 250
+	)
+	s := core.MustS(eps)
+	graphs := []*graph.G{graph.Pair()}
+	if g, err := graph.Complete(4); err == nil {
+		graphs = append(graphs, g)
+	}
+	if g, err := graph.Line(3); err == nil {
+		graphs = append(graphs, g)
+	}
+	menu := fault.SampleConfig{
+		PFault: 0.7,
+		Kinds:  []fault.Kind{fault.CrashStop, fault.OmitRound, fault.Stutter},
+	}
+	// Per-combo Hoeffding bound: with tapesPer samples, the empirical PA
+	// frequency of a true probability ≤ ε exceeds ε + radius with
+	// probability ≤ exp(-2·tapesPer·radius²); radius for δ = 1e-9 per
+	// combo keeps the whole suite deterministic in practice.
+	radius := math.Sqrt(math.Log(1e9) / (2 * tapesPer))
+
+	trials := 0
+	for gi, g := range graphs {
+		for ri := 0; ri < runsPer; ri++ {
+			label := uint64(gi*1000 + ri)
+			r := randomRun(t, g, rounds, label)
+			// Half the runs audit validity: strip the inputs.
+			checkValidity := ri%2 == 0
+			if checkValidity {
+				for _, i := range r.Inputs() {
+					r.RemoveInput(i)
+				}
+			} else if !r.AnyInput() {
+				r.AddInput(1)
+			}
+			for pi := 0; pi < plansPerRun; pi++ {
+				plan, err := fault.Sample(99, label*uint64(plansPerRun)+uint64(pi), g, rounds, menu)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pa := 0
+				for rep := 0; rep < tapesPer; rep++ {
+					outs, err := sim.Outputs(fault.Inject(s, plan), g, r,
+						sim.StreamTapes(rng.NewStream(0xabcd^label), uint64(pi*tapesPer+rep)))
+					if err != nil {
+						t.Fatalf("%v run %v plan %v: %v", g, r, plan, err)
+					}
+					trials++
+					if checkValidity {
+						for i := 1; i < len(outs); i++ {
+							if outs[i] {
+								t.Fatalf("VALIDITY VIOLATION: %v plan %v: process %d attacked on input-free run %v",
+									g, plan, i, r)
+							}
+						}
+					}
+					if protocol.Classify(outs) == protocol.PartialAttack {
+						pa++
+					}
+				}
+				if freq := float64(pa) / tapesPer; freq > eps+radius {
+					t.Errorf("AGREEMENT VIOLATION: %v run %v plan %v: Pr[PA] ≈ %.3f > ε=%.2f + radius %.3f",
+						g, r, plan, freq, eps, radius)
+				}
+			}
+		}
+	}
+	if trials < 10_000 {
+		t.Fatalf("property harness drove only %d trials, want ≥ 10000", trials)
+	}
+}
+
+// TestDecisionFlipViolatesSafety: the Byzantine decision-flip fault must
+// produce detectable safety violations — the negative control proving
+// the harness has teeth. A flipped process attacks on input-free runs
+// (Validity broken) and disagrees almost surely on the good run with a
+// liveness-1 parameterization (Agreement broken).
+func TestDecisionFlipViolatesSafety(t *testing.T) {
+	s := core.MustS(1.0)
+	g := graph.Pair()
+	flip := fault.MustPlan(fault.Fault{Proc: 2, Kind: fault.DecisionFlip})
+	p := fault.Inject(s, flip)
+
+	silent, err := run.Silent(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := sim.Outputs(p, g, silent, sim.SeedTapes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outs[2] {
+		t.Error("flipped process did not attack on the input-free run — validity violation not expressed")
+	}
+
+	good, err := run.Good(g, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disagreements := 0
+	for rep := 0; rep < 200; rep++ {
+		outs, err := sim.Outputs(p, g, good, sim.SeedTapes(uint64(rep)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if protocol.Classify(outs) == protocol.PartialAttack {
+			disagreements++
+		}
+	}
+	if disagreements < 150 {
+		t.Errorf("flip produced only %d/200 disagreements on the good run; expected almost sure PA", disagreements)
+	}
+}

@@ -1,0 +1,274 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/sim"
+)
+
+// failingSampler returns the good run except on trials where pick says
+// to fail.
+func failingSampler(g *graph.G, n int, pick func(trial uint64) bool) RunSampler {
+	return func(trial uint64, tape *rng.Tape) (*run.Run, error) {
+		if pick(trial) {
+			return nil, fmt.Errorf("injected sampler failure on trial %d", trial)
+		}
+		return run.Good(g, n, 1, 2)
+	}
+}
+
+// TestSamplerErrorCancelsSiblings is the wasted-work regression: with
+// fail-fast semantics (MaxFailures 0) and an always-erroring sampler,
+// the cancel signal must stop the other workers promptly instead of
+// letting them grind through a million trials.
+func TestSamplerErrorCancelsSiblings(t *testing.T) {
+	g := graph.Pair()
+	const trials = 1_000_000
+	res, err := Estimate(Config{
+		Protocol: core.MustS(0.5),
+		Graph:    g,
+		Sampler:  failingSampler(g, 2, func(uint64) bool { return true }),
+		Trials:   trials,
+		Seed:     1,
+		Workers:  8,
+	})
+	if err == nil {
+		t.Fatal("always-erroring sampler produced no error")
+	}
+	if res == nil {
+		t.Fatal("no partial result returned")
+	}
+	attempted := res.Completed + res.Failed
+	if attempted >= trials/2 {
+		t.Errorf("cancel did not propagate: %d of %d trials attempted", attempted, trials)
+	}
+	if res.Completed != 0 {
+		t.Errorf("Completed = %d, want 0", res.Completed)
+	}
+	if res.Failed < 1 {
+		t.Errorf("Failed = %d, want ≥ 1", res.Failed)
+	}
+}
+
+// TestFailureBudgetGracefulDegradation: failures within MaxFailures are
+// counted and skipped, every other trial still runs, the error is nil,
+// and the partial counts are exact and identical at every worker count.
+func TestFailureBudgetGracefulDegradation(t *testing.T) {
+	g := graph.Pair()
+	const trials = 1000
+	wantFailed := 0
+	for trial := 0; trial < trials; trial++ {
+		if trial%10 == 3 {
+			wantFailed++
+		}
+	}
+	var results []*Result
+	for _, workers := range []int{1, 8} {
+		res, err := Estimate(Config{
+			Protocol:    core.MustS(0.5),
+			Graph:       g,
+			Sampler:     failingSampler(g, 4, func(trial uint64) bool { return trial%10 == 3 }),
+			Trials:      trials,
+			Seed:        7,
+			Workers:     workers,
+			MaxFailures: trials, // ample budget: never aborts
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: failures within budget must not error: %v", workers, err)
+		}
+		if res.Failed != wantFailed || res.Completed != trials-wantFailed {
+			t.Errorf("workers=%d: Completed/Failed = %d/%d, want %d/%d",
+				workers, res.Completed, res.Failed, trials-wantFailed, wantFailed)
+		}
+		results = append(results, res)
+	}
+	a, b := results[0], results[1]
+	if a.TA != b.TA || a.PA != b.PA || a.NA != b.NA || a.Completed != b.Completed || a.Failed != b.Failed {
+		t.Errorf("results differ across worker counts:\n1: %+v\n8: %+v", a, b)
+	}
+	for i := range a.AttackCounts {
+		if a.AttackCounts[i] != b.AttackCounts[i] {
+			t.Errorf("AttackCounts[%d] differ: %d vs %d", i, a.AttackCounts[i], b.AttackCounts[i])
+		}
+	}
+}
+
+// TestBudgetExhaustionReturnsPartialResult: one failure beyond the
+// budget aborts the job with a joined error and a partial Result whose
+// counts reflect exactly the attempted trials.
+func TestBudgetExhaustionReturnsPartialResult(t *testing.T) {
+	g := graph.Pair()
+	res, err := Estimate(Config{
+		Protocol:    core.MustS(0.5),
+		Graph:       g,
+		Sampler:     failingSampler(g, 2, func(uint64) bool { return true }),
+		Trials:      100,
+		Seed:        3,
+		Workers:     4,
+		MaxFailures: 5,
+	})
+	if err == nil {
+		t.Fatal("exhausted budget produced no error")
+	}
+	if res == nil {
+		t.Fatal("no partial result")
+	}
+	if res.Failed <= 5 {
+		t.Errorf("Failed = %d, want > MaxFailures 5", res.Failed)
+	}
+	if res.Completed+res.Failed > res.Trials {
+		t.Errorf("attempted %d > requested %d", res.Completed+res.Failed, res.Trials)
+	}
+}
+
+// TestCancelledContextStopsJob: a pre-cancelled context stops the job
+// before any trial runs; the context error is in the joined error.
+func TestCancelledContextStopsJob(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graph.Pair()
+	good, err := run.Good(g, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, eerr := Estimate(Config{
+		Protocol: core.MustS(0.5),
+		Graph:    g,
+		Run:      good,
+		Trials:   100_000,
+		Seed:     1,
+		Ctx:      ctx,
+	})
+	if eerr == nil {
+		t.Fatal("cancelled context produced no error")
+	}
+	if !errors.Is(eerr, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", eerr)
+	}
+	if res == nil || res.Completed != 0 || res.Failed != 0 {
+		t.Errorf("partial result = %+v, want zero attempted trials", res)
+	}
+}
+
+// TestDeadlineStopsJob: a context deadline halts a long job partway and
+// surfaces DeadlineExceeded with the partial tallies.
+func TestDeadlineStopsJob(t *testing.T) {
+	g := graph.Pair()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	slow := func(trial uint64, tape *rng.Tape) (*run.Run, error) {
+		time.Sleep(time.Millisecond)
+		return run.Good(g, 2, 1, 2)
+	}
+	const trials = 1_000_000 // hours of work without the deadline
+	res, err := Estimate(Config{
+		Protocol: core.MustS(0.5),
+		Graph:    g,
+		Sampler:  slow,
+		Trials:   trials,
+		Seed:     1,
+		Workers:  4,
+		Ctx:      ctx,
+	})
+	if err == nil {
+		t.Fatal("deadline produced no error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not wrap DeadlineExceeded", err)
+	}
+	if res == nil || res.Completed+res.Failed >= trials {
+		t.Errorf("deadline did not stop the job early: %+v", res)
+	}
+}
+
+// alwaysPanicProto panics in Step on every machine — the recovered-panic
+// failure path end to end through mc.
+type alwaysPanicProto struct{}
+
+func (alwaysPanicProto) Name() string { return "always-panic" }
+
+func (alwaysPanicProto) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
+	return alwaysPanicMachine{}, nil
+}
+
+type alwaysPanicMachine struct{}
+
+type dummyMsg struct{}
+
+func (dummyMsg) CAMessage() {}
+
+func (alwaysPanicMachine) Send(int, graph.ProcID) protocol.Message { return dummyMsg{} }
+func (alwaysPanicMachine) Step(int, []protocol.Received) error     { panic("injected") }
+func (alwaysPanicMachine) Output() bool                            { return false }
+
+// TestMachinePanicCountsAsFailedTrial: panics recovered by sim surface
+// as failed trials, not process crashes, and within budget the job
+// completes without error.
+func TestMachinePanicCountsAsFailedTrial(t *testing.T) {
+	g := graph.Pair()
+	good, err := run.Good(g, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, eerr := Estimate(Config{
+		Protocol:    alwaysPanicProto{},
+		Graph:       g,
+		Run:         good,
+		Trials:      3,
+		Seed:        1,
+		MaxFailures: 5,
+	})
+	if eerr != nil {
+		t.Fatalf("panics within budget must not error the job: %v", eerr)
+	}
+	if res.Failed != 3 || res.Completed != 0 {
+		t.Errorf("Completed/Failed = %d/%d, want 0/3", res.Completed, res.Failed)
+	}
+}
+
+// TestMutatorHonoredPerTrial: the Mutator transforms the protocol of
+// exactly the trials it targets, deterministically.
+func TestMutatorHonoredPerTrial(t *testing.T) {
+	g := graph.Pair()
+	good, err := run.Good(g, 2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(trial uint64, p protocol.Protocol) (protocol.Protocol, error) {
+		if trial%2 == 1 {
+			return alwaysPanicProto{}, nil
+		}
+		return p, nil
+	}
+	res, eerr := Estimate(Config{
+		Protocol:    core.MustS(0.5),
+		Graph:       g,
+		Run:         good,
+		Mutator:     mut,
+		Trials:      100,
+		Seed:        1,
+		Workers:     4,
+		MaxFailures: 100,
+	})
+	if eerr != nil {
+		t.Fatal(eerr)
+	}
+	if res.Failed != 50 || res.Completed != 50 {
+		t.Errorf("Completed/Failed = %d/%d, want 50/50", res.Completed, res.Failed)
+	}
+	// The error path must be sim's MachineError, proving the panic was
+	// recovered inside the engine.
+	_, serr := sim.Outputs(alwaysPanicProto{}, g, good, sim.SeedTapes(1))
+	if !errors.Is(serr, sim.ErrMachineFault) {
+		t.Errorf("panic not converted to MachineError: %v", serr)
+	}
+}

@@ -5,13 +5,26 @@
 // Determinism discipline: trial t always uses the tapes derived from
 // (seed, t), whatever the worker count, so results are bit-for-bit
 // reproducible and parallelism is purely a speedup. When a RunSampler is
-// set, trial t's run likewise depends only on (seed, t).
+// set, trial t's run likewise depends only on (seed, t); when a Mutator
+// is set, trial t's protocol likewise depends only on t.
+//
+// Failure handling: a trial can fail — the sampler errors, a machine
+// panics (recovered by sim), or fault injection makes a machine
+// misbehave fatally. Failed trials are counted against the MaxFailures
+// budget instead of aborting the whole job; once the budget is exceeded
+// (or the Ctx is cancelled, or its deadline passes) every worker stops
+// promptly and Estimate returns the partial Result accumulated so far
+// together with a joined error.
 package mc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"coordattack/internal/graph"
 	"coordattack/internal/protocol"
@@ -26,6 +39,11 @@ import (
 // of the protocol tapes of the same trial.
 type RunSampler func(trial uint64, tape *rng.Tape) (*run.Run, error)
 
+// Mutator derives the protocol executed in one trial from the base
+// protocol — per-trial fault injection (internal/fault.Mutator) plugs in
+// here. It must be deterministic in trial.
+type Mutator func(trial uint64, p protocol.Protocol) (protocol.Protocol, error)
+
 // Config describes one estimation job.
 type Config struct {
 	Protocol protocol.Protocol
@@ -34,10 +52,22 @@ type Config struct {
 	Run *run.Run
 	// Sampler, when non-nil, draws a fresh run per trial.
 	Sampler RunSampler
+	// Mutator, when non-nil, transforms the protocol per trial.
+	Mutator Mutator
 	Trials  int
 	Seed    uint64
 	// Workers is the parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Ctx, when non-nil, cancels the job early: on cancellation (or
+	// deadline) Estimate stops all workers promptly and returns the
+	// partial Result with the context error joined in. Nil means
+	// context.Background().
+	Ctx context.Context
+	// MaxFailures is the failure budget: up to this many failed trials
+	// are recorded and skipped; one more cancels the job. 0 (the
+	// default) fails fast on the first failed trial — but even then the
+	// partial Result is returned beside the error.
+	MaxFailures int
 }
 
 func (c Config) validate() error {
@@ -56,12 +86,24 @@ func (c Config) validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("mc: workers must be nonnegative, got %d", c.Workers)
 	}
+	if c.MaxFailures < 0 {
+		return fmt.Errorf("mc: max failures must be nonnegative, got %d", c.MaxFailures)
+	}
 	return nil
 }
 
-// Result aggregates an estimation job's outcomes.
+// Result aggregates an estimation job's outcomes. When every trial
+// succeeds, Completed == Trials and Failed == 0; a partial Result (from
+// cancellation or budget exhaustion) reports exactly the trials that
+// were attempted. All proportions are over Completed trials.
 type Result struct {
+	// Trials is the requested trial count.
 	Trials int
+	// Completed is how many trials executed to an outcome.
+	Completed int
+	// Failed is how many trials failed (sampler error, machine error or
+	// recovered panic).
+	Failed int
 	TA     stats.Proportion // total attack — the liveness estimate
 	PA     stats.Proportion // partial attack — the unsafety estimate
 	NA     stats.Proportion
@@ -75,28 +117,61 @@ func (r *Result) AttackProportion(i graph.ProcID) (stats.Proportion, error) {
 	if int(i) < 1 || int(i) >= len(r.AttackCounts) {
 		return stats.Proportion{}, fmt.Errorf("mc: process %d out of range", i)
 	}
-	return stats.NewProportion(r.AttackCounts[i], r.Trials)
+	return stats.NewProportion(r.AttackCounts[i], r.Completed)
 }
+
+// trialError is one failed trial, retained (up to a cap) for the joined
+// error report.
+type trialError struct {
+	trial uint64
+	err   error
+}
+
+// maxReportedErrors caps how many per-trial errors the joined error
+// carries; the Failed count is always exact.
+const maxReportedErrors = 8
 
 type tally struct {
 	ta, pa, na int
+	completed  int
+	failed     int
 	attacks    []int
+	errs       []trialError
 }
 
 func (t *tally) merge(o *tally) {
 	t.ta += o.ta
 	t.pa += o.pa
 	t.na += o.na
+	t.completed += o.completed
+	t.failed += o.failed
 	for i := range t.attacks {
 		t.attacks[i] += o.attacks[i]
 	}
+	t.errs = append(t.errs, o.errs...)
 }
 
-// Estimate runs the job. The same Config always yields the same Result.
+// Estimate runs the job. The same Config always yields the same Result:
+// per-trial outcomes depend only on (Seed, trial), and aggregation is
+// order-independent, so the worker count never changes the numbers —
+// including the Completed/Failed counts, as long as the job is not
+// cancelled mid-flight (failures within budget do not break
+// determinism; they are skipped identically at every parallelism).
+//
+// Estimate returns a non-nil partial Result together with the error
+// when the job ends early: the error joins the context error and/or a
+// budget-exhaustion report with up to 8 per-trial failures.
 func Estimate(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -108,8 +183,12 @@ func Estimate(cfg Config) (*Result, error) {
 	protoStream := rng.NewStream(cfg.Seed)
 	runStream := rng.NewStream(rng.Mix64(cfg.Seed ^ 0xc0ffee))
 
+	// failures counts failed trials across workers; passing MaxFailures
+	// trips the breaker and cancels the siblings.
+	var failures atomic.Int64
+	budgetBlown := func() bool { return failures.Load() > int64(cfg.MaxFailures) }
+
 	tallies := make([]*tally, workers)
-	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		tallies[w] = &tally{attacks: make([]int, m+1)}
@@ -118,20 +197,42 @@ func Estimate(cfg Config) (*Result, error) {
 			defer wg.Done()
 			local := tallies[w]
 			for trial := w; trial < cfg.Trials; trial += workers {
+				if ctx.Err() != nil {
+					return
+				}
+				fail := func(err error) {
+					local.failed++
+					if len(local.errs) < maxReportedErrors {
+						local.errs = append(local.errs, trialError{trial: uint64(trial), err: err})
+					}
+					if failures.Add(1) > int64(cfg.MaxFailures) {
+						cancel() // budget exhausted: stop the siblings promptly
+					}
+				}
 				r := cfg.Run
 				if cfg.Sampler != nil {
 					var err error
 					r, err = cfg.Sampler(uint64(trial), runStream.Tape(uint64(trial), 0))
 					if err != nil {
-						errs[w] = fmt.Errorf("mc: sampling run for trial %d: %w", trial, err)
-						return
+						fail(fmt.Errorf("mc: sampling run for trial %d: %w", trial, err))
+						continue
 					}
 				}
-				outs, err := sim.Outputs(cfg.Protocol, cfg.Graph, r, sim.StreamTapes(protoStream, uint64(trial)))
-				if err != nil {
-					errs[w] = fmt.Errorf("mc: trial %d: %w", trial, err)
-					return
+				p := cfg.Protocol
+				if cfg.Mutator != nil {
+					var err error
+					p, err = cfg.Mutator(uint64(trial), p)
+					if err != nil {
+						fail(fmt.Errorf("mc: mutating protocol for trial %d: %w", trial, err))
+						continue
+					}
 				}
+				outs, err := sim.Outputs(p, cfg.Graph, r, sim.StreamTapes(protoStream, uint64(trial)))
+				if err != nil {
+					fail(fmt.Errorf("mc: trial %d: %w", trial, err))
+					continue
+				}
+				local.completed++
 				for i := 1; i <= m; i++ {
 					if outs[i] {
 						local.attacks[i]++
@@ -149,25 +250,56 @@ func Estimate(cfg Config) (*Result, error) {
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
+
 	total := &tally{attacks: make([]int, m+1)}
 	for _, t := range tallies {
 		total.merge(t)
 	}
-	res := &Result{Trials: cfg.Trials, AttackCounts: total.attacks}
-	var err error
-	if res.TA, err = stats.NewProportion(total.ta, cfg.Trials); err != nil {
-		return nil, err
+	res := &Result{
+		Trials:       cfg.Trials,
+		Completed:    total.completed,
+		Failed:       total.failed,
+		AttackCounts: total.attacks,
 	}
-	if res.PA, err = stats.NewProportion(total.pa, cfg.Trials); err != nil {
-		return nil, err
+	if total.completed > 0 {
+		var err error
+		if res.TA, err = stats.NewProportion(total.ta, total.completed); err != nil {
+			return nil, err
+		}
+		if res.PA, err = stats.NewProportion(total.pa, total.completed); err != nil {
+			return nil, err
+		}
+		if res.NA, err = stats.NewProportion(total.na, total.completed); err != nil {
+			return nil, err
+		}
 	}
-	if res.NA, err = stats.NewProportion(total.na, cfg.Trials); err != nil {
-		return nil, err
+
+	// Degradation report: a cancelled or budget-blown job still returns
+	// the partial Result, with every cause joined into one error.
+	// Failures within budget degrade gracefully: they are reported in
+	// res.Failed, the job runs every remaining trial, and the error is
+	// nil.
+	var causes []error
+	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+		causes = append(causes, cfg.Ctx.Err())
 	}
-	return res, nil
+	if budgetBlown() {
+		causes = append(causes, fmt.Errorf("mc: failure budget exhausted (%d failed > MaxFailures %d)",
+			total.failed, cfg.MaxFailures))
+	}
+	if len(causes) == 0 {
+		return res, nil
+	}
+	// The retained per-trial errors are sorted by trial index so the
+	// report is stable whatever the scheduling.
+	sort.Slice(total.errs, func(a, b int) bool { return total.errs[a].trial < total.errs[b].trial })
+	if len(total.errs) > maxReportedErrors {
+		total.errs = total.errs[:maxReportedErrors]
+	}
+	for _, te := range total.errs {
+		causes = append(causes, te.err)
+	}
+	causes = append([]error{fmt.Errorf("mc: %d/%d trials completed, %d failed",
+		total.completed, cfg.Trials, total.failed)}, causes...)
+	return res, errors.Join(causes...)
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"sync"
 
 	"coordattack/internal/graph"
@@ -23,6 +22,12 @@ import (
 // The drain phase must complete everywhere before the next send phase
 // reuses the channels, hence the second barrier. Semantics are identical
 // to Outputs; TestEnginesAgree drives both on random (run, α).
+//
+// Failure isolation: a machine that panics, errors in Step, or sends nil
+// is marked failed but its goroutine keeps running the full round
+// schedule — sending placeholders, draining its inbox, and pacing the
+// barrier — so its peers never deadlock. The first failure (by process
+// id) is returned as a MachineError and the outputs are discarded.
 func ConcurrentOutputs(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes) ([]bool, error) {
 	machines, err := newMachines(p, g, r, tapes)
 	if err != nil {
@@ -49,23 +54,31 @@ func ConcurrentOutputs(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes)
 			mach := machines[i]
 			neighbors := g.Neighbors(id)
 			inbox := make([]protocol.Received, 0, len(neighbors))
+			failed := false
 			for round := 1; round <= r.N(); round++ {
-				// Phase 1: send. A failed machine keeps pacing the
-				// barrier so the others are not deadlocked, but goes
-				// silent in the model sense by sending nothing... it
-				// must still send to keep receivers' drains from
-				// blocking, so it sends its last message; the error is
-				// reported either way and the outputs discarded.
+				// Phase 1: send. A failed machine is silent in the model
+				// sense but must still fill its channels so receivers'
+				// drains don't block; it sends placeholders, which
+				// receivers discard.
 				for _, to := range neighbors {
-					msg := mach.Send(round, to)
-					if msg == nil {
-						setErr(errs, i, fmt.Errorf("sim: %s machine %d sent nil in round %d", p.Name(), i, round))
+					var msg protocol.Message
+					if !failed {
+						var err error
+						msg, err = safeSend(p, mach, id, round, to)
+						if err != nil {
+							errs[i] = err
+							failed = true
+						}
+					}
+					if failed {
 						msg = nilPlaceholder{}
 					}
 					chans[[2]graph.ProcID{id, to}] <- msg
 				}
 				bar.Await()
-				// Phase 2: drain and filter (adversary applied here).
+				// Phase 2: drain and filter (adversary applied here). Even
+				// a failed machine drains, to keep the channels empty for
+				// the next cycle.
 				inbox = inbox[:0]
 				for _, from := range neighbors {
 					msg := <-chans[[2]graph.ProcID{from, id}]
@@ -78,13 +91,21 @@ func ConcurrentOutputs(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes)
 				bar.Await()
 				// Phase 3: step. Neighbor lists are sorted, so the inbox
 				// already is.
-				if errs[i] == nil {
-					if err := mach.Step(round, inbox); err != nil {
-						setErr(errs, i, fmt.Errorf("sim: %s machine %d step %d: %w", p.Name(), i, round, err))
+				if !failed {
+					if err := safeStep(p, mach, id, round, inbox); err != nil {
+						errs[i] = err
+						failed = true
 					}
 				}
 			}
-			outs[i] = mach.Output()
+			if !failed {
+				out, err := safeOutput(p, mach, id)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				outs[i] = out
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -97,17 +118,11 @@ func ConcurrentOutputs(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes)
 	return outs, nil
 }
 
-// nilPlaceholder stands in for an illegally-nil message so channel
-// plumbing stays balanced while the error propagates.
+// nilPlaceholder stands in for the message of a failed machine so the
+// channel plumbing stays balanced while the error propagates.
 type nilPlaceholder struct{}
 
 func (nilPlaceholder) CAMessage() {}
-
-func setErr(errs []error, i int, err error) {
-	if errs[i] == nil {
-		errs[i] = err
-	}
-}
 
 // ConcurrentOutcome is ConcurrentOutputs followed by classification.
 func ConcurrentOutcome(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes) (protocol.Outcome, error) {

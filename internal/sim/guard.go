@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+)
+
+// ErrMachineFault is the sentinel wrapped by every MachineError, so
+// callers can classify execution failures with errors.Is.
+var ErrMachineFault = errors.New("sim: machine fault")
+
+// MachineError describes one machine's failure during execution: an
+// error returned from Step, an illegal nil message from Send, or a panic
+// recovered in any phase. Engines never let a machine panic escape or
+// deadlock its peers; they return a MachineError instead.
+type MachineError struct {
+	// Protocol is the protocol's Name.
+	Protocol string
+	// Proc is the failing machine.
+	Proc graph.ProcID
+	// Round is the round of the failure; 0 for the output phase.
+	Round int
+	// Phase is "send", "step", or "output".
+	Phase string
+	// Panicked reports whether the failure was a recovered panic; Value
+	// then holds the panic value.
+	Panicked bool
+	Value    any
+	// Err is the underlying error for non-panic failures.
+	Err error
+}
+
+// Error implements error.
+func (e *MachineError) Error() string {
+	if e.Panicked {
+		return fmt.Sprintf("sim: %s machine %d panicked in %s round %d: %v",
+			e.Protocol, e.Proc, e.Phase, e.Round, e.Value)
+	}
+	return fmt.Sprintf("sim: %s machine %d %s round %d: %v",
+		e.Protocol, e.Proc, e.Phase, e.Round, e.Err)
+}
+
+// Unwrap lets errors.Is(err, ErrMachineFault) classify engine failures,
+// and errors.Is/As reach the underlying cause.
+func (e *MachineError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrMachineFault, e.Err}
+	}
+	return []error{ErrMachineFault}
+}
+
+// safeSend calls mach.Send with panic isolation, converting panics and
+// illegal nil messages into MachineErrors.
+func safeSend(p protocol.Protocol, mach protocol.Machine, proc graph.ProcID, round int, to graph.ProcID) (msg protocol.Message, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			msg, err = nil, &MachineError{
+				Protocol: p.Name(), Proc: proc, Round: round, Phase: "send",
+				Panicked: true, Value: v,
+			}
+		}
+	}()
+	msg = mach.Send(round, to)
+	if msg == nil {
+		return nil, &MachineError{
+			Protocol: p.Name(), Proc: proc, Round: round, Phase: "send",
+			Err: fmt.Errorf("sent nil message to %d", to),
+		}
+	}
+	return msg, nil
+}
+
+// safeStep calls mach.Step with panic isolation.
+func safeStep(p protocol.Protocol, mach protocol.Machine, proc graph.ProcID, round int, received []protocol.Received) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &MachineError{
+				Protocol: p.Name(), Proc: proc, Round: round, Phase: "step",
+				Panicked: true, Value: v,
+			}
+		}
+	}()
+	if err := mach.Step(round, received); err != nil {
+		return &MachineError{
+			Protocol: p.Name(), Proc: proc, Round: round, Phase: "step", Err: err,
+		}
+	}
+	return nil
+}
+
+// safeOutput calls mach.Output with panic isolation.
+func safeOutput(p protocol.Protocol, mach protocol.Machine, proc graph.ProcID) (out bool, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			out, err = false, &MachineError{
+				Protocol: p.Name(), Proc: proc, Phase: "output",
+				Panicked: true, Value: v,
+			}
+		}
+	}()
+	return mach.Output(), nil
+}

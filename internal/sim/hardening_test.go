@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/run"
+)
+
+// panicProto panics in the configured phase on the configured (proc,
+// round) — the deliberately misbehaving machine of the deadlock
+// regression tests.
+type panicProto struct {
+	proc  graph.ProcID
+	round int
+	phase string // "send", "step", "output"
+}
+
+func (p panicProto) Name() string { return "panic" }
+
+func (p panicProto) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
+	return &panicMachine{p: p, id: cfg.ID}, nil
+}
+
+type panicMachine struct {
+	p  panicProto
+	id graph.ProcID
+}
+
+type panicMsg struct{}
+
+func (panicMsg) CAMessage() {}
+
+func (m *panicMachine) Send(round int, to graph.ProcID) protocol.Message {
+	if m.p.phase == "send" && m.id == m.p.proc && round == m.p.round {
+		panic("injected send panic")
+	}
+	return panicMsg{}
+}
+
+func (m *panicMachine) Step(round int, received []protocol.Received) error {
+	if m.p.phase == "step" && m.id == m.p.proc && round == m.p.round {
+		panic("injected step panic")
+	}
+	return nil
+}
+
+func (m *panicMachine) Output() bool {
+	if m.p.phase == "output" && m.id == m.p.proc {
+		panic("injected output panic")
+	}
+	return false
+}
+
+// TestConcurrentSurvivesPanickingMachine is the deadlock regression: a
+// machine that panics mid-round used to kill its goroutine and hang
+// every peer on the barrier forever. Now the panic is recovered, the
+// failed goroutine keeps pacing the barrier, and the engine returns a
+// MachineError. Run with -race -timeout to catch reintroduction.
+func TestConcurrentSurvivesPanickingMachine(t *testing.T) {
+	g, err := graph.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := run.Good(g, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"send", "step", "output"} {
+		for _, proc := range []graph.ProcID{1, 3, 5} {
+			p := panicProto{proc: proc, round: 3, phase: phase}
+			outs, err := ConcurrentOutputs(p, g, good, SeedTapes(1))
+			if err == nil {
+				t.Fatalf("phase %s proc %d: no error (outs %v)", phase, proc, outs)
+			}
+			if !errors.Is(err, ErrMachineFault) {
+				t.Errorf("phase %s proc %d: error %v does not wrap ErrMachineFault", phase, proc, err)
+			}
+			var me *MachineError
+			if !errors.As(err, &me) {
+				t.Fatalf("phase %s proc %d: error %v is not a MachineError", phase, proc, err)
+			}
+			if !me.Panicked || me.Proc != proc || me.Phase != phase {
+				t.Errorf("phase %s proc %d: got %+v", phase, proc, me)
+			}
+		}
+	}
+}
+
+// TestLoopEnginesSurvivePanickingMachine: the sequential engines convert
+// panics to errors too, so mc trials fail cleanly instead of crashing
+// the process.
+func TestLoopEnginesSurvivePanickingMachine(t *testing.T) {
+	g := graph.Pair()
+	good, err := run.Good(g, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := panicProto{proc: 2, round: 2, phase: "step"}
+	if _, err := Outputs(p, g, good, SeedTapes(1)); err == nil {
+		t.Error("loop engine: no error from panicking machine")
+	} else if !errors.Is(err, ErrMachineFault) {
+		t.Errorf("loop engine: %v does not wrap ErrMachineFault", err)
+	}
+	if _, err := Execute(p, g, good, SeedTapes(1)); err == nil {
+		t.Error("trace engine: no error from panicking machine")
+	}
+	if _, err := Outputs(panicProto{proc: 1, round: 1, phase: "output"}, g, good, SeedTapes(1)); err == nil {
+		t.Error("loop engine: no error from panicking Output")
+	}
+}
+
+// TestConcurrentPanicDoesNotCorruptPeers: with a large graph and a panic
+// in the middle of the send fan-out, all surviving goroutines must still
+// complete every round (no partial channel fills, no deadlock) — the
+// engine returns the failure without hanging.
+func TestConcurrentPanicDoesNotCorruptPeers(t *testing.T) {
+	g, err := graph.Complete(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := run.Good(g, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 10; round += 3 {
+		p := panicProto{proc: 4, round: round, phase: "send"}
+		if _, err := ConcurrentOutputs(p, g, good, SeedTapes(7)); err == nil {
+			t.Fatalf("round %d: panic not surfaced", round)
+		}
+	}
+}

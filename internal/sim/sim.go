@@ -81,9 +81,9 @@ func Outputs(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes) ([]bool, 
 		for i := 1; i <= m; i++ {
 			from := graph.ProcID(i)
 			for _, to := range g.Neighbors(from) {
-				msg := machines[i].Send(round, to)
-				if msg == nil {
-					return nil, fmt.Errorf("sim: %s machine %d sent nil in round %d", p.Name(), i, round)
+				msg, err := safeSend(p, machines[i], from, round, to)
+				if err != nil {
+					return nil, err
 				}
 				if r.Delivered(from, to, round) {
 					inboxes[to] = append(inboxes[to], protocol.Received{From: from, Msg: msg})
@@ -92,14 +92,18 @@ func Outputs(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes) ([]bool, 
 		}
 		for i := 1; i <= m; i++ {
 			sortReceived(inboxes[i])
-			if err := machines[i].Step(round, inboxes[i]); err != nil {
-				return nil, fmt.Errorf("sim: %s machine %d step %d: %w", p.Name(), i, round, err)
+			if err := safeStep(p, machines[i], graph.ProcID(i), round, inboxes[i]); err != nil {
+				return nil, err
 			}
 		}
 	}
 	outs := make([]bool, m+1)
 	for i := 1; i <= m; i++ {
-		outs[i] = machines[i].Output()
+		out, err := safeOutput(p, machines[i], graph.ProcID(i))
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = out
 	}
 	return outs, nil
 }
@@ -139,9 +143,9 @@ func Execute(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes) (*protoco
 			from := graph.ProcID(i)
 			rec := &exec.Locals[i].Rounds[round-1]
 			for _, to := range g.Neighbors(from) {
-				msg := machines[i].Send(round, to)
-				if msg == nil {
-					return nil, fmt.Errorf("sim: %s machine %d sent nil in round %d", p.Name(), i, round)
+				msg, err := safeSend(p, machines[i], from, round, to)
+				if err != nil {
+					return nil, err
 				}
 				delivered := r.Delivered(from, to, round)
 				rec.Sent = append(rec.Sent, protocol.SentRecord{To: to, Msg: msg, Delivered: delivered})
@@ -153,13 +157,17 @@ func Execute(p protocol.Protocol, g *graph.G, r *run.Run, tapes Tapes) (*protoco
 		for i := 1; i <= m; i++ {
 			sortReceived(inboxes[i])
 			exec.Locals[i].Rounds[round-1].Received = inboxes[i]
-			if err := machines[i].Step(round, inboxes[i]); err != nil {
-				return nil, fmt.Errorf("sim: %s machine %d step %d: %w", p.Name(), i, round, err)
+			if err := safeStep(p, machines[i], graph.ProcID(i), round, inboxes[i]); err != nil {
+				return nil, err
 			}
 		}
 	}
 	for i := 1; i <= m; i++ {
-		exec.Locals[i].Output = machines[i].Output()
+		out, err := safeOutput(p, machines[i], graph.ProcID(i))
+		if err != nil {
+			return nil, err
+		}
+		exec.Locals[i].Output = out
 	}
 	return exec, nil
 }
