@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench report quick-report fault-demo fuzz clean
+.PHONY: all build test test-race bench report quick-report fault-demo service-demo fuzz clean
 
 all: build test
 
@@ -32,6 +32,27 @@ quick-report:
 # the Theorem 5.4 ceiling.
 fault-demo:
 	$(GO) run ./cmd/coordsim -protocol s:0.1 -graph pair -rounds 10 -run good -fault crash:2@4 -mc 20000
+
+# Memoization demo: boot coordd, run the same job twice, and show the
+# second answer coming straight from the result cache (/metrics).
+service-demo:
+	$(GO) build -o /tmp/coordd ./cmd/coordd
+	@set -e; \
+	/tmp/coordd -addr 127.0.0.1:8344 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 50); do \
+		curl -sf http://127.0.0.1:8344/healthz >/dev/null && break; sleep 0.1; \
+	done; \
+	spec='{"protocol": "s:0.1", "rounds": 10, "trials": 20000, "seed": 7}'; \
+	id=$$(curl -s http://127.0.0.1:8344/v1/jobs -d "$$spec" \
+		| sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	echo "submitted $$id; polling..."; \
+	while curl -s http://127.0.0.1:8344/v1/jobs/$$id \
+		| grep -Eq '"state": "(queued|running)"'; do sleep 0.2; done; \
+	curl -s http://127.0.0.1:8344/v1/jobs/$$id; echo; \
+	echo "resubmitting the identical spec:"; \
+	curl -s http://127.0.0.1:8344/v1/jobs -d "$$spec" | grep -E '"(state|cached)"'; \
+	curl -s http://127.0.0.1:8344/metrics | grep ^coordd_cache
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/run/

@@ -1,0 +1,102 @@
+// Command coordd is the experiment-serving daemon: it accepts JSON job
+// specs over HTTP, schedules them on a bounded worker pool, memoizes
+// completed results by canonical spec key, and reports live progress
+// and Prometheus metrics. See internal/service for the API.
+//
+// Usage:
+//
+//	coordd -addr 127.0.0.1:8344 -workers 4
+//	curl -s localhost:8344/v1/jobs -d '{"protocol": "s:0.1", "trials": 50000}'
+//	curl -s localhost:8344/v1/jobs/j000001
+//	curl -s localhost:8344/metrics
+//
+// On SIGINT/SIGTERM the daemon drains: it stops accepting jobs, lets
+// queued and running work finish (up to -drain-timeout, after which
+// in-flight jobs are cancelled and settle with partial results), and
+// exits cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"coordattack/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, nil))
+}
+
+// run starts the daemon. stop overrides the OS signal channel so tests
+// can trigger a drain; nil means SIGINT/SIGTERM.
+func run(args []string, out io.Writer, stop <-chan os.Signal) int {
+	fs := flag.NewFlagSet("coordd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8344", "listen address")
+		workers      = fs.Int("workers", 2, "concurrent jobs")
+		queueDepth   = fs.Int("queue", 64, "submission queue depth (full queue answers 429)")
+		cacheSize    = fs.Int("cache", 1024, "result cache entries")
+		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "per-job deadline")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown grace period before in-flight jobs are cancelled")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 1 || *queueDepth < 1 || *cacheSize < 1 || *jobTimeout <= 0 || *drainTimeout <= 0 {
+		fmt.Fprintln(os.Stderr, "coordd: workers, queue, cache, job-timeout and drain-timeout must be positive")
+		return 2
+	}
+
+	srv := service.New(service.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cacheSize,
+		JobTimeout: *jobTimeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The listen line is a contract: tests and scripts bind to :0 and
+	// scrape the chosen port from it.
+	fmt.Fprintf(out, "coordd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	if stop == nil {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		stop = ch
+	}
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	case sig := <-stop:
+		fmt.Fprintf(out, "coordd: received %v, draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain jobs before closing HTTP: watch streams end when their jobs
+	// settle, which lets Shutdown finish inside the same grace period.
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(out, "coordd: drain forced after %v: in-flight jobs cancelled\n", *drainTimeout)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		_ = hs.Close()
+	}
+	fmt.Fprintln(out, "coordd: bye")
+	return 0
+}

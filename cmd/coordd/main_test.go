@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestDaemonBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-bogusflag"},
+		{"-workers", "0"},
+		{"-queue", "-1"},
+		{"-job-timeout", "0s"},
+	}
+	for _, args := range cases {
+		if code := run(args, io.Discard, nil); code != 2 {
+			t.Errorf("args %v: exit code %d, want 2", args, code)
+		}
+	}
+}
+
+func TestDaemonBadAddr(t *testing.T) {
+	if code := run([]string{"-addr", "256.0.0.1:-1"}, io.Discard, nil); code != 1 {
+		t.Errorf("exit code %d, want 1", code)
+	}
+}
+
+// TestDaemonSmoke boots the daemon on an ephemeral port, runs the whole
+// request lifecycle over real HTTP — submit, poll to completion,
+// resubmit for a cache hit, healthz, metrics — and then drains it with
+// a SIGTERM, asserting a clean exit.
+func TestDaemonSmoke(t *testing.T) {
+	pr, pw := io.Pipe()
+	stop := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	go func() { exit <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, pw, stop) }()
+
+	br := bufio.NewReader(pr)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	go io.Copy(io.Discard, pr) // keep later writes from blocking
+	const prefix = "coordd: listening on http://"
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected banner %q", line)
+	}
+	base := "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix))
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"protocol": "a", "rounds": 6, "trials": 2000, "seed": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST code %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(15 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+
+	// Identical resubmission: served from cache, immediately done.
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"protocol": "a", "rounds": 6, "trials": 2000, "seed": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit struct {
+		State  string `json:"state"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hit); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hit.State != "done" || !hit.Cached {
+		t.Fatalf("resubmission code %d state %q cached %v", resp.StatusCode, hit.State, hit.Cached)
+	}
+
+	for _, path := range []string{"/healthz", "/metrics"} {
+		r, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s: code %d", path, r.StatusCode)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "coordd_cache_hits_total 1") {
+			t.Errorf("/metrics missing cache hit:\n%s", body)
+		}
+	}
+
+	stop <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

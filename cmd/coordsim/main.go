@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -195,8 +196,11 @@ func run(args []string, out io.Writer) int {
 // kind:proc[@round] list understood by fault.Parse.
 func parseFault(spec string, g *graph.G, n int, seed uint64) (*fault.Plan, error) {
 	if rest, ok := strings.CutPrefix(spec, "rand:"); ok {
+		// NaN slips through a bare range check (it fails both comparisons),
+		// so reject non-finite P explicitly: "rand:NaN" must exit 2, not
+		// silently run fault-free.
 		pf, err := strconv.ParseFloat(rest, 64)
-		if err != nil || pf < 0 || pf > 1 {
+		if err != nil || math.IsNaN(pf) || pf < 0 || pf > 1 {
 			return nil, fmt.Errorf("coordsim: bad fault spec %q: want rand:P with P in [0,1]", spec)
 		}
 		return fault.Sample(seed, 0, g, n, fault.SampleConfig{PFault: pf})

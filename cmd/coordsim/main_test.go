@@ -143,6 +143,9 @@ func TestSimBadSpecs(t *testing.T) {
 		{"-fault", "zzz"},
 		{"-fault", "crash:99@1"},
 		{"-fault", "rand:2"},
+		{"-fault", "rand:NaN"},
+		{"-fault", "rand:-Inf"},
+		{"-fault", "rand:"},
 		{"-bogusflag"},
 	}
 	for _, args := range cases {

@@ -138,6 +138,18 @@ func All() []Experiment {
 	}
 }
 
+// IDs returns every experiment id in report order. This is the engine
+// registry the service layer (internal/service) dispatches through and
+// serves at /v1/experiments.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
 // ByID returns the experiment with the given id (case-insensitive).
 func ByID(id string) (Experiment, error) {
 	for _, e := range All() {

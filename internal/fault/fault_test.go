@@ -2,6 +2,7 @@ package fault_test
 
 import (
 	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -297,4 +298,13 @@ func randomRun(t *testing.T, g *graph.G, n int, trial uint64) *run.Run {
 		t.Fatal(err)
 	}
 	return r
+}
+
+func TestSampleRejectsNonFinitePFault(t *testing.T) {
+	g := graph.Pair()
+	for _, pf := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.1, 1.1} {
+		if _, err := fault.Sample(1, 0, g, 4, fault.SampleConfig{PFault: pf}); err == nil {
+			t.Errorf("PFault=%v accepted", pf)
+		}
+	}
 }

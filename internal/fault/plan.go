@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -23,7 +24,9 @@ type SampleConfig struct {
 }
 
 func (c SampleConfig) validate() error {
-	if c.PFault < 0 || c.PFault > 1 {
+	// The NaN comparisons are deliberate: NaN fails neither `< 0` nor
+	// `> 1`, so a plain range check would wave it through.
+	if math.IsNaN(c.PFault) || c.PFault < 0 || c.PFault > 1 {
 		return fmt.Errorf("fault: PFault must be in [0, 1], got %v", c.PFault)
 	}
 	if c.MaxFaulty < 0 {

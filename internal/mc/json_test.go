@@ -1,0 +1,81 @@
+package mc
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+	"coordattack/internal/stats"
+)
+
+// TestResultJSONRoundTrip marshals a real estimation Result and checks
+// the wire form inverts losslessly — the service API depends on it.
+func TestResultJSONRoundTrip(t *testing.T) {
+	g := graph.Pair()
+	r, err := run.Good(g, 6, g.Vertices()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Estimate(Config{Protocol: core.MustS(0.3), Graph: g, Run: r, Trials: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*res, back) {
+		t.Errorf("round trip changed the result:\n got %+v\nwant %+v", back, *res)
+	}
+}
+
+// TestResultJSONFieldNames pins the wire field names: renaming any of
+// them silently breaks every coordd client, so this golden test makes
+// the break loud.
+func TestResultJSONFieldNames(t *testing.T) {
+	res := Result{
+		Trials:       4,
+		Completed:    3,
+		Failed:       1,
+		TA:           stats.Proportion{Hits: 2, Trials: 3},
+		PA:           stats.Proportion{Hits: 1, Trials: 3},
+		NA:           stats.Proportion{Hits: 0, Trials: 3},
+		AttackCounts: []int{0, 2, 1},
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"trials":4,"completed":3,"failed":1,` +
+		`"ta":{"hits":2,"trials":3},"pa":{"hits":1,"trials":3},"na":{"hits":0,"trials":3},` +
+		`"attack_counts":[0,2,1]}`
+	if string(data) != want {
+		t.Errorf("wire form drifted:\n got %s\nwant %s", data, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := Snapshot{Trials: 100, Completed: 42, Failed: 3}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"trials":100,"completed":42,"failed":3}`
+	if string(data) != want {
+		t.Errorf("wire form drifted:\n got %s\nwant %s", data, want)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("round trip changed the snapshot: got %+v want %+v", back, s)
+	}
+}

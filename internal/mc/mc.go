@@ -68,6 +68,25 @@ type Config struct {
 	// default) fails fast on the first failed trial — but even then the
 	// partial Result is returned beside the error.
 	MaxFailures int
+	// Progress, when non-nil, is called from worker goroutines roughly
+	// every ProgressEvery finished trials (and once more when the last
+	// worker exits). It observes the job — it can never influence it —
+	// so determinism of the Result is unaffected. It must be safe for
+	// concurrent use and cheap; a slow callback stalls a worker.
+	Progress func(Snapshot)
+	// ProgressEvery is the finished-trial interval between Progress
+	// calls; 0 means every 1000 trials.
+	ProgressEvery int
+}
+
+// Snapshot is one progress observation of a running job: how many of
+// the requested trials have finished, split into completions and
+// failures. Snapshots are monotone in Completed+Failed but may arrive
+// out of order across workers.
+type Snapshot struct {
+	Trials    int `json:"trials"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
 }
 
 func (c Config) validate() error {
@@ -89,6 +108,9 @@ func (c Config) validate() error {
 	if c.MaxFailures < 0 {
 		return fmt.Errorf("mc: max failures must be nonnegative, got %d", c.MaxFailures)
 	}
+	if c.ProgressEvery < 0 {
+		return fmt.Errorf("mc: progress interval must be nonnegative, got %d", c.ProgressEvery)
+	}
 	return nil
 }
 
@@ -96,20 +118,23 @@ func (c Config) validate() error {
 // succeeds, Completed == Trials and Failed == 0; a partial Result (from
 // cancellation or budget exhaustion) reports exactly the trials that
 // were attempted. All proportions are over Completed trials.
+//
+// The JSON field names are the wire form served by cmd/coordd (see
+// internal/service) and must not change; json_test.go pins them.
 type Result struct {
 	// Trials is the requested trial count.
-	Trials int
+	Trials int `json:"trials"`
 	// Completed is how many trials executed to an outcome.
-	Completed int
+	Completed int `json:"completed"`
 	// Failed is how many trials failed (sampler error, machine error or
 	// recovered panic).
-	Failed int
-	TA     stats.Proportion // total attack — the liveness estimate
-	PA     stats.Proportion // partial attack — the unsafety estimate
-	NA     stats.Proportion
+	Failed int              `json:"failed"`
+	TA     stats.Proportion `json:"ta"` // total attack — the liveness estimate
+	PA     stats.Proportion `json:"pa"` // partial attack — the unsafety estimate
+	NA     stats.Proportion `json:"na"`
 	// AttackCounts[i] is how many trials process i attacked (index 1..m;
 	// index 0 unused): the Pr[D_i|R] estimates.
-	AttackCounts []int
+	AttackCounts []int `json:"attack_counts"`
 }
 
 // AttackProportion returns the Pr[D_i|R] estimate for process i.
@@ -188,6 +213,30 @@ func Estimate(cfg Config) (*Result, error) {
 	var failures atomic.Int64
 	budgetBlown := func() bool { return failures.Load() > int64(cfg.MaxFailures) }
 
+	// Progress plumbing: completions and finished trials are counted in
+	// atomics shared across workers so a Snapshot can be emitted every
+	// `every` finished trials without touching the per-worker tallies.
+	var completedCount, finishedCount atomic.Int64
+	every := cfg.ProgressEvery
+	if every == 0 {
+		every = 1000
+	}
+	report := func() {
+		cfg.Progress(Snapshot{
+			Trials:    cfg.Trials,
+			Completed: int(completedCount.Load()),
+			Failed:    int(failures.Load()),
+		})
+	}
+	tick := func() {
+		if cfg.Progress == nil {
+			return
+		}
+		if n := finishedCount.Add(1); n%int64(every) == 0 {
+			report()
+		}
+	}
+
 	tallies := make([]*tally, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -208,6 +257,7 @@ func Estimate(cfg Config) (*Result, error) {
 					if failures.Add(1) > int64(cfg.MaxFailures) {
 						cancel() // budget exhausted: stop the siblings promptly
 					}
+					tick()
 				}
 				r := cfg.Run
 				if cfg.Sampler != nil {
@@ -233,6 +283,7 @@ func Estimate(cfg Config) (*Result, error) {
 					continue
 				}
 				local.completed++
+				completedCount.Add(1)
 				for i := 1; i <= m; i++ {
 					if outs[i] {
 						local.attacks[i]++
@@ -246,10 +297,16 @@ func Estimate(cfg Config) (*Result, error) {
 				default:
 					local.na++
 				}
+				tick()
 			}
 		}(w)
 	}
 	wg.Wait()
+	// One final Snapshot so observers always see the settled counts even
+	// when Trials is not a multiple of the reporting interval.
+	if cfg.Progress != nil {
+		report()
+	}
 
 	total := &tally{attacks: make([]int, m+1)}
 	for _, t := range tallies {

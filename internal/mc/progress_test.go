@@ -1,0 +1,65 @@
+package mc
+
+import (
+	"sync"
+	"testing"
+
+	"coordattack/internal/core"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+)
+
+// TestEstimateProgress checks that the Progress callback fires on the
+// configured interval, that the final snapshot reports the settled
+// counts, and that observation never changes the numbers.
+func TestEstimateProgress(t *testing.T) {
+	g := graph.Pair()
+	r, err := run.Good(g, 4, g.Vertices()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu    sync.Mutex
+		snaps []Snapshot
+	)
+	cfg := Config{
+		Protocol: core.MustS(0.4), Graph: g, Run: r, Trials: 1000, Seed: 3,
+		ProgressEvery: 100,
+		Progress: func(s Snapshot) {
+			mu.Lock()
+			snaps = append(snaps, s)
+			mu.Unlock()
+		},
+	}
+	res, err := Estimate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 10 {
+		t.Fatalf("got %d snapshots, want ≥ 10 for 1000 trials every 100", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.Completed+last.Failed != cfg.Trials || last.Trials != cfg.Trials {
+		t.Errorf("final snapshot %+v does not report the settled counts", last)
+	}
+
+	// The observed job must produce the same Result as the unobserved one.
+	plain := cfg
+	plain.Progress = nil
+	plain.ProgressEvery = 0
+	res2, err := Estimate(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TA != res2.TA || res.PA != res2.PA || res.NA != res2.NA || res.Completed != res2.Completed {
+		t.Errorf("progress observation changed the result: %+v vs %+v", res, res2)
+	}
+}
+
+func TestEstimateRejectsNegativeProgressInterval(t *testing.T) {
+	g := graph.Pair()
+	r := run.MustNew(2)
+	if _, err := Estimate(Config{Protocol: core.MustS(0.5), Graph: g, Run: r, Trials: 5, ProgressEvery: -1}); err == nil {
+		t.Error("negative ProgressEvery accepted")
+	}
+}

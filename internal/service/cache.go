@@ -1,0 +1,84 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache memoizes completed job bodies by canonical spec key. It is a
+// plain LRU over result bytes: values are immutable once stored, so a
+// hit can be served concurrently without copying. Only fully completed
+// results are stored — partial (cancelled) bodies never enter.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache returns a cache holding at most max entries; max < 1 is
+// treated as 1.
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the memoized body for key and whether it was present,
+// counting a hit or a miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting the least recently used entry
+// when full. Re-putting an existing key refreshes its recency; the body
+// is assumed identical (keys are content addresses).
+func (c *Cache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats reports lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

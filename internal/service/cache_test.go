@@ -1,0 +1,80 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissAndStats(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("alpha"))
+	body, ok := c.Get("a")
+	if !ok || !bytes.Equal(body, []byte("alpha")) {
+		t.Fatalf("get a = %q, %v", body, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d, %d), want (1, 1)", hits, misses)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be present")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheRePutRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("a", []byte("1")) // refresh recency, not a new entry
+	c.Put("c", []byte("3"))
+	if _, ok := c.Get("a"); !ok {
+		t.Error("refreshed a should have survived")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(8)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%16)
+				c.Put(key, []byte(key))
+				c.Get(key)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if c.Len() > 8 {
+		t.Errorf("len = %d exceeds max 8", c.Len())
+	}
+}

@@ -1,0 +1,201 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"coordattack/internal/cliutil"
+	"coordattack/internal/experiments"
+	"coordattack/internal/fault"
+	"coordattack/internal/graph"
+	"coordattack/internal/mc"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+	"coordattack/internal/stats"
+)
+
+// An engine turns one canonical JobSpec into a JSON result body. A
+// cancelled or deadline-expired mc job returns its partial body
+// *together with* the context error; the scheduler keeps the body and
+// marks the job cancelled. Bodies are built deterministically from the
+// spec, which is what makes cache hits bit-identical to recomputation.
+type engine interface {
+	run(ctx context.Context, spec JobSpec, onProgress func(mc.Snapshot)) (json.RawMessage, error)
+}
+
+// engines is the registry the scheduler dispatches through, keyed by
+// JobSpec.Engine.
+func engineRegistry() map[string]engine {
+	return map[string]engine{
+		EngineMC:         mcEngine{},
+		EngineExperiment: expEngine{},
+	}
+}
+
+// mcInputs is a parsed mc job: everything mc.Estimate needs except the
+// context and observers.
+type mcInputs struct {
+	cfg mc.Config
+}
+
+// buildMCInputs parses a canonical mc spec into an mc.Config. It is
+// also canonicalization's validator: every sub-spec parse error
+// surfaces here, at submit time.
+func buildMCInputs(c JobSpec) (*mcInputs, error) {
+	p, err := cliutil.ParseProtocol(c.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cliutil.ParseGraph(c.Graph, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	inputs, err := cliutil.ParseInputs(c.Inputs, g)
+	if err != nil {
+		return nil, err
+	}
+	cfg := mc.Config{
+		Protocol:    p,
+		Graph:       g,
+		Trials:      c.Trials,
+		Seed:        c.Seed,
+		MaxFailures: c.MaxFailures,
+	}
+	if c.Sampler != "" {
+		cfg.Sampler, err = parseSampler(c.Sampler, g, c.Rounds, inputs)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cfg.Run, err = cliutil.ParseRun(c.Run, g, c.Rounds, inputs, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c.Fault != "" {
+		plan, err := parseFaultSpec(c.Fault, g, c.Rounds, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Protocol = fault.Inject(p, plan)
+	}
+	return &mcInputs{cfg: cfg}, nil
+}
+
+// parseSampler parses a per-trial run sampler spec:
+//
+//	loss:P — a good run with each delivery independently lost with
+//	         probability P, resampled per trial
+//	subset — a uniformly random subset of the good run's deliveries
+//
+// The returned sampler derives each trial's run from the tape the mc
+// harness hands it, so the determinism discipline (trial t depends only
+// on (seed, t)) holds.
+func parseSampler(spec string, g *graph.G, rounds int, inputs []graph.ProcID) (mc.RunSampler, error) {
+	name, args, _ := strings.Cut(spec, ":")
+	switch name {
+	case "loss":
+		p, err := strconv.ParseFloat(args, 64)
+		if err != nil || math.IsNaN(p) || p < 0 || p > 1 {
+			return nil, fmt.Errorf("service: sampler %q: want loss:P with P in [0,1]", spec)
+		}
+		return func(trial uint64, tape *rng.Tape) (*run.Run, error) {
+			return run.RandomLoss(g, rounds, p, tape, inputs...)
+		}, nil
+	case "subset":
+		if args != "" {
+			return nil, fmt.Errorf("service: sampler %q: subset takes no argument", spec)
+		}
+		return func(trial uint64, tape *rng.Tape) (*run.Run, error) {
+			return run.RandomSubset(g, rounds, tape)
+		}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown sampler spec %q (want loss:P or subset)", spec)
+	}
+}
+
+// parseFaultSpec mirrors coordsim's -fault language: "rand:P" samples a
+// plan from the job seed, anything else is fault.Parse's explicit
+// kind:proc[@round] list.
+func parseFaultSpec(spec string, g *graph.G, rounds int, seed uint64) (*fault.Plan, error) {
+	if rest, ok := strings.CutPrefix(spec, "rand:"); ok {
+		pf, err := strconv.ParseFloat(rest, 64)
+		if err != nil || math.IsNaN(pf) || pf < 0 || pf > 1 {
+			return nil, fmt.Errorf("service: bad fault spec %q: want rand:P with P in [0,1]", spec)
+		}
+		return fault.Sample(seed, 0, g, rounds, fault.SampleConfig{PFault: pf})
+	}
+	return fault.Parse(spec, g.NumVertices(), rounds)
+}
+
+// mcBody is the JSON result body of an mc job. Like mc.Result, its
+// field names are API.
+type mcBody struct {
+	Result *mc.Result `json:"result"`
+	// Wilson 95% intervals over the completed trials, precomputed so
+	// clients need no statistics code.
+	TAWilson95 stats.Interval `json:"ta_wilson95"`
+	PAWilson95 stats.Interval `json:"pa_wilson95"`
+	NAWilson95 stats.Interval `json:"na_wilson95"`
+	// Partial marks a result from a cancelled or deadline-expired job:
+	// proportions cover only the completed trials. Partial bodies are
+	// never cached.
+	Partial bool   `json:"partial,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+type mcEngine struct{}
+
+func (mcEngine) run(ctx context.Context, spec JobSpec, onProgress func(mc.Snapshot)) (json.RawMessage, error) {
+	in, err := buildMCInputs(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := in.cfg
+	cfg.Ctx = ctx
+	cfg.Progress = onProgress
+	res, estErr := mc.Estimate(cfg)
+	if res == nil {
+		return nil, estErr
+	}
+	const z95 = 1.959963984540054
+	body := mcBody{
+		Result:     res,
+		TAWilson95: res.TA.WilsonInterval(z95),
+		PAWilson95: res.PA.WilsonInterval(z95),
+		NAWilson95: res.NA.WilsonInterval(z95),
+	}
+	if estErr != nil {
+		body.Partial = true
+		body.Error = estErr.Error()
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	return data, estErr
+}
+
+type expEngine struct{}
+
+func (expEngine) run(ctx context.Context, spec JobSpec, onProgress func(mc.Snapshot)) (json.RawMessage, error) {
+	e, err := experiments.ByID(spec.Experiment)
+	if err != nil {
+		return nil, err
+	}
+	// The experiment entry points predate context plumbing; honor the
+	// deadline at the boundary at least, so a drained server never
+	// starts a doomed experiment.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := e.Run(experiments.Options{Trials: spec.Trials, Seed: spec.Seed, Quick: spec.Quick})
+	if err != nil {
+		return nil, err
+	}
+	return res.JSON()
+}

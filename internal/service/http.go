@@ -1,0 +1,157 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"coordattack/internal/experiments"
+)
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs            submit a JobSpec (200 done-from-cache, 202 queued)
+//	GET    /v1/jobs            list all jobs
+//	GET    /v1/jobs/{id}       poll one job's status/progress/result
+//	GET    /v1/jobs/{id}/watch stream NDJSON status lines until terminal
+//	DELETE /v1/jobs/{id}       cancel a job (partial result preserved)
+//	GET    /v1/experiments     list the registered experiment engine ids
+//	GET    /healthz            liveness + queue gauges
+//	GET    /metrics            Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	// Unknown fields are rejected rather than ignored: a typoed field
+	// name would otherwise silently canonicalize to a different job.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding job spec: %v", err)})
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		code := http.StatusAccepted
+		if st.State == StateDone {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, st)
+	case errors.Is(err, ErrQueueFull):
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleWatch streams the job's status as NDJSON — one compact JSON
+// object per line, roughly 10 Hz while the job runs, ending with the
+// terminal status line. Clients get live trial-count and CI-width
+// progress without polling.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	j, err := s.job(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		st := j.status()
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+		flusher.Flush()
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-ticker.C:
+		case <-j.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Experiments []string `json:"experiments"`
+	}{Experiments: experiments.IDs()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	g := s.gauges()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Status      string `json:"status"`
+		JobsQueued  int    `json:"jobs_queued"`
+		JobsRunning int    `json:"jobs_running"`
+		Draining    bool   `json:"draining"`
+	}{Status: "ok", JobsQueued: g.JobsQueued, JobsRunning: g.JobsRunning, Draining: draining})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w, s.gauges())
+}

@@ -1,0 +1,280 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testHTTPServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (int, *Status) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("decoding %s: %v", data, err)
+		}
+	}
+	return resp.StatusCode, &st
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("decoding %s: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestHTTPEndToEnd is the served version of the acceptance flow: submit
+// a job, poll it to completion, submit the identical spec again, and
+// verify via /metrics that the second answer came from the cache with a
+// bit-identical result.
+func TestHTTPEndToEnd(t *testing.T) {
+	_, ts := testHTTPServer(t, Config{Workers: 2})
+
+	const spec = `{"protocol": "s:0.3", "trials": 2000, "seed": 9}`
+	code, st := postJob(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("first POST code %d, want 202", code)
+	}
+
+	var fin Status
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &fin) != http.StatusOK {
+			t.Fatal("poll failed")
+		}
+		if fin.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", fin.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job ended %s: %s", fin.State, fin.Error)
+	}
+
+	code, st2 := postJob(t, ts, spec)
+	if code != http.StatusOK || st2.State != StateDone || !st2.Cached {
+		t.Fatalf("second POST code %d state %s cached %v, want immediate cache hit", code, st2.State, st2.Cached)
+	}
+	if !bytes.Equal(st2.Result, fin.Result) {
+		t.Error("cached result not bit-identical to computed result")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"coordd_cache_hits_total 1",
+		"coordd_jobs_completed_total 1",
+		"coordd_jobs_submitted_total 2",
+		"coordd_trials_executed_total 2000",
+		"coordd_job_duration_seconds_bucket",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	var health struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}
+	if getJSON(t, ts.URL+"/healthz", &health) != http.StatusOK || health.Status != "ok" || health.Draining {
+		t.Errorf("healthz %+v", health)
+	}
+}
+
+func TestHTTPValidationAndErrors(t *testing.T) {
+	_, ts := testHTTPServer(t, Config{Workers: 1})
+
+	if code, _ := postJob(t, ts, `{"protocol": "zzz"}`); code != http.StatusBadRequest {
+		t.Errorf("bad protocol: code %d, want 400", code)
+	}
+	if code, _ := postJob(t, ts, `{"protocol": "s:0.1", "fault": "rand:NaN", "trials": 10}`); code != http.StatusBadRequest {
+		t.Errorf("NaN fault: code %d, want 400", code)
+	}
+	if code, _ := postJob(t, ts, `{"protocl": "s:0.1"}`); code != http.StatusBadRequest {
+		t.Errorf("typoed field: code %d, want 400", code)
+	}
+	if code, _ := postJob(t, ts, `not json`); code != http.StatusBadRequest {
+		t.Errorf("garbage body: code %d, want 400", code)
+	}
+	if getJSON(t, ts.URL+"/v1/jobs/j999999", nil) != http.StatusNotFound {
+		t.Error("unknown job should 404")
+	}
+
+	var exps struct {
+		Experiments []string `json:"experiments"`
+	}
+	if getJSON(t, ts.URL+"/v1/experiments", &exps) != http.StatusOK || len(exps.Experiments) < 20 {
+		t.Errorf("experiments registry %+v", exps)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	_, ts := testHTTPServer(t, Config{Workers: 1, QueueDepth: 1})
+	slow := func(seed int) string {
+		return fmt.Sprintf(`{"protocol": "s:0.05", "graph": "complete:8", "rounds": 40, "trials": 100000, "seed": %d}`, seed)
+	}
+	saw429 := false
+	for seed := 1; seed <= 4; seed++ {
+		code, _ := postJob(t, ts, slow(seed))
+		if code == http.StatusTooManyRequests {
+			saw429 = true
+			break
+		}
+		if code != http.StatusAccepted {
+			t.Fatalf("seed %d: code %d", seed, code)
+		}
+	}
+	if !saw429 {
+		t.Error("queue never answered 429")
+	}
+}
+
+func TestHTTPWatchStreamsProgress(t *testing.T) {
+	_, ts := testHTTPServer(t, Config{Workers: 1})
+	code, st := postJob(t, ts, `{"protocol": "s:0.2", "trials": 30000, "seed": 4}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST code %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	var lines []Status
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		var line Status
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no stream lines")
+	}
+	last := lines[len(lines)-1]
+	if !last.State.Terminal() {
+		t.Errorf("stream ended in non-terminal state %s", last.State)
+	}
+	if last.State == StateDone && last.Progress.Completed != 30000 {
+		t.Errorf("final progress %+v", last.Progress)
+	}
+}
+
+func TestHTTPCancelPreservesPartial(t *testing.T) {
+	_, ts := testHTTPServer(t, Config{Workers: 1})
+	code, st := postJob(t, ts, `{"protocol": "s:0.05", "graph": "complete:8", "rounds": 40, "trials": 100000, "seed": 13}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST code %d", code)
+	}
+	// Wait for progress, then cancel over HTTP.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var cur Status
+		getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &cur)
+		if cur.Progress.Completed > 0 || cur.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no progress")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE code %d", resp.StatusCode)
+	}
+	var fin Status
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &fin)
+		if fin.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never settled after cancel")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if fin.State != StateCancelled {
+		t.Errorf("state %s, want cancelled", fin.State)
+	}
+	var body struct {
+		Partial bool `json:"partial"`
+		Result  struct {
+			Completed int `json:"completed"`
+		} `json:"result"`
+	}
+	if fin.Result == nil {
+		t.Fatal("cancelled job carried no result body")
+	}
+	if err := json.Unmarshal(fin.Result, &body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Partial || body.Result.Completed == 0 {
+		t.Errorf("cancelled job body %+v, want nonempty partial", body)
+	}
+}

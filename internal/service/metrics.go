@@ -1,0 +1,102 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics holds the daemon's counters and the job-latency histogram,
+// rendered in Prometheus text exposition format at /metrics. Everything
+// is stdlib: atomics for counters, a fixed-bucket histogram under a
+// mutex.
+type Metrics struct {
+	JobsSubmitted atomic.Int64
+	JobsCompleted atomic.Int64
+	JobsFailed    atomic.Int64
+	JobsCancelled atomic.Int64
+	JobsRejected  atomic.Int64 // queue-full 429s
+
+	TrialsExecuted atomic.Int64 // mc trials completed, across all jobs
+
+	mu      sync.Mutex
+	buckets []float64 // upper bounds, seconds, ascending
+	counts  []int64   // cumulative-on-render, raw per-bucket here
+	sum     float64
+	count   int64
+}
+
+// defaultBuckets spans microsecond cache hits to multi-minute sweeps.
+var defaultBuckets = []float64{
+	0.000_1, 0.001, 0.01, 0.1, 0.5, 1, 5, 30, 60, 300,
+}
+
+// NewMetrics returns a Metrics with the default latency buckets.
+func NewMetrics() *Metrics {
+	b := make([]float64, len(defaultBuckets))
+	copy(b, defaultBuckets)
+	sort.Float64s(b)
+	return &Metrics{buckets: b, counts: make([]int64, len(b))}
+}
+
+// ObserveJobSeconds records one job's wall-clock duration.
+func (m *Metrics) ObserveJobSeconds(s float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, ub := range m.buckets {
+		if s <= ub {
+			m.counts[i]++
+			break
+		}
+	}
+	m.sum += s
+	m.count++
+}
+
+// Gauges carries point-in-time values the server computes at render
+// time (queue depth, running jobs, cache state).
+type Gauges struct {
+	JobsQueued  int
+	JobsRunning int
+	CacheSize   int
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// WritePrometheus renders every metric in Prometheus text format.
+func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("coordd_jobs_submitted_total", "Jobs accepted for scheduling.", m.JobsSubmitted.Load())
+	counter("coordd_jobs_completed_total", "Jobs that finished successfully.", m.JobsCompleted.Load())
+	counter("coordd_jobs_failed_total", "Jobs that ended in an error.", m.JobsFailed.Load())
+	counter("coordd_jobs_cancelled_total", "Jobs cancelled or deadline-expired.", m.JobsCancelled.Load())
+	counter("coordd_jobs_rejected_total", "Jobs rejected with queue-full backpressure.", m.JobsRejected.Load())
+	counter("coordd_cache_hits_total", "Result-cache hits.", g.CacheHits)
+	counter("coordd_cache_misses_total", "Result-cache misses.", g.CacheMisses)
+	counter("coordd_trials_executed_total", "Monte-Carlo trials completed across all jobs.", m.TrialsExecuted.Load())
+	gauge("coordd_jobs_queued", "Jobs waiting in the FIFO queue.", g.JobsQueued)
+	gauge("coordd_jobs_running", "Jobs currently executing.", g.JobsRunning)
+	gauge("coordd_cache_entries", "Entries in the result cache.", g.CacheSize)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP coordd_job_duration_seconds Job wall-clock duration.\n")
+	fmt.Fprintf(w, "# TYPE coordd_job_duration_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range m.buckets {
+		cum += m.counts[i]
+		fmt.Fprintf(w, "coordd_job_duration_seconds_bucket{le=%q} %d\n", formatBound(ub), cum)
+	}
+	fmt.Fprintf(w, "coordd_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.count)
+	fmt.Fprintf(w, "coordd_job_duration_seconds_sum %g\n", m.sum)
+	fmt.Fprintf(w, "coordd_job_duration_seconds_count %d\n", m.count)
+}
+
+func formatBound(ub float64) string { return fmt.Sprintf("%g", ub) }

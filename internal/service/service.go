@@ -1,0 +1,436 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coordattack/internal/mc"
+	"coordattack/internal/stats"
+)
+
+// Config tunes the scheduler.
+type Config struct {
+	// Workers is the number of concurrent jobs; 0 means 2.
+	Workers int
+	// QueueDepth bounds the FIFO submission queue; a full queue rejects
+	// with ErrQueueFull (HTTP 429). 0 means 64.
+	QueueDepth int
+	// CacheSize bounds the result cache entry count; 0 means 1024.
+	CacheSize int
+	// JobTimeout is the per-job deadline; 0 means 5 minutes. A spec's
+	// timeout_sec can lower it per job, never raise it.
+	JobTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// State is a job's lifecycle stage.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	ErrQueueFull = fmt.Errorf("service: queue full")
+	ErrDraining  = fmt.Errorf("service: server draining")
+	ErrNotFound  = fmt.Errorf("service: no such job")
+)
+
+// Job is one scheduled computation. Progress counters are atomics so
+// polling never contends with the worker; everything else is guarded by
+// mu.
+type Job struct {
+	id   string
+	key  string
+	spec JobSpec // canonical
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	completed atomic.Int64
+	failed    atomic.Int64
+
+	mu     sync.Mutex
+	state  State
+	cached bool
+	body   json.RawMessage
+	errMsg string
+}
+
+// Progress is the polling/streaming view of a job's advancement. CIWidth
+// is the full width of the 95% Hoeffding deviation interval at the
+// current completed-trial count: the caller-visible "how converged am I"
+// number (1 before any trial completes).
+type Progress struct {
+	Trials    int     `json:"trials"`
+	Completed int     `json:"completed"`
+	Failed    int     `json:"failed"`
+	CIWidth   float64 `json:"ci_width"`
+}
+
+// Status is the wire form of a job, served by every jobs endpoint.
+type Status struct {
+	ID       string          `json:"id"`
+	Key      string          `json:"key"`
+	State    State           `json:"state"`
+	Cached   bool            `json:"cached,omitempty"`
+	Spec     JobSpec         `json:"spec"`
+	Progress Progress        `json:"progress"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+func (j *Job) status() *Status {
+	completed := int(j.completed.Load())
+	width := 1.0
+	if completed > 0 {
+		if r, err := stats.HoeffdingRadius(completed, 0.05); err == nil {
+			width = 2 * r
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return &Status{
+		ID:     j.id,
+		Key:    j.key,
+		State:  j.state,
+		Cached: j.cached,
+		Spec:   j.spec,
+		Progress: Progress{
+			Trials:    j.spec.Trials,
+			Completed: completed,
+			Failed:    int(j.failed.Load()),
+			CIWidth:   width,
+		},
+		Result: j.body,
+		Error:  j.errMsg,
+	}
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state State, body json.RawMessage, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.body = body
+	j.errMsg = errMsg
+	close(j.done)
+	return true
+}
+
+// finishIfQueued settles a job that never started running. A running
+// job must settle through its worker instead, so the engine's partial
+// result is preserved.
+func (j *Job) finishIfQueued(state State, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = state
+	j.errMsg = errMsg
+	close(j.done)
+	return true
+}
+
+// Server is the job orchestrator: a bounded FIFO queue drained by a
+// fixed worker pool, a content-addressed result cache in front, and a
+// job registry behind the HTTP handlers (http.go).
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
+	engines map[string]engine
+
+	running atomic.Int64
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	queue    chan *Job
+	draining bool
+	nextID   int64
+
+	wg sync.WaitGroup
+}
+
+// New starts a Server with cfg's worker pool already running.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheSize),
+		metrics: NewMetrics(),
+		engines: engineRegistry(),
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueDepth),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics exposes the server's counters (for tests and /metrics).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// CacheStats exposes the cache's hit/miss counters.
+func (s *Server) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// Submit canonicalizes spec, answers from the cache when possible, and
+// otherwise enqueues a job. The returned Status is the submission-time
+// view: state "done" with the result inline on a cache hit, "queued"
+// otherwise. Backpressure and drain are reported as ErrQueueFull and
+// ErrDraining.
+func (s *Server) Submit(spec JobSpec) (*Status, error) {
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		return nil, err
+	}
+	key := canon.Key()
+	s.metrics.JobsSubmitted.Add(1)
+
+	if body, ok := s.cache.Get(key); ok {
+		j := s.newJob(canon, key)
+		j.cached = true
+		j.state = StateDone
+		j.body = body
+		j.completed.Store(int64(canon.Trials))
+		close(j.done)
+		j.cancel()
+		s.register(j)
+		return j.status(), nil
+	}
+
+	j := s.newJob(canon, key)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		j.cancel()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		j.cancel()
+		s.metrics.JobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	return j.status(), nil
+}
+
+func (s *Server) newJob(canon JobSpec, key string) *Job {
+	timeout := s.cfg.JobTimeout
+	if t := time.Duration(canon.TimeoutSec) * time.Second; t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	s.mu.Unlock()
+	return &Job{
+		id: id, key: key, spec: canon,
+		ctx: ctx, cancel: cancel,
+		done:  make(chan struct{}),
+		state: StateQueued,
+	}
+}
+
+func (s *Server) register(j *Job) {
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+}
+
+func (s *Server) job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Get returns a job's current status.
+func (s *Server) Get(id string) (*Status, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.status(), nil
+}
+
+// Jobs lists every known job, oldest first.
+func (s *Server) Jobs() []*Status {
+	s.mu.Lock()
+	all := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(a, b int) bool { return all[a].id < all[b].id })
+	out := make([]*Status, len(all))
+	for i, j := range all {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Cancel cancels a job. A queued job is finished immediately; a running
+// one has its context cancelled and settles (possibly with a partial
+// result) when its engine returns.
+func (s *Server) Cancel(id string) (*Status, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, err
+	}
+	j.cancel()
+	if j.finishIfQueued(StateCancelled, context.Canceled.Error()) {
+		// Finished here means the worker never started it; the worker
+		// skips already-terminal jobs, so this is the only accounting.
+		// A running job settles through its worker, keeping whatever
+		// partial result the engine salvages.
+		s.metrics.JobsCancelled.Add(1)
+	}
+	return j.status(), nil
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// storeMax raises a to at least v without ever lowering it: progress
+// snapshots can arrive out of store order across mc workers.
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	defer j.cancel()
+	j.mu.Lock()
+	if j.state.Terminal() { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.mu.Unlock()
+
+	s.running.Add(1)
+	start := time.Now()
+	eng := s.engines[j.spec.Engine]
+	body, err := eng.run(j.ctx, j.spec, func(snap mc.Snapshot) {
+		storeMax(&j.completed, int64(snap.Completed))
+		storeMax(&j.failed, int64(snap.Failed))
+	})
+	s.metrics.ObserveJobSeconds(time.Since(start).Seconds())
+	s.metrics.TrialsExecuted.Add(j.completed.Load())
+	s.running.Add(-1)
+
+	switch {
+	case err == nil:
+		s.cache.Put(j.key, body)
+		if j.finish(StateDone, body, "") {
+			s.metrics.JobsCompleted.Add(1)
+		}
+	case j.ctx.Err() != nil:
+		// Cancelled or deadline-expired: keep the partial body so the
+		// client still gets every completed trial.
+		if j.finish(StateCancelled, body, err.Error()) {
+			s.metrics.JobsCancelled.Add(1)
+		}
+	default:
+		if j.finish(StateFailed, body, err.Error()) {
+			s.metrics.JobsFailed.Add(1)
+		}
+	}
+}
+
+// gauges snapshots the point-in-time values for /metrics and /healthz.
+func (s *Server) gauges() Gauges {
+	hits, misses := s.cache.Stats()
+	return Gauges{
+		JobsQueued:  len(s.queue),
+		JobsRunning: int(s.running.Load()),
+		CacheSize:   s.cache.Len(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+	}
+}
+
+// Drain stops accepting jobs, lets queued and running work finish, and
+// returns when the pool is idle. If ctx expires first every in-flight
+// job is cancelled (settling with partial results) and Drain still
+// waits for the workers to exit before returning ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-idle
+		return ctx.Err()
+	}
+}

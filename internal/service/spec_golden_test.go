@@ -1,0 +1,152 @@
+package service
+
+import (
+	"testing"
+)
+
+// TestGoldenKeys pins the cache key of representative canonical specs.
+// These hashes are API: a change here means every deployed cache would
+// silently stop (or worse, wrongly keep) matching, so any intentional
+// canonicalization change must bump keyVersion and update these values
+// in the same commit.
+func TestGoldenKeys(t *testing.T) {
+	cases := []struct {
+		name string
+		spec JobSpec
+		want string
+	}{
+		{
+			name: "minimal mc",
+			spec: JobSpec{Protocol: "s:0.1"},
+			want: "9c30d1ecb27287efa9de2f642101360c3017d16dcaf826f4c81f3e117887ec87",
+		},
+		{
+			name: "mc distinct seed",
+			spec: JobSpec{Protocol: "s:0.1", Seed: 2},
+			want: "54aebe2a4edfe5fcb72bbd781a6097707504a9d098997104c15350d9cf91350e",
+		},
+		{
+			name: "mc with fault",
+			spec: JobSpec{Protocol: "s:0.1", Fault: "crash:2@4"},
+			want: "75555dd6437a90419e0620138c5037835625c7a6bbe6eb990cbabfe0028cbb9a",
+		},
+		{
+			name: "mc sampler",
+			spec: JobSpec{Protocol: "s:0.1", Sampler: "loss:0.2"},
+			want: "c92920238e155e6a82f59ba564cd4de5b94b8ea05d9cb17225051151a2640a72",
+		},
+		{
+			name: "experiment",
+			spec: JobSpec{Engine: "experiment", Experiment: "t3"},
+			want: "50042d9cdb94e7dba338f30997daee931d6e5acf1d129f309ce46d7e6cdd169e",
+		},
+	}
+	for _, tc := range cases {
+		canon, err := tc.spec.Canonicalize()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := canon.Key(); got != tc.want {
+			t.Errorf("%s: key drifted:\n got %s\nwant %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestKeyInsensitiveToSpelling checks that requests meaning the same
+// computation collide on one key: explicit defaults, case, whitespace,
+// and non-semantic fields must not split the cache.
+func TestKeyInsensitiveToSpelling(t *testing.T) {
+	mustKey := func(s JobSpec) string {
+		t.Helper()
+		c, err := s.Canonicalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Key()
+	}
+	base := mustKey(JobSpec{Protocol: "s:0.1"})
+	same := []JobSpec{
+		{Engine: "MC", Protocol: " S:0.1 "},
+		{Protocol: "s:0.1", Graph: "PAIR", Rounds: 10, Inputs: "ALL", Run: "GOOD"},
+		{Protocol: "s:0.1", Trials: 20000, Seed: 1},
+		{Protocol: "s:0.1", TimeoutSec: 30}, // non-semantic: excluded from key
+	}
+	for i, s := range same {
+		if k := mustKey(s); k != base {
+			t.Errorf("spelling %d split the key: %s vs %s", i, k, base)
+		}
+	}
+	different := []JobSpec{
+		{Protocol: "s:0.2"},
+		{Protocol: "s:0.1", Rounds: 11},
+		{Protocol: "s:0.1", Seed: 2},
+		{Protocol: "s:0.1", Trials: 19999},
+		{Protocol: "s:0.1", Graph: "ring:4"},
+		{Protocol: "s:0.1", Fault: "crash:2@4"},
+	}
+	for i, s := range different {
+		if k := mustKey(s); k == base {
+			t.Errorf("variant %d should have a distinct key", i)
+		}
+	}
+
+	// Fault jobs: the implicit failure budget (MaxFailures defaults to
+	// Trials when a fault plan is set) must equal the explicit spelling.
+	fa := mustKey(JobSpec{Protocol: "s:0.1", Fault: "crash:2@4"})
+	fb := mustKey(JobSpec{Protocol: "s:0.1", Fault: "CRASH:2@4", MaxFailures: 20000})
+	if fa != fb {
+		t.Errorf("implicit and explicit failure budgets split the key: %s vs %s", fa, fb)
+	}
+
+	// Experiment ids are case-insensitive and engine defaults explicit.
+	ea := mustKey(JobSpec{Engine: "experiment", Experiment: "t3"})
+	eb := mustKey(JobSpec{Engine: "EXPERIMENT", Experiment: "T3", Trials: 20000, Seed: 1992})
+	if ea != eb {
+		t.Errorf("experiment spellings split the key: %s vs %s", ea, eb)
+	}
+}
+
+func TestCanonicalizeFillsDefaults(t *testing.T) {
+	c, err := JobSpec{Protocol: "s:0.1"}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := JobSpec{
+		Engine: "mc", Protocol: "s:0.1", Graph: "pair", Rounds: 10,
+		Inputs: "all", Run: "good", Trials: 20000, Seed: 1,
+	}
+	if c != want {
+		t.Errorf("canonical form:\n got %+v\nwant %+v", c, want)
+	}
+}
+
+func TestCanonicalizeRejects(t *testing.T) {
+	bad := []JobSpec{
+		{},                                                  // mc without protocol
+		{Engine: "warp", Protocol: "s:0.1"},                 // unknown engine
+		{Protocol: "zzz"},                                   // unparseable protocol
+		{Protocol: "s:0.1", Graph: "zzz"},                   // unparseable graph
+		{Protocol: "s:0.1", Run: "zzz"},                     // unparseable run
+		{Protocol: "s:0.1", Fault: "zzz"},                   // unparseable fault
+		{Protocol: "s:0.1", Fault: "rand:NaN"},              // non-finite fault probability
+		{Protocol: "s:0.1", Sampler: "zzz"},                 // unknown sampler
+		{Protocol: "s:0.1", Sampler: "loss:2"},              // out-of-range loss
+		{Protocol: "s:0.1", Run: "good", Sampler: "subset"}, // both run and sampler
+		{Protocol: "s:0.1", Trials: -1},                     // negative trials
+		{Protocol: "s:0.1", Trials: MaxTrials + 1},
+		{Protocol: "s:0.1", Rounds: MaxRounds + 1},
+		{Protocol: "s:0.1", MaxFailures: -1},
+		{Protocol: "s:0.1", TimeoutSec: -1},
+		{Protocol: "s:0.1", Inputs: "99"}, // input not a vertex
+		{Engine: "experiment"},            // no experiment id
+		{Engine: "experiment", Experiment: "T99"},
+		{Engine: "experiment", Experiment: "T3", Protocol: "s:0.1"}, // mixed fields
+		{Engine: "experiment", Experiment: "T3", Trials: -5},
+		{Protocol: "s:0.1", Experiment: "T3"}, // experiment field on mc job
+	}
+	for i, s := range bad {
+		if _, err := s.Canonicalize(); err == nil {
+			t.Errorf("spec %d (%+v) accepted", i, s)
+		}
+	}
+}

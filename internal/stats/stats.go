@@ -11,10 +11,12 @@ import (
 	"strings"
 )
 
-// Proportion is a Bernoulli frequency estimate: hits out of trials.
+// Proportion is a Bernoulli frequency estimate: hits out of trials. The
+// JSON field names are part of the service API (see internal/service)
+// and must not change.
 type Proportion struct {
-	Hits   int
-	Trials int
+	Hits   int `json:"hits"`
+	Trials int `json:"trials"`
 }
 
 // NewProportion returns the estimate hits/trials. trials must be
@@ -59,6 +61,24 @@ func (p Proportion) Wilson(z float64) (lo, hi float64) {
 		hi = 1
 	}
 	return lo, hi
+}
+
+// Interval is a closed confidence interval [Lo, Hi] — the JSON-stable
+// wire form of the Wilson and Hoeffding bounds served by the experiment
+// service. The field names are part of the service API.
+type Interval struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// Width reports Hi − Lo, the figure of merit for "how converged is this
+// estimate" progress reporting.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// WilsonInterval packages Wilson's bounds as an Interval.
+func (p Proportion) WilsonInterval(z float64) Interval {
+	lo, hi := p.Wilson(z)
+	return Interval{Lo: lo, Hi: hi}
 }
 
 // HoeffdingRadius returns the two-sided deviation radius t such that

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -179,5 +180,42 @@ func TestQuickRunningMeanBounded(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestIntervalJSONRoundTrip(t *testing.T) {
+	p := Proportion{Hits: 7, Trials: 100}
+	iv := p.WilsonInterval(1.96)
+	if iv.Width() <= 0 {
+		t.Fatalf("degenerate interval %+v", iv)
+	}
+	lo, hi := p.Wilson(1.96)
+	if iv.Lo != lo || iv.Hi != hi {
+		t.Errorf("WilsonInterval %+v disagrees with Wilson (%v, %v)", iv, lo, hi)
+	}
+	data, err := json.Marshal(iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Interval
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != iv {
+		t.Errorf("round trip changed the interval: got %+v want %+v", back, iv)
+	}
+	pd, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"hits":7,"trials":100}`; string(pd) != want {
+		t.Errorf("Proportion wire form drifted: got %s want %s", pd, want)
+	}
+	var pb Proportion
+	if err := json.Unmarshal(pd, &pb); err != nil {
+		t.Fatal(err)
+	}
+	if pb != p {
+		t.Errorf("round trip changed the proportion: got %+v want %+v", pb, p)
 	}
 }
