@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench report quick-report fault-demo service-demo fuzz clean
+.PHONY: all build test test-race bench report quick-report fault-demo service-demo sweep-demo fuzz fuzz-spec clean
 
 all: build test
 
@@ -54,8 +54,29 @@ service-demo:
 	curl -s http://127.0.0.1:8344/v1/jobs -d "$$spec" | grep -E '"(state|cached)"'; \
 	curl -s http://127.0.0.1:8344/metrics | grep ^coordd_cache
 
+# Tradeoff-table demo: boot coordd, sweep rounds N × epsilon with the
+# random-subset run sampler, and print the rolled-up L/U table. Down the
+# diagonal (epsilon ≈ 1/(2N)) the measured ratio stays under N — the
+# paper's L(F,R) ≤ ε·L(R) tradeoff (Theorem 5.4) made concrete over
+# N ∈ {10, 100, 1000}. Takes a minute or two.
+sweep-demo:
+	$(GO) build -o /tmp/coordd ./cmd/coordd
+	$(GO) build -o /tmp/coordbench ./cmd/coordbench
+	@set -e; \
+	/tmp/coordd -addr 127.0.0.1:8345 -workers 4 & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 50); do \
+		curl -sf http://127.0.0.1:8345/healthz >/dev/null && break; sleep 0.1; \
+	done; \
+	/tmp/coordbench -server http://127.0.0.1:8345 -sweep '{"base": {"sampler": "subset", "trials": 40000, "seed": 9}, "axes": {"rounds": [10, 100, 1000], "epsilon": [0.05, 0.005, 0.0005]}}'
+
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/run/
+
+# Short canonicalization fuzz: the spec→key path must be idempotent and
+# spelling-invariant (this is the CI smoke; raise -fuzztime locally).
+fuzz-spec:
+	$(GO) test -fuzz=FuzzCanonicalize -fuzztime=20s -run '^$$' ./internal/service/
 
 clean:
 	$(GO) clean ./...

@@ -10,7 +10,16 @@
 //	coordbench -trials 50000      # raise the Monte-Carlo budget
 //	coordbench -markdown          # markdown output (EXPERIMENTS.md body)
 //
-// Exit status is nonzero if any experiment's claim check fails.
+// With -server it is a sweep client instead: it submits a parameter
+// sweep to a running coordd, waits for every cell, and prints the
+// rolled-up L/U tradeoff table.
+//
+//	coordbench -server http://127.0.0.1:8344 \
+//	    -sweep '{"base": {"protocol": "s:0.1", "trials": 20000}, "axes": {"rounds": [10, 100]}}'
+//	coordbench -server http://127.0.0.1:8344 -sweep @sweep.json
+//
+// Exit status is nonzero if any experiment's claim check fails (or, in
+// server mode, if any sweep cell failed or was cancelled).
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"coordattack/internal/experiments"
 	"coordattack/internal/table"
@@ -37,8 +47,18 @@ func run(args []string, out io.Writer) int {
 		markdown = fs.Bool("markdown", false, "emit markdown instead of ASCII")
 		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON (one object per experiment)")
 		outPath  = fs.String("out", "", "also write the report to this file")
+		server   = fs.String("server", "", "client mode: submit a sweep to the coordd at this base URL")
+		sweep    = fs.String("sweep", "", "with -server: sweep spec JSON, or @file")
+		wait     = fs.Duration("wait", 10*time.Minute, "with -server: how long to wait for the sweep to settle")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *server != "" {
+		return runServer(*server, *sweep, *wait, out)
+	}
+	if *sweep != "" {
+		fmt.Fprintln(os.Stderr, "coordbench: -sweep needs -server")
 		return 2
 	}
 	opt := experiments.Options{Trials: *trials, Seed: *seed, Quick: *quick}

@@ -42,6 +42,7 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 	var (
 		addr         = fs.String("addr", "127.0.0.1:8344", "listen address")
 		workers      = fs.Int("workers", 2, "concurrent jobs")
+		trialWorkers = fs.Int("trial-workers", 0, "Monte-Carlo parallelism per job (0 = GOMAXPROCS/workers, min 1)")
 		queueDepth   = fs.Int("queue", 64, "submission queue depth (full queue answers 429)")
 		cacheSize    = fs.Int("cache", 1024, "result cache entries")
 		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "per-job deadline")
@@ -54,12 +55,17 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		fmt.Fprintln(os.Stderr, "coordd: workers, queue, cache, job-timeout and drain-timeout must be positive")
 		return 2
 	}
+	if *trialWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "coordd: trial-workers must be >= 0 (0 = auto)")
+		return 2
+	}
 
 	srv := service.New(service.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		CacheSize:  *cacheSize,
-		JobTimeout: *jobTimeout,
+		Workers:      *workers,
+		TrialWorkers: *trialWorkers,
+		QueueDepth:   *queueDepth,
+		CacheSize:    *cacheSize,
+		JobTimeout:   *jobTimeout,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

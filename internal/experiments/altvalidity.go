@@ -60,6 +60,7 @@ func T16AltValidity(opt Options) (*Result, error) {
 				return nil, err
 			}
 			res, err := mc.Estimate(mc.Config{
+				Ctx:      opt.Ctx,
 				Protocol: p, Graph: g, Run: sc.r,
 				Trials: opt.Trials, Seed: opt.Seed + uint64(i*10+j),
 			})

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestExperimentCancelledMidRun: a slow experiment with a cancelled
+// Options.Ctx stops at the next trial boundary instead of running its
+// full Monte-Carlo budget, and surfaces the context error.
+func TestExperimentCancelledMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(50*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+
+	// T8 sweeps five loss rates at Trials each; this budget would take
+	// far longer than the cancellation delay.
+	start := time.Now()
+	_, err := T8WeakAdversary(Options{Trials: 2_000_000, Seed: 7, Ctx: ctx})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled experiment still ran %v", elapsed)
+	}
+}
+
+// TestExperimentPreCancelledContext: an already-cancelled context stops
+// the experiment before any meaningful work.
+func TestExperimentPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := F1Tradeoff(Options{Quick: true, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExperimentNilContextRuns: the zero Options still runs to
+// completion — context plumbing must not change default behavior.
+func TestExperimentNilContextRuns(t *testing.T) {
+	res, err := T2DropOne(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || !res.OK {
+		t.Fatalf("result %+v", res)
+	}
+}

@@ -24,6 +24,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,6 +39,11 @@ type Options struct {
 	Seed uint64
 	// Quick shrinks sweeps for use inside go test.
 	Quick bool
+	// Ctx, when non-nil, cancels the experiment mid-run: it is threaded
+	// into every Monte-Carlo estimation, so a cancelled experiment stops
+	// at the next trial boundary and returns the context error instead
+	// of running its remaining sweep points. Nil means run to completion.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {

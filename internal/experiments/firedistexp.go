@@ -81,6 +81,7 @@ func T19FireDistribution(opt Options) (*Result, error) {
 		// Monte-Carlo confirmation at ML = 10 (prefix run).
 		r10 := run.Prefix(good, 10)
 		res, err := mc.Estimate(mc.Config{
+			Ctx:      opt.Ctx,
 			Protocol: sf, Graph: g, Run: r10,
 			Trials: opt.Trials, Seed: opt.Seed + uint64(di),
 		})

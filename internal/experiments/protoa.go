@@ -36,6 +36,7 @@ func T1ProtocolA(opt Options) (*Result, error) {
 			return nil, err
 		}
 		resGood, err := mc.Estimate(mc.Config{
+			Ctx:      opt.Ctx,
 			Protocol: baseline.NewA(), Graph: g, Run: good,
 			Trials: opt.Trials, Seed: opt.Seed + uint64(n),
 		})
@@ -51,6 +52,7 @@ func T1ProtocolA(opt Options) (*Result, error) {
 			return nil, err
 		}
 		resWorst, err := mc.Estimate(mc.Config{
+			Ctx:      opt.Ctx,
 			Protocol: baseline.NewA(), Graph: g, Run: worst.Run,
 			Trials: opt.Trials, Seed: opt.Seed + uint64(2*n),
 		})
@@ -108,6 +110,7 @@ func T2DropOne(opt Options) (*Result, error) {
 		return nil, err
 	}
 	aRes, err := mc.Estimate(mc.Config{
+		Ctx:      opt.Ctx,
 		Protocol: baseline.NewA(), Graph: g, Run: dropped,
 		Trials: opt.Trials, Seed: opt.Seed,
 	})
@@ -120,6 +123,7 @@ func T2DropOne(opt Options) (*Result, error) {
 		return nil, err
 	}
 	sRes, err := mc.Estimate(mc.Config{
+		Ctx:      opt.Ctx,
 		Protocol: s, Graph: g, Run: dropped,
 		Trials: opt.Trials, Seed: opt.Seed + 1,
 	})

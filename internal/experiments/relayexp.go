@@ -45,6 +45,7 @@ func T18RelayVsFlood(opt Options) (*Result, error) {
 		}
 		// Monte-Carlo confirmation on a worst cut.
 		resWorst, err := mc.Estimate(mc.Config{
+			Ctx:      opt.Ctx,
 			Protocol: relay, Graph: g, Run: run.CutAt(good, n/2),
 			Trials: opt.Trials, Seed: opt.Seed + uint64(idx),
 		})

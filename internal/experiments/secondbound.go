@@ -64,6 +64,7 @@ func T6SecondBound(opt Options) (*Result, error) {
 				return nil, err
 			}
 			res, err := mc.Estimate(mc.Config{
+				Ctx:      opt.Ctx,
 				Protocol: p, Graph: sc.g, Run: tree,
 				Trials: opt.Trials, Seed: opt.Seed + uint64(i*10+j),
 			})

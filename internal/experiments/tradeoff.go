@@ -46,6 +46,7 @@ func F1Tradeoff(opt Options) (*Result, error) {
 			return nil, err
 		}
 		res, err := mc.Estimate(mc.Config{
+			Ctx:      opt.Ctx,
 			Protocol: s, Graph: g, Run: r,
 			Trials: opt.Trials, Seed: opt.Seed + uint64(k),
 		})
@@ -142,6 +143,7 @@ func F2LivenessS(opt Options) (*Result, error) {
 		seen[a.ModMin] = true
 		want := core.LivenessExact(eps, a.ModMin)
 		res, err := mc.Estimate(mc.Config{
+			Ctx:      opt.Ctx,
 			Protocol: s, Graph: g, Run: r,
 			Trials: opt.Trials, Seed: opt.Seed + uint64(100+k),
 		})

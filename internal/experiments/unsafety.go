@@ -69,6 +69,7 @@ func T3UnsafetyS(opt Options) (*Result, error) {
 			return nil, err
 		}
 		est, err := mc.Estimate(mc.Config{
+			Ctx:      opt.Ctx,
 			Protocol: s, Graph: pt.g, Run: res.Run,
 			Trials: opt.Trials, Seed: opt.Seed + uint64(100+idx),
 		})

@@ -41,6 +41,7 @@ func T8WeakAdversary(opt Options) (*Result, error) {
 	ok := true
 	for i, p := range ps {
 		res, err := mc.Estimate(mc.Config{
+			Ctx:      opt.Ctx,
 			Protocol: s, Graph: g,
 			Sampler: adversary.WeakSampler(g, n, p, 1, 2),
 			Trials:  opt.Trials, Seed: opt.Seed + uint64(i),

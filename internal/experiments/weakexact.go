@@ -37,6 +37,7 @@ func T15WeakExact(opt Options) (*Result, error) {
 			return nil, err
 		}
 		res, err := mc.Estimate(mc.Config{
+			Ctx:      opt.Ctx,
 			Protocol: s, Graph: g,
 			Sampler: adversary.WeakSampler(g, n, p, 1, 2),
 			Trials:  opt.Trials, Seed: opt.Seed + uint64(i),

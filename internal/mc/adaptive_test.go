@@ -1,0 +1,149 @@
+package mc
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+)
+
+// cutRunA is the shared fixture for the adaptive tests: Protocol A on
+// the cut-at-7 run of a 12-round pair exchange, whose exact outcome
+// distribution (TA 5/11, PA 1/11, NA 5/11) keeps all three Wilson
+// intervals genuinely wide until a few thousand trials.
+func cutRunA(t *testing.T) (*graph.G, *run.Run) {
+	t.Helper()
+	g := graph.Pair()
+	good, err := run.Good(g, 12, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, run.CutAt(good, 7)
+}
+
+// TestEarlyStopDeterministicPinned pins the exact trial count at which
+// the default stopping rule fires — and the exact counts it fires with —
+// at several worker counts. The stopping decision is made at CheckEvery
+// batch boundaries on the order-independent cumulative tally, so these
+// numbers are part of the determinism contract: a change here means
+// early-stopped cache keys no longer reproduce their bodies.
+func TestEarlyStopDeterministicPinned(t *testing.T) {
+	g, r := cutRunA(t)
+	for _, workers := range []int{1, 3, 8} {
+		res, err := Estimate(Config{
+			Protocol: baseline.NewA(), Graph: g, Run: r,
+			Trials: 100_000, Seed: 42, Workers: workers,
+			TargetCIWidth: 0.05, CheckEvery: 500,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !res.Stopped {
+			t.Fatalf("workers=%d: early stop did not fire", workers)
+		}
+		if res.Completed != 2000 || res.Failed != 0 {
+			t.Errorf("workers=%d: completed=%d failed=%d, want exactly 2000/0",
+				workers, res.Completed, res.Failed)
+		}
+		if res.TA.Hits != 920 || res.PA.Hits != 187 || res.NA.Hits != 893 {
+			t.Errorf("workers=%d: tallies TA=%d PA=%d NA=%d, want 920/187/893",
+				workers, res.TA.Hits, res.PA.Hits, res.NA.Hits)
+		}
+		if res.Trials != 100_000 {
+			t.Errorf("workers=%d: requested trials rewritten to %d", workers, res.Trials)
+		}
+		if w := widestWilsonWidth(res); w > 0.05 {
+			t.Errorf("workers=%d: stopped with widest interval %v > target 0.05", workers, w)
+		}
+	}
+}
+
+// TestStopWhenCustomPredicate checks that an arbitrary predicate halts
+// dispatch at the first batch boundary where it holds.
+func TestStopWhenCustomPredicate(t *testing.T) {
+	g, r := cutRunA(t)
+	res, err := Estimate(Config{
+		Protocol: baseline.NewA(), Graph: g, Run: r,
+		Trials: 50_000, Seed: 7, Workers: 4,
+		CheckEvery: 1000,
+		StopWhen:   func(r *Result) bool { return r.Completed >= 2500 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped || res.Completed != 3000 {
+		t.Errorf("stopped=%v completed=%d, want stop at the 3000-trial boundary",
+			res.Stopped, res.Completed)
+	}
+}
+
+// TestNoEarlyStopWhenTargetUnreachable: a target the budget cannot reach
+// runs every trial and reports an ordinary completion, not a stop.
+func TestNoEarlyStopWhenTargetUnreachable(t *testing.T) {
+	g, r := cutRunA(t)
+	res, err := Estimate(Config{
+		Protocol: baseline.NewA(), Graph: g, Run: r,
+		Trials: 2000, Seed: 3, TargetCIWidth: 0.001, CheckEvery: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped || res.Completed != 2000 {
+		t.Errorf("stopped=%v completed=%d, want full 2000-trial completion", res.Stopped, res.Completed)
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	g, r := cutRunA(t)
+	base := Config{Protocol: baseline.NewA(), Graph: g, Run: r, Trials: 100}
+	bad := []func(*Config){
+		func(c *Config) { c.TargetCIWidth = -0.1 },
+		func(c *Config) { c.TargetCIWidth = 1 },
+		func(c *Config) { c.CheckEvery = -5 },
+	}
+	for i, mutate := range bad {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Estimate(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// TestWorkerBudgetRespected asserts the scheduler-facing contract of
+// Config.Workers: the number of concurrently executing trial goroutines
+// never exceeds the budget, so a service pool running N jobs with a
+// per-job budget of W holds at most N·W trial goroutines. The sampler
+// runs inside every trial, which makes it the concurrency probe.
+func TestWorkerBudgetRespected(t *testing.T) {
+	g := graph.Pair()
+	const budget = 3
+	var cur, peak atomic.Int64
+	sampler := func(trial uint64, tape *rng.Tape) (*run.Run, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return run.Good(g, 6, 1, 2)
+	}
+	res, err := Estimate(Config{
+		Protocol: baseline.NewA(), Graph: g, Sampler: sampler,
+		Trials: 4000, Seed: 5, Workers: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 4000 {
+		t.Fatalf("completed %d/4000", res.Completed)
+	}
+	if p := peak.Load(); p > budget {
+		t.Errorf("observed %d concurrent trials, budget %d", p, budget)
+	}
+}

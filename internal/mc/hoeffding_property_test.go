@@ -1,0 +1,61 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"coordattack/internal/baseline"
+	"coordattack/internal/stats"
+)
+
+// TestEarlyStoppedEstimatesSatisfyHoeffding is the statistical-safety
+// property of adaptive early stopping: halting when the Wilson interval
+// is narrow must not bias the estimate outside its deviation bound.
+// For 50 independent seeds, the early-stopped estimate of each outcome
+// probability must lie within the Hoeffding radius (at δ=1e-6, so the
+// whole test fails spuriously with probability < 1.5e-4) of the exact
+// value from internal/baseline's closed-form analysis of Protocol A.
+func TestEarlyStoppedEstimatesSatisfyHoeffding(t *testing.T) {
+	g, r := cutRunA(t)
+	exact, err := baseline.AnalyzeA(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delta = 1e-6
+	stoppedRuns := 0
+	for seed := uint64(1); seed <= 50; seed++ {
+		res, err := Estimate(Config{
+			Protocol: baseline.NewA(), Graph: g, Run: r,
+			Trials: 100_000, Seed: seed, TargetCIWidth: 0.05, CheckEvery: 500,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Stopped {
+			stoppedRuns++
+		}
+		radius, err := stats.HoeffdingRadius(res.Completed, delta)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, c := range []struct {
+			name  string
+			est   stats.Proportion
+			exact float64
+		}{
+			{"TA", res.TA, exact.PTotal},
+			{"PA", res.PA, exact.PPartial},
+			{"NA", res.NA, exact.PNone},
+		} {
+			if d := math.Abs(c.est.Mean() - c.exact); d > radius {
+				t.Errorf("seed %d: %s estimate %v deviates %v from exact %v (> Hoeffding radius %v at n=%d)",
+					seed, c.name, c.est.Mean(), d, c.exact, radius, res.Completed)
+			}
+		}
+	}
+	// The property is about *early-stopped* estimates: the budget is far
+	// beyond what the target needs, so every seed must actually stop.
+	if stoppedRuns != 50 {
+		t.Errorf("only %d/50 seeds stopped early; the property was not exercised", stoppedRuns)
+	}
+}

@@ -77,6 +77,23 @@ type Config struct {
 	// ProgressEvery is the finished-trial interval between Progress
 	// calls; 0 means every 1000 trials.
 	ProgressEvery int
+	// StopWhen, when non-nil, turns on adaptive early stopping: it is
+	// evaluated on the cumulative partial Result at deterministic batch
+	// boundaries (every CheckEvery dispatched trials), and returning true
+	// halts dispatch of further trials. Because the batch contents depend
+	// only on (Seed, trial) and the predicate sees only the
+	// order-independent cumulative tally, the stopping point is exactly
+	// reproducible at any worker count. The predicate must not retain the
+	// Result it is handed.
+	StopWhen func(r *Result) bool
+	// TargetCIWidth, when > 0 and StopWhen is nil, installs the default
+	// stopping rule: halt once the full width of the widest Wilson 95%
+	// interval among TA/PA/NA is at most this value. Must be in [0, 1).
+	TargetCIWidth float64
+	// CheckEvery is the dispatched-trial batch size between StopWhen
+	// evaluations; 0 means every 1000 trials. Smaller batches stop closer
+	// to the target at the cost of more synchronization barriers.
+	CheckEvery int
 }
 
 // Snapshot is one progress observation of a running job: how many of
@@ -111,6 +128,12 @@ func (c Config) validate() error {
 	if c.ProgressEvery < 0 {
 		return fmt.Errorf("mc: progress interval must be nonnegative, got %d", c.ProgressEvery)
 	}
+	if c.TargetCIWidth < 0 || c.TargetCIWidth >= 1 {
+		return fmt.Errorf("mc: target ci width %v outside [0, 1)", c.TargetCIWidth)
+	}
+	if c.CheckEvery < 0 {
+		return fmt.Errorf("mc: check interval must be nonnegative, got %d", c.CheckEvery)
+	}
 	return nil
 }
 
@@ -135,6 +158,11 @@ type Result struct {
 	// AttackCounts[i] is how many trials process i attacked (index 1..m;
 	// index 0 unused): the Pr[D_i|R] estimates.
 	AttackCounts []int `json:"attack_counts"`
+	// Stopped marks a result halted by adaptive early stopping
+	// (Config.StopWhen / TargetCIWidth): the interval converged before
+	// the full budget, so Completed+Failed < Trials by design, not by
+	// cancellation.
+	Stopped bool `json:"stopped,omitempty"`
 }
 
 // AttackProportion returns the Pr[D_i|R] estimate for process i.
@@ -176,16 +204,192 @@ func (t *tally) merge(o *tally) {
 	t.errs = append(t.errs, o.errs...)
 }
 
+// z95 is the 95% normal quantile used by the default stopping rule.
+const z95 = 1.959963984540054
+
+// widestWilsonWidth is the full width of the widest Wilson 95% interval
+// among TA/PA/NA — the default early-stopping criterion: all three
+// outcome probabilities must have converged. With no completed trials
+// every interval is [0,1], so the rule never fires vacuously.
+func widestWilsonWidth(r *Result) float64 {
+	w := 0.0
+	for _, p := range []stats.Proportion{r.TA, r.PA, r.NA} {
+		if iw := p.WilsonInterval(z95).Width(); iw > w {
+			w = iw
+		}
+	}
+	return w
+}
+
+// estimator is the shared state of one Estimate call: derived context,
+// tape streams, the cross-batch atomic counters, and the cumulative
+// tally. It exists so the adaptive early-stopping path can run the same
+// deterministic trial loop over successive ranges.
+type estimator struct {
+	cfg     Config
+	ctx     context.Context
+	cancel  context.CancelFunc
+	workers int
+
+	protoStream rng.Stream
+	runStream   rng.Stream
+
+	// failures counts failed trials across workers; passing MaxFailures
+	// trips the breaker and cancels the siblings.
+	failures atomic.Int64
+	// Progress plumbing: completions and finished trials are counted in
+	// atomics shared across workers so a Snapshot can be emitted every
+	// `every` finished trials without touching the per-worker tallies.
+	completedCount atomic.Int64
+	finishedCount  atomic.Int64
+	every          int64
+
+	total *tally
+}
+
+func (e *estimator) budgetBlown() bool {
+	return e.failures.Load() > int64(e.cfg.MaxFailures)
+}
+
+func (e *estimator) report() {
+	e.cfg.Progress(Snapshot{
+		Trials:    e.cfg.Trials,
+		Completed: int(e.completedCount.Load()),
+		Failed:    int(e.failures.Load()),
+	})
+}
+
+func (e *estimator) tick() {
+	if e.cfg.Progress == nil {
+		return
+	}
+	if n := e.finishedCount.Add(1); n%e.every == 0 {
+		e.report()
+	}
+}
+
+// runRange executes trials [lo, hi) on the worker pool and folds their
+// tallies into the cumulative total. Trial t's tapes depend only on
+// (Seed, t) and the merge is order-independent, so the result of a range
+// is identical at any worker count and any batch decomposition.
+func (e *estimator) runRange(lo, hi int) {
+	cfg := e.cfg
+	m := cfg.Graph.NumVertices()
+	workers := e.workers
+	if workers > hi-lo {
+		workers = hi - lo
+	}
+	tallies := make([]*tally, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		tallies[w] = &tally{attacks: make([]int, m+1)}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := tallies[w]
+			for trial := lo + w; trial < hi; trial += workers {
+				if e.ctx.Err() != nil {
+					return
+				}
+				fail := func(err error) {
+					local.failed++
+					if len(local.errs) < maxReportedErrors {
+						local.errs = append(local.errs, trialError{trial: uint64(trial), err: err})
+					}
+					if e.failures.Add(1) > int64(cfg.MaxFailures) {
+						e.cancel() // budget exhausted: stop the siblings promptly
+					}
+					e.tick()
+				}
+				r := cfg.Run
+				if cfg.Sampler != nil {
+					var err error
+					r, err = cfg.Sampler(uint64(trial), e.runStream.Tape(uint64(trial), 0))
+					if err != nil {
+						fail(fmt.Errorf("mc: sampling run for trial %d: %w", trial, err))
+						continue
+					}
+				}
+				p := cfg.Protocol
+				if cfg.Mutator != nil {
+					var err error
+					p, err = cfg.Mutator(uint64(trial), p)
+					if err != nil {
+						fail(fmt.Errorf("mc: mutating protocol for trial %d: %w", trial, err))
+						continue
+					}
+				}
+				outs, err := sim.Outputs(p, cfg.Graph, r, sim.StreamTapes(e.protoStream, uint64(trial)))
+				if err != nil {
+					fail(fmt.Errorf("mc: trial %d: %w", trial, err))
+					continue
+				}
+				local.completed++
+				e.completedCount.Add(1)
+				for i := 1; i <= m; i++ {
+					if outs[i] {
+						local.attacks[i]++
+					}
+				}
+				switch protocol.Classify(outs) {
+				case protocol.TotalAttack:
+					local.ta++
+				case protocol.PartialAttack:
+					local.pa++
+				default:
+					local.na++
+				}
+				e.tick()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, t := range tallies {
+		e.total.merge(t)
+	}
+}
+
+// result builds the cumulative Result from the tally so far.
+func (e *estimator) result() (*Result, error) {
+	total := e.total
+	res := &Result{
+		Trials:       e.cfg.Trials,
+		Completed:    total.completed,
+		Failed:       total.failed,
+		AttackCounts: total.attacks,
+	}
+	if total.completed > 0 {
+		var err error
+		if res.TA, err = stats.NewProportion(total.ta, total.completed); err != nil {
+			return nil, err
+		}
+		if res.PA, err = stats.NewProportion(total.pa, total.completed); err != nil {
+			return nil, err
+		}
+		if res.NA, err = stats.NewProportion(total.na, total.completed); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
 // Estimate runs the job. The same Config always yields the same Result:
 // per-trial outcomes depend only on (Seed, trial), and aggregation is
 // order-independent, so the worker count never changes the numbers —
 // including the Completed/Failed counts, as long as the job is not
 // cancelled mid-flight (failures within budget do not break
 // determinism; they are skipped identically at every parallelism).
+// Adaptive early stopping (StopWhen / TargetCIWidth) preserves this:
+// the stopping rule is evaluated only at CheckEvery-trial batch
+// boundaries on the cumulative tally, so the halting point — and with
+// it Completed, Failed, and every proportion — is the same at any
+// worker count.
 //
 // Estimate returns a non-nil partial Result together with the error
 // when the job ends early: the error joins the context error and/or a
-// budget-exhaustion report with up to 8 per-trial failures.
+// budget-exhaustion report with up to 8 per-trial failures. An
+// early-stopped job is not an error: it returns Result.Stopped == true
+// and a nil error.
 func Estimate(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -204,132 +408,69 @@ func Estimate(cfg Config) (*Result, error) {
 	if workers > cfg.Trials {
 		workers = cfg.Trials
 	}
-	m := cfg.Graph.NumVertices()
-	protoStream := rng.NewStream(cfg.Seed)
-	runStream := rng.NewStream(rng.Mix64(cfg.Seed ^ 0xc0ffee))
-
-	// failures counts failed trials across workers; passing MaxFailures
-	// trips the breaker and cancels the siblings.
-	var failures atomic.Int64
-	budgetBlown := func() bool { return failures.Load() > int64(cfg.MaxFailures) }
-
-	// Progress plumbing: completions and finished trials are counted in
-	// atomics shared across workers so a Snapshot can be emitted every
-	// `every` finished trials without touching the per-worker tallies.
-	var completedCount, finishedCount atomic.Int64
-	every := cfg.ProgressEvery
+	every := int64(cfg.ProgressEvery)
 	if every == 0 {
 		every = 1000
 	}
-	report := func() {
-		cfg.Progress(Snapshot{
-			Trials:    cfg.Trials,
-			Completed: int(completedCount.Load()),
-			Failed:    int(failures.Load()),
-		})
-	}
-	tick := func() {
-		if cfg.Progress == nil {
-			return
-		}
-		if n := finishedCount.Add(1); n%int64(every) == 0 {
-			report()
-		}
+	e := &estimator{
+		cfg:         cfg,
+		ctx:         ctx,
+		cancel:      cancel,
+		workers:     workers,
+		protoStream: rng.NewStream(cfg.Seed),
+		runStream:   rng.NewStream(rng.Mix64(cfg.Seed ^ 0xc0ffee)),
+		every:       every,
+		total:       &tally{attacks: make([]int, cfg.Graph.NumVertices()+1)},
 	}
 
-	tallies := make([]*tally, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		tallies[w] = &tally{attacks: make([]int, m+1)}
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := tallies[w]
-			for trial := w; trial < cfg.Trials; trial += workers {
-				if ctx.Err() != nil {
-					return
-				}
-				fail := func(err error) {
-					local.failed++
-					if len(local.errs) < maxReportedErrors {
-						local.errs = append(local.errs, trialError{trial: uint64(trial), err: err})
-					}
-					if failures.Add(1) > int64(cfg.MaxFailures) {
-						cancel() // budget exhausted: stop the siblings promptly
-					}
-					tick()
-				}
-				r := cfg.Run
-				if cfg.Sampler != nil {
-					var err error
-					r, err = cfg.Sampler(uint64(trial), runStream.Tape(uint64(trial), 0))
-					if err != nil {
-						fail(fmt.Errorf("mc: sampling run for trial %d: %w", trial, err))
-						continue
-					}
-				}
-				p := cfg.Protocol
-				if cfg.Mutator != nil {
-					var err error
-					p, err = cfg.Mutator(uint64(trial), p)
-					if err != nil {
-						fail(fmt.Errorf("mc: mutating protocol for trial %d: %w", trial, err))
-						continue
-					}
-				}
-				outs, err := sim.Outputs(p, cfg.Graph, r, sim.StreamTapes(protoStream, uint64(trial)))
-				if err != nil {
-					fail(fmt.Errorf("mc: trial %d: %w", trial, err))
-					continue
-				}
-				local.completed++
-				completedCount.Add(1)
-				for i := 1; i <= m; i++ {
-					if outs[i] {
-						local.attacks[i]++
-					}
-				}
-				switch protocol.Classify(outs) {
-				case protocol.TotalAttack:
-					local.ta++
-				case protocol.PartialAttack:
-					local.pa++
-				default:
-					local.na++
-				}
-				tick()
-			}
-		}(w)
+	stop := cfg.StopWhen
+	if stop == nil && cfg.TargetCIWidth > 0 {
+		target := cfg.TargetCIWidth
+		stop = func(r *Result) bool { return widestWilsonWidth(r) <= target }
 	}
-	wg.Wait()
+
+	stopped := false
+	if stop == nil {
+		e.runRange(0, cfg.Trials)
+	} else {
+		check := cfg.CheckEvery
+		if check == 0 {
+			check = 1000
+		}
+		for lo := 0; lo < cfg.Trials; lo += check {
+			if ctx.Err() != nil || e.budgetBlown() {
+				break
+			}
+			hi := lo + check
+			if hi > cfg.Trials {
+				hi = cfg.Trials
+			}
+			e.runRange(lo, hi)
+			interim, err := e.result()
+			if err != nil {
+				return nil, err
+			}
+			if stop(interim) {
+				// Only a halt with budget left to burn counts as an
+				// early stop; converging exactly at the last batch is an
+				// ordinary completion.
+				stopped = hi < cfg.Trials
+				break
+			}
+		}
+	}
 	// One final Snapshot so observers always see the settled counts even
 	// when Trials is not a multiple of the reporting interval.
 	if cfg.Progress != nil {
-		report()
+		e.report()
 	}
 
-	total := &tally{attacks: make([]int, m+1)}
-	for _, t := range tallies {
-		total.merge(t)
+	total := e.total
+	res, err := e.result()
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{
-		Trials:       cfg.Trials,
-		Completed:    total.completed,
-		Failed:       total.failed,
-		AttackCounts: total.attacks,
-	}
-	if total.completed > 0 {
-		var err error
-		if res.TA, err = stats.NewProportion(total.ta, total.completed); err != nil {
-			return nil, err
-		}
-		if res.PA, err = stats.NewProportion(total.pa, total.completed); err != nil {
-			return nil, err
-		}
-		if res.NA, err = stats.NewProportion(total.na, total.completed); err != nil {
-			return nil, err
-		}
-	}
+	res.Stopped = stopped
 
 	// Degradation report: a cancelled or budget-blown job still returns
 	// the partial Result, with every cause joined into one error.
@@ -340,7 +481,7 @@ func Estimate(cfg Config) (*Result, error) {
 	if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
 		causes = append(causes, cfg.Ctx.Err())
 	}
-	if budgetBlown() {
+	if e.budgetBlown() {
 		causes = append(causes, fmt.Errorf("mc: failure budget exhausted (%d failed > MaxFailures %d)",
 			total.failed, cfg.MaxFailures))
 	}

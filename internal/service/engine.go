@@ -24,7 +24,16 @@ import (
 // marks the job cancelled. Bodies are built deterministically from the
 // spec, which is what makes cache hits bit-identical to recomputation.
 type engine interface {
-	run(ctx context.Context, spec JobSpec, onProgress func(mc.Snapshot)) (json.RawMessage, error)
+	run(ctx context.Context, spec JobSpec, p runParams) (json.RawMessage, error)
+}
+
+// runParams is what the scheduler, not the spec, decides about one
+// engine execution: the trial-parallelism budget (so a loaded pool
+// does not oversubscribe the CPU — budgets never change the numbers,
+// only the speed) and the progress observer.
+type runParams struct {
+	workers  int
+	progress func(mc.Snapshot)
 }
 
 // engines is the registry the scheduler dispatches through, keyed by
@@ -54,6 +63,14 @@ func buildMCInputs(c JobSpec) (*mcInputs, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Exact size limits, after the cheap boundGraphSpec pre-filter:
+	// products (grid:RxC) and exponentials (hypercube:D) can pass the
+	// per-argument bound while the built graph does not.
+	if v := g.NumVertices(); v > MaxProcs {
+		return nil, fmt.Errorf("service: graph %q has %d processes, served limit %d", c.Graph, v, MaxProcs)
+	} else if cost := c.Rounds * v * v; cost > maxRunCost {
+		return nil, fmt.Errorf("service: rounds×V² = %d over the served limit %d", cost, maxRunCost)
+	}
 	inputs, err := cliutil.ParseInputs(c.Inputs, g)
 	if err != nil {
 		return nil, err
@@ -64,6 +81,11 @@ func buildMCInputs(c JobSpec) (*mcInputs, error) {
 		Trials:      c.Trials,
 		Seed:        c.Seed,
 		MaxFailures: c.MaxFailures,
+	}
+	if c.Precision != nil {
+		// CheckEvery stays at the mc default (1000): it is part of what
+		// the stopping point means, so it is deliberately not a knob.
+		cfg.TargetCIWidth = c.Precision.CIWidth
 	}
 	if c.Sampler != "" {
 		cfg.Sampler, err = parseSampler(c.Sampler, g, c.Rounds, inputs)
@@ -150,14 +172,15 @@ type mcBody struct {
 
 type mcEngine struct{}
 
-func (mcEngine) run(ctx context.Context, spec JobSpec, onProgress func(mc.Snapshot)) (json.RawMessage, error) {
+func (mcEngine) run(ctx context.Context, spec JobSpec, p runParams) (json.RawMessage, error) {
 	in, err := buildMCInputs(spec)
 	if err != nil {
 		return nil, err
 	}
 	cfg := in.cfg
 	cfg.Ctx = ctx
-	cfg.Progress = onProgress
+	cfg.Workers = p.workers
+	cfg.Progress = p.progress
 	res, estErr := mc.Estimate(cfg)
 	if res == nil {
 		return nil, estErr
@@ -182,18 +205,12 @@ func (mcEngine) run(ctx context.Context, spec JobSpec, onProgress func(mc.Snapsh
 
 type expEngine struct{}
 
-func (expEngine) run(ctx context.Context, spec JobSpec, onProgress func(mc.Snapshot)) (json.RawMessage, error) {
+func (expEngine) run(ctx context.Context, spec JobSpec, p runParams) (json.RawMessage, error) {
 	e, err := experiments.ByID(spec.Experiment)
 	if err != nil {
 		return nil, err
 	}
-	// The experiment entry points predate context plumbing; honor the
-	// deadline at the boundary at least, so a drained server never
-	// starts a doomed experiment.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res, err := e.Run(experiments.Options{Trials: spec.Trials, Seed: spec.Seed, Quick: spec.Quick})
+	res, err := e.Run(experiments.Options{Trials: spec.Trials, Seed: spec.Seed, Quick: spec.Quick, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}

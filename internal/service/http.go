@@ -17,6 +17,10 @@ import (
 //	GET    /v1/jobs/{id}       poll one job's status/progress/result
 //	GET    /v1/jobs/{id}/watch stream NDJSON status lines until terminal
 //	DELETE /v1/jobs/{id}       cancel a job (partial result preserved)
+//	POST   /v1/sweeps          submit a SweepSpec: base job + axes (202 accepted)
+//	GET    /v1/sweeps          list all sweeps
+//	GET    /v1/sweeps/{id}     poll a sweep's aggregate tradeoff table
+//	GET    /v1/sweeps/{id}/watch stream NDJSON aggregate status until terminal
 //	GET    /v1/experiments     list the registered experiment engine ids
 //	GET    /healthz            liveness + queue gauges
 //	GET    /metrics            Prometheus text exposition
@@ -27,6 +31,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleWatch)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/sweeps", s.handleListSweeps)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/watch", s.handleWatchSweep)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -126,6 +134,75 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-ticker.C:
 		case <-j.done:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("decoding sweep spec: %v", err)})
+		return
+	}
+	st, err := s.SubmitSweep(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleListSweeps(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Sweeps())
+}
+
+func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	st, err := s.GetSweep(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleWatchSweep streams the sweep's aggregate status as NDJSON,
+// mirroring the per-job watch: one compact line per tick, ending with
+// the terminal aggregate (every cell settled).
+func (s *Server) handleWatchSweep(w http.ResponseWriter, r *http.Request) {
+	sw, err := s.sweep(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, apiError{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		st := s.sweepStatus(sw)
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+		flusher.Flush()
+		if st.State.Terminal() {
+			return
+		}
+		select {
+		case <-ticker.C:
+		case <-sw.done:
 		case <-r.Context().Done():
 			return
 		}

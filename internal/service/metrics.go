@@ -18,6 +18,15 @@ type Metrics struct {
 	JobsFailed    atomic.Int64
 	JobsCancelled atomic.Int64
 	JobsRejected  atomic.Int64 // queue-full 429s
+	JobsCoalesced atomic.Int64 // submissions attached to an identical in-flight job
+
+	// EngineRuns counts actual engine executions: submissions minus
+	// cache hits, coalesced attaches, rejections, and queued cancels.
+	// JobsSubmitted − EngineRuns is the work the memoization layer saved.
+	EngineRuns atomic.Int64
+
+	SweepsSubmitted atomic.Int64 // sweep requests accepted
+	SweepCells      atomic.Int64 // grid cells expanded across all sweeps
 
 	TrialsExecuted atomic.Int64 // mc trials completed, across all jobs
 
@@ -78,6 +87,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	counter("coordd_jobs_failed_total", "Jobs that ended in an error.", m.JobsFailed.Load())
 	counter("coordd_jobs_cancelled_total", "Jobs cancelled or deadline-expired.", m.JobsCancelled.Load())
 	counter("coordd_jobs_rejected_total", "Jobs rejected with queue-full backpressure.", m.JobsRejected.Load())
+	counter("coordd_jobs_coalesced_total", "Submissions attached to an identical in-flight job.", m.JobsCoalesced.Load())
+	counter("coordd_engine_runs_total", "Engine executions actually performed.", m.EngineRuns.Load())
+	counter("coordd_sweeps_submitted_total", "Parameter sweeps accepted.", m.SweepsSubmitted.Load())
+	counter("coordd_sweep_cells_total", "Grid cells expanded across all sweeps.", m.SweepCells.Load())
 	counter("coordd_cache_hits_total", "Result-cache hits.", g.CacheHits)
 	counter("coordd_cache_misses_total", "Result-cache misses.", g.CacheMisses)
 	counter("coordd_trials_executed_total", "Monte-Carlo trials completed across all jobs.", m.TrialsExecuted.Load())

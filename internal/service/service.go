@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,11 @@ import (
 type Config struct {
 	// Workers is the number of concurrent jobs; 0 means 2.
 	Workers int
+	// TrialWorkers is the Monte-Carlo parallelism budget of one job. The
+	// default (0) divides GOMAXPROCS evenly across the job pool, never
+	// below 1, so a fully loaded pool runs at most ~GOMAXPROCS trial
+	// goroutines instead of Workers×GOMAXPROCS.
+	TrialWorkers int
 	// QueueDepth bounds the FIFO submission queue; a full queue rejects
 	// with ErrQueueFull (HTTP 429). 0 means 64.
 	QueueDepth int
@@ -30,6 +36,12 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
 		c.Workers = 2
+	}
+	if c.TrialWorkers == 0 {
+		c.TrialWorkers = runtime.GOMAXPROCS(0) / c.Workers
+		if c.TrialWorkers < 1 {
+			c.TrialWorkers = 1
+		}
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 64
@@ -81,11 +93,12 @@ type Job struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 
-	mu     sync.Mutex
-	state  State
-	cached bool
-	body   json.RawMessage
-	errMsg string
+	mu        sync.Mutex
+	state     State
+	cached    bool
+	coalesced bool
+	body      json.RawMessage
+	errMsg    string
 }
 
 // Progress is the polling/streaming view of a job's advancement. CIWidth
@@ -101,14 +114,18 @@ type Progress struct {
 
 // Status is the wire form of a job, served by every jobs endpoint.
 type Status struct {
-	ID       string          `json:"id"`
-	Key      string          `json:"key"`
-	State    State           `json:"state"`
-	Cached   bool            `json:"cached,omitempty"`
-	Spec     JobSpec         `json:"spec"`
-	Progress Progress        `json:"progress"`
-	Result   json.RawMessage `json:"result,omitempty"`
-	Error    string          `json:"error,omitempty"`
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	State  State  `json:"state"`
+	Cached bool   `json:"cached,omitempty"`
+	// Coalesced marks a submission that attached to an identical
+	// in-flight job instead of running the engine itself; it settles with
+	// a copy of that job's outcome.
+	Coalesced bool            `json:"coalesced,omitempty"`
+	Spec      JobSpec         `json:"spec"`
+	Progress  Progress        `json:"progress"`
+	Result    json.RawMessage `json:"result,omitempty"`
+	Error     string          `json:"error,omitempty"`
 }
 
 func (j *Job) status() *Status {
@@ -122,11 +139,12 @@ func (j *Job) status() *Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return &Status{
-		ID:     j.id,
-		Key:    j.key,
-		State:  j.state,
-		Cached: j.cached,
-		Spec:   j.spec,
+		ID:        j.id,
+		Key:       j.key,
+		State:     j.state,
+		Cached:    j.cached,
+		Coalesced: j.coalesced,
+		Spec:      j.spec,
 		Progress: Progress{
 			Trials:    j.spec.Trials,
 			Completed: completed,
@@ -178,8 +196,14 @@ type Server struct {
 
 	running atomic.Int64
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
+	mu   sync.Mutex
+	jobs map[string]*Job
+	// inflight maps a canonical key to the one job currently queued or
+	// running for it: the coalescing registry. Entries are removed when
+	// the job settles (after a successful body is cached), so a key
+	// absent here with a cache miss really does need a fresh engine run.
+	inflight map[string]*Job
+	sweeps   map[string]*Sweep
 	queue    chan *Job
 	draining bool
 	nextID   int64
@@ -191,12 +215,14 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		cache:   NewCache(cfg.CacheSize),
-		metrics: NewMetrics(),
-		engines: engineRegistry(),
-		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, cfg.QueueDepth),
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheSize),
+		metrics:  NewMetrics(),
+		engines:  engineRegistry(),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		sweeps:   make(map[string]*Sweep),
+		queue:    make(chan *Job, cfg.QueueDepth),
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
@@ -211,11 +237,12 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // CacheStats exposes the cache's hit/miss counters.
 func (s *Server) CacheStats() (hits, misses int64) { return s.cache.Stats() }
 
-// Submit canonicalizes spec, answers from the cache when possible, and
-// otherwise enqueues a job. The returned Status is the submission-time
+// Submit canonicalizes spec, answers from the cache when possible,
+// coalesces onto an identical in-flight job otherwise, and only then
+// enqueues a fresh one. The returned Status is the submission-time
 // view: state "done" with the result inline on a cache hit, "queued"
-// otherwise. Backpressure and drain are reported as ErrQueueFull and
-// ErrDraining.
+// (possibly coalesced) otherwise. Backpressure and drain are reported
+// as ErrQueueFull and ErrDraining.
 func (s *Server) Submit(spec JobSpec) (*Status, error) {
 	canon, err := spec.Canonicalize()
 	if err != nil {
@@ -224,20 +251,34 @@ func (s *Server) Submit(spec JobSpec) (*Status, error) {
 	key := canon.Key()
 	s.metrics.JobsSubmitted.Add(1)
 
+	j := s.newJob(canon, key)
 	if body, ok := s.cache.Get(key); ok {
-		j := s.newJob(canon, key)
-		j.cached = true
-		j.state = StateDone
-		j.body = body
-		j.completed.Store(int64(canon.Trials))
-		close(j.done)
-		j.cancel()
-		s.register(j)
+		s.serveCached(j, body)
 		return j.status(), nil
 	}
 
-	j := s.newJob(canon, key)
 	s.mu.Lock()
+	if leader, ok := s.inflight[key]; ok {
+		// An identical job is already queued or running: attach to it
+		// instead of computing twice. The wg.Add is safe here because a
+		// registered leader's worker cannot have exited yet — it drops
+		// the registry entry (under this lock) before returning.
+		j.coalesced = true
+		s.jobs[j.id] = j
+		s.metrics.JobsCoalesced.Add(1)
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.follow(j, leader)
+		return j.status(), nil
+	}
+	if body, ok := s.cache.Get(key); ok {
+		// The leader settled between the unlocked cache check and here.
+		// Its body was cached before the registry entry was dropped, so
+		// this second check under the lock cannot miss.
+		s.mu.Unlock()
+		s.serveCached(j, body)
+		return j.status(), nil
+	}
 	if s.draining {
 		s.mu.Unlock()
 		j.cancel()
@@ -246,6 +287,7 @@ func (s *Server) Submit(spec JobSpec) (*Status, error) {
 	select {
 	case s.queue <- j:
 		s.jobs[j.id] = j
+		s.inflight[key] = j
 		s.mu.Unlock()
 	default:
 		s.mu.Unlock()
@@ -254,6 +296,50 @@ func (s *Server) Submit(spec JobSpec) (*Status, error) {
 		return nil, ErrQueueFull
 	}
 	return j.status(), nil
+}
+
+// serveCached settles a freshly created job inline with a memoized body.
+func (s *Server) serveCached(j *Job, body json.RawMessage) {
+	j.cached = true
+	j.state = StateDone
+	j.body = body
+	j.completed.Store(int64(j.spec.Trials))
+	close(j.done)
+	j.cancel()
+	s.register(j)
+}
+
+// follow settles a coalesced follower when its leader does, mirroring
+// the leader's terminal state, body, and progress counters — a done
+// leader hands every follower the identical result bytes, a failed or
+// cancelled one propagates its error. The follower's own deadline and
+// Cancel still apply: they detach it without touching the leader.
+func (s *Server) follow(j, leader *Job) {
+	defer s.wg.Done()
+	defer j.cancel()
+	select {
+	case <-leader.done:
+		leader.mu.Lock()
+		state, body, errMsg := leader.state, leader.body, leader.errMsg
+		leader.mu.Unlock()
+		storeMax(&j.completed, leader.completed.Load())
+		storeMax(&j.failed, leader.failed.Load())
+		if j.finish(state, body, errMsg) {
+			switch state {
+			case StateDone:
+				s.metrics.JobsCompleted.Add(1)
+			case StateFailed:
+				s.metrics.JobsFailed.Add(1)
+			default:
+				s.metrics.JobsCancelled.Add(1)
+			}
+		}
+	case <-j.ctx.Done():
+		if j.finishIfQueued(StateCancelled, j.ctx.Err().Error()) {
+			s.metrics.JobsCancelled.Add(1)
+		}
+	case <-j.done: // cancelled directly through the API
+	}
 }
 
 func (s *Server) newJob(canon JobSpec, key string) *Job {
@@ -328,10 +414,23 @@ func (s *Server) Cancel(id string) (*Status, error) {
 		// Finished here means the worker never started it; the worker
 		// skips already-terminal jobs, so this is the only accounting.
 		// A running job settles through its worker, keeping whatever
-		// partial result the engine salvages.
+		// partial result the engine salvages. A settled leader must
+		// leave the coalescing registry now — its worker's own drop only
+		// happens once the job is dequeued.
+		s.dropInflight(j)
 		s.metrics.JobsCancelled.Add(1)
 	}
 	return j.status(), nil
+}
+
+// dropInflight removes j from the coalescing registry if it is still
+// the registered job for its key.
+func (s *Server) dropInflight(j *Job) {
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
 }
 
 func (s *Server) worker() {
@@ -354,6 +453,10 @@ func storeMax(a *atomic.Int64, v int64) {
 
 func (s *Server) runJob(j *Job) {
 	defer j.cancel()
+	// The registry entry outlives the job body on purpose: the success
+	// path caches the body first, so by the time the key leaves the
+	// registry a re-submission is guaranteed to hit the cache.
+	defer s.dropInflight(j)
 	j.mu.Lock()
 	if j.state.Terminal() { // cancelled while queued
 		j.mu.Unlock()
@@ -363,11 +466,15 @@ func (s *Server) runJob(j *Job) {
 	j.mu.Unlock()
 
 	s.running.Add(1)
+	s.metrics.EngineRuns.Add(1)
 	start := time.Now()
 	eng := s.engines[j.spec.Engine]
-	body, err := eng.run(j.ctx, j.spec, func(snap mc.Snapshot) {
-		storeMax(&j.completed, int64(snap.Completed))
-		storeMax(&j.failed, int64(snap.Failed))
+	body, err := eng.run(j.ctx, j.spec, runParams{
+		workers: s.cfg.TrialWorkers,
+		progress: func(snap mc.Snapshot) {
+			storeMax(&j.completed, int64(snap.Completed))
+			storeMax(&j.failed, int64(snap.Failed))
+		},
 	})
 	s.metrics.ObserveJobSeconds(time.Since(start).Seconds())
 	s.metrics.TrialsExecuted.Add(j.completed.Load())

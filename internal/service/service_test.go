@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"coordattack/internal/stats"
 )
 
 // drain shuts a test server down, cancelling whatever is still running.
@@ -151,6 +153,58 @@ func TestCancelMidFlightReturnsPartial(t *testing.T) {
 			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), base)
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPrecisionJobStopsEarly is the adaptive-stopping acceptance check:
+// a served job with a precision block halts once every Wilson 95%
+// interval is at most the target width, reports the trials actually
+// run, and still memoizes (the stopping rule is deterministic).
+func TestPrecisionJobStopsEarly(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer drain(t, s)
+
+	spec := JobSpec{
+		Protocol: "s:0.3", Run: "cut:5", Trials: 100_000, Seed: 9,
+		Precision: &PrecisionSpec{CIWidth: 0.02},
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, s, st.ID, 30*time.Second)
+	if fin.State != StateDone {
+		t.Fatalf("precision job ended %s: %s", fin.State, fin.Error)
+	}
+	var body mcBody
+	if err := json.Unmarshal(fin.Result, &body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Result.Stopped {
+		t.Error("job did not report an early stop")
+	}
+	if body.Result.Completed >= body.Result.Trials {
+		t.Errorf("completed %d of %d trials: no budget saved", body.Result.Completed, body.Result.Trials)
+	}
+	for _, iv := range []struct {
+		name string
+		iv   stats.Interval
+	}{{"ta", body.TAWilson95}, {"pa", body.PAWilson95}, {"na", body.NAWilson95}} {
+		if w := iv.iv.Width(); w > 0.02 {
+			t.Errorf("%s interval width %v over the 0.02 target", iv.name, w)
+		}
+	}
+	if body.Partial {
+		t.Error("early stop mislabeled as a partial result")
+	}
+
+	// Early-stopped bodies are as cacheable as fixed-count ones.
+	again, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || !bytes.Equal(again.Result, fin.Result) {
+		t.Error("early-stopped result not served bit-identically from cache")
 	}
 }
 

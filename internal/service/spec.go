@@ -18,6 +18,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"coordattack/internal/experiments"
@@ -25,13 +26,22 @@ import (
 
 // keyVersion prefixes every cache key. Bump it whenever canonicalization
 // or result serialization changes meaning, so stale keys can never alias
-// new results.
-const keyVersion = "coordd/v1"
+// new results. v2: precision (adaptive early stopping) joined the
+// canonical form, and graph-size/run-cost limits changed which specs are
+// accepted.
+const keyVersion = "coordd/v2"
 
 // Spec limits protect the daemon from absurd requests.
 const (
 	MaxTrials = 10_000_000
 	MaxRounds = 10_000
+	// MaxProcs bounds the number of processes a served job's graph may
+	// have: a daemon answering the open internet must not build
+	// million-vertex graphs on request.
+	MaxProcs = 128
+	// maxRunCost bounds Rounds·V², a proxy for the memory a fixed run
+	// over the graph costs to materialize.
+	maxRunCost = 1 << 22
 )
 
 // Engine names accepted in JobSpec.Engine.
@@ -73,6 +83,13 @@ type JobSpec struct {
 	// fatally-faulty trials are then the expected outcome being measured.
 	MaxFailures int `json:"max_failures,omitempty"`
 
+	// Precision, when set, turns on adaptive early stopping for an mc
+	// job: trial dispatch halts once every outcome probability's Wilson
+	// 95% interval is narrower than Precision.CIWidth, and the result
+	// reports the trials actually run. It changes the computed result,
+	// so it is part of the cache key.
+	Precision *PrecisionSpec `json:"precision,omitempty"`
+
 	// Experiment engine fields.
 	Experiment string `json:"experiment,omitempty"` // required for engine=experiment, e.g. "T3"
 	Quick      bool   `json:"quick,omitempty"`
@@ -81,6 +98,16 @@ type JobSpec struct {
 	// does not affect the computed result, so it is excluded from the
 	// cache key.
 	TimeoutSec int `json:"timeout_sec,omitempty"`
+}
+
+// PrecisionSpec is the wire form of an adaptive-early-stopping request.
+// The stopping rule is deterministic — evaluated every 1000 dispatched
+// trials on the order-independent cumulative tally — so an early-stopped
+// result is as cacheable as a fixed-count one.
+type PrecisionSpec struct {
+	// CIWidth is the target full width of the widest Wilson 95% interval
+	// among the TA/PA/NA estimates, in (0, 1).
+	CIWidth float64 `json:"ci_width"`
 }
 
 // normSpec trims and lowercases a whole spec string.
@@ -119,6 +146,17 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 		Experiment:  strings.ToUpper(strings.TrimSpace(s.Experiment)),
 		Quick:       s.Quick,
 		TimeoutSec:  s.TimeoutSec,
+	}
+	if p := s.Precision; p != nil {
+		if p.CIWidth == 0 {
+			// A zero precision block means "no early stopping": normalize
+			// it away so it cannot split the cache key.
+			c.Precision = nil
+		} else if !(p.CIWidth > 0 && p.CIWidth < 1) { // negation also catches NaN
+			return JobSpec{}, fmt.Errorf("service: precision ci_width must be in (0, 1), got %v", p.CIWidth)
+		} else {
+			c.Precision = &PrecisionSpec{CIWidth: p.CIWidth}
+		}
 	}
 	if c.Engine == "" {
 		c.Engine = EngineMC
@@ -182,6 +220,13 @@ func (c JobSpec) canonicalizeMC() (JobSpec, error) {
 	if c.MaxFailures > c.Trials {
 		c.MaxFailures = c.Trials
 	}
+	// Reject absurd graph arguments before ParseGraph builds them: the
+	// full vertex-count and run-cost limits are enforced inside
+	// buildMCInputs, but a hostile "complete:1000000" must fail fast
+	// instead of exhausting memory first.
+	if err := boundGraphSpec(c.Graph); err != nil {
+		return JobSpec{}, err
+	}
 	// Parse every sub-spec now so an invalid job is rejected at submit
 	// time with a 400, not discovered by a worker.
 	if _, err := buildMCInputs(c); err != nil {
@@ -190,9 +235,29 @@ func (c JobSpec) canonicalizeMC() (JobSpec, error) {
 	return c, nil
 }
 
+// boundGraphSpec is the cheap pre-filter on a graph spec's integer
+// arguments. Specs whose vertex count is exponential in the argument
+// (hypercube, tree) get a correspondingly tighter limit; everything else
+// is held to MaxProcs, with the exact post-parse check in buildMCInputs.
+func boundGraphSpec(spec string) error {
+	name, args, _ := strings.Cut(spec, ":")
+	limit := MaxProcs
+	switch name {
+	case "hypercube", "cube", "tree", "binarytree":
+		limit = 10
+	}
+	for _, tok := range strings.FieldsFunc(args, func(r rune) bool { return r == ':' || r == 'x' }) {
+		if n, err := strconv.Atoi(tok); err == nil && n > limit {
+			return fmt.Errorf("service: graph %q argument %d over the served limit %d", spec, n, limit)
+		}
+	}
+	return nil
+}
+
 func (c JobSpec) canonicalizeExperiment() (JobSpec, error) {
 	if c.Protocol != "" || c.Graph != "" || c.Rounds != 0 || c.Inputs != "" ||
-		c.Run != "" || c.Sampler != "" || c.Fault != "" || c.MaxFailures != 0 {
+		c.Run != "" || c.Sampler != "" || c.Fault != "" || c.MaxFailures != 0 ||
+		c.Precision != nil {
 		return JobSpec{}, fmt.Errorf("service: mc fields set on an experiment job")
 	}
 	if c.Experiment == "" {
@@ -239,6 +304,11 @@ func (c JobSpec) Key() string {
 	fmt.Fprintf(&b, "seed=%d\n", c.Seed)
 	fmt.Fprintf(&b, "fault=%s\n", c.Fault)
 	fmt.Fprintf(&b, "max_failures=%d\n", c.MaxFailures)
+	ciWidth := 0.0
+	if c.Precision != nil {
+		ciWidth = c.Precision.CIWidth
+	}
+	fmt.Fprintf(&b, "ci_width=%g\n", ciWidth)
 	fmt.Fprintf(&b, "experiment=%s\n", c.Experiment)
 	fmt.Fprintf(&b, "quick=%t\n", c.Quick)
 	sum := sha256.Sum256([]byte(b.String()))

@@ -18,27 +18,32 @@ func TestGoldenKeys(t *testing.T) {
 		{
 			name: "minimal mc",
 			spec: JobSpec{Protocol: "s:0.1"},
-			want: "9c30d1ecb27287efa9de2f642101360c3017d16dcaf826f4c81f3e117887ec87",
+			want: "356d867c4bc4af464fa74af63ed6b0c1098129bca0e0da5841d4c9ae3e2bf4c6",
 		},
 		{
 			name: "mc distinct seed",
 			spec: JobSpec{Protocol: "s:0.1", Seed: 2},
-			want: "54aebe2a4edfe5fcb72bbd781a6097707504a9d098997104c15350d9cf91350e",
+			want: "0ba2051d578be5a45b61eaf1b1e8b3dd8f02c9ca23efe0ccaf5f0cf06e464571",
 		},
 		{
 			name: "mc with fault",
 			spec: JobSpec{Protocol: "s:0.1", Fault: "crash:2@4"},
-			want: "75555dd6437a90419e0620138c5037835625c7a6bbe6eb990cbabfe0028cbb9a",
+			want: "6df711317bf57bf1887a76d1cddf68f297895a0e72adf70a18255dc141fe3e31",
 		},
 		{
 			name: "mc sampler",
 			spec: JobSpec{Protocol: "s:0.1", Sampler: "loss:0.2"},
-			want: "c92920238e155e6a82f59ba564cd4de5b94b8ea05d9cb17225051151a2640a72",
+			want: "91ee344a07da88f447160138e1467df68524e964b807c185f6cfd43df5b46be7",
+		},
+		{
+			name: "mc with precision",
+			spec: JobSpec{Protocol: "s:0.1", Precision: &PrecisionSpec{CIWidth: 0.02}},
+			want: "bcb92189acef50192cc5fccbbf97a187fd3ee8c5df55d3237d7c793b8df7605b",
 		},
 		{
 			name: "experiment",
 			spec: JobSpec{Engine: "experiment", Experiment: "t3"},
-			want: "50042d9cdb94e7dba338f30997daee931d6e5acf1d129f309ce46d7e6cdd169e",
+			want: "37bc909b15ad7cb3dfc1f6fef15e1408f196fc759670231e3a9930344aeba40c",
 		},
 	}
 	for _, tc := range cases {
@@ -69,7 +74,8 @@ func TestKeyInsensitiveToSpelling(t *testing.T) {
 		{Engine: "MC", Protocol: " S:0.1 "},
 		{Protocol: "s:0.1", Graph: "PAIR", Rounds: 10, Inputs: "ALL", Run: "GOOD"},
 		{Protocol: "s:0.1", Trials: 20000, Seed: 1},
-		{Protocol: "s:0.1", TimeoutSec: 30}, // non-semantic: excluded from key
+		{Protocol: "s:0.1", TimeoutSec: 30},              // non-semantic: excluded from key
+		{Protocol: "s:0.1", Precision: &PrecisionSpec{}}, // zero block normalized away
 	}
 	for i, s := range same {
 		if k := mustKey(s); k != base {
@@ -83,11 +89,24 @@ func TestKeyInsensitiveToSpelling(t *testing.T) {
 		{Protocol: "s:0.1", Trials: 19999},
 		{Protocol: "s:0.1", Graph: "ring:4"},
 		{Protocol: "s:0.1", Fault: "crash:2@4"},
+		{Protocol: "s:0.1", Precision: &PrecisionSpec{CIWidth: 0.02}},
 	}
 	for i, s := range different {
 		if k := mustKey(s); k == base {
 			t.Errorf("variant %d should have a distinct key", i)
 		}
+	}
+
+	// Precision is semantic: distinct targets split the key, and the
+	// same target always lands on the same key.
+	pa := mustKey(JobSpec{Protocol: "s:0.1", Precision: &PrecisionSpec{CIWidth: 0.02}})
+	pb := mustKey(JobSpec{Protocol: "s:0.1", Precision: &PrecisionSpec{CIWidth: 2e-2}})
+	pc := mustKey(JobSpec{Protocol: "s:0.1", Precision: &PrecisionSpec{CIWidth: 0.05}})
+	if pa != pb {
+		t.Errorf("equal ci_width spellings split the key: %s vs %s", pa, pb)
+	}
+	if pa == pc {
+		t.Error("distinct ci_width targets share a key")
 	}
 
 	// Fault jobs: the implicit failure budget (MaxFailures defaults to
@@ -137,8 +156,15 @@ func TestCanonicalizeRejects(t *testing.T) {
 		{Protocol: "s:0.1", Rounds: MaxRounds + 1},
 		{Protocol: "s:0.1", MaxFailures: -1},
 		{Protocol: "s:0.1", TimeoutSec: -1},
-		{Protocol: "s:0.1", Inputs: "99"}, // input not a vertex
-		{Engine: "experiment"},            // no experiment id
+		{Protocol: "s:0.1", Inputs: "99"},                             // input not a vertex
+		{Protocol: "s:0.1", Precision: &PrecisionSpec{CIWidth: -0.1}}, // bad precision
+		{Protocol: "s:0.1", Precision: &PrecisionSpec{CIWidth: 1}},
+		{Protocol: "s:0.1", Graph: "complete:1000000"},                // absurd graph, pre-filtered
+		{Protocol: "s:0.1", Graph: "hypercube:40"},                    // exponential argument
+		{Protocol: "s:0.1", Graph: "grid:100x100"},                    // passes pre-filter, fails MaxProcs
+		{Protocol: "s:0.1", Graph: "complete:100", Rounds: MaxRounds}, // run cost over budget
+		{Engine: "experiment", Experiment: "T3", Precision: &PrecisionSpec{CIWidth: 0.1}},
+		{Engine: "experiment"}, // no experiment id
 		{Engine: "experiment", Experiment: "T99"},
 		{Engine: "experiment", Experiment: "T3", Protocol: "s:0.1"}, // mixed fields
 		{Engine: "experiment", Experiment: "T3", Trials: -5},
