@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench report quick-report fault-demo service-demo sweep-demo fuzz fuzz-spec clean
+.PHONY: all build test test-race bench report quick-report fault-demo service-demo sweep-demo persist-demo fuzz fuzz-spec clean
 
 all: build test
 
@@ -69,6 +69,34 @@ sweep-demo:
 		curl -sf http://127.0.0.1:8345/healthz >/dev/null && break; sleep 0.1; \
 	done; \
 	/tmp/coordbench -server http://127.0.0.1:8345 -sweep '{"base": {"sampler": "subset", "trials": 40000, "seed": 9}, "axes": {"rounds": [10, 100, 1000], "epsilon": [0.05, 0.005, 0.0005]}}'
+
+# Durability demo: compute a result into an on-disk store, kill the
+# daemon, restart it over the same directory, and watch the identical
+# spec come back as a cache hit with the engine never having run.
+persist-demo:
+	$(GO) build -o /tmp/coordd ./cmd/coordd
+	@set -e; \
+	store=$$(mktemp -d); \
+	spec='{"protocol": "s:0.1", "rounds": 10, "trials": 20000, "seed": 7}'; \
+	/tmp/coordd -addr 127.0.0.1:8346 -store-dir $$store & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 50); do \
+		curl -sf http://127.0.0.1:8346/healthz >/dev/null && break; sleep 0.1; \
+	done; \
+	id=$$(curl -s http://127.0.0.1:8346/v1/jobs -d "$$spec" \
+		| sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	echo "submitted $$id; polling..."; \
+	while curl -s http://127.0.0.1:8346/v1/jobs/$$id \
+		| grep -Eq '"state": "(queued|running)"'; do sleep 0.2; done; \
+	echo "killing coordd and restarting over $$store"; \
+	kill -TERM $$pid; wait $$pid || true; \
+	/tmp/coordd -addr 127.0.0.1:8346 -store-dir $$store & pid=$$!; \
+	for i in $$(seq 50); do \
+		curl -sf http://127.0.0.1:8346/healthz >/dev/null && break; sleep 0.1; \
+	done; \
+	echo "resubmitting the identical spec after restart:"; \
+	curl -s http://127.0.0.1:8346/v1/jobs -d "$$spec" | grep -E '"(state|cached)"'; \
+	curl -s http://127.0.0.1:8346/metrics | grep -E '^coordd_(engine_runs|store_hits)_total'
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/run/

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"coordattack/internal/service"
+	"coordattack/internal/store"
 )
 
 func main() {
@@ -47,6 +49,9 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		cacheSize    = fs.Int("cache", 1024, "result cache entries")
 		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "per-job deadline")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown grace period before in-flight jobs are cancelled")
+		storeDir     = fs.String("store-dir", "", "on-disk result store directory; empty = memory-only (results die with the process)")
+		storeMax     = fs.Int64("store-max-bytes", 1<<30, "result store size budget in bytes (0 = unlimited)")
+		sweepKeep    = fs.Int("sweep-retention", 256, "settled sweeps kept queryable before eviction")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,13 +64,29 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		fmt.Fprintln(os.Stderr, "coordd: trial-workers must be >= 0 (0 = auto)")
 		return 2
 	}
+	if *storeMax < 0 || *sweepKeep < 1 {
+		fmt.Fprintln(os.Stderr, "coordd: store-max-bytes must be >= 0 and sweep-retention >= 1")
+		return 2
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax, Logf: log.Printf})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
 
 	srv := service.New(service.Config{
-		Workers:      *workers,
-		TrialWorkers: *trialWorkers,
-		QueueDepth:   *queueDepth,
-		CacheSize:    *cacheSize,
-		JobTimeout:   *jobTimeout,
+		Workers:        *workers,
+		TrialWorkers:   *trialWorkers,
+		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
+		JobTimeout:     *jobTimeout,
+		Store:          st,
+		SweepRetention: *sweepKeep,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -75,6 +96,9 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 	// The listen line is a contract: tests and scripts bind to :0 and
 	// scrape the chosen port from it.
 	fmt.Fprintf(out, "coordd: listening on http://%s\n", ln.Addr())
+	if st != nil {
+		fmt.Fprintf(out, "coordd: result store %s (%d entries, budget %d bytes)\n", *storeDir, st.Len(), *storeMax)
+	}
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)

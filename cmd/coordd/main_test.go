@@ -18,6 +18,8 @@ func TestDaemonBadFlags(t *testing.T) {
 		{"-workers", "0"},
 		{"-queue", "-1"},
 		{"-job-timeout", "0s"},
+		{"-store-max-bytes", "-1"},
+		{"-sweep-retention", "0"},
 	}
 	for _, args := range cases {
 		if code := run(args, io.Discard, nil); code != 2 {
@@ -29,6 +31,126 @@ func TestDaemonBadFlags(t *testing.T) {
 func TestDaemonBadAddr(t *testing.T) {
 	if code := run([]string{"-addr", "256.0.0.1:-1"}, io.Discard, nil); code != 1 {
 		t.Errorf("exit code %d, want 1", code)
+	}
+}
+
+func TestDaemonBadStoreDir(t *testing.T) {
+	// A -store-dir that cannot be created (path under a regular file)
+	// must fail startup rather than silently running memory-only.
+	blocker := t.TempDir() + "/file"
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-store-dir", blocker + "/store"}, io.Discard, nil); code != 1 {
+		t.Errorf("exit code %d, want 1", code)
+	}
+}
+
+// bootDaemon starts the daemon on an ephemeral port with the given extra
+// flags and returns its base URL, the signal channel that triggers a
+// drain, and the channel carrying the exit code.
+func bootDaemon(t *testing.T, extra ...string) (string, chan os.Signal, chan int) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	stop := make(chan os.Signal, 1)
+	exit := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "1"}, extra...)
+	go func() { exit <- run(args, pw, stop) }()
+
+	br := bufio.NewReader(pr)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	go io.Copy(io.Discard, pr) // keep later writes from blocking
+	const prefix = "coordd: listening on http://"
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected banner %q", line)
+	}
+	return "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix)), stop, exit
+}
+
+// shutdownDaemon SIGTERMs a booted daemon and asserts a clean exit.
+func shutdownDaemon(t *testing.T, stop chan os.Signal, exit chan int) {
+	t.Helper()
+	stop <- syscall.SIGTERM
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+// TestDaemonRestartPersistence is the end-to-end durability proof: a
+// daemon computes a result into -store-dir, is SIGTERMed, and a fresh
+// daemon over the same directory answers the identical spec as an
+// immediate cache hit with coordd_engine_runs_total still zero.
+func TestDaemonRestartPersistence(t *testing.T) {
+	dir := t.TempDir()
+	const spec = `{"protocol": "a", "rounds": 6, "trials": 2000, "seed": 11}`
+
+	base, stop, exit := bootDaemon(t, "-store-dir", dir)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(15 * time.Second)
+	for st.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	shutdownDaemon(t, stop, exit)
+
+	base, stop, exit = bootDaemon(t, "-store-dir", dir)
+	defer shutdownDaemon(t, stop, exit)
+	resp, err = http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit struct {
+		State  string `json:"state"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hit); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hit.State != "done" || !hit.Cached {
+		t.Fatalf("restart resubmission code %d state %q cached %v, want cache hit", resp.StatusCode, hit.State, hit.Cached)
+	}
+
+	r, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if !strings.Contains(string(metrics), "coordd_engine_runs_total 0") {
+		t.Errorf("restarted daemon ran the engine; /metrics:\n%s", metrics)
+	}
+	if !strings.Contains(string(metrics), "coordd_store_hits_total 1") {
+		t.Errorf("/metrics missing store hit:\n%s", metrics)
 	}
 }
 

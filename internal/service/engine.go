@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"strconv"
 	"strings"
 
@@ -43,6 +44,42 @@ func engineRegistry() map[string]engine {
 		EngineMC:         mcEngine{},
 		EngineExperiment: expEngine{},
 	}
+}
+
+// PanicError is the structured failure a recovered engine panic settles
+// its job with: the panicking engine, the panic value, and a truncated
+// stack. One panicking job must never take the worker pool down — the
+// paper's processes die individually, not as a system.
+type PanicError struct {
+	Engine string
+	Value  any
+	Stack  string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("service: engine %q panicked: %v\n%s", e.Engine, e.Value, e.Stack)
+}
+
+// panicStackLimit bounds the stack carried in a job's error message; the
+// top frames are the useful ones.
+const panicStackLimit = 2048
+
+// runEngine runs eng with panic isolation: a panic anywhere under the
+// engine (a bad protocol implementation, an arithmetic edge case)
+// becomes a *PanicError failing this one job instead of killing the
+// worker goroutine and, with it, the daemon's capacity.
+func runEngine(eng engine, ctx context.Context, spec JobSpec, p runParams) (body json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			if len(stack) > panicStackLimit {
+				stack = stack[:panicStackLimit]
+			}
+			body = nil
+			err = &PanicError{Engine: spec.Engine, Value: r, Stack: string(stack)}
+		}
+	}()
+	return eng.run(ctx, spec, p)
 }
 
 // mcInputs is a parsed mc job: everything mc.Estimate needs except the

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"time"
+	"strconv"
 
 	"coordattack/internal/experiments"
 )
@@ -45,6 +45,30 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// overloadError is the structured body of a 429: it tells the client
+// not just that it was shed but when to come back and how deep the
+// backlog is, mirroring the Retry-After header.
+type overloadError struct {
+	Error         string `json:"error"`
+	RetryAfterSec int    `json:"retry_after_sec"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
+// writeOverload answers a queue-full rejection with a Retry-After
+// header derived from the queue depth and the observed mean job
+// duration, plus the structured JSON body.
+func (s *Server) writeOverload(w http.ResponseWriter, err error) {
+	secs, depth, capacity := s.retryAfter()
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, overloadError{
+		Error:         err.Error(),
+		RetryAfterSec: secs,
+		QueueDepth:    depth,
+		QueueCapacity: capacity,
+	})
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -72,7 +96,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, code, st)
 	case errors.Is(err, ErrQueueFull):
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		s.writeOverload(w, err)
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 	default:
@@ -105,7 +129,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // handleWatch streams the job's status as NDJSON — one compact JSON
 // object per line, roughly 10 Hz while the job runs, ending with the
 // terminal status line. Clients get live trial-count and CI-width
-// progress without polling.
+// progress without polling. A client that cannot keep up at 10 Hz gets
+// coalesced snapshots: intermediate states are skipped so every line it
+// does receive is the latest state at write time (see streamNDJSON).
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	j, err := s.job(r.PathValue("id"))
 	if err != nil {
@@ -117,27 +143,10 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotImplemented, apiError{Error: "streaming unsupported"})
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
-	ticker := time.NewTicker(100 * time.Millisecond)
-	defer ticker.Stop()
-	for {
+	streamNDJSON(w, flusher, r.Context().Done(), j.done, &s.metrics.WatchCoalesced, func() (any, bool) {
 		st := j.status()
-		if err := enc.Encode(st); err != nil {
-			return
-		}
-		flusher.Flush()
-		if st.State.Terminal() {
-			return
-		}
-		select {
-		case <-ticker.C:
-		case <-j.done:
-		case <-r.Context().Done():
-			return
-		}
-	}
+		return st, st.State.Terminal()
+	})
 }
 
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
@@ -152,6 +161,8 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrQueueFull):
+		s.writeOverload(w, err)
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 	default:
@@ -173,8 +184,10 @@ func (s *Server) handleGetSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleWatchSweep streams the sweep's aggregate status as NDJSON,
-// mirroring the per-job watch: one compact line per tick, ending with
-// the terminal aggregate (every cell settled).
+// mirroring the per-job watch — one compact line per tick, ending with
+// the terminal aggregate (every cell settled) — with the same slow-
+// client coalescing: aggregate tables are the biggest lines the daemon
+// writes, so skipping stale ones matters most here.
 func (s *Server) handleWatchSweep(w http.ResponseWriter, r *http.Request) {
 	sw, err := s.sweep(r.PathValue("id"))
 	if err != nil {
@@ -186,27 +199,10 @@ func (s *Server) handleWatchSweep(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotImplemented, apiError{Error: "streaming unsupported"})
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
-	ticker := time.NewTicker(100 * time.Millisecond)
-	defer ticker.Stop()
-	for {
+	streamNDJSON(w, flusher, r.Context().Done(), sw.done, &s.metrics.WatchCoalesced, func() (any, bool) {
 		st := s.sweepStatus(sw)
-		if err := enc.Encode(st); err != nil {
-			return
-		}
-		flusher.Flush()
-		if st.State.Terminal() {
-			return
-		}
-		select {
-		case <-ticker.C:
-		case <-sw.done:
-		case <-r.Context().Done():
-			return
-		}
-	}
+		return st, st.State.Terminal()
+	})
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
@@ -220,12 +216,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	storeState := "off"
+	if g.StoreEnabled {
+		storeState = "ok"
+		if g.Store.Degraded {
+			storeState = "degraded"
+		}
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Status      string `json:"status"`
 		JobsQueued  int    `json:"jobs_queued"`
 		JobsRunning int    `json:"jobs_running"`
 		Draining    bool   `json:"draining"`
-	}{Status: "ok", JobsQueued: g.JobsQueued, JobsRunning: g.JobsRunning, Draining: draining})
+		Store       string `json:"store"`
+	}{Status: "ok", JobsQueued: g.JobsQueued, JobsRunning: g.JobsRunning, Draining: draining, Store: storeState})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -164,19 +165,59 @@ func TestHTTPQueueFull429(t *testing.T) {
 	slow := func(seed int) string {
 		return fmt.Sprintf(`{"protocol": "s:0.05", "graph": "complete:8", "rounds": 40, "trials": 100000, "seed": %d}`, seed)
 	}
-	saw429 := false
+	var over *http.Response
 	for seed := 1; seed <= 4; seed++ {
-		code, _ := postJob(t, ts, slow(seed))
-		if code == http.StatusTooManyRequests {
-			saw429 = true
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(slow(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			over = resp
 			break
 		}
-		if code != http.StatusAccepted {
-			t.Fatalf("seed %d: code %d", seed, code)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("seed %d: code %d", seed, resp.StatusCode)
 		}
 	}
-	if !saw429 {
-		t.Error("queue never answered 429")
+	if over == nil {
+		t.Fatal("queue never answered 429")
+	}
+	defer over.Body.Close()
+
+	// The 429 carries a Retry-After header derived from the queue depth
+	// and a structured JSON body mirroring it.
+	secs, err := strconv.Atoi(over.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Errorf("Retry-After header %q, want a positive integer", over.Header.Get("Retry-After"))
+	}
+	var body struct {
+		Error         string `json:"error"`
+		RetryAfterSec int    `json:"retry_after_sec"`
+		QueueDepth    int    `json:"queue_depth"`
+		QueueCapacity int    `json:"queue_capacity"`
+	}
+	if err := json.NewDecoder(over.Body).Decode(&body); err != nil {
+		t.Fatalf("429 body not structured JSON: %v", err)
+	}
+	if body.Error == "" || body.RetryAfterSec != secs || body.QueueCapacity != 1 {
+		t.Errorf("429 body %+v inconsistent with header %d", body, secs)
+	}
+
+	// A sweep submitted into the same slammed queue is shed the same
+	// way: 429 with Retry-After, instead of parking a dispatcher.
+	sweepBody := `{"base": {"protocol": "s:0.3", "trials": 1000, "seed": 77}, "axes": {"rounds": [6, 8]}}`
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("sweep into a full queue: code %d, want 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("sweep 429 Retry-After %q", resp.Header.Get("Retry-After"))
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"coordattack/internal/store"
 )
 
 // Metrics holds the daemon's counters and the job-latency histogram,
@@ -24,9 +26,19 @@ type Metrics struct {
 	// cache hits, coalesced attaches, rejections, and queued cancels.
 	// JobsSubmitted − EngineRuns is the work the memoization layer saved.
 	EngineRuns atomic.Int64
+	// EnginePanics counts engine executions that died by panic and were
+	// recovered into a single failed job (the daemon kept serving).
+	EnginePanics atomic.Int64
 
 	SweepsSubmitted atomic.Int64 // sweep requests accepted
+	SweepsRejected  atomic.Int64 // sweeps rejected with queue-full backpressure
+	SweepsEvicted   atomic.Int64 // settled sweeps evicted past the retention limit
 	SweepCells      atomic.Int64 // grid cells expanded across all sweeps
+
+	// WatchCoalesced counts snapshots skipped on /watch streams because
+	// the client could not keep up at 10 Hz: each skip means the next
+	// write carried a strictly newer state instead of a stale backlog.
+	WatchCoalesced atomic.Int64
 
 	TrialsExecuted atomic.Int64 // mc trials completed, across all jobs
 
@@ -64,14 +76,30 @@ func (m *Metrics) ObserveJobSeconds(s float64) {
 	m.count++
 }
 
+// MeanJobSeconds reports the observed mean job duration, or 0 before
+// any job has completed. It feeds the Retry-After estimate on 429s.
+func (m *Metrics) MeanJobSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.count == 0 {
+		return 0
+	}
+	return m.sum / float64(m.count)
+}
+
 // Gauges carries point-in-time values the server computes at render
-// time (queue depth, running jobs, cache state).
+// time (queue depth, running jobs, cache and store state).
 type Gauges struct {
 	JobsQueued  int
 	JobsRunning int
 	CacheSize   int
 	CacheHits   int64
 	CacheMisses int64
+	// StoreEnabled marks a daemon with a durable tier configured; Store
+	// is its counter/gauge snapshot (zero when disabled, so the metric
+	// surface stays stable either way).
+	StoreEnabled bool
+	Store        store.Stats
 }
 
 // WritePrometheus renders every metric in Prometheus text format.
@@ -89,14 +117,30 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	counter("coordd_jobs_rejected_total", "Jobs rejected with queue-full backpressure.", m.JobsRejected.Load())
 	counter("coordd_jobs_coalesced_total", "Submissions attached to an identical in-flight job.", m.JobsCoalesced.Load())
 	counter("coordd_engine_runs_total", "Engine executions actually performed.", m.EngineRuns.Load())
+	counter("coordd_engine_panics_total", "Engine panics recovered into single-job failures.", m.EnginePanics.Load())
 	counter("coordd_sweeps_submitted_total", "Parameter sweeps accepted.", m.SweepsSubmitted.Load())
+	counter("coordd_sweeps_rejected_total", "Sweeps rejected with queue-full backpressure.", m.SweepsRejected.Load())
+	counter("coordd_sweeps_evicted_total", "Settled sweeps evicted past the retention limit.", m.SweepsEvicted.Load())
 	counter("coordd_sweep_cells_total", "Grid cells expanded across all sweeps.", m.SweepCells.Load())
 	counter("coordd_cache_hits_total", "Result-cache hits.", g.CacheHits)
 	counter("coordd_cache_misses_total", "Result-cache misses.", g.CacheMisses)
+	counter("coordd_watch_coalesced_total", "Watch-stream snapshots skipped for slow clients.", m.WatchCoalesced.Load())
 	counter("coordd_trials_executed_total", "Monte-Carlo trials completed across all jobs.", m.TrialsExecuted.Load())
+	counter("coordd_store_hits_total", "Durable-store hits.", g.Store.Hits)
+	counter("coordd_store_misses_total", "Durable-store misses.", g.Store.Misses)
+	counter("coordd_store_writes_total", "Bodies written through to the durable store.", g.Store.Writes)
+	counter("coordd_store_evictions_total", "Durable-store entries evicted by the size-budget GC.", g.Store.Evictions)
+	counter("coordd_store_quarantined_total", "Corrupt durable-store entries quarantined on read.", g.Store.Quarantined)
 	gauge("coordd_jobs_queued", "Jobs waiting in the FIFO queue.", g.JobsQueued)
 	gauge("coordd_jobs_running", "Jobs currently executing.", g.JobsRunning)
 	gauge("coordd_cache_entries", "Entries in the result cache.", g.CacheSize)
+	gauge("coordd_store_entries", "Entries in the durable store.", g.Store.Entries)
+	fmt.Fprintf(w, "# HELP coordd_store_bytes On-disk bytes in the durable store.\n# TYPE coordd_store_bytes gauge\ncoordd_store_bytes %d\n", g.Store.Bytes)
+	degraded := 0
+	if g.Store.Degraded {
+		degraded = 1
+	}
+	gauge("coordd_store_degraded", "1 when a write error demoted the store to read-only.", degraded)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

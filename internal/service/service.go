@@ -3,7 +3,9 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -12,6 +14,7 @@ import (
 
 	"coordattack/internal/mc"
 	"coordattack/internal/stats"
+	"coordattack/internal/store"
 )
 
 // Config tunes the scheduler.
@@ -31,6 +34,17 @@ type Config struct {
 	// JobTimeout is the per-job deadline; 0 means 5 minutes. A spec's
 	// timeout_sec can lower it per job, never raise it.
 	JobTimeout time.Duration
+	// Store, when non-nil, is the durable second result tier under the
+	// in-memory LRU: completed bodies are written through to it, and a
+	// memory miss consults it before running the engine — which is what
+	// makes a restarted daemon serve prior results as cache hits. A nil
+	// Store keeps the daemon memory-only.
+	Store *store.Store
+	// SweepRetention bounds how many settled sweeps stay queryable;
+	// older settled sweeps are evicted (404) so Server.sweeps cannot
+	// grow without bound in a long-lived daemon. Unsettled sweeps are
+	// never evicted. 0 means 256.
+	SweepRetention int
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +65,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobTimeout == 0 {
 		c.JobTimeout = 5 * time.Minute
+	}
+	if c.SweepRetention == 0 {
+		c.SweepRetention = 256
 	}
 	return c
 }
@@ -191,6 +208,7 @@ func (j *Job) finishIfQueued(state State, errMsg string) bool {
 type Server struct {
 	cfg     Config
 	cache   *Cache
+	store   *store.Store // nil = memory-only
 	metrics *Metrics
 	engines map[string]engine
 
@@ -217,6 +235,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheSize),
+		store:    cfg.Store,
 		metrics:  NewMetrics(),
 		engines:  engineRegistry(),
 		jobs:     make(map[string]*Job),
@@ -253,6 +272,14 @@ func (s *Server) Submit(spec JobSpec) (*Status, error) {
 
 	j := s.newJob(canon, key)
 	if body, ok := s.cache.Get(key); ok {
+		s.serveCached(j, body)
+		return j.status(), nil
+	}
+	if body, ok := s.storeGet(key); ok {
+		// Disk tier hit — a prior (possibly pre-restart) run settled this
+		// key. Promote it into the memory LRU and serve it as a cache
+		// hit; no engine run, so coordd_engine_runs_total stays put.
+		s.cache.Put(key, body)
 		s.serveCached(j, body)
 		return j.status(), nil
 	}
@@ -307,6 +334,25 @@ func (s *Server) serveCached(j *Job, body json.RawMessage) {
 	close(j.done)
 	j.cancel()
 	s.register(j)
+}
+
+// storeGet consults the durable tier; a nil store always misses.
+func (s *Server) storeGet(key string) (json.RawMessage, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	return s.store.Get(key)
+}
+
+// storePut writes a completed body through to the durable tier. Store
+// errors are advisory — the job already succeeded and is cached in
+// memory; the store demotes itself to read-only (and logs once), so the
+// daemon degrades to memory-only instead of failing jobs.
+func (s *Server) storePut(key string, body json.RawMessage) {
+	if s.store == nil {
+		return
+	}
+	_ = s.store.Put(key, body)
 }
 
 // follow settles a coalesced follower when its leader does, mirroring
@@ -469,7 +515,7 @@ func (s *Server) runJob(j *Job) {
 	s.metrics.EngineRuns.Add(1)
 	start := time.Now()
 	eng := s.engines[j.spec.Engine]
-	body, err := eng.run(j.ctx, j.spec, runParams{
+	body, err := runEngine(eng, j.ctx, j.spec, runParams{
 		workers: s.cfg.TrialWorkers,
 		progress: func(snap mc.Snapshot) {
 			storeMax(&j.completed, int64(snap.Completed))
@@ -480,11 +526,21 @@ func (s *Server) runJob(j *Job) {
 	s.metrics.TrialsExecuted.Add(j.completed.Load())
 	s.running.Add(-1)
 
+	var pe *PanicError
 	switch {
 	case err == nil:
 		s.cache.Put(j.key, body)
+		s.storePut(j.key, body)
 		if j.finish(StateDone, body, "") {
 			s.metrics.JobsCompleted.Add(1)
+		}
+	case errors.As(err, &pe):
+		// A recovered engine panic fails this one job; the worker — and
+		// the daemon — keep serving. Checked before the context, so a
+		// panic racing a deadline still reports as the failure it is.
+		s.metrics.EnginePanics.Add(1)
+		if j.finish(StateFailed, nil, err.Error()) {
+			s.metrics.JobsFailed.Add(1)
 		}
 	case j.ctx.Err() != nil:
 		// Cancelled or deadline-expired: keep the partial body so the
@@ -502,13 +558,41 @@ func (s *Server) runJob(j *Job) {
 // gauges snapshots the point-in-time values for /metrics and /healthz.
 func (s *Server) gauges() Gauges {
 	hits, misses := s.cache.Stats()
-	return Gauges{
+	g := Gauges{
 		JobsQueued:  len(s.queue),
 		JobsRunning: int(s.running.Load()),
 		CacheSize:   s.cache.Len(),
 		CacheHits:   hits,
 		CacheMisses: misses,
 	}
+	if s.store != nil {
+		g.Store = s.store.Stats()
+		g.StoreEnabled = true
+	}
+	return g
+}
+
+// retryAfter estimates the seconds until queue space frees up: the
+// queued backlog divided across the worker pool, scaled by the observed
+// mean job duration (1 s before anything has finished), clamped to
+// [1, 300]. It is the Retry-After header on 429 responses, so a client
+// backing off by it lands roughly when the queue has moved.
+func (s *Server) retryAfter() (secs, depth, capacity int) {
+	depth = len(s.queue)
+	capacity = cap(s.queue)
+	mean := s.metrics.MeanJobSeconds()
+	if mean <= 0 {
+		mean = 1
+	}
+	est := math.Ceil(float64(depth+1) / float64(s.cfg.Workers) * mean)
+	secs = int(est)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs, depth, capacity
 }
 
 // Drain stops accepting jobs, lets queued and running work finish, and

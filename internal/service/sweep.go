@@ -265,6 +265,15 @@ func (s *Server) SubmitSweep(spec SweepSpec) (*SweepStatus, error) {
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
+	if len(s.queue) == cap(s.queue) {
+		// Overload shedding: a sweep accepted while the queue is slammed
+		// would park a dispatcher goroutine spinning on ErrQueueFull.
+		// Rejecting up front (429 + Retry-After) keeps degraded operation
+		// cheap and honest — the client retries when there is room.
+		s.mu.Unlock()
+		s.metrics.SweepsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
 	s.nextID++
 	sw.id = fmt.Sprintf("sw%06d", s.nextID)
 	s.sweeps[sw.id] = sw
@@ -283,6 +292,9 @@ func (s *Server) SubmitSweep(spec SweepSpec) (*SweepStatus, error) {
 // the sweep done.
 func (s *Server) dispatchSweep(sw *Sweep) {
 	defer s.wg.Done()
+	// LIFO: the sweep settles (done closes), then the GC pass runs, so a
+	// just-settled sweep immediately counts toward the retention limit.
+	defer s.gcSweeps()
 	defer close(sw.done)
 	var jobs []*Job
 	for _, c := range sw.cells {
@@ -397,6 +409,32 @@ func fillRowFromBody(row *SweepRow, body json.RawMessage) {
 	row.Stopped = b.Result.Stopped
 	if b.Result.Completed > 0 && b.Result.PA.Hits > 0 {
 		row.LOverU = b.Result.TA.Mean() / b.Result.PA.Mean()
+	}
+}
+
+// gcSweeps evicts the oldest settled sweeps past the retention limit,
+// so Server.sweeps stays bounded in a long-lived daemon. Unsettled
+// sweeps never count against the limit and are never evicted — only
+// knowledge that has fully settled (and whose cells are memoized in the
+// result cache anyway) is forgotten. Evicted sweep ids answer 404.
+func (s *Server) gcSweeps() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	settled := make([]*Sweep, 0, len(s.sweeps))
+	for _, sw := range s.sweeps {
+		select {
+		case <-sw.done:
+			settled = append(settled, sw)
+		default:
+		}
+	}
+	if len(settled) <= s.cfg.SweepRetention {
+		return
+	}
+	sort.Slice(settled, func(a, b int) bool { return settled[a].id < settled[b].id })
+	for _, sw := range settled[:len(settled)-s.cfg.SweepRetention] {
+		delete(s.sweeps, sw.id)
+		s.metrics.SweepsEvicted.Add(1)
 	}
 }
 

@@ -290,3 +290,60 @@ func TestHTTPSweepEndpoints(t *testing.T) {
 		}
 	}
 }
+
+// TestSweepRetentionEvictsSettled pins the sweep GC: with retention 1,
+// an old settled sweep 404s once a newer one settles, while unsettled
+// sweeps survive no matter how old they are.
+func TestSweepRetentionEvictsSettled(t *testing.T) {
+	s := New(Config{Workers: 2, SweepRetention: 1})
+	defer drain(t, s)
+
+	// An unsettled sweep: one slow cell that outlives the whole test.
+	slow, err := s.SubmitSweep(SweepSpec{
+		Base: JobSpec{Protocol: "s:0.05", Graph: "complete:8", Rounds: 40, Trials: 100_000, Seed: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tiny := func(seed uint64) SweepSpec {
+		return SweepSpec{Base: JobSpec{Protocol: "s:0.5", Rounds: 4, Trials: 200, Seed: seed}}
+	}
+	first, err := s.SubmitSweep(tiny(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSweep(t, s, first.ID, 15*time.Second)
+	second, err := s.SubmitSweep(tiny(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSweep(t, s, second.ID, 15*time.Second)
+
+	// The GC pass runs just after a sweep settles; poll for the eviction.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := s.GetSweep(first.ID); err == ErrNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("settled sweep past the retention limit never evicted")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := s.GetSweep(second.ID); err != nil {
+		t.Errorf("newest settled sweep evicted: %v", err)
+	}
+	if st, err := s.GetSweep(slow.ID); err != nil || st.State.Terminal() {
+		t.Errorf("unsettled sweep evicted or settled early (err %v)", err)
+	}
+	if n := s.Metrics().SweepsEvicted.Load(); n != 1 {
+		t.Errorf("sweeps evicted = %d, want 1", n)
+	}
+	// The evicted sweep is absent from the listing too.
+	for _, st := range s.Sweeps() {
+		if st.ID == first.ID {
+			t.Error("evicted sweep still listed")
+		}
+	}
+}

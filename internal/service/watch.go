@@ -1,0 +1,102 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// watchInterval is the target snapshot rate of /watch streams: one
+// status line every 100 ms (10 Hz) while the watched object runs.
+const watchInterval = 100 * time.Millisecond
+
+// streamNDJSON streams snapshots to w as NDJSON with backpressure
+// coalescing. Two goroutines share a one-slot latest-value mailbox:
+//
+//   - The producer (this goroutine) snapshots at 10 Hz and overwrites
+//     the mailbox. It never blocks on the connection, so a stalled
+//     client cannot slow snapshot production or anything behind it.
+//   - The writer drains the mailbox and encodes to the connection at
+//     whatever pace the client sustains. When it falls behind, the
+//     overwritten snapshots are simply never sent — the next write
+//     carries the latest state, not a stale backlog.
+//
+// Every skipped snapshot increments coalesced. snapshot returns the
+// current view and whether it is terminal; the stream always ends with
+// a terminal line (or when the client goes away). done should close
+// when the watched object settles, so the terminal line is written
+// promptly instead of at the next tick.
+func streamNDJSON(w http.ResponseWriter, flusher http.Flusher, clientGone <-chan struct{}, done <-chan struct{}, coalesced *atomic.Int64, snapshot func() (any, bool)) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+
+	var (
+		mu       sync.Mutex
+		latest   any
+		terminal bool
+	)
+	pending := make(chan struct{}, 1)
+	// publish snapshots into the mailbox and reports terminality. A
+	// non-nil latest being overwritten is exactly one coalesced (never
+	// written) snapshot.
+	publish := func() bool {
+		v, term := snapshot()
+		mu.Lock()
+		if latest != nil {
+			coalesced.Add(1)
+		}
+		latest, terminal = v, term
+		mu.Unlock()
+		select {
+		case pending <- struct{}{}:
+		default:
+		}
+		return term
+	}
+
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		enc := json.NewEncoder(w)
+		for range pending {
+			mu.Lock()
+			v, term := latest, terminal
+			latest = nil
+			mu.Unlock()
+			if v == nil {
+				continue
+			}
+			if err := enc.Encode(v); err != nil {
+				return
+			}
+			flusher.Flush()
+			if term {
+				return
+			}
+		}
+	}()
+
+	ticker := time.NewTicker(watchInterval)
+	defer ticker.Stop()
+	for !publish() {
+		select {
+		case <-ticker.C:
+		case <-done:
+			// Settled: the next publish sees the terminal state. Nil the
+			// channel so a (theoretical) non-terminal snapshot race does
+			// not spin this loop.
+			done = nil
+		case <-clientGone:
+			close(pending)
+			<-writerDone
+			return
+		case <-writerDone:
+			// Write error: the client is gone.
+			return
+		}
+	}
+	close(pending)
+	<-writerDone
+}

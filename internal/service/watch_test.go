@@ -1,0 +1,140 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowWriter is an http.ResponseWriter+Flusher whose every Write stalls,
+// simulating a client that cannot keep up with the 10 Hz snapshot rate.
+type slowWriter struct {
+	delay  time.Duration
+	header http.Header
+
+	mu     sync.Mutex
+	buf    bytes.Buffer
+	writes int
+}
+
+func (w *slowWriter) Header() http.Header { return w.header }
+func (w *slowWriter) WriteHeader(int)     {}
+func (w *slowWriter) Flush()              {}
+func (w *slowWriter) Write(p []byte) (int, error) {
+	time.Sleep(w.delay)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.writes++
+	return w.buf.Write(p)
+}
+
+// TestWatchSlowClientCoalesces drives streamNDJSON with a reader that
+// takes 500 ms per line while snapshots are produced at 10 Hz: the
+// stream must skip intermediate snapshots (coalesce) rather than
+// backlog or block the producer, and still end with the terminal state.
+func TestWatchSlowClientCoalesces(t *testing.T) {
+	const totalSnapshots = 15
+
+	w := &slowWriter{delay: 500 * time.Millisecond, header: make(http.Header)}
+	var coalesced atomic.Int64
+	var produced atomic.Int64
+	snapshot := func() (any, bool) {
+		n := produced.Add(1)
+		term := n >= totalSnapshots
+		return map[string]any{"seq": n, "terminal": term}, term
+	}
+
+	start := time.Now()
+	streamNDJSON(w, w, nil, nil, &coalesced, snapshot)
+	elapsed := time.Since(start)
+
+	var lines []struct {
+		Seq      int64 `json:"seq"`
+		Terminal bool  `json:"terminal"`
+	}
+	sc := bufio.NewScanner(&w.buf)
+	for sc.Scan() {
+		var line struct {
+			Seq      int64 `json:"seq"`
+			Terminal bool  `json:"terminal"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no lines written")
+	}
+
+	last := lines[len(lines)-1]
+	if !last.Terminal || last.Seq != totalSnapshots {
+		t.Errorf("stream ended with %+v, want the terminal snapshot %d", last, totalSnapshots)
+	}
+	if int64(len(lines)) >= produced.Load() {
+		t.Errorf("wrote %d of %d snapshots: slow client got a backlog instead of coalescing", len(lines), produced.Load())
+	}
+	if coalesced.Load() == 0 {
+		t.Error("no snapshots counted as coalesced")
+	}
+	// Monotonic: coalescing may skip states but never reorders them.
+	for i := 1; i < len(lines); i++ {
+		if lines[i].Seq <= lines[i-1].Seq {
+			t.Errorf("line %d seq %d not after %d", i, lines[i].Seq, lines[i-1].Seq)
+		}
+	}
+	// The producer ran at ~10 Hz for 15 snapshots (~1.5 s). If the slow
+	// writer had throttled it, production alone would have taken ~7.5 s.
+	if elapsed > 6*time.Second {
+		t.Errorf("stream took %v: the slow client throttled the producer", elapsed)
+	}
+}
+
+// TestWatchFastClientGetsEveryTerminalState checks the no-backpressure
+// path end to end on a real job via the existing HTTP handler — covered
+// by TestHTTPWatchStreamsProgress — so here we only pin the unit
+// behavior: an immediately-terminal snapshot yields exactly one line.
+func TestWatchImmediatelyTerminal(t *testing.T) {
+	w := &slowWriter{header: make(http.Header)}
+	var coalesced atomic.Int64
+	streamNDJSON(w, w, nil, nil, &coalesced, func() (any, bool) {
+		return map[string]string{"state": "done"}, true
+	})
+	got := bytes.TrimSpace(w.buf.Bytes())
+	if bytes.ContainsRune(got, '\n') {
+		t.Errorf("terminal-at-start stream wrote more than one line:\n%s", got)
+	}
+	if len(got) == 0 {
+		t.Error("terminal-at-start stream wrote nothing")
+	}
+	if coalesced.Load() != 0 {
+		t.Errorf("coalesced = %d on a one-line stream", coalesced.Load())
+	}
+}
+
+// TestWatchClientDisconnectEndsStream closes the client mid-stream and
+// checks the producer loop exits instead of ticking forever.
+func TestWatchClientDisconnectEndsStream(t *testing.T) {
+	w := &slowWriter{header: make(http.Header)}
+	clientGone := make(chan struct{})
+	var coalesced atomic.Int64
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		streamNDJSON(w, w, clientGone, nil, &coalesced, func() (any, bool) {
+			return map[string]string{"state": "running"}, false
+		})
+	}()
+	time.Sleep(250 * time.Millisecond)
+	close(clientGone)
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not end after client disconnect")
+	}
+}

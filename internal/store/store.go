@@ -1,0 +1,442 @@
+// Package store is coordd's durable second result tier: a
+// content-addressed on-disk store keyed by the service layer's
+// canonical `coordd/v2` sha256 spec keys. It models the discipline the
+// paper demands of its processes — settled knowledge must survive a
+// crash, and a degraded process must stay safe (answer less, never
+// answer wrong):
+//
+//   - Writes are crash-safe: body written to a temp file in the target
+//     shard, fsynced, atomically renamed into place, shard directory
+//     fsynced. A crash at any point leaves either the old state or the
+//     new state, never a torn entry.
+//   - Reads re-verify a checksum binding the entry to both its body
+//     bytes *and* its filename; an entry that was corrupted, truncated,
+//     or renamed under the wrong key is quarantined (moved to
+//     quarantine/) and reported as a miss, never served and never fatal.
+//   - The store is size-budgeted: an LRU GC pass runs at open and after
+//     every write, evicting least-recently-used entries until the byte
+//     budget holds.
+//   - Any write-path I/O error (disk full, permissions, dead mount)
+//     demotes the store to read-only, logged once; callers keep working
+//     from memory.
+//
+// Layout under the root directory:
+//
+//	<dir>/ab/abcd…64-hex-key    one entry per key, sharded by key[:2]
+//	<dir>/quarantine/<key>      corrupt entries, kept for post-mortem
+//
+// Entry format: a single header line "coordd-store/v1 <sha256>\n"
+// followed by the raw body bytes, where <sha256> is hex over
+// "<key>\n<body>" — so the checksum fails both when the body rots and
+// when a valid file is attached to the wrong key.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// formatVersion prefixes every entry header. Bump it when the entry
+// encoding changes; unrecognized versions are quarantined on read.
+const formatVersion = "coordd-store/v1"
+
+const quarantineDir = "quarantine"
+
+// Options tunes Open.
+type Options struct {
+	// MaxBytes is the byte budget over entry bodies plus headers;
+	// 0 means unlimited.
+	MaxBytes int64
+	// Logf receives one line per degradation and quarantine event;
+	// nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a point-in-time snapshot of the store's counters and gauges.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Writes      int64
+	Evictions   int64
+	Quarantined int64
+	Entries     int
+	Bytes       int64
+	Degraded    bool
+}
+
+// Store is a crash-safe, content-addressed, size-budgeted result store.
+// It is safe for concurrent use.
+type Store struct {
+	dir      string
+	maxBytes int64
+	logf     func(format string, args ...any)
+
+	hits, misses, writes, evictions, quarantined atomic.Int64
+
+	mu       sync.Mutex
+	entries  map[string]*entry
+	bytes    int64 // sum of entry file sizes
+	degraded bool
+}
+
+// entry is the in-memory index record for one on-disk file: its size
+// and last-use time, which is all the LRU GC needs. File mtimes are
+// kept roughly in sync so recency survives a restart.
+type entry struct {
+	size  int64
+	atime time.Time
+}
+
+// Open creates or reopens a store rooted at dir: it builds the entry
+// index from the files already present (sweeping stray temp files) and
+// runs one GC pass so a shrunken budget takes effect immediately.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: opts.MaxBytes,
+		logf:     opts.Logf,
+		entries:  make(map[string]*entry),
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.gc()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// scan rebuilds the index from disk. Unrecognized files inside shard
+// directories are left alone except temp files, which a crash mid-write
+// can strand and which are deleted.
+func (s *Store) scan() error {
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() || !isShardName(shard.Name()) {
+			continue
+		}
+		shardPath := filepath.Join(s.dir, shard.Name())
+		files, err := os.ReadDir(shardPath)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			name := f.Name()
+			if strings.HasPrefix(name, "tmp-") {
+				_ = os.Remove(filepath.Join(shardPath, name))
+				continue
+			}
+			if !isKey(name) || name[:2] != shard.Name() {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			s.entries[name] = &entry{size: info.Size(), atime: info.ModTime()}
+			s.bytes += info.Size()
+		}
+	}
+	return nil
+}
+
+func isShardName(name string) bool {
+	return len(name) == 2 && isHex(name)
+}
+
+// isKey reports whether name is a well-formed spec key: 64 lowercase
+// hex characters. Everything else is rejected before touching the
+// filesystem, which also closes the path-traversal door.
+func isKey(key string) bool {
+	return len(key) == 64 && isHex(key)
+}
+
+func isHex(s string) bool {
+	for _, r := range s {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key)
+}
+
+// checksum binds an entry to its key and body: hex sha256 over
+// "<key>\n<body>".
+func checksum(key string, body []byte) string {
+	h := sha256.New()
+	h.Write([]byte(key))
+	h.Write([]byte{'\n'})
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// encode renders the on-disk form of one entry.
+func encode(key string, body []byte) []byte {
+	header := formatVersion + " " + checksum(key, body) + "\n"
+	out := make([]byte, 0, len(header)+len(body))
+	out = append(out, header...)
+	out = append(out, body...)
+	return out
+}
+
+// decode parses and verifies an entry file read for key, returning the
+// body or an error describing the corruption.
+func decode(key string, data []byte) ([]byte, error) {
+	nl := -1
+	for i, b := range data {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return nil, fmt.Errorf("no header line")
+	}
+	version, sum, ok := strings.Cut(string(data[:nl]), " ")
+	if !ok || version != formatVersion {
+		return nil, fmt.Errorf("bad header version %q", version)
+	}
+	body := data[nl+1:]
+	if got := checksum(key, body); got != sum {
+		return nil, fmt.Errorf("checksum mismatch: header %s, computed %s", sum, got)
+	}
+	return body, nil
+}
+
+// Get returns the stored body for key and whether it was present. A
+// corrupt or mis-keyed entry is moved to quarantine/ and reported as a
+// miss; I/O errors are plain misses. Hits refresh the entry's recency.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if !isKey(key) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	body, err := decode(key, data)
+	if err != nil {
+		s.quarantine(key, path, err)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.touch(key)
+	return body, true
+}
+
+// touch refreshes an entry's LRU recency, mirroring it to the file
+// mtime (best effort) so restarts keep an approximate access order.
+func (s *Store) touch(key string) {
+	now := time.Now()
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		e.atime = now
+	}
+	s.mu.Unlock()
+	_ = os.Chtimes(s.path(key), now, now)
+}
+
+// quarantine moves a corrupt entry out of the serving tree so the next
+// Get misses cleanly and the bytes stay available for post-mortem.
+func (s *Store) quarantine(key, path string, cause error) {
+	s.quarantined.Add(1)
+	dest := filepath.Join(s.dir, quarantineDir, key)
+	if err := os.Rename(path, dest); err != nil {
+		// Renaming out failed; removing is the next-safest way to stop
+		// serving the corrupt bytes.
+		_ = os.Remove(path)
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.bytes -= e.size
+		delete(s.entries, key)
+	}
+	s.mu.Unlock()
+	if s.logf != nil {
+		s.logf("store: quarantined %s: %v", key, cause)
+	}
+}
+
+// Put durably stores body under key and runs a GC pass. On a write-path
+// error the store demotes itself to read-only (logged once) and returns
+// the error; callers are expected to treat that as advisory — the
+// computation already succeeded, only its persistence failed.
+func (s *Store) Put(key string, body []byte) error {
+	if !isKey(key) {
+		return fmt.Errorf("store: malformed key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.degraded {
+		return nil
+	}
+	if e, ok := s.entries[key]; ok {
+		// Keys are content addresses: an existing entry already holds
+		// these bytes, so only its recency changes.
+		e.atime = time.Now()
+		return nil
+	}
+	size, err := s.writeEntry(key, body)
+	if err != nil {
+		s.demote(err)
+		return err
+	}
+	s.entries[key] = &entry{size: size, atime: time.Now()}
+	s.bytes += size
+	s.writes.Add(1)
+	s.gc()
+	return nil
+}
+
+// writeEntry is the atomic write protocol: temp file in the target
+// shard, write, fsync, close, rename over the final name, fsync the
+// shard directory. Rename within one directory is atomic on POSIX, so
+// readers see the old world or the new one, never a torn file.
+func (s *Store) writeEntry(key string, body []byte) (int64, error) {
+	shard := filepath.Join(s.dir, key[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return 0, err
+	}
+	f, err := os.CreateTemp(shard, "tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	data := encode(key, body)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := syncDir(shard); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// demote flips the store to read-only exactly once. Existing entries
+// keep serving reads; new bodies stay memory-only in the caller's tier.
+// Called with mu held.
+func (s *Store) demote(cause error) {
+	if s.degraded {
+		return
+	}
+	s.degraded = true
+	if s.logf != nil {
+		s.logf("store: write failed, demoting to read-only: %v", cause)
+	}
+}
+
+// gc evicts least-recently-used entries until the byte budget holds.
+// Called with mu held.
+func (s *Store) gc() {
+	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
+		return
+	}
+	type victim struct {
+		key string
+		e   *entry
+	}
+	all := make([]victim, 0, len(s.entries))
+	for k, e := range s.entries {
+		all = append(all, victim{k, e})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].e.atime.Before(all[j].e.atime) })
+	for _, v := range all {
+		if s.bytes <= s.maxBytes {
+			break
+		}
+		_ = os.Remove(s.path(v.key))
+		s.bytes -= v.e.size
+		delete(s.entries, v.key)
+		s.evictions.Add(1)
+	}
+}
+
+// Degraded reports whether a write-path error has demoted the store to
+// read-only.
+func (s *Store) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// Len reports the number of indexed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes reports the indexed on-disk size.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Stats snapshots every counter and gauge for /metrics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	entries, bytes, degraded := len(s.entries), s.bytes, s.degraded
+	s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Writes:      s.writes.Load(),
+		Evictions:   s.evictions.Load(),
+		Quarantined: s.quarantined.Load(),
+		Entries:     entries,
+		Bytes:       bytes,
+		Degraded:    degraded,
+	}
+}

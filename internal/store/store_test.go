@@ -1,0 +1,299 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// key derives a well-formed 64-hex key from a label, the same way the
+// service layer derives keys from canonical specs.
+func key(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTripAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+
+	k := key("job-1")
+	body := []byte(`{"result": {"ta": 0.25}}`)
+	if err := s.Put(k, body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, %v; want original body", got, ok)
+	}
+	if _, ok := s.Get(key("missing")); ok {
+		t.Error("missing key reported as a hit")
+	}
+
+	// A second store over the same directory — the restart — serves the
+	// same bytes without any handoff.
+	s2 := mustOpen(t, dir, Options{})
+	got, ok = s2.Get(k)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("after reopen Get = %q, %v; want original body", got, ok)
+	}
+	if s2.Len() != 1 {
+		t.Errorf("reopened Len = %d, want 1", s2.Len())
+	}
+	st := s2.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Degraded {
+		t.Errorf("reopened stats %+v", st)
+	}
+}
+
+func TestRePutRefreshesWithoutRewrite(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	k := key("idempotent")
+	if err := s.Put(k, []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k, []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	if w := s.Stats().Writes; w != 1 {
+		t.Errorf("writes = %d, want 1 (re-put of a content address is a no-op)", w)
+	}
+}
+
+func TestCorruptBodyQuarantinedAndMissesCleanly(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	k := key("corrupt-me")
+	body := []byte(`{"result": {"completed": 20000}}`)
+	if err := s.Put(k, body); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte of the stored body on disk.
+	path := filepath.Join(dir, k[:2], k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, ok := s.Get(k); ok {
+		t.Fatalf("corrupt entry served: %q", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt entry still in the serving tree")
+	}
+	qpath := filepath.Join(dir, quarantineDir, k)
+	if _, err := os.Stat(qpath); err != nil {
+		t.Errorf("corrupt entry not quarantined: %v", err)
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.Entries != 0 {
+		t.Errorf("stats after quarantine %+v", st)
+	}
+
+	// The store keeps working: the key can be rewritten and served.
+	if err := s.Put(k, body); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(k); !ok || !bytes.Equal(got, body) {
+		t.Errorf("rewrite after quarantine Get = %q, %v", got, ok)
+	}
+}
+
+func TestEntryUnderWrongKeyQuarantined(t *testing.T) {
+	// The checksum binds key and body: a valid file renamed into another
+	// key's slot (cross-linked backup, fat-fingered restore) must not be
+	// served as that key's result.
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	kA, kB := key("job-a"), key("job-b")
+	if err := s.Put(kA, []byte("body-a")); err != nil {
+		t.Fatal(err)
+	}
+	dest := filepath.Join(dir, kB[:2], kB)
+	if err := os.MkdirAll(filepath.Dir(dest), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, kA[:2], kA), dest); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(kB); ok {
+		t.Fatalf("mis-keyed entry served: %q", got)
+	}
+	if s.Stats().Quarantined != 1 {
+		t.Errorf("stats %+v, want one quarantine", s.Stats())
+	}
+}
+
+func TestGCEnforcesBudgetLRU(t *testing.T) {
+	dir := t.TempDir()
+	body := bytes.Repeat([]byte("x"), 1000)
+	// Header ≈ 80 bytes, so each entry is ~1080 bytes; budget three.
+	s := mustOpen(t, dir, Options{MaxBytes: 3400})
+	keys := []string{key("gc-0"), key("gc-1"), key("gc-2")}
+	for _, k := range keys {
+		if err := s.Put(k, body); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Refresh gc-0 so gc-1 is now the least recently used.
+	if _, ok := s.Get(keys[0]); !ok {
+		t.Fatal("warm-up get missed")
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := s.Put(key("gc-3"), body); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes() > 3400 {
+		t.Errorf("bytes %d over budget", s.Bytes())
+	}
+	if _, ok := s.Get(keys[1]); ok {
+		t.Error("LRU entry gc-1 survived the GC pass")
+	}
+	for _, k := range []string{keys[0], keys[2], key("gc-3")} {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("recently used entry %s evicted", k[:8])
+		}
+	}
+	if s.Stats().Evictions == 0 {
+		t.Error("evictions not counted")
+	}
+}
+
+func TestOpenGCShrinksToNewBudget(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(key(fmt.Sprintf("startup-%d", i)), bytes.Repeat([]byte("y"), 500)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Reopen with a budget that fits roughly two entries: the startup GC
+	// pass must prune down immediately.
+	s2 := mustOpen(t, dir, Options{MaxBytes: 1300})
+	if s2.Bytes() > 1300 {
+		t.Errorf("startup GC left %d bytes over the 1300 budget", s2.Bytes())
+	}
+	if s2.Len() >= 5 {
+		t.Errorf("startup GC evicted nothing: %d entries", s2.Len())
+	}
+}
+
+func TestStrayTempFilesSweptAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	k := key("real")
+	if err := s.Put(k, []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-write: a stranded temp file in the shard.
+	stray := filepath.Join(dir, k[:2], "tmp-123456")
+	if err := os.WriteFile(stray, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Error("stray temp file survived reopen")
+	}
+	if s2.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (temp file must not be indexed)", s2.Len())
+	}
+}
+
+func TestWriteErrorDemotesToReadOnly(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "store")
+	s := mustOpen(t, dir, Options{})
+	k1 := key("written-before-failure")
+	if err := s.Put(k1, []byte("safe")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Break the write path in a way that defeats even root: replace the
+	// store root with a regular file, so MkdirAll on a fresh shard fails.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key("doomed-1"), []byte("lost")); err == nil {
+		t.Fatal("Put on a broken root reported success")
+	}
+	if !s.Degraded() {
+		t.Fatal("write failure did not demote the store")
+	}
+	// Demoted means read-only: further puts are silent no-ops, reads
+	// (and the caller's jobs) keep working.
+	if err := s.Put(key("doomed-2"), []byte("dropped")); err != nil {
+		t.Errorf("Put after demotion returned %v, want nil no-op", err)
+	}
+	if _, ok := s.Get(key("doomed-2")); ok {
+		t.Error("demoted store claims to have stored a body")
+	}
+	if !s.Stats().Degraded {
+		t.Error("Stats does not report degradation")
+	}
+}
+
+func TestMalformedKeysRejected(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for _, k := range []string{
+		"",
+		"short",
+		"../../../../etc/passwd",
+		strings.Repeat("Z", 64), // right length, not hex
+		strings.Repeat("a", 63),
+	} {
+		if err := s.Put(k, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a malformed key", k)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Errorf("Get(%q) hit on a malformed key", k)
+		}
+	}
+}
+
+func TestNoTempFilesLeftAfterPuts(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(key(fmt.Sprintf("clean-%d", i)), []byte("body")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), "tmp-") {
+			t.Errorf("temp file left behind: %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
