@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench report quick-report fault-demo service-demo sweep-demo persist-demo fuzz fuzz-spec clean
+.PHONY: all build test test-race bench report quick-report fault-demo service-demo sweep-demo persist-demo chaos-demo fuzz fuzz-spec clean
 
 all: build test
 
@@ -97,6 +97,15 @@ persist-demo:
 	echo "resubmitting the identical spec after restart:"; \
 	curl -s http://127.0.0.1:8346/v1/jobs -d "$$spec" | grep -E '"(state|cached)"'; \
 	curl -s http://127.0.0.1:8346/metrics | grep -E '^coordd_(engine_runs|store_hits)_total'
+
+# Chaos soak under the race detector: a stored daemon rides a
+# fault-injected filesystem through healthy → disk outage → recovery
+# while the harness asserts the operational invariants — no job lost or
+# double-run (engine runs == distinct keys), the store degrades and
+# un-degrades without a restart (>= 1 recovery), and injected engine
+# panics fail only their own job.
+chaos-demo:
+	$(GO) test -race -v -run 'TestSoakDegradeRecoverExactlyOnce|TestEngineChaosPanicsAreIsolated' ./internal/chaos/
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/run/

@@ -1,0 +1,269 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"coordattack/internal/service"
+	"coordattack/internal/stats"
+	"coordattack/internal/table"
+)
+
+// retryClient retries overload responses (429 queue-full, 503 draining)
+// with jittered exponential backoff, honoring the server's Retry-After
+// header when it asks for a longer wait. Attempts are capped: a daemon
+// that stays slammed eventually surfaces its structured overload error
+// instead of blocking the bench forever. Each sleep counts toward the
+// summary (retries/waited) so backpressure is visible in the output.
+type retryClient struct {
+	c           *http.Client
+	maxAttempts int
+	base        time.Duration // first backoff step
+	maxDelay    time.Duration // exponential cap
+	maxHonor    time.Duration // Retry-After cap, keeps the bench responsive
+	sleep       func(time.Duration)
+	jitter      func() float64 // uniform [0,1); ×[0.5,1.5) spread on each delay
+
+	retries int
+	waited  time.Duration
+}
+
+func newRetryClient() *retryClient {
+	return &retryClient{
+		c:           &http.Client{Timeout: 30 * time.Second},
+		maxAttempts: 6,
+		base:        250 * time.Millisecond,
+		maxDelay:    4 * time.Second,
+		maxHonor:    15 * time.Second,
+		sleep:       time.Sleep,
+		jitter:      rand.Float64,
+	}
+}
+
+// do issues req until it returns a non-overload response or attempts
+// run out; the final response is returned unconsumed either way, so
+// callers surface the server's structured error body. req is called
+// fresh per attempt (request bodies cannot be replayed).
+func (rc *retryClient) do(req func() (*http.Response, error)) (*http.Response, error) {
+	for attempt := 1; ; attempt++ {
+		resp, err := req()
+		if err != nil {
+			return nil, err
+		}
+		if (resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable) ||
+			attempt >= rc.maxAttempts {
+			return resp, nil
+		}
+		delay := rc.delay(attempt, resp.Header.Get("Retry-After"))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		rc.retries++
+		rc.waited += delay
+		rc.sleep(delay)
+	}
+}
+
+// delay computes the wait before the next attempt: exponential from
+// base with ×[0.5,1.5) jitter (so a fleet of benches does not retry in
+// lockstep), raised to the server's Retry-After when that asks for
+// more, both capped.
+func (rc *retryClient) delay(attempt int, retryAfter string) time.Duration {
+	d := rc.base << (attempt - 1)
+	if d > rc.maxDelay {
+		d = rc.maxDelay
+	}
+	d = time.Duration(float64(d) * (0.5 + rc.jitter()))
+	if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		if ra := time.Duration(secs) * time.Second; ra > d {
+			d = ra
+		}
+	}
+	if d > rc.maxHonor {
+		d = rc.maxHonor
+	}
+	return d
+}
+
+// runServer is coordbench's client mode: it submits a sweep spec to a
+// running coordd, polls the aggregate status until every cell settles,
+// and renders the rolled-up tradeoff table. Exit status is nonzero when
+// any cell failed or was cancelled.
+func runServer(base, sweepArg string, timeout time.Duration, out io.Writer) int {
+	if sweepArg == "" {
+		fmt.Fprintln(os.Stderr, "coordbench: -server needs -sweep JSON|@file")
+		return 2
+	}
+	raw, err := loadSweepSpec(sweepArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordbench:", err)
+		return 2
+	}
+	base = strings.TrimRight(base, "/")
+	client := newRetryClient()
+
+	st, err := submitSweep(client, base, raw)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordbench:", err)
+		return 1
+	}
+	fmt.Fprintf(out, "sweep %s: %d cells (key %s)\n", st.ID, st.Cells, st.Key[:12])
+
+	deadline := time.Now().Add(timeout)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "coordbench: sweep %s still %s after %v\n", st.ID, st.State, timeout)
+			return 1
+		}
+		time.Sleep(250 * time.Millisecond)
+		st, err = pollSweep(client, base, st.ID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coordbench:", err)
+			return 1
+		}
+	}
+
+	fmt.Fprint(out, renderSweep(st))
+	if client.retries > 0 {
+		fmt.Fprintf(out, "overload retries: %d (waited %v)\n", client.retries, client.waited.Round(time.Millisecond))
+	}
+	if st.State != service.StateDone {
+		fmt.Fprintf(os.Stderr, "coordbench: sweep %s ended %s (%d failed, %d cancelled)\n",
+			st.ID, st.State, st.Failed, st.Cancelled)
+		return 1
+	}
+	return 0
+}
+
+// loadSweepSpec reads the sweep spec from the flag value: a leading '@'
+// names a file, anything else is inline JSON.
+func loadSweepSpec(arg string) ([]byte, error) {
+	if name, ok := strings.CutPrefix(arg, "@"); ok {
+		return os.ReadFile(name)
+	}
+	return []byte(arg), nil
+}
+
+// submitSweep posts the sweep, retrying overload. Retrying a submit is
+// safe: sweep submission is idempotent up to coalescing — a re-sent
+// grid answers from the cache or attaches to in-flight twins.
+func submitSweep(client *retryClient, base string, raw []byte) (*service.SweepStatus, error) {
+	resp, err := client.do(func() (*http.Response, error) {
+		return client.c.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(raw))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return decodeSweep(resp)
+}
+
+func pollSweep(client *retryClient, base, id string) (*service.SweepStatus, error) {
+	resp, err := client.do(func() (*http.Response, error) {
+		return client.c.Get(base + "/v1/sweeps/" + id)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return decodeSweep(resp)
+}
+
+func decodeSweep(resp *http.Response) (*service.SweepStatus, error) {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		var ae struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+			return nil, fmt.Errorf("server: %s", ae.Error)
+		}
+		return nil, fmt.Errorf("server: %s", resp.Status)
+	}
+	var st service.SweepStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("decoding sweep status: %w", err)
+	}
+	return &st, nil
+}
+
+// renderSweep formats the settled sweep as the paper's tradeoff table:
+// one row per cell with the axis coordinates, the Wilson 95% intervals
+// of L (the liveness estimate TA) and U (the unsafety estimate PA), and
+// their point-estimate ratio L/U, the quantity Theorem 5.4 bounds.
+func renderSweep(st *service.SweepStatus) string {
+	names := paramColumns(st)
+	cols := append(append([]string{}, names...),
+		"state", "trials", "L=ta (95% CI)", "U=pa (95% CI)", "L/U")
+	t := table.New(fmt.Sprintf("sweep %s [%s]", st.ID, st.State), cols...)
+	for _, row := range st.Table {
+		cells := make([]string, 0, len(cols))
+		for _, n := range names {
+			cells = append(cells, row.Params[n])
+		}
+		trials := fmt.Sprintf("%d", row.Completed)
+		if row.Stopped {
+			trials += "*" // early-stopped at the target CI width
+		}
+		cells = append(cells, string(row.State), trials,
+			renderInterval(row.TA), renderInterval(row.PA), renderRatio(row))
+		t.AddRow(cells...)
+	}
+	s := t.Render()
+	for _, row := range st.Table {
+		if row.Stopped {
+			s += "(* = stopped early at the target CI width)\n"
+			break
+		}
+	}
+	return s
+}
+
+// paramColumns orders the axis names: the well-known axes first, in
+// sweep-expansion order, then any others alphabetically.
+func paramColumns(st *service.SweepStatus) []string {
+	known := []string{"graph", "rounds", "epsilon", "fault_rate", "trials", "seed"}
+	seen := make(map[string]bool)
+	for _, row := range st.Table {
+		for n := range row.Params {
+			seen[n] = true
+		}
+	}
+	var out []string
+	for _, n := range known {
+		if seen[n] {
+			out = append(out, n)
+			delete(seen, n)
+		}
+	}
+	rest := make([]string, 0, len(seen))
+	for n := range seen {
+		rest = append(rest, n)
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+func renderInterval(iv *stats.Interval) string {
+	if iv == nil {
+		return "-"
+	}
+	return fmt.Sprintf("[%.4f, %.4f]", iv.Lo, iv.Hi)
+}
+
+func renderRatio(row service.SweepRow) string {
+	if row.LOverU == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", row.LOverU)
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"coordattack/internal/service"
+)
+
+// testRetryClient returns a retryClient with deterministic jitter (×1.0)
+// and recorded, skipped sleeps.
+func testRetryClient() (*retryClient, *[]time.Duration) {
+	rc := newRetryClient()
+	slept := &[]time.Duration{}
+	rc.sleep = func(d time.Duration) { *slept = append(*slept, d) }
+	rc.jitter = func() float64 { return 0.5 }
+	return rc, slept
+}
+
+func TestRetryClientRetriesOverloadThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error": "queue full"}`)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer srv.Close()
+
+	rc, slept := testRetryClient()
+	resp, err := rc.do(func() (*http.Response, error) { return rc.c.Get(srv.URL) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("final status %d, want 200", resp.StatusCode)
+	}
+	if rc.retries != 2 {
+		t.Errorf("retries = %d, want 2", rc.retries)
+	}
+	// Retry-After: 1 overrides both exponential steps (250ms, 500ms).
+	want := []time.Duration{time.Second, time.Second}
+	if len(*slept) != len(want) || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Errorf("sleeps = %v, want %v", *slept, want)
+	}
+	if rc.waited != 2*time.Second {
+		t.Errorf("waited = %v, want 2s", rc.waited)
+	}
+}
+
+func TestRetryClientGivesUpAndSurfacesServerError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error": "draining"}`)
+	}))
+	defer srv.Close()
+
+	rc, _ := testRetryClient()
+	rc.maxAttempts = 3
+	resp, err := rc.do(func() (*http.Response, error) { return rc.c.Get(srv.URL) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("final status %d, want the 503 back", resp.StatusCode)
+	}
+	if rc.retries != 2 {
+		t.Errorf("retries = %d, want maxAttempts-1 = 2", rc.retries)
+	}
+	// The final response comes back unconsumed: decodeSweep still reads
+	// the server's structured error out of it.
+	if _, err := decodeSweep(resp); err == nil || !strings.Contains(err.Error(), "draining") {
+		t.Errorf("decode error = %v, want the server's draining message", err)
+	}
+}
+
+func TestRetryDelayBackoffAndCaps(t *testing.T) {
+	rc, _ := testRetryClient()
+	cases := []struct {
+		attempt    int
+		retryAfter string
+		want       time.Duration
+	}{
+		{1, "", 250 * time.Millisecond},
+		{2, "", 500 * time.Millisecond},
+		{3, "", time.Second},
+		{6, "", 4 * time.Second},    // exponential cap
+		{1, "2", 2 * time.Second},   // Retry-After raises the wait
+		{6, "1", 4 * time.Second},   // ...but never lowers it
+		{1, "30", 15 * time.Second}, // honored only up to maxHonor
+		{1, "nonsense", 250 * time.Millisecond},
+		{1, "-3", 250 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := rc.delay(c.attempt, c.retryAfter); got != c.want {
+			t.Errorf("delay(attempt=%d, retryAfter=%q) = %v, want %v", c.attempt, c.retryAfter, got, c.want)
+		}
+	}
+}
+
+func TestRunServerSurfacesRetriesInSummary(t *testing.T) {
+	// A server that sheds the first submit and then settles immediately:
+	// the bench must transparently retry and report the backpressure.
+	var posts atomic.Int64
+	settled := service.SweepStatus{ID: "sw-test", Key: strings.Repeat("ab", 32), State: service.StateDone, Cells: 1}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && posts.Add(1) == 1 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error": "queue full"}`)
+			return
+		}
+		json.NewEncoder(w).Encode(settled)
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	code := runServer(srv.URL, `{"base": {"protocol": "s:0.5"}}`, time.Minute, &out)
+	if code != 0 {
+		t.Fatalf("exit code %d, output:\n%s", code, out.String())
+	}
+	if got := posts.Load(); got != 2 {
+		t.Errorf("submit posts = %d, want 2 (one shed, one retried)", got)
+	}
+	if !strings.Contains(out.String(), "overload retries: 1") {
+		t.Errorf("summary missing retry line:\n%s", out.String())
+	}
+}

@@ -51,7 +51,11 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown grace period before in-flight jobs are cancelled")
 		storeDir     = fs.String("store-dir", "", "on-disk result store directory; empty = memory-only (results die with the process)")
 		storeMax     = fs.Int64("store-max-bytes", 1<<30, "result store size budget in bytes (0 = unlimited)")
+		storeProbe   = fs.Duration("store-probe", 10*time.Second, "degraded-store recovery probe interval (0 = never probe; rescan still recovers)")
 		sweepKeep    = fs.Int("sweep-retention", 256, "settled sweeps kept queryable before eviction")
+		jobKeep      = fs.Int("job-retention", 4096, "settled jobs kept queryable before eviction")
+		wdInterval   = fs.Duration("watchdog-interval", 5*time.Second, "stuck-job watchdog scan interval (0 = watchdog off)")
+		wdGrace      = fs.Duration("watchdog-grace", 30*time.Second, "time past deadline with no progress before a job is declared stuck")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -64,29 +68,45 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		fmt.Fprintln(os.Stderr, "coordd: trial-workers must be >= 0 (0 = auto)")
 		return 2
 	}
-	if *storeMax < 0 || *sweepKeep < 1 {
-		fmt.Fprintln(os.Stderr, "coordd: store-max-bytes must be >= 0 and sweep-retention >= 1")
+	if *storeMax < 0 || *sweepKeep < 1 || *storeProbe < 0 {
+		fmt.Fprintln(os.Stderr, "coordd: store-max-bytes and store-probe must be >= 0 and sweep-retention >= 1")
+		return 2
+	}
+	if *jobKeep < 1 || *wdInterval < 0 || *wdGrace <= 0 {
+		fmt.Fprintln(os.Stderr, "coordd: job-retention must be >= 1, watchdog-interval >= 0 and watchdog-grace > 0")
 		return 2
 	}
 
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
-		st, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMax, Logf: log.Printf})
+		st, err = store.Open(*storeDir, store.Options{
+			MaxBytes:      *storeMax,
+			Logf:          log.Printf,
+			ProbeInterval: *storeProbe,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
+		defer st.Close()
 	}
 
+	watchdogInterval := *wdInterval
+	if watchdogInterval == 0 {
+		watchdogInterval = -1 // flag 0 = off; Config 0 = default
+	}
 	srv := service.New(service.Config{
-		Workers:        *workers,
-		TrialWorkers:   *trialWorkers,
-		QueueDepth:     *queueDepth,
-		CacheSize:      *cacheSize,
-		JobTimeout:     *jobTimeout,
-		Store:          st,
-		SweepRetention: *sweepKeep,
+		Workers:          *workers,
+		TrialWorkers:     *trialWorkers,
+		QueueDepth:       *queueDepth,
+		CacheSize:        *cacheSize,
+		JobTimeout:       *jobTimeout,
+		Store:            st,
+		SweepRetention:   *sweepKeep,
+		JobRetention:     *jobKeep,
+		WatchdogInterval: watchdogInterval,
+		WatchdogGrace:    *wdGrace,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -20,6 +20,10 @@ func TestDaemonBadFlags(t *testing.T) {
 		{"-job-timeout", "0s"},
 		{"-store-max-bytes", "-1"},
 		{"-sweep-retention", "0"},
+		{"-store-probe", "-1s"},
+		{"-job-retention", "0"},
+		{"-watchdog-interval", "-1s"},
+		{"-watchdog-grace", "0s"},
 	}
 	for _, args := range cases {
 		if code := run(args, io.Discard, nil); code != 2 {
@@ -151,6 +155,63 @@ func TestDaemonRestartPersistence(t *testing.T) {
 	}
 	if !strings.Contains(string(metrics), "coordd_store_hits_total 1") {
 		t.Errorf("/metrics missing store hit:\n%s", metrics)
+	}
+}
+
+// TestDaemonAdminStore exercises the operator surface over real HTTP: a
+// daemon with a store reports its health under /v1/admin/store, a
+// rescan returns a clean report, and a store-less daemon 404s both.
+func TestDaemonAdminStore(t *testing.T) {
+	dir := t.TempDir()
+	base, stop, exit := bootDaemon(t, "-store-dir", dir)
+	defer shutdownDaemon(t, stop, exit)
+
+	r, err := http.Get(base + "/v1/admin/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Degraded   bool              `json:"degraded"`
+		Quarantine []json.RawMessage `json:"quarantine"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || health.Degraded {
+		t.Errorf("admin/store code %d degraded %v, want healthy 200", r.StatusCode, health.Degraded)
+	}
+	if health.Quarantine == nil {
+		t.Error("quarantine field absent, want [] even when empty")
+	}
+
+	r, err = http.Post(base+"/v1/admin/store/rescan", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Degraded  bool `json:"degraded"`
+		Recovered bool `json:"recovered"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || rep.Degraded || rep.Recovered {
+		t.Errorf("rescan code %d report %+v, want clean 200", r.StatusCode, rep)
+	}
+
+	// Without -store-dir there is nothing to administer: 404.
+	base2, stop2, exit2 := bootDaemon(t)
+	defer shutdownDaemon(t, stop2, exit2)
+	r, err = http.Get(base2 + "/v1/admin/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("store-less admin/store code %d, want 404", r.StatusCode)
 	}
 }
 

@@ -1,0 +1,265 @@
+// Package chaos is the deterministic fault-injection harness for the
+// coordd operational stack: it wraps the store's filesystem (injected
+// EIO/ENOSPC, slow IO, torn writes) and the service's engines (stalls,
+// panics) with seed-reproducible fault schedules, in the style of
+// internal/fault's adversary plans — the paper's strong adversary, aimed
+// at the daemon's own channels instead of the protocol's.
+//
+// The FS wrapper supports two failure modes that compose:
+//
+//   - a Plan: per-operation probabilistic faults drawn from a
+//     deterministic rng stream, so a given (seed, op-index) always
+//     injects the same fault — re-running a sequential workload replays
+//     its exact fault schedule;
+//   - a manual outage (Break/Heal): every mutating operation fails with
+//     EIO until healed, modeling a full disk or a dead mount, which is
+//     what drives the store's degrade → probe → recover cycle in the
+//     soak test.
+//
+// Reads are never broken by the manual outage — a read-only filesystem
+// keeps serving what it has, exactly like the degraded store — so soak
+// invariants over cache consistency stay exact.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"coordattack/internal/rng"
+	"coordattack/internal/store"
+)
+
+// planSalt derives the chaos stream from the seed, mirroring
+// fault.Sample's seed-mixing discipline.
+const planSalt = 0xc4a05
+
+// Plan is a deterministic per-operation fault schedule for a chaos FS.
+// The zero value injects nothing; every probability must be in [0, 1].
+type Plan struct {
+	// Seed roots the fault schedule; equal seeds replay equal faults
+	// for the same operation sequence.
+	Seed uint64
+	// PWriteErr is the per-mutating-operation probability of an
+	// injected write error (EIO or ENOSPC, drawn per fault).
+	PWriteErr float64
+	// PSlow is the per-operation probability of injected latency.
+	PSlow float64
+	// SlowFor is the injected latency; 0 with PSlow > 0 means 1ms.
+	SlowFor time.Duration
+	// PTorn is the per-File.Write probability that only a prefix of the
+	// payload (torn at a drawn byte offset) reaches the file while the
+	// write still reports success — a crash mid-write made durable.
+	PTorn float64
+}
+
+func (p Plan) validate() error {
+	// NaN fails every comparison, so check validity positively.
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{{"PWriteErr", p.PWriteErr}, {"PSlow", p.PSlow}, {"PTorn", p.PTorn}} {
+		if !(v.val >= 0 && v.val <= 1) || math.IsNaN(v.val) {
+			return fmt.Errorf("chaos: %s = %v out of [0,1]", v.name, v.val)
+		}
+	}
+	if p.SlowFor < 0 {
+		return fmt.Errorf("chaos: SlowFor = %v negative", p.SlowFor)
+	}
+	return nil
+}
+
+// FSStats counts the faults an FS actually injected.
+type FSStats struct {
+	Errors     int64 // injected EIO/ENOSPC (plan and outage)
+	TornWrites int64
+	SlowOps    int64
+}
+
+// FS wraps a store.FS with the fault schedule. It is safe for
+// concurrent use; operation indices are assigned in execution order, so
+// schedules are exactly reproducible for sequential workloads and
+// reproducible per interleaving for concurrent ones.
+type FS struct {
+	inner  store.FS
+	plan   Plan
+	stream rng.Stream
+	op     atomic.Uint64
+	broken atomic.Bool
+
+	errors     atomic.Int64
+	tornWrites atomic.Int64
+	slowOps    atomic.Int64
+}
+
+// NewFS wraps inner with plan's fault schedule.
+func NewFS(inner store.FS, plan Plan) (*FS, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	if plan.SlowFor == 0 {
+		plan.SlowFor = time.Millisecond
+	}
+	return &FS{
+		inner:  inner,
+		plan:   plan,
+		stream: rng.NewStream(rng.Mix64(plan.Seed ^ planSalt)),
+	}, nil
+}
+
+// Break starts a manual outage: every mutating operation fails with EIO
+// until Heal. Reads keep working.
+func (f *FS) Break() { f.broken.Store(true) }
+
+// Heal ends the manual outage.
+func (f *FS) Heal() { f.broken.Store(false) }
+
+// Broken reports whether a manual outage is in effect.
+func (f *FS) Broken() bool { return f.broken.Load() }
+
+// Stats snapshots the injected-fault counters.
+func (f *FS) Stats() FSStats {
+	return FSStats{
+		Errors:     f.errors.Load(),
+		TornWrites: f.tornWrites.Load(),
+		SlowOps:    f.slowOps.Load(),
+	}
+}
+
+// tape returns the deterministic draw source for the next operation.
+func (f *FS) tape() *rng.Tape {
+	return f.stream.Tape(f.op.Add(1), 0)
+}
+
+// enter runs the common per-operation schedule: maybe inject latency,
+// then — for mutating ops — maybe inject an error. A non-nil error is
+// what the operation must return.
+func (f *FS) enter(op, path string, mutating bool) error {
+	t := f.tape()
+	if slow, _ := t.Bernoulli(f.plan.PSlow); slow {
+		f.slowOps.Add(1)
+		time.Sleep(f.plan.SlowFor)
+	}
+	if !mutating {
+		return nil
+	}
+	if f.broken.Load() {
+		f.errors.Add(1)
+		return &os.PathError{Op: op, Path: path, Err: syscall.EIO}
+	}
+	if hit, _ := t.Bernoulli(f.plan.PWriteErr); hit {
+		f.errors.Add(1)
+		errno := syscall.Errno(syscall.EIO)
+		if v, _ := t.UintN(2); v == 1 {
+			errno = syscall.ENOSPC
+		}
+		return &os.PathError{Op: op, Path: path, Err: errno}
+	}
+	return nil
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.enter("mkdir", path, true); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.enter("readdir", name, false); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if err := f.enter("read", name, false); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.enter("rename", oldpath, true); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if err := f.enter("remove", name, true); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) Chtimes(name string, atime, mtime time.Time) error {
+	if err := f.enter("chtimes", name, true); err != nil {
+		return err
+	}
+	return f.inner.Chtimes(name, atime, mtime)
+}
+
+func (f *FS) CreateTemp(dir, pattern string) (store.File, error) {
+	if err := f.enter("create", dir, true); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{fs: f, inner: inner}, nil
+}
+
+func (f *FS) SyncDir(name string) error {
+	if err := f.enter("syncdir", name, true); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(name)
+}
+
+// chaosFile threads the schedule through the open-file write protocol.
+type chaosFile struct {
+	fs    *FS
+	inner store.File
+}
+
+func (c *chaosFile) Name() string { return c.inner.Name() }
+
+// Write injects both error faults and torn writes. A torn write
+// persists only a prefix of p yet reports full success — the caller's
+// fsync+rename then makes the truncated entry durable, which is exactly
+// the corruption the store's read-time checksum must catch.
+func (c *chaosFile) Write(p []byte) (int, error) {
+	if err := c.fs.enter("write", c.inner.Name(), true); err != nil {
+		return 0, err
+	}
+	if len(p) > 0 {
+		t := c.fs.tape()
+		if torn, _ := t.Bernoulli(c.fs.plan.PTorn); torn {
+			off, _ := t.UintN(uint64(len(p)))
+			c.fs.tornWrites.Add(1)
+			if _, err := c.inner.Write(p[:off]); err != nil {
+				return 0, err
+			}
+			return len(p), nil
+		}
+	}
+	return c.inner.Write(p)
+}
+
+func (c *chaosFile) Sync() error {
+	if err := c.fs.enter("sync", c.inner.Name(), true); err != nil {
+		return err
+	}
+	return c.inner.Sync()
+}
+
+func (c *chaosFile) Close() error {
+	// Close is never failed by the schedule: an injected close error
+	// would leak the real file descriptor under the wrapper.
+	return c.inner.Close()
+}

@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"coordattack/internal/store"
+)
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{PWriteErr: -0.1},
+		{PWriteErr: 1.1},
+		{PWriteErr: math.NaN()},
+		{PSlow: math.NaN()},
+		{PTorn: 2},
+		{SlowFor: -time.Second},
+	}
+	for _, p := range bad {
+		if _, err := NewFS(store.DiskFS(), p); err == nil {
+			t.Errorf("plan %+v accepted, want error", p)
+		}
+	}
+	if _, err := NewFS(store.DiskFS(), Plan{}); err != nil {
+		t.Errorf("zero plan rejected: %v", err)
+	}
+}
+
+// faultPattern runs a fixed sequence of operations against a fresh FS
+// and records which ones drew an injected error.
+func faultPattern(t *testing.T, seed uint64) []bool {
+	t.Helper()
+	dir := t.TempDir()
+	fs, err := NewFS(store.DiskFS(), Plan{Seed: seed, PWriteErr: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pattern []bool
+	for i := 0; i < 40; i++ {
+		err := fs.MkdirAll(filepath.Join(dir, "d"), 0o755)
+		pattern = append(pattern, err != nil)
+	}
+	return pattern
+}
+
+func TestScheduleIsSeedReproducible(t *testing.T) {
+	a, b := faultPattern(t, 42), faultPattern(t, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: fault %v vs %v for equal seeds", i, a[i], b[i])
+		}
+	}
+	c := faultPattern(t, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 injected identical schedules (suspicious)")
+	}
+	any := false
+	for _, hit := range a {
+		any = any || hit
+	}
+	if !any {
+		t.Error("PWriteErr=0.4 over 40 ops injected nothing")
+	}
+}
+
+func TestBreakFailsOnlyMutatingOps(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFS(store.DiskFS(), Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, "f")
+	if err := os.WriteFile(name, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.Break()
+	if err := fs.MkdirAll(filepath.Join(dir, "sub"), 0o755); err == nil {
+		t.Error("MkdirAll succeeded during outage")
+	}
+	if _, err := fs.CreateTemp(dir, "tmp-*"); err == nil {
+		t.Error("CreateTemp succeeded during outage")
+	}
+	if _, err := fs.ReadFile(name); err != nil {
+		t.Errorf("ReadFile failed during outage: %v", err)
+	}
+	if _, err := fs.ReadDir(dir); err != nil {
+		t.Errorf("ReadDir failed during outage: %v", err)
+	}
+
+	fs.Heal()
+	if err := fs.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Errorf("MkdirAll failed after heal: %v", err)
+	}
+	if got := fs.Stats().Errors; got < 2 {
+		t.Errorf("injected errors = %d, want >= 2", got)
+	}
+}
+
+// tornKey returns a well-formed store key for the torn-write test.
+func tornKey() string {
+	return "00000000000000000000000000000000000000000000000000000000000000aa"
+}
+
+func TestTornWriteIsQuarantinedOnRead(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFS(store.DiskFS(), Plan{Seed: 3, PTorn: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir, store.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The torn write reports success: the store believes the entry is
+	// durable and indexes it.
+	if err := st.Put(tornKey(), []byte(`{"torn": true}`)); err != nil {
+		t.Fatalf("torn Put returned error: %v", err)
+	}
+	if st.Degraded() {
+		t.Fatal("torn write degraded the store (it must look like success)")
+	}
+	if fs.Stats().TornWrites == 0 {
+		t.Fatal("no torn write injected at PTorn=1")
+	}
+	// The read-time checksum catches the truncation: miss + quarantine,
+	// never a corrupt body served.
+	if body, ok := st.Get(tornKey()); ok {
+		t.Fatalf("torn entry served: %q", body)
+	}
+	if got := st.Stats().Quarantined; got != 1 {
+		t.Errorf("quarantined = %d, want 1", got)
+	}
+	if q := st.Quarantine(); len(q) != 1 || q[0].Name != tornKey() {
+		t.Errorf("quarantine listing = %+v, want the torn key", q)
+	}
+}

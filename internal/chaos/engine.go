@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"coordattack/internal/mc"
+	"coordattack/internal/service"
+)
+
+// EnginePlan schedules engine-level faults, injected through
+// service.Config.WrapEngine. Counting runs (rather than drawing
+// probabilities) keeps the schedule exact under a concurrent worker
+// pool: the Nth engine run faults no matter which worker picks it up.
+type EnginePlan struct {
+	// StallEvery makes every Nth engine run stall for StallFor before
+	// doing its work, deliberately ignoring the job context — the wedged
+	// engine the stuck-job watchdog exists for. 0 disables stalls.
+	StallEvery int
+	// StallFor is the stall duration; 0 with StallEvery > 0 means 50ms.
+	StallFor time.Duration
+	// PanicEvery makes every Nth engine run panic, exercising the
+	// scheduler's panic isolation. 0 disables panics.
+	PanicEvery int
+}
+
+// Engine wraps engine runs with an EnginePlan's fault schedule.
+type Engine struct {
+	plan EnginePlan
+
+	runs   atomic.Int64
+	stalls atomic.Int64
+	panics atomic.Int64
+}
+
+// EngineStats counts the faults an Engine actually injected, plus the
+// total runs it saw.
+type EngineStats struct {
+	Runs   int64
+	Stalls int64
+	Panics int64
+}
+
+// NewEngine returns an Engine for plan.
+func NewEngine(plan EnginePlan) *Engine {
+	if plan.StallFor == 0 {
+		plan.StallFor = 50 * time.Millisecond
+	}
+	return &Engine{plan: plan}
+}
+
+// Stats snapshots the injected-fault counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{Runs: e.runs.Load(), Stalls: e.stalls.Load(), Panics: e.panics.Load()}
+}
+
+// Wrap is the service.Config.WrapEngine hook: it schedules this run's
+// fault (panic, stall, or nothing) and then delegates to the real
+// engine. Injected panics are recovered by the scheduler's ordinary
+// panic isolation; injected stalls ignore ctx, so a stalled run past
+// its deadline is indistinguishable from a wedged engine — which is the
+// point.
+func (e *Engine) Wrap(name string, next service.RunFunc) service.RunFunc {
+	return func(ctx context.Context, spec service.JobSpec, workers int, progress func(mc.Snapshot)) (json.RawMessage, error) {
+		n := e.runs.Add(1)
+		if e.plan.PanicEvery > 0 && n%int64(e.plan.PanicEvery) == 0 {
+			e.panics.Add(1)
+			panic(fmt.Sprintf("chaos: injected panic on engine run %d", n))
+		}
+		if e.plan.StallEvery > 0 && n%int64(e.plan.StallEvery) == 0 {
+			e.stalls.Add(1)
+			time.Sleep(e.plan.StallFor)
+		}
+		return next(ctx, spec, workers, progress)
+	}
+}

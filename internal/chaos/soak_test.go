@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"coordattack/internal/service"
+	"coordattack/internal/store"
+)
+
+// soakSpec builds one small, fast mc job; distinct seeds mean distinct
+// canonical keys, so the seed list is the distinct-work ledger the
+// invariants count against.
+func soakSpec(seed uint64) service.JobSpec {
+	return service.JobSpec{Protocol: "s:0.5", Rounds: 2, Trials: 300, Seed: seed}
+}
+
+// settle submits one spec and waits for its job to reach a terminal
+// state, returning the final status.
+func settle(t *testing.T, srv *service.Server, spec service.JobSpec) *service.Status {
+	t.Helper()
+	st, err := srv.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit seed %d: %v", spec.Seed, err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !st.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", st.ID, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+		var err error
+		st, err = srv.Get(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestSoakDegradeRecoverExactlyOnce is the chaos soak: a daemon whose
+// store rides a fault-injected filesystem is driven through a healthy
+// phase, a full disk outage, and a recovery, while the harness asserts
+// the operational invariants:
+//
+//   - no job is lost or double-run: every submitted key settles done
+//     exactly once, and coordd_engine_runs_total equals the number of
+//     distinct uncached keys ever submitted;
+//   - the store degrades under the outage and un-degrades without a
+//     restart once the disk heals (coordd_store_recoveries_total ≥ 1);
+//   - after recovery the write path works again and a full replay of
+//     every spec is served from cache with zero new engine runs.
+func TestSoakDegradeRecoverExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	cfs, err := NewFS(store.DiskFS(), Plan{Seed: 7, PSlow: 0.05, SlowFor: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir, store.Options{FS: cfs, ProbeInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := service.New(service.Config{Workers: 3, Store: st, JobTimeout: time.Minute})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	}()
+
+	// Phase A — healthy: distinct work runs and persists.
+	var seeds []uint64
+	for seed := uint64(1); seed <= 6; seed++ {
+		seeds = append(seeds, seed)
+		if fin := settle(t, srv, soakSpec(seed)); fin.State != service.StateDone || fin.Cached {
+			t.Fatalf("phase A seed %d: state %s cached=%v", seed, fin.State, fin.Cached)
+		}
+	}
+	if st.Degraded() {
+		t.Fatal("store degraded during healthy phase")
+	}
+	if w := st.Stats().Writes; w != 6 {
+		t.Fatalf("phase A store writes = %d, want 6", w)
+	}
+
+	// Phase B — outage: every store write fails with EIO. Jobs must
+	// keep settling (store errors are advisory) and the store must
+	// demote itself to read-only.
+	cfs.Break()
+	for seed := uint64(7); seed <= 12; seed++ {
+		seeds = append(seeds, seed)
+		if fin := settle(t, srv, soakSpec(seed)); fin.State != service.StateDone {
+			t.Fatalf("phase B seed %d: state %s, want done despite outage", seed, fin.State)
+		}
+	}
+	if !st.Degraded() {
+		t.Fatal("store not degraded after write outage")
+	}
+
+	// Phase C — heal: the background probe must un-degrade the store
+	// without any restart or operator action.
+	cfs.Heal()
+	recoverBy := time.Now().Add(5 * time.Second)
+	for st.Degraded() {
+		if time.Now().After(recoverBy) {
+			t.Fatal("store still degraded 5s after disk healed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if r := st.Stats().Recoveries; r < 1 {
+		t.Fatalf("store recoveries = %d, want >= 1", r)
+	}
+	writesBefore := st.Stats().Writes
+	for seed := uint64(13); seed <= 15; seed++ {
+		seeds = append(seeds, seed)
+		if fin := settle(t, srv, soakSpec(seed)); fin.State != service.StateDone {
+			t.Fatalf("phase C seed %d: state %s", seed, fin.State)
+		}
+	}
+	if w := st.Stats().Writes; w <= writesBefore {
+		t.Fatalf("store writes stuck at %d after recovery", w)
+	}
+
+	// Replay — every spec ever submitted answers from cache: no key was
+	// lost, no work re-runs.
+	for _, seed := range seeds {
+		fin := settle(t, srv, soakSpec(seed))
+		if fin.State != service.StateDone || !fin.Cached {
+			t.Fatalf("replay seed %d: state %s cached=%v, want cached done", seed, fin.State, fin.Cached)
+		}
+	}
+
+	m := srv.Metrics()
+	if runs := m.EngineRuns.Load(); runs != int64(len(seeds)) {
+		t.Errorf("engine runs = %d, want %d (one per distinct key, none for replays)", runs, len(seeds))
+	}
+	if done := m.JobsCompleted.Load(); done != int64(len(seeds)) {
+		t.Errorf("jobs completed = %d, want %d", done, len(seeds))
+	}
+	if failed, cancelled := m.JobsFailed.Load(), m.JobsCancelled.Load(); failed != 0 || cancelled != 0 {
+		t.Errorf("failed=%d cancelled=%d, want 0/0 — a job was lost", failed, cancelled)
+	}
+	if st.Degraded() {
+		t.Error("store degraded at soak end")
+	}
+}
+
+// TestEngineChaosPanicsAreIsolated drives a daemon through an engine
+// fault schedule that panics every second run: the panicking jobs fail
+// individually with the injected panic surfaced, the others complete,
+// and the daemon keeps serving throughout.
+func TestEngineChaosPanicsAreIsolated(t *testing.T) {
+	eng := NewEngine(EnginePlan{PanicEvery: 2})
+	srv := service.New(service.Config{Workers: 1, WrapEngine: eng.Wrap})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Drain(ctx)
+	}()
+
+	var done, failed int
+	for seed := uint64(1); seed <= 4; seed++ {
+		fin := settle(t, srv, soakSpec(100+seed))
+		switch fin.State {
+		case service.StateDone:
+			done++
+		case service.StateFailed:
+			failed++
+			if !strings.Contains(fin.Error, "chaos: injected panic") {
+				t.Errorf("failed job error %q does not surface the injected panic", fin.Error)
+			}
+		default:
+			t.Errorf("seed %d: state %s", seed, fin.State)
+		}
+	}
+	if done != 2 || failed != 2 {
+		t.Errorf("done=%d failed=%d, want 2/2 under panic-every-2", done, failed)
+	}
+	if got := eng.Stats().Panics; got != 2 {
+		t.Errorf("injected panics = %d, want 2", got)
+	}
+	if got := srv.Metrics().EnginePanics.Load(); got != 2 {
+		t.Errorf("recovered panics metric = %d, want 2", got)
+	}
+}

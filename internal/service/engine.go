@@ -37,6 +37,19 @@ type runParams struct {
 	progress func(mc.Snapshot)
 }
 
+// RunFunc is one engine execution as a plain function: what
+// Config.WrapEngine intercepts. The workers and progress arguments
+// mirror runParams; wrappers must forward both for the scheduler's
+// trial budgeting and watchdog liveness tracking to keep working.
+type RunFunc func(ctx context.Context, spec JobSpec, workers int, progress func(mc.Snapshot)) (json.RawMessage, error)
+
+// engineRunFunc adapts a registry engine to the RunFunc shape.
+func engineRunFunc(eng engine) RunFunc {
+	return func(ctx context.Context, spec JobSpec, workers int, progress func(mc.Snapshot)) (json.RawMessage, error) {
+		return eng.run(ctx, spec, runParams{workers: workers, progress: progress})
+	}
+}
+
 // engines is the registry the scheduler dispatches through, keyed by
 // JobSpec.Engine.
 func engineRegistry() map[string]engine {
@@ -64,11 +77,13 @@ func (e *PanicError) Error() string {
 // top frames are the useful ones.
 const panicStackLimit = 2048
 
-// runEngine runs eng with panic isolation: a panic anywhere under the
-// engine (a bad protocol implementation, an arithmetic edge case)
-// becomes a *PanicError failing this one job instead of killing the
-// worker goroutine and, with it, the daemon's capacity.
-func runEngine(eng engine, ctx context.Context, spec JobSpec, p runParams) (body json.RawMessage, err error) {
+// runEngine runs fn with panic isolation: a panic anywhere under the
+// engine (a bad protocol implementation, an arithmetic edge case, an
+// injected chaos fault) becomes a *PanicError failing this one job
+// instead of killing the worker goroutine and, with it, the daemon's
+// capacity. The recovery sits outside any Config.WrapEngine wrapper,
+// so wrapper-injected panics are isolated exactly like engine ones.
+func runEngine(name string, fn RunFunc, ctx context.Context, spec JobSpec, p runParams) (body json.RawMessage, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			stack := debug.Stack()
@@ -76,10 +91,10 @@ func runEngine(eng engine, ctx context.Context, spec JobSpec, p runParams) (body
 				stack = stack[:panicStackLimit]
 			}
 			body = nil
-			err = &PanicError{Engine: spec.Engine, Value: r, Stack: string(stack)}
+			err = &PanicError{Engine: name, Value: r, Stack: string(stack)}
 		}
 	}()
-	return eng.run(ctx, spec, p)
+	return fn(ctx, spec, p.workers, p.progress)
 }
 
 // mcInputs is a parsed mc job: everything mc.Estimate needs except the

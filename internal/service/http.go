@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"coordattack/internal/experiments"
+	"coordattack/internal/store"
 )
 
 // Handler returns the daemon's HTTP API:
@@ -21,7 +22,10 @@ import (
 //	GET    /v1/sweeps          list all sweeps
 //	GET    /v1/sweeps/{id}     poll a sweep's aggregate tradeoff table
 //	GET    /v1/sweeps/{id}/watch stream NDJSON aggregate status until terminal
+//	DELETE /v1/sweeps/{id}     cancel a sweep (fans out to unsettled cells)
 //	GET    /v1/experiments     list the registered experiment engine ids
+//	GET    /v1/admin/store     durable-store state + quarantine listing
+//	POST   /v1/admin/store/rescan re-verify entries, re-admit repaired ones
 //	GET    /healthz            liveness + queue gauges
 //	GET    /metrics            Prometheus text exposition
 func (s *Server) Handler() http.Handler {
@@ -35,7 +39,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps", s.handleListSweeps)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}/watch", s.handleWatchSweep)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/admin/store", s.handleAdminStore)
+	mux.HandleFunc("POST /v1/admin/store/rescan", s.handleAdminStoreRescan)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -203,6 +210,58 @@ func (s *Server) handleWatchSweep(w http.ResponseWriter, r *http.Request) {
 		st := s.sweepStatus(sw)
 		return st, st.State.Terminal()
 	})
+}
+
+// handleCancelSweep cancels a sweep. Idempotent: cancelling a settled
+// sweep changes nothing and returns its (terminal) status.
+func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
+	st, err := s.CancelSweep(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// adminStore is the body of GET /v1/admin/store: the operator's view of
+// the durable tier — degraded or not, how big, and what is sitting in
+// quarantine awaiting repair or post-mortem.
+type adminStore struct {
+	Degraded   bool                    `json:"degraded"`
+	Entries    int                     `json:"entries"`
+	Bytes      int64                   `json:"bytes"`
+	Recoveries int64                   `json:"recoveries"`
+	Quarantine []store.QuarantineEntry `json:"quarantine"`
+}
+
+func (s *Server) handleAdminStore(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "store disabled"})
+		return
+	}
+	st := s.store.Stats()
+	q := s.store.Quarantine()
+	if q == nil {
+		q = []store.QuarantineEntry{}
+	}
+	writeJSON(w, http.StatusOK, adminStore{
+		Degraded:   st.Degraded,
+		Entries:    st.Entries,
+		Bytes:      st.Bytes,
+		Recoveries: st.Recoveries,
+		Quarantine: q,
+	})
+}
+
+// handleAdminStoreRescan runs the store maintenance pass: probe the
+// write path (possibly un-degrading), re-verify every entry, re-admit
+// quarantine files that verify again. Safe to call on a healthy store.
+func (s *Server) handleAdminStoreRescan(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "store disabled"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.Rescan())
 }
 
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {

@@ -21,6 +21,12 @@ type Metrics struct {
 	JobsCancelled atomic.Int64
 	JobsRejected  atomic.Int64 // queue-full 429s
 	JobsCoalesced atomic.Int64 // submissions attached to an identical in-flight job
+	JobsEvicted   atomic.Int64 // settled jobs evicted past the retention limit
+
+	// WatchdogKills counts jobs the stuck-job watchdog declared wedged
+	// (past deadline, no progress movement) and force-failed, freeing
+	// their worker slots.
+	WatchdogKills atomic.Int64
 
 	// EngineRuns counts actual engine executions: submissions minus
 	// cache hits, coalesced attaches, rejections, and queued cancels.
@@ -116,6 +122,8 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	counter("coordd_jobs_cancelled_total", "Jobs cancelled or deadline-expired.", m.JobsCancelled.Load())
 	counter("coordd_jobs_rejected_total", "Jobs rejected with queue-full backpressure.", m.JobsRejected.Load())
 	counter("coordd_jobs_coalesced_total", "Submissions attached to an identical in-flight job.", m.JobsCoalesced.Load())
+	counter("coordd_jobs_evicted_total", "Settled jobs evicted past the retention limit.", m.JobsEvicted.Load())
+	counter("coordd_watchdog_kills_total", "Stuck jobs killed by the watchdog.", m.WatchdogKills.Load())
 	counter("coordd_engine_runs_total", "Engine executions actually performed.", m.EngineRuns.Load())
 	counter("coordd_engine_panics_total", "Engine panics recovered into single-job failures.", m.EnginePanics.Load())
 	counter("coordd_sweeps_submitted_total", "Parameter sweeps accepted.", m.SweepsSubmitted.Load())
@@ -131,6 +139,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	counter("coordd_store_writes_total", "Bodies written through to the durable store.", g.Store.Writes)
 	counter("coordd_store_evictions_total", "Durable-store entries evicted by the size-budget GC.", g.Store.Evictions)
 	counter("coordd_store_quarantined_total", "Corrupt durable-store entries quarantined on read.", g.Store.Quarantined)
+	counter("coordd_store_recoveries_total", "Degraded-store recoveries back to read-write.", g.Store.Recoveries)
 	gauge("coordd_jobs_queued", "Jobs waiting in the FIFO queue.", g.JobsQueued)
 	gauge("coordd_jobs_running", "Jobs currently executing.", g.JobsRunning)
 	gauge("coordd_cache_entries", "Entries in the result cache.", g.CacheSize)

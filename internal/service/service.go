@@ -45,6 +45,24 @@ type Config struct {
 	// grow without bound in a long-lived daemon. Unsettled sweeps are
 	// never evicted. 0 means 256.
 	SweepRetention int
+	// JobRetention bounds how many settled jobs stay queryable in
+	// Server.jobs, mirroring SweepRetention: the oldest settled jobs
+	// past the limit are evicted (404). Unsettled jobs are never
+	// evicted. 0 means 4096.
+	JobRetention int
+	// WatchdogInterval is how often the stuck-job watchdog scans for
+	// running jobs past their deadline with no progress movement; 0
+	// means 5 s, negative disables the watchdog.
+	WatchdogInterval time.Duration
+	// WatchdogGrace is how far past its deadline — with no progress
+	// callback movement for at least as long — a running job must be
+	// before the watchdog declares it stuck and kills it. 0 means 30 s.
+	WatchdogGrace time.Duration
+	// WrapEngine, when non-nil, wraps every engine execution: it
+	// receives the engine name and the underlying run function and
+	// returns the function actually run (still under panic isolation).
+	// Chaos harnesses inject stalls and panics here.
+	WrapEngine func(engine string, next RunFunc) RunFunc
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +86,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SweepRetention == 0 {
 		c.SweepRetention = 256
+	}
+	if c.JobRetention == 0 {
+		c.JobRetention = 4096
+	}
+	if c.WatchdogInterval == 0 {
+		c.WatchdogInterval = 5 * time.Second
+	}
+	if c.WatchdogGrace == 0 {
+		c.WatchdogGrace = 30 * time.Second
 	}
 	return c
 }
@@ -103,12 +130,21 @@ type Job struct {
 	key  string
 	spec JobSpec // canonical
 
-	ctx    context.Context
-	cancel context.CancelFunc
-	done   chan struct{}
+	ctx      context.Context
+	cancel   context.CancelFunc
+	done     chan struct{}
+	deadline time.Time // ctx's deadline, cached for the watchdog
 
 	completed atomic.Int64
 	failed    atomic.Int64
+	// lastMove is the wall-clock nanos of the last *advance* of the
+	// progress counters (or of the run start). The watchdog reads it to
+	// distinguish a slow-but-alive engine from a wedged one.
+	lastMove atomic.Int64
+	// slotFreed guards the running-gauge decrement: either the worker
+	// (engine returned) or the watchdog (job declared stuck) frees the
+	// slot, never both.
+	slotFreed atomic.Bool
 
 	mu        sync.Mutex
 	state     State
@@ -116,6 +152,7 @@ type Job struct {
 	coalesced bool
 	body      json.RawMessage
 	errMsg    string
+	token     *workerToken // the worker currently running this job
 }
 
 // Progress is the polling/streaming view of a job's advancement. CIWidth
@@ -227,6 +264,30 @@ type Server struct {
 	nextID   int64
 
 	wg sync.WaitGroup
+
+	// watchStop/watchDone bracket the stuck-job watchdog goroutine
+	// (watchdog.go); both are nil when the watchdog is disabled.
+	watchStop chan struct{}
+	watchDone chan struct{}
+}
+
+// workerToken is one worker goroutine's claim on a pool slot. The
+// watchdog abandons a token when its worker is wedged inside an engine
+// that ignores cancellation: the wg share is released (so Drain does
+// not wait on the wedged goroutine), a replacement worker is spawned,
+// and the wedged goroutine exits the pool loop if the engine ever
+// returns.
+type workerToken struct {
+	released  atomic.Bool
+	abandoned atomic.Bool
+}
+
+// release gives up the token's wg share exactly once, no matter whether
+// the worker itself or the watchdog triggers it.
+func (t *workerToken) release(wg *sync.WaitGroup) {
+	if t.released.CompareAndSwap(false, true) {
+		wg.Done()
+	}
 }
 
 // New starts a Server with cfg's worker pool already running.
@@ -246,6 +307,11 @@ func New(cfg Config) *Server {
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if cfg.WatchdogInterval > 0 {
+		s.watchStop = make(chan struct{})
+		s.watchDone = make(chan struct{})
+		go s.watchdog(cfg.WatchdogInterval)
 	}
 	return s
 }
@@ -386,6 +452,7 @@ func (s *Server) follow(j, leader *Job) {
 		}
 	case <-j.done: // cancelled directly through the API
 	}
+	s.gcJobs()
 }
 
 func (s *Server) newJob(canon JobSpec, key string) *Job {
@@ -394,13 +461,14 @@ func (s *Server) newJob(canon JobSpec, key string) *Job {
 		timeout = t
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	deadline, _ := ctx.Deadline()
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
 	s.mu.Unlock()
 	return &Job{
 		id: id, key: key, spec: canon,
-		ctx: ctx, cancel: cancel,
+		ctx: ctx, cancel: cancel, deadline: deadline,
 		done:  make(chan struct{}),
 		state: StateQueued,
 	}
@@ -410,6 +478,37 @@ func (s *Server) register(j *Job) {
 	s.mu.Lock()
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	s.gcJobs()
+}
+
+// gcJobs evicts the oldest settled jobs past the retention limit,
+// mirroring gcSweeps: Server.jobs (the id → job map behind GET
+// /v1/jobs/{id}) must not grow without bound in a long-lived daemon.
+// Unsettled jobs never count against the limit and are never evicted.
+// Evicted job ids answer 404; their results stay memoized in the cache
+// and store under the spec key.
+func (s *Server) gcJobs() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.jobs) <= s.cfg.JobRetention {
+		return
+	}
+	settled := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		select {
+		case <-j.done:
+			settled = append(settled, j)
+		default:
+		}
+	}
+	if len(settled) <= s.cfg.JobRetention {
+		return
+	}
+	sort.Slice(settled, func(a, b int) bool { return settled[a].id < settled[b].id })
+	for _, j := range settled[:len(settled)-s.cfg.JobRetention] {
+		delete(s.jobs, j.id)
+		s.metrics.JobsEvicted.Add(1)
+	}
 }
 
 func (s *Server) job(id string) (*Job, error) {
@@ -480,24 +579,44 @@ func (s *Server) dropInflight(j *Job) {
 }
 
 func (s *Server) worker() {
-	defer s.wg.Done()
+	t := &workerToken{}
+	defer t.release(&s.wg)
 	for j := range s.queue {
-		s.runJob(j)
-	}
-}
-
-// storeMax raises a to at least v without ever lowering it: progress
-// snapshots can arrive out of store order across mc workers.
-func storeMax(a *atomic.Int64, v int64) {
-	for {
-		cur := a.Load()
-		if v <= cur || a.CompareAndSwap(cur, v) {
+		s.runJob(j, t)
+		if t.abandoned.Load() {
+			// The watchdog replaced this worker while it was wedged in an
+			// engine; its pool slot belongs to the replacement now.
 			return
 		}
 	}
 }
 
-func (s *Server) runJob(j *Job) {
+// storeMax raises a to at least v without ever lowering it (progress
+// snapshots can arrive out of store order across mc workers) and
+// reports whether it raised it — i.e. whether this snapshot was real
+// forward movement, which is what feeds the watchdog's liveness clock.
+func storeMax(a *atomic.Int64, v int64) bool {
+	for {
+		cur := a.Load()
+		if v <= cur {
+			return false
+		}
+		if a.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
+}
+
+// freeSlot decrements the running gauge for j exactly once: either the
+// worker (engine returned) or the watchdog (job declared stuck) gets
+// there first.
+func (s *Server) freeSlot(j *Job) {
+	if j.slotFreed.CompareAndSwap(false, true) {
+		s.running.Add(-1)
+	}
+}
+
+func (s *Server) runJob(j *Job, t *workerToken) {
 	defer j.cancel()
 	// The registry entry outlives the job body on purpose: the success
 	// path caches the body first, so by the time the key leaves the
@@ -509,29 +628,45 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 	j.state = StateRunning
+	j.token = t
 	j.mu.Unlock()
+	j.lastMove.Store(time.Now().UnixNano())
 
 	s.running.Add(1)
 	s.metrics.EngineRuns.Add(1)
 	start := time.Now()
-	eng := s.engines[j.spec.Engine]
-	body, err := runEngine(eng, j.ctx, j.spec, runParams{
+	run := engineRunFunc(s.engines[j.spec.Engine])
+	if s.cfg.WrapEngine != nil {
+		// The wrapper sits *inside* the panic isolation, so an injected
+		// chaos panic is recovered like any engine panic.
+		run = s.cfg.WrapEngine(j.spec.Engine, run)
+	}
+	body, err := runEngine(j.spec.Engine, run, j.ctx, j.spec, runParams{
 		workers: s.cfg.TrialWorkers,
 		progress: func(snap mc.Snapshot) {
-			storeMax(&j.completed, int64(snap.Completed))
-			storeMax(&j.failed, int64(snap.Failed))
+			moved := storeMax(&j.completed, int64(snap.Completed))
+			if storeMax(&j.failed, int64(snap.Failed)) {
+				moved = true
+			}
+			if moved {
+				j.lastMove.Store(time.Now().UnixNano())
+			}
 		},
 	})
 	s.metrics.ObserveJobSeconds(time.Since(start).Seconds())
 	s.metrics.TrialsExecuted.Add(j.completed.Load())
-	s.running.Add(-1)
+	s.freeSlot(j)
 
 	var pe *PanicError
+	won := false
 	switch {
 	case err == nil:
+		// Cache before finish even if the watchdog already failed this
+		// job: the body is valid deterministic work, and caching it first
+		// preserves the registry-outlives-body ordering for followers.
 		s.cache.Put(j.key, body)
 		s.storePut(j.key, body)
-		if j.finish(StateDone, body, "") {
+		if won = j.finish(StateDone, body, ""); won {
 			s.metrics.JobsCompleted.Add(1)
 		}
 	case errors.As(err, &pe):
@@ -539,20 +674,25 @@ func (s *Server) runJob(j *Job) {
 		// the daemon — keep serving. Checked before the context, so a
 		// panic racing a deadline still reports as the failure it is.
 		s.metrics.EnginePanics.Add(1)
-		if j.finish(StateFailed, nil, err.Error()) {
+		if won = j.finish(StateFailed, nil, err.Error()); won {
 			s.metrics.JobsFailed.Add(1)
 		}
 	case j.ctx.Err() != nil:
 		// Cancelled or deadline-expired: keep the partial body so the
 		// client still gets every completed trial.
-		if j.finish(StateCancelled, body, err.Error()) {
+		if won = j.finish(StateCancelled, body, err.Error()); won {
 			s.metrics.JobsCancelled.Add(1)
 		}
 	default:
-		if j.finish(StateFailed, body, err.Error()) {
+		if won = j.finish(StateFailed, body, err.Error()); won {
 			s.metrics.JobsFailed.Add(1)
 		}
 	}
+	_ = won // the watchdog may have settled the job first; metrics stay single-counted
+	j.mu.Lock()
+	j.token = nil
+	j.mu.Unlock()
+	s.gcJobs()
 }
 
 // gauges snapshots the point-in-time values for /metrics and /healthz.
@@ -604,8 +744,17 @@ func (s *Server) Drain(ctx context.Context) error {
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
+		if s.watchStop != nil {
+			// Stop the watchdog before waiting on the pool: a kill racing
+			// the drain would otherwise spawn a replacement worker while
+			// wg.Wait is in flight.
+			close(s.watchStop)
+		}
 	}
 	s.mu.Unlock()
+	if s.watchDone != nil {
+		<-s.watchDone
+	}
 
 	idle := make(chan struct{})
 	go func() {

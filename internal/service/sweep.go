@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"coordattack/internal/stats"
@@ -208,6 +209,9 @@ type Sweep struct {
 	key   string
 	cells []*sweepCell
 	done  chan struct{}
+	// cancelled stops the dispatcher from submitting further cells;
+	// set by CancelSweep.
+	cancelled atomic.Bool
 }
 
 // SweepRow is one cell of the tradeoff table served by the sweep
@@ -299,6 +303,20 @@ func (s *Server) dispatchSweep(sw *Sweep) {
 	var jobs []*Job
 	for _, c := range sw.cells {
 		for {
+			if sw.cancelled.Load() {
+				// Sweep-level cancel: stop dispatching. Every cell never
+				// submitted settles as cancelled right here; cells already
+				// in flight were cancelled by CancelSweep's fan-out and
+				// settle through their jobs.
+				for _, rest := range sw.cells {
+					rest.mu.Lock()
+					if rest.jobID == "" && rest.errMsg == "" {
+						rest.errMsg = "sweep cancelled"
+					}
+					rest.mu.Unlock()
+				}
+				goto wait
+			}
 			st, err := s.Submit(c.spec)
 			if err == nil {
 				c.mu.Lock()
@@ -447,6 +465,32 @@ func (s *Server) sweep(id string) (*Sweep, error) {
 		return nil, ErrNotFound
 	}
 	return sw, nil
+}
+
+// CancelSweep cancels a whole sweep: the dispatcher stops submitting
+// further cells, and the cancellation fans out to every cell already
+// dispatched through the ordinary job Cancel path — queued cells settle
+// immediately, running cells when their engine notices, settled cells
+// are untouched (per-job Cancel is idempotent), so cancelling a settled
+// sweep is a no-op that just returns its status. Unknown ids are
+// ErrNotFound.
+func (s *Server) CancelSweep(id string) (*SweepStatus, error) {
+	sw, err := s.sweep(id)
+	if err != nil {
+		return nil, err
+	}
+	sw.cancelled.Store(true)
+	for _, c := range sw.cells {
+		c.mu.Lock()
+		jobID := c.jobID
+		c.mu.Unlock()
+		if jobID != "" {
+			// The job may have been evicted by the jobs GC; a missing id
+			// just means that cell settled long ago.
+			_, _ = s.Cancel(jobID)
+		}
+	}
+	return s.sweepStatus(sw), nil
 }
 
 // GetSweep returns a sweep's current aggregate status.

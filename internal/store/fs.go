@@ -1,0 +1,66 @@
+package store
+
+import (
+	"os"
+	"time"
+)
+
+// FS is the slice of the filesystem the store drives, factored behind
+// an interface so that fault-injection harnesses (internal/chaos) can
+// wrap every operation with a deterministic failure schedule. The
+// methods mirror the os package one-for-one; DiskFS is the production
+// implementation. The store treats any error from a write-path method
+// (MkdirAll, CreateTemp, File.Write/Sync/Close, Rename, SyncDir) as a
+// degradation event — see Store.demote.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Chtimes(name string, atime, mtime time.Time) error
+	// CreateTemp creates a new temp file in dir, in os.CreateTemp's
+	// pattern language, returning a handle restricted to what the write
+	// protocol needs.
+	CreateTemp(dir, pattern string) (File, error)
+	// SyncDir fsyncs a directory, making a just-renamed entry durable.
+	SyncDir(name string) error
+}
+
+// File is the write-protocol view of one open file.
+type File interface {
+	Name() string
+	Write(p []byte) (n int, err error)
+	Sync() error
+	Close() error
+}
+
+// DiskFS returns the real-filesystem implementation of FS.
+func DiskFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,315 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// breakRoot defeats the write path in a way that survives root
+// privileges: the store root becomes a regular file, so every MkdirAll
+// and CreateTemp under it fails.
+func breakRoot(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// healRoot undoes breakRoot: the directory exists again (empty — the
+// outage destroyed its contents, as a real dead disk might).
+func healRoot(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.Remove(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeRecoversAfterDiskHeals(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "store")
+	s := mustOpen(t, dir, Options{})
+
+	breakRoot(t, dir)
+	if err := s.Put(key("doomed"), []byte("x")); err == nil {
+		t.Fatal("Put on a broken root reported success")
+	}
+	if !s.Degraded() {
+		t.Fatal("write failure did not demote the store")
+	}
+	// Probing a still-broken disk must not un-degrade.
+	if s.Probe() {
+		t.Fatal("Probe reported healthy on a broken root")
+	}
+	if s.Stats().Recoveries != 0 {
+		t.Fatal("failed probe counted as a recovery")
+	}
+
+	healRoot(t, dir)
+	if !s.Probe() {
+		t.Fatal("Probe failed after the disk healed")
+	}
+	if s.Degraded() {
+		t.Fatal("store still degraded after a successful probe")
+	}
+	if got := s.Stats().Recoveries; got != 1 {
+		t.Errorf("recoveries = %d, want 1", got)
+	}
+	// Read-write again: new bodies persist.
+	k := key("after-recovery")
+	if err := s.Put(k, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(k); !ok || !bytes.Equal(got, []byte("back")) {
+		t.Errorf("post-recovery Get = %q, %v", got, ok)
+	}
+	// No stray probe files left in the root.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			t.Errorf("stray file %s left in store root", e.Name())
+		}
+	}
+}
+
+func TestProbeOnHealthyStoreIsNoop(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if !s.Probe() {
+		t.Fatal("Probe on a healthy store reported degraded")
+	}
+	if s.Stats().Recoveries != 0 {
+		t.Error("healthy probe counted as a recovery")
+	}
+}
+
+func TestProbeLoopRecoversInBackground(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "store")
+	s := mustOpen(t, dir, Options{ProbeInterval: 10 * time.Millisecond})
+	defer s.Close()
+
+	breakRoot(t, dir)
+	_ = s.Put(key("doomed"), []byte("x"))
+	if !s.Degraded() {
+		t.Fatal("store not degraded")
+	}
+	healRoot(t, dir)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Degraded() {
+		if time.Now().After(deadline) {
+			t.Fatal("background probe never un-degraded the store")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := s.Stats().Recoveries; got < 1 {
+		t.Errorf("recoveries = %d, want >= 1", got)
+	}
+}
+
+func TestRescanQuarantinesRottenEntries(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	keys := []string{key("ok-1"), key("ok-2"), key("rotten")}
+	for _, k := range keys {
+		if err := s.Put(k, []byte("body of "+k[:8])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rot one entry in place — bits flipped since the write, the decay
+	// Rescan exists to find before a client does.
+	rotten := keys[2]
+	path := filepath.Join(dir, rotten[:2], rotten)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := s.Rescan()
+	if rep.Verified != 2 || rep.Quarantined != 1 {
+		t.Errorf("report %+v, want 2 verified / 1 quarantined", rep)
+	}
+	if rep.QuarantineLeft != 1 || rep.Degraded || rep.Recovered {
+		t.Errorf("report %+v, want 1 left, healthy, no recovery", rep)
+	}
+	if _, ok := s.Get(rotten); ok {
+		t.Error("rotten entry still served after rescan")
+	}
+	for _, k := range keys[:2] {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("healthy entry %s lost by rescan", k[:8])
+		}
+	}
+}
+
+func TestRescanReadmitsRepairedQuarantineFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	k := key("flaky")
+	body := []byte(`{"repairable": true}`)
+	if err := s.Put(k, body); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt it, read it (which quarantines it), then "repair" the
+	// quarantined copy the way an operator restoring from backup would:
+	// valid bytes under the same name.
+	path := filepath.Join(dir, k[:2], k)
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt entry served")
+	}
+	qpath := filepath.Join(dir, quarantineDir, k)
+	if err := os.WriteFile(qpath, encode(k, body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := s.Rescan()
+	if rep.Readmitted != 1 || rep.QuarantineLeft != 0 {
+		t.Errorf("report %+v, want 1 readmitted / 0 left", rep)
+	}
+	if got, ok := s.Get(k); !ok || !bytes.Equal(got, body) {
+		t.Errorf("readmitted entry Get = %q, %v; want original body", got, ok)
+	}
+
+	// A quarantine copy of a key that is already indexed again is a
+	// duplicate: dropped, not readmitted.
+	if err := os.WriteFile(qpath, encode(k, body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep = s.Rescan()
+	if rep.Readmitted != 0 || rep.QuarantineLeft != 0 {
+		t.Errorf("duplicate pass report %+v, want 0 readmitted / 0 left", rep)
+	}
+}
+
+func TestRescanUnDegradesAfterHeal(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "store")
+	s := mustOpen(t, dir, Options{})
+	breakRoot(t, dir)
+	_ = s.Put(key("doomed"), []byte("x"))
+	if !s.Degraded() {
+		t.Fatal("store not degraded")
+	}
+	healRoot(t, dir)
+
+	rep := s.Rescan()
+	if !rep.Recovered || rep.Degraded {
+		t.Errorf("report %+v, want recovered and healthy", rep)
+	}
+	if s.Degraded() {
+		t.Error("store degraded after a recovering rescan")
+	}
+}
+
+// TestOpenWithCorruptQuarantineDir covers the previously untested path:
+// a quarantine directory full of debris — partial files, junk names, a
+// nested directory — must neither fail Open nor leak into the index,
+// and Rescan must not readmit any of it.
+func TestOpenWithCorruptQuarantineDir(t *testing.T) {
+	dir := t.TempDir()
+	qdir := filepath.Join(dir, quarantineDir)
+	if err := os.MkdirAll(filepath.Join(qdir, "nested"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	partial := key("partial-entry")
+	if err := os.WriteFile(filepath.Join(qdir, partial), []byte(formatVersion+" deadbeef"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(qdir, "garbage.tmp"), []byte{0x00, 0x01}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := mustOpen(t, dir, Options{})
+	if s.Len() != 0 {
+		t.Errorf("quarantine debris indexed: Len = %d", s.Len())
+	}
+	q := s.Quarantine()
+	if len(q) != 2 {
+		t.Fatalf("quarantine listing = %+v, want the 2 files (not the dir)", q)
+	}
+	if q[0].Name != partial && q[1].Name != partial {
+		t.Errorf("partial entry missing from listing %+v", q)
+	}
+
+	rep := s.Rescan()
+	if rep.Readmitted != 0 {
+		t.Errorf("rescan readmitted corrupt quarantine debris: %+v", rep)
+	}
+	if rep.QuarantineLeft != 2 {
+		t.Errorf("quarantine left = %d, want 2", rep.QuarantineLeft)
+	}
+	// The store works normally around the debris.
+	if err := s.Put(key("fresh"), []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key("fresh")); !ok {
+		t.Error("fresh entry not served")
+	}
+}
+
+// TestGCRacesConcurrentWrites hammers a tiny-budget store from many
+// goroutines so the per-write GC pass constantly evicts while other
+// writers and readers run. The assertions are the invariants: no error
+// but budget-eviction, byte accounting consistent, store healthy.
+// Run under -race this is primarily a locking test.
+func TestGCRacesConcurrentWrites(t *testing.T) {
+	dir := t.TempDir()
+	body := bytes.Repeat([]byte("z"), 400)
+	s := mustOpen(t, dir, Options{MaxBytes: 3000})
+
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 25
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				k := key(fmt.Sprintf("race-%d-%d", w, i))
+				if err := s.Put(k, body); err != nil {
+					t.Errorf("Put(%s): %v", k[:8], err)
+					return
+				}
+				s.Get(k)
+				s.Get(key(fmt.Sprintf("race-%d-%d", (w+1)%writers, i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if s.Degraded() {
+		t.Fatal("store degraded under concurrent GC pressure")
+	}
+	if got := s.Bytes(); got > 3000 {
+		t.Errorf("bytes = %d over the 3000 budget after the dust settled", got)
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Error("no evictions under a budget sized for ~6 of 200 entries")
+	}
+	// The index must agree with the disk exactly: reopen and compare.
+	s2 := mustOpen(t, dir, Options{})
+	if s2.Len() != s.Len() || s2.Bytes() != s.Bytes() {
+		t.Errorf("reopen sees %d entries / %d bytes, live store %d / %d",
+			s2.Len(), s2.Bytes(), s.Len(), s.Bytes())
+	}
+}

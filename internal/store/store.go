@@ -18,7 +18,14 @@
 //     budget holds.
 //   - Any write-path I/O error (disk full, permissions, dead mount)
 //     demotes the store to read-only, logged once; callers keep working
-//     from memory.
+//     from memory. Degradation is recoverable: a background probe (and
+//     the operator Rescan surface) re-admits the store to read-write
+//     once a tiny test write succeeds again — a healed disk does not
+//     require a restart.
+//
+// Every filesystem operation goes through the FS interface (fs.go), so
+// fault-injection harnesses (internal/chaos) can drive the store
+// through deterministic EIO/ENOSPC/torn-write schedules.
 //
 // Layout under the root directory:
 //
@@ -35,7 +42,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -55,9 +61,18 @@ type Options struct {
 	// MaxBytes is the byte budget over entry bodies plus headers;
 	// 0 means unlimited.
 	MaxBytes int64
-	// Logf receives one line per degradation and quarantine event;
-	// nil discards them.
+	// Logf receives one line per degradation, recovery, and quarantine
+	// event; nil discards them.
 	Logf func(format string, args ...any)
+	// FS overrides the filesystem implementation; nil means the real
+	// disk (DiskFS). Chaos harnesses inject faults here.
+	FS FS
+	// ProbeInterval, when positive, starts a background recovery
+	// prober: every interval, while and only while the store is
+	// degraded, it attempts one tiny write through the full crash-safe
+	// protocol and re-admits the store to read-write on success
+	// (counted in Stats.Recoveries). Stop it with Close.
+	ProbeInterval time.Duration
 }
 
 // Stats is a point-in-time snapshot of the store's counters and gauges.
@@ -67,9 +82,37 @@ type Stats struct {
 	Writes      int64
 	Evictions   int64
 	Quarantined int64
+	Recoveries  int64
 	Entries     int
 	Bytes       int64
 	Degraded    bool
+}
+
+// QuarantineEntry describes one file held in quarantine/, as listed by
+// Quarantine for the admin surface. Name is the bare filename — usually
+// a 64-hex key, but crash debris with arbitrary names is listed too.
+type QuarantineEntry struct {
+	Name    string    `json:"name"`
+	Size    int64     `json:"size"`
+	ModTime time.Time `json:"mod_time"`
+}
+
+// RescanReport summarizes one Rescan pass for the admin surface.
+type RescanReport struct {
+	// Verified counts serving-tree entries whose checksum re-verified.
+	Verified int `json:"verified"`
+	// Quarantined counts serving-tree entries this pass found corrupt
+	// and moved to quarantine.
+	Quarantined int `json:"quarantined"`
+	// Readmitted counts quarantine files that now verify (repaired or
+	// falsely accused) and were moved back into the serving tree.
+	Readmitted int `json:"readmitted"`
+	// QuarantineLeft counts the files still in quarantine afterwards.
+	QuarantineLeft int `json:"quarantine_left"`
+	// Recovered reports whether this pass un-degraded the store.
+	Recovered bool `json:"recovered"`
+	// Degraded is the store's state after the pass.
+	Degraded bool `json:"degraded"`
 }
 
 // Store is a crash-safe, content-addressed, size-budgeted result store.
@@ -78,13 +121,18 @@ type Store struct {
 	dir      string
 	maxBytes int64
 	logf     func(format string, args ...any)
+	fs       FS
 
-	hits, misses, writes, evictions, quarantined atomic.Int64
+	hits, misses, writes, evictions, quarantined, recoveries atomic.Int64
 
 	mu       sync.Mutex
 	entries  map[string]*entry
 	bytes    int64 // sum of entry file sizes
 	degraded bool
+
+	closeOnce sync.Once
+	probeStop chan struct{}
+	probeDone chan struct{}
 }
 
 // entry is the in-memory index record for one on-disk file: its size
@@ -96,19 +144,25 @@ type entry struct {
 }
 
 // Open creates or reopens a store rooted at dir: it builds the entry
-// index from the files already present (sweeping stray temp files) and
-// runs one GC pass so a shrunken budget takes effect immediately.
+// index from the files already present (sweeping stray temp and probe
+// files) and runs one GC pass so a shrunken budget takes effect
+// immediately.
 func Open(dir string, opts Options) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
-	if err := os.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = DiskFS()
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, quarantineDir), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
 		dir:      dir,
 		maxBytes: opts.MaxBytes,
 		logf:     opts.Logf,
+		fs:       fs,
 		entries:  make(map[string]*entry),
 	}
 	if err := s.scan(); err != nil {
@@ -117,30 +171,73 @@ func Open(dir string, opts Options) (*Store, error) {
 	s.mu.Lock()
 	s.gc()
 	s.mu.Unlock()
+	if opts.ProbeInterval > 0 {
+		s.probeStop = make(chan struct{})
+		s.probeDone = make(chan struct{})
+		go s.probeLoop(opts.ProbeInterval)
+	}
 	return s, nil
+}
+
+// Close stops the background recovery prober, if one was started. The
+// store itself holds no other resources; reads and writes remain valid
+// after Close (a closed store just no longer self-heals).
+func (s *Store) Close() {
+	s.closeOnce.Do(func() {
+		if s.probeStop != nil {
+			close(s.probeStop)
+			<-s.probeDone
+		}
+	})
+}
+
+// probeLoop is the recovery state machine's timer: degraded → probe →
+// (healed) read-write. Probing while healthy is skipped entirely, so
+// the loop costs nothing on a healthy daemon.
+func (s *Store) probeLoop(interval time.Duration) {
+	defer close(s.probeDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.probeStop:
+			return
+		case <-ticker.C:
+			if s.Degraded() {
+				s.Probe()
+			}
+		}
+	}
 }
 
 // scan rebuilds the index from disk. Unrecognized files inside shard
 // directories are left alone except temp files, which a crash mid-write
-// can strand and which are deleted.
+// can strand and which are deleted; stray probe files at the root get
+// the same sweep.
 func (s *Store) scan() error {
-	shards, err := os.ReadDir(s.dir)
+	shards, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	for _, shard := range shards {
-		if !shard.IsDir() || !isShardName(shard.Name()) {
+		if !shard.IsDir() {
+			if strings.HasPrefix(shard.Name(), "probe-") {
+				_ = s.fs.Remove(filepath.Join(s.dir, shard.Name()))
+			}
+			continue
+		}
+		if !isShardName(shard.Name()) {
 			continue
 		}
 		shardPath := filepath.Join(s.dir, shard.Name())
-		files, err := os.ReadDir(shardPath)
+		files, err := s.fs.ReadDir(shardPath)
 		if err != nil {
 			continue
 		}
 		for _, f := range files {
 			name := f.Name()
 			if strings.HasPrefix(name, "tmp-") {
-				_ = os.Remove(filepath.Join(shardPath, name))
+				_ = s.fs.Remove(filepath.Join(shardPath, name))
 				continue
 			}
 			if !isKey(name) || name[:2] != shard.Name() {
@@ -233,7 +330,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	path := s.path(key)
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
@@ -258,7 +355,7 @@ func (s *Store) touch(key string) {
 		e.atime = now
 	}
 	s.mu.Unlock()
-	_ = os.Chtimes(s.path(key), now, now)
+	_ = s.fs.Chtimes(s.path(key), now, now)
 }
 
 // quarantine moves a corrupt entry out of the serving tree so the next
@@ -266,10 +363,10 @@ func (s *Store) touch(key string) {
 func (s *Store) quarantine(key, path string, cause error) {
 	s.quarantined.Add(1)
 	dest := filepath.Join(s.dir, quarantineDir, key)
-	if err := os.Rename(path, dest); err != nil {
+	if err := s.fs.Rename(path, dest); err != nil {
 		// Renaming out failed; removing is the next-safest way to stop
 		// serving the corrupt bytes.
-		_ = os.Remove(path)
+		_ = s.fs.Remove(path)
 	}
 	s.mu.Lock()
 	if e, ok := s.entries[key]; ok {
@@ -319,10 +416,10 @@ func (s *Store) Put(key string, body []byte) error {
 // readers see the old world or the new one, never a torn file.
 func (s *Store) writeEntry(key string, body []byte) (int64, error) {
 	shard := filepath.Join(s.dir, key[:2])
-	if err := os.MkdirAll(shard, 0o755); err != nil {
+	if err := s.fs.MkdirAll(shard, 0o755); err != nil {
 		return 0, err
 	}
-	f, err := os.CreateTemp(shard, "tmp-*")
+	f, err := s.fs.CreateTemp(shard, "tmp-*")
 	if err != nil {
 		return 0, err
 	}
@@ -330,41 +427,31 @@ func (s *Store) writeEntry(key string, body []byte) (int64, error) {
 	data := encode(key, body)
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return 0, err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return 0, err
 	}
-	if err := os.Rename(tmp, s.path(key)); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, s.path(key)); err != nil {
+		s.fs.Remove(tmp)
 		return 0, err
 	}
-	if err := syncDir(shard); err != nil {
+	if err := s.fs.SyncDir(shard); err != nil {
 		return 0, err
 	}
 	return int64(len(data)), nil
 }
 
-// syncDir fsyncs a directory so a just-renamed entry survives power
-// loss.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
-
-// demote flips the store to read-only exactly once. Existing entries
-// keep serving reads; new bodies stay memory-only in the caller's tier.
+// demote flips the store to read-only exactly once per outage. Existing
+// entries keep serving reads; new bodies stay memory-only in the
+// caller's tier until a probe or rescan re-admits the store.
 // Called with mu held.
 func (s *Store) demote(cause error) {
 	if s.degraded {
@@ -374,6 +461,169 @@ func (s *Store) demote(cause error) {
 	if s.logf != nil {
 		s.logf("store: write failed, demoting to read-only: %v", cause)
 	}
+}
+
+// Probe checks whether the write path works again: one tiny write
+// through the full temp+fsync protocol, then removed. A degraded store
+// whose probe succeeds is re-admitted to read-write (Stats.Recoveries
+// counts these transitions); a healthy store probes as a no-op success.
+// It returns whether the store is read-write afterwards.
+func (s *Store) Probe() bool {
+	s.mu.Lock()
+	degraded := s.degraded
+	s.mu.Unlock()
+	if !degraded {
+		return true
+	}
+	if err := s.probeWrite(); err != nil {
+		return false
+	}
+	s.mu.Lock()
+	recovered := s.degraded
+	s.degraded = false
+	s.mu.Unlock()
+	if recovered {
+		s.recoveries.Add(1)
+		if s.logf != nil {
+			s.logf("store: write probe succeeded, re-admitting to read-write")
+		}
+	}
+	return true
+}
+
+// probeWrite exercises the write path end to end without touching any
+// entry: create, write, fsync, close, remove — the cheapest sequence
+// that would have failed during the outage.
+func (s *Store) probeWrite() error {
+	f, err := s.fs.CreateTemp(s.dir, "probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	if _, err := f.Write([]byte(formatVersion + " probe\n")); err != nil {
+		f.Close()
+		s.fs.Remove(name)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		s.fs.Remove(name)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		s.fs.Remove(name)
+		return err
+	}
+	return s.fs.Remove(name)
+}
+
+// Quarantine lists the files currently held in quarantine/, sorted by
+// name. Unreadable metadata is reported as a zero-sized entry rather
+// than omitted, so the operator always sees every file.
+func (s *Store) Quarantine() []QuarantineEntry {
+	files, err := s.fs.ReadDir(filepath.Join(s.dir, quarantineDir))
+	if err != nil {
+		return nil
+	}
+	out := make([]QuarantineEntry, 0, len(files))
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		qe := QuarantineEntry{Name: f.Name()}
+		if info, err := f.Info(); err == nil {
+			qe.Size = info.Size()
+			qe.ModTime = info.ModTime()
+		}
+		out = append(out, qe)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
+}
+
+// Rescan is the operator maintenance pass behind POST
+// /v1/admin/store/rescan: it probes the write path (possibly
+// un-degrading the store), re-verifies every indexed entry against its
+// checksum (quarantining any that rotted since it was written), and
+// re-admits quarantine files that verify again — an operator who
+// repaired or restored a quarantined file gets it back into the serving
+// tree without a restart.
+func (s *Store) Rescan() RescanReport {
+	var rep RescanReport
+	wasDegraded := s.Degraded()
+	healthy := s.Probe()
+	rep.Recovered = wasDegraded && healthy
+
+	// Re-verify the serving tree against a snapshot of the index; Get's
+	// ordinary quarantine path handles anything that fails.
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		data, err := s.fs.ReadFile(s.path(k))
+		if err != nil {
+			// Unreadable is not provably corrupt: leave the entry alone
+			// (a transient IO error must not throw away good bytes).
+			continue
+		}
+		if _, err := decode(k, data); err != nil {
+			s.quarantine(k, s.path(k), err)
+			rep.Quarantined++
+			continue
+		}
+		rep.Verified++
+	}
+
+	// Re-admit quarantine files that verify now. Only well-formed key
+	// names can re-enter the serving tree; crash debris stays put.
+	for _, qe := range s.Quarantine() {
+		if !isKey(qe.Name) {
+			continue
+		}
+		qpath := filepath.Join(s.dir, quarantineDir, qe.Name)
+		data, err := s.fs.ReadFile(qpath)
+		if err != nil {
+			continue
+		}
+		if _, err := decode(qe.Name, data); err != nil {
+			continue
+		}
+		s.mu.Lock()
+		_, indexed := s.entries[qe.Name]
+		s.mu.Unlock()
+		if indexed {
+			// The serving tree already holds these bytes (checksums bind
+			// key and body, so the copies are identical); drop the
+			// duplicate instead of moving it back.
+			_ = s.fs.Remove(qpath)
+			continue
+		}
+		shard := filepath.Join(s.dir, qe.Name[:2])
+		if err := s.fs.MkdirAll(shard, 0o755); err != nil {
+			continue
+		}
+		if err := s.fs.Rename(qpath, s.path(qe.Name)); err != nil {
+			continue
+		}
+		now := time.Now()
+		s.mu.Lock()
+		s.entries[qe.Name] = &entry{size: int64(len(data)), atime: now}
+		s.bytes += int64(len(data))
+		s.gc()
+		s.mu.Unlock()
+		rep.Readmitted++
+		if s.logf != nil {
+			s.logf("store: readmitted %s from quarantine", qe.Name)
+		}
+	}
+
+	rep.QuarantineLeft = len(s.Quarantine())
+	rep.Degraded = s.Degraded()
+	return rep
 }
 
 // gc evicts least-recently-used entries until the byte budget holds.
@@ -395,7 +645,7 @@ func (s *Store) gc() {
 		if s.bytes <= s.maxBytes {
 			break
 		}
-		_ = os.Remove(s.path(v.key))
+		_ = s.fs.Remove(s.path(v.key))
 		s.bytes -= v.e.size
 		delete(s.entries, v.key)
 		s.evictions.Add(1)
@@ -435,6 +685,7 @@ func (s *Store) Stats() Stats {
 		Writes:      s.writes.Load(),
 		Evictions:   s.evictions.Load(),
 		Quarantined: s.quarantined.Load(),
+		Recoveries:  s.recoveries.Load(),
 		Entries:     entries,
 		Bytes:       bytes,
 		Degraded:    degraded,
