@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench report quick-report fault-demo service-demo sweep-demo persist-demo chaos-demo fuzz fuzz-spec clean
+.PHONY: all build test test-race bench report quick-report fault-demo service-demo sweep-demo persist-demo chaos-demo queue-demo fuzz fuzz-spec clean
 
 all: build test
 
@@ -106,6 +106,35 @@ persist-demo:
 # panics fail only their own job.
 chaos-demo:
 	$(GO) test -race -v -run 'TestSoakDegradeRecoverExactlyOnce|TestEngineChaosPanicsAreIsolated' ./internal/chaos/
+
+# Durable-queue demo: load a single-worker daemon with a backlog, kill
+# it with SIGKILL (no drain, no goodbye), restart over the same
+# -queue-dir, and watch the journal re-admit every accepted-but-
+# unfinished job and run the backlog to completion — exactly once.
+queue-demo:
+	$(GO) build -o /tmp/coordd ./cmd/coordd
+	@set -e; \
+	qdir=$$(mktemp -d); \
+	/tmp/coordd -addr 127.0.0.1:8347 -workers 1 -queue-dir $$qdir & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 50); do \
+		curl -sf http://127.0.0.1:8347/healthz >/dev/null && break; sleep 0.1; \
+	done; \
+	for seed in 1 2 3 4; do \
+		curl -s http://127.0.0.1:8347/v1/jobs \
+			-d "{\"protocol\": \"s:0.5\", \"rounds\": 10, \"trials\": 2000000, \"seed\": $$seed}" >/dev/null; \
+	done; \
+	echo "4 jobs accepted; SIGKILL with the queue non-empty"; \
+	kill -9 $$pid; wait $$pid || true; \
+	/tmp/coordd -addr 127.0.0.1:8347 -workers 2 -queue-dir $$qdir & pid=$$!; \
+	for i in $$(seq 50); do \
+		curl -sf http://127.0.0.1:8347/healthz >/dev/null && break; sleep 0.1; \
+	done; \
+	echo "restarted; waiting for the replayed backlog to settle"; \
+	while curl -s http://127.0.0.1:8347/v1/jobs \
+		| grep -Eq '"state": "(queued|running)"'; do sleep 0.2; done; \
+	curl -s http://127.0.0.1:8347/v1/jobs | grep -E '"(id|state)":'; \
+	curl -s http://127.0.0.1:8347/metrics | grep -E '^coordd_(queue_replayed_total|engine_runs_total)'
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/run/

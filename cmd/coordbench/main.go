@@ -50,12 +50,17 @@ func run(args []string, out io.Writer) int {
 		server   = fs.String("server", "", "client mode: submit a sweep to the coordd at this base URL")
 		sweep    = fs.String("sweep", "", "with -server: sweep spec JSON, or @file")
 		wait     = fs.Duration("wait", 10*time.Minute, "with -server: how long to wait for the sweep to settle")
+		priority = fs.Int("priority", 0, "with -server: scheduling priority stamped on the sweep's base spec (-100..100, higher runs first)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *server != "" {
-		return runServer(*server, *sweep, *wait, out)
+		return runServer(*server, *sweep, *priority, *wait, out)
+	}
+	if *priority != 0 {
+		fmt.Fprintln(os.Stderr, "coordbench: -priority needs -server")
+		return 2
 	}
 	if *sweep != "" {
 		fmt.Fprintln(os.Stderr, "coordbench: -sweep needs -server")

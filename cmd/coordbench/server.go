@@ -97,7 +97,7 @@ func (rc *retryClient) delay(attempt int, retryAfter string) time.Duration {
 // running coordd, polls the aggregate status until every cell settles,
 // and renders the rolled-up tradeoff table. Exit status is nonzero when
 // any cell failed or was cancelled.
-func runServer(base, sweepArg string, timeout time.Duration, out io.Writer) int {
+func runServer(base, sweepArg string, priority int, timeout time.Duration, out io.Writer) int {
 	if sweepArg == "" {
 		fmt.Fprintln(os.Stderr, "coordbench: -server needs -sweep JSON|@file")
 		return 2
@@ -106,6 +106,12 @@ func runServer(base, sweepArg string, timeout time.Duration, out io.Writer) int 
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "coordbench:", err)
 		return 2
+	}
+	if priority != 0 {
+		if raw, err = stampPriority(raw, priority); err != nil {
+			fmt.Fprintln(os.Stderr, "coordbench:", err)
+			return 2
+		}
 	}
 	base = strings.TrimRight(base, "/")
 	client := newRetryClient()
@@ -150,6 +156,19 @@ func loadSweepSpec(arg string) ([]byte, error) {
 		return os.ReadFile(name)
 	}
 	return []byte(arg), nil
+}
+
+// stampPriority sets -priority on the sweep's base spec, which every
+// expanded cell inherits. The spec round-trips through the typed
+// SweepSpec so a malformed sweep fails here, client-side, rather than
+// as a server 400.
+func stampPriority(raw []byte, priority int) ([]byte, error) {
+	var spec service.SweepSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, fmt.Errorf("parsing sweep spec to stamp priority: %w", err)
+	}
+	spec.Base.Priority = priority
+	return json.Marshal(spec)
 }
 
 // submitSweep posts the sweep, retrying overload. Retrying a submit is

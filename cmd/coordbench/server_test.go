@@ -124,7 +124,7 @@ func TestRunServerSurfacesRetriesInSummary(t *testing.T) {
 	defer srv.Close()
 
 	var out strings.Builder
-	code := runServer(srv.URL, `{"base": {"protocol": "s:0.5"}}`, time.Minute, &out)
+	code := runServer(srv.URL, `{"base": {"protocol": "s:0.5"}}`, 0, time.Minute, &out)
 	if code != 0 {
 		t.Fatalf("exit code %d, output:\n%s", code, out.String())
 	}
@@ -133,5 +133,36 @@ func TestRunServerSurfacesRetriesInSummary(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "overload retries: 1") {
 		t.Errorf("summary missing retry line:\n%s", out.String())
+	}
+}
+
+func TestRunServerStampsPriorityOnSubmit(t *testing.T) {
+	var gotBase service.JobSpec
+	settled := service.SweepStatus{ID: "sw-test", Key: strings.Repeat("ab", 32), State: service.StateDone, Cells: 1}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			var spec service.SweepSpec
+			if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+				t.Errorf("decoding posted sweep: %v", err)
+			}
+			gotBase = spec.Base
+		}
+		json.NewEncoder(w).Encode(settled)
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	code := runServer(srv.URL, `{"base": {"protocol": "s:0.5"}}`, -7, time.Minute, &out)
+	if code != 0 {
+		t.Fatalf("exit code %d, output:\n%s", code, out.String())
+	}
+	if gotBase.Priority != -7 {
+		t.Errorf("posted base priority = %d, want -7", gotBase.Priority)
+	}
+	if gotBase.Protocol != "s:0.5" {
+		t.Errorf("stamping priority lost the rest of the spec: %+v", gotBase)
+	}
+	if _, err := stampPriority([]byte(`{"base": 3}`), 1); err == nil {
+		t.Error("stampPriority accepted a malformed sweep spec")
 	}
 }

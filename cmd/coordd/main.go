@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"coordattack/internal/queue"
 	"coordattack/internal/service"
 	"coordattack/internal/store"
 )
@@ -50,6 +51,9 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		jobTimeout   = fs.Duration("job-timeout", 5*time.Minute, "per-job deadline")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown grace period before in-flight jobs are cancelled")
 		storeDir     = fs.String("store-dir", "", "on-disk result store directory; empty = memory-only (results die with the process)")
+		queueDir     = fs.String("queue-dir", "", "on-disk pending-queue journal directory; empty = accepted-but-unstarted jobs die with the process")
+		fairShare    = fs.Bool("fair-share", true, "fair-share scheduling across submitters and sweeps (false = strict global FIFO)")
+		interWeight  = fs.Int("interactive-weight", 1, "interactive pops per sweep pop in the fair scheduler")
 		storeMax     = fs.Int64("store-max-bytes", 1<<30, "result store size budget in bytes (0 = unlimited)")
 		storeProbe   = fs.Duration("store-probe", 10*time.Second, "degraded-store recovery probe interval (0 = never probe; rescan still recovers)")
 		sweepKeep    = fs.Int("sweep-retention", 256, "settled sweeps kept queryable before eviction")
@@ -76,6 +80,10 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		fmt.Fprintln(os.Stderr, "coordd: job-retention must be >= 1, watchdog-interval >= 0 and watchdog-grace > 0")
 		return 2
 	}
+	if *interWeight < 1 {
+		fmt.Fprintln(os.Stderr, "coordd: interactive-weight must be >= 1")
+		return 2
+	}
 
 	var st *store.Store
 	if *storeDir != "" {
@@ -92,21 +100,35 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		defer st.Close()
 	}
 
+	var jl *queue.Journal
+	if *queueDir != "" {
+		var err error
+		jl, err = queue.OpenJournal(*queueDir, queue.JournalOptions{Logf: log.Printf})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer jl.Close()
+	}
+
 	watchdogInterval := *wdInterval
 	if watchdogInterval == 0 {
 		watchdogInterval = -1 // flag 0 = off; Config 0 = default
 	}
 	srv := service.New(service.Config{
-		Workers:          *workers,
-		TrialWorkers:     *trialWorkers,
-		QueueDepth:       *queueDepth,
-		CacheSize:        *cacheSize,
-		JobTimeout:       *jobTimeout,
-		Store:            st,
-		SweepRetention:   *sweepKeep,
-		JobRetention:     *jobKeep,
-		WatchdogInterval: watchdogInterval,
-		WatchdogGrace:    *wdGrace,
+		Workers:           *workers,
+		TrialWorkers:      *trialWorkers,
+		QueueDepth:        *queueDepth,
+		StrictFIFO:        !*fairShare,
+		InteractiveWeight: *interWeight,
+		CacheSize:         *cacheSize,
+		JobTimeout:        *jobTimeout,
+		Store:             st,
+		Journal:           jl,
+		SweepRetention:    *sweepKeep,
+		JobRetention:      *jobKeep,
+		WatchdogInterval:  watchdogInterval,
+		WatchdogGrace:     *wdGrace,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -118,6 +140,9 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 	fmt.Fprintf(out, "coordd: listening on http://%s\n", ln.Addr())
 	if st != nil {
 		fmt.Fprintf(out, "coordd: result store %s (%d entries, budget %d bytes)\n", *storeDir, st.Len(), *storeMax)
+	}
+	if jl != nil {
+		fmt.Fprintf(out, "coordd: queue journal %s (%d pending jobs replayed)\n", *queueDir, jl.Stats().Replayed)
 	}
 
 	hs := &http.Server{Handler: srv.Handler()}

@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"coordattack/internal/queue"
+	"coordattack/internal/store"
+)
+
+// TestJournalTornWriteFaultThenReplay: chaos-injected torn writes on the
+// live pending-queue journal never corrupt the records around them —
+// each line carries its own checksum, so replay recovers every fully-
+// written accept and drops only the torn ones (and any record a torn
+// line's remainder merged into).
+func TestJournalTornWriteFaultThenReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfs, err := NewFS(store.DiskFS(), Plan{Seed: 7, PTorn: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := queue.OpenJournal(dir, queue.JournalOptions{FS: cfs, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	accepted := make(map[string]bool)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		rec := queue.Record{
+			Key:   k,
+			Flow:  "interactive",
+			Class: string(queue.ClassInteractive),
+			Spec:  json.RawMessage(fmt.Sprintf(`{"protocol":"s:0.5","seed":%d}`, i)),
+		}
+		if err := j1.Accept(rec); err != nil {
+			t.Fatalf("Accept(%s): %v", k, err)
+		}
+		accepted[k] = true
+	}
+	j1.Close()
+	if cfs.Stats().TornWrites == 0 {
+		t.Fatal("plan injected no torn writes; bump PTorn or change the seed")
+	}
+
+	j2, err := queue.OpenJournal(dir, queue.JournalOptions{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st := j2.Stats()
+	if st.Truncated == 0 {
+		t.Fatalf("torn writes injected but nothing truncated: %+v", st)
+	}
+	for _, r := range j2.Pending() {
+		if !accepted[r.Key] {
+			t.Fatalf("replay invented key %q", r.Key)
+		}
+		if r.Flow != "interactive" {
+			t.Fatalf("replayed record corrupted: %+v", r)
+		}
+	}
+	if got := len(j2.Pending()); got == 0 || got >= n {
+		t.Fatalf("replayed %d records, want in (0, %d) with faults injected", got, n)
+	}
+}
+
+// TestJournalWriteFaultDegradesNotFails: an injected EIO on the journal
+// write path demotes it to memory-only; subsequent accepts succeed
+// without durability, mirroring the result store's degrade discipline.
+func TestJournalWriteFaultDegradesNotFails(t *testing.T) {
+	dir := t.TempDir()
+	cfs, err := NewFS(store.DiskFS(), Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := queue.OpenJournal(dir, queue.JournalOptions{FS: cfs, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	cfs.Break()
+	if err := j.Accept(queue.Record{Key: "x", Spec: json.RawMessage(`{}`)}); err == nil {
+		t.Fatal("accept during outage returned nil, want advisory error")
+	}
+	if !j.Degraded() {
+		t.Fatal("journal not degraded after injected EIO")
+	}
+	cfs.Heal()
+	if err := j.Accept(queue.Record{Key: "y", Spec: json.RawMessage(`{}`)}); err != nil {
+		t.Fatalf("accept while degraded = %v, want nil (memory-only)", err)
+	}
+	if st := j.Stats(); st.Pending != 2 {
+		t.Fatalf("pending = %d, want 2 in-memory records", st.Pending)
+	}
+}

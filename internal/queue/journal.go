@@ -1,0 +1,488 @@
+package queue
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"coordattack/internal/store"
+)
+
+// The pending-queue journal is a write-ahead log of admission: one
+// checksummed record is appended (and fsynced) per accepted job before
+// the 202 leaves the daemon, and a tombstone is appended when the job
+// settles. On open, the segments are replayed — accepts minus settles
+// is the pending set a restarted daemon re-admits — and compacted into
+// a single fresh segment holding only the still-pending accepts, so the
+// log never grows across restarts.
+//
+// Line format, one record per line:
+//
+//	coordd-queue/v1 <sha256-hex over the JSON> <compact JSON record>\n
+//
+// The checksum binds each line independently, so replay survives a torn
+// tail (a crash mid-append) and even a torn middle (a chaos-injected
+// short write that later appends merge into): undecodable lines are
+// counted and skipped, checksummed lines are trusted. Segments are
+// created crash-safely with the store's own discipline — temp file,
+// fsync, rename, directory fsync — through the same store.FS
+// abstraction, so internal/chaos injects EIO/ENOSPC/torn-write faults
+// into the journal exactly as it does into the result store.
+//
+// Like the store, the journal degrades instead of failing its caller: a
+// write-path error demotes it to memory-only (logged once, visible in
+// /healthz), after which accepted jobs simply lose crash durability
+// until restart. Admission never fails because the log is sick.
+
+// journalVersion prefixes every record line. Unrecognized versions are
+// skipped on replay (counted as lost), never misparsed.
+const journalVersion = "coordd-queue/v1"
+
+// Record ops.
+const (
+	OpAccept = "accept"
+	OpSettle = "settle"
+)
+
+// Record is one journal entry. Accept records carry the canonical spec
+// and its scheduling envelope; settle records only the key.
+type Record struct {
+	Op       string          `json:"op"`
+	Key      string          `json:"key"`
+	Flow     string          `json:"flow,omitempty"`
+	Class    string          `json:"class,omitempty"`
+	Priority int             `json:"priority,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	// At is the accept wall-clock in unix nanoseconds, preserved across
+	// replay so queue-age metrics survive a restart.
+	At int64 `json:"at,omitempty"`
+}
+
+// JournalOptions tunes OpenJournal.
+type JournalOptions struct {
+	// FS overrides the filesystem; nil means the real disk. Chaos
+	// harnesses inject faults here.
+	FS store.FS
+	// Logf receives one line per degradation, truncation, and
+	// compaction event; nil discards them.
+	Logf func(format string, args ...any)
+	// CompactEvery rewrites the log once this many tombstones have
+	// accumulated since the last compaction, bounding live growth.
+	// 0 means 1024.
+	CompactEvery int
+}
+
+// JournalStats is a point-in-time snapshot for /metrics and /healthz.
+type JournalStats struct {
+	Pending     int   `json:"pending"`
+	Accepts     int64 `json:"accepts"`
+	Settles     int64 `json:"settles"`
+	Replayed    int   `json:"replayed"`
+	Truncated   int64 `json:"truncated"`
+	Compactions int64 `json:"compactions"`
+	Degraded    bool  `json:"degraded"`
+}
+
+// Journal is the durable pending queue. Safe for concurrent use; every
+// append is fsynced before it returns.
+type Journal struct {
+	dir  string
+	fs   store.FS
+	logf func(format string, args ...any)
+
+	mu           sync.Mutex
+	active       store.File
+	seq          uint64 // sequence number of the active segment
+	pending      map[string]*Record
+	order        []string // pending keys in accept order
+	replay       []Record // snapshot of pending taken at open
+	settledSince int
+	compactEvery int
+	degraded     bool
+
+	accepts, settles, truncated, compactions int64
+}
+
+// OpenJournal opens (or creates) the journal at dir, replays its
+// segments, and compacts them into a fresh one. The pending set
+// recovered from disk is available through Pending until consumed.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("queue: empty journal directory")
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = store.DiskFS()
+	}
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = 1024
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	j := &Journal{
+		dir:          dir,
+		fs:           fs,
+		logf:         opts.Logf,
+		pending:      make(map[string]*Record),
+		compactEvery: opts.CompactEvery,
+	}
+	segs, err := j.scan()
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range j.order {
+		j.replay = append(j.replay, *j.pending[key])
+	}
+	// Compact-on-open: rewrite the pending set into one fresh segment
+	// and drop the old ones. A failure here degrades the journal at
+	// birth — replay still works (the reads succeeded), new accepts just
+	// are not durable until the disk heals and the daemon restarts.
+	j.mu.Lock()
+	if err := j.compactLocked(); err == nil {
+		for _, s := range segs {
+			_ = j.fs.Remove(filepath.Join(dir, s))
+		}
+	}
+	j.mu.Unlock()
+	return j, nil
+}
+
+// scan replays every segment in order, building the pending set, and
+// returns the segment filenames it consumed. Stray temp files from a
+// crash mid-compaction are swept.
+func (j *Journal) scan() ([]string, error) {
+	entries, err := j.fs.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	var segs []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, "tmp-") {
+			_ = j.fs.Remove(filepath.Join(j.dir, name))
+			continue
+		}
+		if seq, ok := segmentSeq(name); ok {
+			segs = append(segs, name)
+			if seq > j.seq {
+				j.seq = seq
+			}
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool {
+		sa, _ := segmentSeq(segs[a])
+		sb, _ := segmentSeq(segs[b])
+		return sa < sb
+	})
+	for _, name := range segs {
+		data, err := j.fs.ReadFile(filepath.Join(j.dir, name))
+		if err != nil {
+			continue
+		}
+		j.applySegment(name, data)
+	}
+	return segs, nil
+}
+
+// applySegment replays one segment's lines into the pending set.
+// Undecodable lines — the torn tail of a crash mid-append, or a chaos-
+// injected short write — are counted and skipped; every line that
+// checksums is applied.
+func (j *Journal) applySegment(name string, data []byte) {
+	for len(data) > 0 {
+		line := data
+		if nl := indexByte(data, '\n'); nl >= 0 {
+			line, data = data[:nl], data[nl+1:]
+		} else {
+			data = nil // trailing partial line
+		}
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := decodeLine(line)
+		if err != nil {
+			j.truncated++
+			if j.logf != nil {
+				j.logf("queue: journal %s: dropped undecodable record: %v", name, err)
+			}
+			continue
+		}
+		switch rec.Op {
+		case OpAccept:
+			if _, ok := j.pending[rec.Key]; !ok {
+				j.order = append(j.order, rec.Key)
+			}
+			j.pending[rec.Key] = rec
+		case OpSettle:
+			if _, ok := j.pending[rec.Key]; ok {
+				delete(j.pending, rec.Key)
+				j.order = removeKey(j.order, rec.Key)
+			}
+		}
+	}
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, v := range b {
+		if v == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func removeKey(order []string, key string) []string {
+	for i, k := range order {
+		if k == key {
+			return append(order[:i], order[i+1:]...)
+		}
+	}
+	return order
+}
+
+// segmentSeq parses "<seq>.wal" names.
+func segmentSeq(name string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, ".wal")
+	if !ok || len(base) != 8 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Pending returns the accept records recovered at open, in admission
+// order — what the service re-admits on restart.
+func (j *Journal) Pending() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Record, len(j.replay))
+	copy(out, j.replay)
+	return out
+}
+
+// Accept appends (and fsyncs) one accept record. A write error demotes
+// the journal to memory-only and is returned for logging; callers treat
+// it as advisory — admission proceeds, durability is what was lost.
+func (j *Journal) Accept(rec Record) error {
+	rec.Op = OpAccept
+	if rec.At == 0 {
+		rec.At = time.Now().UnixNano()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.accepts++
+	r := rec
+	if _, ok := j.pending[rec.Key]; !ok {
+		j.order = append(j.order, rec.Key)
+	}
+	j.pending[rec.Key] = &r
+	return j.appendLocked(&r)
+}
+
+// Settle appends a tombstone for key. Settling a key with no pending
+// accept (a replayed duplicate, a never-journaled job) is a no-op.
+func (j *Journal) Settle(key string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.pending[key]; !ok {
+		return nil
+	}
+	delete(j.pending, key)
+	j.order = removeKey(j.order, key)
+	j.settles++
+	j.settledSince++
+	if err := j.appendLocked(&Record{Op: OpSettle, Key: key}); err != nil {
+		return err
+	}
+	if j.settledSince >= j.compactEvery {
+		// Live compaction: the log has accumulated a segment's worth of
+		// tombstones; rewrite it down to the pending set so a long-lived
+		// daemon's journal stays bounded by its backlog, not its history.
+		old := j.activeSegmentPath()
+		if err := j.compactLocked(); err == nil && old != "" {
+			_ = j.fs.Remove(old)
+		}
+	}
+	return nil
+}
+
+func (j *Journal) activeSegmentPath() string {
+	if j.active == nil {
+		return ""
+	}
+	return filepath.Join(j.dir, fmt.Sprintf("%08d.wal", j.seq))
+}
+
+// appendLocked writes one fsynced record line to the active segment,
+// opening the first segment lazily. Any error demotes the journal.
+func (j *Journal) appendLocked(rec *Record) error {
+	if j.degraded {
+		return nil
+	}
+	if j.active == nil {
+		if err := j.compactLocked(); err != nil {
+			return err
+		}
+	}
+	line, err := encodeLine(rec)
+	if err != nil {
+		return j.demoteLocked(err)
+	}
+	if _, err := j.active.Write(line); err != nil {
+		return j.demoteLocked(err)
+	}
+	if err := j.active.Sync(); err != nil {
+		return j.demoteLocked(err)
+	}
+	return nil
+}
+
+// compactLocked writes the current pending set into a fresh segment —
+// temp file, fsync, rename, dir fsync — and makes it the active append
+// target. The caller removes superseded segments on success.
+func (j *Journal) compactLocked() error {
+	tmp, err := j.fs.CreateTemp(j.dir, "tmp-*")
+	if err != nil {
+		return j.demoteLocked(err)
+	}
+	for _, key := range j.order {
+		line, err := encodeLine(j.pending[key])
+		if err != nil {
+			tmp.Close()
+			_ = j.fs.Remove(tmp.Name())
+			return j.demoteLocked(err)
+		}
+		if _, err := tmp.Write(line); err != nil {
+			tmp.Close()
+			_ = j.fs.Remove(tmp.Name())
+			return j.demoteLocked(err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		_ = j.fs.Remove(tmp.Name())
+		return j.demoteLocked(err)
+	}
+	next := j.seq + 1
+	dest := filepath.Join(j.dir, fmt.Sprintf("%08d.wal", next))
+	if err := j.fs.Rename(tmp.Name(), dest); err != nil {
+		tmp.Close()
+		_ = j.fs.Remove(tmp.Name())
+		return j.demoteLocked(err)
+	}
+	if err := j.fs.SyncDir(j.dir); err != nil {
+		tmp.Close()
+		return j.demoteLocked(err)
+	}
+	// The open handle follows the rename: appends land in the new
+	// segment file.
+	if j.active != nil {
+		j.active.Close()
+	}
+	j.active = tmp
+	j.seq = next
+	j.settledSince = 0
+	j.compactions++
+	return nil
+}
+
+// demoteLocked flips the journal to memory-only exactly once.
+func (j *Journal) demoteLocked(cause error) error {
+	if !j.degraded {
+		j.degraded = true
+		if j.logf != nil {
+			j.logf("queue: journal degraded to memory-only: %v (accepted jobs lose crash durability until restart)", cause)
+		}
+	}
+	return cause
+}
+
+// Degraded reports whether a write error demoted the journal.
+func (j *Journal) Degraded() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
+}
+
+// Stats snapshots the journal's counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JournalStats{
+		Pending:     len(j.pending),
+		Accepts:     j.accepts,
+		Settles:     j.settles,
+		Replayed:    len(j.replay),
+		Truncated:   j.truncated,
+		Compactions: j.compactions,
+		Degraded:    j.degraded,
+	}
+}
+
+// Close closes the active segment handle. Records already appended stay
+// durable; a closed journal refuses nothing — further appends simply
+// demote it (the daemon is exiting anyway).
+func (j *Journal) Close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.active != nil {
+		j.active.Close()
+		j.active = nil
+		j.degraded = true
+	}
+}
+
+// encodeLine renders one record line with its binding checksum.
+func encodeLine(rec *Record) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(body)
+	line := make([]byte, 0, len(journalVersion)+1+64+1+len(body)+1)
+	line = append(line, journalVersion...)
+	line = append(line, ' ')
+	line = append(line, hex.EncodeToString(sum[:])...)
+	line = append(line, ' ')
+	line = append(line, body...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeLine parses and verifies one record line.
+func decodeLine(line []byte) (*Record, error) {
+	rest, ok := strings.CutPrefix(string(line), journalVersion+" ")
+	if !ok {
+		return nil, fmt.Errorf("bad version prefix")
+	}
+	sum, body, ok := strings.Cut(rest, " ")
+	if !ok || len(sum) != 64 {
+		return nil, fmt.Errorf("malformed checksum field")
+	}
+	got := sha256.Sum256([]byte(body))
+	if hex.EncodeToString(got[:]) != sum {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		return nil, err
+	}
+	if rec.Key == "" || (rec.Op != OpAccept && rec.Op != OpSettle) {
+		return nil, fmt.Errorf("invalid record op %q", rec.Op)
+	}
+	return &rec, nil
+}

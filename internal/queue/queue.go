@@ -1,0 +1,360 @@
+// Package queue is coordd's admission layer: a weighted fair-share
+// scheduler over flows of pending work (sched.go, this file) and a
+// crash-safe on-disk pending-queue journal (journal.go). Together they
+// replace the service layer's bounded FIFO channel with the discipline
+// the paper demands of its protocols — progress must be fair under
+// overload, and accepted work must never be lost to a crash.
+//
+// The scheduler groups pending items into flows: every sweep is one
+// flow, every interactive submitter shares the "interactive" flow, and
+// a deficit-round-robin pass across the active flows picks the next
+// item — so a 256-cell sweep and a single interactive job alternate
+// pops instead of the sweep draining first. Within a flow, items order
+// by priority (higher first), then deadline (earlier first), then
+// admission order. A strict mode preserves the old global-FIFO
+// semantics for operators who want them back.
+package queue
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Class partitions flows for fairness weights and metrics labels.
+type Class string
+
+const (
+	// ClassInteractive is the shared flow of individually submitted jobs.
+	ClassInteractive Class = "interactive"
+	// ClassSweep marks per-sweep flows (one flow per sweep id).
+	ClassSweep Class = "sweep"
+)
+
+// ErrFull is returned by Push when the scheduler is at MaxDepth.
+var ErrFull = fmt.Errorf("queue: scheduler full")
+
+// Item is one pending unit of work. Key/Flow/Class/Priority/Deadline
+// are scheduling inputs; Payload is the caller's job, opaque to the
+// scheduler. An Item must be pushed at most once.
+type Item struct {
+	Key      string
+	Flow     string
+	Class    Class
+	Priority int
+	Deadline time.Time
+	Enqueued time.Time
+	Payload  any
+
+	seq   uint64
+	index int // position in its flow's heap; -1 once popped or removed
+}
+
+// SchedOptions tunes NewSched.
+type SchedOptions struct {
+	// MaxDepth bounds the total pending items; Push past it returns
+	// ErrFull. 0 means 64. PushReplay ignores the bound — journal
+	// re-admission must never drop accepted work.
+	MaxDepth int
+	// Strict disables fair sharing: one global FIFO in admission order,
+	// ignoring flows, priorities, and deadlines — the legacy behavior.
+	Strict bool
+	// Weight maps a class to its pops per round-robin turn; nil or a
+	// return < 1 means 1. Raising the interactive weight lets latency-
+	// sensitive traffic take several slots per sweep slot.
+	Weight func(Class) int
+}
+
+// Sched is the fair-share scheduler. All methods are safe for
+// concurrent use; Next blocks until an item is available or the
+// scheduler is closed and empty.
+type Sched struct {
+	maxDepth int
+	strict   bool
+	weight   func(Class) int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	flows  map[string]*flow
+	ring   []*flow // active (non-empty) flows in round-robin order
+	cursor int
+	credit int // pops left for the flow at cursor this turn
+	depth  int
+	seq    uint64
+	closed bool
+}
+
+// flow is one fairness unit: a heap of pending items.
+type flow struct {
+	id    string
+	class Class
+	items itemHeap
+}
+
+// NewSched returns a running scheduler.
+func NewSched(opts SchedOptions) *Sched {
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 64
+	}
+	s := &Sched{
+		maxDepth: opts.MaxDepth,
+		strict:   opts.Strict,
+		weight:   opts.Weight,
+		flows:    make(map[string]*flow),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Push admits it, or returns ErrFull at MaxDepth. Closed schedulers
+// refuse everything (the caller's drain check fires first in practice).
+func (s *Sched) Push(it *Item) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("queue: scheduler closed")
+	}
+	if s.depth >= s.maxDepth {
+		return ErrFull
+	}
+	s.pushLocked(it)
+	return nil
+}
+
+// PushReplay admits it regardless of MaxDepth: journal re-admission on
+// restart must never drop accepted work, even when the accepted backlog
+// exceeds the configured bound.
+func (s *Sched) PushReplay(it *Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.pushLocked(it)
+}
+
+func (s *Sched) pushLocked(it *Item) {
+	s.seq++
+	it.seq = s.seq
+	if it.Enqueued.IsZero() {
+		it.Enqueued = time.Now()
+	}
+	id := it.Flow
+	if s.strict {
+		id = "" // one global flow, FIFO by seq
+	}
+	f, ok := s.flows[id]
+	if !ok {
+		f = &flow{id: id, class: it.Class}
+		f.items.strict = s.strict
+		s.flows[id] = f
+		s.ring = append(s.ring, f)
+	}
+	heap.Push(&f.items, it)
+	s.depth++
+	s.cond.Signal()
+}
+
+// Next blocks until an item is available and returns it, or returns
+// ok=false once the scheduler is closed and drained. After Close, Next
+// keeps yielding the remaining backlog before reporting empty — drain
+// semantics, matching the old closed-channel behavior.
+func (s *Sched) Next() (*Item, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.depth == 0 {
+		if s.closed {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+	return s.popLocked(), true
+}
+
+// popLocked runs one deficit-round-robin step: the flow at the cursor
+// yields up to weight(class) items, then the cursor advances. Flows
+// leave the ring the moment they empty, so round-robin is always over
+// flows that actually have work.
+func (s *Sched) popLocked() *Item {
+	if s.cursor >= len(s.ring) {
+		s.cursor = 0
+	}
+	f := s.ring[s.cursor]
+	if s.credit <= 0 {
+		s.credit = s.weightOf(f.class)
+	}
+	it := heap.Pop(&f.items).(*Item)
+	s.depth--
+	s.credit--
+	if f.items.Len() == 0 {
+		s.dropFlowLocked(s.cursor)
+		s.credit = 0
+	} else if s.credit <= 0 {
+		s.cursor++
+		if s.cursor >= len(s.ring) {
+			s.cursor = 0
+		}
+	}
+	return it
+}
+
+func (s *Sched) weightOf(c Class) int {
+	if s.weight == nil {
+		return 1
+	}
+	if w := s.weight(c); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// dropFlowLocked removes the flow at ring index i, keeping the cursor
+// on the flow that slid into its place (or wrapping).
+func (s *Sched) dropFlowLocked(i int) {
+	delete(s.flows, s.ring[i].id)
+	s.ring = append(s.ring[:i], s.ring[i+1:]...)
+	if s.cursor > i {
+		s.cursor--
+	}
+	if s.cursor >= len(s.ring) {
+		s.cursor = 0
+	}
+}
+
+// Remove withdraws a still-pending item (a cancelled job) so it neither
+// occupies capacity nor reaches a worker. Reports whether it was still
+// pending — false means a worker already popped it (or it was never
+// pushed).
+func (s *Sched) Remove(it *Item) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if it == nil || it.index < 0 || it.seq == 0 {
+		return false
+	}
+	id := it.Flow
+	if s.strict {
+		id = ""
+	}
+	f, ok := s.flows[id]
+	if !ok {
+		return false
+	}
+	if it.index >= f.items.Len() || f.items.items[it.index] != it {
+		return false
+	}
+	heap.Remove(&f.items, it.index)
+	s.depth--
+	if f.items.Len() == 0 {
+		for i, rf := range s.ring {
+			if rf == f {
+				s.dropFlowLocked(i)
+				break
+			}
+		}
+	}
+	return true
+}
+
+// Close stops admission. Workers drain the backlog through Next, which
+// reports empty only after the last item is gone.
+func (s *Sched) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Depth reports the total pending items.
+func (s *Sched) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.depth
+}
+
+// DepthByClass reports pending items per class (the /metrics labels).
+func (s *Sched) DepthByClass() map[Class]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Class]int, 2)
+	for _, f := range s.flows {
+		for _, it := range f.items.items {
+			out[it.Class]++
+		}
+	}
+	return out
+}
+
+// OldestAge reports how long the oldest pending item has waited, or 0
+// when the queue is empty — the head-of-line latency gauge.
+func (s *Sched) OldestAge(now time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var oldest time.Time
+	for _, f := range s.flows {
+		for _, it := range f.items.items {
+			if oldest.IsZero() || it.Enqueued.Before(oldest) {
+				oldest = it.Enqueued
+			}
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	if d := now.Sub(oldest); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// itemHeap orders a flow's items: admission order in strict mode;
+// otherwise priority (higher first), then deadline (earlier first, with
+// no-deadline last), then admission order.
+type itemHeap struct {
+	items  []*Item
+	strict bool
+}
+
+func (h itemHeap) Len() int { return len(h.items) }
+
+func (h itemHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if h.strict {
+		return a.seq < b.seq
+	}
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if !a.Deadline.Equal(b.Deadline) {
+		if a.Deadline.IsZero() {
+			return false
+		}
+		if b.Deadline.IsZero() {
+			return true
+		}
+		return a.Deadline.Before(b.Deadline)
+	}
+	return a.seq < b.seq
+}
+
+func (h itemHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *itemHeap) Push(x any) {
+	it := x.(*Item)
+	it.index = len(h.items)
+	h.items = append(h.items, it)
+}
+
+func (h *itemHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	h.items = old[:n-1]
+	return it
+}

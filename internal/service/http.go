@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"coordattack/internal/experiments"
+	"coordattack/internal/queue"
 	"coordattack/internal/store"
 )
 
@@ -224,33 +225,41 @@ func (s *Server) handleCancelSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // adminStore is the body of GET /v1/admin/store: the operator's view of
-// the durable tier — degraded or not, how big, and what is sitting in
-// quarantine awaiting repair or post-mortem.
+// the durable tiers — the result store (degraded or not, how big, what
+// is sitting in quarantine awaiting repair or post-mortem) and, when
+// configured, the pending-queue journal's health.
 type adminStore struct {
 	Degraded   bool                    `json:"degraded"`
 	Entries    int                     `json:"entries"`
 	Bytes      int64                   `json:"bytes"`
 	Recoveries int64                   `json:"recoveries"`
 	Quarantine []store.QuarantineEntry `json:"quarantine"`
+	// Journal is the pending-queue journal snapshot, absent when no
+	// journal is configured.
+	Journal *queue.JournalStats `json:"journal,omitempty"`
 }
 
 func (s *Server) handleAdminStore(w http.ResponseWriter, r *http.Request) {
-	if s.store == nil {
+	if s.store == nil && s.journal == nil {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "store disabled"})
 		return
 	}
-	st := s.store.Stats()
-	q := s.store.Quarantine()
-	if q == nil {
-		q = []store.QuarantineEntry{}
+	body := adminStore{Quarantine: []store.QuarantineEntry{}}
+	if s.store != nil {
+		st := s.store.Stats()
+		body.Degraded = st.Degraded
+		body.Entries = st.Entries
+		body.Bytes = st.Bytes
+		body.Recoveries = st.Recoveries
+		if q := s.store.Quarantine(); q != nil {
+			body.Quarantine = q
+		}
 	}
-	writeJSON(w, http.StatusOK, adminStore{
-		Degraded:   st.Degraded,
-		Entries:    st.Entries,
-		Bytes:      st.Bytes,
-		Recoveries: st.Recoveries,
-		Quarantine: q,
-	})
+	if s.journal != nil {
+		js := s.journal.Stats()
+		body.Journal = &js
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleAdminStoreRescan runs the store maintenance pass: probe the
@@ -282,13 +291,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			storeState = "degraded"
 		}
 	}
+	journalState := "off"
+	if g.JournalEnabled {
+		journalState = "ok"
+		if g.Journal.Degraded {
+			journalState = "degraded"
+		}
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Status      string `json:"status"`
-		JobsQueued  int    `json:"jobs_queued"`
-		JobsRunning int    `json:"jobs_running"`
-		Draining    bool   `json:"draining"`
-		Store       string `json:"store"`
-	}{Status: "ok", JobsQueued: g.JobsQueued, JobsRunning: g.JobsRunning, Draining: draining, Store: storeState})
+		Status      string         `json:"status"`
+		JobsQueued  int            `json:"jobs_queued"`
+		Queue       map[string]int `json:"queue"`
+		JobsRunning int            `json:"jobs_running"`
+		Draining    bool           `json:"draining"`
+		Store       string         `json:"store"`
+		Journal     string         `json:"journal"`
+	}{
+		Status:     "ok",
+		JobsQueued: g.JobsQueued,
+		Queue: map[string]int{
+			"interactive": g.QueueInteractive,
+			"sweep":       g.QueueSweep,
+		},
+		JobsRunning: g.JobsRunning,
+		Draining:    draining,
+		Store:       storeState,
+		Journal:     journalState,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

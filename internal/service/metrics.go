@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"coordattack/internal/queue"
 	"coordattack/internal/store"
 )
 
@@ -27,6 +28,10 @@ type Metrics struct {
 	// (past deadline, no progress movement) and force-failed, freeing
 	// their worker slots.
 	WatchdogKills atomic.Int64
+
+	// QueueReplayed counts accepted-but-unsettled jobs re-admitted from
+	// the pending-queue journal on restart — the crash-durability win.
+	QueueReplayed atomic.Int64
 
 	// EngineRuns counts actual engine executions: submissions minus
 	// cache hits, coalesced attaches, rejections, and queued cancels.
@@ -96,16 +101,26 @@ func (m *Metrics) MeanJobSeconds() float64 {
 // Gauges carries point-in-time values the server computes at render
 // time (queue depth, running jobs, cache and store state).
 type Gauges struct {
-	JobsQueued  int
-	JobsRunning int
-	CacheSize   int
-	CacheHits   int64
-	CacheMisses int64
+	JobsQueued int
+	// QueueInteractive/QueueSweep split JobsQueued by scheduling class;
+	// QueueOldestAgeSec is the head-of-line wait of the oldest pending
+	// job.
+	QueueInteractive  int
+	QueueSweep        int
+	QueueOldestAgeSec float64
+	JobsRunning       int
+	CacheSize         int
+	CacheHits         int64
+	CacheMisses       int64
 	// StoreEnabled marks a daemon with a durable tier configured; Store
 	// is its counter/gauge snapshot (zero when disabled, so the metric
 	// surface stays stable either way).
 	StoreEnabled bool
 	Store        store.Stats
+	// JournalEnabled marks a daemon with a pending-queue journal;
+	// Journal is its snapshot.
+	JournalEnabled bool
+	Journal        queue.JournalStats
 }
 
 // WritePrometheus renders every metric in Prometheus text format.
@@ -140,7 +155,21 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	counter("coordd_store_evictions_total", "Durable-store entries evicted by the size-budget GC.", g.Store.Evictions)
 	counter("coordd_store_quarantined_total", "Corrupt durable-store entries quarantined on read.", g.Store.Quarantined)
 	counter("coordd_store_recoveries_total", "Degraded-store recoveries back to read-write.", g.Store.Recoveries)
-	gauge("coordd_jobs_queued", "Jobs waiting in the FIFO queue.", g.JobsQueued)
+	counter("coordd_queue_replayed_total", "Pending jobs re-admitted from the queue journal on restart.", m.QueueReplayed.Load())
+	counter("coordd_queue_journal_accepts_total", "Accept records appended to the queue journal.", g.Journal.Accepts)
+	counter("coordd_queue_journal_settles_total", "Settle tombstones appended to the queue journal.", g.Journal.Settles)
+	counter("coordd_queue_journal_truncated_total", "Undecodable journal records skipped on replay.", g.Journal.Truncated)
+	counter("coordd_queue_journal_compactions_total", "Queue journal compactions (open-time and live).", g.Journal.Compactions)
+	gauge("coordd_jobs_queued", "Jobs waiting in the scheduler.", g.JobsQueued)
+	fmt.Fprintf(w, "# HELP coordd_queue_depth Pending jobs by scheduling class.\n# TYPE coordd_queue_depth gauge\n")
+	fmt.Fprintf(w, "coordd_queue_depth{class=\"interactive\"} %d\n", g.QueueInteractive)
+	fmt.Fprintf(w, "coordd_queue_depth{class=\"sweep\"} %d\n", g.QueueSweep)
+	fmt.Fprintf(w, "# HELP coordd_queue_oldest_age_seconds Wait of the oldest pending job.\n# TYPE coordd_queue_oldest_age_seconds gauge\ncoordd_queue_oldest_age_seconds %g\n", g.QueueOldestAgeSec)
+	journalDegraded := 0
+	if g.Journal.Degraded {
+		journalDegraded = 1
+	}
+	gauge("coordd_queue_journal_degraded", "1 when a write error demoted the queue journal to memory-only.", journalDegraded)
 	gauge("coordd_jobs_running", "Jobs currently executing.", g.JobsRunning)
 	gauge("coordd_cache_entries", "Entries in the result cache.", g.CacheSize)
 	gauge("coordd_store_entries", "Entries in the durable store.", g.Store.Entries)

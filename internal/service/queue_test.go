@@ -1,0 +1,272 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"coordattack/internal/mc"
+	"coordattack/internal/queue"
+)
+
+// slowWrapper injects a fixed per-run delay, so queue order is
+// observable: with a slowed single worker, whichever job pops next is
+// still popping when the test looks.
+func slowWrapper(d time.Duration) func(string, RunFunc) RunFunc {
+	return func(name string, next RunFunc) RunFunc {
+		return func(ctx context.Context, spec JobSpec, workers int, progress func(mc.Snapshot)) (json.RawMessage, error) {
+			time.Sleep(d)
+			return next(ctx, spec, workers, progress)
+		}
+	}
+}
+
+// TestFairShareInteractiveBeatsSweep is the fairness acceptance test: a
+// saturating MaxSweepCells-cell sweep is queued on one slowed worker,
+// then a single interactive job arrives. Under the old FIFO the
+// interactive job would wait behind every cell (engine runs at its
+// completion >= 257); under fair sharing the interactive flow gets
+// every other pop, so it completes almost immediately.
+func TestFairShareInteractiveBeatsSweep(t *testing.T) {
+	s := New(Config{
+		Workers:    1,
+		QueueDepth: 2 * MaxSweepCells,
+		WrapEngine: slowWrapper(3 * time.Millisecond),
+	})
+	defer drain(t, s)
+
+	seeds := make([]uint64, MaxSweepCells)
+	for i := range seeds {
+		seeds[i] = uint64(1000 + i)
+	}
+	sw, err := s.SubmitSweep(SweepSpec{
+		Base: JobSpec{Protocol: "s:0.5", Rounds: 2, Trials: 200},
+		Axes: SweepAxes{Seeds: seeds},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Cells != MaxSweepCells {
+		t.Fatalf("sweep expanded to %d cells, want %d", sw.Cells, MaxSweepCells)
+	}
+
+	st, err := s.Submit(JobSpec{Protocol: "s:0.3", Rounds: 2, Trials: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, s, st.ID, 30*time.Second)
+	if fin.State != StateDone {
+		t.Fatalf("interactive job settled %s: %s", fin.State, fin.Error)
+	}
+	runsAtDone := s.Metrics().EngineRuns.Load()
+	swStatus, err := s.GetSweep(sw.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runsAtDone >= MaxSweepCells {
+		t.Fatalf("interactive job waited for %d engine runs — starved behind the sweep", runsAtDone)
+	}
+	if swStatus.State != StateRunning {
+		t.Fatalf("sweep already %s when the interactive job finished (runs=%d)", swStatus.State, runsAtDone)
+	}
+	t.Logf("interactive job done after %d engine runs; sweep still running", runsAtDone)
+
+	// The per-class gauges see the backlog while the sweep drains.
+	g := s.gauges()
+	if g.QueueSweep == 0 {
+		t.Errorf("queue_depth{class=sweep} = 0 while the sweep is running")
+	}
+	if g.QueueOldestAgeSec <= 0 {
+		t.Errorf("queue oldest age = %g with a non-empty backlog", g.QueueOldestAgeSec)
+	}
+}
+
+// TestPriorityOrdersWithinFlow: with the single worker held by a gate
+// job, a high-priority submission leapfrogs an earlier low-priority one.
+func TestPriorityOrdersWithinFlow(t *testing.T) {
+	block := make(chan struct{})
+	var mu sync.Mutex
+	var order []uint64
+	s := New(Config{
+		Workers:          1,
+		WatchdogInterval: -1,
+		WrapEngine: func(name string, next RunFunc) RunFunc {
+			return func(ctx context.Context, spec JobSpec, workers int, progress func(mc.Snapshot)) (json.RawMessage, error) {
+				mu.Lock()
+				order = append(order, spec.Seed)
+				mu.Unlock()
+				if spec.Seed == 666 {
+					<-block
+				}
+				return next(ctx, spec, workers, progress)
+			}
+		},
+	})
+	defer drain(t, s)
+
+	gate, err := s.Submit(JobSpec{Protocol: "s:0.5", Rounds: 2, Trials: 200, Seed: 666})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the gate job holds the worker, so both later jobs are
+	// pending together when the worker next pops.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := s.Get(gate.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gate job stuck in %s", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	low, err := s.Submit(JobSpec{Protocol: "s:0.5", Rounds: 2, Trials: 200, Seed: 100, Priority: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := s.Submit(JobSpec{Protocol: "s:0.5", Rounds: 2, Trials: 200, Seed: 200, Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(block)
+	waitState(t, s, low.ID, 10*time.Second)
+	waitState(t, s, high.ID, 10*time.Second)
+
+	mu.Lock()
+	got := append([]uint64(nil), order...)
+	mu.Unlock()
+	want := []uint64{666, 200, 100}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("execution order %v, want %v", got, want)
+	}
+}
+
+// TestPriorityExcludedFromKey: jobs differing only in priority coalesce
+// onto one engine run, like TimeoutSec.
+func TestPriorityExcludedFromKey(t *testing.T) {
+	a, err := JobSpec{Protocol: "s:0.5", Rounds: 2, Trials: 200, Seed: 3}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JobSpec{Protocol: "s:0.5", Rounds: 2, Trials: 200, Seed: 3, Priority: 9}.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Fatal("priority changed the cache key")
+	}
+	if _, err := (JobSpec{Protocol: "s:0.5", Priority: 101}).Canonicalize(); err == nil {
+		t.Fatal("priority 101 accepted, want out-of-range rejection")
+	}
+}
+
+// TestJournalRestartReplay: jobs accepted but unfinished when the
+// daemon dies un-drained are re-admitted from the journal on restart
+// and each runs exactly once.
+func TestJournalRestartReplay(t *testing.T) {
+	qdir := filepath.Join(t.TempDir(), "queue")
+	j1, err := queue.OpenJournal(qdir, queue.JournalOptions{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(j1.Close)
+	block := make(chan struct{})
+	s1 := New(Config{
+		Workers:          1,
+		Journal:          j1,
+		WatchdogInterval: -1,
+		WrapEngine:       stallWrapper(666, block),
+	})
+	// The gate job occupies the only worker; the rest stay pending —
+	// accepted, journaled, never started.
+	gate, err := s1.Submit(JobSpec{Protocol: "s:0.5", Rounds: 2, Trials: 200, Seed: 666})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := s1.Get(gate.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gate job stuck in %s", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	keys := make(map[string]bool)
+	keys[gate.Key] = true
+	for seed := uint64(1); seed <= 3; seed++ {
+		st, err := s1.Submit(JobSpec{Protocol: "s:0.5", Rounds: 2, Trials: 200, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[st.Key] = true
+	}
+	if st := j1.Stats(); st.Pending != 4 {
+		t.Fatalf("journal pending = %d before crash, want 4", st.Pending)
+	}
+	// Simulated SIGKILL: s1 is abandoned un-drained, its journal handle
+	// left open, exactly as a dead process would leave them.
+	t.Cleanup(func() {
+		close(block)
+		drain(t, s1)
+	})
+
+	j2, err := queue.OpenJournal(qdir, queue.JournalOptions{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(j2.Close)
+	if got := len(j2.Pending()); got != 4 {
+		t.Fatalf("journal recovered %d pending records, want 4", got)
+	}
+	s2 := New(Config{Workers: 2, Journal: j2})
+	defer drain(t, s2)
+	if got := s2.Metrics().QueueReplayed.Load(); got != 4 {
+		t.Fatalf("queue_replayed_total = %d, want 4", got)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		jobs := s2.Jobs()
+		settled := 0
+		for _, st := range jobs {
+			if st.State.Terminal() {
+				settled++
+			}
+		}
+		if len(jobs) == 4 && settled == 4 {
+			for _, st := range jobs {
+				if st.State != StateDone {
+					t.Fatalf("replayed job %s settled %s: %s", st.ID, st.State, st.Error)
+				}
+				if !keys[st.Key] {
+					t.Fatalf("replayed job %s has unknown key %s", st.ID, st.Key)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replayed jobs did not settle: %d jobs, %d settled", len(jobs), settled)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Exactly once: four distinct keys, four engine runs, no pending
+	// journal entries left to resurrect.
+	if runs := s2.Metrics().EngineRuns.Load(); runs != 4 {
+		t.Fatalf("engine runs after replay = %d, want 4", runs)
+	}
+	if st := j2.Stats(); st.Pending != 0 {
+		t.Fatalf("journal pending = %d after settlement, want 0", st.Pending)
+	}
+}

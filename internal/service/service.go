@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"coordattack/internal/mc"
+	"coordattack/internal/queue"
 	"coordattack/internal/stats"
 	"coordattack/internal/store"
 )
@@ -26,9 +27,24 @@ type Config struct {
 	// below 1, so a fully loaded pool runs at most ~GOMAXPROCS trial
 	// goroutines instead of Workers×GOMAXPROCS.
 	TrialWorkers int
-	// QueueDepth bounds the FIFO submission queue; a full queue rejects
-	// with ErrQueueFull (HTTP 429). 0 means 64.
+	// QueueDepth bounds the pending submission queue; a full queue
+	// rejects with ErrQueueFull (HTTP 429). 0 means 64. Journal replay
+	// on restart may exceed it — accepted work is never dropped.
 	QueueDepth int
+	// StrictFIFO disables fair sharing: the scheduler degrades to one
+	// global FIFO in admission order, ignoring flows, priorities, and
+	// deadlines — the pre-scheduler behavior, kept for operators who
+	// want it back (-fair-share=false).
+	StrictFIFO bool
+	// InteractiveWeight is how many interactive jobs the scheduler pops
+	// per sweep-flow pop; 0 means 1 (equal shares). Raising it biases
+	// the pool toward latency-sensitive singleton submissions.
+	InteractiveWeight int
+	// Journal, when non-nil, is the crash-safe pending-queue WAL
+	// (internal/queue): every accepted job is appended (fsynced) before
+	// its 202, tombstoned when it settles, and re-admitted by New on
+	// restart. A nil Journal keeps the pending queue memory-only.
+	Journal *queue.Journal
 	// CacheSize bounds the result cache entry count; 0 means 1024.
 	CacheSize int
 	// JobTimeout is the per-job deadline; 0 means 5 minutes. A spec's
@@ -77,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 64
+	}
+	if c.InteractiveWeight == 0 {
+		c.InteractiveWeight = 1
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 1024
@@ -153,6 +172,13 @@ type Job struct {
 	body      json.RawMessage
 	errMsg    string
 	token     *workerToken // the worker currently running this job
+
+	// item is this job's scheduler entry while pending, and journaled
+	// marks the job that owns its key's journal accept record (coalesced
+	// followers share the key but never the record). Both are guarded by
+	// Server.mu, not this mu.
+	item      *queue.Item
+	journaled bool
 }
 
 // Progress is the polling/streaming view of a job's advancement. CIWidth
@@ -239,13 +265,15 @@ func (j *Job) finishIfQueued(state State, errMsg string) bool {
 	return true
 }
 
-// Server is the job orchestrator: a bounded FIFO queue drained by a
-// fixed worker pool, a content-addressed result cache in front, and a
-// job registry behind the HTTP handlers (http.go).
+// Server is the job orchestrator: a bounded fair-share scheduler
+// (internal/queue) drained by a fixed worker pool, a content-addressed
+// result cache in front, an optional crash-safe pending-queue journal
+// underneath, and a job registry behind the HTTP handlers (http.go).
 type Server struct {
 	cfg     Config
 	cache   *Cache
-	store   *store.Store // nil = memory-only
+	store   *store.Store   // nil = memory-only
+	journal *queue.Journal // nil = pending queue is memory-only
 	metrics *Metrics
 	engines map[string]engine
 
@@ -259,7 +287,7 @@ type Server struct {
 	// absent here with a cache miss really does need a fresh engine run.
 	inflight map[string]*Job
 	sweeps   map[string]*Sweep
-	queue    chan *Job
+	sched    *queue.Sched
 	draining bool
 	nextID   int64
 
@@ -290,20 +318,33 @@ func (t *workerToken) release(wg *sync.WaitGroup) {
 	}
 }
 
-// New starts a Server with cfg's worker pool already running.
+// New starts a Server with cfg's worker pool already running. When a
+// journal is configured, the pending jobs it recovered are re-admitted
+// (ahead of new submissions) before the pool starts.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheSize),
 		store:    cfg.Store,
+		journal:  cfg.Journal,
 		metrics:  NewMetrics(),
 		engines:  engineRegistry(),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		sweeps:   make(map[string]*Sweep),
-		queue:    make(chan *Job, cfg.QueueDepth),
+		sched: queue.NewSched(queue.SchedOptions{
+			MaxDepth: cfg.QueueDepth,
+			Strict:   cfg.StrictFIFO,
+			Weight: func(c queue.Class) int {
+				if c == queue.ClassInteractive {
+					return cfg.InteractiveWeight
+				}
+				return 1
+			},
+		}),
 	}
+	s.replayJournal()
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -329,6 +370,14 @@ func (s *Server) CacheStats() (hits, misses int64) { return s.cache.Stats() }
 // (possibly coalesced) otherwise. Backpressure and drain are reported
 // as ErrQueueFull and ErrDraining.
 func (s *Server) Submit(spec JobSpec) (*Status, error) {
+	return s.submit(spec, queue.ClassInteractive, "interactive")
+}
+
+// submit is Submit with an explicit scheduling envelope: individual
+// submissions share the "interactive" flow, sweep cells ride their
+// sweep's own flow (class "sweep"), so the fair scheduler round-robins
+// sweeps against singletons instead of draining whichever came first.
+func (s *Server) submit(spec JobSpec, class queue.Class, flow string) (*Status, error) {
 	canon, err := spec.Canonicalize()
 	if err != nil {
 		return nil, err
@@ -377,18 +426,137 @@ func (s *Server) Submit(spec JobSpec) (*Status, error) {
 		j.cancel()
 		return nil, ErrDraining
 	}
-	select {
-	case s.queue <- j:
-		s.jobs[j.id] = j
-		s.inflight[key] = j
-		s.mu.Unlock()
-	default:
+	it := &queue.Item{
+		Key:      key,
+		Flow:     flow,
+		Class:    class,
+		Priority: canon.Priority,
+		Deadline: j.deadline,
+		Payload:  j,
+	}
+	if err := s.sched.Push(it); err != nil {
 		s.mu.Unlock()
 		j.cancel()
 		s.metrics.JobsRejected.Add(1)
 		return nil, ErrQueueFull
 	}
+	s.jobs[j.id] = j
+	s.inflight[key] = j
+	j.item = it
+	s.journalAccept(j, it)
+	s.mu.Unlock()
 	return j.status(), nil
+}
+
+// journalAccept appends j's accept record (fsynced) under s.mu, so the
+// job's 202 is only sent once the accept is durable and no settle for
+// this key can be logged before it. Rejected jobs never reach here — a
+// full queue costs no fsync. Journal errors are advisory: the journal
+// demotes itself to memory-only and admission proceeds.
+func (s *Server) journalAccept(j *Job, it *queue.Item) {
+	if s.journal == nil {
+		return
+	}
+	specJSON, err := json.Marshal(j.spec)
+	if err != nil {
+		return
+	}
+	j.journaled = true
+	_ = s.journal.Accept(queue.Record{
+		Key:      j.key,
+		Flow:     it.Flow,
+		Class:    string(it.Class),
+		Priority: it.Priority,
+		Spec:     specJSON,
+	})
+}
+
+// journalSettle tombstones j's journal entry, exactly once, and only if
+// j owns it — coalesced followers share the leader's key but must not
+// erase its pending record.
+func (s *Server) journalSettle(j *Job) {
+	if s.journal == nil {
+		return
+	}
+	s.mu.Lock()
+	owned := j.journaled
+	j.journaled = false
+	s.mu.Unlock()
+	if owned {
+		_ = s.journal.Settle(j.key)
+	}
+}
+
+// replayJournal re-admits the pending jobs the journal recovered: each
+// record's spec is re-canonicalized, answered from the durable result
+// store when the settle beat the crash but its tombstone did not, and
+// otherwise pushed back onto the scheduler (bypassing MaxDepth —
+// accepted work is never dropped) in its original flow, with its
+// original admission time. Records that no longer canonicalize (a spec
+// regression across versions) are tombstoned and dropped; a key that
+// re-canonicalizes differently (keyVersion bump) is re-accepted under
+// the new key so a later crash replays the right one.
+func (s *Server) replayJournal() {
+	if s.journal == nil {
+		return
+	}
+	for _, rec := range s.journal.Pending() {
+		var spec JobSpec
+		if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+			_ = s.journal.Settle(rec.Key)
+			continue
+		}
+		canon, err := spec.Canonicalize()
+		if err != nil {
+			_ = s.journal.Settle(rec.Key)
+			continue
+		}
+		key := canon.Key()
+		j := s.newJob(canon, key)
+		s.metrics.QueueReplayed.Add(1)
+		if body, ok := s.storeGet(key); ok {
+			// The engine ran and the body persisted before the crash; only
+			// the tombstone was lost. Serve the stored result — no second
+			// engine run — and settle the journal now.
+			s.cache.Put(key, body)
+			s.serveCached(j, body)
+			_ = s.journal.Settle(rec.Key)
+			continue
+		}
+		if key != rec.Key {
+			_ = s.journal.Settle(rec.Key)
+		}
+		class := queue.Class(rec.Class)
+		if class == "" {
+			class = queue.ClassInteractive
+		}
+		flow := rec.Flow
+		if flow == "" {
+			flow = "interactive"
+		}
+		it := &queue.Item{
+			Key:      key,
+			Flow:     flow,
+			Class:    class,
+			Priority: rec.Priority,
+			Deadline: j.deadline,
+			Payload:  j,
+		}
+		if rec.At > 0 {
+			it.Enqueued = time.Unix(0, rec.At)
+		}
+		s.mu.Lock()
+		s.jobs[j.id] = j
+		s.inflight[key] = j
+		j.item = it
+		if key == rec.Key {
+			j.journaled = true
+		} else {
+			s.journalAccept(j, it)
+		}
+		s.mu.Unlock()
+		s.sched.PushReplay(it)
+	}
 }
 
 // serveCached settles a freshly created job inline with a memoized body.
@@ -561,7 +729,17 @@ func (s *Server) Cancel(id string) (*Status, error) {
 		// A running job settles through its worker, keeping whatever
 		// partial result the engine salvages. A settled leader must
 		// leave the coalescing registry now — its worker's own drop only
-		// happens once the job is dequeued.
+		// happens once the job is dequeued. Withdraw it from the
+		// scheduler too (freeing queue capacity immediately) and
+		// tombstone its journal entry so a restart does not resurrect a
+		// cancelled job.
+		s.mu.Lock()
+		it := j.item
+		s.mu.Unlock()
+		if it != nil {
+			s.sched.Remove(it)
+		}
+		s.journalSettle(j)
 		s.dropInflight(j)
 		s.metrics.JobsCancelled.Add(1)
 	}
@@ -581,8 +759,12 @@ func (s *Server) dropInflight(j *Job) {
 func (s *Server) worker() {
 	t := &workerToken{}
 	defer t.release(&s.wg)
-	for j := range s.queue {
-		s.runJob(j, t)
+	for {
+		it, ok := s.sched.Next()
+		if !ok {
+			return
+		}
+		s.runJob(it.Payload.(*Job), t)
 		if t.abandoned.Load() {
 			// The watchdog replaced this worker while it was wedged in an
 			// engine; its pool slot belongs to the replacement now.
@@ -622,6 +804,10 @@ func (s *Server) runJob(j *Job, t *workerToken) {
 	// path caches the body first, so by the time the key leaves the
 	// registry a re-submission is guaranteed to hit the cache.
 	defer s.dropInflight(j)
+	// LIFO: the journal tombstone lands while the key is still in the
+	// coalescing registry, so a fresh accept of the same key cannot be
+	// logged before this settle and then erased by it.
+	defer s.journalSettle(j)
 	j.mu.Lock()
 	if j.state.Terminal() { // cancelled while queued
 		j.mu.Unlock()
@@ -698,16 +884,24 @@ func (s *Server) runJob(j *Job, t *workerToken) {
 // gauges snapshots the point-in-time values for /metrics and /healthz.
 func (s *Server) gauges() Gauges {
 	hits, misses := s.cache.Stats()
+	byClass := s.sched.DepthByClass()
 	g := Gauges{
-		JobsQueued:  len(s.queue),
-		JobsRunning: int(s.running.Load()),
-		CacheSize:   s.cache.Len(),
-		CacheHits:   hits,
-		CacheMisses: misses,
+		JobsQueued:        s.sched.Depth(),
+		QueueInteractive:  byClass[queue.ClassInteractive],
+		QueueSweep:        byClass[queue.ClassSweep],
+		QueueOldestAgeSec: s.sched.OldestAge(time.Now()).Seconds(),
+		JobsRunning:       int(s.running.Load()),
+		CacheSize:         s.cache.Len(),
+		CacheHits:         hits,
+		CacheMisses:       misses,
 	}
 	if s.store != nil {
 		g.Store = s.store.Stats()
 		g.StoreEnabled = true
+	}
+	if s.journal != nil {
+		g.Journal = s.journal.Stats()
+		g.JournalEnabled = true
 	}
 	return g
 }
@@ -718,8 +912,8 @@ func (s *Server) gauges() Gauges {
 // [1, 300]. It is the Retry-After header on 429 responses, so a client
 // backing off by it lands roughly when the queue has moved.
 func (s *Server) retryAfter() (secs, depth, capacity int) {
-	depth = len(s.queue)
-	capacity = cap(s.queue)
+	depth = s.sched.Depth()
+	capacity = s.cfg.QueueDepth
 	mean := s.metrics.MeanJobSeconds()
 	if mean <= 0 {
 		mean = 1
@@ -743,7 +937,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.sched.Close()
 		if s.watchStop != nil {
 			// Stop the watchdog before waiting on the pool: a kill racing
 			// the drain would otherwise spawn a replacement worker while

@@ -98,6 +98,13 @@ type JobSpec struct {
 	// does not affect the computed result, so it is excluded from the
 	// cache key.
 	TimeoutSec int `json:"timeout_sec,omitempty"`
+
+	// Priority orders this job within its scheduler flow: higher runs
+	// first, ties break by deadline then admission order. In [-100,
+	// 100]; 0 is the default class. Like TimeoutSec it does not affect
+	// the computed result, so it is excluded from the cache key — jobs
+	// differing only in priority coalesce.
+	Priority int `json:"priority,omitempty"`
 }
 
 // PrecisionSpec is the wire form of an adaptive-early-stopping request.
@@ -146,6 +153,7 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 		Experiment:  strings.ToUpper(strings.TrimSpace(s.Experiment)),
 		Quick:       s.Quick,
 		TimeoutSec:  s.TimeoutSec,
+		Priority:    s.Priority,
 	}
 	if p := s.Precision; p != nil {
 		if p.CIWidth == 0 {
@@ -163,6 +171,9 @@ func (s JobSpec) Canonicalize() (JobSpec, error) {
 	}
 	if c.TimeoutSec < 0 {
 		return JobSpec{}, fmt.Errorf("service: timeout_sec must be nonnegative, got %d", c.TimeoutSec)
+	}
+	if c.Priority < -100 || c.Priority > 100 {
+		return JobSpec{}, fmt.Errorf("service: priority must be in -100..100, got %d", c.Priority)
 	}
 	switch c.Engine {
 	case EngineMC:

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"coordattack/internal/queue"
 	"coordattack/internal/stats"
 )
 
@@ -269,7 +270,7 @@ func (s *Server) SubmitSweep(spec SweepSpec) (*SweepStatus, error) {
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
-	if len(s.queue) == cap(s.queue) {
+	if s.sched.Depth() >= s.cfg.QueueDepth {
 		// Overload shedding: a sweep accepted while the queue is slammed
 		// would park a dispatcher goroutine spinning on ErrQueueFull.
 		// Rejecting up front (429 + Retry-After) keeps degraded operation
@@ -317,7 +318,11 @@ func (s *Server) dispatchSweep(sw *Sweep) {
 				}
 				goto wait
 			}
-			st, err := s.Submit(c.spec)
+			// Cells enter the scheduler on the sweep's own flow: the fair
+			// pass round-robins this sweep against the interactive flow
+			// (and other sweeps), so a saturating grid no longer starves
+			// singleton submissions.
+			st, err := s.submit(c.spec, queue.ClassSweep, sw.id)
 			if err == nil {
 				c.mu.Lock()
 				c.jobID = st.ID

@@ -101,6 +101,7 @@ func (s *Server) killStuck(j *Job, now time.Time) {
 	s.metrics.WatchdogKills.Add(1)
 	s.metrics.JobsFailed.Add(1)
 	s.freeSlot(j)
+	s.journalSettle(j)
 	s.dropInflight(j)
 	if t != nil {
 		t.abandoned.Store(true)
