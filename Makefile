@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench report quick-report fault-demo service-demo sweep-demo persist-demo chaos-demo queue-demo fuzz fuzz-spec clean
+.PHONY: all build test test-race bench bench-json report quick-report fault-demo service-demo sweep-demo persist-demo chaos-demo queue-demo cluster-demo fuzz fuzz-spec clean
 
 all: build test
 
@@ -18,6 +18,16 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Throughput baseline: run the fixed protocol × graph × engine matrix
+# and check in the next BENCH_N.json (compare against the previous one
+# before merging a perf-sensitive change).
+bench-json:
+	@set -e; \
+	n=$$(ls BENCH_*.json 2>/dev/null | wc -l); \
+	n=$$(( n + 1 )); \
+	$(GO) run ./cmd/coordbench -bench -out BENCH_$$n.json; \
+	echo "wrote BENCH_$$n.json"
 
 # Full-fidelity reproduction report (EXPERIMENTS.md body).
 report:
@@ -135,6 +145,88 @@ queue-demo:
 		| grep -Eq '"state": "(queued|running)"'; do sleep 0.2; done; \
 	curl -s http://127.0.0.1:8347/v1/jobs | grep -E '"(id|state)":'; \
 	curl -s http://127.0.0.1:8347/metrics | grep -E '^coordd_(queue_replayed_total|engine_runs_total)'
+
+# Three-node cluster demo: static peers with consistent-hash result
+# routing and idle-node work stealing. Proves (a) a key computed on A is
+# served to B and C with their engines never running, (b) a backlog on A
+# is stolen by idle peers and every job settles exactly once (total
+# engine runs across the cluster == distinct keys), and (c) killing a
+# node leaves the survivors serving.
+cluster-demo:
+	$(GO) build -o /tmp/coordd ./cmd/coordd
+	@set -e; \
+	root=$$(mktemp -d); \
+	peers='127.0.0.1:8351,127.0.0.1:8352,127.0.0.1:8353'; \
+	for p in 8351 8352 8353; do \
+		mkdir -p $$root/$$p/store $$root/$$p/queue; \
+		/tmp/coordd -addr 127.0.0.1:$$p -workers 1 -peers $$peers \
+			-steal-interval 250ms \
+			-store-dir $$root/$$p/store -queue-dir $$root/$$p/queue \
+			& echo $$! > $$root/$$p.pid; \
+	done; \
+	trap 'kill $$(cat $$root/*.pid) 2>/dev/null || true' EXIT; \
+	for p in 8351 8352 8353; do \
+		for i in $$(seq 50); do \
+			curl -sf http://127.0.0.1:$$p/healthz >/dev/null && break; sleep 0.1; \
+		done; \
+	done; \
+	spec='{"protocol": "s:0.1", "rounds": 10, "trials": 20000, "seed": 41}'; \
+	id=$$(curl -s http://127.0.0.1:8351/v1/jobs -d "$$spec" \
+		| sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+	while curl -s http://127.0.0.1:8351/v1/jobs/$$id \
+		| grep -Eq '"state": "(queued|running)"'; do sleep 0.2; done; \
+	sleep 2; \
+	echo "--- computed on A; same spec on B and C settles with zero engine runs"; \
+	for p in 8352 8353; do \
+		id=$$(curl -s http://127.0.0.1:$$p/v1/jobs -d "$$spec" \
+			| sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+		while curl -s http://127.0.0.1:$$p/v1/jobs/$$id \
+			| grep -Eq '"state": "(queued|running)"'; do sleep 0.2; done; \
+		curl -s http://127.0.0.1:$$p/v1/jobs/$$id | grep -Eq '"state": "done"'; \
+		runs=$$(curl -s http://127.0.0.1:$$p/metrics \
+			| sed -n 's/^coordd_engine_runs_total //p'); \
+		test "$$runs" = 0; \
+		echo "node $$p: done, engine_runs=$$runs"; \
+	done; \
+	hits=$$(( $$(curl -s http://127.0.0.1:8352/metrics | sed -n 's/^coordd_peer_hits_total //p') \
+		+ $$(curl -s http://127.0.0.1:8353/metrics | sed -n 's/^coordd_peer_hits_total //p') )); \
+	test $$hits -ge 1; \
+	echo "peer hits on B+C: $$hits"; \
+	echo "--- 4-job backlog on A: surplus stolen by idle peers"; \
+	for seed in 51 52 53 54; do \
+		curl -s http://127.0.0.1:8351/v1/jobs \
+			-d "{\"protocol\": \"s:0.5\", \"rounds\": 10, \"trials\": 1500000, \"seed\": $$seed}" >/dev/null; \
+	done; \
+	while curl -s http://127.0.0.1:8351/v1/jobs \
+		| grep -Eq '"state": "(queued|running)"'; do sleep 0.3; done; \
+	total=0; \
+	for p in 8351 8352 8353; do \
+		runs=$$(curl -s http://127.0.0.1:$$p/metrics \
+			| sed -n 's/^coordd_engine_runs_total //p'); \
+		total=$$(( total + runs )); \
+	done; \
+	test $$total -eq 5; \
+	echo "engine runs across the cluster: $$total (5 distinct keys, exactly once)"; \
+	donated=$$(curl -s http://127.0.0.1:8351/metrics \
+		| sed -n 's/^coordd_jobs_donated_total //p'); \
+	test $$donated -ge 1; \
+	echo "jobs donated by A: $$donated"; \
+	echo "--- killing C with SIGKILL; survivors keep serving"; \
+	kill -9 $$(cat $$root/8353.pid); \
+	curl -s http://127.0.0.1:8351/v1/jobs \
+		-d '{"protocol": "s:0.1", "rounds": 10, "trials": 20000, "seed": 42}' \
+		| grep -q '"id"'; \
+	echo "A accepted new work with C dead"; \
+	/tmp/coordd -addr 127.0.0.1:8353 -workers 1 -peers $$peers \
+		-steal-interval 250ms \
+		-store-dir $$root/8353/store -queue-dir $$root/8353/queue \
+		& echo $$! > $$root/8353.pid; \
+	for i in $$(seq 50); do \
+		curl -sf http://127.0.0.1:8353/healthz >/dev/null && break; sleep 0.1; \
+	done; \
+	curl -s http://127.0.0.1:8353/v1/jobs -d "$$spec" | grep -Eq '"cached": true'; \
+	echo "restarted C answered the original spec from its disk tier"; \
+	echo "cluster-demo: OK"
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/run/

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"coordattack/internal/cliutil"
+	"coordattack/internal/mc"
+	"coordattack/internal/rng"
+	"coordattack/internal/sim"
+)
+
+// benchReport is the machine-readable output of -bench: the throughput
+// baseline checked in as BENCH_N.json. The kind string is versioned so
+// later baselines can change shape without ambiguity.
+type benchReport struct {
+	Kind          string       `json:"kind"`
+	Go            string       `json:"go"`
+	GOMAXPROCS    int          `json:"gomaxprocs"`
+	TrialsPerCell int          `json:"trials_per_cell"`
+	Results       []benchPoint `json:"results"`
+}
+
+type benchPoint struct {
+	Protocol     string  `json:"protocol"`
+	Graph        string  `json:"graph"`
+	Engine       string  `json:"engine"`
+	Trials       int     `json:"trials"`
+	Seconds      float64 `json:"seconds"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+}
+
+// benchMatrix is the fixed protocol × graph × engine grid every
+// baseline measures, so BENCH files stay comparable across commits.
+// Protocol A is pair-only, so the protocols here are the ones defined
+// on arbitrary graphs: the paper's randomized S (ε = 0.1) and the
+// deterministic full-information baseline.
+var (
+	benchProtocols = []string{"s:0.1", "detfullinfo"}
+	benchGraphs    = []string{"pair", "complete:4", "ring:6"}
+	benchEngines   = []string{"sim", "concurrent", "mc"}
+)
+
+const benchRounds = 10
+
+// runBench measures Monte-Carlo trial throughput over the fixed matrix
+// and writes one JSON report. The "sim" engine is the sequential
+// round-loop simulator, "concurrent" the goroutine-per-process one, and
+// "mc" the full estimator with its trial-level parallelism — so the
+// three rows per cell separate simulator cost, concurrency overhead,
+// and estimator scaling.
+func runBench(trials int, seed uint64, out io.Writer) int {
+	if trials <= 0 {
+		trials = 5000
+	}
+	if seed == 0 {
+		seed = 1992
+	}
+	report := benchReport{
+		Kind:          "coordbench-bench/v1",
+		Go:            runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		TrialsPerCell: trials,
+	}
+	for _, proto := range benchProtocols {
+		p, err := cliutil.ParseProtocol(proto)
+		if err != nil {
+			fmt.Fprintf(out, "coordbench: %v\n", err)
+			return 1
+		}
+		for _, gspec := range benchGraphs {
+			g, err := cliutil.ParseGraph(gspec, seed)
+			if err != nil {
+				fmt.Fprintf(out, "coordbench: %v\n", err)
+				return 1
+			}
+			inputs, err := cliutil.ParseInputs("all", g)
+			if err != nil {
+				fmt.Fprintf(out, "coordbench: %v\n", err)
+				return 1
+			}
+			r, err := cliutil.ParseRun("good", g, benchRounds, inputs, seed)
+			if err != nil {
+				fmt.Fprintf(out, "coordbench: %v\n", err)
+				return 1
+			}
+			for _, eng := range benchEngines {
+				var secs float64
+				switch eng {
+				case "sim", "concurrent":
+					stream := rng.NewStream(seed)
+					start := time.Now()
+					for t := 0; t < trials; t++ {
+						tapes := sim.StreamTapes(stream, uint64(t))
+						if eng == "sim" {
+							_, err = sim.Outputs(p, g, r, tapes)
+						} else {
+							_, err = sim.ConcurrentOutputs(p, g, r, tapes)
+						}
+						if err != nil {
+							fmt.Fprintf(out, "coordbench: %s %s %s: %v\n", proto, gspec, eng, err)
+							return 1
+						}
+					}
+					secs = time.Since(start).Seconds()
+				case "mc":
+					start := time.Now()
+					if _, err := mc.Estimate(mc.Config{
+						Protocol: p,
+						Graph:    g,
+						Run:      r,
+						Trials:   trials,
+						Seed:     seed,
+					}); err != nil {
+						fmt.Fprintf(out, "coordbench: %s %s mc: %v\n", proto, gspec, err)
+						return 1
+					}
+					secs = time.Since(start).Seconds()
+				}
+				tps := 0.0
+				if secs > 0 {
+					tps = float64(trials) / secs
+				}
+				report.Results = append(report.Results, benchPoint{
+					Protocol:     proto,
+					Graph:        gspec,
+					Engine:       eng,
+					Trials:       trials,
+					Seconds:      secs,
+					TrialsPerSec: tps,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return 1
+	}
+	return 0
+}

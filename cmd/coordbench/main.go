@@ -51,9 +51,23 @@ func run(args []string, out io.Writer) int {
 		sweep    = fs.String("sweep", "", "with -server: sweep spec JSON, or @file")
 		wait     = fs.Duration("wait", 10*time.Minute, "with -server: how long to wait for the sweep to settle")
 		priority = fs.Int("priority", 0, "with -server: scheduling priority stamped on the sweep's base spec (-100..100, higher runs first)")
+		bench    = fs.Bool("bench", false, "throughput-baseline mode: measure trials/sec over the fixed protocol × graph × engine matrix, emit JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *bench {
+		sink := out
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			defer f.Close()
+			sink = f
+		}
+		return runBench(*trials, *seed, sink)
 	}
 	if *server != "" {
 		return runServer(*server, *sweep, *priority, *wait, out)

@@ -26,9 +26,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"coordattack/internal/cluster"
 	"coordattack/internal/queue"
 	"coordattack/internal/service"
 	"coordattack/internal/store"
@@ -60,6 +62,10 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		jobKeep      = fs.Int("job-retention", 4096, "settled jobs kept queryable before eviction")
 		wdInterval   = fs.Duration("watchdog-interval", 5*time.Second, "stuck-job watchdog scan interval (0 = watchdog off)")
 		wdGrace      = fs.Duration("watchdog-grace", 30*time.Second, "time past deadline with no progress before a job is declared stuck")
+		peers        = fs.String("peers", "", "comma-separated peer base URLs forming a static cluster; empty = standalone")
+		advertise    = fs.String("advertise", "", "this node's address as peers reach it (default: the listen address)")
+		peerTimeout  = fs.Duration("peer-timeout", 500*time.Millisecond, "per-request timeout for peer calls")
+		stealEvery   = fs.Duration("steal-interval", time.Second, "idle-node work-stealing poll interval (0 = stealing off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,6 +88,14 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 	}
 	if *interWeight < 1 {
 		fmt.Fprintln(os.Stderr, "coordd: interactive-weight must be >= 1")
+		return 2
+	}
+	if *peerTimeout <= 0 || *stealEvery < 0 {
+		fmt.Fprintln(os.Stderr, "coordd: peer-timeout must be > 0 and steal-interval >= 0")
+		return 2
+	}
+	if *peers == "" && *advertise != "" {
+		fmt.Fprintln(os.Stderr, "coordd: -advertise requires -peers")
 		return 2
 	}
 
@@ -111,9 +125,48 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		defer jl.Close()
 	}
 
+	// Listen before building the cluster: -advertise defaults to the
+	// address actually bound, which only exists once the listener does
+	// (tests and scripts bind :0 and scrape the chosen port).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Fprintf(out, "coordd: listening on http://%s\n", ln.Addr())
+
+	var cl *cluster.Cluster
+	if *peers != "" {
+		self := *advertise
+		if self == "" {
+			self = ln.Addr().String()
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		cl, err = cluster.New(cluster.Options{
+			Self:    self,
+			Peers:   peerList,
+			Timeout: *peerTimeout,
+			Logf:    log.Printf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Fprintf(out, "coordd: cluster self %s, peers %v\n", cl.Self(), cl.PeerAddrs())
+	}
+
 	watchdogInterval := *wdInterval
 	if watchdogInterval == 0 {
 		watchdogInterval = -1 // flag 0 = off; Config 0 = default
+	}
+	stealInterval := *stealEvery
+	if stealInterval == 0 {
+		stealInterval = -1 // flag 0 = off; Config 0 = default
 	}
 	srv := service.New(service.Config{
 		Workers:           *workers,
@@ -129,15 +182,9 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		JobRetention:      *jobKeep,
 		WatchdogInterval:  watchdogInterval,
 		WatchdogGrace:     *wdGrace,
+		Cluster:           cl,
+		StealInterval:     stealInterval,
 	})
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
-	// The listen line is a contract: tests and scripts bind to :0 and
-	// scrape the chosen port from it.
-	fmt.Fprintf(out, "coordd: listening on http://%s\n", ln.Addr())
 	if st != nil {
 		fmt.Fprintf(out, "coordd: result store %s (%d entries, budget %d bytes)\n", *storeDir, st.Len(), *storeMax)
 	}

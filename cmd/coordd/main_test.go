@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"strings"
@@ -311,5 +312,167 @@ func TestDaemonSmoke(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+func TestDaemonBadClusterFlags(t *testing.T) {
+	cases := [][]string{
+		{"-peer-timeout", "0s"},
+		{"-steal-interval", "-1s"},
+		{"-advertise", "http://127.0.0.1:1"}, // -advertise without -peers
+		{"-peers", "127.0.0.1:1"},            // peer set collapses to self-only
+	}
+	for _, args := range cases {
+		args = append([]string{"-addr", "127.0.0.1:1"}, args...)
+		if code := run(args, io.Discard, nil); code != 2 {
+			t.Errorf("args %v: exit code %d, want 2", args, code)
+		}
+	}
+}
+
+// TestDaemonCluster boots two daemons joined as a static cluster and
+// proves the headline property over the real wire: a result computed on
+// node A answers the identical spec on node B as a cache hit — B's
+// engine never runs.
+func TestDaemonCluster(t *testing.T) {
+	// Reserve two ports so each daemon can name the other at boot.
+	ports := make([]string, 2)
+	for i := range ports {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ports[i] = l.Addr().String()
+		l.Close()
+	}
+	peerFlag := ports[0] + "," + ports[1]
+
+	type node struct {
+		base string
+		stop chan os.Signal
+		exit chan int
+	}
+	var nodes []node
+	for _, addr := range ports {
+		base, stop, exit := bootDaemon(t,
+			"-addr", addr, "-peers", peerFlag, "-steal-interval", "100ms")
+		nodes = append(nodes, node{base, stop, exit})
+	}
+	defer func() {
+		for _, n := range nodes {
+			shutdownDaemon(t, n.stop, n.exit)
+		}
+	}()
+
+	spec := `{"protocol": "a", "rounds": 6, "trials": 2000, "seed": 7}`
+	submit := func(base string) (id, state string, cached bool, code int) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			ID     string `json:"id"`
+			State  string `json:"state"`
+			Cached bool   `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return st.ID, st.State, st.Cached, resp.StatusCode
+	}
+
+	id, state, _, _ := submit(nodes[0].base)
+	deadline := time.Now().Add(15 * time.Second)
+	for state != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job on A stuck in %q", state)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r, err := http.Get(nodes[0].base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		state = st.State
+	}
+
+	// The same spec on B must settle without running B's engine: either
+	// replication already landed it in B's tiers (immediate cached 200)
+	// or B's worker fetches it from its owner.
+	metric := func(base, name string) string {
+		t.Helper()
+		r, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		for _, line := range strings.Split(string(body), "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				return strings.TrimPrefix(line, name+" ")
+			}
+		}
+		return ""
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		id, state, _, _ := submit(nodes[1].base)
+		for state != "done" {
+			if time.Now().After(deadline) {
+				t.Fatalf("job on B stuck in %q", state)
+			}
+			time.Sleep(10 * time.Millisecond)
+			r, err := http.Get(nodes[1].base + "/v1/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st struct {
+				State string `json:"state"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+				t.Fatal(err)
+			}
+			r.Body.Close()
+			state = st.State
+		}
+		if metric(nodes[1].base, "coordd_engine_runs_total") == "0" {
+			break
+		}
+		t.Fatalf("B ran its engine (%s runs) despite A holding the result",
+			metric(nodes[1].base, "coordd_engine_runs_total"))
+	}
+
+	// Both admin endpoints answer and healthz reports a healthy cluster.
+	for _, n := range nodes {
+		r, err := http.Get(n.base + "/v1/admin/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s/v1/admin/cluster: code %d", n.base, r.StatusCode)
+		}
+		hz, err := http.Get(n.base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h struct {
+			Cluster string `json:"cluster"`
+		}
+		if err := json.NewDecoder(hz.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		hz.Body.Close()
+		if h.Cluster != "ok" {
+			t.Errorf("%s healthz cluster = %q, want ok", n.base, h.Cluster)
+		}
 	}
 }

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThresholdAndProbes(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	b := newBreaker(3, 10*time.Second, clock)
+
+	if b.State() != StateClosed || !b.Allow() {
+		t.Fatalf("fresh breaker not closed/allowing: %s", b.State())
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != StateClosed || !b.Allow() {
+		t.Fatalf("below threshold should stay closed, got %s", b.State())
+	}
+	b.Failure() // third consecutive failure: open
+	if b.State() != StateOpen {
+		t.Fatalf("at threshold want open, got %s", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a request inside the cooldown")
+	}
+	if b.Failures() != 3 {
+		t.Fatalf("failures = %d, want 3", b.Failures())
+	}
+
+	// Cooldown elapses: exactly one probe is admitted.
+	now = now.Add(11 * time.Second)
+	if b.State() != StateHalfOpen {
+		t.Fatalf("after cooldown want half-open, got %s", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// Failed probe re-opens for another full cooldown.
+	b.Failure()
+	if b.State() != StateOpen || b.Allow() {
+		t.Fatalf("failed probe should re-open, got %s", b.State())
+	}
+	now = now.Add(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after second cooldown")
+	}
+	b.Success()
+	if b.State() != StateClosed || !b.Allow() || b.Failures() != 0 {
+		t.Fatalf("successful probe should close: state=%s failures=%d", b.State(), b.Failures())
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := newBreaker(3, time.Second, nil)
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		b.Failure()
+		b.Success() // never three in a row
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("interleaved successes must keep the breaker closed, got %s", b.State())
+	}
+}

@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakePeer is a minimal peer-protocol server: a key→body map plus a
+// steal grant.
+type fakePeer struct {
+	results map[string][]byte
+	grant   []StolenJob
+	gets    atomic.Int64
+	puts    atomic.Int64
+	steals  atomic.Int64
+}
+
+func (f *fakePeer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+ResultsPathPrefix+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		f.gets.Add(1)
+		body, ok := f.results[r.PathValue("key")]
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Write(body)
+	})
+	mux.HandleFunc("PUT "+ResultsPathPrefix+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		f.puts.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST "+StealPath, func(w http.ResponseWriter, r *http.Request) {
+		f.steals.Add(1)
+		var req StealRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		json.NewEncoder(w).Encode(StealResponse{Jobs: f.grant})
+	})
+	return mux
+}
+
+func reqCount(snap Snapshot, op, outcome string) int64 {
+	var n int64
+	for _, r := range snap.Requests {
+		if r.Op == op && r.Outcome == outcome {
+			n += r.Count
+		}
+	}
+	return n
+}
+
+func TestFetchHitMissAndCounters(t *testing.T) {
+	fp := &fakePeer{results: map[string][]byte{"abc123": []byte(`{"x":1}`)}}
+	srv := httptest.NewServer(fp.handler())
+	defer srv.Close()
+
+	c, err := New(Options{Self: "http://self.invalid:1", Peers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, found, err := c.FetchFrom(context.Background(), srv.URL, "abc123")
+	if err != nil || !found || string(body) != `{"x":1}` {
+		t.Fatalf("hit: body=%q found=%v err=%v", body, found, err)
+	}
+	_, found, err = c.FetchFrom(context.Background(), srv.URL, "nope")
+	if err != nil || found {
+		t.Fatalf("miss should be clean: found=%v err=%v", found, err)
+	}
+	snap := c.Snapshot()
+	if reqCount(snap, "results", "hit") != 1 || reqCount(snap, "results", "miss") != 1 {
+		t.Fatalf("counter mismatch: %+v", snap.Requests)
+	}
+	if snap.Peers[0].Breaker != StateClosed {
+		t.Fatalf("breaker should be closed after hit+miss, got %s", snap.Peers[0].Breaker)
+	}
+}
+
+func TestFetchResultRoutesToOwnerAndSkipsSelf(t *testing.T) {
+	fp := &fakePeer{results: map[string][]byte{}}
+	srv := httptest.NewServer(fp.handler())
+	defer srv.Close()
+	c, err := New(Options{Self: "http://self.invalid:1", Peers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find one key owned by the peer and one owned by self.
+	var peerKey, selfKey string
+	for _, k := range randomKeys(200, 21) {
+		if c.OwnsLocally(k) {
+			selfKey = k
+		} else {
+			peerKey = k
+		}
+		if peerKey != "" && selfKey != "" {
+			break
+		}
+	}
+	if peerKey == "" || selfKey == "" {
+		t.Fatal("could not find keys on both arcs")
+	}
+	fp.results[peerKey] = []byte("peer-bytes")
+	if body, ok := c.FetchResult(context.Background(), peerKey); !ok || string(body) != "peer-bytes" {
+		t.Fatalf("owner-routed fetch failed: %q %v", body, ok)
+	}
+	if _, ok := c.FetchResult(context.Background(), selfKey); ok {
+		t.Fatal("self-owned key must not be fetched from a peer")
+	}
+	if got := fp.gets.Load(); got != 1 {
+		t.Fatalf("peer saw %d GETs, want 1 (self-owned key must not dial out)", got)
+	}
+}
+
+func TestBreakerOpensOnDeadPeerAndShortCircuits(t *testing.T) {
+	// A listener that is immediately closed: every dial fails fast.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	dead := srv.URL
+	srv.Close()
+
+	c, err := New(Options{
+		Self:             "http://self.invalid:1",
+		Peers:            []string{dead},
+		Timeout:          200 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, found, err := c.FetchFrom(context.Background(), dead, "k"); found || err == nil {
+			t.Fatalf("dead peer fetch %d should error", i)
+		}
+	}
+	snap := c.Snapshot()
+	if snap.Peers[0].Breaker != StateOpen {
+		t.Fatalf("breaker after 3 failures = %s, want open", snap.Peers[0].Breaker)
+	}
+	if !c.PeerDown(dead) {
+		t.Fatal("PeerDown should report the open breaker")
+	}
+	// Short circuit: no more dials, outcome "open" counted.
+	if _, _, err := c.FetchFrom(context.Background(), dead, "k"); err == nil {
+		t.Fatal("open breaker should refuse")
+	}
+	if _, err := c.StealFrom(context.Background(), dead, 1); err == nil {
+		t.Fatal("open breaker should refuse steal too")
+	}
+	snap = c.Snapshot()
+	if reqCount(snap, "results", "open") != 1 || reqCount(snap, "steal", "open") != 1 {
+		t.Fatalf("short-circuit counters wrong: %+v", snap.Requests)
+	}
+	if reqCount(snap, "results", "error") != 3 {
+		t.Fatalf("error count = %d, want 3", reqCount(snap, "results", "error"))
+	}
+}
+
+func TestStealFromGrants(t *testing.T) {
+	fp := &fakePeer{grant: []StolenJob{{Key: "k1", Class: "interactive", Spec: json.RawMessage(`{"protocol":"a"}`)}}}
+	srv := httptest.NewServer(fp.handler())
+	defer srv.Close()
+	c, err := New(Options{Self: "http://self.invalid:1", Peers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := c.StealFrom(context.Background(), srv.URL, 2)
+	if err != nil || len(jobs) != 1 || jobs[0].Key != "k1" {
+		t.Fatalf("steal: jobs=%+v err=%v", jobs, err)
+	}
+	fp.grant = nil
+	jobs, err = c.StealFrom(context.Background(), srv.URL, 2)
+	if err != nil || len(jobs) != 0 {
+		t.Fatalf("empty grant: jobs=%+v err=%v", jobs, err)
+	}
+	snap := c.Snapshot()
+	if reqCount(snap, "steal", "hit") != 1 || reqCount(snap, "steal", "miss") != 1 {
+		t.Fatalf("steal counters wrong: %+v", snap.Requests)
+	}
+}
+
+func TestPushResultReplicatesToOwner(t *testing.T) {
+	fp := &fakePeer{}
+	srv := httptest.NewServer(fp.handler())
+	defer srv.Close()
+	c, err := New(Options{Self: "http://self.invalid:1", Peers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peerKey, selfKey string
+	for _, k := range randomKeys(200, 23) {
+		if c.OwnsLocally(k) {
+			selfKey = k
+		} else {
+			peerKey = k
+		}
+		if peerKey != "" && selfKey != "" {
+			break
+		}
+	}
+	c.PushResult(context.Background(), peerKey, []byte("b"))
+	c.PushResult(context.Background(), selfKey, []byte("b"))
+	if got := fp.puts.Load(); got != 1 {
+		t.Fatalf("owner saw %d PUTs, want 1", got)
+	}
+	if n := reqCount(c.Snapshot(), "replicate", "ok"); n != 1 {
+		t.Fatalf("replicate ok count = %d, want 1", n)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Self: "", Peers: []string{"http://a:1"}}); err == nil {
+		t.Fatal("empty self must be rejected")
+	}
+	if _, err := New(Options{Self: "http://a:1", Peers: []string{"a:1", "http://a:1/"}}); err == nil {
+		t.Fatal("peer list collapsing to self-only must be rejected")
+	}
+	c, err := New(Options{Self: "a:1", Peers: []string{"http://a:1", "b:2", "b:2/"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PeerAddrs(); len(got) != 1 || got[0] != "http://b:2" {
+		t.Fatalf("normalized peers = %v, want [http://b:2]", got)
+	}
+	if c.Self() != "http://a:1" {
+		t.Fatalf("self = %s", c.Self())
+	}
+}

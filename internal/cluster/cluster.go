@@ -1,0 +1,415 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Peer-protocol paths, served by the coordd HTTP layer and dialed by
+// this client. The contract: GET returns the bit-identical stored body
+// for a key (404 = clean miss), PUT replicates a computed body to its
+// ring owner, and POST /v1/peer/steal hands accepted-but-unstarted jobs
+// from an overloaded peer's queue to an idle one.
+const (
+	ResultsPathPrefix = "/v1/peer/results/"
+	StealPath         = "/v1/peer/steal"
+)
+
+// maxResultBytes bounds a fetched result body; anything bigger than
+// this is not a coordd result and is treated as a peer error.
+const maxResultBytes = 32 << 20
+
+// StolenJob is one unit of pending work handed from a victim's queue to
+// a thief, carrying everything the thief needs to re-admit it locally:
+// the victim's canonical key (what the victim will poll for), the
+// scheduling envelope, and the canonical spec JSON.
+type StolenJob struct {
+	Key      string          `json:"key"`
+	Flow     string          `json:"flow,omitempty"`
+	Class    string          `json:"class,omitempty"`
+	Priority int             `json:"priority,omitempty"`
+	Spec     json.RawMessage `json:"spec"`
+}
+
+// StealRequest is the body of POST /v1/peer/steal: how many jobs the
+// thief can take and the thief's advertise address, which the victim
+// polls for the stolen jobs' results.
+type StealRequest struct {
+	Want  int    `json:"want"`
+	Thief string `json:"thief"`
+}
+
+// StealResponse is the victim's grant (possibly empty).
+type StealResponse struct {
+	Jobs []StolenJob `json:"jobs"`
+}
+
+// Options configures New.
+type Options struct {
+	// Self is this node's advertise address — how peers reach it (e.g.
+	// "http://10.0.0.1:8344" or "10.0.0.1:8344"; a missing scheme
+	// defaults to http). Self is always a ring member.
+	Self string
+	// Peers are the other cluster members' advertise addresses. Self may
+	// appear in the list (operators pass one identical -peers flag to
+	// every node) and is filtered out of the dial set.
+	Peers []string
+	// Replicas is the virtual-node count per peer; <= 0 means
+	// DefaultReplicas.
+	Replicas int
+	// Timeout bounds one peer HTTP exchange; 0 means 500 ms. Peer
+	// lookups sit on the job path, so this is deliberately short: a slow
+	// peer must cost less than the engine run it might save.
+	Timeout time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// peer's circuit breaker; 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker short-circuits
+	// requests before admitting a probe; 0 means 10 s.
+	BreakerCooldown time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+
+	// now overrides the breaker clock in tests.
+	now func() time.Time
+}
+
+// peer is one remote cluster member: its address plus breaker state.
+type peer struct {
+	addr    string
+	breaker *Breaker
+}
+
+// reqKey labels one cell of the peer-request counter matrix.
+type reqKey struct{ peer, op, outcome string }
+
+// Cluster is the node-local cluster view: the ring, the dialable peers,
+// their breakers, and the request counters. Safe for concurrent use.
+type Cluster struct {
+	self     string
+	replicas int
+	ring     *Ring
+	peers    map[string]*peer // addr → peer, self excluded
+	order    []string         // sorted peer addrs, self excluded
+	client   *http.Client
+	timeout  time.Duration
+	logf     func(string, ...any)
+
+	mu   sync.Mutex
+	reqs map[reqKey]int64
+}
+
+// NormalizeAddr canonicalizes a peer address: trims space and trailing
+// slashes and defaults the scheme to http, so "10.0.0.1:8344" and
+// "http://10.0.0.1:8344/" are the same ring member.
+func NormalizeAddr(addr string) string {
+	addr = strings.TrimRight(strings.TrimSpace(addr), "/")
+	if addr == "" {
+		return ""
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return addr
+}
+
+// New builds the cluster view. The ring contains self plus every peer;
+// the dial set is the peers only.
+func New(opts Options) (*Cluster, error) {
+	self := NormalizeAddr(opts.Self)
+	if self == "" {
+		return nil, fmt.Errorf("cluster: empty self (advertise) address")
+	}
+	members := []string{self}
+	peers := make(map[string]*peer)
+	for _, p := range opts.Peers {
+		addr := NormalizeAddr(p)
+		if addr == "" || addr == self {
+			continue
+		}
+		members = append(members, addr)
+		if _, ok := peers[addr]; !ok {
+			peers[addr] = &peer{
+				addr:    addr,
+				breaker: newBreaker(opts.BreakerThreshold, opts.BreakerCooldown, opts.now),
+			}
+		}
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: no peers besides self %s", self)
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 500 * time.Millisecond
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	replicas := opts.Replicas
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	order := make([]string, 0, len(peers))
+	for addr := range peers {
+		order = append(order, addr)
+	}
+	sort.Strings(order)
+	return &Cluster{
+		self:     self,
+		replicas: replicas,
+		ring:     NewRing(members, replicas),
+		peers:    peers,
+		order:    order,
+		client:   &http.Client{Timeout: timeout},
+		timeout:  timeout,
+		logf:     logf,
+		reqs:     make(map[reqKey]int64),
+	}, nil
+}
+
+// Self returns this node's normalized advertise address.
+func (c *Cluster) Self() string { return c.self }
+
+// Owner returns the ring owner of key (possibly self).
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// OwnsLocally reports whether this node is key's ring owner.
+func (c *Cluster) OwnsLocally(key string) bool { return c.ring.Owner(key) == c.self }
+
+// PeerAddrs returns the dialable peers (self excluded), sorted.
+func (c *Cluster) PeerAddrs() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// PeerDown reports whether addr's breaker is currently refusing
+// requests — the "presumed dead" signal the victim-side result poller
+// uses to fall back to local compute.
+func (c *Cluster) PeerDown(addr string) bool {
+	p, ok := c.peers[NormalizeAddr(addr)]
+	if !ok {
+		return false
+	}
+	return p.breaker.State() == StateOpen
+}
+
+func (c *Cluster) count(peerAddr, op, outcome string) {
+	c.mu.Lock()
+	c.reqs[reqKey{peerAddr, op, outcome}]++
+	c.mu.Unlock()
+}
+
+// FetchResult consults key's ring owner for a stored result. It returns
+// (nil, false) immediately when this node owns the key (there is no
+// better authority to ask), when the owner's breaker is open, or on any
+// miss or failure — a peer problem must never be worse than a cache
+// miss.
+func (c *Cluster) FetchResult(ctx context.Context, key string) ([]byte, bool) {
+	owner := c.ring.Owner(key)
+	if owner == c.self {
+		return nil, false
+	}
+	body, found, _ := c.FetchFrom(ctx, owner, key)
+	return body, found
+}
+
+// FetchFrom asks one specific peer for key's result bytes. It returns
+// (body, true, nil) on a hit, (nil, false, nil) on a clean miss (the
+// peer answered 404 — alive, no result yet), and (nil, false, err) on a
+// breaker-open short circuit or transport/protocol failure.
+func (c *Cluster) FetchFrom(ctx context.Context, peerAddr, key string) ([]byte, bool, error) {
+	p, ok := c.peers[NormalizeAddr(peerAddr)]
+	if !ok {
+		return nil, false, fmt.Errorf("cluster: unknown peer %s", peerAddr)
+	}
+	if !p.breaker.Allow() {
+		c.count(p.addr, "results", "open")
+		return nil, false, fmt.Errorf("cluster: breaker open for %s", p.addr)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.addr+ResultsPathPrefix+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		p.breaker.Failure()
+		c.count(p.addr, "results", "error")
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBytes+1))
+		if err != nil || len(body) > maxResultBytes {
+			p.breaker.Failure()
+			c.count(p.addr, "results", "error")
+			return nil, false, fmt.Errorf("cluster: reading result from %s: %v", p.addr, err)
+		}
+		p.breaker.Success()
+		c.count(p.addr, "results", "hit")
+		return body, true, nil
+	case http.StatusNotFound:
+		p.breaker.Success()
+		c.count(p.addr, "results", "miss")
+		return nil, false, nil
+	default:
+		p.breaker.Failure()
+		c.count(p.addr, "results", "error")
+		return nil, false, fmt.Errorf("cluster: peer %s answered %d", p.addr, resp.StatusCode)
+	}
+}
+
+// PushResult replicates a computed body to key's ring owner, so later
+// lookups anywhere in the cluster find it with one hop to the owner.
+// No-op when this node owns the key. Best-effort: failures cost nothing
+// but the breaker bookkeeping — the body is already safe locally.
+func (c *Cluster) PushResult(ctx context.Context, key string, body []byte) {
+	owner := c.ring.Owner(key)
+	if owner == c.self {
+		return
+	}
+	p, ok := c.peers[owner]
+	if !ok {
+		return
+	}
+	if !p.breaker.Allow() {
+		c.count(p.addr, "replicate", "open")
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, p.addr+ResultsPathPrefix+key, bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		p.breaker.Failure()
+		c.count(p.addr, "replicate", "error")
+		c.logf("cluster: replicating %s to %s: %v", key[:8], p.addr, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		p.breaker.Failure()
+		c.count(p.addr, "replicate", "error")
+		c.logf("cluster: replicating %s to %s: status %d", key[:8], p.addr, resp.StatusCode)
+		return
+	}
+	p.breaker.Success()
+	c.count(p.addr, "replicate", "ok")
+}
+
+// StealFrom asks one peer to hand over up to want pending jobs. An
+// empty grant is a normal outcome (the peer is not overloaded), not a
+// failure.
+func (c *Cluster) StealFrom(ctx context.Context, peerAddr string, want int) ([]StolenJob, error) {
+	p, ok := c.peers[NormalizeAddr(peerAddr)]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown peer %s", peerAddr)
+	}
+	if !p.breaker.Allow() {
+		c.count(p.addr, "steal", "open")
+		return nil, fmt.Errorf("cluster: breaker open for %s", p.addr)
+	}
+	reqBody, err := json.Marshal(StealRequest{Want: want, Thief: c.self})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.addr+StealPath, bytes.NewReader(reqBody))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		p.breaker.Failure()
+		c.count(p.addr, "steal", "error")
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		p.breaker.Failure()
+		c.count(p.addr, "steal", "error")
+		return nil, fmt.Errorf("cluster: peer %s answered %d to steal", p.addr, resp.StatusCode)
+	}
+	var grant StealResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResultBytes)).Decode(&grant); err != nil {
+		p.breaker.Failure()
+		c.count(p.addr, "steal", "error")
+		return nil, err
+	}
+	p.breaker.Success()
+	if len(grant.Jobs) > 0 {
+		c.count(p.addr, "steal", "hit")
+	} else {
+		c.count(p.addr, "steal", "miss")
+	}
+	return grant.Jobs, nil
+}
+
+// ReqStat is one cell of the peer-request counter matrix, the
+// coordd_peer_requests_total{peer,op,outcome} series.
+type ReqStat struct {
+	Peer    string `json:"peer"`
+	Op      string `json:"op"`
+	Outcome string `json:"outcome"`
+	Count   int64  `json:"count"`
+}
+
+// PeerInfo is one peer's operational state for /healthz and the admin
+// endpoint.
+type PeerInfo struct {
+	Addr     string `json:"addr"`
+	Breaker  string `json:"breaker"`
+	Failures int    `json:"consecutive_failures,omitempty"`
+}
+
+// Snapshot is the point-in-time cluster view served by
+// GET /v1/admin/cluster and folded into /metrics and /healthz.
+type Snapshot struct {
+	Self     string     `json:"self"`
+	Replicas int        `json:"replicas"`
+	Peers    []PeerInfo `json:"peers"`
+	Requests []ReqStat  `json:"requests"`
+}
+
+// Snapshot captures the current peer and counter state, peers and
+// counters in stable sorted order.
+func (c *Cluster) Snapshot() Snapshot {
+	snap := Snapshot{Self: c.self, Replicas: c.replicas}
+	for _, addr := range c.order {
+		p := c.peers[addr]
+		snap.Peers = append(snap.Peers, PeerInfo{
+			Addr:     p.addr,
+			Breaker:  p.breaker.State(),
+			Failures: p.breaker.Failures(),
+		})
+	}
+	c.mu.Lock()
+	for k, v := range c.reqs {
+		snap.Requests = append(snap.Requests, ReqStat{Peer: k.peer, Op: k.op, Outcome: k.outcome, Count: v})
+	}
+	c.mu.Unlock()
+	sort.Slice(snap.Requests, func(a, b int) bool {
+		x, y := snap.Requests[a], snap.Requests[b]
+		if x.Peer != y.Peer {
+			return x.Peer < y.Peer
+		}
+		if x.Op != y.Op {
+			return x.Op < y.Op
+		}
+		return x.Outcome < y.Outcome
+	})
+	return snap
+}

@@ -1,0 +1,120 @@
+// Package cluster turns a set of coordd daemons into a static-peer
+// cluster: a deterministic consistent-hash ring maps every content-
+// addressed result key to one owning peer, a small HTTP client fetches
+// and replicates result bytes peer-to-peer and pulls pending work from
+// overloaded peers, and a per-peer circuit breaker makes a dead peer
+// cost only latency — never correctness or availability.
+//
+// The package is deliberately below internal/service in the dependency
+// order: it knows about peers, keys, and opaque result bytes, not about
+// jobs, sweeps, or the scheduler. The service layer wires the two
+// together (peer endpoints, the lookup path, the work-stealing loop).
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per peer. 128 vnodes keep
+// the arc-length imbalance across a handful of peers within a few
+// percent while the ring stays tiny (3 peers × 128 = 384 points).
+const DefaultReplicas = 128
+
+// ringVersion salts every ring point so the key→owner mapping can be
+// versioned independently of the peers' addresses.
+const ringVersion = "coordd-ring/v1"
+
+// Ring is a consistent-hash ring over peer addresses. It is immutable
+// after construction and safe for concurrent use. The mapping depends
+// only on the *set* of peers — construction sorts and dedupes, and
+// every vnode's position is a pure hash of (peer, replica index) — so
+// any ordering of the same peer list yields the identical ring, and
+// removing one peer remaps only the arcs that peer owned.
+type Ring struct {
+	peers  []string
+	vnodes []vnode
+}
+
+type vnode struct {
+	hash uint64
+	peer string
+}
+
+// NewRing builds the ring from the peer set with replicas virtual nodes
+// per peer (<= 0 means DefaultReplicas). Duplicate peers are collapsed.
+func NewRing(peers []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(peers))
+	uniq := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		uniq = append(uniq, p)
+	}
+	sort.Strings(uniq)
+	r := &Ring{peers: uniq}
+	r.vnodes = make([]vnode, 0, len(uniq)*replicas)
+	for _, p := range uniq {
+		for i := 0; i < replicas; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: pointHash(p, i), peer: p})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool {
+		if r.vnodes[a].hash != r.vnodes[b].hash {
+			return r.vnodes[a].hash < r.vnodes[b].hash
+		}
+		// A full-hash collision between distinct peers is vanishingly
+		// rare, but the tie must still break identically on every node.
+		return r.vnodes[a].peer < r.vnodes[b].peer
+	})
+	return r
+}
+
+// pointHash places one virtual node: the first 8 bytes of
+// sha256(version \x00 peer \x00 replica), independent of every other
+// peer in the ring.
+func pointHash(peer string, replica int) uint64 {
+	var idx [8]byte
+	binary.BigEndian.PutUint64(idx[:], uint64(replica))
+	h := sha256.New()
+	h.Write([]byte(ringVersion))
+	h.Write([]byte{0})
+	h.Write([]byte(peer))
+	h.Write([]byte{0})
+	h.Write(idx[:])
+	var sum [sha256.Size]byte
+	return binary.BigEndian.Uint64(h.Sum(sum[:0])[:8])
+}
+
+// keyHash places a result key on the ring.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the peer owning key: the first virtual node clockwise
+// from the key's ring position. An empty ring owns nothing ("").
+func (r *Ring) Owner(key string) string {
+	if len(r.vnodes) == 0 {
+		return ""
+	}
+	h := keyHash(key)
+	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == len(r.vnodes) {
+		i = 0
+	}
+	return r.vnodes[i].peer
+}
+
+// Peers returns the sorted deduplicated peer set.
+func (r *Ring) Peers() []string {
+	out := make([]string, len(r.peers))
+	copy(out, r.peers)
+	return out
+}

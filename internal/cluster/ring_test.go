@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomKeys returns n deterministic pseudo-random hex-ish keys.
+func randomKeys(n int, seed int64) []string {
+	r := rand.New(rand.NewSource(seed))
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%016x%016x%016x%016x", r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64())
+	}
+	return keys
+}
+
+// The ring mapping must depend only on the peer *set*: any ordering of
+// the same peers yields the identical key→owner mapping over ≥1k keys.
+func TestRingOrderIndependence(t *testing.T) {
+	peers := []string{
+		"http://10.0.0.1:8344",
+		"http://10.0.0.2:8344",
+		"http://10.0.0.3:8344",
+		"http://10.0.0.4:8344",
+		"http://10.0.0.5:8344",
+	}
+	keys := randomKeys(2000, 1)
+	base := NewRing(peers, 0)
+	want := make([]string, len(keys))
+	for i, k := range keys {
+		want[i] = base.Owner(k)
+	}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]string(nil), peers...)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		ring := NewRing(shuffled, 0)
+		for i, k := range keys {
+			if got := ring.Owner(k); got != want[i] {
+				t.Fatalf("trial %d: key %s owner %s, want %s (order %v)", trial, k[:16], got, want[i], shuffled)
+			}
+		}
+	}
+	// Duplicates collapse: the same set with repeats is the same ring.
+	dup := append(append([]string(nil), peers...), peers[0], peers[3])
+	ring := NewRing(dup, 0)
+	for i, k := range keys {
+		if got := ring.Owner(k); got != want[i] {
+			t.Fatalf("duplicated peer list changed owner of %s: %s != %s", k[:16], got, want[i])
+		}
+	}
+}
+
+// Removing one peer must remap only that peer's arcs: every key the
+// departed peer did not own keeps its owner.
+func TestRingRemovalRemapsOnlyDepartedArcs(t *testing.T) {
+	peers := []string{
+		"http://10.0.0.1:8344",
+		"http://10.0.0.2:8344",
+		"http://10.0.0.3:8344",
+		"http://10.0.0.4:8344",
+	}
+	keys := randomKeys(2000, 3)
+	full := NewRing(peers, 0)
+	for _, departed := range peers {
+		var rest []string
+		for _, p := range peers {
+			if p != departed {
+				rest = append(rest, p)
+			}
+		}
+		smaller := NewRing(rest, 0)
+		moved := 0
+		for _, k := range keys {
+			before, after := full.Owner(k), smaller.Owner(k)
+			if before == departed {
+				moved++
+				if after == departed {
+					t.Fatalf("key %s still owned by departed peer %s", k[:16], departed)
+				}
+				continue
+			}
+			if before != after {
+				t.Fatalf("key %s moved %s → %s though %s departed", k[:16], before, after, departed)
+			}
+		}
+		// Sanity: the departed peer actually owned a share of the space.
+		if moved == 0 {
+			t.Fatalf("departed peer %s owned none of %d keys", departed, len(keys))
+		}
+	}
+}
+
+// Every peer must own a non-trivial share of the key space — the vnode
+// count is doing its balancing job.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1"}
+	ring := NewRing(peers, 0)
+	counts := make(map[string]int)
+	keys := randomKeys(3000, 11)
+	for _, k := range keys {
+		counts[ring.Owner(k)]++
+	}
+	for _, p := range peers {
+		if counts[p] < len(keys)/10 {
+			t.Fatalf("peer %s owns only %d of %d keys — ring badly imbalanced: %v", p, counts[p], len(keys), counts)
+		}
+	}
+}
+
+// Owner is stable for the same key and empty rings degrade gracefully.
+func TestRingEdgeCases(t *testing.T) {
+	if owner := NewRing(nil, 0).Owner("k"); owner != "" {
+		t.Fatalf("empty ring owner = %q, want empty", owner)
+	}
+	one := NewRing([]string{"http://solo:1"}, 4)
+	for _, k := range randomKeys(50, 5) {
+		if owner := one.Owner(k); owner != "http://solo:1" {
+			t.Fatalf("single-peer ring owner = %q", owner)
+		}
+	}
+	ring := NewRing([]string{"http://a:1", "http://b:1"}, 0)
+	for _, k := range randomKeys(50, 9) {
+		if ring.Owner(k) != ring.Owner(k) {
+			t.Fatalf("owner of %s unstable", k)
+		}
+	}
+}

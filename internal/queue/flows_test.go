@@ -1,0 +1,190 @@
+package queue
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The DRR ring must never retain an empty flow: after any interleaving
+// of pushes, pops, and removes, every registered flow still holds at
+// least one item, and a fully drained scheduler registers zero flows.
+// This is the property that keeps a long-lived daemon's ring from
+// growing one dead flow per settled sweep.
+func TestFlowsReapedPropertyRandomInterleaving(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	s := NewSched(SchedOptions{MaxDepth: 10_000})
+	var pending []*Item
+	checkInvariant := func(step int) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if len(s.flows) != len(s.ring) {
+			t.Fatalf("step %d: flows map (%d) and ring (%d) diverged", step, len(s.flows), len(s.ring))
+		}
+		for id, f := range s.flows {
+			if f.items.Len() == 0 {
+				t.Fatalf("step %d: empty flow %q still registered", step, id)
+			}
+		}
+		if s.depth == 0 && len(s.flows) != 0 {
+			t.Fatalf("step %d: drained scheduler still registers %d flows", step, len(s.flows))
+		}
+	}
+	for step := 0; step < 5000; step++ {
+		switch op := r.Intn(3); {
+		case op == 0 || len(pending) == 0: // push onto one of 8 sweep flows
+			it := &Item{
+				Key:      fmt.Sprintf("k%d", step),
+				Flow:     fmt.Sprintf("sw%d", r.Intn(8)),
+				Class:    ClassSweep,
+				Priority: r.Intn(5) - 2,
+			}
+			if err := s.Push(it); err != nil {
+				t.Fatalf("step %d: push: %v", step, err)
+			}
+			pending = append(pending, it)
+		case op == 1: // pop
+			it, ok := s.Next()
+			if !ok {
+				t.Fatalf("step %d: Next returned closed", step)
+			}
+			for i, p := range pending {
+				if p == it {
+					pending = append(pending[:i], pending[i+1:]...)
+					break
+				}
+			}
+		default: // remove a random pending item (cancel-withdrawal)
+			i := r.Intn(len(pending))
+			if !s.Remove(pending[i]) {
+				t.Fatalf("step %d: Remove of a pending item returned false", step)
+			}
+			pending = append(pending[:i], pending[i+1:]...)
+		}
+		checkInvariant(step)
+	}
+	// Drain completely: zero flows must remain.
+	for range pending {
+		if _, ok := s.Next(); !ok {
+			t.Fatal("drain: Next returned closed")
+		}
+	}
+	if got := s.Flows(); got != 0 {
+		t.Fatalf("drained scheduler registers %d flows, want 0", got)
+	}
+	if got := s.Depth(); got != 0 {
+		t.Fatalf("drained scheduler depth %d, want 0", got)
+	}
+}
+
+// A cancelled sweep's flow must be reaped the moment its last pending
+// cell is withdrawn — the sweep-cancellation shape specifically.
+func TestFlowsReapedOnSweepCancelWithdrawal(t *testing.T) {
+	s := NewSched(SchedOptions{MaxDepth: 1000})
+	for sweep := 0; sweep < 50; sweep++ {
+		flow := fmt.Sprintf("sw%06d", sweep)
+		cells := make([]*Item, 8)
+		for i := range cells {
+			cells[i] = &Item{Key: fmt.Sprintf("%s-c%d", flow, i), Flow: flow, Class: ClassSweep}
+			if err := s.Push(cells[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A couple of cells reach workers, the rest are cancel-withdrawn.
+		s.Next()
+		s.Next()
+		for _, it := range cells {
+			s.Remove(it) // popped items report false; fine
+		}
+		if got := s.Flows(); got != 0 {
+			t.Fatalf("after sweep %d cancelled: %d flows registered, want 0", sweep, got)
+		}
+	}
+	if d := s.Depth(); d != 0 {
+		t.Fatalf("depth %d after all sweeps cancelled", d)
+	}
+}
+
+// Removing the last item of the cursor flow must not leak its unspent
+// DRR credit to the flow that slides into its slot: the next flow gets
+// a fresh weight allotment, preserving fair alternation.
+func TestRemoveResetsCursorFlowCredit(t *testing.T) {
+	s := NewSched(SchedOptions{
+		MaxDepth: 100,
+		Weight: func(c Class) int {
+			if c == ClassInteractive {
+				return 4
+			}
+			return 1
+		},
+	})
+	// Interactive flow first (cursor lands on it), then two sweep flows.
+	inter := make([]*Item, 3)
+	for i := range inter {
+		inter[i] = &Item{Key: fmt.Sprintf("i%d", i), Flow: "interactive", Class: ClassInteractive}
+		if err := s.Push(inter[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Push(&Item{Key: fmt.Sprintf("a%d", i), Flow: "swA", Class: ClassSweep}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Push(&Item{Key: fmt.Sprintf("b%d", i), Flow: "swB", Class: ClassSweep}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One pop charges the interactive flow's credit (4 → 3), then the
+	// remaining interactive items are cancel-withdrawn, emptying the
+	// cursor flow with credit outstanding.
+	it, _ := s.Next()
+	if it.Class != ClassInteractive {
+		t.Fatalf("first pop should be interactive, got %s/%s", it.Flow, it.Key)
+	}
+	s.Remove(inter[1])
+	s.Remove(inter[2])
+	// The credit must not carry over: the sweep flows (weight 1) should
+	// now alternate strictly instead of one of them burning the leaked
+	// interactive credit in a 3-pop run.
+	var order []string
+	for i := 0; i < 6; i++ {
+		it, ok := s.Next()
+		if !ok {
+			t.Fatal("unexpected close")
+		}
+		order = append(order, it.Flow)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1] {
+			t.Fatalf("sweep flows did not alternate (leaked credit): %v", order)
+		}
+	}
+}
+
+func TestStealPopsInDRROrderAndReapsFlows(t *testing.T) {
+	s := NewSched(SchedOptions{MaxDepth: 100})
+	for i := 0; i < 3; i++ {
+		if err := s.Push(&Item{Key: fmt.Sprintf("s%d", i), Flow: "sw1", Class: ClassSweep, Enqueued: time.Unix(int64(i), 0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Push(&Item{Key: "hot", Flow: "interactive", Class: ClassInteractive, Priority: 10}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := s.Steal(10) // asks for more than exists: grants everything
+	if len(got) != 4 {
+		t.Fatalf("stole %d items, want 4", len(got))
+	}
+	if s.Depth() != 0 || s.Flows() != 0 {
+		t.Fatalf("post-steal depth=%d flows=%d, want 0/0", s.Depth(), s.Flows())
+	}
+	// Stolen items are no longer removable (index reset on pop).
+	if s.Remove(got[0]) {
+		t.Fatal("stolen item still removable")
+	}
+	if extra := s.Steal(1); len(extra) != 0 {
+		t.Fatalf("empty scheduler granted %d items", len(extra))
+	}
+}

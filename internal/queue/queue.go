@@ -225,7 +225,9 @@ func (s *Sched) dropFlowLocked(i int) {
 // Remove withdraws a still-pending item (a cancelled job) so it neither
 // occupies capacity nor reaches a worker. Reports whether it was still
 // pending — false means a worker already popped it (or it was never
-// pushed).
+// pushed). Emptied flows leave the ring immediately: a cancelled sweep
+// must not leave its flow registered, or a long-lived daemon's DRR ring
+// would grow without bound.
 func (s *Sched) Remove(it *Item) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -248,12 +250,32 @@ func (s *Sched) Remove(it *Item) bool {
 	if f.items.Len() == 0 {
 		for i, rf := range s.ring {
 			if rf == f {
+				if s.cursor == i {
+					// The removed flow's unspent DRR credit must not leak
+					// to whichever flow slides into its ring slot.
+					s.credit = 0
+				}
 				s.dropFlowLocked(i)
 				break
 			}
 		}
 	}
 	return true
+}
+
+// Steal pops up to n pending items for donation to a peer, using the
+// same deficit-round-robin discipline as Next — the donated work is
+// exactly the work that would have run next locally, so stealing never
+// inverts priorities. Non-blocking: an idle or closed scheduler grants
+// nothing. Emptied flows are reaped exactly as on the Next path.
+func (s *Sched) Steal(n int) []*Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Item
+	for len(out) < n && s.depth > 0 {
+		out = append(out, s.popLocked())
+	}
+	return out
 }
 
 // Close stops admission. Workers drain the backlog through Next, which
@@ -270,6 +292,17 @@ func (s *Sched) Depth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.depth
+}
+
+// Flows reports the registered fairness flows — the DRR ring size. The
+// invariant a long-lived daemon depends on: every registered flow holds
+// at least one pending item, so Flows is bounded by Depth and returns
+// to at most the active-submitter count once backlogs settle. The
+// coordd_queue_flows gauge watches exactly this.
+func (s *Sched) Flows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.flows)
 }
 
 // DepthByClass reports pending items per class (the /metrics labels).

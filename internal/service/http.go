@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"coordattack/internal/cluster"
 	"coordattack/internal/experiments"
 	"coordattack/internal/queue"
 	"coordattack/internal/store"
@@ -25,8 +26,12 @@ import (
 //	GET    /v1/sweeps/{id}/watch stream NDJSON aggregate status until terminal
 //	DELETE /v1/sweeps/{id}     cancel a sweep (fans out to unsettled cells)
 //	GET    /v1/experiments     list the registered experiment engine ids
+//	GET    /v1/peer/results/{key} serve a stored result to a cluster peer
+//	PUT    /v1/peer/results/{key} accept a replicated result from a peer
+//	POST   /v1/peer/steal      donate pending jobs to an idle peer
 //	GET    /v1/admin/store     durable-store state + quarantine listing
 //	POST   /v1/admin/store/rescan re-verify entries, re-admit repaired ones
+//	GET    /v1/admin/cluster   ring membership, breaker states, peer counters
 //	GET    /healthz            liveness + queue gauges
 //	GET    /metrics            Prometheus text exposition
 func (s *Server) Handler() http.Handler {
@@ -42,8 +47,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/watch", s.handleWatchSweep)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancelSweep)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/peer/results/{key}", s.handlePeerGetResult)
+	mux.HandleFunc("PUT /v1/peer/results/{key}", s.handlePeerPutResult)
+	mux.HandleFunc("POST /v1/peer/steal", s.handlePeerSteal)
 	mux.HandleFunc("GET /v1/admin/store", s.handleAdminStore)
 	mux.HandleFunc("POST /v1/admin/store/rescan", s.handleAdminStoreRescan)
+	mux.HandleFunc("GET /v1/admin/cluster", s.handleAdminCluster)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -298,14 +307,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			journalState = "degraded"
 		}
 	}
+	// clusterState is "degraded" while any peer's breaker is open — the
+	// node still serves everything, at local-compute cost for that
+	// peer's arcs.
+	clusterState := "off"
+	var peers map[string]string
+	if g.ClusterEnabled {
+		clusterState = "ok"
+		peers = make(map[string]string, len(g.Cluster.Peers))
+		for _, p := range g.Cluster.Peers {
+			peers[p.Addr] = string(p.Breaker)
+			if p.Breaker == cluster.StateOpen {
+				clusterState = "degraded"
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, struct {
-		Status      string         `json:"status"`
-		JobsQueued  int            `json:"jobs_queued"`
-		Queue       map[string]int `json:"queue"`
-		JobsRunning int            `json:"jobs_running"`
-		Draining    bool           `json:"draining"`
-		Store       string         `json:"store"`
-		Journal     string         `json:"journal"`
+		Status      string            `json:"status"`
+		JobsQueued  int               `json:"jobs_queued"`
+		Queue       map[string]int    `json:"queue"`
+		JobsRunning int               `json:"jobs_running"`
+		Draining    bool              `json:"draining"`
+		Store       string            `json:"store"`
+		Journal     string            `json:"journal"`
+		Cluster     string            `json:"cluster"`
+		Peers       map[string]string `json:"peers,omitempty"`
 	}{
 		Status:     "ok",
 		JobsQueued: g.JobsQueued,
@@ -317,6 +343,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Draining:    draining,
 		Store:       storeState,
 		Journal:     journalState,
+		Cluster:     clusterState,
+		Peers:       peers,
 	})
 }
 

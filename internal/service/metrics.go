@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"coordattack/internal/cluster"
 	"coordattack/internal/queue"
 	"coordattack/internal/store"
 )
@@ -32,6 +33,22 @@ type Metrics struct {
 	// QueueReplayed counts accepted-but-unsettled jobs re-admitted from
 	// the pending-queue journal on restart — the crash-durability win.
 	QueueReplayed atomic.Int64
+
+	// PeerHits counts local misses answered with a body fetched from a
+	// cluster peer instead of an engine run — the cluster-wide
+	// memoization win (includes stolen-job results retrieved by their
+	// victims).
+	PeerHits atomic.Int64
+	// PeerServed counts results this node served to peers over
+	// GET /v1/peer/results.
+	PeerServed atomic.Int64
+	// JobsStolen counts pending jobs this node adopted from saturated
+	// peers; JobsDonated counts pending jobs it granted to idle ones.
+	JobsStolen  atomic.Int64
+	JobsDonated atomic.Int64
+	// JobsReclaimed counts donated jobs taken back and re-enqueued
+	// locally after their thief stopped answering.
+	JobsReclaimed atomic.Int64
 
 	// EngineRuns counts actual engine executions: submissions minus
 	// cache hits, coalesced attaches, rejections, and queued cancels.
@@ -121,6 +138,14 @@ type Gauges struct {
 	// Journal is its snapshot.
 	JournalEnabled bool
 	Journal        queue.JournalStats
+	// QueueFlows is the DRR ring size — the registered fairness flows.
+	// Bounded by queue depth (empty flows are reaped), so growth here
+	// means the reap invariant broke.
+	QueueFlows int
+	// ClusterEnabled marks a daemon joined to a peer set; Cluster is its
+	// ring/breaker/request-counter snapshot.
+	ClusterEnabled bool
+	Cluster        cluster.Snapshot
 }
 
 // WritePrometheus renders every metric in Prometheus text format.
@@ -156,6 +181,11 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	counter("coordd_store_quarantined_total", "Corrupt durable-store entries quarantined on read.", g.Store.Quarantined)
 	counter("coordd_store_recoveries_total", "Degraded-store recoveries back to read-write.", g.Store.Recoveries)
 	counter("coordd_queue_replayed_total", "Pending jobs re-admitted from the queue journal on restart.", m.QueueReplayed.Load())
+	counter("coordd_peer_hits_total", "Local misses answered by a cluster peer instead of an engine run.", m.PeerHits.Load())
+	counter("coordd_peer_served_total", "Results served to cluster peers.", m.PeerServed.Load())
+	counter("coordd_jobs_stolen_total", "Pending jobs adopted from saturated peers.", m.JobsStolen.Load())
+	counter("coordd_jobs_donated_total", "Pending jobs granted to idle peers.", m.JobsDonated.Load())
+	counter("coordd_jobs_reclaimed_total", "Donated jobs taken back after their thief stopped answering.", m.JobsReclaimed.Load())
 	counter("coordd_queue_journal_accepts_total", "Accept records appended to the queue journal.", g.Journal.Accepts)
 	counter("coordd_queue_journal_settles_total", "Settle tombstones appended to the queue journal.", g.Journal.Settles)
 	counter("coordd_queue_journal_truncated_total", "Undecodable journal records skipped on replay.", g.Journal.Truncated)
@@ -179,6 +209,21 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 		degraded = 1
 	}
 	gauge("coordd_store_degraded", "1 when a write error demoted the store to read-only.", degraded)
+	gauge("coordd_queue_flows", "Registered fairness flows in the DRR ring.", g.QueueFlows)
+	if g.ClusterEnabled {
+		fmt.Fprintf(w, "# HELP coordd_peer_requests_total Peer-protocol requests by peer, operation, and outcome.\n# TYPE coordd_peer_requests_total counter\n")
+		for _, r := range g.Cluster.Requests {
+			fmt.Fprintf(w, "coordd_peer_requests_total{peer=%q,op=%q,outcome=%q} %d\n", r.Peer, r.Op, r.Outcome, r.Count)
+		}
+		fmt.Fprintf(w, "# HELP coordd_peer_breaker_open 1 when the peer's circuit breaker is open.\n# TYPE coordd_peer_breaker_open gauge\n")
+		for _, p := range g.Cluster.Peers {
+			open := 0
+			if p.Breaker == cluster.StateOpen {
+				open = 1
+			}
+			fmt.Fprintf(w, "coordd_peer_breaker_open{peer=%q} %d\n", p.Addr, open)
+		}
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,411 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"coordattack/internal/cluster"
+	"coordattack/internal/queue"
+)
+
+// This file is the service side of the static-peer cluster
+// (internal/cluster): the peer-protocol HTTP handlers, the worker-path
+// peer lookup, and the work-stealing machinery.
+//
+// Results are content-addressed (coordd/v2 keys), so any node can serve
+// any node's result byte-for-byte. The consistent-hash ring names one
+// owner peer per key; a local miss consults the owner before running
+// the engine, and every computed body is replicated to its owner so the
+// owner's answer is authoritative for the whole cluster.
+//
+// Stealing moves *pending* jobs from a saturated node (the victim) to
+// an idle one (the thief). The handoff transfers journal ownership —
+// the victim tombstones its accept record, the thief appends its own —
+// so a crash on either side re-runs the job at most once. The victim
+// keeps the HTTP-visible Job and follows the thief's result remotely,
+// falling back to local recompute if the thief is presumed dead.
+
+// maxPeerBodyBytes bounds a replicated result body accepted over PUT.
+const maxPeerBodyBytes = 32 << 20
+
+// stolenPollInterval is how often a victim polls the thief for the
+// result of a donated job.
+const stolenPollInterval = 200 * time.Millisecond
+
+// stolenPollFailures is how many consecutive poll errors the victim
+// tolerates before presuming the thief dead and recomputing locally.
+const stolenPollFailures = 4
+
+// validKey reports whether key looks like a coordd/v2 result key: 64
+// lowercase hex digits. Peer endpoints reject anything else before
+// touching the cache or disk.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handlePeerGetResult serves GET /v1/peer/results/{key}: the bit-exact
+// stored body for a settled key, or 404 on a clean miss. Peers use it
+// both for owner lookups and for following stolen jobs.
+func (s *Server) handlePeerGetResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed result key"})
+		return
+	}
+	body, ok := s.cache.Get(key)
+	if !ok {
+		if body, ok = s.storeGet(key); ok {
+			s.cache.Put(key, body)
+		}
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no result for key"})
+		return
+	}
+	s.metrics.PeerServed.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// handlePeerPutResult accepts PUT /v1/peer/results/{key}: a peer
+// replicating a computed body to this node (the key's ring owner). The
+// bytes are stored verbatim — they must stay bit-identical cluster-wide.
+func (s *Server) handlePeerPutResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed result key"})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPeerBodyBytes+1))
+	if err != nil || len(body) == 0 || len(body) > maxPeerBodyBytes || !json.Valid(body) {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad result body"})
+		return
+	}
+	s.cache.Put(key, json.RawMessage(body))
+	s.storePut(key, json.RawMessage(body))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePeerSteal serves POST /v1/peer/steal: an idle peer asking this
+// node to donate pending work.
+func (s *Server) handlePeerSteal(w http.ResponseWriter, r *http.Request) {
+	var req cluster.StealRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Want < 1 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad steal request"})
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.StealResponse{Jobs: s.stealVictim(req.Want, req.Thief)})
+}
+
+// handleAdminCluster serves GET /v1/admin/cluster: ring membership,
+// per-peer breaker state, and the peer request counters.
+func (s *Server) handleAdminCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "cluster disabled"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Snapshot())
+}
+
+// peerFetch consults the key's ring owner for an already-computed body.
+// Called on the worker path after the local cache and store both missed,
+// only for keys this node does not own (the owner never dials out for
+// its own keys — it either has the body or is about to compute it). Any
+// peer failure degrades to local compute; a dead owner costs one
+// breaker-limited timeout, never correctness.
+func (s *Server) peerFetch(j *Job) (json.RawMessage, bool) {
+	if s.cluster == nil || s.cluster.OwnsLocally(j.key) {
+		return nil, false
+	}
+	body, ok := s.cluster.FetchResult(j.ctx, j.key)
+	if !ok {
+		return nil, false
+	}
+	return json.RawMessage(body), true
+}
+
+// settlePeerResult finishes j with a body retrieved from a peer —
+// served as a cache hit: memoized locally, full trial count, no engine
+// run counted.
+func (s *Server) settlePeerResult(j *Job, body json.RawMessage) {
+	s.cache.Put(j.key, body)
+	s.storePut(j.key, body)
+	j.mu.Lock()
+	j.cached = true
+	j.stolenBy = ""
+	j.mu.Unlock()
+	j.completed.Store(int64(j.spec.Trials))
+	if j.finish(StateDone, body, "") {
+		s.metrics.JobsCompleted.Add(1)
+		s.metrics.PeerHits.Add(1)
+	}
+}
+
+// replicateToOwner pushes a freshly computed body to the key's ring
+// owner, best-effort and off the worker path. The owner being current
+// is what lets any node answer any key with one owner-routed hop.
+func (s *Server) replicateToOwner(key string, body json.RawMessage) {
+	if s.cluster == nil || s.cluster.OwnsLocally(key) {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.cluster.PushResult(context.Background(), key, body)
+	}()
+}
+
+// stealVictim donates up to want pending jobs to thief. The grant is
+// capped at the backlog surplus beyond this node's own worker pool —
+// a node never donates work its own idle-in-a-moment workers would
+// take next. Donated jobs keep their HTTP-visible Job here: the journal
+// record is tombstoned (ownership transfers to the thief's journal) and
+// a follower goroutine polls the thief for the result.
+func (s *Server) stealVictim(want int, thief string) []cluster.StolenJob {
+	if s.cluster == nil || want < 1 {
+		return nil
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	surplus := s.sched.Depth() - s.cfg.Workers
+	if surplus < want {
+		want = surplus
+	}
+	if want < 1 {
+		s.mu.Unlock()
+		return nil
+	}
+	items := s.sched.Steal(want)
+	granted := make([]cluster.StolenJob, 0, len(items))
+	var followers []*Job
+	for _, it := range items {
+		j := it.Payload.(*Job)
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		if !terminal {
+			j.stolenBy = thief
+		}
+		j.mu.Unlock()
+		if terminal {
+			// Cancelled while queued; Cancel already settled and
+			// tombstoned it. Popping it here just swept it out.
+			continue
+		}
+		specJSON, err := json.Marshal(j.spec)
+		if err != nil {
+			continue
+		}
+		j.item = nil
+		granted = append(granted, cluster.StolenJob{
+			Key:      j.key,
+			Flow:     it.Flow,
+			Class:    string(it.Class),
+			Priority: it.Priority,
+			Spec:     specJSON,
+		})
+		followers = append(followers, j)
+		s.metrics.JobsDonated.Add(1)
+		s.wg.Add(1)
+	}
+	s.mu.Unlock()
+	for _, j := range followers {
+		// Tombstone after the grant is assembled: ownership now belongs
+		// to the thief's journal (it re-appends on adoption).
+		s.journalSettle(j)
+		go s.awaitStolen(j, thief)
+	}
+	return granted
+}
+
+// awaitStolen is the victim's remote follower for one donated job: it
+// polls the thief for the result, settles the local Job when it lands,
+// and falls back to local recompute if the thief stops answering. The
+// job stays "queued" (with stolen_by set) while remote, so API cancel
+// keeps working through the normal queued-cancel path.
+func (s *Server) awaitStolen(j *Job, thief string) {
+	defer s.wg.Done()
+	tick := time.NewTicker(stolenPollInterval)
+	defer tick.Stop()
+	fails := 0
+	for {
+		select {
+		case <-j.done:
+			// Settled through the API (cancel) — Cancel did the
+			// accounting; nothing left to follow.
+			j.cancel()
+			return
+		case <-j.ctx.Done():
+			if j.finishIfQueued(StateCancelled, j.ctx.Err().Error()) {
+				s.metrics.JobsCancelled.Add(1)
+			}
+			s.dropInflight(j)
+			return
+		case <-tick.C:
+		}
+		body, found, err := s.cluster.FetchFrom(j.ctx, thief, j.key)
+		if found {
+			s.settlePeerResult(j, body)
+			j.cancel()
+			s.dropInflight(j)
+			return
+		}
+		if err == nil {
+			// Clean miss: the thief has it queued or running. Keep waiting.
+			fails = 0
+			continue
+		}
+		fails++
+		if fails < stolenPollFailures && !s.cluster.PeerDown(thief) {
+			continue
+		}
+		// Thief presumed dead: take the job back. Re-journal (the
+		// tombstone transferred ownership away; reclaiming must survive
+		// a crash here too) and re-enqueue past MaxDepth — accepted work
+		// is never dropped.
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			if j.finishIfQueued(StateCancelled, "cluster: thief lost during drain") {
+				s.metrics.JobsCancelled.Add(1)
+			}
+			s.dropInflight(j)
+			return
+		}
+		j.mu.Lock()
+		j.stolenBy = ""
+		j.mu.Unlock()
+		it := &queue.Item{
+			Key:      j.key,
+			Flow:     "interactive",
+			Class:    queue.ClassInteractive,
+			Priority: j.spec.Priority,
+			Deadline: j.deadline,
+			Payload:  j,
+		}
+		j.item = it
+		s.journalAccept(j, it)
+		s.mu.Unlock()
+		s.sched.PushReplay(it)
+		s.metrics.JobsReclaimed.Add(1)
+		return
+	}
+}
+
+// adoptStolen admits jobs granted by a victim into this node's own
+// queue, registry, and journal. Keys already settled or in flight
+// locally are skipped — the victim's follower finds the body through
+// the results endpoint either way. Returns how many jobs were adopted.
+func (s *Server) adoptStolen(jobs []cluster.StolenJob) int {
+	adopted := 0
+	for _, sj := range jobs {
+		var spec JobSpec
+		if err := json.Unmarshal(sj.Spec, &spec); err != nil {
+			continue
+		}
+		canon, err := spec.Canonicalize()
+		if err != nil {
+			continue
+		}
+		// Adopt under our own canonical key. On version skew it may
+		// differ from the victim's; the victim's follower then falls back
+		// to recompute — degraded, never wrong.
+		key := canon.Key()
+		if _, ok := s.cache.Get(key); ok {
+			continue
+		}
+		if body, ok := s.storeGet(key); ok {
+			s.cache.Put(key, body)
+			continue
+		}
+		j := s.newJob(canon, key)
+		class := queue.Class(sj.Class)
+		if class == "" {
+			class = queue.ClassInteractive
+		}
+		flow := sj.Flow
+		if flow == "" {
+			flow = "interactive"
+		}
+		it := &queue.Item{
+			Key:      key,
+			Flow:     flow,
+			Class:    class,
+			Priority: sj.Priority,
+			Deadline: j.deadline,
+			Payload:  j,
+		}
+		s.mu.Lock()
+		if s.draining || s.inflight[key] != nil {
+			s.mu.Unlock()
+			j.cancel()
+			continue
+		}
+		s.jobs[j.id] = j
+		s.inflight[key] = j
+		j.item = it
+		s.journalAccept(j, it)
+		s.mu.Unlock()
+		// Replay admission: a steal this node asked for must not bounce
+		// off its own MaxDepth.
+		s.sched.PushReplay(it)
+		s.metrics.JobsStolen.Add(1)
+		adopted++
+	}
+	return adopted
+}
+
+// stealLoop runs on every cluster node: whenever the local pool has
+// idle workers and an empty backlog, it asks each live peer in turn to
+// donate pending work. Stopped by Drain.
+func (s *Server) stealLoop(interval time.Duration) {
+	defer close(s.stealDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stealStop:
+			return
+		case <-tick.C:
+		}
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			return
+		}
+		free := s.cfg.Workers - int(s.running.Load())
+		if free < 1 || s.sched.Depth() > 0 {
+			continue
+		}
+		for _, peer := range s.cluster.PeerAddrs() {
+			if free < 1 {
+				break
+			}
+			if s.cluster.PeerDown(peer) {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			jobs, err := s.cluster.StealFrom(ctx, peer, free)
+			cancel()
+			if err != nil || len(jobs) == 0 {
+				continue
+			}
+			free -= s.adoptStolen(jobs)
+		}
+	}
+}

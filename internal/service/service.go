@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"coordattack/internal/cluster"
 	"coordattack/internal/mc"
 	"coordattack/internal/queue"
 	"coordattack/internal/stats"
@@ -79,6 +80,17 @@ type Config struct {
 	// returns the function actually run (still under panic isolation).
 	// Chaos harnesses inject stalls and panics here.
 	WrapEngine func(engine string, next RunFunc) RunFunc
+	// Cluster, when non-nil, joins this daemon to a static peer set
+	// (internal/cluster): local misses consult the key's ring owner
+	// before running the engine, computed bodies replicate to their
+	// owners, idle workers steal pending jobs from saturated peers, and
+	// the peer-protocol endpoints under /v1/peer/ are served. A nil
+	// Cluster keeps the daemon standalone.
+	Cluster *cluster.Cluster
+	// StealInterval is how often an idle node polls peers for stealable
+	// work; 0 means 1 s, negative disables stealing (the node still
+	// serves and fetches peer results).
+	StealInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +126,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WatchdogGrace == 0 {
 		c.WatchdogGrace = 30 * time.Second
+	}
+	if c.StealInterval == 0 {
+		c.StealInterval = time.Second
 	}
 	return c
 }
@@ -169,9 +184,13 @@ type Job struct {
 	state     State
 	cached    bool
 	coalesced bool
-	body      json.RawMessage
-	errMsg    string
-	token     *workerToken // the worker currently running this job
+	// stolenBy is the peer currently computing this job after a steal
+	// handoff; the job stays "queued" here while its follower goroutine
+	// (awaitStolen) watches the thief.
+	stolenBy string
+	body     json.RawMessage
+	errMsg   string
+	token    *workerToken // the worker currently running this job
 
 	// item is this job's scheduler entry while pending, and journaled
 	// marks the job that owns its key's journal accept record (coalesced
@@ -201,11 +220,14 @@ type Status struct {
 	// Coalesced marks a submission that attached to an identical
 	// in-flight job instead of running the engine itself; it settles with
 	// a copy of that job's outcome.
-	Coalesced bool            `json:"coalesced,omitempty"`
-	Spec      JobSpec         `json:"spec"`
-	Progress  Progress        `json:"progress"`
-	Result    json.RawMessage `json:"result,omitempty"`
-	Error     string          `json:"error,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// StolenBy names the peer currently computing this job after a
+	// work-stealing handoff; empty once it settles or is reclaimed.
+	StolenBy string          `json:"stolen_by,omitempty"`
+	Spec     JobSpec         `json:"spec"`
+	Progress Progress        `json:"progress"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
 }
 
 func (j *Job) status() *Status {
@@ -224,6 +246,7 @@ func (j *Job) status() *Status {
 		State:     j.state,
 		Cached:    j.cached,
 		Coalesced: j.coalesced,
+		StolenBy:  j.stolenBy,
 		Spec:      j.spec,
 		Progress: Progress{
 			Trials:    j.spec.Trials,
@@ -272,8 +295,9 @@ func (j *Job) finishIfQueued(state State, errMsg string) bool {
 type Server struct {
 	cfg     Config
 	cache   *Cache
-	store   *store.Store   // nil = memory-only
-	journal *queue.Journal // nil = pending queue is memory-only
+	store   *store.Store     // nil = memory-only
+	journal *queue.Journal   // nil = pending queue is memory-only
+	cluster *cluster.Cluster // nil = standalone daemon
 	metrics *Metrics
 	engines map[string]engine
 
@@ -297,6 +321,11 @@ type Server struct {
 	// (watchdog.go); both are nil when the watchdog is disabled.
 	watchStop chan struct{}
 	watchDone chan struct{}
+
+	// stealStop/stealDone bracket the work-stealing loop (peer.go); both
+	// are nil when the daemon is standalone or stealing is disabled.
+	stealStop chan struct{}
+	stealDone chan struct{}
 }
 
 // workerToken is one worker goroutine's claim on a pool slot. The
@@ -328,6 +357,7 @@ func New(cfg Config) *Server {
 		cache:    NewCache(cfg.CacheSize),
 		store:    cfg.Store,
 		journal:  cfg.Journal,
+		cluster:  cfg.Cluster,
 		metrics:  NewMetrics(),
 		engines:  engineRegistry(),
 		jobs:     make(map[string]*Job),
@@ -353,6 +383,11 @@ func New(cfg Config) *Server {
 		s.watchStop = make(chan struct{})
 		s.watchDone = make(chan struct{})
 		go s.watchdog(cfg.WatchdogInterval)
+	}
+	if s.cluster != nil && cfg.StealInterval > 0 {
+		s.stealStop = make(chan struct{})
+		s.stealDone = make(chan struct{})
+		go s.stealLoop(cfg.StealInterval)
 	}
 	return s
 }
@@ -813,6 +848,20 @@ func (s *Server) runJob(j *Job, t *workerToken) {
 		j.mu.Unlock()
 		return
 	}
+	j.mu.Unlock()
+	// Cluster lookup sits between the local tiers and the engine: the
+	// key's ring owner may already hold the body another node computed.
+	// Checked before the job is marked running — a peer hit settles it
+	// as a cache hit with no engine run counted.
+	if body, ok := s.peerFetch(j); ok {
+		s.settlePeerResult(j, body)
+		return
+	}
+	j.mu.Lock()
+	if j.state.Terminal() { // cancelled during the peer lookup
+		j.mu.Unlock()
+		return
+	}
 	j.state = StateRunning
 	j.token = t
 	j.mu.Unlock()
@@ -852,6 +901,7 @@ func (s *Server) runJob(j *Job, t *workerToken) {
 		// preserves the registry-outlives-body ordering for followers.
 		s.cache.Put(j.key, body)
 		s.storePut(j.key, body)
+		s.replicateToOwner(j.key, body)
 		if won = j.finish(StateDone, body, ""); won {
 			s.metrics.JobsCompleted.Add(1)
 		}
@@ -890,6 +940,7 @@ func (s *Server) gauges() Gauges {
 		QueueInteractive:  byClass[queue.ClassInteractive],
 		QueueSweep:        byClass[queue.ClassSweep],
 		QueueOldestAgeSec: s.sched.OldestAge(time.Now()).Seconds(),
+		QueueFlows:        s.sched.Flows(),
 		JobsRunning:       int(s.running.Load()),
 		CacheSize:         s.cache.Len(),
 		CacheHits:         hits,
@@ -902,6 +953,10 @@ func (s *Server) gauges() Gauges {
 	if s.journal != nil {
 		g.Journal = s.journal.Stats()
 		g.JournalEnabled = true
+	}
+	if s.cluster != nil {
+		g.Cluster = s.cluster.Snapshot()
+		g.ClusterEnabled = true
 	}
 	return g
 }
@@ -944,10 +999,18 @@ func (s *Server) Drain(ctx context.Context) error {
 			// wg.Wait is in flight.
 			close(s.watchStop)
 		}
+		if s.stealStop != nil {
+			// Stop the steal loop too: a draining node must neither adopt
+			// new work nor keep polling peers.
+			close(s.stealStop)
+		}
 	}
 	s.mu.Unlock()
 	if s.watchDone != nil {
 		<-s.watchDone
+	}
+	if s.stealDone != nil {
+		<-s.stealDone
 	}
 
 	idle := make(chan struct{})
