@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json report quick-report fault-demo service-demo sweep-demo persist-demo chaos-demo queue-demo cluster-demo fuzz fuzz-spec clean
+.PHONY: all build test test-race bench bench-json bench-check report quick-report fault-demo service-demo sweep-demo persist-demo chaos-demo queue-demo cluster-demo fuzz fuzz-spec clean
 
 all: build test
 
@@ -28,6 +28,13 @@ bench-json:
 	n=$$(( n + 1 )); \
 	$(GO) run ./cmd/coordbench -bench -out BENCH_$$n.json; \
 	echo "wrote BENCH_$$n.json"
+
+# Perf-regression smoke gate (CI): a quick matrix run must stay within
+# 2x of the last reference-engine baseline. The fast engines beat it by
+# an order of magnitude, so only an accidental fallback to the
+# reference path (or a genuine engine regression) trips this.
+bench-check:
+	$(GO) run ./cmd/coordbench -bench -trials 2000 -baseline BENCH_1.json -max-slowdown 2 -out /dev/null
 
 # Full-fidelity reproduction report (EXPERIMENTS.md body).
 report:

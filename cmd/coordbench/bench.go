@@ -2,14 +2,19 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
 	"coordattack/internal/cliutil"
+	"coordattack/internal/graph"
 	"coordattack/internal/mc"
+	"coordattack/internal/protocol"
 	"coordattack/internal/rng"
+	runpkg "coordattack/internal/run"
 	"coordattack/internal/sim"
 )
 
@@ -51,8 +56,13 @@ const benchRounds = 10
 // round-loop simulator, "concurrent" the goroutine-per-process one, and
 // "mc" the full estimator with its trial-level parallelism — so the
 // three rows per cell separate simulator cost, concurrency overhead,
-// and estimator scaling.
-func runBench(trials int, seed uint64, out io.Writer) int {
+// and estimator scaling. Each row uses the zero-alloc fast engine when
+// the protocol provides one (every matrix protocol does), falling back
+// to the reference engines otherwise — the same dispatch mc.Estimate
+// performs internally. When baselinePath names an earlier BENCH_N.json,
+// the run additionally gates on it: any cell slower than maxSlowdown ×
+// its baseline throughput fails the run.
+func runBench(trials int, seed uint64, baselinePath string, maxSlowdown float64, out io.Writer) int {
 	if trials <= 0 {
 		trials = 5000
 	}
@@ -92,20 +102,15 @@ func runBench(trials int, seed uint64, out io.Writer) int {
 				switch eng {
 				case "sim", "concurrent":
 					stream := rng.NewStream(seed)
-					start := time.Now()
-					for t := 0; t < trials; t++ {
-						tapes := sim.StreamTapes(stream, uint64(t))
-						if eng == "sim" {
-							_, err = sim.Outputs(p, g, r, tapes)
-						} else {
-							_, err = sim.ConcurrentOutputs(p, g, r, tapes)
-						}
-						if err != nil {
-							fmt.Fprintf(out, "coordbench: %s %s %s: %v\n", proto, gspec, eng, err)
-							return 1
-						}
+					if eng == "sim" {
+						secs, err = benchSim(p, g, r, stream, trials)
+					} else {
+						secs, err = benchConcurrent(p, g, r, stream, trials)
 					}
-					secs = time.Since(start).Seconds()
+					if err != nil {
+						fmt.Fprintf(out, "coordbench: %s %s %s: %v\n", proto, gspec, eng, err)
+						return 1
+					}
 				case "mc":
 					start := time.Now()
 					if _, err := mc.Estimate(mc.Config{
@@ -140,5 +145,112 @@ func runBench(trials int, seed uint64, out io.Writer) int {
 	if err := enc.Encode(report); err != nil {
 		return 1
 	}
+	if baselinePath != "" {
+		if err := checkBaseline(report, baselinePath, maxSlowdown); err != nil {
+			fmt.Fprintf(os.Stderr, "coordbench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "coordbench: all cells within %gx of %s\n", maxSlowdown, baselinePath)
+	}
 	return 0
+}
+
+// benchSim times the sequential engines: the zero-alloc Engine when the
+// protocol has one, the reference loop otherwise.
+func benchSim(p protocol.Protocol, g *graph.G, r *runpkg.Run, stream rng.Stream, trials int) (float64, error) {
+	eng, err := sim.NewEngine(p, g, r.N())
+	if errors.Is(err, sim.ErrNoFastPath) {
+		start := time.Now()
+		for t := 0; t < trials; t++ {
+			if _, err := sim.Outputs(p, g, r, sim.StreamTapes(stream, uint64(t))); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	if err := eng.LoadRun(r); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for t := 0; t < trials; t++ {
+		if _, err := eng.Trial(stream, uint64(t)); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// benchConcurrent times the goroutine-per-process engines, preferring
+// the persistent-worker ConcurrentEngine.
+func benchConcurrent(p protocol.Protocol, g *graph.G, r *runpkg.Run, stream rng.Stream, trials int) (float64, error) {
+	eng, err := sim.NewConcurrentEngine(p, g, r.N())
+	if errors.Is(err, sim.ErrNoFastPath) {
+		start := time.Now()
+		for t := 0; t < trials; t++ {
+			if _, err := sim.ConcurrentOutputs(p, g, r, sim.StreamTapes(stream, uint64(t))); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	if err := eng.LoadRun(r); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for t := 0; t < trials; t++ {
+		if _, err := eng.Trial(stream, uint64(t)); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// checkBaseline compares the fresh report against a checked-in
+// BENCH_N.json: every cell present in both must run at no worse than
+// maxSlowdown × the baseline time. Absolute throughputs move with the
+// host, so this is a smoke gate against order-of-magnitude regressions
+// (an accidental fallback to the reference path), not a microbenchmark.
+func checkBaseline(report benchReport, path string, maxSlowdown float64) error {
+	if maxSlowdown <= 0 {
+		return fmt.Errorf("-max-slowdown must be positive, got %g", maxSlowdown)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseTPS := make(map[string]float64, len(base.Results))
+	for _, pt := range base.Results {
+		baseTPS[pt.Protocol+"|"+pt.Graph+"|"+pt.Engine] = pt.TrialsPerSec
+	}
+	var regressions []string
+	for _, pt := range report.Results {
+		want, ok := baseTPS[pt.Protocol+"|"+pt.Graph+"|"+pt.Engine]
+		if !ok || want <= 0 || pt.TrialsPerSec <= 0 {
+			continue
+		}
+		if slow := want / pt.TrialsPerSec; slow > maxSlowdown {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s %s %s: %.0f trials/sec vs baseline %.0f (%.1fx slower, gate %gx)",
+				pt.Protocol, pt.Graph, pt.Engine, pt.TrialsPerSec, want, slow, maxSlowdown))
+		}
+	}
+	if len(regressions) > 0 {
+		msg := "throughput regressions vs " + path + ":"
+		for _, r := range regressions {
+			msg += "\n  " + r
+		}
+		return errors.New(msg)
+	}
+	return nil
 }

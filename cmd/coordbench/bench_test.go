@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBenchBaselineGate runs a tiny bench twice: once gated against a
+// baseline it trivially beats (pass) and once against an impossibly
+// fast fabricated baseline (fail), pinning both sides of the
+// perf-regression smoke check.
+func TestBenchBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if code := run([]string{"-bench", "-trials", "60"}, &b); code != 0 {
+		t.Fatalf("bench exit %d:\n%s", code, b.String())
+	}
+	var report benchReport
+	if err := json.Unmarshal([]byte(b.String()), &report); err != nil {
+		t.Fatalf("bench output not JSON: %v", err)
+	}
+	if len(report.Results) != len(benchProtocols)*len(benchGraphs)*len(benchEngines) {
+		t.Fatalf("report has %d cells, want the full matrix", len(report.Results))
+	}
+
+	easy := report // a machine is never 1000000x slower than itself
+	easyPath := filepath.Join(dir, "easy.json")
+	writeBaseline(t, easyPath, easy, 1e-6)
+	var out strings.Builder
+	if code := run([]string{"-bench", "-trials", "60", "-baseline", easyPath}, &out); code != 0 {
+		t.Errorf("gate failed against an easy baseline:\n%s", out.String())
+	}
+
+	hard := report
+	hardPath := filepath.Join(dir, "hard.json")
+	writeBaseline(t, hardPath, hard, 1e6)
+	if code := run([]string{"-bench", "-trials", "60", "-baseline", hardPath}, &out); code == 0 {
+		t.Error("gate passed against an impossibly fast baseline")
+	}
+}
+
+// writeBaseline rescales a report's throughputs and writes it as a
+// baseline file.
+func writeBaseline(t *testing.T, path string, report benchReport, scale float64) {
+	t.Helper()
+	pts := make([]benchPoint, len(report.Results))
+	copy(pts, report.Results)
+	for i := range pts {
+		pts[i].TrialsPerSec *= scale
+	}
+	report.Results = pts
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineFlagNeedsBench(t *testing.T) {
+	var b strings.Builder
+	if code := run([]string{"-baseline", "BENCH_1.json"}, &b); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+}

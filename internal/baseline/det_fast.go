@@ -1,0 +1,107 @@
+package baseline
+
+import (
+	"fmt"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+)
+
+// The deterministic baselines carry tiny per-process state (a validity
+// bit plus message accounting), so their fast states are flat arrays of
+// that state, double-buffered by round parity exactly like Protocol S's.
+// Both fold delivered in-neighbors in ascending sender order; for these
+// protocols the fold is pure OR/count, so order only matters for keeping
+// the structural contract uniform across fast states.
+
+var (
+	_ protocol.FastProtocol = DetFullInfo{}
+	_ protocol.FastProtocol = DetThreshold{}
+)
+
+type detCell struct {
+	valid   bool
+	missing bool
+	got     int
+}
+
+type detFastState struct {
+	n, m int
+	// threshold: nil for DetFullInfo; for DetThreshold the num/den pair.
+	num, den  int
+	threshold bool
+	neighbors [][]graph.ProcID
+	buf       [2][]detCell
+}
+
+func newDetFastState(g *graph.G, n int) (*detFastState, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("baseline: fast state needs N ≥ 1, got %d", n)
+	}
+	m := g.NumVertices()
+	st := &detFastState{n: n, m: m}
+	st.neighbors = make([][]graph.ProcID, m+1)
+	for i := 1; i <= m; i++ {
+		st.neighbors[i] = g.Neighbors(graph.ProcID(i))
+	}
+	st.buf[0] = make([]detCell, m+1)
+	st.buf[1] = make([]detCell, m+1)
+	return st, nil
+}
+
+// NewFastState implements protocol.FastProtocol.
+func (DetFullInfo) NewFastState(g *graph.G, n int) (protocol.FastState, error) {
+	return newDetFastState(g, n)
+}
+
+// NewFastState implements protocol.FastProtocol.
+func (p DetThreshold) NewFastState(g *graph.G, n int) (protocol.FastState, error) {
+	st, err := newDetFastState(g, n)
+	if err != nil {
+		return nil, err
+	}
+	st.threshold = true
+	st.num, st.den = p.Num, p.Den
+	return st, nil
+}
+
+// Init implements protocol.FastState. Neither baseline touches the tape:
+// these are J = 0 protocols.
+func (st *detFastState) Init(rs *run.Set, bank *rng.Bank) error {
+	cur := st.buf[0]
+	for i := 1; i <= st.m; i++ {
+		cur[i] = detCell{valid: rs.HasInput(graph.ProcID(i))}
+	}
+	return nil
+}
+
+// Step implements protocol.FastState.
+func (st *detFastState) Step(rs *run.Set, round int, i graph.ProcID) error {
+	prev := st.buf[(round-1)&1]
+	cell := prev[i]
+	received := 0
+	for _, from := range st.neighbors[i] {
+		if rs.Delivered(from, i, round) {
+			received++
+			cell.valid = cell.valid || prev[from].valid
+		}
+	}
+	if received < len(st.neighbors[i]) {
+		cell.missing = true
+	}
+	cell.got += received
+	st.buf[round&1][i] = cell
+	return nil
+}
+
+// Output implements protocol.FastState.
+func (st *detFastState) Output(i graph.ProcID) bool {
+	cell := &st.buf[st.n&1][i]
+	if st.threshold {
+		expected := len(st.neighbors[i]) * st.n
+		return cell.valid && cell.got*st.den >= expected*st.num
+	}
+	return cell.valid && !cell.missing
+}

@@ -25,33 +25,7 @@ const Never = 1 << 30
 // reflexive transitive closure of "directly flows to" from §4: (i, r)
 // directly flows to (k, r+1) iff i = k or (i, k, r+1) ∈ R.
 func ArrivalFrom(r0 *run.Run, m int, src graph.ProcID, s int) []int {
-	arrive := make([]int, m+1)
-	for i := range arrive {
-		arrive[i] = Never
-	}
-	if src >= 1 && int(src) <= m && s <= r0.N() {
-		arrive[src] = s
-	} else {
-		return arrive
-	}
-	byRound := deliveriesByRound(r0)
-	for t := s + 1; t <= r0.N(); t++ {
-		for _, d := range byRound[t] {
-			// (d.From, t-1) flows from (src, s) iff arrive[d.From] ≤ t-1.
-			if arrive[d.From] <= t-1 && t < arrive[d.To] {
-				arrive[d.To] = t
-			}
-		}
-	}
-	return arrive
-}
-
-func deliveriesByRound(r *run.Run) [][]run.Delivery {
-	byRound := make([][]run.Delivery, r.N()+1)
-	for _, d := range r.Deliveries() {
-		byRound[d.Round] = append(byRound[d.Round], d)
-	}
-	return byRound
+	return NewIndex(r0, m).ArrivalFrom(src, s)
 }
 
 // FlowsTo reports whether (i, s) flows to (j, t) in r0 for processes i, j
@@ -70,22 +44,7 @@ func FlowsTo(r0 *run.Run, m int, i graph.ProcID, s int, j graph.ProcID, t int) b
 // that (v₀, -1) flows to (j, r): the round at which j first "hears the
 // input". A process with its own input hears it at round 0.
 func InputArrival(r0 *run.Run, m int) []int {
-	first := make([]int, m+1)
-	for i := range first {
-		first[i] = Never
-	}
-	for _, src := range r0.Inputs() {
-		if src < 1 || int(src) > m {
-			continue
-		}
-		a := ArrivalFrom(r0, m, src, 0)
-		for j := 1; j <= m; j++ {
-			if a[j] < first[j] {
-				first[j] = a[j]
-			}
-		}
-	}
-	return first
+	return NewIndex(r0, m).InputArrival()
 }
 
 // LevelTable holds, for one run, the earliest round at which each process
@@ -122,11 +81,14 @@ func newTable(r0 *run.Run, m int, modified bool) (*LevelTable, error) {
 	}
 	n := r0.N()
 	t := &LevelTable{m: m, n: n, modified: modified}
+	// One delivery index serves every flow sweep in the table build —
+	// previously each ArrivalFrom call re-bucketed M(R) by round.
+	ix := NewIndex(r0, m)
 
 	// Height 1.
-	first := InputArrival(r0, m)
+	first := ix.InputArrival()
 	if modified {
-		fromOne := ArrivalFrom(r0, m, 1, 0)
+		fromOne := ix.ArrivalFrom(1, 0)
 		for j := 1; j <= m; j++ {
 			first[j] = maxInt(first[j], fromOne[j])
 			if first[j] > n {
@@ -153,7 +115,7 @@ func newTable(r0 *run.Run, m int, modified bool) (*LevelTable, error) {
 			if cur[i] == Never {
 				continue
 			}
-			arrivals[i] = ArrivalFrom(r0, m, graph.ProcID(i), cur[i])
+			arrivals[i] = ix.ArrivalFrom(graph.ProcID(i), cur[i])
 		}
 		for j := 1; j <= m; j++ {
 			worst := 0
@@ -285,35 +247,7 @@ func RunModLevel(r0 *run.Run, m int) (int, error) {
 // in r0, for k in 1..m and r in 0..N. This is the backward sweep behind
 // clipping and causal independence.
 func ReachesSink(r0 *run.Run, m int, sink graph.ProcID) [][]bool {
-	n := r0.N()
-	canReach := make([][]bool, m+1)
-	for k := range canReach {
-		canReach[k] = make([]bool, n+1)
-	}
-	if sink >= 1 && int(sink) <= m {
-		for r := 0; r <= n; r++ {
-			canReach[sink][r] = true
-		}
-	}
-	byRound := deliveriesByRound(r0)
-	for r := n - 1; r >= 0; r-- {
-		for k := 1; k <= m; k++ {
-			if canReach[k][r] {
-				continue
-			}
-			if canReach[k][r+1] {
-				canReach[k][r] = true
-				continue
-			}
-			for _, d := range byRound[r+1] {
-				if d.From == graph.ProcID(k) && canReach[d.To][r+1] {
-					canReach[k][r] = true
-					break
-				}
-			}
-		}
-	}
-	return canReach
+	return NewIndex(r0, m).ReachesSink(sink)
 }
 
 // Clip returns Clip_i(R): the run keeping exactly the tuples of R whose
@@ -349,8 +283,9 @@ func IndistinguishableTo(a, b *run.Run, m int, i graph.ProcID) bool {
 // CausallyIndependent reports whether i and j are causally independent in
 // r0 (Appendix A): no k such that (k, 0) flows to both (i, N) and (j, N).
 func CausallyIndependent(r0 *run.Run, m int, i, j graph.ProcID) bool {
-	ri := ReachesSink(r0, m, i)
-	rj := ReachesSink(r0, m, j)
+	ix := NewIndex(r0, m)
+	ri := ix.ReachesSink(i)
+	rj := ix.ReachesSink(j)
 	for k := 1; k <= m; k++ {
 		if ri[k][0] && rj[k][0] {
 			return false

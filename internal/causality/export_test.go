@@ -1,0 +1,5 @@
+package causality
+
+// IndexBuilds reports the number of Index constructions so far, for tests
+// that pin how often the per-run delivery index is rebuilt.
+func IndexBuilds() int64 { return indexBuilds.Load() }

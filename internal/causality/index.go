@@ -1,0 +1,150 @@
+package causality
+
+import (
+	"sync/atomic"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+)
+
+// indexBuilds counts Index constructions so tests can pin how often the
+// per-run delivery index is (re)built. Before the index existed,
+// deliveriesByRound was rebuilt on every ArrivalFrom call — m+1 times per
+// level-table height; now one build serves an entire table.
+var indexBuilds atomic.Int64
+
+// Index is a per-run struct-of-arrays view of M(R): deliveries flattened
+// into parallel from/to arrays in canonical order with CSR-style per-round
+// offsets. Every flow computation in this package is a sweep over rounds,
+// and the index turns each sweep into a walk of two flat arrays — no maps,
+// no per-call [][]run.Delivery rebuilding, no allocation beyond the result.
+//
+// An Index is immutable after construction and safe for concurrent use; it
+// snapshots the run, so mutating the run afterwards does not invalidate it
+// (runs handed to analyses are frozen by convention anyway).
+type Index struct {
+	n, m   int
+	from   []graph.ProcID // delivery senders, canonical (round, from, to) order
+	to     []graph.ProcID // delivery receivers, parallel to from
+	start  []int          // round r's deliveries occupy [start[r], start[r+1])
+	inputs []graph.ProcID // I(R), ascending
+}
+
+// NewIndex builds the delivery index of r0 over the universe of m
+// processes.
+func NewIndex(r0 *run.Run, m int) *Index {
+	indexBuilds.Add(1)
+	ds := r0.Deliveries()
+	n := r0.N()
+	ix := &Index{
+		n:      n,
+		m:      m,
+		from:   make([]graph.ProcID, len(ds)),
+		to:     make([]graph.ProcID, len(ds)),
+		start:  make([]int, n+2),
+		inputs: r0.Inputs(),
+	}
+	idx := 0
+	for r := 1; r <= n; r++ {
+		ix.start[r] = idx
+		for idx < len(ds) && ds[idx].Round == r {
+			ix.from[idx] = ds[idx].From
+			ix.to[idx] = ds[idx].To
+			idx++
+		}
+	}
+	ix.start[n+1] = len(ds)
+	return ix
+}
+
+// N reports the run's round count.
+func (ix *Index) N() int { return ix.n }
+
+// M reports the process universe size.
+func (ix *Index) M() int { return ix.m }
+
+// ArrivalInto computes ArrivalFrom into a caller-owned buffer of length
+// m+1, allocating nothing. This is the kernel every level-table height
+// runs m times; the buffer contract keeps that loop garbage-free.
+func (ix *Index) ArrivalInto(arrive []int, src graph.ProcID, s int) {
+	for i := range arrive {
+		arrive[i] = Never
+	}
+	if src < 1 || int(src) > ix.m || s > ix.n {
+		return
+	}
+	arrive[src] = s
+	for t := s + 1; t <= ix.n; t++ {
+		for k, end := ix.start[t], ix.start[t+1]; k < end; k++ {
+			// (from, t-1) flows from (src, s) iff arrive[from] ≤ t-1.
+			if arrive[ix.from[k]] <= t-1 && t < arrive[ix.to[k]] {
+				arrive[ix.to[k]] = t
+			}
+		}
+	}
+}
+
+// ArrivalFrom is the allocating form of ArrivalInto, with the same
+// semantics as the package-level ArrivalFrom.
+func (ix *Index) ArrivalFrom(src graph.ProcID, s int) []int {
+	arrive := make([]int, ix.m+1)
+	ix.ArrivalInto(arrive, src, s)
+	return arrive
+}
+
+// InputArrival returns, for every process j, the earliest round at which
+// (v₀, -1) flows to (j, r), like the package-level InputArrival.
+func (ix *Index) InputArrival() []int {
+	first := make([]int, ix.m+1)
+	for i := range first {
+		first[i] = Never
+	}
+	if len(ix.inputs) == 0 {
+		return first
+	}
+	scratch := make([]int, ix.m+1)
+	for _, src := range ix.inputs {
+		if src < 1 || int(src) > ix.m {
+			continue
+		}
+		ix.ArrivalInto(scratch, src, 0)
+		for j := 1; j <= ix.m; j++ {
+			if scratch[j] < first[j] {
+				first[j] = scratch[j]
+			}
+		}
+	}
+	return first
+}
+
+// ReachesSink computes the backward reachability table of the package-level
+// ReachesSink over the index.
+func (ix *Index) ReachesSink(sink graph.ProcID) [][]bool {
+	canReach := make([][]bool, ix.m+1)
+	for k := range canReach {
+		canReach[k] = make([]bool, ix.n+1)
+	}
+	if sink >= 1 && int(sink) <= ix.m {
+		for r := 0; r <= ix.n; r++ {
+			canReach[sink][r] = true
+		}
+	}
+	for r := ix.n - 1; r >= 0; r-- {
+		for k := 1; k <= ix.m; k++ {
+			if canReach[k][r] {
+				continue
+			}
+			if canReach[k][r+1] {
+				canReach[k][r] = true
+				continue
+			}
+			for d, end := ix.start[r+1], ix.start[r+2]; d < end; d++ {
+				if ix.from[d] == graph.ProcID(k) && canReach[ix.to[d]][r+1] {
+					canReach[k][r] = true
+					break
+				}
+			}
+		}
+	}
+	return canReach
+}

@@ -1,0 +1,200 @@
+package causality
+
+import (
+	"testing"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+)
+
+func randomRun(t *testing.T, m, n int, seed uint64) *run.Run {
+	t.Helper()
+	g, err := graph.Complete(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := run.RandomSubset(g, n, rng.NewTape(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestIndexBuildCounts pins how many times the delivery index is built per
+// entry point. The whole point of hoisting deliveriesByRound into Index is
+// that one level-table build indexes the run once, not once per
+// ArrivalFrom call; this test is the regression guard for that contract.
+func TestIndexBuildCounts(t *testing.T) {
+	r := randomRun(t, 4, 5, 11).AddInput(1)
+	cases := []struct {
+		name  string
+		op    func() error
+		wantB int64
+	}{
+		{"NewLevelTable", func() error { _, err := NewLevelTable(r, 4); return err }, 1},
+		{"NewModLevelTable", func() error { _, err := NewModLevelTable(r, 4); return err }, 1},
+		{"ArrivalFrom", func() error { ArrivalFrom(r, 4, 1, 0); return nil }, 1},
+		{"InputArrival", func() error { InputArrival(r, 4); return nil }, 1},
+		{"ReachesSink", func() error { ReachesSink(r, 4, 2); return nil }, 1},
+		{"Clip", func() error { Clip(r, 4, 2); return nil }, 1},
+		{"CausallyIndependent", func() error { CausallyIndependent(r, 4, 1, 2); return nil }, 1},
+		{"FlowsTo", func() error { FlowsTo(r, 4, 1, 0, 2, 5); return nil }, 1},
+	}
+	for _, tc := range cases {
+		before := IndexBuilds()
+		if err := tc.op(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := IndexBuilds() - before; got != tc.wantB {
+			t.Errorf("%s built the index %d times, want %d", tc.name, got, tc.wantB)
+		}
+	}
+}
+
+// TestIndexMatchesPackageFunctions cross-checks the Index methods against
+// the package-level entry points on random runs (the package functions are
+// thin wrappers, so this mostly guards against the wrapper and the method
+// drifting apart in a refactor).
+func TestIndexMatchesPackageFunctions(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		m, n := 5, 4
+		r := randomRun(t, m, n, seed)
+		ix := NewIndex(r, m)
+		if ix.N() != n || ix.M() != m {
+			t.Fatalf("index dims (%d, %d)", ix.N(), ix.M())
+		}
+		for src := graph.ProcID(1); int(src) <= m; src++ {
+			for s := 0; s <= n; s++ {
+				got := ix.ArrivalFrom(src, s)
+				want := ArrivalFrom(r, m, src, s)
+				for j := 1; j <= m; j++ {
+					if got[j] != want[j] {
+						t.Fatalf("seed %d: ArrivalFrom(%d, %d)[%d] = %d, want %d",
+							seed, src, s, j, got[j], want[j])
+					}
+				}
+			}
+		}
+		gotIn, wantIn := ix.InputArrival(), InputArrival(r, m)
+		for j := 1; j <= m; j++ {
+			if gotIn[j] != wantIn[j] {
+				t.Fatalf("seed %d: InputArrival[%d] mismatch", seed, j)
+			}
+		}
+		for sink := graph.ProcID(1); int(sink) <= m; sink++ {
+			gotR, wantR := ix.ReachesSink(sink), ReachesSink(r, m, sink)
+			for k := 1; k <= m; k++ {
+				for rd := 0; rd <= n; rd++ {
+					if gotR[k][rd] != wantR[k][rd] {
+						t.Fatalf("seed %d: ReachesSink(%d)[%d][%d] mismatch", seed, sink, k, rd)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestArrivalIntoZeroAlloc pins the no-allocation contract of the kernel
+// the fast analyses lean on.
+func TestArrivalIntoZeroAlloc(t *testing.T) {
+	r := randomRun(t, 6, 6, 3).AddInput(2)
+	ix := NewIndex(r, 6)
+	buf := make([]int, 7)
+	allocs := testing.AllocsPerRun(200, func() {
+		ix.ArrivalInto(buf, 2, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("ArrivalInto allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestIndexOutOfRangeSources(t *testing.T) {
+	r := run.MustNew(3).MustDeliver(1, 2, 1)
+	ix := NewIndex(r, 2)
+	for _, src := range []graph.ProcID{0, 3} {
+		a := ix.ArrivalFrom(src, 0)
+		for j := 0; j <= 2; j++ {
+			if a[j] != Never {
+				t.Fatalf("src %d: arrive[%d] = %d, want Never", src, j, a[j])
+			}
+		}
+	}
+	if a := ix.ArrivalFrom(1, 4); a[1] != Never {
+		t.Fatal("start round beyond N must yield all-Never")
+	}
+}
+
+func TestMemoCachesTables(t *testing.T) {
+	mm := NewMemo()
+	r := randomRun(t, 4, 5, 9).AddInput(1)
+
+	t1, err := mm.Table(r, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := mm.Table(r, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatal("second lookup of the same run must return the cached table")
+	}
+	// An Equal run built independently hits the same entry.
+	t3, err := mm.Table(r.Clone(), 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 != t1 {
+		t.Fatal("an Equal clone must hit the cache")
+	}
+	// The plain measure is a distinct entry.
+	t4, err := mm.Table(r, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4 == t1 {
+		t.Fatal("plain and modified measures must not share entries")
+	}
+	if t4.Modified() {
+		t.Fatal("plain lookup returned a modified table")
+	}
+
+	st := mm.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Size != 2 {
+		t.Fatalf("Stats = %+v, want 2 hits, 2 misses, 2 entries", st)
+	}
+
+	// Cached answers match fresh ones.
+	fresh, err := NewModLevelTable(r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := graph.ProcID(1); i <= 4; i++ {
+		if t1.Final(i) != fresh.Final(i) {
+			t.Fatalf("cached table diverges at process %d", i)
+		}
+	}
+}
+
+func TestMemoNilReceiver(t *testing.T) {
+	var mm *Memo
+	r := randomRun(t, 3, 3, 1).AddInput(1)
+	tab, err := mm.Table(r, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil {
+		t.Fatal("nil memo must still compute")
+	}
+	if st := mm.Stats(); st != (MemoStats{}) {
+		t.Fatalf("nil memo Stats = %+v", st)
+	}
+}
+
+func TestMemoPropagatesErrors(t *testing.T) {
+	mm := NewMemo()
+	if _, err := mm.Table(run.MustNew(2), 1, false); err == nil {
+		t.Fatal("m < 2 must error through the memo")
+	}
+}

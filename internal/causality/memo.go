@@ -1,0 +1,91 @@
+package causality
+
+import (
+	"sync"
+
+	"coordattack/internal/run"
+)
+
+// memoKey identifies a level table up to everything that determines it:
+// the run's canonical identity (as a prefix key, so truncated evaluations
+// of a shared run collide without materializing the truncation), the
+// process universe, and which measure (plain L or modified ML) was asked
+// for.
+type memoKey struct {
+	prefix   run.PrefixKey
+	m        int
+	modified bool
+}
+
+// MemoStats reports a memo's cumulative hit/miss counts and current size.
+type MemoStats struct {
+	Hits   uint64
+	Misses uint64
+	Size   int
+}
+
+// memoMaxEntries bounds a memo's footprint. A level table for an m-process
+// n-round run is O(m·n) ints; sweep grids evaluate at most a few thousand
+// distinct (run, measure) pairs, so the cap only trips on pathological
+// workloads, where dropping the whole cache and rebuilding is fine.
+const memoMaxEntries = 4096
+
+// Memo caches level tables across Analyze/table calls keyed by run
+// identity. Sweep grids in the service layer evaluate the same run prefix
+// under many protocol parameters — ε, slack, thresholds — none of which
+// enter the table, so every cell after the first is a hit. A Memo is safe
+// for concurrent use; cached tables are immutable and shared.
+type Memo struct {
+	mu     sync.Mutex
+	tables map[memoKey]*LevelTable
+	hits   uint64
+	misses uint64
+}
+
+// NewMemo returns an empty level-table cache.
+func NewMemo() *Memo {
+	return &Memo{tables: make(map[memoKey]*LevelTable)}
+}
+
+// Table returns the level table for r0 over m processes — NewLevelTable
+// or NewModLevelTable according to modified — serving repeats from cache.
+// A nil receiver computes without caching, so callers can thread an
+// optional memo unconditionally.
+func (mm *Memo) Table(r0 *run.Run, m int, modified bool) (*LevelTable, error) {
+	if mm == nil {
+		return newTable(r0, m, modified)
+	}
+	key := memoKey{prefix: r0.PrefixKey(r0.N()), m: m, modified: modified}
+	mm.mu.Lock()
+	if t, ok := mm.tables[key]; ok {
+		mm.hits++
+		mm.mu.Unlock()
+		return t, nil
+	}
+	mm.misses++
+	mm.mu.Unlock()
+
+	// Build outside the lock: concurrent misses on the same key do
+	// duplicate work but never block each other on a long table build.
+	t, err := newTable(r0, m, modified)
+	if err != nil {
+		return nil, err
+	}
+	mm.mu.Lock()
+	if len(mm.tables) >= memoMaxEntries {
+		mm.tables = make(map[memoKey]*LevelTable)
+	}
+	mm.tables[key] = t
+	mm.mu.Unlock()
+	return t, nil
+}
+
+// Stats returns cumulative hit/miss counts and the current entry count.
+func (mm *Memo) Stats() MemoStats {
+	if mm == nil {
+		return MemoStats{}
+	}
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return MemoStats{Hits: mm.hits, Misses: mm.misses, Size: len(mm.tables)}
+}

@@ -45,15 +45,25 @@ type RunAnalysis struct {
 // Analyze computes the exact distribution of Protocol S (or a slack
 // variant) on run r over m = g.NumVertices() processes.
 func (s *S) Analyze(g *graph.G, r *run.Run) (*RunAnalysis, error) {
+	return s.AnalyzeWith(g, r, nil)
+}
+
+// AnalyzeWith is Analyze with memoized level tables: sweeps that
+// revisit runs (prefix ladders, multi-protocol comparisons on shared
+// scenarios) fetch the L/ML tables from memo instead of recomputing
+// the causality closure. A nil memo computes without caching; the
+// analysis itself is identical either way, since level tables depend
+// only on (run, m), never on the protocol.
+func (s *S) AnalyzeWith(g *graph.G, r *run.Run, memo *causality.Memo) (*RunAnalysis, error) {
 	if err := r.Validate(g); err != nil {
 		return nil, fmt.Errorf("core: analyze: %w", err)
 	}
 	m := g.NumVertices()
-	lt, err := causality.NewLevelTable(r, m)
+	lt, err := memo.Table(r, m, false)
 	if err != nil {
 		return nil, err
 	}
-	mt, err := causality.NewModLevelTable(r, m)
+	mt, err := memo.Table(r, m, true)
 	if err != nil {
 		return nil, err
 	}

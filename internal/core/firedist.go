@@ -141,7 +141,7 @@ func (s *SFire) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
 	if m < 2 || m > MaxProcesses {
 		return nil, fmt.Errorf("core: Protocol S needs 2 ≤ m ≤ %d, got %d", MaxProcesses, m)
 	}
-	mach := &SMachine{id: cfg.ID, m: m, valid: cfg.Input}
+	mach := &SMachine{id: cfg.ID, m: m, sState: sState{valid: cfg.Input}}
 	if cfg.ID == 1 {
 		u, err := cfg.Tape.Float64Open01()
 		if err != nil {

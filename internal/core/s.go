@@ -124,6 +124,95 @@ type SMsg struct {
 // CAMessage implements protocol.Message.
 func (SMsg) CAMessage() {}
 
+// sState is the §6.1 state record (count_i, rfire_i, seen_i, valid_i) of
+// one process, shared verbatim between the reference SMachine and the
+// struct-of-arrays fast state so both paths run the same transition code.
+type sState struct {
+	rfire        float64
+	count        int
+	seen         uint64
+	rfireDefined bool
+	valid        bool
+}
+
+// sAgg accumulates one round of received sender states. absorb must be
+// called in ascending sender order: PROCESS-MESSAGE's "first defined
+// rfire" rule reads the sorted S_i^r, and keeping the same order keeps the
+// fast path bit-identical to the reference even if an invariant-violating
+// mutation ever makes two defined rfires differ.
+type sAgg struct {
+	rfire     float64
+	highcount int
+	highseen  uint64
+	rfireDef  bool
+	valid     bool
+	any       bool
+}
+
+func (a *sAgg) absorb(m *sState) {
+	if !a.any {
+		a.any = true
+		a.highcount = m.count
+		a.highseen = m.seen
+	} else if m.count > a.highcount {
+		a.highcount = m.count
+		a.highseen = m.seen
+	} else if m.count == a.highcount {
+		a.highseen |= m.seen
+	}
+	if !a.rfireDef && m.rfireDefined {
+		a.rfire = m.rfire
+		a.rfireDef = true
+	}
+	a.valid = a.valid || m.valid
+}
+
+// apply is PROCESS-MESSAGE(S_i, i) from Figure 1, folded over an sAgg.
+// full is the all-processes seen mask for the system's m.
+func (st *sState) apply(a *sAgg, id graph.ProcID, full uint64) {
+	selfBit := uint64(1) << uint(id-1)
+	// Line 1: learn rfire.
+	if !st.rfireDefined && a.rfireDef {
+		st.rfire = a.rfire
+		st.rfireDefined = true
+	}
+	// Line 2: learn validity.
+	if !st.valid && a.valid {
+		st.valid = true
+	}
+	// Line 3: start counting. (Figure 1 leaves seen implicit here; the
+	// invariant i ∈ seen_i whenever count_i ≥ 1 — Lemma 6.3(7) — pins it
+	// to {i}, matching process 1's initial state.)
+	if st.valid && st.rfireDefined && st.count == 0 {
+		st.count = 1
+		st.seen = selfBit
+	}
+	// Counting block.
+	if st.count >= 1 && a.any {
+		switch {
+		case a.highcount == st.count:
+			st.seen |= a.highseen | selfBit
+		case a.highcount > st.count:
+			st.seen = a.highseen | selfBit
+			st.count = a.highcount
+		}
+		if st.seen == full {
+			st.count++
+			st.seen = selfBit
+		}
+	}
+}
+
+// output is O_i: attack iff rfire is known and count_i (plus slack for the
+// greedy variants, which additionally require count_i ≥ 1 so validity is
+// preserved) reaches rfire.
+func (st *sState) output(slack int) bool {
+	if !st.rfireDefined || st.count < 1 {
+		return false
+	}
+	return float64(st.count+slack) >= st.rfire
+}
+
 // SMachine is one local state machine F_i of Protocol S. Its state
 // variables mirror §6.1: count_i, rfire_i (with a defined flag standing
 // in for the paper's "undefined" sentinel), seen_i, valid_i.
@@ -132,11 +221,7 @@ type SMachine struct {
 	m     int
 	slack int
 
-	rfire        float64
-	rfireDefined bool
-	count        int
-	seen         uint64
-	valid        bool
+	sState
 }
 
 var _ protocol.Machine = (*SMachine)(nil)
@@ -152,7 +237,7 @@ func (s *S) NewMachine(cfg protocol.Config) (protocol.Machine, error) {
 	if m < 2 || m > MaxProcesses {
 		return nil, fmt.Errorf("core: Protocol S needs 2 ≤ m ≤ %d, got %d", MaxProcesses, m)
 	}
-	mach := &SMachine{id: cfg.ID, m: m, slack: s.slack, valid: cfg.Input}
+	mach := &SMachine{id: cfg.ID, m: m, slack: s.slack, sState: sState{valid: cfg.Input}}
 	if cfg.ID == 1 {
 		u, err := cfg.Tape.Float64Open01()
 		if err != nil {
@@ -189,81 +274,32 @@ func (sm *SMachine) Send(round int, to graph.ProcID) protocol.Message {
 	}
 }
 
-// Step implements protocol.Machine: PROCESS-MESSAGE(S_i, i) from Figure 1.
+// Step implements protocol.Machine: PROCESS-MESSAGE(S_i, i) from Figure 1,
+// via the sAgg fold shared with the fast state. received is sorted by
+// sender, so absorb sees messages in the order the figure reads them.
 func (sm *SMachine) Step(round int, received []protocol.Received) error {
-	msgs := make([]SMsg, 0, len(received))
+	var agg sAgg
 	for _, r := range received {
 		msg, ok := r.Msg.(SMsg)
 		if !ok {
 			return fmt.Errorf("core: machine %d received foreign message %T", sm.id, r.Msg)
 		}
-		msgs = append(msgs, msg)
+		st := sState{
+			rfire:        msg.RFire,
+			rfireDefined: msg.RFireDefined,
+			count:        msg.Count,
+			seen:         msg.Seen,
+			valid:        msg.Valid,
+		}
+		agg.absorb(&st)
 	}
-
-	// Line 1: learn rfire.
-	if !sm.rfireDefined {
-		for _, m := range msgs {
-			if m.RFireDefined {
-				sm.rfire = m.RFire
-				sm.rfireDefined = true
-				break
-			}
-		}
-	}
-	// Line 2: learn validity.
-	if !sm.valid {
-		for _, m := range msgs {
-			if m.Valid {
-				sm.valid = true
-				break
-			}
-		}
-	}
-	// Line 3: start counting. (Figure 1 leaves seen implicit here; the
-	// invariant i ∈ seen_i whenever count_i ≥ 1 — Lemma 6.3(7) — pins it
-	// to {i}, matching process 1's initial state.)
-	if sm.valid && sm.rfireDefined && sm.count == 0 {
-		sm.count = 1
-		sm.seen = sm.bit(sm.id)
-	}
-	// Counting block.
-	if sm.count >= 1 && len(msgs) > 0 {
-		highcount := msgs[0].Count
-		for _, m := range msgs[1:] {
-			if m.Count > highcount {
-				highcount = m.Count
-			}
-		}
-		var highseen uint64
-		for _, m := range msgs {
-			if m.Count == highcount {
-				highseen |= m.Seen
-			}
-		}
-		switch {
-		case highcount == sm.count:
-			sm.seen |= highseen | sm.bit(sm.id)
-		case highcount > sm.count:
-			sm.seen = highseen | sm.bit(sm.id)
-			sm.count = highcount
-		}
-		if sm.seen == sm.fullSet() {
-			sm.count++
-			sm.seen = sm.bit(sm.id)
-		}
-	}
+	sm.sState.apply(&agg, sm.id, sm.fullSet())
 	return nil
 }
 
 // Output implements protocol.Machine: O_i = 1 iff rfire_i ≠ undefined and
-// count_i ≥ rfire_i (shifted by the slack for the greedy variants, which
-// additionally require count_i ≥ 1 so that validity is preserved).
-func (sm *SMachine) Output() bool {
-	if !sm.rfireDefined || sm.count < 1 {
-		return false
-	}
-	return float64(sm.count+sm.slack) >= sm.rfire
-}
+// count_i ≥ rfire_i (shifted by the slack for the greedy variants).
+func (sm *SMachine) Output() bool { return sm.sState.output(sm.slack) }
 
 // Count exposes count_i for the white-box invariant audit (Lemma 6.3/6.4
 // checkers); it is not part of the protocol interface.

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+)
+
+// sFastState is Protocol S's struct-of-arrays execution state: the sState
+// records of all m processes, double-buffered by round parity, advanced
+// against a run.Set with zero allocation. It runs the exact transition
+// code (sAgg.absorb / sState.apply) the reference SMachine runs, folding
+// each process's delivered in-neighbors in ascending sender order — the
+// same order the sorted Received slices impose on the reference path.
+type sFastState struct {
+	proto *S
+	n, m  int
+	full  uint64
+	// neighbors[i] is i's sorted neighbor list, cached once because
+	// graph.Neighbors allocates a copy per call.
+	neighbors [][]graph.ProcID
+	// buf[r&1][i] is process i's state after round r (Init fills buf[0]
+	// with the round-0 states).
+	buf [2][]sState
+}
+
+var _ protocol.FastProtocol = (*S)(nil)
+
+// NewFastState implements protocol.FastProtocol.
+func (s *S) NewFastState(g *graph.G, n int) (protocol.FastState, error) {
+	m := g.NumVertices()
+	if m < 2 || m > MaxProcesses {
+		return nil, fmt.Errorf("core: Protocol S needs 2 ≤ m ≤ %d, got %d", MaxProcesses, m)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("core: fast state needs N ≥ 1, got %d", n)
+	}
+	st := &sFastState{proto: s, n: n, m: m, full: fullSetMask(m)}
+	st.neighbors = make([][]graph.ProcID, m+1)
+	for i := 1; i <= m; i++ {
+		st.neighbors[i] = g.Neighbors(graph.ProcID(i))
+	}
+	st.buf[0] = make([]sState, m+1)
+	st.buf[1] = make([]sState, m+1)
+	return st, nil
+}
+
+func fullSetMask(m int) uint64 {
+	if m == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(m)) - 1
+}
+
+// Init implements protocol.FastState: the round-0 states of NewMachine —
+// valid iff the input arrived, and process 1 draws rfire from α_1.
+func (st *sFastState) Init(rs *run.Set, bank *rng.Bank) error {
+	cur := st.buf[0]
+	for i := 1; i <= st.m; i++ {
+		cur[i] = sState{valid: rs.HasInput(graph.ProcID(i))}
+	}
+	u, err := bank.Tape(1).Float64Open01()
+	if err != nil {
+		return fmt.Errorf("core: drawing rfire: %w", err)
+	}
+	one := &cur[1]
+	one.rfire = float64(st.proto.fireFloor) + u/st.proto.epsilon
+	one.rfireDefined = true
+	if one.valid {
+		one.count = 1
+		one.seen = 1
+	}
+	return nil
+}
+
+// Step implements protocol.FastState.
+func (st *sFastState) Step(rs *run.Set, round int, i graph.ProcID) error {
+	prev := st.buf[(round-1)&1]
+	var agg sAgg
+	for _, from := range st.neighbors[i] {
+		if rs.Delivered(from, i, round) {
+			agg.absorb(&prev[from])
+		}
+	}
+	next := &st.buf[round&1][i]
+	*next = prev[i]
+	next.apply(&agg, i, st.full)
+	return nil
+}
+
+// Output implements protocol.FastState.
+func (st *sFastState) Output(i graph.ProcID) bool {
+	return st.buf[st.n&1][i].output(st.proto.slack)
+}

@@ -55,7 +55,7 @@ func T16AltValidity(opt Options) (*Result, error) {
 	}
 	for i, sc := range scenarios {
 		for j, p := range []*core.S{s, sAlt} {
-			a, err := p.Analyze(g, sc.r)
+			a, err := p.AnalyzeWith(g, sc.r, opt.Memo)
 			if err != nil {
 				return nil, err
 			}

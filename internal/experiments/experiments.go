@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"strings"
 
+	"coordattack/internal/causality"
 	"coordattack/internal/table"
 )
 
@@ -44,6 +45,12 @@ type Options struct {
 	// at the next trial boundary and returns the context error instead
 	// of running its remaining sweep points. Nil means run to completion.
 	Ctx context.Context
+	// Memo, when non-nil, caches level/modified-level tables across
+	// analyses keyed by run prefix: sweeps that revisit runs (the F1/F2
+	// prefix ladders, multi-protocol scenario grids) and repeated
+	// submissions through one service share the causality work. Results
+	// are bit-identical with or without it. Safe for concurrent use.
+	Memo *causality.Memo
 }
 
 func (o Options) withDefaults() Options {

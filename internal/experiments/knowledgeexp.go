@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"coordattack/internal/causality"
 	"coordattack/internal/graph"
 	"coordattack/internal/knowledge"
 	"coordattack/internal/table"
@@ -46,7 +45,7 @@ func T17Knowledge(opt Options) (*Result, error) {
 		m := sp.g.NumVertices()
 		mismatches, checks := 0, 0
 		for _, r := range s.Runs() {
-			lt, err := causality.NewLevelTable(r, m)
+			lt, err := opt.Memo.Table(r, m, false)
 			if err != nil {
 				return nil, err
 			}

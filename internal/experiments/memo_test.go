@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"coordattack/internal/causality"
+)
+
+// TestMemoExploitedByScenarioGrid pins that Options.Memo is actually
+// consulted: T16 analyzes the same three runs under two protocols, so
+// the second protocol's level tables must come from the cache (tables
+// depend only on the run, never the protocol).
+func TestMemoExploitedByScenarioGrid(t *testing.T) {
+	memo := causality.NewMemo()
+	opt := Options{Quick: true, Trials: 100, Memo: memo}
+	if _, err := T16AltValidity(opt); err != nil {
+		t.Fatal(err)
+	}
+	st := memo.Stats()
+	if st.Misses == 0 {
+		t.Fatal("experiment never consulted the memo")
+	}
+	if st.Hits < 6 {
+		t.Errorf("memo hits = %d, want ≥ 6 (3 scenarios × {L, ML} for the second protocol)", st.Hits)
+	}
+}
+
+// TestMemoRepeatedSubmissionHitsAndIdenticalResults mirrors the service
+// shape: one memo lives across job submissions. A re-run of the same
+// experiment must be served from cache and render identically to a
+// memo-less run.
+func TestMemoRepeatedSubmissionHitsAndIdenticalResults(t *testing.T) {
+	memo := causality.NewMemo()
+	opt := Options{Quick: true, Trials: 100, Memo: memo}
+	first, err := F1Tradeoff(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := memo.Stats()
+	second, err := F1Tradeoff(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterSecond := memo.Stats()
+	if afterSecond.Misses != afterFirst.Misses {
+		t.Errorf("second submission recomputed %d tables; want all from cache",
+			afterSecond.Misses-afterFirst.Misses)
+	}
+	if gained := afterSecond.Hits - afterFirst.Hits; gained == 0 {
+		t.Error("second submission never hit the memo")
+	}
+	plain, err := F1Tradeoff(Options{Quick: true, Trials: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Render() != plain.Render() || second.Render() != plain.Render() {
+		t.Error("memoized results differ from memo-less results")
+	}
+}

@@ -71,7 +71,7 @@ func T9Topology(opt Options) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		a, err := s.Analyze(tp.g, good)
+		a, err := s.AnalyzeWith(tp.g, good, opt.Memo)
 		if err != nil {
 			return nil, err
 		}

@@ -41,7 +41,7 @@ func F1Tradeoff(opt Options) (*Result, error) {
 	ok := true
 	for k := 0; k <= n; k++ {
 		r := run.Prefix(good, k)
-		a, err := s.Analyze(g, r)
+		a, err := s.AnalyzeWith(g, r, opt.Memo)
 		if err != nil {
 			return nil, err
 		}
@@ -133,7 +133,7 @@ func F2LivenessS(opt Options) (*Result, error) {
 	seen := map[int]bool{}
 	for k := 0; k <= n; k++ {
 		r := run.Prefix(good, k)
-		a, err := s.Analyze(g, r)
+		a, err := s.AnalyzeWith(g, r, opt.Memo)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,8 @@
+package mc
+
+// FastPathAvailable exposes the fast-path gate so tests can assert which
+// configurations actually bypass the reference loop.
+func FastPathAvailable(cfg Config) bool {
+	pool, fastSampler := newFastPath(cfg)
+	return pool != nil || fastSampler
+}

@@ -94,6 +94,12 @@ type Config struct {
 	// evaluations; 0 means every 1000 trials. Smaller batches stop closer
 	// to the target at the cost of more synchronization barriers.
 	CheckEvery int
+	// Reference forces the reference (allocating) execution path even
+	// when the protocol has a zero-alloc fast state. The fast path is
+	// bit-identical to the reference by construction — the differential
+	// suite runs every job both ways and compares Result JSON — so the
+	// only reason to set this is that comparison itself.
+	Reference bool
 }
 
 // Snapshot is one progress observation of a running job: how many of
@@ -204,6 +210,28 @@ func (t *tally) merge(o *tally) {
 	t.errs = append(t.errs, o.errs...)
 }
 
+// tallyPool recycles per-worker tallies across ranges so the adaptive
+// stopping loop (one runRange per CheckEvery batch) does not allocate a
+// fresh tally and attacks slice per batch per worker.
+var tallyPool = sync.Pool{New: func() any { return new(tally) }}
+
+func getTally(m int) *tally {
+	t := tallyPool.Get().(*tally)
+	if cap(t.attacks) < m+1 {
+		t.attacks = make([]int, m+1)
+	}
+	t.attacks = t.attacks[:m+1]
+	for i := range t.attacks {
+		t.attacks[i] = 0
+	}
+	t.ta, t.pa, t.na = 0, 0, 0
+	t.completed, t.failed = 0, 0
+	t.errs = t.errs[:0]
+	return t
+}
+
+func putTally(t *tally) { tallyPool.Put(t) }
+
 // z95 is the 95% normal quantile used by the default stopping rule.
 const z95 = 1.959963984540054
 
@@ -233,6 +261,13 @@ type estimator struct {
 
 	protoStream rng.Stream
 	runStream   rng.Stream
+
+	// Fast path (see fast.go): pool is set for fixed-run jobs whose
+	// protocol has a zero-alloc engine; fastSampler marks sampler jobs
+	// whose workers build per-horizon engines lazily. Both nil/false
+	// means every trial goes through the reference engine.
+	pool        *sim.EnginePool
+	fastSampler bool
 
 	// failures counts failed trials across workers; passing MaxFailures
 	// trips the breaker and cancels the siblings.
@@ -268,13 +303,84 @@ func (e *estimator) tick() {
 	}
 }
 
+// fail books one failed trial into the worker's tally, charges the
+// shared budget, and cancels the siblings once it is blown.
+func (e *estimator) fail(local *tally, trial int, err error) {
+	local.failed++
+	if len(local.errs) < maxReportedErrors {
+		local.errs = append(local.errs, trialError{trial: uint64(trial), err: err})
+	}
+	if e.failures.Add(1) > int64(e.cfg.MaxFailures) {
+		e.cancel() // budget exhausted: stop the siblings promptly
+	}
+	e.tick()
+}
+
+// record books one completed trial's decision vector into the worker's
+// tally. outs is indexed 1..m and may be reused by the caller's engine.
+func (e *estimator) record(local *tally, outs []bool, m int) {
+	local.completed++
+	e.completedCount.Add(1)
+	for i := 1; i <= m; i++ {
+		if outs[i] {
+			local.attacks[i]++
+		}
+	}
+	switch protocol.Classify(outs) {
+	case protocol.TotalAttack:
+		local.ta++
+	case protocol.PartialAttack:
+		local.pa++
+	default:
+		local.na++
+	}
+	e.tick()
+}
+
+// referenceTrials is the reference worker loop: trials lo+w, lo+w+workers,
+// ... < hi through sim.Outputs with freshly built machines and tapes.
+func (e *estimator) referenceTrials(local *tally, w, workers, lo, hi int) {
+	cfg := e.cfg
+	m := cfg.Graph.NumVertices()
+	for trial := lo + w; trial < hi; trial += workers {
+		if e.ctx.Err() != nil {
+			return
+		}
+		r := cfg.Run
+		if cfg.Sampler != nil {
+			var err error
+			r, err = cfg.Sampler(uint64(trial), e.runStream.Tape(uint64(trial), 0))
+			if err != nil {
+				e.fail(local, trial, fmt.Errorf("mc: sampling run for trial %d: %w", trial, err))
+				continue
+			}
+		}
+		p := cfg.Protocol
+		if cfg.Mutator != nil {
+			var err error
+			p, err = cfg.Mutator(uint64(trial), p)
+			if err != nil {
+				e.fail(local, trial, fmt.Errorf("mc: mutating protocol for trial %d: %w", trial, err))
+				continue
+			}
+		}
+		outs, err := sim.Outputs(p, cfg.Graph, r, sim.StreamTapes(e.protoStream, uint64(trial)))
+		if err != nil {
+			e.fail(local, trial, fmt.Errorf("mc: trial %d: %w", trial, err))
+			continue
+		}
+		e.record(local, outs, m)
+	}
+}
+
 // runRange executes trials [lo, hi) on the worker pool and folds their
 // tallies into the cumulative total. Trial t's tapes depend only on
 // (Seed, t) and the merge is order-independent, so the result of a range
-// is identical at any worker count and any batch decomposition.
+// is identical at any worker count and any batch decomposition — and
+// identical between the reference and fast worker loops, which the
+// differential suite enforces.
 func (e *estimator) runRange(lo, hi int) {
-	cfg := e.cfg
-	m := cfg.Graph.NumVertices()
+	m := e.cfg.Graph.NumVertices()
 	workers := e.workers
 	if workers > hi-lo {
 		workers = hi - lo
@@ -282,70 +388,24 @@ func (e *estimator) runRange(lo, hi int) {
 	tallies := make([]*tally, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		tallies[w] = &tally{attacks: make([]int, m+1)}
+		tallies[w] = getTally(m)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			local := tallies[w]
-			for trial := lo + w; trial < hi; trial += workers {
-				if e.ctx.Err() != nil {
-					return
-				}
-				fail := func(err error) {
-					local.failed++
-					if len(local.errs) < maxReportedErrors {
-						local.errs = append(local.errs, trialError{trial: uint64(trial), err: err})
-					}
-					if e.failures.Add(1) > int64(cfg.MaxFailures) {
-						e.cancel() // budget exhausted: stop the siblings promptly
-					}
-					e.tick()
-				}
-				r := cfg.Run
-				if cfg.Sampler != nil {
-					var err error
-					r, err = cfg.Sampler(uint64(trial), e.runStream.Tape(uint64(trial), 0))
-					if err != nil {
-						fail(fmt.Errorf("mc: sampling run for trial %d: %w", trial, err))
-						continue
-					}
-				}
-				p := cfg.Protocol
-				if cfg.Mutator != nil {
-					var err error
-					p, err = cfg.Mutator(uint64(trial), p)
-					if err != nil {
-						fail(fmt.Errorf("mc: mutating protocol for trial %d: %w", trial, err))
-						continue
-					}
-				}
-				outs, err := sim.Outputs(p, cfg.Graph, r, sim.StreamTapes(e.protoStream, uint64(trial)))
-				if err != nil {
-					fail(fmt.Errorf("mc: trial %d: %w", trial, err))
-					continue
-				}
-				local.completed++
-				e.completedCount.Add(1)
-				for i := 1; i <= m; i++ {
-					if outs[i] {
-						local.attacks[i]++
-					}
-				}
-				switch protocol.Classify(outs) {
-				case protocol.TotalAttack:
-					local.ta++
-				case protocol.PartialAttack:
-					local.pa++
-				default:
-					local.na++
-				}
-				e.tick()
+			switch {
+			case e.pool != nil:
+				e.fastFixedTrials(tallies[w], w, workers, lo, hi)
+			case e.fastSampler:
+				e.fastSamplerTrials(tallies[w], w, workers, lo, hi)
+			default:
+				e.referenceTrials(tallies[w], w, workers, lo, hi)
 			}
 		}(w)
 	}
 	wg.Wait()
 	for _, t := range tallies {
 		e.total.merge(t)
+		putTally(t)
 	}
 }
 
@@ -422,6 +482,7 @@ func Estimate(cfg Config) (*Result, error) {
 		every:       every,
 		total:       &tally{attacks: make([]int, cfg.Graph.NumVertices()+1)},
 	}
+	e.pool, e.fastSampler = newFastPath(cfg)
 
 	stop := cfg.StopWhen
 	if stop == nil && cfg.TargetCIWidth > 0 {

@@ -1,0 +1,171 @@
+package rng
+
+import "testing"
+
+// drain pulls a mixed sequence of draws from a tape so two tapes can be
+// compared over every draw kind, not just Uint64.
+func drain(t *testing.T, tape *Tape) [64]uint64 {
+	t.Helper()
+	var out [64]uint64
+	for i := range out {
+		switch i % 4 {
+		case 0:
+			v, err := tape.Uint64()
+			if err != nil {
+				t.Fatalf("Uint64: %v", err)
+			}
+			out[i] = v
+		case 1:
+			b, err := tape.Bit()
+			if err != nil {
+				t.Fatalf("Bit: %v", err)
+			}
+			out[i] = uint64(b)
+		case 2:
+			v, err := tape.UintN(97)
+			if err != nil {
+				t.Fatalf("UintN: %v", err)
+			}
+			out[i] = v
+		case 3:
+			f, err := tape.Float64Open01()
+			if err != nil {
+				t.Fatalf("Float64Open01: %v", err)
+			}
+			out[i] = uint64(f * (1 << 53))
+		}
+	}
+	return out
+}
+
+func TestTapeReseedMatchesNewTape(t *testing.T) {
+	reused := NewTape(0xdead)
+	// Dirty every piece of tape state before reseeding.
+	for i := 0; i < 100; i++ {
+		if _, err := reused.Bit(); err != nil {
+			t.Fatalf("Bit: %v", err)
+		}
+	}
+	for _, seed := range []uint64{0, 1, 42, 0x9e3779b97f4a7c15, ^uint64(0)} {
+		reused.Reseed(seed)
+		fresh := NewTape(seed)
+		if got, want := drain(t, reused), drain(t, fresh); got != want {
+			t.Fatalf("seed %#x: reseeded tape diverged from NewTape", seed)
+		}
+		// Fork lineage must follow the reseed too.
+		reused.Reseed(seed)
+		a := drain(t, reused.Fork(7))
+		b := drain(t, NewTape(seed).Fork(7))
+		if a != b {
+			t.Fatalf("seed %#x: fork after Reseed diverged", seed)
+		}
+	}
+}
+
+func TestStreamReseedMatchesStreamTape(t *testing.T) {
+	s := NewStream(1992)
+	reused := NewTape(0)
+	for trial := uint64(0); trial < 20; trial++ {
+		for proc := uint64(0); proc <= 5; proc++ {
+			s.Reseed(reused, trial, proc)
+			if got, want := drain(t, reused), drain(t, s.Tape(trial, proc)); got != want {
+				t.Fatalf("trial %d proc %d: Stream.Reseed diverged from Stream.Tape", trial, proc)
+			}
+		}
+	}
+}
+
+func TestSeedPageMatchesStreamTape(t *testing.T) {
+	s := NewStream(0xc0ffee)
+	var page SeedPage
+	page.Fill(s, 10, 40, 6)
+	reused := NewTape(0)
+	for trial := uint64(10); trial < 40; trial++ {
+		for proc := uint64(0); proc <= 6; proc++ {
+			reused.Reseed(page.Seed(trial, proc))
+			if got, want := drain(t, reused), drain(t, s.Tape(trial, proc)); got != want {
+				t.Fatalf("trial %d proc %d: page seed diverged from Stream.Tape", trial, proc)
+			}
+		}
+	}
+	// Out-of-range lookups fall back to the direct formula.
+	if got, want := page.Seed(1000, 3), s.tapeSeed(1000, 3); got != want {
+		t.Fatalf("out-of-range Seed = %#x, want %#x", got, want)
+	}
+	if got, want := page.Seed(15, 9), s.tapeSeed(15, 9); got != want {
+		t.Fatalf("out-of-proc Seed = %#x, want %#x", got, want)
+	}
+}
+
+func TestSeedPageEnsure(t *testing.T) {
+	s := NewStream(7)
+	var page SeedPage
+	page.Ensure(s, 5, 3)
+	if page.lo != 5 || page.hi != 5+DefaultPageTrials {
+		t.Fatalf("Ensure range = [%d, %d)", page.lo, page.hi)
+	}
+	before := &page.seeds[0]
+	page.Ensure(s, 5+DefaultPageTrials-1, 3) // still covered: no refill
+	if &page.seeds[0] != before || page.lo != 5 {
+		t.Fatal("Ensure refilled a covered page")
+	}
+	page.Ensure(s, 5+DefaultPageTrials, 3) // past the edge: refill
+	if page.lo != 5+DefaultPageTrials {
+		t.Fatalf("Ensure did not advance, lo = %d", page.lo)
+	}
+	if got, want := page.Seed(5+DefaultPageTrials, 2), s.tapeSeed(5+DefaultPageTrials, 2); got != want {
+		t.Fatalf("Seed after refill = %#x, want %#x", got, want)
+	}
+	// A different stream with the same range must also refill.
+	page.Ensure(NewStream(8), 5+DefaultPageTrials, 3)
+	if got, want := page.Seed(5+DefaultPageTrials, 2), NewStream(8).tapeSeed(5+DefaultPageTrials, 2); got != want {
+		t.Fatalf("Seed after stream switch = %#x, want %#x", got, want)
+	}
+}
+
+func TestBankReseedFrom(t *testing.T) {
+	s := NewStream(31)
+	var page SeedPage
+	page.Ensure(s, 0, 4)
+	bank := NewBank(4)
+	if bank.Procs() != 4 {
+		t.Fatalf("Procs = %d", bank.Procs())
+	}
+	for trial := uint64(0); trial < 8; trial++ {
+		bank.ReseedFrom(&page, trial)
+		for proc := 0; proc <= 4; proc++ {
+			if got, want := drain(t, bank.Tape(proc)), drain(t, s.Tape(trial, uint64(proc))); got != want {
+				t.Fatalf("trial %d proc %d: bank tape diverged", trial, proc)
+			}
+		}
+	}
+	bank.Grow(6)
+	if bank.Procs() != 6 {
+		t.Fatalf("Procs after Grow = %d", bank.Procs())
+	}
+	bank.Grow(2) // never shrinks
+	if bank.Procs() != 6 {
+		t.Fatalf("Procs after no-op Grow = %d", bank.Procs())
+	}
+}
+
+func TestHotPathAllocs(t *testing.T) {
+	s := NewStream(1992)
+	var page SeedPage
+	page.Ensure(s, 0, 4)
+	bank := NewBank(4)
+	trial := uint64(0)
+	allocs := testing.AllocsPerRun(200, func() {
+		page.Ensure(s, trial, 4)
+		bank.ReseedFrom(&page, trial)
+		for proc := 0; proc <= 4; proc++ {
+			if _, err := bank.Tape(proc).Uint64(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		trial++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state reseed loop allocates %v per trial, want 0", allocs)
+	}
+}

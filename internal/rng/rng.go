@@ -64,8 +64,17 @@ type Xoshiro256 struct {
 // NewXoshiro256 returns a generator whose state is expanded from seed via
 // SplitMix64, per the reference initialization procedure.
 func NewXoshiro256(seed uint64) *Xoshiro256 {
-	sm := NewSplitMix64(seed)
 	var x Xoshiro256
+	x.Seed(seed)
+	return &x
+}
+
+// Seed reinitializes the generator in place from seed, exactly as
+// NewXoshiro256 would: the same seed always yields the same stream. It
+// exists so hot loops can recycle one generator across trials without
+// allocating.
+func (x *Xoshiro256) Seed(seed uint64) {
+	sm := SplitMix64{state: seed}
 	for i := range x.s {
 		x.s[i] = sm.Next()
 	}
@@ -74,7 +83,6 @@ func NewXoshiro256(seed uint64) *Xoshiro256 {
 	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
 		x.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &x
 }
 
 // Jump advances the generator by 2^128 steps — equivalent to 2^128 calls
@@ -120,7 +128,7 @@ func (x *Xoshiro256) Uint64() uint64 {
 // A Tape is not safe for concurrent use; each process owns its own tape,
 // exactly as each general owns its own α_i.
 type Tape struct {
-	src      *Xoshiro256
+	src      Xoshiro256
 	budget   int // J; 0 means unlimited
 	consumed int // bits drawn so far
 
@@ -132,7 +140,9 @@ type Tape struct {
 
 // NewTape returns an unbounded tape seeded with seed.
 func NewTape(seed uint64) *Tape {
-	return &Tape{src: NewXoshiro256(seed), lineage: seed}
+	t := &Tape{lineage: seed}
+	t.src.Seed(seed)
+	return t
 }
 
 // NewBoundedTape returns a tape that permits at most budget bits (the
@@ -141,7 +151,22 @@ func NewBoundedTape(seed uint64, budget int) (*Tape, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("rng: budget must be positive, got %d", budget)
 	}
-	return &Tape{src: NewXoshiro256(seed), budget: budget, lineage: seed}, nil
+	t := &Tape{budget: budget, lineage: seed}
+	t.src.Seed(seed)
+	return t, nil
+}
+
+// Reseed reinitializes the tape in place to the exact state NewTape(seed)
+// would return: same stream, same (unbounded) budget, zero bits consumed.
+// It allocates nothing, which is what lets the fast trial engines reuse
+// one tape per process across millions of trials.
+func (t *Tape) Reseed(seed uint64) {
+	t.src.Seed(seed)
+	t.budget = 0
+	t.consumed = 0
+	t.word = 0
+	t.wordLeft = 0
+	t.lineage = seed
 }
 
 // Consumed reports the number of random bits drawn from the tape so far.
@@ -265,7 +290,7 @@ func (t *Tape) Bernoulli(p float64) (bool, error) {
 // streams without correlation.
 func (t *Tape) Fork(label uint64) *Tape {
 	seed := Mix64(t.lineage ^ Mix64(label)*0x9e3779b97f4a7c15)
-	return &Tape{src: NewXoshiro256(seed), lineage: seed}
+	return NewTape(seed)
 }
 
 func (t *Tape) setLineage(l uint64) *Tape { t.lineage = l; return t }
@@ -290,9 +315,7 @@ func (s Stream) Seed() uint64 { return s.seed }
 // Tape returns the tape for (trial, proc). Distinct label pairs yield
 // statistically independent tapes.
 func (s Stream) Tape(trial, proc uint64) *Tape {
-	seed := Mix64(s.seed ^ Mix64(trial+0x1234)*0x9e3779b97f4a7c15 ^ Mix64(proc+0xabcd))
-	t := NewTape(seed)
-	return t.setLineage(seed)
+	return NewTape(s.tapeSeed(trial, proc))
 }
 
 // Sub derives a child stream for a named sub-experiment.

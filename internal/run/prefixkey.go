@@ -1,0 +1,35 @@
+package run
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PrefixKey is a canonical identity for a truncated run, used as the
+// memoization key for level-table caches: two (run, cutoff) pairs share a
+// key exactly when Prefix(r, k) would produce Equal runs. The string form
+// keeps keys comparable and printable in cache statistics.
+type PrefixKey string
+
+// PrefixKey returns the key identifying Prefix(r, k) — the run with only
+// deliveries in rounds ≤ k — without materializing the truncated run.
+// PrefixKey(r.N()) identifies r itself. Sweep grids evaluating the same
+// run prefix under many protocol parameters collide on this key, which is
+// where the level-table memo earns its keep.
+func (r *Run) PrefixKey(k int) PrefixKey {
+	if k > r.n {
+		k = r.n
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "N=%d|I=", r.n)
+	for _, i := range r.Inputs() {
+		fmt.Fprintf(&b, "%d,", i)
+	}
+	b.WriteString("|M=")
+	for _, d := range r.Deliveries() {
+		if d.Round <= k {
+			fmt.Fprintf(&b, "%d>%d@%d,", d.From, d.To, d.Round)
+		}
+	}
+	return PrefixKey(b.String())
+}

@@ -1,0 +1,225 @@
+package run
+
+import (
+	"fmt"
+	"math/bits"
+
+	"coordattack/internal/graph"
+)
+
+// Set is a flat bitset representation of a run over a fixed universe of
+// m processes and n rounds: one bit per possible input (v₀, i, 0) and one
+// bit per possible delivery tuple (from, to, round). It answers the same
+// questions as *Run — HasInput, Delivered — in O(1) with zero allocation,
+// which is what the fast trial engines execute against; *Run stays the
+// canonical, graph-agnostic representation for everything else.
+//
+// Delivery (from, to, round) lives at bit
+//
+//	((round-1)·m + (from-1))·m + (to-1)
+//
+// so ascending bit order is exactly the canonical (round, from, to) order
+// used by Run.Deliveries, Key, and Format — converting Set → Run → Set is
+// the identity, which FuzzRunSetRoundTrip pins.
+//
+// A Set is not safe for concurrent mutation. Engines treat a loaded Set
+// as frozen, exactly like a *Run handed to an engine.
+type Set struct {
+	n, m   int
+	inputs []uint64 // bit i-1 set ⇔ (v₀, i, 0) ∈ I(R)
+	msgs   []uint64 // delivery bitset, indexed as above
+}
+
+// NewSet returns an empty set over n ≥ 1 rounds and m ≥ 1 processes.
+func NewSet(n, m int) (*Set, error) {
+	s := &Set{}
+	if err := s.Reset(n, m); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNewSet is NewSet but panics on error, for tests and literals.
+func MustNewSet(n, m int) *Set {
+	s, err := NewSet(n, m)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Reset clears the set and re-dimensions it for n rounds and m processes,
+// reusing the backing arrays when they are large enough. This is the
+// pool-recycle entry point: one Set serves many (n, m) shapes.
+func (s *Set) Reset(n, m int) error {
+	if n < 1 {
+		return fmt.Errorf("run: set needs N ≥ 1, got %d", n)
+	}
+	if m < 1 {
+		return fmt.Errorf("run: set needs m ≥ 1, got %d", m)
+	}
+	s.n, s.m = n, m
+	s.inputs = resizeCleared(s.inputs, (m+63)/64)
+	s.msgs = resizeCleared(s.msgs, (n*m*m+63)/64)
+	return nil
+}
+
+func resizeCleared(w []uint64, words int) []uint64 {
+	if cap(w) < words {
+		return make([]uint64, words)
+	}
+	w = w[:words]
+	for i := range w {
+		w[i] = 0
+	}
+	return w
+}
+
+// N reports the number of rounds.
+func (s *Set) N() int { return s.n }
+
+// M reports the process universe size.
+func (s *Set) M() int { return s.m }
+
+func (s *Set) deliveryBit(from, to graph.ProcID, round int) (word int, mask uint64, ok bool) {
+	if round < 1 || round > s.n || from < 1 || int(from) > s.m || to < 1 || int(to) > s.m {
+		return 0, 0, false
+	}
+	idx := ((round-1)*s.m+int(from-1))*s.m + int(to-1)
+	return idx >> 6, 1 << uint(idx&63), true
+}
+
+// AddInput records (v₀, i, 0) ∈ I(R). i must be in 1..m.
+func (s *Set) AddInput(i graph.ProcID) error {
+	if i < 1 || int(i) > s.m {
+		return fmt.Errorf("run: set input %d outside 1..%d", i, s.m)
+	}
+	s.inputs[(i-1)>>6] |= 1 << uint((i-1)&63)
+	return nil
+}
+
+// HasInput reports whether (v₀, i, 0) ∈ I(R).
+func (s *Set) HasInput(i graph.ProcID) bool {
+	if i < 1 || int(i) > s.m {
+		return false
+	}
+	return s.inputs[(i-1)>>6]&(1<<uint((i-1)&63)) != 0
+}
+
+// AnyInput reports whether I(R) is nonempty.
+func (s *Set) AnyInput() bool {
+	for _, w := range s.inputs {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Deliver records (from, to, round) ∈ M(R), with the same constraints as
+// Run.Deliver plus the universe bound from, to ≤ m.
+func (s *Set) Deliver(from, to graph.ProcID, round int) error {
+	if from == to {
+		return fmt.Errorf("run: self-delivery at process %d", from)
+	}
+	word, mask, ok := s.deliveryBit(from, to, round)
+	if !ok {
+		return fmt.Errorf("run: delivery (%d,%d,%d) outside set universe N=%d m=%d",
+			from, to, round, s.n, s.m)
+	}
+	s.msgs[word] |= mask
+	return nil
+}
+
+// Delivered reports whether (from, to, round) ∈ M(R). Out-of-universe
+// tuples are simply absent, matching Run.Delivered.
+func (s *Set) Delivered(from, to graph.ProcID, round int) bool {
+	word, mask, ok := s.deliveryBit(from, to, round)
+	return ok && s.msgs[word]&mask != 0
+}
+
+// NumDeliveries reports |M(R)|.
+func (s *Set) NumDeliveries() int {
+	total := 0
+	for _, w := range s.msgs {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// LoadRun clears the set and loads r into the universe of m processes.
+// It fails if any input or delivery endpoint falls outside 1..m — *Run
+// does not bound process IDs, so the caller names the universe (normally
+// the graph's vertex count).
+func (s *Set) LoadRun(r *Run, m int) error {
+	if err := s.Reset(r.n, m); err != nil {
+		return err
+	}
+	for i := range r.inputs {
+		if err := s.AddInput(i); err != nil {
+			return err
+		}
+	}
+	for d := range r.msgs {
+		if err := s.Deliver(d.From, d.To, d.Round); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run converts the set back to the canonical representation. The result
+// Equal()s — and has the same Key and Format as — any run the set was
+// loaded from within the same universe.
+func (s *Set) Run() *Run {
+	r := MustNew(s.n)
+	for i := 1; i <= s.m; i++ {
+		if s.HasInput(graph.ProcID(i)) {
+			r.AddInput(graph.ProcID(i))
+		}
+	}
+	s.ForEachDelivery(func(d Delivery) {
+		r.msgs[d] = true
+	})
+	return r
+}
+
+// ForEachDelivery calls f for every delivery in canonical (round, from,
+// to) order, allocating nothing. It word-skips empty regions, so sparse
+// sets iterate in time proportional to the population count.
+func (s *Set) ForEachDelivery(f func(Delivery)) {
+	m := s.m
+	for wi, w := range s.msgs {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &= w - 1
+			idx := wi<<6 + bit
+			to := idx % m
+			rest := idx / m
+			f(Delivery{
+				From:  graph.ProcID(rest%m + 1),
+				To:    graph.ProcID(to + 1),
+				Round: rest/m + 1,
+			})
+		}
+	}
+}
+
+// Equal reports whether two sets describe the same run over the same
+// universe.
+func (s *Set) Equal(o *Set) bool {
+	if o == nil || s.n != o.n || s.m != o.m {
+		return false
+	}
+	for i := range s.inputs {
+		if s.inputs[i] != o.inputs[i] {
+			return false
+		}
+	}
+	for i := range s.msgs {
+		if s.msgs[i] != o.msgs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,75 @@
+package run_test
+
+import (
+	"testing"
+
+	"coordattack/internal/causality"
+	"coordattack/internal/graph"
+	"coordattack/internal/run"
+)
+
+// FuzzRunSetRoundTrip drives the bitset representation with arbitrary
+// delivery/input tuples and checks that Set ↔ *run.Run conversion is
+// lossless: the round-tripped run has identical Format and Key, and the
+// flows-to relation — the semantic content a run carries — answers the
+// same on both. The fuzzer owns the shape (N, m, tuple stream), so any
+// indexing bug in the bit layout shows up as a corrupted round trip.
+func FuzzRunSetRoundTrip(f *testing.F) {
+	f.Add(uint8(3), uint8(4), []byte{1, 2, 1, 0, 2, 1, 3, 1, 3, 4, 2, 0})
+	f.Add(uint8(1), uint8(2), []byte{})
+	f.Add(uint8(6), uint8(8), []byte{7, 8, 6, 1, 8, 7, 1, 0, 1, 8, 3, 1})
+	f.Fuzz(func(t *testing.T, nRaw, mRaw uint8, tuples []byte) {
+		n := int(nRaw%8) + 1
+		m := int(mRaw%10) + 1
+		r := run.MustNew(n)
+		for len(tuples) >= 4 {
+			from := graph.ProcID(int(tuples[0])%m) + 1
+			to := graph.ProcID(int(tuples[1])%m) + 1
+			round := int(tuples[2])%n + 1
+			if tuples[3]&1 == 1 {
+				r.AddInput(graph.ProcID(int(tuples[3])%m) + 1)
+			}
+			if from != to {
+				r.MustDeliver(from, to, round)
+			}
+			tuples = tuples[4:]
+		}
+
+		s := run.MustNewSet(n, m)
+		if err := s.LoadRun(r, m); err != nil {
+			t.Fatalf("LoadRun rejected an in-universe run: %v", err)
+		}
+		back := s.Run()
+		if !back.Equal(r) {
+			t.Fatalf("round trip changed run:\n  in  %v\n  out %v", r, back)
+		}
+		if back.Key() != r.Key() {
+			t.Fatalf("round trip changed Key:\n  in  %q\n  out %q", r.Key(), back.Key())
+		}
+		if run.Format(back) != run.Format(r) {
+			t.Fatalf("round trip changed Format:\n  in  %q\n  out %q", run.Format(r), run.Format(back))
+		}
+
+		// The flows-to relation must agree tuple for tuple. Keep the probe
+		// grid small: flows-to is cubic-ish and the fuzzer runs this body
+		// thousands of times.
+		for i := graph.ProcID(1); int(i) <= m && i <= 3; i++ {
+			for j := graph.ProcID(1); int(j) <= m && j <= 3; j++ {
+				for s0 := 0; s0 <= n && s0 <= 2; s0++ {
+					if causality.FlowsTo(r, m, i, s0, j, n) != causality.FlowsTo(back, m, i, s0, j, n) {
+						t.Fatalf("FlowsTo(%d@%d → %d@%d) differs after round trip on %v", i, s0, j, n, r)
+					}
+				}
+			}
+		}
+
+		// Loading the round-tripped run reproduces the identical bitset.
+		s2 := run.MustNewSet(n, m)
+		if err := s2.LoadRun(back, m); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Equal(s2) {
+			t.Fatal("re-loading the round-tripped run produced a different bitset")
+		}
+	})
+}

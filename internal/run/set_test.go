@@ -1,0 +1,181 @@
+package run
+
+import (
+	"testing"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/rng"
+)
+
+func mustComplete(t *testing.T, m int) *graph.G {
+	t.Helper()
+	g, err := graph.Complete(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSetMatchesRunOnRandomSubsets(t *testing.T) {
+	g := mustComplete(t, 5)
+	stream := rng.NewStream(404)
+	for trial := uint64(0); trial < 40; trial++ {
+		r, err := RandomSubset(g, 4, stream.Tape(trial, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := MustNewSet(4, 5)
+		if err := s.LoadRun(r, 5); err != nil {
+			t.Fatal(err)
+		}
+		if s.N() != r.N() || s.M() != 5 {
+			t.Fatalf("dims (%d, %d)", s.N(), s.M())
+		}
+		for i := graph.ProcID(1); i <= 5; i++ {
+			if s.HasInput(i) != r.HasInput(i) {
+				t.Fatalf("trial %d: HasInput(%d) mismatch", trial, i)
+			}
+		}
+		if s.AnyInput() != r.AnyInput() {
+			t.Fatalf("trial %d: AnyInput mismatch", trial)
+		}
+		for round := 1; round <= 4; round++ {
+			for from := graph.ProcID(1); from <= 5; from++ {
+				for to := graph.ProcID(1); to <= 5; to++ {
+					if s.Delivered(from, to, round) != r.Delivered(from, to, round) {
+						t.Fatalf("trial %d: Delivered(%d,%d,%d) mismatch", trial, from, to, round)
+					}
+				}
+			}
+		}
+		if s.NumDeliveries() != r.NumDeliveries() {
+			t.Fatalf("trial %d: NumDeliveries %d != %d", trial, s.NumDeliveries(), r.NumDeliveries())
+		}
+		back := s.Run()
+		if !back.Equal(r) {
+			t.Fatalf("trial %d: round trip lost the run:\n  in  %v\n  out %v", trial, r, back)
+		}
+		if back.Key() != r.Key() || Format(back) != Format(r) {
+			t.Fatalf("trial %d: round trip changed Key/Format", trial)
+		}
+	}
+}
+
+func TestSetForEachDeliveryCanonicalOrder(t *testing.T) {
+	r := MustNew(3).
+		MustDeliver(2, 1, 3).
+		MustDeliver(1, 2, 1).
+		MustDeliver(3, 1, 1).
+		MustDeliver(1, 3, 2)
+	s := MustNewSet(3, 3)
+	if err := s.LoadRun(r, 3); err != nil {
+		t.Fatal(err)
+	}
+	var got []Delivery
+	s.ForEachDelivery(func(d Delivery) { got = append(got, d) })
+	want := r.Deliveries() // sorted by (round, from, to)
+	if len(got) != len(want) {
+		t.Fatalf("got %d deliveries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %v, want %v (bit order must equal canonical order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSetRejectsOutOfUniverse(t *testing.T) {
+	s := MustNewSet(2, 3)
+	if err := s.Deliver(1, 4, 1); err == nil {
+		t.Fatal("Deliver accepted a receiver outside the universe")
+	}
+	if err := s.Deliver(1, 2, 3); err == nil {
+		t.Fatal("Deliver accepted a round outside 1..N")
+	}
+	if err := s.Deliver(2, 2, 1); err == nil {
+		t.Fatal("Deliver accepted a self-delivery")
+	}
+	if err := s.AddInput(0); err == nil {
+		t.Fatal("AddInput accepted process 0")
+	}
+	if s.Delivered(1, 4, 1) || s.HasInput(9) {
+		t.Fatal("out-of-universe queries must answer false")
+	}
+	r := MustNew(2).MustDeliver(1, 7, 1)
+	if err := s.LoadRun(r, 3); err == nil {
+		t.Fatal("LoadRun accepted a run outside the universe")
+	}
+}
+
+func TestSetResetReusesBacking(t *testing.T) {
+	s := MustNewSet(6, 8)
+	if err := s.Deliver(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddInput(5); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.Reset(4, 6); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset into a smaller universe allocates %v, want 0", allocs)
+	}
+	if s.NumDeliveries() != 0 || s.AnyInput() {
+		t.Fatal("Reset left stale bits")
+	}
+	if s.Delivered(1, 2, 3) {
+		t.Fatal("Reset left a stale delivery visible")
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	a := MustNewSet(2, 3)
+	b := MustNewSet(2, 3)
+	if !a.Equal(b) {
+		t.Fatal("empty sets must be equal")
+	}
+	if err := a.Deliver(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(b) {
+		t.Fatal("sets with different deliveries compare equal")
+	}
+	if a.Equal(MustNewSet(2, 4)) || a.Equal(nil) {
+		t.Fatal("dimension/nil mismatches compare equal")
+	}
+}
+
+func TestPrefixKeyMatchesPrefix(t *testing.T) {
+	g := mustComplete(t, 4)
+	stream := rng.NewStream(77)
+	for trial := uint64(0); trial < 25; trial++ {
+		r, err := RandomSubset(g, 5, stream.Tape(trial, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= 6; k++ {
+			// The key of "r truncated at k" must be the key the truncated
+			// run reports for itself in full.
+			pref := Prefix(r, k)
+			if got, want := r.PrefixKey(k), pref.PrefixKey(pref.N()); got != want {
+				t.Fatalf("trial %d k=%d: PrefixKey mismatch\n  got  %q\n  want %q", trial, k, got, want)
+			}
+		}
+		if r.PrefixKey(r.N()) != r.PrefixKey(99) {
+			t.Fatal("k beyond N must clamp to N")
+		}
+	}
+	// Distinct prefixes get distinct keys.
+	a := MustNew(3).MustDeliver(1, 2, 1).MustDeliver(1, 2, 2)
+	if a.PrefixKey(1) == a.PrefixKey(2) {
+		t.Fatal("prefixes differing at round 2 share a key")
+	}
+	// Same prefix, different suffix: keys collide (that is the point).
+	b := a.Clone().MustDeliver(2, 1, 3)
+	if a.PrefixKey(1) != b.PrefixKey(1) {
+		t.Fatal("runs agreeing through round 1 must share PrefixKey(1)")
+	}
+}

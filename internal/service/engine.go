@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"coordattack/internal/causality"
 	"coordattack/internal/cliutil"
 	"coordattack/internal/experiments"
 	"coordattack/internal/fault"
@@ -51,11 +52,15 @@ func engineRunFunc(eng engine) RunFunc {
 }
 
 // engines is the registry the scheduler dispatches through, keyed by
-// JobSpec.Engine.
+// JobSpec.Engine. The experiment engine carries a service-lifetime
+// level-table memo: repeated submissions (and the prefix ladders inside
+// one experiment) share causality work across jobs. The memo never
+// changes results — only how often the closure is recomputed — so
+// cache-hit bodies stay bit-identical to recomputation.
 func engineRegistry() map[string]engine {
 	return map[string]engine{
 		EngineMC:         mcEngine{},
-		EngineExperiment: expEngine{},
+		EngineExperiment: expEngine{memo: causality.NewMemo()},
 	}
 }
 
@@ -255,14 +260,18 @@ func (mcEngine) run(ctx context.Context, spec JobSpec, p runParams) (json.RawMes
 	return data, estErr
 }
 
-type expEngine struct{}
+type expEngine struct {
+	memo *causality.Memo
+}
 
-func (expEngine) run(ctx context.Context, spec JobSpec, p runParams) (json.RawMessage, error) {
+func (x expEngine) run(ctx context.Context, spec JobSpec, p runParams) (json.RawMessage, error) {
 	e, err := experiments.ByID(spec.Experiment)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Run(experiments.Options{Trials: spec.Trials, Seed: spec.Seed, Quick: spec.Quick, Ctx: ctx})
+	res, err := e.Run(experiments.Options{
+		Trials: spec.Trials, Seed: spec.Seed, Quick: spec.Quick, Ctx: ctx, Memo: x.memo,
+	})
 	if err != nil {
 		return nil, err
 	}

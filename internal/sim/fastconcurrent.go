@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"coordattack/internal/graph"
+	"coordattack/internal/protocol"
+	"coordattack/internal/rng"
+	"coordattack/internal/run"
+)
+
+// ConcurrentEngine is the zero-alloc counterpart of ConcurrentOutputs:
+// one persistent goroutine per general, advancing the shared
+// struct-of-arrays state against the run bitset with a single barrier per
+// round. Where ConcurrentOutputs spawns m goroutines, allocates channels,
+// and boxes messages for every execution, this engine spawns its workers
+// once and runs trials against them until Close.
+//
+// Race freedom comes from the FastState buffer contract: within a round,
+// worker i reads only previous-parity state and writes only its own slot
+// of the current parity buffer, so workers never touch the same memory in
+// the same round; the barrier orders rounds.
+//
+// Use Trial/TrialSeeded from a single goroutine. Close releases the
+// workers; a ConcurrentEngine is not usable afterwards.
+type ConcurrentEngine struct {
+	p     protocol.FastProtocol
+	n, m  int
+	g     *graph.G
+	state protocol.FastState
+	rs    *run.Set
+	bank  *rng.Bank
+	page  rng.SeedPage
+	outs  []bool
+
+	bar    *barrier // m workers + the driving goroutine
+	errs   []error  // per-process step error for the current trial
+	stop   bool     // read by workers at the start-of-trial gate
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewConcurrentEngine builds the persistent-worker engine for p on g with
+// horizon n. The error wraps ErrNoFastPath when the fast path is
+// unavailable, exactly like NewEngine.
+func NewConcurrentEngine(p protocol.Protocol, g *graph.G, n int) (*ConcurrentEngine, error) {
+	fp, ok := p.(protocol.FastProtocol)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s has no fast state", ErrNoFastPath, p.Name())
+	}
+	state, err := fp.NewFastState(g, n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrNoFastPath, p.Name(), err)
+	}
+	m := g.NumVertices()
+	rs, err := run.NewSet(n, m)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoFastPath, err)
+	}
+	ce := &ConcurrentEngine{
+		p:     fp,
+		n:     n,
+		m:     m,
+		g:     g,
+		state: state,
+		rs:    rs,
+		bank:  rng.NewBank(m),
+		outs:  make([]bool, m+1),
+		bar:   newBarrier(m + 1),
+		errs:  make([]error, m+1),
+	}
+	for i := 1; i <= m; i++ {
+		ce.wg.Add(1)
+		go ce.worker(graph.ProcID(i))
+	}
+	return ce, nil
+}
+
+// worker is one general's loop: wait at the start-of-trial gate, then
+// step every round, pacing the barrier even after an error so peers never
+// deadlock (mirroring ConcurrentOutputs' failure isolation).
+func (ce *ConcurrentEngine) worker(id graph.ProcID) {
+	defer ce.wg.Done()
+	for {
+		ce.bar.Await() // start-of-trial gate (or shutdown release)
+		if ce.stop {
+			return
+		}
+		failed := false
+		for round := 1; round <= ce.n; round++ {
+			if !failed {
+				if err := ce.safeFastStep(id, round); err != nil {
+					ce.errs[id] = err
+					failed = true
+				}
+			}
+			ce.bar.Await()
+		}
+	}
+}
+
+func (ce *ConcurrentEngine) safeFastStep(id graph.ProcID, round int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &MachineError{
+				Protocol: ce.p.Name(), Proc: id, Round: round, Phase: "step",
+				Panicked: true, Value: v,
+			}
+		}
+	}()
+	return ce.state.Step(ce.rs, round, id)
+}
+
+// LoadRun loads r as the run every subsequent trial executes.
+func (ce *ConcurrentEngine) LoadRun(r *run.Run) error {
+	if r.N() != ce.n {
+		return fmt.Errorf("sim: engine built for N=%d, run has N=%d", ce.n, r.N())
+	}
+	if err := r.Validate(ce.g); err != nil {
+		return fmt.Errorf("sim: run does not fit graph: %w", err)
+	}
+	return ce.rs.LoadRun(r, ce.m)
+}
+
+// RunSet exposes the engine's bitset; mutate only between trials.
+func (ce *ConcurrentEngine) RunSet() *run.Set { return ce.rs }
+
+// Trial executes one trial with the tapes of stream.Tape(trial, ·). The
+// returned slice is reused by the next trial.
+func (ce *ConcurrentEngine) Trial(stream rng.Stream, trial uint64) ([]bool, error) {
+	ce.page.Ensure(stream, trial, ce.m)
+	ce.bank.ReseedFrom(&ce.page, trial)
+	return ce.TrialSeeded()
+}
+
+// TrialSeeded executes one trial with the bank as already seeded.
+func (ce *ConcurrentEngine) TrialSeeded() ([]bool, error) {
+	if ce.closed {
+		return nil, fmt.Errorf("sim: trial on closed ConcurrentEngine")
+	}
+	if err := ce.state.Init(ce.rs, ce.bank); err != nil {
+		return nil, err
+	}
+	for i := 1; i <= ce.m; i++ {
+		ce.errs[i] = nil
+	}
+	ce.bar.Await() // release workers into round 1
+	for round := 1; round <= ce.n; round++ {
+		ce.bar.Await() // all workers have finished this round
+	}
+	for i := 1; i <= ce.m; i++ {
+		if ce.errs[i] != nil {
+			return nil, ce.errs[i]
+		}
+	}
+	for i := 1; i <= ce.m; i++ {
+		ce.outs[i] = ce.state.Output(graph.ProcID(i))
+	}
+	return ce.outs, nil
+}
+
+// Close releases the worker goroutines. Safe to call twice.
+func (ce *ConcurrentEngine) Close() {
+	if ce.closed {
+		return
+	}
+	ce.closed = true
+	ce.stop = true // visible to workers via the barrier's lock
+	ce.bar.Await() // release workers from the start-of-trial gate
+	ce.wg.Wait()
+}
