@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-check report quick-report fault-demo service-demo sweep-demo persist-demo chaos-demo queue-demo cluster-demo fuzz fuzz-spec clean
+.PHONY: all build test test-race bench bench-json bench-check report quick-report fault-demo service-demo sweep-demo persist-demo chaos-demo queue-demo cluster-demo cluster-chaos-demo fuzz fuzz-spec clean
 
 all: build test
 
@@ -234,6 +234,102 @@ cluster-demo:
 	curl -s http://127.0.0.1:8353/v1/jobs -d "$$spec" | grep -Eq '"cached": true'; \
 	echo "restarted C answered the original spec from its disk tier"; \
 	echo "cluster-demo: OK"
+
+# Cluster chaos demo: replication + repair under a real SIGKILL. Three
+# nodes with -replicas 2 and a fast repair loop settle an 8-key load
+# and converge every key onto two nodes; C is then SIGKILLed with a
+# fresh backlog in flight and the survivors must serve every
+# previously-settled key from their replicas; C restarts over a WIPED
+# store directory and the anti-entropy repair loop re-populates it
+# until the whole cluster reconverges (every key on >= 2 nodes,
+# breakers back to closed).
+cluster-chaos-demo:
+	$(GO) build -o /tmp/coordd ./cmd/coordd
+	@set -e; \
+	root=$$(mktemp -d); \
+	peers='127.0.0.1:8361,127.0.0.1:8362,127.0.0.1:8363'; \
+	boot() { \
+		/tmp/coordd -addr 127.0.0.1:$$1 -workers 1 -peers $$peers \
+			-replicas 2 -repair-interval 500ms -steal-interval 250ms \
+			-store-dir $$root/$$1/store -queue-dir $$root/$$1/queue \
+			& echo $$! > $$root/$$1.pid; \
+	}; \
+	for p in 8361 8362 8363; do \
+		mkdir -p $$root/$$p/store $$root/$$p/queue; boot $$p; \
+	done; \
+	trap 'kill $$(cat $$root/*.pid) 2>/dev/null || true' EXIT; \
+	for p in 8361 8362 8363; do \
+		for i in $$(seq 50); do \
+			curl -sf http://127.0.0.1:$$p/healthz >/dev/null && break; sleep 0.1; \
+		done; \
+	done; \
+	echo "--- settling 8 keys across the cluster"; \
+	n=0; \
+	for seed in 61 62 63 64 65 66 67 68; do \
+		p=$$(( 8361 + n % 3 )); n=$$(( n + 1 )); \
+		curl -s http://127.0.0.1:$$p/v1/jobs \
+			-d "{\"protocol\": \"s:0.2\", \"rounds\": 10, \"trials\": 20000, \"seed\": $$seed}" >/dev/null; \
+	done; \
+	for p in 8361 8362 8363; do \
+		while curl -s http://127.0.0.1:$$p/v1/jobs \
+			| grep -Eq '"state": "(queued|running)"'; do sleep 0.2; done; \
+	done; \
+	keys=$$(for p in 8361 8362 8363; do curl -s http://127.0.0.1:$$p/v1/jobs; done \
+		| sed -n 's/.*"key": "\([0-9a-f]*\)".*/\1/p' | sort -u); \
+	test $$(echo "$$keys" | wc -l) -eq 8; \
+	converge() { \
+		for i in $$(seq 120); do \
+			ok=1; \
+			for k in $$1; do \
+				c=0; \
+				for p in 8361 8362 8363; do \
+					curl -sf http://127.0.0.1:$$p/v1/peer/results/$$k >/dev/null && c=$$((c+1)) || true; \
+				done; \
+				test $$c -ge 2 || { ok=0; break; }; \
+			done; \
+			test $$ok = 1 && return 0; sleep 0.3; \
+		done; \
+		echo "replica convergence timed out"; return 1; \
+	}; \
+	converge "$$keys"; \
+	echo "all 8 keys replicated onto >= 2 nodes"; \
+	echo "--- fresh backlog on A, then SIGKILL C mid-load"; \
+	for seed in 71 72 73 74; do \
+		curl -s http://127.0.0.1:8361/v1/jobs \
+			-d "{\"protocol\": \"s:0.5\", \"rounds\": 10, \"trials\": 1500000, \"seed\": $$seed}" >/dev/null; \
+	done; \
+	kill -9 $$(cat $$root/8363.pid); \
+	for k in $$keys; do \
+		curl -sf http://127.0.0.1:8361/v1/peer/results/$$k >/dev/null \
+			|| curl -sf http://127.0.0.1:8362/v1/peer/results/$$k >/dev/null; \
+	done; \
+	echo "survivors serve every previously-settled key with C dead"; \
+	while curl -s http://127.0.0.1:8361/v1/jobs \
+		| grep -Eq '"state": "(queued|running)"'; do sleep 0.3; done; \
+	echo "backlog settled on the survivors"; \
+	echo "--- restarting C over a wiped store"; \
+	rm -rf $$root/8363/store; mkdir -p $$root/8363/store; \
+	boot 8363; \
+	for i in $$(seq 50); do \
+		curl -sf http://127.0.0.1:8363/healthz >/dev/null && break; sleep 0.1; \
+	done; \
+	for i in $$(seq 120); do \
+		lk=$$(curl -s http://127.0.0.1:8363/v1/admin/cluster \
+			| sed -n 's/.*"local_keys": \([0-9]*\).*/\1/p'); \
+		test -n "$$lk" && test "$$lk" -ge 1 && break; sleep 0.3; \
+	done; \
+	test "$$lk" -ge 1; \
+	echo "anti-entropy repair re-populated C's wiped store: local_keys=$$lk"; \
+	allkeys=$$(for p in 8361 8362; do curl -s http://127.0.0.1:$$p/v1/jobs; done \
+		| sed -n 's/.*"key": "\([0-9a-f]*\)".*/\1/p' | sort -u); \
+	converge "$$allkeys"; \
+	echo "cluster reconverged: every settled key on >= 2 nodes"; \
+	for i in $$(seq 120); do \
+		curl -s http://127.0.0.1:8361/v1/admin/cluster | grep -q '"breaker": "open"' || break; sleep 0.3; \
+	done; \
+	! curl -s http://127.0.0.1:8361/v1/admin/cluster | grep -q '"breaker": "open"'; \
+	echo "survivor breakers recovered to closed"; \
+	echo "cluster-chaos-demo: OK"
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/run/

@@ -66,6 +66,8 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		advertise    = fs.String("advertise", "", "this node's address as peers reach it (default: the listen address)")
 		peerTimeout  = fs.Duration("peer-timeout", 500*time.Millisecond, "per-request timeout for peer calls")
 		stealEvery   = fs.Duration("steal-interval", time.Second, "idle-node work-stealing poll interval (0 = stealing off)")
+		replicas     = fs.Int("replicas", 2, "replication factor: ring members holding each result (owner + successors)")
+		repairEvery  = fs.Duration("repair-interval", 5*time.Second, "anti-entropy replica repair interval (0 = repair off; needs -store-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -92,6 +94,10 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 	}
 	if *peerTimeout <= 0 || *stealEvery < 0 {
 		fmt.Fprintln(os.Stderr, "coordd: peer-timeout must be > 0 and steal-interval >= 0")
+		return 2
+	}
+	if *replicas < 1 || *repairEvery < 0 {
+		fmt.Fprintln(os.Stderr, "coordd: replicas must be >= 1 and repair-interval >= 0")
 		return 2
 	}
 	if *peers == "" && *advertise != "" {
@@ -150,6 +156,7 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		cl, err = cluster.New(cluster.Options{
 			Self:    self,
 			Peers:   peerList,
+			Factor:  *replicas,
 			Timeout: *peerTimeout,
 			Logf:    log.Printf,
 		})
@@ -157,7 +164,30 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		fmt.Fprintf(out, "coordd: cluster self %s, peers %v\n", cl.Self(), cl.PeerAddrs())
+		fmt.Fprintf(out, "coordd: cluster self %s, peers %v, replicas %d\n", cl.Self(), cl.PeerAddrs(), cl.Factor())
+		// Sanity-check the ring configuration. Both misconfigurations are
+		// survivable (the ring still hashes, breakers contain the damage)
+		// but route traffic to nobody, so say so loudly at boot instead of
+		// letting the operator discover it from cold peer counters.
+		selfNorm := cluster.NormalizeAddr(self)
+		inPeers := false
+		for _, p := range peerList {
+			if cluster.NormalizeAddr(p) == selfNorm {
+				inPeers = true
+				break
+			}
+		}
+		if !inPeers {
+			log.Printf("coordd: warning: advertise address %s is not in -peers; "+
+				"if other nodes use this -peers list their rings will not include this node", selfNorm)
+		}
+		listenNorm := cluster.NormalizeAddr(ln.Addr().String())
+		for _, p := range peerList {
+			if n := cluster.NormalizeAddr(p); n == listenNorm && n != selfNorm {
+				log.Printf("coordd: warning: peer %s is this node's own listen address but -advertise is %s; "+
+					"the node would dial itself for that ring member", n, selfNorm)
+			}
+		}
 	}
 
 	watchdogInterval := *wdInterval
@@ -167,6 +197,10 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 	stealInterval := *stealEvery
 	if stealInterval == 0 {
 		stealInterval = -1 // flag 0 = off; Config 0 = default
+	}
+	repairInterval := *repairEvery
+	if repairInterval == 0 {
+		repairInterval = -1 // flag 0 = off; Config 0 = default
 	}
 	srv := service.New(service.Config{
 		Workers:           *workers,
@@ -184,6 +218,7 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		WatchdogGrace:     *wdGrace,
 		Cluster:           cl,
 		StealInterval:     stealInterval,
+		RepairInterval:    repairInterval,
 	})
 	if st != nil {
 		fmt.Fprintf(out, "coordd: result store %s (%d entries, budget %d bytes)\n", *storeDir, st.Len(), *storeMax)

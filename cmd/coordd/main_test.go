@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -321,12 +322,38 @@ func TestDaemonBadClusterFlags(t *testing.T) {
 		{"-steal-interval", "-1s"},
 		{"-advertise", "http://127.0.0.1:1"}, // -advertise without -peers
 		{"-peers", "127.0.0.1:1"},            // peer set collapses to self-only
+		{"-replicas", "0"},
+		{"-repair-interval", "-1s"},
 	}
 	for _, args := range cases {
 		args = append([]string{"-addr", "127.0.0.1:1"}, args...)
 		if code := run(args, io.Discard, nil); code != 2 {
 			t.Errorf("args %v: exit code %d, want 2", args, code)
 		}
+	}
+}
+
+// A survivable-but-wrong ring configuration — the node's advertise
+// address missing from its own -peers list — must be called out at
+// boot, not discovered later from cold peer counters.
+func TestDaemonClusterBootWarning(t *testing.T) {
+	var buf strings.Builder
+	old := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(old)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := l.Addr().String()
+	l.Close()
+	// bootDaemon binds :0, so the bound address can never appear in the
+	// -peers list: rings built from this list exclude this node.
+	_, stop, exit := bootDaemon(t, "-peers", peer)
+	shutdownDaemon(t, stop, exit)
+	if !strings.Contains(buf.String(), "is not in -peers") {
+		t.Fatalf("boot log missing the advertise-not-in-peers warning:\n%s", buf.String())
 	}
 }
 

@@ -1,0 +1,531 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"coordattack/internal/cluster"
+	"coordattack/internal/mc"
+	"coordattack/internal/queue"
+	"coordattack/internal/service"
+	"coordattack/internal/store"
+)
+
+// clusterRunLedger counts successful engine runs per seed across every
+// node and every restart in the soak — the cluster-wide exactly-once
+// ledger. Every seed is submitted to exactly one node, so each must
+// complete exactly one engine run no matter which nodes die.
+type clusterRunLedger struct {
+	mu   sync.Mutex
+	runs map[uint64]int
+}
+
+func (l *clusterRunLedger) add(seed uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.runs == nil {
+		l.runs = make(map[uint64]int)
+	}
+	l.runs[seed]++
+}
+
+func (l *clusterRunLedger) count(seed uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.runs[seed]
+}
+
+// chaosSwap lets one fixed listener outlive daemon "kills": set(nil)
+// answers 503 exactly like a dead process behind a live load-balancer
+// address, so peers see errors, breakers open, and the ring address
+// stays stable across restarts.
+type chaosSwap struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *chaosSwap) set(h http.Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.h = h
+}
+
+func (s *chaosSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// soakClusterNode is one member of the chaos cluster: fixed address,
+// persistent store and queue directories, and a current daemon
+// incarnation that kill/boot replaces.
+type soakClusterNode struct {
+	t        *testing.T
+	name     string
+	sh       *chaosSwap
+	addr     string
+	storeDir string
+	queueDir string
+	ledger   *clusterRunLedger
+
+	s        *service.Server
+	jl       *queue.Journal
+	st       *store.Store
+	cl       *cluster.Cluster
+	net      *PeerNet
+	gate     chan struct{}
+	gateOnce *sync.Once
+}
+
+// boot starts a daemon incarnation over the node's directories. Seeds
+// listed in gateSeeds have their engine runs held on the node's gate
+// channel until openGate (or job cancellation), pinning jobs mid-run so
+// kills land at chosen points.
+func (n *soakClusterNode) boot(peers []string, cfg service.Config, plan NetPlan, gateSeeds ...uint64) {
+	n.t.Helper()
+	jl, err := queue.OpenJournal(n.queueDir, queue.JournalOptions{Logf: n.t.Logf})
+	if err != nil {
+		n.t.Fatalf("%s: open journal: %v", n.name, err)
+	}
+	st, err := store.Open(n.storeDir, store.Options{Logf: n.t.Logf})
+	if err != nil {
+		n.t.Fatalf("%s: open store: %v", n.name, err)
+	}
+	pn, err := NewPeerNet(nil, plan)
+	if err != nil {
+		n.t.Fatalf("%s: peer net: %v", n.name, err)
+	}
+	cl, err := cluster.New(cluster.Options{
+		Self:             n.addr,
+		Peers:            peers,
+		Timeout:          400 * time.Millisecond,
+		BreakerThreshold: 5,
+		BreakerCooldown:  150 * time.Millisecond,
+		Transport:        pn,
+		Logf:             n.t.Logf,
+	})
+	if err != nil {
+		n.t.Fatalf("%s: cluster: %v", n.name, err)
+	}
+	gate := make(chan struct{})
+	gated := make(map[uint64]bool, len(gateSeeds))
+	for _, seed := range gateSeeds {
+		gated[seed] = true
+	}
+	ledger := n.ledger
+	cfg.Journal = jl
+	cfg.Store = st
+	cfg.Cluster = cl
+	cfg.WatchdogInterval = -1
+	if cfg.StealInterval == 0 {
+		cfg.StealInterval = -1
+	}
+	if cfg.StealPollInterval == 0 {
+		cfg.StealPollInterval = 25 * time.Millisecond
+	}
+	if cfg.StealPollFailures == 0 {
+		// Generous: reclaim-after-lost-thief has its own deterministic
+		// crash-schedule test; here a false reclaim during a short thief
+		// restart would break the exactly-once ledger.
+		cfg.StealPollFailures = 200
+	}
+	if cfg.RepairInterval == 0 {
+		cfg.RepairInterval = 100 * time.Millisecond
+	}
+	cfg.WrapEngine = func(engine string, next service.RunFunc) service.RunFunc {
+		return func(ctx context.Context, spec service.JobSpec, workers int, progress func(mc.Snapshot)) (json.RawMessage, error) {
+			if gated[spec.Seed] {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			body, err := next(ctx, spec, workers, progress)
+			if err == nil {
+				ledger.add(spec.Seed)
+			}
+			return body, err
+		}
+	}
+	n.jl, n.st, n.cl, n.net = jl, st, cl, pn
+	n.gate, n.gateOnce = gate, new(sync.Once)
+	n.s = service.New(cfg)
+	n.sh.set(n.s.Handler())
+
+	s, once := n.s, n.gateOnce
+	n.t.Cleanup(func() {
+		once.Do(func() { close(gate) })
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+		jl.Close()
+		st.Close()
+	})
+}
+
+func (n *soakClusterNode) openGate() { n.gateOnce.Do(func() { close(n.gate) }) }
+
+// kill is SIGKILL fidelity: the journal degrades first (post-kill
+// settles cannot reach disk), the listener answers 503, and the old
+// incarnation is abandoned with a cancelled drain.
+func (n *soakClusterNode) kill() {
+	n.jl.Close()
+	n.sh.set(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = n.s.Drain(ctx)
+}
+
+// served reports whether addr's peer endpoint holds key's body.
+func served(addr, key string) bool {
+	resp, err := http.Get(addr + cluster.ResultsPathPrefix + key)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func soakWait(t *testing.T, what string, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+}
+
+// breakerStateOn reads node addr's admin view of peer's breaker.
+func breakerStateOn(t *testing.T, addr, peer string) string {
+	t.Helper()
+	resp, err := http.Get(addr + "/v1/admin/cluster")
+	if err != nil {
+		return "unreachable"
+	}
+	defer resp.Body.Close()
+	var adm struct {
+		Peers []cluster.PeerInfo `json:"peers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&adm); err != nil {
+		return "undecodable"
+	}
+	for _, p := range adm.Peers {
+		if p.Addr == peer {
+			return p.Breaker
+		}
+	}
+	return "absent"
+}
+
+// TestSoakClusterKillRestartConvergence is the cluster chaos soak: a
+// 3-node, replication-factor-2 cluster rides fault-injected peer
+// transports (deterministic drops and delays) while the harness kills
+// and restarts nodes at the two points the replication and steal
+// protocols are most exposed, asserting after each:
+//
+//   - zero previously-settled result loss: every key that had converged
+//     to its replica set stays servable by the survivors while any
+//     single node is down, and a node restarted over a wiped store is
+//     re-populated by the anti-entropy repair loop;
+//   - exactly-once settlement cluster-wide: every submitted seed
+//     completes exactly one successful engine run across all nodes and
+//     all restarts, including seeds mid-steal-handoff when the thief or
+//     the victim dies;
+//   - breakers recover: survivors open their breaker toward a dead
+//     peer and return to closed after it comes back.
+func TestSoakClusterKillRestartConvergence(t *testing.T) {
+	ledger := &clusterRunLedger{}
+	nodes := make([]*soakClusterNode, 3)
+	peers := make([]string, 3)
+	for i, name := range []string{"A", "B", "C"} {
+		sh := &chaosSwap{}
+		srv := httptest.NewServer(sh)
+		t.Cleanup(srv.Close)
+		base := t.TempDir()
+		nodes[i] = &soakClusterNode{
+			t:        t,
+			name:     name,
+			sh:       sh,
+			addr:     srv.URL,
+			storeDir: base + "/store",
+			queueDir: base + "/queue",
+			ledger:   ledger,
+		}
+		peers[i] = srv.URL
+	}
+	a, b, c := nodes[0], nodes[1], nodes[2]
+	// Per-node fault plans: every peer request may be dropped or delayed
+	// on a seed-deterministic schedule. Drops degrade fetches to local
+	// compute and pushes to repair work — never correctness.
+	noise := func(seed uint64) NetPlan {
+		return NetPlan{Seed: seed, PDrop: 0.04, PDelay: 0.15, DelayFor: time.Millisecond}
+	}
+	// Delay-only: steal phases assert an exact run ledger, and a dropped
+	// poll burst could legitimately trigger reclaim (at-least-once by
+	// design); drops get their coverage in the replication phases.
+	calm := func(seed uint64) NetPlan {
+		return NetPlan{Seed: seed, PDelay: 0.15, DelayFor: time.Millisecond}
+	}
+	for i, n := range nodes {
+		n.boot(peers, service.Config{Workers: 2}, noise(uint64(100+i)))
+	}
+
+	keys := make(map[uint64]string) // seed → canonical key
+	submitTo := func(n *soakClusterNode, seed uint64) *service.Status {
+		st, err := n.s.Submit(soakSpec(seed))
+		if err != nil {
+			t.Fatalf("submit seed %d to %s: %v", seed, n.name, err)
+		}
+		keys[seed] = st.Key
+		return st
+	}
+	holders := func(key string) int {
+		count := 0
+		for _, n := range nodes {
+			if served(n.addr, key) {
+				count++
+			}
+		}
+		return count
+	}
+	converged := func(seeds []uint64) func() bool {
+		return func() bool {
+			for _, seed := range seeds {
+				if holders(keys[seed]) < 2 {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	allDoneOn := func(n *soakClusterNode, ids []string) func() bool {
+		return func() bool {
+			for _, id := range ids {
+				st, err := n.s.Get(id)
+				if err != nil || st.State != service.StateDone {
+					return false
+				}
+			}
+			return true
+		}
+	}
+
+	// ── Phase 1: load under transport noise, converge to factor 2. ──
+	var phase1 []uint64
+	var phase1IDs [3][]string
+	for seed := uint64(101); seed <= 112; seed++ {
+		i := int(seed) % 3
+		st := submitTo(nodes[i], seed)
+		phase1 = append(phase1, seed)
+		phase1IDs[i] = append(phase1IDs[i], st.ID)
+	}
+	for i, n := range nodes {
+		soakWait(t, "phase-1 settlement on "+n.name, 30*time.Second, allDoneOn(n, phase1IDs[i]))
+	}
+	soakWait(t, "phase-1 replica convergence", 30*time.Second, converged(phase1))
+	for _, seed := range phase1 {
+		if got := ledger.count(seed); got != 1 {
+			t.Fatalf("seed %d ran %d times in phase 1, want 1", seed, got)
+		}
+	}
+	var pushes int64
+	for _, n := range nodes {
+		pushes += n.s.Metrics().ReplicaPushes.Load()
+	}
+	if pushes == 0 {
+		t.Fatal("no replica pushes recorded during phase 1")
+	}
+
+	// ── Phase 2a: kill C mid-replication. ──
+	// A fresh batch settles on C and C dies immediately: its last pushes
+	// may still be in flight. Every *converged* key must stay servable
+	// by the survivors; the fresh batch re-replicates after restart.
+	var phase2 []uint64
+	var phase2IDs []string
+	for seed := uint64(201); seed <= 204; seed++ {
+		phase2 = append(phase2, seed)
+		phase2IDs = append(phase2IDs, submitTo(c, seed).ID)
+	}
+	soakWait(t, "phase-2 settlement on C", 30*time.Second, allDoneOn(c, phase2IDs))
+	c.kill()
+	for _, seed := range phase1 {
+		if !served(a.addr, keys[seed]) && !served(b.addr, keys[seed]) {
+			t.Fatalf("converged key for seed %d lost to the survivors while C is down", seed)
+		}
+	}
+	// Survivors open their breaker toward the corpse (repair probes keep
+	// hitting the 503), and close it again after the restart below.
+	soakWait(t, "breaker on A toward dead C to open", 20*time.Second, func() bool {
+		return breakerStateOn(t, a.addr, cluster.NormalizeAddr(c.addr)) == cluster.StateOpen
+	})
+	c.boot(peers, service.Config{Workers: 2}, noise(120))
+	soakWait(t, "phase-2 replica convergence after C restart", 30*time.Second, converged(append(append([]uint64(nil), phase1...), phase2...)))
+	soakWait(t, "breaker on A toward revived C to close", 20*time.Second, func() bool {
+		return breakerStateOn(t, a.addr, cluster.NormalizeAddr(c.addr)) == cluster.StateClosed
+	})
+
+	// ── Phase 2b: C loses its disk. ──
+	// Kill C again, wipe its store, restart empty: anti-entropy repair
+	// on the holders must re-push every key whose replica set includes
+	// C until C serves them all again.
+	c.kill()
+	if err := os.RemoveAll(c.storeDir); err != nil {
+		t.Fatal(err)
+	}
+	c.boot(peers, service.Config{Workers: 2}, noise(121))
+	cAddr := cluster.NormalizeAddr(c.addr)
+	var cOwned []uint64
+	for _, seed := range append(append([]uint64(nil), phase1...), phase2...) {
+		for _, member := range c.cl.ReplicaSet(keys[seed]) {
+			if member == cAddr {
+				cOwned = append(cOwned, seed)
+			}
+		}
+	}
+	if len(cOwned) == 0 {
+		t.Fatal("replica placement gave C no keys — soak cannot exercise repair")
+	}
+	soakWait(t, "repair to re-populate C's wiped store", 30*time.Second, func() bool {
+		for _, seed := range cOwned {
+			if !served(c.addr, keys[seed]) {
+				return false
+			}
+		}
+		return true
+	})
+
+	// ── Phase 3: the thief dies mid-steal. ──
+	// A's single worker is pinned by a gated blocker, B steals one of
+	// the two queued jobs and journals+commits it, then B dies with the
+	// stolen job un-run. B's restart must replay its WAL and run the job
+	// exactly once; A settles it through the stolen-job follower.
+	a.kill()
+	a.boot(peers, service.Config{Workers: 1}, calm(130), 301)
+	b.kill()
+	b.boot(peers, service.Config{Workers: 2, StealInterval: 40 * time.Millisecond}, calm(131), 302, 303)
+	blocker := submitTo(a, 301)
+	soakWait(t, "phase-3 blocker to occupy A's worker", 20*time.Second, func() bool {
+		st, err := a.s.Get(blocker.ID)
+		return err == nil && st.State == service.StateRunning
+	})
+	ids3 := []string{blocker.ID, submitTo(a, 302).ID, submitTo(a, 303).ID}
+	soakWait(t, "B to steal and commit one job", 20*time.Second, func() bool {
+		m := b.s.Metrics()
+		return m.JobsStolen.Load() >= 1 && m.StealCommits.Load() >= 1
+	})
+	b.kill()
+	b.boot(peers, service.Config{Workers: 2}, calm(132))
+	if got := b.s.Metrics().QueueReplayed.Load(); got < 1 {
+		t.Fatalf("B replayed %d jobs after dying mid-steal, want the stolen job back", got)
+	}
+	a.openGate()
+	soakWait(t, "phase-3 jobs to settle on A", 30*time.Second, allDoneOn(a, ids3))
+	for seed := uint64(301); seed <= 303; seed++ {
+		if got := ledger.count(seed); got != 1 {
+			t.Fatalf("seed %d ran %d times across the thief crash, want exactly 1", seed, got)
+		}
+	}
+
+	// ── Phase 4: the victim dies mid-steal. ──
+	// Same saturation, but A dies after B journals and commits the
+	// steal: the commit tombstoned the job in A's WAL, so A's restart
+	// replays only the blocker and the un-stolen job, while B alone
+	// runs the stolen one.
+	a.kill()
+	a.boot(peers, service.Config{Workers: 1}, calm(140), 401)
+	b.kill()
+	b.boot(peers, service.Config{Workers: 2, StealInterval: 40 * time.Millisecond}, calm(141), 402, 403)
+	blocker4 := submitTo(a, 401)
+	soakWait(t, "phase-4 blocker to occupy A's worker", 20*time.Second, func() bool {
+		st, err := a.s.Get(blocker4.ID)
+		return err == nil && st.State == service.StateRunning
+	})
+	submitTo(a, 402)
+	submitTo(a, 403)
+	soakWait(t, "B to steal and commit one phase-4 job", 20*time.Second, func() bool {
+		m := b.s.Metrics()
+		return m.JobsStolen.Load() >= 1 && m.StealCommits.Load() >= 1
+	})
+	a.kill()
+	b.openGate()
+	a.boot(peers, service.Config{Workers: 2}, calm(142))
+	if got := a.s.Metrics().QueueReplayed.Load(); got != 2 {
+		t.Fatalf("A replayed %d jobs after dying as steal victim, want 2 (blocker + un-stolen; the committed steal is tombstoned)", got)
+	}
+	soakWait(t, "phase-4 replayed jobs to settle on A", 30*time.Second, func() bool {
+		jobs := a.s.Jobs()
+		if len(jobs) != 2 {
+			return false
+		}
+		for _, st := range jobs {
+			if st.State != service.StateDone {
+				return false
+			}
+		}
+		return true
+	})
+	soakWait(t, "phase-4 stolen job to settle on B", 30*time.Second, func() bool {
+		for seed := uint64(401); seed <= 403; seed++ {
+			if holders(keys[seed]) < 1 {
+				return false
+			}
+		}
+		return true
+	})
+	for seed := uint64(401); seed <= 403; seed++ {
+		if got := ledger.count(seed); got != 1 {
+			t.Fatalf("seed %d ran %d times across the victim crash, want exactly 1", seed, got)
+		}
+	}
+
+	// ── Final convergence: every key ever settled is on ≥ 2 nodes and
+	// every breaker everywhere has recovered to closed. ──
+	var all []uint64
+	for seed := range keys {
+		all = append(all, seed)
+	}
+	soakWait(t, "full-cluster replica convergence", 45*time.Second, converged(all))
+	soakWait(t, "all breakers to recover", 20*time.Second, func() bool {
+		for _, n := range nodes {
+			for _, p := range nodes {
+				if p == n {
+					continue
+				}
+				if breakerStateOn(t, n.addr, cluster.NormalizeAddr(p.addr)) != cluster.StateClosed {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	for seed, count := range map[uint64]int(func() map[uint64]int {
+		ledger.mu.Lock()
+		defer ledger.mu.Unlock()
+		out := make(map[uint64]int, len(ledger.runs))
+		for s, n := range ledger.runs {
+			out[s] = n
+		}
+		return out
+	}()) {
+		if count != 1 {
+			t.Fatalf("seed %d ran %d times over the whole soak, want exactly 1", seed, count)
+		}
+		if _, ok := keys[seed]; !ok {
+			t.Fatalf("engine ran unsubmitted seed %d", seed)
+		}
+	}
+}

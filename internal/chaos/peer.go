@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"coordattack/internal/rng"
+)
+
+// netSalt derives the peer-network fault stream from the seed, on its
+// own lineage so an FS and a PeerNet sharing one seed draw
+// uncorrelated schedules.
+const netSalt = 0x9ee7
+
+// NetPlan is a deterministic per-request fault schedule for peer HTTP
+// traffic. The zero value injects nothing; probabilities must be in
+// [0, 1].
+type NetPlan struct {
+	// Seed roots the fault schedule; equal seeds replay equal faults
+	// for the same request sequence.
+	Seed uint64
+	// PDrop is the per-request probability that the request never
+	// reaches the peer: the caller sees a connection error, exactly
+	// what a dropped SYN or a mid-flight RST produces.
+	PDrop float64
+	// PDelay is the per-request probability of injected latency before
+	// the request is forwarded.
+	PDelay float64
+	// DelayFor is the injected latency; 0 with PDelay > 0 means 1ms.
+	DelayFor time.Duration
+}
+
+func (p NetPlan) validate() error {
+	// NaN fails every comparison, so check validity positively.
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{{"PDrop", p.PDrop}, {"PDelay", p.PDelay}} {
+		if !(v.val >= 0 && v.val <= 1) || math.IsNaN(v.val) {
+			return fmt.Errorf("chaos: %s = %v out of [0,1]", v.name, v.val)
+		}
+	}
+	if p.DelayFor < 0 {
+		return fmt.Errorf("chaos: DelayFor = %v negative", p.DelayFor)
+	}
+	return nil
+}
+
+// NetStats counts the faults a PeerNet actually injected.
+type NetStats struct {
+	Drops    int64 // plan-drawn connection errors
+	Delays   int64
+	Severed  int64 // requests refused by a manual partition
+	Forwards int64 // requests that reached the inner transport
+}
+
+// PeerNet is a fault-injecting http.RoundTripper for cluster peer
+// traffic, the network-facing sibling of the chaos FS: plan faults are
+// drawn per request from a deterministic rng stream, and Sever/Heal
+// partition individual peers by host until healed — the cluster-layer
+// analogue of pulling one node's network cable. Inject it via
+// cluster.Options.Transport. It is safe for concurrent use; request
+// indices are assigned in execution order.
+type PeerNet struct {
+	inner  http.RoundTripper
+	plan   NetPlan
+	stream rng.Stream
+	op     atomic.Uint64
+
+	mu      sync.Mutex
+	severed map[string]bool // host:port → partitioned
+
+	drops    atomic.Int64
+	delays   atomic.Int64
+	refused  atomic.Int64
+	forwards atomic.Int64
+}
+
+// NewPeerNet wraps inner (nil means http.DefaultTransport) with plan's
+// fault schedule.
+func NewPeerNet(inner http.RoundTripper, plan NetPlan) (*PeerNet, error) {
+	if err := plan.validate(); err != nil {
+		return nil, err
+	}
+	if plan.DelayFor == 0 {
+		plan.DelayFor = time.Millisecond
+	}
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &PeerNet{
+		inner:   inner,
+		plan:    plan,
+		stream:  rng.NewStream(rng.Mix64(plan.Seed ^ netSalt)),
+		severed: make(map[string]bool),
+	}, nil
+}
+
+// Sever starts a manual partition of host (a "host:port" as it appears
+// in peer URLs): every request to it is refused until Heal.
+func (p *PeerNet) Sever(host string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.severed[host] = true
+}
+
+// Heal ends the manual partition of host.
+func (p *PeerNet) Heal(host string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.severed, host)
+}
+
+// Stats snapshots the injected-fault counters.
+func (p *PeerNet) Stats() NetStats {
+	return NetStats{
+		Drops:    p.drops.Load(),
+		Delays:   p.delays.Load(),
+		Severed:  p.refused.Load(),
+		Forwards: p.forwards.Load(),
+	}
+}
+
+// refusedErr mimics what a real dial against a dead peer returns, so
+// the cluster client's breaker path sees the error shape it sees in
+// production.
+func refusedErr(host string) error {
+	return &net.OpError{Op: "dial", Net: "tcp", Err: fmt.Errorf("chaos: connect %s: %w", host, syscall.ECONNREFUSED)}
+}
+
+// RoundTrip applies the per-request schedule — maybe delay, maybe drop,
+// refuse severed hosts — then forwards to the inner transport.
+func (p *PeerNet) RoundTrip(req *http.Request) (*http.Response, error) {
+	t := p.stream.Tape(p.op.Add(1), 0)
+	if slow, _ := t.Bernoulli(p.plan.PDelay); slow {
+		p.delays.Add(1)
+		time.Sleep(p.plan.DelayFor)
+	}
+	host := req.URL.Host
+	p.mu.Lock()
+	cut := p.severed[host]
+	p.mu.Unlock()
+	if cut {
+		p.refused.Add(1)
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, refusedErr(host)
+	}
+	if hit, _ := t.Bernoulli(p.plan.PDrop); hit {
+		p.drops.Add(1)
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, refusedErr(host)
+	}
+	p.forwards.Add(1)
+	return p.inner.RoundTrip(req)
+}

@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rtFunc adapts a function to http.RoundTripper.
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(req *http.Request) (*http.Response, error) { return f(req) }
+
+func okResponse() *http.Response {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader("")),
+	}
+}
+
+func netRequest(t *testing.T, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// dropSchedule replays n requests against a fresh PeerNet and records
+// which indices were dropped.
+func dropSchedule(t *testing.T, plan NetPlan, n int) []bool {
+	t.Helper()
+	pn, err := NewPeerNet(rtFunc(func(*http.Request) (*http.Response, error) {
+		return okResponse(), nil
+	}), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]bool, n)
+	for i := range out {
+		resp, err := pn.RoundTrip(netRequest(t, "http://peer:8344/v1/peer/results/k"))
+		if err != nil {
+			out[i] = true
+			continue
+		}
+		resp.Body.Close()
+	}
+	return out
+}
+
+// The drop schedule is a pure function of (seed, request index): equal
+// seeds replay identical fault sequences, distinct seeds diverge.
+func TestPeerNetDeterministicSchedule(t *testing.T) {
+	plan := NetPlan{Seed: 41, PDrop: 0.3}
+	const n = 200
+	first := dropSchedule(t, plan, n)
+	second := dropSchedule(t, plan, n)
+	drops := 0
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("request %d: drop=%v on replay %v — schedule not deterministic", i, first[i], second[i])
+		}
+		if first[i] {
+			drops++
+		}
+	}
+	// With PDrop 0.3 over 200 requests the schedule must actually both
+	// drop and forward — a degenerate all-or-nothing tape would pass the
+	// equality check while testing nothing.
+	if drops < n/10 || drops > n/2+n/4 {
+		t.Fatalf("%d of %d requests dropped at PDrop=0.3 — tape implausible", drops, n)
+	}
+	other := dropSchedule(t, NetPlan{Seed: 42, PDrop: 0.3}, n)
+	same := 0
+	for i := range first {
+		if first[i] == other[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("seeds 41 and 42 drew identical schedules")
+	}
+}
+
+// Sever refuses exactly the partitioned host and Heal restores it;
+// other peers are untouched throughout.
+func TestPeerNetSeverHeal(t *testing.T) {
+	var forwarded []string
+	pn, err := NewPeerNet(rtFunc(func(req *http.Request) (*http.Response, error) {
+		forwarded = append(forwarded, req.URL.Host)
+		return okResponse(), nil
+	}), NetPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := func(host string) error {
+		resp, err := pn.RoundTrip(netRequest(t, "http://"+host+"/v1/peer/results/k"))
+		if err == nil {
+			resp.Body.Close()
+		}
+		return err
+	}
+
+	pn.Sever("10.0.0.2:8344")
+	if err := call("10.0.0.2:8344"); err == nil {
+		t.Fatal("severed peer answered")
+	}
+	if err := call("10.0.0.3:8344"); err != nil {
+		t.Fatalf("unsevered peer refused: %v", err)
+	}
+	pn.Heal("10.0.0.2:8344")
+	if err := call("10.0.0.2:8344"); err != nil {
+		t.Fatalf("healed peer still refused: %v", err)
+	}
+	if len(forwarded) != 2 {
+		t.Fatalf("inner transport saw %v, want the 2 admitted requests", forwarded)
+	}
+	st := pn.Stats()
+	if st.Severed != 1 || st.Forwards != 2 || st.Drops != 0 {
+		t.Fatalf("stats = %+v, want severed=1 forwards=2 drops=0", st)
+	}
+}
+
+// Injected delay holds the request for DelayFor and counts it.
+func TestPeerNetDelay(t *testing.T) {
+	pn, err := NewPeerNet(rtFunc(func(*http.Request) (*http.Response, error) {
+		return okResponse(), nil
+	}), NetPlan{Seed: 7, PDelay: 1, DelayFor: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	const n = 4
+	for i := 0; i < n; i++ {
+		resp, err := pn.RoundTrip(netRequest(t, "http://peer:8344/healthz"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if elapsed := time.Since(start); elapsed < n*5*time.Millisecond {
+		t.Fatalf("4 always-delayed requests took %v, want >= 20ms", elapsed)
+	}
+	if st := pn.Stats(); st.Delays != n {
+		t.Fatalf("delays = %d, want %d", st.Delays, n)
+	}
+}
+
+// A nil inner transport defaults to http.DefaultTransport and actually
+// reaches a live server.
+func TestPeerNetNilInnerDefaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	pn, err := NewPeerNet(nil, NetPlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := pn.RoundTrip(netRequest(t, srv.URL+"/ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+// Invalid plans are rejected up front, mirroring Plan.validate.
+func TestPeerNetPlanValidation(t *testing.T) {
+	bad := []NetPlan{
+		{PDrop: -0.1},
+		{PDrop: 1.5},
+		{PDelay: 2},
+		{DelayFor: -time.Second},
+	}
+	for _, plan := range bad {
+		if _, err := NewPeerNet(nil, plan); err == nil {
+			t.Fatalf("plan %+v accepted", plan)
+		}
+	}
+}

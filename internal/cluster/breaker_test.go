@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -53,6 +55,64 @@ func TestBreakerOpensAtThresholdAndProbes(t *testing.T) {
 	b.Success()
 	if b.State() != StateClosed || !b.Allow() || b.Failures() != 0 {
 		t.Fatalf("successful probe should close: state=%s failures=%d", b.State(), b.Failures())
+	}
+}
+
+// An open breaker whose cooldown has just elapsed must admit exactly
+// one probe no matter how many goroutines race Allow — run under -race
+// this also proves the half-open transition itself is data-race free.
+func TestBreakerHalfOpenAdmitsSingleConcurrentProbe(t *testing.T) {
+	var clockMu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return now
+	}
+	b := newBreaker(3, 10*time.Second, clock)
+	for i := 0; i < 3; i++ {
+		b.Failure()
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("breaker not open: %s", b.State())
+	}
+	for round := 0; round < 20; round++ {
+		clockMu.Lock()
+		now = now.Add(11 * time.Second) // past the cooldown: half-open
+		clockMu.Unlock()
+
+		const goroutines = 16
+		var admitted atomic.Int64
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if b.Allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if got := admitted.Load(); got != 1 {
+			t.Fatalf("round %d: %d concurrent probes admitted, want exactly 1", round, got)
+		}
+		// The probe fails: re-open and race the next cooldown expiry.
+		b.Failure()
+	}
+	// A successful probe closes the breaker for everyone.
+	clockMu.Lock()
+	now = now.Add(11 * time.Second)
+	clockMu.Unlock()
+	if !b.Allow() {
+		t.Fatal("probe refused after final cooldown")
+	}
+	b.Success()
+	if b.State() != StateClosed {
+		t.Fatalf("state after successful probe = %s, want closed", b.State())
 	}
 }
 

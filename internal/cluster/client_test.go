@@ -13,17 +13,20 @@ import (
 // fakePeer is a minimal peer-protocol server: a key→body map plus a
 // steal grant.
 type fakePeer struct {
-	results map[string][]byte
-	grant   []StolenJob
-	gets    atomic.Int64
-	puts    atomic.Int64
-	steals  atomic.Int64
+	results    map[string][]byte
+	grant      []StolenJob
+	gets       atomic.Int64
+	puts       atomic.Int64
+	steals     atomic.Int64
+	lastCommit atomic.Value // CommitRequest
 }
 
 func (f *fakePeer) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+ResultsPathPrefix+"{key}", func(w http.ResponseWriter, r *http.Request) {
-		f.gets.Add(1)
+		if r.Method != http.MethodHead {
+			f.gets.Add(1)
+		}
 		body, ok := f.results[r.PathValue("key")]
 		if !ok {
 			http.NotFound(w, r)
@@ -40,6 +43,19 @@ func (f *fakePeer) handler() http.Handler {
 		var req StealRequest
 		json.NewDecoder(r.Body).Decode(&req)
 		json.NewEncoder(w).Encode(StealResponse{Jobs: f.grant})
+	})
+	mux.HandleFunc("POST "+StealCommitPath, func(w http.ResponseWriter, r *http.Request) {
+		var req CommitRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		f.lastCommit.Store(req)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET "+JobsPathPrefix+"{key}", func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := f.results[r.PathValue("key")]; !ok {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]bool{"known": true})
 	})
 	return mux
 }
@@ -80,7 +96,7 @@ func TestFetchHitMissAndCounters(t *testing.T) {
 	}
 }
 
-func TestFetchResultRoutesToOwnerAndSkipsSelf(t *testing.T) {
+func TestFetchResultConsultsReplicaSet(t *testing.T) {
 	fp := &fakePeer{results: map[string][]byte{}}
 	srv := httptest.NewServer(fp.handler())
 	defer srv.Close()
@@ -88,7 +104,8 @@ func TestFetchResultRoutesToOwnerAndSkipsSelf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Find one key owned by the peer and one owned by self.
+	// Find one key owned by the peer and one owned by self. With two
+	// members and the default factor 2 both are in every replica set.
 	var peerKey, selfKey string
 	for _, k := range randomKeys(200, 21) {
 		if c.OwnsLocally(k) {
@@ -107,11 +124,19 @@ func TestFetchResultRoutesToOwnerAndSkipsSelf(t *testing.T) {
 	if body, ok := c.FetchResult(context.Background(), peerKey); !ok || string(body) != "peer-bytes" {
 		t.Fatalf("owner-routed fetch failed: %q %v", body, ok)
 	}
+	// A self-owned key falls through to its successor replica: the lookup
+	// must dial the peer (it may hold the copy after a local disk loss)
+	// and miss cleanly when it does not.
 	if _, ok := c.FetchResult(context.Background(), selfKey); ok {
-		t.Fatal("self-owned key must not be fetched from a peer")
+		t.Fatal("successor without the body must be a clean miss")
 	}
-	if got := fp.gets.Load(); got != 1 {
-		t.Fatalf("peer saw %d GETs, want 1 (self-owned key must not dial out)", got)
+	if got := fp.gets.Load(); got != 2 {
+		t.Fatalf("peer saw %d GETs, want 2 (self-owned key must fall through to its successor)", got)
+	}
+	// Once the successor holds the body, the fall-through finds it.
+	fp.results[selfKey] = []byte("successor-bytes")
+	if body, ok := c.FetchResult(context.Background(), selfKey); !ok || string(body) != "successor-bytes" {
+		t.Fatalf("successor fetch failed: %q %v", body, ok)
 	}
 }
 
@@ -182,7 +207,7 @@ func TestStealFromGrants(t *testing.T) {
 	}
 }
 
-func TestPushResultReplicatesToOwner(t *testing.T) {
+func TestPushResultFansOutToReplicaSet(t *testing.T) {
 	fp := &fakePeer{}
 	srv := httptest.NewServer(fp.handler())
 	defer srv.Close()
@@ -201,13 +226,73 @@ func TestPushResultReplicatesToOwner(t *testing.T) {
 			break
 		}
 	}
-	c.PushResult(context.Background(), peerKey, []byte("b"))
-	c.PushResult(context.Background(), selfKey, []byte("b"))
-	if got := fp.puts.Load(); got != 1 {
-		t.Fatalf("owner saw %d PUTs, want 1", got)
+	// Factor 2 over two members: every key's replica set is both nodes,
+	// so each push fans out to the single non-self replica regardless of
+	// which arc owns the key.
+	if n := c.PushResult(context.Background(), peerKey, []byte("b")); n != 1 {
+		t.Fatalf("peer-owned push count = %d, want 1", n)
 	}
-	if n := reqCount(c.Snapshot(), "replicate", "ok"); n != 1 {
-		t.Fatalf("replicate ok count = %d, want 1", n)
+	if n := c.PushResult(context.Background(), selfKey, []byte("b")); n != 1 {
+		t.Fatalf("self-owned push count = %d, want 1 (successor copy)", n)
+	}
+	if got := fp.puts.Load(); got != 2 {
+		t.Fatalf("peer saw %d PUTs, want 2", got)
+	}
+	if n := reqCount(c.Snapshot(), "replicate", "ok"); n != 2 {
+		t.Fatalf("replicate ok count = %d, want 2", n)
+	}
+}
+
+func TestHasResultAndKnowsJob(t *testing.T) {
+	fp := &fakePeer{results: map[string][]byte{"held": []byte("x")}}
+	srv := httptest.NewServer(fp.handler())
+	defer srv.Close()
+	c, err := New(Options{Self: "http://self.invalid:1", Peers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if has, err := c.HasResult(context.Background(), srv.URL, "held"); err != nil || !has {
+		t.Fatalf("HasResult(held) = %v, %v; want true", has, err)
+	}
+	if has, err := c.HasResult(context.Background(), srv.URL, "absent"); err != nil || has {
+		t.Fatalf("HasResult(absent) = %v, %v; want clean false", has, err)
+	}
+	if known, err := c.KnowsJob(context.Background(), srv.URL, "held"); err != nil || !known {
+		t.Fatalf("KnowsJob(held) = %v, %v; want true", known, err)
+	}
+	if known, err := c.KnowsJob(context.Background(), srv.URL, "absent"); err != nil || known {
+		t.Fatalf("KnowsJob(absent) = %v, %v; want clean false", known, err)
+	}
+	snap := c.Snapshot()
+	if reqCount(snap, "probe", "hit") != 1 || reqCount(snap, "probe", "miss") != 1 {
+		t.Fatalf("probe counters wrong: %+v", snap.Requests)
+	}
+	if reqCount(snap, "jobs", "hit") != 1 || reqCount(snap, "jobs", "miss") != 1 {
+		t.Fatalf("jobs counters wrong: %+v", snap.Requests)
+	}
+}
+
+func TestCommitStealPostsKeys(t *testing.T) {
+	fp := &fakePeer{}
+	srv := httptest.NewServer(fp.handler())
+	defer srv.Close()
+	c, err := New(Options{Self: "http://self.invalid:1", Peers: []string{srv.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CommitSteal(context.Background(), srv.URL, []string{"k1", "k2"}); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	got := fp.lastCommit.Load()
+	if got == nil {
+		t.Fatal("peer never saw the commit")
+	}
+	req := got.(CommitRequest)
+	if req.Thief != c.Self() || len(req.Keys) != 2 || req.Keys[0] != "k1" || req.Keys[1] != "k2" {
+		t.Fatalf("commit request = %+v", req)
+	}
+	if n := reqCount(c.Snapshot(), "commit", "ok"); n != 1 {
+		t.Fatalf("commit ok count = %d, want 1", n)
 	}
 }
 

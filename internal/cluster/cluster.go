@@ -21,6 +21,8 @@ import (
 const (
 	ResultsPathPrefix = "/v1/peer/results/"
 	StealPath         = "/v1/peer/steal"
+	StealCommitPath   = "/v1/peer/steal/commit"
+	JobsPathPrefix    = "/v1/peer/jobs/"
 )
 
 // maxResultBytes bounds a fetched result body; anything bigger than
@@ -52,6 +54,16 @@ type StealResponse struct {
 	Jobs []StolenJob `json:"jobs"`
 }
 
+// CommitRequest is the body of POST /v1/peer/steal/commit: the thief
+// confirms it has journaled the listed stolen keys into its own WAL,
+// which licenses the victim to tombstone its intent records. Until this
+// arrives the victim's journal still owns the jobs, so a thief crash
+// before commit strands nothing.
+type CommitRequest struct {
+	Thief string   `json:"thief"`
+	Keys  []string `json:"keys"`
+}
+
 // Options configures New.
 type Options struct {
 	// Self is this node's advertise address — how peers reach it (e.g.
@@ -62,9 +74,17 @@ type Options struct {
 	// appear in the list (operators pass one identical -peers flag to
 	// every node) and is filtered out of the dial set.
 	Peers []string
-	// Replicas is the virtual-node count per peer; <= 0 means
-	// DefaultReplicas.
-	Replicas int
+	// VNodes is the virtual-node count per peer; <= 0 means
+	// DefaultVNodes.
+	VNodes int
+	// Factor is the replication factor: how many distinct ring members
+	// (owner first, then clockwise successors) hold each result. <= 0
+	// means DefaultFactor; values above the member count are clamped.
+	Factor int
+	// Transport, when non-nil, replaces the HTTP transport used for all
+	// peer requests. The chaos harness injects a fault transport here;
+	// production leaves it nil (http.DefaultTransport).
+	Transport http.RoundTripper
 	// Timeout bounds one peer HTTP exchange; 0 means 500 ms. Peer
 	// lookups sit on the job path, so this is deliberately short: a slow
 	// peer must cost less than the engine run it might save.
@@ -94,14 +114,15 @@ type reqKey struct{ peer, op, outcome string }
 // Cluster is the node-local cluster view: the ring, the dialable peers,
 // their breakers, and the request counters. Safe for concurrent use.
 type Cluster struct {
-	self     string
-	replicas int
-	ring     *Ring
-	peers    map[string]*peer // addr → peer, self excluded
-	order    []string         // sorted peer addrs, self excluded
-	client   *http.Client
-	timeout  time.Duration
-	logf     func(string, ...any)
+	self    string
+	vnodes  int
+	factor  int
+	ring    *Ring
+	peers   map[string]*peer // addr → peer, self excluded
+	order   []string         // sorted peer addrs, self excluded
+	client  *http.Client
+	timeout time.Duration
+	logf    func(string, ...any)
 
 	mu   sync.Mutex
 	reqs map[reqKey]int64
@@ -154,9 +175,16 @@ func New(opts Options) (*Cluster, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	replicas := opts.Replicas
-	if replicas <= 0 {
-		replicas = DefaultReplicas
+	vnodes := opts.VNodes
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	factor := opts.Factor
+	if factor <= 0 {
+		factor = DefaultFactor
+	}
+	if factor > len(members) {
+		factor = len(members)
 	}
 	order := make([]string, 0, len(peers))
 	for addr := range peers {
@@ -164,15 +192,16 @@ func New(opts Options) (*Cluster, error) {
 	}
 	sort.Strings(order)
 	return &Cluster{
-		self:     self,
-		replicas: replicas,
-		ring:     NewRing(members, replicas),
-		peers:    peers,
-		order:    order,
-		client:   &http.Client{Timeout: timeout},
-		timeout:  timeout,
-		logf:     logf,
-		reqs:     make(map[reqKey]int64),
+		self:    self,
+		vnodes:  vnodes,
+		factor:  factor,
+		ring:    NewRing(members, vnodes),
+		peers:   peers,
+		order:   order,
+		client:  &http.Client{Timeout: timeout, Transport: opts.Transport},
+		timeout: timeout,
+		logf:    logf,
+		reqs:    make(map[reqKey]int64),
 	}, nil
 }
 
@@ -184,6 +213,25 @@ func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
 
 // OwnsLocally reports whether this node is key's ring owner.
 func (c *Cluster) OwnsLocally(key string) bool { return c.ring.Owner(key) == c.self }
+
+// Factor returns the effective replication factor.
+func (c *Cluster) Factor() int { return c.factor }
+
+// ReplicaSet returns key's replica set: the ring owner plus its
+// distinct clockwise successors, Factor peers in total (fewer when the
+// ring is smaller). Every node computes the same set for a key.
+func (c *Cluster) ReplicaSet(key string) []string { return c.ring.Owners(key, c.factor) }
+
+// HoldsKey reports whether this node is in key's replica set — i.e.
+// whether the replication protocol wants a copy of key's result here.
+func (c *Cluster) HoldsKey(key string) bool {
+	for _, addr := range c.ReplicaSet(key) {
+		if addr == c.self {
+			return true
+		}
+	}
+	return false
+}
 
 // PeerAddrs returns the dialable peers (self excluded), sorted.
 func (c *Cluster) PeerAddrs() []string {
@@ -209,18 +257,21 @@ func (c *Cluster) count(peerAddr, op, outcome string) {
 	c.mu.Unlock()
 }
 
-// FetchResult consults key's ring owner for a stored result. It returns
-// (nil, false) immediately when this node owns the key (there is no
-// better authority to ask), when the owner's breaker is open, or on any
-// miss or failure — a peer problem must never be worse than a cache
-// miss.
+// FetchResult consults key's replica set for a stored result: the ring
+// owner first, then each distinct successor, skipping self (the caller
+// already missed locally). It returns on the first hit; misses and
+// failures fall through to the next replica — a peer problem must never
+// be worse than a cache miss.
 func (c *Cluster) FetchResult(ctx context.Context, key string) ([]byte, bool) {
-	owner := c.ring.Owner(key)
-	if owner == c.self {
-		return nil, false
+	for _, addr := range c.ReplicaSet(key) {
+		if addr == c.self {
+			continue
+		}
+		if body, found, _ := c.FetchFrom(ctx, addr, key); found {
+			return body, true
+		}
 	}
-	body, found, _ := c.FetchFrom(ctx, owner, key)
-	return body, found
+	return nil, false
 }
 
 // FetchFrom asks one specific peer for key's result bytes. It returns
@@ -269,26 +320,38 @@ func (c *Cluster) FetchFrom(ctx context.Context, peerAddr, key string) ([]byte, 
 	}
 }
 
-// PushResult replicates a computed body to key's ring owner, so later
-// lookups anywhere in the cluster find it with one hop to the owner.
-// No-op when this node owns the key. Best-effort: failures cost nothing
-// but the breaker bookkeeping — the body is already safe locally.
-func (c *Cluster) PushResult(ctx context.Context, key string, body []byte) {
-	owner := c.ring.Owner(key)
-	if owner == c.self {
-		return
+// PushResult replicates a computed body to every member of key's
+// replica set except self — the ring owner and its distinct successors
+// — so any single node death loses no cached result. It returns how
+// many pushes succeeded. Best-effort: failures cost nothing but the
+// breaker bookkeeping (the body is already safe locally), and the
+// anti-entropy repair loop closes any gap later.
+func (c *Cluster) PushResult(ctx context.Context, key string, body []byte) int {
+	pushed := 0
+	for _, addr := range c.ReplicaSet(key) {
+		if addr == c.self {
+			continue
+		}
+		if err := c.PushTo(ctx, addr, key, body); err == nil {
+			pushed++
+		}
 	}
-	p, ok := c.peers[owner]
+	return pushed
+}
+
+// PushTo replicates a computed body to one specific peer.
+func (c *Cluster) PushTo(ctx context.Context, peerAddr, key string, body []byte) error {
+	p, ok := c.peers[NormalizeAddr(peerAddr)]
 	if !ok {
-		return
+		return fmt.Errorf("cluster: unknown peer %s", peerAddr)
 	}
 	if !p.breaker.Allow() {
 		c.count(p.addr, "replicate", "open")
-		return
+		return fmt.Errorf("cluster: breaker open for %s", p.addr)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, p.addr+ResultsPathPrefix+key, bytes.NewReader(body))
 	if err != nil {
-		return
+		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(req)
@@ -296,7 +359,7 @@ func (c *Cluster) PushResult(ctx context.Context, key string, body []byte) {
 		p.breaker.Failure()
 		c.count(p.addr, "replicate", "error")
 		c.logf("cluster: replicating %s to %s: %v", key[:8], p.addr, err)
-		return
+		return err
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
@@ -304,10 +367,51 @@ func (c *Cluster) PushResult(ctx context.Context, key string, body []byte) {
 		p.breaker.Failure()
 		c.count(p.addr, "replicate", "error")
 		c.logf("cluster: replicating %s to %s: status %d", key[:8], p.addr, resp.StatusCode)
-		return
+		return fmt.Errorf("cluster: peer %s answered %d", p.addr, resp.StatusCode)
 	}
 	p.breaker.Success()
 	c.count(p.addr, "replicate", "ok")
+	return nil
+}
+
+// HasResult asks one peer whether it holds key's result, without
+// transferring the body (HEAD). The anti-entropy repair loop uses it to
+// probe replicas cheaply before pushing.
+func (c *Cluster) HasResult(ctx context.Context, peerAddr, key string) (bool, error) {
+	p, ok := c.peers[NormalizeAddr(peerAddr)]
+	if !ok {
+		return false, fmt.Errorf("cluster: unknown peer %s", peerAddr)
+	}
+	if !p.breaker.Allow() {
+		c.count(p.addr, "probe", "open")
+		return false, fmt.Errorf("cluster: breaker open for %s", p.addr)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, p.addr+ResultsPathPrefix+key, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		p.breaker.Failure()
+		c.count(p.addr, "probe", "error")
+		return false, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		p.breaker.Success()
+		c.count(p.addr, "probe", "hit")
+		return true, nil
+	case http.StatusNotFound:
+		p.breaker.Success()
+		c.count(p.addr, "probe", "miss")
+		return false, nil
+	default:
+		p.breaker.Failure()
+		c.count(p.addr, "probe", "error")
+		return false, fmt.Errorf("cluster: peer %s answered %d", p.addr, resp.StatusCode)
+	}
 }
 
 // StealFrom asks one peer to hand over up to want pending jobs. An
@@ -358,6 +462,90 @@ func (c *Cluster) StealFrom(ctx context.Context, peerAddr string, want int) ([]S
 	return grant.Jobs, nil
 }
 
+// CommitSteal tells the victim that this thief has journaled the listed
+// stolen keys into its own WAL — phase two of the steal handoff. Only
+// after a 2xx here is the victim's journal clear of the jobs; on any
+// failure the victim keeps its intent records and its follower/replay
+// machinery guarantees the jobs still run somewhere.
+func (c *Cluster) CommitSteal(ctx context.Context, victimAddr string, keys []string) error {
+	p, ok := c.peers[NormalizeAddr(victimAddr)]
+	if !ok {
+		return fmt.Errorf("cluster: unknown peer %s", victimAddr)
+	}
+	if !p.breaker.Allow() {
+		c.count(p.addr, "commit", "open")
+		return fmt.Errorf("cluster: breaker open for %s", p.addr)
+	}
+	reqBody, err := json.Marshal(CommitRequest{Thief: c.self, Keys: keys})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.addr+StealCommitPath, bytes.NewReader(reqBody))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		p.breaker.Failure()
+		c.count(p.addr, "commit", "error")
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		p.breaker.Failure()
+		c.count(p.addr, "commit", "error")
+		return fmt.Errorf("cluster: peer %s answered %d to steal commit", p.addr, resp.StatusCode)
+	}
+	p.breaker.Success()
+	c.count(p.addr, "commit", "ok")
+	return nil
+}
+
+// KnowsJob asks one peer whether it has any record of key — an inflight
+// job, a cached or stored result. The victim's stolen-job follower uses
+// it to distinguish "thief is working on it / restarted with it in its
+// WAL" (keep waiting) from "thief never durably took it" (reclaim and
+// run locally). (true, nil) = peer knows the key; (false, nil) = peer
+// is alive and has no record; err = can't tell.
+func (c *Cluster) KnowsJob(ctx context.Context, peerAddr, key string) (bool, error) {
+	p, ok := c.peers[NormalizeAddr(peerAddr)]
+	if !ok {
+		return false, fmt.Errorf("cluster: unknown peer %s", peerAddr)
+	}
+	if !p.breaker.Allow() {
+		c.count(p.addr, "jobs", "open")
+		return false, fmt.Errorf("cluster: breaker open for %s", p.addr)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.addr+JobsPathPrefix+key, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		p.breaker.Failure()
+		c.count(p.addr, "jobs", "error")
+		return false, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		p.breaker.Success()
+		c.count(p.addr, "jobs", "hit")
+		return true, nil
+	case http.StatusNotFound:
+		p.breaker.Success()
+		c.count(p.addr, "jobs", "miss")
+		return false, nil
+	default:
+		p.breaker.Failure()
+		c.count(p.addr, "jobs", "error")
+		return false, fmt.Errorf("cluster: peer %s answered %d", p.addr, resp.StatusCode)
+	}
+}
+
 // ReqStat is one cell of the peer-request counter matrix, the
 // coordd_peer_requests_total{peer,op,outcome} series.
 type ReqStat struct {
@@ -379,7 +567,8 @@ type PeerInfo struct {
 // GET /v1/admin/cluster and folded into /metrics and /healthz.
 type Snapshot struct {
 	Self     string     `json:"self"`
-	Replicas int        `json:"replicas"`
+	VNodes   int        `json:"vnodes"`
+	Factor   int        `json:"factor"`
 	Peers    []PeerInfo `json:"peers"`
 	Requests []ReqStat  `json:"requests"`
 }
@@ -387,7 +576,7 @@ type Snapshot struct {
 // Snapshot captures the current peer and counter state, peers and
 // counters in stable sorted order.
 func (c *Cluster) Snapshot() Snapshot {
-	snap := Snapshot{Self: c.self, Replicas: c.replicas}
+	snap := Snapshot{Self: c.self, VNodes: c.vnodes, Factor: c.factor}
 	for _, addr := range c.order {
 		p := c.peers[addr]
 		snap.Peers = append(snap.Peers, PeerInfo{

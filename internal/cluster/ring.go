@@ -17,10 +17,15 @@ import (
 	"sort"
 )
 
-// DefaultReplicas is the virtual-node count per peer. 128 vnodes keep
+// DefaultVNodes is the virtual-node count per peer. 128 vnodes keep
 // the arc-length imbalance across a handful of peers within a few
 // percent while the ring stays tiny (3 peers × 128 = 384 points).
-const DefaultReplicas = 128
+const DefaultVNodes = 128
+
+// DefaultFactor is the default replication factor: every result lives
+// on its ring owner plus one distinct successor, so any single node
+// death loses no cached results.
+const DefaultFactor = 2
 
 // ringVersion salts every ring point so the key→owner mapping can be
 // versioned independently of the peers' addresses.
@@ -42,11 +47,11 @@ type vnode struct {
 	peer string
 }
 
-// NewRing builds the ring from the peer set with replicas virtual nodes
-// per peer (<= 0 means DefaultReplicas). Duplicate peers are collapsed.
-func NewRing(peers []string, replicas int) *Ring {
-	if replicas <= 0 {
-		replicas = DefaultReplicas
+// NewRing builds the ring from the peer set with vnodes virtual nodes
+// per peer (<= 0 means DefaultVNodes). Duplicate peers are collapsed.
+func NewRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
 	}
 	seen := make(map[string]bool, len(peers))
 	uniq := make([]string, 0, len(peers))
@@ -59,9 +64,9 @@ func NewRing(peers []string, replicas int) *Ring {
 	}
 	sort.Strings(uniq)
 	r := &Ring{peers: uniq}
-	r.vnodes = make([]vnode, 0, len(uniq)*replicas)
+	r.vnodes = make([]vnode, 0, len(uniq)*vnodes)
 	for _, p := range uniq {
-		for i := 0; i < replicas; i++ {
+		for i := 0; i < vnodes; i++ {
 			r.vnodes = append(r.vnodes, vnode{hash: pointHash(p, i), peer: p})
 		}
 	}
@@ -101,15 +106,43 @@ func keyHash(key string) uint64 {
 // Owner returns the peer owning key: the first virtual node clockwise
 // from the key's ring position. An empty ring owns nothing ("").
 func (r *Ring) Owner(key string) string {
-	if len(r.vnodes) == 0 {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
 		return ""
 	}
-	h := keyHash(key)
-	i := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
-	if i == len(r.vnodes) {
-		i = 0
+	return owners[0]
+}
+
+// Owners returns key's replica set: up to n distinct peers collected by
+// walking the ring clockwise from the key's position. The first entry
+// is the owner (== Owner(key)), the second its distinct successor, and
+// so on. Fewer than n peers in the ring yields all of them. The walk
+// skips virtual nodes of peers already collected, so the set is always
+// distinct and its order is a pure function of the key and the peer
+// set — every node computes the same replica set.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.vnodes) == 0 || n <= 0 {
+		return nil
 	}
-	return r.vnodes[i].peer
+	if n > len(r.peers) {
+		n = len(r.peers)
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	if start == len(r.vnodes) {
+		start = 0
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.vnodes) && len(out) < n; i++ {
+		p := r.vnodes[(start+i)%len(r.vnodes)].peer
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
 }
 
 // Peers returns the sorted deduplicated peer set.

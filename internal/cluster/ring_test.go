@@ -110,6 +110,77 @@ func TestRingBalance(t *testing.T) {
 	}
 }
 
+// Owners collects distinct clockwise successors: owner first, no
+// repeats, clamped to the peer count, identical for any peer ordering.
+func TestRingOwnersReplicaSets(t *testing.T) {
+	peers := []string{
+		"http://10.0.0.1:8344",
+		"http://10.0.0.2:8344",
+		"http://10.0.0.3:8344",
+		"http://10.0.0.4:8344",
+	}
+	ring := NewRing(peers, 0)
+	keys := randomKeys(500, 13)
+	for _, k := range keys {
+		set := ring.Owners(k, 2)
+		if len(set) != 2 {
+			t.Fatalf("Owners(%s, 2) returned %d peers", k[:16], len(set))
+		}
+		if set[0] != ring.Owner(k) {
+			t.Fatalf("Owners first entry %s != Owner %s", set[0], ring.Owner(k))
+		}
+		if set[0] == set[1] {
+			t.Fatalf("replica set repeats a peer: %v", set)
+		}
+		// n above the peer count clamps to all peers, still distinct.
+		all := ring.Owners(k, 99)
+		if len(all) != len(peers) {
+			t.Fatalf("Owners(k, 99) = %d peers, want %d", len(all), len(peers))
+		}
+		seen := make(map[string]bool)
+		for _, p := range all {
+			if seen[p] {
+				t.Fatalf("Owners(k, 99) repeats %s", p)
+			}
+			seen[p] = true
+		}
+	}
+	// Replica sets are a pure function of the peer *set*.
+	shuffled := []string{peers[2], peers[0], peers[3], peers[1]}
+	other := NewRing(shuffled, 0)
+	for _, k := range keys {
+		a, b := ring.Owners(k, 3), other.Owners(k, 3)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("replica set order-dependent for %s: %v vs %v", k[:16], a, b)
+			}
+		}
+	}
+	if got := NewRing(nil, 0).Owners("k", 2); got != nil {
+		t.Fatalf("empty ring Owners = %v, want nil", got)
+	}
+	if got := ring.Owners("k", 0); got != nil {
+		t.Fatalf("Owners(k, 0) = %v, want nil", got)
+	}
+}
+
+// The successor (second replica) must also be spread across the peers:
+// vnode interleaving, not arc adjacency, picks it.
+func TestRingSuccessorBalance(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	ring := NewRing(peers, 0)
+	counts := make(map[string]int)
+	keys := randomKeys(4000, 17)
+	for _, k := range keys {
+		counts[ring.Owners(k, 2)[1]]++
+	}
+	for _, p := range peers {
+		if counts[p] < len(keys)/12 {
+			t.Fatalf("peer %s is successor for only %d of %d keys: %v", p, counts[p], len(keys), counts)
+		}
+	}
+}
+
 // Owner is stable for the same key and empty rings degrade gracefully.
 func TestRingEdgeCases(t *testing.T) {
 	if owner := NewRing(nil, 0).Owner("k"); owner != "" {

@@ -49,10 +49,17 @@ const journalVersion = "coordd-queue/v1"
 const (
 	OpAccept = "accept"
 	OpSettle = "settle"
+	// OpIntent marks a pending job as granted to a thief but not yet
+	// committed: the first phase of the two-phase steal handoff. The job
+	// stays pending (an intent is an annotated accept, not a tombstone),
+	// so a crash on both sides before the thief commits still replays
+	// the job here — nothing is stranded.
+	OpIntent = "intent"
 )
 
 // Record is one journal entry. Accept records carry the canonical spec
-// and its scheduling envelope; settle records only the key.
+// and its scheduling envelope; settle records only the key; intent
+// records are the accept record re-stamped with the thief's address.
 type Record struct {
 	Op       string          `json:"op"`
 	Key      string          `json:"key"`
@@ -60,6 +67,8 @@ type Record struct {
 	Class    string          `json:"class,omitempty"`
 	Priority int             `json:"priority,omitempty"`
 	Spec     json.RawMessage `json:"spec,omitempty"`
+	// Thief is the stealing peer's advertise address on intent records.
+	Thief string `json:"thief,omitempty"`
 	// At is the accept wall-clock in unix nanoseconds, preserved across
 	// replay so queue-age metrics survive a restart.
 	At int64 `json:"at,omitempty"`
@@ -219,7 +228,10 @@ func (j *Journal) applySegment(name string, data []byte) {
 			continue
 		}
 		switch rec.Op {
-		case OpAccept:
+		case OpAccept, OpIntent:
+			// An intent is still pending — only the commit-driven settle
+			// tombstone clears it. Replay surfaces the recorded thief so
+			// the service can poll it before re-running locally.
 			if _, ok := j.pending[rec.Key]; !ok {
 				j.order = append(j.order, rec.Key)
 			}
@@ -290,6 +302,25 @@ func (j *Journal) Accept(rec Record) error {
 		j.order = append(j.order, rec.Key)
 	}
 	j.pending[rec.Key] = &r
+	return j.appendLocked(&r)
+}
+
+// Intent re-stamps key's pending record with the thief's address and
+// appends (and fsyncs) it — phase one of the two-phase steal handoff.
+// The job stays pending: a replay after a crash re-admits it (annotated
+// with the thief), and only the commit-driven Settle clears it. A key
+// with no pending accept is a no-op.
+func (j *Journal) Intent(key, thief string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.pending[key]
+	if !ok {
+		return nil
+	}
+	r := *rec
+	r.Op = OpIntent
+	r.Thief = thief
+	j.pending[key] = &r
 	return j.appendLocked(&r)
 }
 
@@ -481,7 +512,7 @@ func decodeLine(line []byte) (*Record, error) {
 	if err := json.Unmarshal([]byte(body), &rec); err != nil {
 		return nil, err
 	}
-	if rec.Key == "" || (rec.Op != OpAccept && rec.Op != OpSettle) {
+	if rec.Key == "" || (rec.Op != OpAccept && rec.Op != OpSettle && rec.Op != OpIntent) {
 		return nil, fmt.Errorf("invalid record op %q", rec.Op)
 	}
 	return &rec, nil

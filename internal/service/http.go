@@ -29,6 +29,8 @@ import (
 //	GET    /v1/peer/results/{key} serve a stored result to a cluster peer
 //	PUT    /v1/peer/results/{key} accept a replicated result from a peer
 //	POST   /v1/peer/steal      donate pending jobs to an idle peer
+//	POST   /v1/peer/steal/commit thief confirms stolen jobs are in its WAL
+//	GET    /v1/peer/jobs/{key} whether this node has any record of a key
 //	GET    /v1/admin/store     durable-store state + quarantine listing
 //	POST   /v1/admin/store/rescan re-verify entries, re-admit repaired ones
 //	GET    /v1/admin/cluster   ring membership, breaker states, peer counters
@@ -50,6 +52,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/peer/results/{key}", s.handlePeerGetResult)
 	mux.HandleFunc("PUT /v1/peer/results/{key}", s.handlePeerPutResult)
 	mux.HandleFunc("POST /v1/peer/steal", s.handlePeerSteal)
+	mux.HandleFunc("POST /v1/peer/steal/commit", s.handlePeerStealCommit)
+	mux.HandleFunc("GET /v1/peer/jobs/{key}", s.handlePeerKnowsJob)
 	mux.HandleFunc("GET /v1/admin/store", s.handleAdminStore)
 	mux.HandleFunc("POST /v1/admin/store/rescan", s.handleAdminStoreRescan)
 	mux.HandleFunc("GET /v1/admin/cluster", s.handleAdminCluster)
@@ -73,10 +77,10 @@ type overloadError struct {
 }
 
 // writeOverload answers a queue-full rejection with a Retry-After
-// header derived from the queue depth and the observed mean job
-// duration, plus the structured JSON body.
-func (s *Server) writeOverload(w http.ResponseWriter, err error) {
-	secs, depth, capacity := s.retryAfter()
+// header derived from the rejected class's queue depth and observed
+// mean job duration, plus the structured JSON body.
+func (s *Server) writeOverload(w http.ResponseWriter, err error, class queue.Class) {
+	secs, depth, capacity := s.retryAfter(class)
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeJSON(w, http.StatusTooManyRequests, overloadError{
 		Error:         err.Error(),
@@ -113,7 +117,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, code, st)
 	case errors.Is(err, ErrQueueFull):
-		s.writeOverload(w, err)
+		s.writeOverload(w, err, queue.ClassInteractive)
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 	default:
@@ -179,7 +183,7 @@ func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, st)
 	case errors.Is(err, ErrQueueFull):
-		s.writeOverload(w, err)
+		s.writeOverload(w, err, queue.ClassSweep)
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 	default:

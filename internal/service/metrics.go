@@ -49,6 +49,16 @@ type Metrics struct {
 	// JobsReclaimed counts donated jobs taken back and re-enqueued
 	// locally after their thief stopped answering.
 	JobsReclaimed atomic.Int64
+	// StealCommits counts successful phase-two commits this thief posted
+	// back to victims after journaling stolen jobs into its own WAL.
+	StealCommits atomic.Int64
+	// ReplicaPushes counts result bodies successfully pushed to replica
+	// peers (owner or successor), both on the compute path and by the
+	// anti-entropy repair loop.
+	ReplicaPushes atomic.Int64
+	// ReplicaRepairs counts bodies the anti-entropy repair loop pushed
+	// to replicas found missing them — the under-replication it healed.
+	ReplicaRepairs atomic.Int64
 
 	// EngineRuns counts actual engine executions: submissions minus
 	// cache hits, coalesced attaches, rejections, and queued cancels.
@@ -75,6 +85,11 @@ type Metrics struct {
 	counts  []int64   // cumulative-on-render, raw per-bucket here
 	sum     float64
 	count   int64
+	// classSum/classCount split the duration observations by scheduling
+	// class, feeding the per-class Retry-After estimate: a saturating
+	// sweep's long cells must not inflate interactive clients' backoff.
+	classSum   map[queue.Class]float64
+	classCount map[queue.Class]int64
 }
 
 // defaultBuckets spans microsecond cache hits to multi-minute sweeps.
@@ -87,11 +102,17 @@ func NewMetrics() *Metrics {
 	b := make([]float64, len(defaultBuckets))
 	copy(b, defaultBuckets)
 	sort.Float64s(b)
-	return &Metrics{buckets: b, counts: make([]int64, len(b))}
+	return &Metrics{
+		buckets:    b,
+		counts:     make([]int64, len(b)),
+		classSum:   make(map[queue.Class]float64),
+		classCount: make(map[queue.Class]int64),
+	}
 }
 
-// ObserveJobSeconds records one job's wall-clock duration.
-func (m *Metrics) ObserveJobSeconds(s float64) {
+// ObserveJobSeconds records one job's wall-clock duration under its
+// scheduling class.
+func (m *Metrics) ObserveJobSeconds(s float64, class queue.Class) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for i, ub := range m.buckets {
@@ -102,13 +123,31 @@ func (m *Metrics) ObserveJobSeconds(s float64) {
 	}
 	m.sum += s
 	m.count++
+	m.classSum[class] += s
+	m.classCount[class]++
 }
 
 // MeanJobSeconds reports the observed mean job duration, or 0 before
-// any job has completed. It feeds the Retry-After estimate on 429s.
+// any job has completed.
 func (m *Metrics) MeanJobSeconds() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.count == 0 {
+		return 0
+	}
+	return m.sum / float64(m.count)
+}
+
+// MeanJobSecondsClass reports the observed mean job duration for one
+// scheduling class, falling back to the overall mean before any job of
+// that class has completed (and 0 before any job at all has). It feeds
+// the per-class Retry-After estimate on 429s.
+func (m *Metrics) MeanJobSecondsClass(class queue.Class) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n := m.classCount[class]; n > 0 {
+		return m.classSum[class] / float64(n)
+	}
 	if m.count == 0 {
 		return 0
 	}
@@ -186,6 +225,9 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	counter("coordd_jobs_stolen_total", "Pending jobs adopted from saturated peers.", m.JobsStolen.Load())
 	counter("coordd_jobs_donated_total", "Pending jobs granted to idle peers.", m.JobsDonated.Load())
 	counter("coordd_jobs_reclaimed_total", "Donated jobs taken back after their thief stopped answering.", m.JobsReclaimed.Load())
+	counter("coordd_steal_commits_total", "Two-phase steal commits posted back to victims.", m.StealCommits.Load())
+	counter("coordd_replica_pushes_total", "Result bodies successfully pushed to replica peers.", m.ReplicaPushes.Load())
+	counter("coordd_replica_repairs_total", "Under-replicated bodies healed by the anti-entropy repair loop.", m.ReplicaRepairs.Load())
 	counter("coordd_queue_journal_accepts_total", "Accept records appended to the queue journal.", g.Journal.Accepts)
 	counter("coordd_queue_journal_settles_total", "Settle tombstones appended to the queue journal.", g.Journal.Settles)
 	counter("coordd_queue_journal_truncated_total", "Undecodable journal records skipped on replay.", g.Journal.Truncated)

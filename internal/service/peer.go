@@ -16,28 +16,26 @@ import (
 // peer lookup, and the work-stealing machinery.
 //
 // Results are content-addressed (coordd/v2 keys), so any node can serve
-// any node's result byte-for-byte. The consistent-hash ring names one
-// owner peer per key; a local miss consults the owner before running
-// the engine, and every computed body is replicated to its owner so the
-// owner's answer is authoritative for the whole cluster.
+// any node's result byte-for-byte. The consistent-hash ring names a
+// replica set per key — the owner plus its distinct successors, Factor
+// peers in total; a local miss consults the replicas in ring order
+// before running the engine, and every computed body is replicated to
+// all of them (the anti-entropy loop in replicate.go heals any push
+// that failed), so any single node death loses no cached result.
 //
 // Stealing moves *pending* jobs from a saturated node (the victim) to
-// an idle one (the thief). The handoff transfers journal ownership —
-// the victim tombstones its accept record, the thief appends its own —
-// so a crash on either side re-runs the job at most once. The victim
-// keeps the HTTP-visible Job and follows the thief's result remotely,
-// falling back to local recompute if the thief is presumed dead.
+// an idle one (the thief) in two phases. INTENT: the victim re-stamps
+// the job's journal record with the thief's address (fsynced) before
+// the grant leaves; the job stays pending in its journal. COMMIT: the
+// thief appends the job to its own WAL, then posts a commit, and only
+// then does the victim tombstone. A crash at any point leaves at least
+// one journal owning the job, and the victim's follower (awaitStolen)
+// reclaims it for local re-run only once the thief provably has no
+// record of it — so a thief+victim double crash strands nothing and no
+// crash schedule runs a key twice.
 
 // maxPeerBodyBytes bounds a replicated result body accepted over PUT.
 const maxPeerBodyBytes = 32 << 20
-
-// stolenPollInterval is how often a victim polls the thief for the
-// result of a donated job.
-const stolenPollInterval = 200 * time.Millisecond
-
-// stolenPollFailures is how many consecutive poll errors the victim
-// tolerates before presuming the thief dead and recomputing locally.
-const stolenPollFailures = 4
 
 // validKey reports whether key looks like a coordd/v2 result key: 64
 // lowercase hex digits. Peer endpoints reject anything else before
@@ -74,7 +72,11 @@ func (s *Server) handlePeerGetResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "no result for key"})
 		return
 	}
-	s.metrics.PeerServed.Add(1)
+	if r.Method != http.MethodHead {
+		// HEAD probes from the repair loop are existence checks, not
+		// served results.
+		s.metrics.PeerServed.Add(1)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_, _ = w.Write(body)
 }
@@ -109,24 +111,90 @@ func (s *Server) handlePeerSteal(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, cluster.StealResponse{Jobs: s.stealVictim(req.Want, req.Thief)})
 }
 
+// handlePeerStealCommit serves POST /v1/peer/steal/commit: the thief
+// confirming it has journaled the listed stolen keys into its own WAL.
+// Only now does the victim tombstone its intent records — ownership has
+// provably transferred. A commit for a key this node has meanwhile
+// reclaimed (the thief went quiet past the poll budget, then the commit
+// arrived late) is ignored: the local journal record backs the local
+// re-run, and content-addressed results make the overlap harmless.
+func (s *Server) handlePeerStealCommit(w http.ResponseWriter, r *http.Request) {
+	var req cluster.CommitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Thief == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad steal commit"})
+		return
+	}
+	for _, key := range req.Keys {
+		if !validKey(key) {
+			continue
+		}
+		s.mu.Lock()
+		j := s.inflight[key]
+		s.mu.Unlock()
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		committed := j.stolenBy == req.Thief
+		j.mu.Unlock()
+		if committed {
+			s.journalSettle(j)
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePeerKnowsJob serves GET /v1/peer/jobs/{key}: whether this node
+// has any durable record of key — an in-flight job (its own journal
+// accept), or a cached/stored result. The victim's stolen-job follower
+// uses it to distinguish a thief that is still working (or restarted
+// with the job in its WAL) from one that never durably took the job.
+func (s *Server) handlePeerKnowsJob(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validKey(key) {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed result key"})
+		return
+	}
+	s.mu.Lock()
+	_, inflight := s.inflight[key]
+	s.mu.Unlock()
+	known := inflight
+	if !known {
+		_, known = s.cache.Get(key)
+	}
+	if !known {
+		_, known = s.storeGet(key)
+	}
+	if !known {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown key"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Known bool `json:"known"`
+	}{Known: true})
+}
+
 // handleAdminCluster serves GET /v1/admin/cluster: ring membership,
-// per-peer breaker state, and the peer request counters.
+// per-peer breaker state, the peer request counters, and the
+// replication/repair health summary.
 func (s *Server) handleAdminCluster(w http.ResponseWriter, r *http.Request) {
 	if s.cluster == nil {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "cluster disabled"})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.cluster.Snapshot())
+	writeJSON(w, http.StatusOK, adminCluster{
+		Snapshot:    s.cluster.Snapshot(),
+		Replication: s.replicationInfo(),
+	})
 }
 
-// peerFetch consults the key's ring owner for an already-computed body.
-// Called on the worker path after the local cache and store both missed,
-// only for keys this node does not own (the owner never dials out for
-// its own keys — it either has the body or is about to compute it). Any
-// peer failure degrades to local compute; a dead owner costs one
-// breaker-limited timeout, never correctness.
+// peerFetch consults the key's replica set for an already-computed
+// body: the ring owner first, then each distinct successor, skipping
+// self (the local tiers already missed). Called on the worker path
+// before the engine runs; any peer failure degrades to local compute —
+// a dead replica costs one breaker-limited timeout, never correctness.
 func (s *Server) peerFetch(j *Job) (json.RawMessage, bool) {
-	if s.cluster == nil || s.cluster.OwnsLocally(j.key) {
+	if s.cluster == nil {
 		return nil, false
 	}
 	body, ok := s.cluster.FetchResult(j.ctx, j.key)
@@ -153,17 +221,20 @@ func (s *Server) settlePeerResult(j *Job, body json.RawMessage) {
 	}
 }
 
-// replicateToOwner pushes a freshly computed body to the key's ring
-// owner, best-effort and off the worker path. The owner being current
-// is what lets any node answer any key with one owner-routed hop.
-func (s *Server) replicateToOwner(key string, body json.RawMessage) {
-	if s.cluster == nil || s.cluster.OwnsLocally(key) {
+// replicateResult pushes a freshly computed body to every member of the
+// key's replica set (owner + distinct successors, self excluded),
+// best-effort and off the worker path. A failed push is healed later by
+// the anti-entropy repair loop; the body is already durable locally.
+func (s *Server) replicateResult(key string, body json.RawMessage) {
+	if s.cluster == nil {
 		return
 	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		s.cluster.PushResult(context.Background(), key, body)
+		if n := s.cluster.PushResult(context.Background(), key, body); n > 0 {
+			s.metrics.ReplicaPushes.Add(int64(n))
+		}
 	}()
 }
 
@@ -171,8 +242,9 @@ func (s *Server) replicateToOwner(key string, body json.RawMessage) {
 // capped at the backlog surplus beyond this node's own worker pool —
 // a node never donates work its own idle-in-a-moment workers would
 // take next. Donated jobs keep their HTTP-visible Job here: the journal
-// record is tombstoned (ownership transfers to the thief's journal) and
-// a follower goroutine polls the thief for the result.
+// record is re-stamped as a steal intent (fsynced before the grant
+// leaves; the tombstone waits for the thief's commit) and a follower
+// goroutine polls the thief for the result.
 func (s *Server) stealVictim(want int, thief string) []cluster.StolenJob {
 	if s.cluster == nil || want < 1 {
 		return nil
@@ -224,35 +296,64 @@ func (s *Server) stealVictim(want int, thief string) []cluster.StolenJob {
 	}
 	s.mu.Unlock()
 	for _, j := range followers {
-		// Tombstone after the grant is assembled: ownership now belongs
-		// to the thief's journal (it re-appends on adoption).
-		s.journalSettle(j)
+		// Phase one: stamp the journal record with the thief's address
+		// before the grant leaves. The job stays pending here — only the
+		// thief's commit (after it journals the job itself) tombstones it,
+		// so no crash schedule leaves the job owned by nobody's WAL.
+		s.journalIntent(j, thief)
 		go s.awaitStolen(j, thief)
 	}
 	return granted
 }
 
+// journalIntent re-stamps j's pending journal record with the thief's
+// address (phase one of the two-phase handoff), only if j owns its
+// record. Ownership is NOT cleared: the victim's journal keeps the job
+// until the thief's commit settles it.
+func (s *Server) journalIntent(j *Job, thief string) {
+	if s.journal == nil {
+		return
+	}
+	s.mu.Lock()
+	owned := j.journaled
+	s.mu.Unlock()
+	if owned {
+		_ = s.journal.Intent(j.key, thief)
+	}
+}
+
 // awaitStolen is the victim's remote follower for one donated job: it
 // polls the thief for the result, settles the local Job when it lands,
-// and falls back to local recompute if the thief stops answering. The
-// job stays "queued" (with stolen_by set) while remote, so API cancel
-// keeps working through the normal queued-cancel path.
+// and falls back to local recompute if the thief provably lost the job.
+// The job stays "queued" (with stolen_by set) while remote, so API
+// cancel keeps working through the normal queued-cancel path.
+//
+// The reclaim rule is the liveness half of the two-phase handoff: a
+// poll that errors AND a clean miss from a thief with no record of the
+// key both count against the poll budget; a thief that answers "I know
+// this job" (running it, or restarted with it in its WAL) resets the
+// budget. Reclaiming trades the L/U-style residual — a thief that
+// revives with the job in its WAL *after* the budget re-runs the key
+// once more elsewhere — for never stranding a job; results are content-
+// addressed, so the overlap costs compute, never correctness.
 func (s *Server) awaitStolen(j *Job, thief string) {
 	defer s.wg.Done()
-	tick := time.NewTicker(stolenPollInterval)
+	tick := time.NewTicker(s.cfg.StealPollInterval)
 	defer tick.Stop()
 	fails := 0
 	for {
 		select {
 		case <-j.done:
 			// Settled through the API (cancel) — Cancel did the
-			// accounting; nothing left to follow.
+			// accounting and the journal tombstone; nothing left to
+			// follow.
 			j.cancel()
 			return
 		case <-j.ctx.Done():
 			if j.finishIfQueued(StateCancelled, j.ctx.Err().Error()) {
 				s.metrics.JobsCancelled.Add(1)
 			}
+			s.journalSettle(j)
 			s.dropInflight(j)
 			return
 		case <-tick.C:
@@ -260,25 +361,39 @@ func (s *Server) awaitStolen(j *Job, thief string) {
 		body, found, err := s.cluster.FetchFrom(j.ctx, thief, j.key)
 		if found {
 			s.settlePeerResult(j, body)
+			// The intent record may still be pending (the thief's commit
+			// crashed or lost a race); the body is durable locally now, so
+			// the journal is done with this job either way.
+			s.journalSettle(j)
 			j.cancel()
 			s.dropInflight(j)
 			return
 		}
 		if err == nil {
-			// Clean miss: the thief has it queued or running. Keep waiting.
-			fails = 0
-			continue
+			// Clean miss: no result yet. Ask whether the thief still has
+			// any record of the job before counting the miss against the
+			// reclaim budget — a restarted-but-recovering thief (journaled,
+			// crashed before running) answers yes and must be waited out,
+			// one that never durably took the job answers no.
+			if known, kerr := s.cluster.KnowsJob(j.ctx, thief, j.key); kerr == nil && known {
+				fails = 0
+				continue
+			}
 		}
 		fails++
-		if fails < stolenPollFailures && !s.cluster.PeerDown(thief) {
+		if fails < s.cfg.StealPollFailures {
 			continue
 		}
-		// Thief presumed dead: take the job back. Re-journal (the
-		// tombstone transferred ownership away; reclaiming must survive
-		// a crash here too) and re-enqueue past MaxDepth — accepted work
-		// is never dropped.
+		// Thief presumed to have lost the job: take it back. The intent
+		// record is re-stamped as a plain accept (reclaiming must survive
+		// a crash here too) and the job re-enqueues past MaxDepth —
+		// accepted work is never dropped.
 		s.mu.Lock()
 		if s.draining {
+			// Leave the intent record pending: the job settles cancelled
+			// for this process's clients, but a restart replays the intent
+			// and the job still runs somewhere — journal ownership is not
+			// discarded on the way down.
 			s.mu.Unlock()
 			if j.finishIfQueued(StateCancelled, "cluster: thief lost during drain") {
 				s.metrics.JobsCancelled.Add(1)
@@ -309,9 +424,11 @@ func (s *Server) awaitStolen(j *Job, thief string) {
 // adoptStolen admits jobs granted by a victim into this node's own
 // queue, registry, and journal. Keys already settled or in flight
 // locally are skipped — the victim's follower finds the body through
-// the results endpoint either way. Returns how many jobs were adopted.
-func (s *Server) adoptStolen(jobs []cluster.StolenJob) int {
-	adopted := 0
+// the results endpoint either way. It returns how many jobs entered the
+// local queue and the victim keys this node now durably owns (freshly
+// journaled, already settled, or already in flight under a local
+// accept) — the set the steal loop commits back to the victim.
+func (s *Server) adoptStolen(jobs []cluster.StolenJob) (adopted int, committed []string) {
 	for _, sj := range jobs {
 		var spec JobSpec
 		if err := json.Unmarshal(sj.Spec, &spec); err != nil {
@@ -323,13 +440,21 @@ func (s *Server) adoptStolen(jobs []cluster.StolenJob) int {
 		}
 		// Adopt under our own canonical key. On version skew it may
 		// differ from the victim's; the victim's follower then falls back
-		// to recompute — degraded, never wrong.
+		// to recompute — degraded, never wrong. Only same-key adoptions
+		// are committed: the victim tombstones the key it granted, so the
+		// commit must vouch for that exact key.
 		key := canon.Key()
 		if _, ok := s.cache.Get(key); ok {
+			if key == sj.Key {
+				committed = append(committed, key)
+			}
 			continue
 		}
 		if body, ok := s.storeGet(key); ok {
 			s.cache.Put(key, body)
+			if key == sj.Key {
+				committed = append(committed, key)
+			}
 			continue
 		}
 		j := s.newJob(canon, key)
@@ -337,6 +462,7 @@ func (s *Server) adoptStolen(jobs []cluster.StolenJob) int {
 		if class == "" {
 			class = queue.ClassInteractive
 		}
+		j.class = class
 		flow := sj.Flow
 		if flow == "" {
 			flow = "interactive"
@@ -350,9 +476,19 @@ func (s *Server) adoptStolen(jobs []cluster.StolenJob) int {
 			Payload:  j,
 		}
 		s.mu.Lock()
-		if s.draining || s.inflight[key] != nil {
+		if s.draining {
 			s.mu.Unlock()
 			j.cancel()
+			continue
+		}
+		if s.inflight[key] != nil {
+			// Already queued or running here under a local accept record;
+			// this node owns the key's fate, so the victim can tombstone.
+			s.mu.Unlock()
+			j.cancel()
+			if key == sj.Key {
+				committed = append(committed, key)
+			}
 			continue
 		}
 		s.jobs[j.id] = j
@@ -365,8 +501,11 @@ func (s *Server) adoptStolen(jobs []cluster.StolenJob) int {
 		s.sched.PushReplay(it)
 		s.metrics.JobsStolen.Add(1)
 		adopted++
+		if key == sj.Key {
+			committed = append(committed, key)
+		}
 	}
-	return adopted
+	return adopted, committed
 }
 
 // stealLoop runs on every cluster node: whenever the local pool has
@@ -405,7 +544,20 @@ func (s *Server) stealLoop(interval time.Duration) {
 			if err != nil || len(jobs) == 0 {
 				continue
 			}
-			free -= s.adoptStolen(jobs)
+			adopted, committed := s.adoptStolen(jobs)
+			free -= adopted
+			if len(committed) > 0 {
+				// Phase two: the stolen keys are in this node's WAL (or
+				// already settled here); tell the victim it may tombstone
+				// its intents. A failed commit is safe — the victim keeps
+				// its records and its follower waits on this node, which
+				// now provably knows the jobs.
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				if err := s.cluster.CommitSteal(ctx, peer, committed); err == nil {
+					s.metrics.StealCommits.Add(1)
+				}
+				cancel()
+			}
 		}
 	}
 }

@@ -91,6 +91,22 @@ type Config struct {
 	// work; 0 means 1 s, negative disables stealing (the node still
 	// serves and fetches peer results).
 	StealInterval time.Duration
+	// StealPollInterval is how often a victim polls the thief for a
+	// donated job's result; 0 means 200 ms.
+	StealPollInterval time.Duration
+	// StealPollFailures is how many consecutive unanswered (or
+	// answered-but-unknowing) polls the victim tolerates before
+	// presuming the thief dead and reclaiming the job; 0 means 4.
+	StealPollFailures int
+	// RepairInterval is how often the anti-entropy repair loop walks a
+	// batch of local store keys and re-replicates any whose replica
+	// peers are missing them; 0 means 5 s, negative disables repair.
+	// Only meaningful with both Cluster and Store configured.
+	RepairInterval time.Duration
+	// RepairBatch bounds how many local keys one repair pass probes; 0
+	// means 128. The cursor persists across passes, so the whole key
+	// space is walked eventually regardless of batch size.
+	RepairBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +146,18 @@ func (c Config) withDefaults() Config {
 	if c.StealInterval == 0 {
 		c.StealInterval = time.Second
 	}
+	if c.StealPollInterval == 0 {
+		c.StealPollInterval = 200 * time.Millisecond
+	}
+	if c.StealPollFailures == 0 {
+		c.StealPollFailures = 4
+	}
+	if c.RepairInterval == 0 {
+		c.RepairInterval = 5 * time.Second
+	}
+	if c.RepairBatch == 0 {
+		c.RepairBatch = 128
+	}
 	return c
 }
 
@@ -163,6 +191,10 @@ type Job struct {
 	id   string
 	key  string
 	spec JobSpec // canonical
+	// class is the scheduling class this job was admitted under, feeding
+	// the per-class duration observations behind Retry-After. Written
+	// once at admission (before the job is shared), read afterwards.
+	class queue.Class
 
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -326,6 +358,16 @@ type Server struct {
 	// are nil when the daemon is standalone or stealing is disabled.
 	stealStop chan struct{}
 	stealDone chan struct{}
+
+	// repairStop/repairDone bracket the anti-entropy repair loop
+	// (replicate.go); both are nil when repair is disabled. The cursor
+	// and pass counters live behind repairMu.
+	repairStop chan struct{}
+	repairDone chan struct{}
+	repairMu   sync.Mutex
+	repairCur  string // last store key probed; next pass resumes after it
+	repairRuns int64
+	lastRepair time.Time
 }
 
 // workerToken is one worker goroutine's claim on a pool slot. The
@@ -389,6 +431,11 @@ func New(cfg Config) *Server {
 		s.stealDone = make(chan struct{})
 		go s.stealLoop(cfg.StealInterval)
 	}
+	if s.cluster != nil && s.store != nil && cfg.RepairInterval > 0 {
+		s.repairStop = make(chan struct{})
+		s.repairDone = make(chan struct{})
+		go s.repairLoop(cfg.RepairInterval)
+	}
 	return s
 }
 
@@ -421,6 +468,7 @@ func (s *Server) submit(spec JobSpec, class queue.Class, flow string) (*Status, 
 	s.metrics.JobsSubmitted.Add(1)
 
 	j := s.newJob(canon, key)
+	j.class = class
 	if body, ok := s.cache.Get(key); ok {
 		s.serveCached(j, body)
 		return j.status(), nil
@@ -569,6 +617,27 @@ func (s *Server) replayJournal() {
 		if flow == "" {
 			flow = "interactive"
 		}
+		j.class = class
+		if rec.Op == queue.OpIntent && rec.Thief != "" && s.cluster != nil && key == rec.Key {
+			// The crash interrupted a steal handoff after the intent was
+			// journaled but before the thief's commit tombstoned it. The
+			// thief may well hold the job (it journaled it and crashed
+			// before committing — its own replay re-runs it), or it may
+			// never have durably taken it. Re-attach the follower: it polls
+			// the recorded thief and reclaims for a local re-run only once
+			// the thief provably has no record of the key. Blindly
+			// re-enqueuing here would be the double-execution half of the
+			// double-crash window the two-phase handoff closes.
+			j.stolenBy = rec.Thief
+			s.mu.Lock()
+			s.jobs[j.id] = j
+			s.inflight[key] = j
+			j.journaled = true
+			s.wg.Add(1)
+			s.mu.Unlock()
+			go s.awaitStolen(j, rec.Thief)
+			continue
+		}
 		it := &queue.Item{
 			Key:      key,
 			Flow:     flow,
@@ -671,7 +740,8 @@ func (s *Server) newJob(canon JobSpec, key string) *Job {
 	s.mu.Unlock()
 	return &Job{
 		id: id, key: key, spec: canon,
-		ctx: ctx, cancel: cancel, deadline: deadline,
+		class: queue.ClassInteractive,
+		ctx:   ctx, cancel: cancel, deadline: deadline,
 		done:  make(chan struct{}),
 		state: StateQueued,
 	}
@@ -888,7 +958,7 @@ func (s *Server) runJob(j *Job, t *workerToken) {
 			}
 		},
 	})
-	s.metrics.ObserveJobSeconds(time.Since(start).Seconds())
+	s.metrics.ObserveJobSeconds(time.Since(start).Seconds(), j.class)
 	s.metrics.TrialsExecuted.Add(j.completed.Load())
 	s.freeSlot(j)
 
@@ -901,7 +971,7 @@ func (s *Server) runJob(j *Job, t *workerToken) {
 		// preserves the registry-outlives-body ordering for followers.
 		s.cache.Put(j.key, body)
 		s.storePut(j.key, body)
-		s.replicateToOwner(j.key, body)
+		s.replicateResult(j.key, body)
 		if won = j.finish(StateDone, body, ""); won {
 			s.metrics.JobsCompleted.Add(1)
 		}
@@ -961,19 +1031,23 @@ func (s *Server) gauges() Gauges {
 	return g
 }
 
-// retryAfter estimates the seconds until queue space frees up: the
-// queued backlog divided across the worker pool, scaled by the observed
-// mean job duration (1 s before anything has finished), clamped to
-// [1, 300]. It is the Retry-After header on 429 responses, so a client
-// backing off by it lands roughly when the queue has moved.
-func (s *Server) retryAfter() (secs, depth, capacity int) {
+// retryAfter estimates the seconds until queue space frees up for one
+// scheduling class: that class's queued backlog divided across the
+// worker pool, scaled by the class's observed mean job duration (the
+// overall mean before the class has finished anything, 1 s before
+// anything at all has), clamped to [1, 300]. It is the Retry-After
+// header on 429 responses; using per-class means keeps a saturating
+// sweep's multi-minute cells from inflating interactive clients'
+// backoff by two orders of magnitude.
+func (s *Server) retryAfter(class queue.Class) (secs, depth, capacity int) {
 	depth = s.sched.Depth()
 	capacity = s.cfg.QueueDepth
-	mean := s.metrics.MeanJobSeconds()
+	classDepth := s.sched.DepthByClass()[class]
+	mean := s.metrics.MeanJobSecondsClass(class)
 	if mean <= 0 {
 		mean = 1
 	}
-	est := math.Ceil(float64(depth+1) / float64(s.cfg.Workers) * mean)
+	est := math.Ceil(float64(classDepth+1) / float64(s.cfg.Workers) * mean)
 	secs = int(est)
 	if secs < 1 {
 		secs = 1
@@ -1004,6 +1078,9 @@ func (s *Server) Drain(ctx context.Context) error {
 			// new work nor keep polling peers.
 			close(s.stealStop)
 		}
+		if s.repairStop != nil {
+			close(s.repairStop)
+		}
 	}
 	s.mu.Unlock()
 	if s.watchDone != nil {
@@ -1011,6 +1088,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	if s.stealDone != nil {
 		<-s.stealDone
+	}
+	if s.repairDone != nil {
+		<-s.repairDone
 	}
 
 	idle := make(chan struct{})

@@ -1,0 +1,439 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"coordattack/internal/cluster"
+	"coordattack/internal/mc"
+	"coordattack/internal/queue"
+)
+
+// This file enumerates the crash schedule of the two-phase steal
+// handoff. For victim V, thief T, and stolen key K the phases are:
+//
+//	intent  — V journals K's record re-stamped with T (fsynced),
+//	adopt   — T journals K into its own WAL and enqueues it,
+//	commit  — T posts the commit; V tombstones K's intent.
+//
+// Each subtest crashes one or both nodes between two phases and
+// asserts the invariant the protocol promises: the key's engine runs
+// exactly once cluster-wide, and no crash point strands it.
+//
+//	P1  T never adopts (no crash)        → V reclaims, runs locally
+//	P2  T never adopts, V dies post-intent → V's replay re-attaches the
+//	    follower, which reclaims and runs locally
+//	P3  T adopts, dies before commit     → T's replay runs K; V's
+//	    follower waits it out and serves the result as a peer hit
+//	P4  T adopts+commits, V dies after   → V's replay has no record of
+//	    K; T runs it
+//	P5  commit lands, T dies before running K → T's replay runs K
+//	P6  commit lands, both die           → T's replay runs K; V's
+//	    replay has no record of K
+//
+// Kill fidelity: the journal handle is closed first (appends stop
+// reaching disk, like a SIGKILL), the HTTP handler is swapped out
+// (peers see errors), and the pool is drained with an already-expired
+// context (in-flight work is abandoned). Restart reopens the journal
+// directory into a fresh Server on the same address.
+
+const (
+	crashBlockerSeed = 424242
+	crashStolenSeedA = 1001
+	crashStolenSeedB = 1002
+)
+
+// runCounter tallies *completed* engine runs per canonical key across
+// every node and every restart in one scenario — the cluster-wide
+// exactly-once ledger.
+type runCounter struct {
+	mu   sync.Mutex
+	runs map[string]int
+}
+
+func newRunCounter() *runCounter { return &runCounter{runs: make(map[string]int)} }
+
+func (cc *runCounter) add(spec JobSpec) {
+	canon, err := spec.Canonicalize()
+	if err != nil {
+		return
+	}
+	cc.mu.Lock()
+	cc.runs[canon.Key()]++
+	cc.mu.Unlock()
+}
+
+func (cc *runCounter) get(key string) int {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.runs[key]
+}
+
+// assertNoDoubles fails if any key anywhere in the scenario completed
+// more than one engine run.
+func (cc *runCounter) assertNoDoubles(t *testing.T) {
+	t.Helper()
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	for key, n := range cc.runs {
+		if n > 1 {
+			t.Errorf("key %s ran %d engines, want at most 1", key[:16], n)
+		}
+	}
+}
+
+// crashNode is one cluster member with a stable loopback address that
+// survives kill/restart cycles: the httptest listener stays up for the
+// whole scenario; only the Server behind its swapHandler changes.
+type crashNode struct {
+	t        *testing.T
+	sh       *swapHandler
+	addr     string
+	dir      string
+	s        *Server
+	jl       *queue.Journal
+	gate     chan struct{}
+	gateOnce *sync.Once
+}
+
+func newCrashNode(t *testing.T) *crashNode {
+	t.Helper()
+	sh := &swapHandler{}
+	srv := httptest.NewServer(sh)
+	t.Cleanup(srv.Close)
+	return &crashNode{t: t, sh: sh, addr: srv.URL, dir: t.TempDir()}
+}
+
+// boot starts (or restarts) the node over its journal directory. Jobs
+// whose seed is in gateSeeds block inside the engine until openGate —
+// the scenario's handle on "crash while this job is pending/running".
+func (n *crashNode) boot(cc *runCounter, peers []string, cfg Config, gateSeeds ...uint64) {
+	n.t.Helper()
+	jl, err := queue.OpenJournal(n.dir, queue.JournalOptions{Logf: n.t.Logf})
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Options{
+		Self:             n.addr,
+		Peers:            peers,
+		Timeout:          300 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  100 * time.Millisecond,
+		Logf:             n.t.Logf,
+	})
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	n.gate = make(chan struct{})
+	n.gateOnce = &sync.Once{}
+	gate := n.gate
+	gated := make(map[uint64]bool, len(gateSeeds))
+	for _, s := range gateSeeds {
+		gated[s] = true
+	}
+	cfg.Cluster = cl
+	cfg.Journal = jl
+	cfg.WatchdogInterval = -1
+	if cfg.StealInterval == 0 {
+		cfg.StealInterval = -1 // scenarios drive the handoff by hand
+	}
+	cfg.WrapEngine = func(engine string, next RunFunc) RunFunc {
+		return func(ctx context.Context, spec JobSpec, workers int, progress func(mc.Snapshot)) (json.RawMessage, error) {
+			if gated[spec.Seed] {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			body, err := next(ctx, spec, workers, progress)
+			if err == nil {
+				cc.add(spec)
+			}
+			return body, err
+		}
+	}
+	n.jl = jl
+	n.s = New(cfg)
+	n.sh.set(n.s.Handler())
+	s, once, g := n.s, n.gateOnce, n.gate
+	n.t.Cleanup(func() {
+		once.Do(func() { close(g) })
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+}
+
+func (n *crashNode) openGate() { n.gateOnce.Do(func() { close(n.gate) }) }
+
+// kill simulates a node death: the journal handle closes first (so no
+// settle written after this instant reaches disk), peers start seeing
+// errors, and in-flight work is abandoned mid-run.
+func (n *crashNode) kill() {
+	n.t.Helper()
+	n.jl.Close()
+	n.sh.set(nil) // swapHandler answers 503 until the next boot
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = n.s.Drain(ctx)
+	n.s, n.jl = nil, nil
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// nodeHasResult probes a node's peer results endpoint for key.
+func nodeHasResult(addr, key string) bool {
+	resp, err := http.Get(addr + cluster.ResultsPathPrefix + key)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// saturateAndGrant fills the victim — a gated blocker pins its single
+// worker, two more submissions build surplus — then extracts a one-job
+// grant for the thief's address, journaling the intent (phase one).
+// Returns the grant and the submitted jobs' ids by key.
+func saturateAndGrant(t *testing.T, v *crashNode, thiefAddr string) (grant []cluster.StolenJob, ids map[string]string) {
+	t.Helper()
+	blocker := JobSpec{Protocol: "a", Graph: "pair", Trials: 30, Seed: crashBlockerSeed}
+	st, err := v.s.Submit(blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = map[string]string{st.Key: st.ID}
+	waitUntil(t, "blocker to occupy the worker", func() bool { return v.s.running.Load() == 1 })
+	for _, seed := range []uint64{crashStolenSeedA, crashStolenSeedB} {
+		st, err := v.s.Submit(JobSpec{Protocol: "a", Graph: "pair", Trials: 30, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[st.Key] = st.ID
+	}
+	grant = v.s.stealVictim(1, thiefAddr)
+	if len(grant) != 1 {
+		t.Fatalf("stealVictim granted %d jobs, want 1", len(grant))
+	}
+	return grant, ids
+}
+
+func TestStealCrashSchedule(t *testing.T) {
+	// P1: the thief never durably takes the job (it answers, but knows
+	// nothing of K). The victim's follower exhausts its poll budget and
+	// reclaims; every key runs exactly once, all on the victim.
+	t.Run("P1_thief_never_adopts", func(t *testing.T) {
+		cc := newRunCounter()
+		v, th := newCrashNode(t), newCrashNode(t)
+		peers := []string{v.addr, th.addr}
+		v.boot(cc, peers, Config{Workers: 1, StealPollInterval: 25 * time.Millisecond, StealPollFailures: 4}, crashBlockerSeed)
+		th.boot(cc, peers, Config{Workers: 1})
+		grant, ids := saturateAndGrant(t, v, th.addr)
+		k := grant[0].Key
+
+		waitUntil(t, "victim to reclaim the unadopted job", func() bool {
+			return v.s.Metrics().JobsReclaimed.Load() == 1
+		})
+		v.openGate()
+		for _, id := range ids {
+			if st := waitDone(t, v.s, id); st.State != StateDone {
+				t.Fatalf("job %s: %s (%s)", id, st.State, st.Error)
+			}
+		}
+		if got := cc.get(k); got != 1 {
+			t.Fatalf("stolen key ran %d engines, want 1", got)
+		}
+		if got := th.s.Metrics().JobsStolen.Load(); got != 0 {
+			t.Fatalf("thief adopted %d jobs, want 0", got)
+		}
+		cc.assertNoDoubles(t)
+	})
+
+	// P2: same, but the victim dies right after journaling the intent.
+	// Its replay must re-attach the follower (not blindly re-enqueue),
+	// discover the thief never took the job, and run it locally once.
+	t.Run("P2_victim_dies_after_intent", func(t *testing.T) {
+		cc := newRunCounter()
+		v, th := newCrashNode(t), newCrashNode(t)
+		peers := []string{v.addr, th.addr}
+		// Poll interval ~1h: the first instance's follower never fires
+		// before the kill, so the crash point is exactly "intent on disk,
+		// nothing else happened".
+		v.boot(cc, peers, Config{Workers: 1, StealPollInterval: time.Hour, StealPollFailures: 4}, crashBlockerSeed)
+		th.boot(cc, peers, Config{Workers: 1})
+		grant, _ := saturateAndGrant(t, v, th.addr)
+		k := grant[0].Key
+		v.kill()
+
+		v.boot(cc, peers, Config{Workers: 1, StealPollInterval: 25 * time.Millisecond, StealPollFailures: 4})
+		if got := v.s.Metrics().QueueReplayed.Load(); got != 3 {
+			t.Fatalf("victim replayed %d records, want 3 (blocker, filler, intent)", got)
+		}
+		waitUntil(t, "replayed follower to reclaim", func() bool {
+			return v.s.Metrics().JobsReclaimed.Load() == 1
+		})
+		waitUntil(t, "reclaimed key to run locally", func() bool { return nodeHasResult(v.addr, k) })
+		if got := cc.get(k); got != 1 {
+			t.Fatalf("stolen key ran %d engines, want 1", got)
+		}
+		cc.assertNoDoubles(t)
+	})
+
+	// P3: the thief journals the job (adopt) and dies before the commit.
+	// Its restart replays and runs K; the victim's follower — which keeps
+	// polling because the thief provably knows the job — serves the
+	// result as a peer hit. No reclaim, no second run.
+	t.Run("P3_thief_dies_before_commit", func(t *testing.T) {
+		cc := newRunCounter()
+		v, th := newCrashNode(t), newCrashNode(t)
+		peers := []string{v.addr, th.addr}
+		v.boot(cc, peers, Config{Workers: 1, StealPollInterval: 25 * time.Millisecond, StealPollFailures: 1000}, crashBlockerSeed)
+		th.boot(cc, peers, Config{Workers: 1}, crashStolenSeedA, crashStolenSeedB)
+		grant, ids := saturateAndGrant(t, v, th.addr)
+		k := grant[0].Key
+
+		adopted, committed := th.s.adoptStolen(grant)
+		if adopted != 1 || len(committed) != 1 || committed[0] != k {
+			t.Fatalf("adopt: adopted=%d committed=%v", adopted, committed)
+		}
+		// Crash before the commit leaves: K is in both WALs.
+		th.kill()
+
+		th.boot(cc, peers, Config{Workers: 1})
+		if st := waitDone(t, v.s, ids[k]); st.State != StateDone {
+			t.Fatalf("victim job for stolen key: %s (%s)", st.State, st.Error)
+		}
+		if got := cc.get(k); got != 1 {
+			t.Fatalf("stolen key ran %d engines, want 1", got)
+		}
+		if got := v.s.Metrics().JobsReclaimed.Load(); got != 0 {
+			t.Fatalf("victim reclaimed %d jobs, want 0 (thief's WAL owned it)", got)
+		}
+		if got := v.s.Metrics().PeerHits.Load(); got != 1 {
+			t.Fatalf("victim peer hits = %d, want 1", got)
+		}
+		cc.assertNoDoubles(t)
+	})
+
+	// P4: full handoff (adopt + commit), then the victim dies. Its
+	// replay must have no record of K — the commit tombstoned the intent
+	// — while the thief computes it once.
+	t.Run("P4_victim_dies_after_commit", func(t *testing.T) {
+		cc := newRunCounter()
+		v, th := newCrashNode(t), newCrashNode(t)
+		peers := []string{v.addr, th.addr}
+		v.boot(cc, peers, Config{Workers: 1, StealPollInterval: time.Hour, StealPollFailures: 4}, crashBlockerSeed)
+		th.boot(cc, peers, Config{Workers: 1})
+		grant, _ := saturateAndGrant(t, v, th.addr)
+		k := grant[0].Key
+
+		_, committed := th.s.adoptStolen(grant)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := th.s.cluster.CommitSteal(ctx, v.addr, committed)
+		cancel()
+		if err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		v.kill()
+
+		v.boot(cc, peers, Config{Workers: 1, StealPollInterval: 25 * time.Millisecond, StealPollFailures: 4})
+		if got := v.s.Metrics().QueueReplayed.Load(); got != 2 {
+			t.Fatalf("victim replayed %d records, want 2 (the commit tombstoned the intent)", got)
+		}
+		waitUntil(t, "thief to compute the stolen key", func() bool { return nodeHasResult(th.addr, k) })
+		if got := cc.get(k); got != 1 {
+			t.Fatalf("stolen key ran %d engines, want 1", got)
+		}
+		if got := v.s.Metrics().JobsReclaimed.Load(); got != 0 {
+			t.Fatalf("restarted victim reclaimed %d jobs, want 0", got)
+		}
+		cc.assertNoDoubles(t)
+	})
+
+	// P5: commit lands, then the thief dies before running K. Its
+	// replay runs it; the victim's follower (still polling — the commit
+	// cleared the WAL, not the in-memory job) gets the result.
+	t.Run("P5_thief_dies_after_commit_before_run", func(t *testing.T) {
+		cc := newRunCounter()
+		v, th := newCrashNode(t), newCrashNode(t)
+		peers := []string{v.addr, th.addr}
+		v.boot(cc, peers, Config{Workers: 1, StealPollInterval: 25 * time.Millisecond, StealPollFailures: 1000}, crashBlockerSeed)
+		th.boot(cc, peers, Config{Workers: 1}, crashStolenSeedA, crashStolenSeedB)
+		grant, ids := saturateAndGrant(t, v, th.addr)
+		k := grant[0].Key
+
+		_, committed := th.s.adoptStolen(grant)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := th.s.cluster.CommitSteal(ctx, v.addr, committed)
+		cancel()
+		if err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		th.kill() // K ran 0 times; it exists only in the thief's WAL
+
+		th.boot(cc, peers, Config{Workers: 1})
+		if st := waitDone(t, v.s, ids[k]); st.State != StateDone {
+			t.Fatalf("victim job for stolen key: %s (%s)", st.State, st.Error)
+		}
+		if got := cc.get(k); got != 1 {
+			t.Fatalf("stolen key ran %d engines, want 1", got)
+		}
+		cc.assertNoDoubles(t)
+	})
+
+	// P6: commit lands, then both nodes die. The victim's replay has no
+	// record of K (tombstoned); the thief's replay runs it once. The
+	// cluster keeps the promise even though the submitting client's
+	// daemon forgot the job existed.
+	t.Run("P6_both_die_after_commit", func(t *testing.T) {
+		cc := newRunCounter()
+		v, th := newCrashNode(t), newCrashNode(t)
+		peers := []string{v.addr, th.addr}
+		v.boot(cc, peers, Config{Workers: 1, StealPollInterval: time.Hour, StealPollFailures: 4}, crashBlockerSeed)
+		th.boot(cc, peers, Config{Workers: 1}, crashStolenSeedA, crashStolenSeedB)
+		grant, _ := saturateAndGrant(t, v, th.addr)
+		k := grant[0].Key
+
+		_, committed := th.s.adoptStolen(grant)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := th.s.cluster.CommitSteal(ctx, v.addr, committed)
+		cancel()
+		if err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		th.kill()
+		v.kill()
+
+		th.boot(cc, peers, Config{Workers: 1})
+		v.boot(cc, peers, Config{Workers: 1, StealPollInterval: 25 * time.Millisecond, StealPollFailures: 4})
+		if got := v.s.Metrics().QueueReplayed.Load(); got != 2 {
+			t.Fatalf("victim replayed %d records, want 2", got)
+		}
+		waitUntil(t, "restarted thief to compute the stolen key", func() bool { return nodeHasResult(th.addr, k) })
+		if got := cc.get(k); got != 1 {
+			t.Fatalf("stolen key ran %d engines, want 1", got)
+		}
+		if got := v.s.Metrics().JobsReclaimed.Load(); got != 0 {
+			t.Fatalf("restarted victim reclaimed %d jobs, want 0", got)
+		}
+		cc.assertNoDoubles(t)
+	})
+}

@@ -667,6 +667,20 @@ func (s *Store) Len() int {
 	return len(s.entries)
 }
 
+// Keys returns every indexed key in sorted order. The cluster's
+// anti-entropy repair loop walks this to find results whose replica
+// set is under-populated.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.entries))
+	for key := range s.entries {
+		out = append(out, key)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
 // Bytes reports the indexed on-disk size.
 func (s *Store) Bytes() int64 {
 	s.mu.Lock()
