@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-json bench-check report quick-report fault-demo service-demo sweep-demo persist-demo chaos-demo queue-demo cluster-demo cluster-chaos-demo fuzz fuzz-spec clean
+.PHONY: all build test test-race bench bench-json bench-check report quick-report fault-demo service-demo sweep-demo persist-demo chaos-demo queue-demo cluster-demo cluster-chaos-demo cluster-hints-demo fuzz fuzz-spec clean
 
 all: build test
 
@@ -330,6 +330,74 @@ cluster-chaos-demo:
 	! curl -s http://127.0.0.1:8361/v1/admin/cluster | grep -q '"breaker": "open"'; \
 	echo "survivor breakers recovered to closed"; \
 	echo "cluster-chaos-demo: OK"
+
+# Hinted-handoff demo: a replica down during a write is healed by hints
+# alone — anti-entropy repair is OFF (-repair-interval 0) the whole
+# time. Three nodes with full replication; C is SIGSTOPped so pushes
+# toward it hang into failures and the failure detector marks it dead;
+# a load settles on A and queues durable hints; SIGCONT revives C and
+# the next successful ping drains the hints until C serves every key
+# having run zero engines and zero repair passes.
+cluster-hints-demo:
+	$(GO) build -o /tmp/coordd ./cmd/coordd
+	@set -e; \
+	root=$$(mktemp -d); \
+	peers='127.0.0.1:8371,127.0.0.1:8372,127.0.0.1:8373'; \
+	for p in 8371 8372 8373; do \
+		mkdir -p $$root/$$p/store $$root/$$p/queue; \
+		/tmp/coordd -addr 127.0.0.1:$$p -workers 1 -peers $$peers \
+			-replicas 3 -repair-interval 0 -steal-interval 0 \
+			-probe-interval 200ms -probe-misses 2 \
+			-store-dir $$root/$$p/store -queue-dir $$root/$$p/queue \
+			& echo $$! > $$root/$$p.pid; \
+	done; \
+	trap 'kill -9 $$(cat $$root/*.pid) 2>/dev/null || true' EXIT; \
+	for p in 8371 8372 8373; do \
+		for i in $$(seq 50); do \
+			curl -sf http://127.0.0.1:$$p/healthz >/dev/null && break; sleep 0.1; \
+		done; \
+	done; \
+	echo "--- SIGSTOP C: pushes toward it will hang into hint-queued failures"; \
+	kill -STOP $$(cat $$root/8373.pid); \
+	for seed in 81 82 83; do \
+		curl -s http://127.0.0.1:8371/v1/jobs \
+			-d "{\"protocol\": \"s:0.2\", \"rounds\": 10, \"trials\": 20000, \"seed\": $$seed}" >/dev/null; \
+	done; \
+	while curl -s http://127.0.0.1:8371/v1/jobs \
+		| grep -Eq '"state": "(queued|running)"'; do sleep 0.2; done; \
+	for i in $$(seq 120); do \
+		pending=$$(curl -s http://127.0.0.1:8371/metrics \
+			| sed -n 's/^coordd_hints_pending //p'); \
+		test -n "$$pending" && test "$$pending" -ge 1 && break; sleep 0.2; \
+	done; \
+	test "$$pending" -ge 1; \
+	echo "hints queued on A while C is stopped: pending=$$pending"; \
+	echo "--- SIGCONT C: the failure detector's next ping drains the hints"; \
+	kill -CONT $$(cat $$root/8373.pid); \
+	keys=$$(curl -s http://127.0.0.1:8371/v1/jobs \
+		| sed -n 's/.*"key": "\([0-9a-f]*\)".*/\1/p' | sort -u); \
+	test $$(echo "$$keys" | wc -l) -eq 3; \
+	for i in $$(seq 150); do \
+		ok=1; \
+		for k in $$keys; do \
+			curl -sf http://127.0.0.1:8373/v1/peer/results/$$k >/dev/null || { ok=0; break; }; \
+		done; \
+		test $$ok = 1 && break; sleep 0.2; \
+	done; \
+	test $$ok = 1; \
+	echo "revived C serves every hinted key"; \
+	runs=$$(curl -s http://127.0.0.1:8373/metrics \
+		| sed -n 's/^coordd_engine_runs_total //p'); \
+	test "$$runs" = 0; \
+	echo "C engine runs: $$runs (hints healed it without computing)"; \
+	curl -s http://127.0.0.1:8373/v1/admin/cluster | grep -q '"repair_runs": 0'; \
+	curl -s http://127.0.0.1:8371/v1/admin/cluster | grep -q '"repair_runs": 0'; \
+	echo "zero anti-entropy passes anywhere: hints did all the healing"; \
+	delivered=$$(curl -s http://127.0.0.1:8371/metrics \
+		| sed -n 's/^coordd_hints_delivered_total //p'); \
+	test "$$delivered" -ge 1; \
+	echo "hints delivered by A: $$delivered"; \
+	echo "cluster-hints-demo: OK"
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/run/

@@ -26,11 +26,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"coordattack/internal/cluster"
+	"coordattack/internal/hints"
 	"coordattack/internal/queue"
 	"coordattack/internal/service"
 	"coordattack/internal/store"
@@ -68,6 +70,10 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		stealEvery   = fs.Duration("steal-interval", time.Second, "idle-node work-stealing poll interval (0 = stealing off)")
 		replicas     = fs.Int("replicas", 2, "replication factor: ring members holding each result (owner + successors)")
 		repairEvery  = fs.Duration("repair-interval", 5*time.Second, "anti-entropy replica repair interval (0 = repair off; needs -store-dir)")
+		repairBudget = fs.Duration("repair-timeout", 0, "per-pass budget for an anti-entropy repair pass (0 = derived from -repair-interval)")
+		probeEvery   = fs.Duration("probe-interval", time.Second, "peer failure-detector heartbeat interval (0 = detector off)")
+		probeMisses  = fs.Int("probe-misses", 3, "consecutive missed heartbeats before a peer is declared dead")
+		hintMax      = fs.Int64("hint-max-bytes", 64<<20, "hinted-handoff log size budget in bytes; oldest hints shed past it (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -96,8 +102,12 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		fmt.Fprintln(os.Stderr, "coordd: peer-timeout must be > 0 and steal-interval >= 0")
 		return 2
 	}
-	if *replicas < 1 || *repairEvery < 0 {
-		fmt.Fprintln(os.Stderr, "coordd: replicas must be >= 1 and repair-interval >= 0")
+	if *replicas < 1 || *repairEvery < 0 || *repairBudget < 0 {
+		fmt.Fprintln(os.Stderr, "coordd: replicas must be >= 1, repair-interval and repair-timeout >= 0")
+		return 2
+	}
+	if *probeEvery < 0 || *probeMisses < 1 || *hintMax < 0 {
+		fmt.Fprintln(os.Stderr, "coordd: probe-interval and hint-max-bytes must be >= 0 and probe-misses >= 1")
 		return 2
 	}
 	if *peers == "" && *advertise != "" {
@@ -164,7 +174,17 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		fmt.Fprintf(out, "coordd: cluster self %s, peers %v, replicas %d\n", cl.Self(), cl.PeerAddrs(), cl.Factor())
+		if cl.Factor() == *replicas {
+			fmt.Fprintf(out, "coordd: cluster self %s, peers %v, replicas %d\n", cl.Self(), cl.PeerAddrs(), cl.Factor())
+		} else {
+			fmt.Fprintf(out, "coordd: cluster self %s, peers %v, replicas %d (requested %d, clamped to ring size)\n",
+				cl.Self(), cl.PeerAddrs(), cl.Factor(), *replicas)
+		}
+		if members := len(cl.PeerAddrs()) + 1; *replicas >= members {
+			log.Printf("coordd: warning: -replicas %d >= %d ring members; every node replicates every "+
+				"result, so each write fans out to the whole cluster and losing any node loses nothing "+
+				"but costs full-cluster pushes", *replicas, members)
+		}
 		// Sanity-check the ring configuration. Both misconfigurations are
 		// survivable (the ring still hashes, breakers contain the damage)
 		// but route traffic to nobody, so say so loudly at boot instead of
@@ -190,6 +210,31 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		}
 	}
 
+	// The hinted-handoff log rides in the queue journal's directory: both
+	// are small WALs recording work the node still owes someone, and a
+	// node that wants crash-safe queues wants crash-safe hints too. No
+	// -queue-dir means hints live in memory and die with the process —
+	// the anti-entropy repair loop is then the only healer.
+	var hl *hints.Log
+	if cl != nil {
+		hintDir := ""
+		if *queueDir != "" {
+			hintDir = filepath.Join(*queueDir, "hints")
+		}
+		hl, err = hints.Open(hintDir, hints.Options{
+			Logf:     log.Printf,
+			MaxBytes: *hintMax,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer hl.Close()
+		if hintDir != "" {
+			fmt.Fprintf(out, "coordd: hint log %s (%d hints replayed)\n", hintDir, hl.Stats().Replayed)
+		}
+	}
+
 	watchdogInterval := *wdInterval
 	if watchdogInterval == 0 {
 		watchdogInterval = -1 // flag 0 = off; Config 0 = default
@@ -201,6 +246,10 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 	repairInterval := *repairEvery
 	if repairInterval == 0 {
 		repairInterval = -1 // flag 0 = off; Config 0 = default
+	}
+	probeInterval := *probeEvery
+	if probeInterval == 0 {
+		probeInterval = -1 // flag 0 = off; Config 0 = default
 	}
 	srv := service.New(service.Config{
 		Workers:           *workers,
@@ -219,6 +268,10 @@ func run(args []string, out io.Writer, stop <-chan os.Signal) int {
 		Cluster:           cl,
 		StealInterval:     stealInterval,
 		RepairInterval:    repairInterval,
+		RepairTimeout:     *repairBudget,
+		Hints:             hl,
+		ProbeInterval:     probeInterval,
+		ProbeMisses:       *probeMisses,
 	})
 	if st != nil {
 		fmt.Fprintf(out, "coordd: result store %s (%d entries, budget %d bytes)\n", *storeDir, st.Len(), *storeMax)

@@ -324,6 +324,10 @@ func TestDaemonBadClusterFlags(t *testing.T) {
 		{"-peers", "127.0.0.1:1"},            // peer set collapses to self-only
 		{"-replicas", "0"},
 		{"-repair-interval", "-1s"},
+		{"-repair-timeout", "-1s"},
+		{"-probe-interval", "-1s"},
+		{"-probe-misses", "0"},
+		{"-hint-max-bytes", "-1"},
 	}
 	for _, args := range cases {
 		args = append([]string{"-addr", "127.0.0.1:1"}, args...)
@@ -354,6 +358,28 @@ func TestDaemonClusterBootWarning(t *testing.T) {
 	shutdownDaemon(t, stop, exit)
 	if !strings.Contains(buf.String(), "is not in -peers") {
 		t.Fatalf("boot log missing the advertise-not-in-peers warning:\n%s", buf.String())
+	}
+}
+
+// A replication factor at or above the member count means every node
+// holds every result — survivable, but almost never what the operator
+// meant, so boot must say so.
+func TestDaemonClusterDegenerateReplicasWarning(t *testing.T) {
+	var buf strings.Builder
+	old := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(old)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := l.Addr().String()
+	l.Close()
+	_, stop, exit := bootDaemon(t, "-peers", peer, "-replicas", "5")
+	shutdownDaemon(t, stop, exit)
+	if !strings.Contains(buf.String(), "ring members") {
+		t.Fatalf("boot log missing the degenerate-replicas warning:\n%s", buf.String())
 	}
 }
 

@@ -3,14 +3,17 @@ package chaos
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"coordattack/internal/cluster"
+	"coordattack/internal/hints"
 	"coordattack/internal/mc"
 	"coordattack/internal/queue"
 	"coordattack/internal/service"
@@ -77,11 +80,14 @@ type soakClusterNode struct {
 	addr     string
 	storeDir string
 	queueDir string
+	hintDir  string // non-empty: boot opens a durable hinted-handoff log here
+	factor   int    // replication factor; 0 = the cluster default
 	ledger   *clusterRunLedger
 
 	s        *service.Server
 	jl       *queue.Journal
 	st       *store.Store
+	hl       *hints.Log
 	cl       *cluster.Cluster
 	net      *PeerNet
 	gate     chan struct{}
@@ -109,6 +115,7 @@ func (n *soakClusterNode) boot(peers []string, cfg service.Config, plan NetPlan,
 	cl, err := cluster.New(cluster.Options{
 		Self:             n.addr,
 		Peers:            peers,
+		Factor:           n.factor,
 		Timeout:          400 * time.Millisecond,
 		BreakerThreshold: 5,
 		BreakerCooldown:  150 * time.Millisecond,
@@ -117,6 +124,14 @@ func (n *soakClusterNode) boot(peers []string, cfg service.Config, plan NetPlan,
 	})
 	if err != nil {
 		n.t.Fatalf("%s: cluster: %v", n.name, err)
+	}
+	if n.hintDir != "" {
+		hl, err := hints.Open(n.hintDir, hints.Options{Logf: n.t.Logf})
+		if err != nil {
+			n.t.Fatalf("%s: open hints: %v", n.name, err)
+		}
+		n.hl = hl
+		cfg.Hints = hl
 	}
 	gate := make(chan struct{})
 	gated := make(map[uint64]bool, len(gateSeeds))
@@ -164,7 +179,7 @@ func (n *soakClusterNode) boot(peers []string, cfg service.Config, plan NetPlan,
 	n.s = service.New(cfg)
 	n.sh.set(n.s.Handler())
 
-	s, once := n.s, n.gateOnce
+	s, once, hl := n.s, n.gateOnce, n.hl
 	n.t.Cleanup(func() {
 		once.Do(func() { close(gate) })
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -172,6 +187,9 @@ func (n *soakClusterNode) boot(peers []string, cfg service.Config, plan NetPlan,
 		_ = s.Drain(ctx)
 		jl.Close()
 		st.Close()
+		if hl != nil {
+			hl.Close()
+		}
 	})
 }
 
@@ -182,6 +200,9 @@ func (n *soakClusterNode) openGate() { n.gateOnce.Do(func() { close(n.gate) }) }
 // incarnation is abandoned with a cancelled drain.
 func (n *soakClusterNode) kill() {
 	n.jl.Close()
+	if n.hl != nil {
+		n.hl.Close()
+	}
 	n.sh.set(nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -527,5 +548,195 @@ func TestSoakClusterKillRestartConvergence(t *testing.T) {
 		if _, ok := keys[seed]; !ok {
 			t.Fatalf("engine ran unsubmitted seed %d", seed)
 		}
+	}
+}
+
+// repairRunsOn reads node addr's admin count of completed anti-entropy
+// passes.
+func repairRunsOn(t *testing.T, addr string) int64 {
+	t.Helper()
+	resp, err := http.Get(addr + "/v1/admin/cluster")
+	if err != nil {
+		t.Fatalf("admin on %s: %v", addr, err)
+	}
+	defer resp.Body.Close()
+	var adm struct {
+		Replication struct {
+			RepairRuns int64 `json:"repair_runs"`
+		} `json:"replication"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&adm); err != nil {
+		t.Fatalf("admin on %s: %v", addr, err)
+	}
+	return adm.Replication.RepairRuns
+}
+
+// TestSoakClusterHintedHandoff proves hinted handoff alone — anti-
+// entropy repair disabled on every node — heals a replica severed for
+// an entire load phase:
+//
+//   - a 3-node, factor-3 cluster partitions node C away from A and B,
+//     then A and B each settle 25 keys: every replica push toward C
+//     bounces and must queue exactly one durable hint per key;
+//   - A is SIGKILL'd and rebooted mid-outage: its hint log must replay
+//     from disk with nothing lost;
+//   - the partition heals: the failure detector's next successful ping
+//     drains both hint queues until C serves all 50 bodies, having run
+//     zero engines and zero repair passes anywhere;
+//   - delivery is idempotent at the wire: re-delivering a body C
+//     already holds changes nothing and still runs no engine.
+func TestSoakClusterHintedHandoff(t *testing.T) {
+	ledger := &clusterRunLedger{}
+	nodes := make([]*soakClusterNode, 3)
+	peers := make([]string, 3)
+	for i, name := range []string{"A", "B", "C"} {
+		sh := &chaosSwap{}
+		srv := httptest.NewServer(sh)
+		t.Cleanup(srv.Close)
+		base := t.TempDir()
+		nodes[i] = &soakClusterNode{
+			t:        t,
+			name:     name,
+			sh:       sh,
+			addr:     srv.URL,
+			storeDir: base + "/store",
+			queueDir: base + "/queue",
+			hintDir:  base + "/hints",
+			factor:   3,
+			ledger:   ledger,
+		}
+		peers[i] = srv.URL
+	}
+	a, b, c := nodes[0], nodes[1], nodes[2]
+	cfg := func() service.Config {
+		return service.Config{
+			Workers:        2,
+			StealInterval:  -1,
+			RepairInterval: -1, // hints must do ALL the healing
+			ProbeInterval:  120 * time.Millisecond,
+			ProbeMisses:    3,
+		}
+	}
+	for _, n := range nodes {
+		n.boot(peers, cfg(), NetPlan{})
+	}
+	cHost := strings.TrimPrefix(c.addr, "http://")
+	cNorm := cluster.NormalizeAddr(c.addr)
+	// Partition C away from A and B. The test harness itself still
+	// reaches C directly — C is alive and answering, its peers just
+	// cannot see it, which is exactly the failure hints exist for.
+	a.net.Sever(cHost)
+	b.net.Sever(cHost)
+
+	// ── Load under the partition: 50 keys split across A and B. ──
+	keys := make(map[uint64]string)
+	ids := map[*soakClusterNode][]string{}
+	for seed := uint64(501); seed <= 550; seed++ {
+		n := a
+		if seed%2 == 0 {
+			n = b
+		}
+		st, err := n.s.Submit(soakSpec(seed))
+		if err != nil {
+			t.Fatalf("submit seed %d to %s: %v", seed, n.name, err)
+		}
+		keys[seed] = st.Key
+		ids[n] = append(ids[n], st.ID)
+	}
+	for _, n := range []*soakClusterNode{a, b} {
+		nn := n
+		soakWait(t, "load settlement on "+n.name, 60*time.Second, func() bool {
+			for _, id := range ids[nn] {
+				st, err := nn.s.Get(id)
+				if err != nil || st.State != service.StateDone {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	// Every push toward severed C bounces into a hint: one per key,
+	// deduplicated, on the node that computed it.
+	soakWait(t, "hints to accumulate on A and B", 30*time.Second, func() bool {
+		return a.hl.PendingFor(cNorm) == 25 && b.hl.PendingFor(cNorm) == 25
+	})
+	for _, n := range nodes {
+		if got := repairRunsOn(t, n.addr); got != 0 {
+			t.Fatalf("%s completed %d repair passes with repair disabled", n.name, got)
+		}
+	}
+
+	// ── SIGKILL A mid-outage: the hint log must survive and replay. ──
+	a.kill()
+	a.boot(peers, cfg(), NetPlan{})
+	a.net.Sever(cHost) // the outage outlives the crash
+	if got := a.hl.Stats().Replayed; got != 25 {
+		t.Fatalf("A replayed %d hints after SIGKILL, want 25", got)
+	}
+	if got := a.hl.PendingFor(cNorm); got != 25 {
+		t.Fatalf("A holds %d pending hints after replay, want 25", got)
+	}
+
+	// ── Heal the partition: hints must deliver everything. ──
+	a.net.Heal(cHost)
+	b.net.Heal(cHost)
+	soakWait(t, "C to serve all 50 hinted keys", 60*time.Second, func() bool {
+		for _, key := range keys {
+			if !served(c.addr, key) {
+				return false
+			}
+		}
+		return true
+	})
+	soakWait(t, "hint queues to drain", 30*time.Second, func() bool {
+		return a.hl.PendingFor(cNorm) == 0 && b.hl.PendingFor(cNorm) == 0
+	})
+	if got := c.s.Metrics().EngineRuns.Load(); got != 0 {
+		t.Fatalf("C ran %d engines; hint delivery must not compute", got)
+	}
+	for _, n := range nodes {
+		if got := repairRunsOn(t, n.addr); got != 0 {
+			t.Fatalf("%s completed %d repair passes; hints must heal alone", n.name, got)
+		}
+	}
+	if got := a.hl.Stats().Delivered; got != 25 {
+		t.Fatalf("A delivered %d hints, want 25", got)
+	}
+	for seed := uint64(501); seed <= 550; seed++ {
+		if got := ledger.count(seed); got != 1 {
+			t.Fatalf("seed %d ran %d times, want exactly 1", seed, got)
+		}
+	}
+
+	// ── Idempotent delivery at the wire: re-deliver a body C already
+	// holds (a flapping peer would see exactly this). ──
+	key := keys[501]
+	get := func() string {
+		resp, err := http.Get(c.addr + cluster.ResultsPathPrefix + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf strings.Builder
+		if _, err := io.Copy(&buf, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	before := get()
+	req, _ := http.NewRequest(http.MethodPut, c.addr+cluster.ResultsPathPrefix+key, strings.NewReader(before))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("duplicate delivery answered %d", resp.StatusCode)
+	}
+	if after := get(); after != before {
+		t.Fatalf("duplicate delivery changed stored bytes:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if got := c.s.Metrics().EngineRuns.Load(); got != 0 {
+		t.Fatalf("duplicate delivery ran %d engines on C", got)
 	}
 }

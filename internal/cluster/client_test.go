@@ -121,13 +121,13 @@ func TestFetchResultConsultsReplicaSet(t *testing.T) {
 		t.Fatal("could not find keys on both arcs")
 	}
 	fp.results[peerKey] = []byte("peer-bytes")
-	if body, ok := c.FetchResult(context.Background(), peerKey); !ok || string(body) != "peer-bytes" {
-		t.Fatalf("owner-routed fetch failed: %q %v", body, ok)
+	if body, from, ok := c.FetchResult(context.Background(), peerKey); !ok || string(body) != "peer-bytes" || from != NormalizeAddr(srv.URL) {
+		t.Fatalf("owner-routed fetch failed: %q from %q %v", body, from, ok)
 	}
 	// A self-owned key falls through to its successor replica: the lookup
 	// must dial the peer (it may hold the copy after a local disk loss)
 	// and miss cleanly when it does not.
-	if _, ok := c.FetchResult(context.Background(), selfKey); ok {
+	if _, _, ok := c.FetchResult(context.Background(), selfKey); ok {
 		t.Fatal("successor without the body must be a clean miss")
 	}
 	if got := fp.gets.Load(); got != 2 {
@@ -135,7 +135,7 @@ func TestFetchResultConsultsReplicaSet(t *testing.T) {
 	}
 	// Once the successor holds the body, the fall-through finds it.
 	fp.results[selfKey] = []byte("successor-bytes")
-	if body, ok := c.FetchResult(context.Background(), selfKey); !ok || string(body) != "successor-bytes" {
+	if body, _, ok := c.FetchResult(context.Background(), selfKey); !ok || string(body) != "successor-bytes" {
 		t.Fatalf("successor fetch failed: %q %v", body, ok)
 	}
 }

@@ -23,6 +23,10 @@ const (
 	StealPath         = "/v1/peer/steal"
 	StealCommitPath   = "/v1/peer/steal/commit"
 	JobsPathPrefix    = "/v1/peer/jobs/"
+	// PingPath is the failure detector's heartbeat target: any answer
+	// from the process (including 404 from an older build) counts as
+	// alive; only transport errors and 5xx count as misses.
+	PingPath = "/v1/peer/ping"
 )
 
 // maxResultBytes bounds a fetched result body; anything bigger than
@@ -102,10 +106,16 @@ type Options struct {
 	now func() time.Time
 }
 
-// peer is one remote cluster member: its address plus breaker state.
+// peer is one remote cluster member: its address, breaker state, and
+// the failure detector's health view.
 type peer struct {
 	addr    string
 	breaker *Breaker
+
+	hmu      sync.Mutex
+	health   string // "", HealthAlive, HealthSuspect, HealthDead
+	misses   int    // consecutive failed pings
+	lastSeen time.Time
 }
 
 // reqKey labels one cell of the peer-request counter matrix.
@@ -126,6 +136,11 @@ type Cluster struct {
 
 	mu   sync.Mutex
 	reqs map[reqKey]int64
+
+	// Failure detector loop state, guarded by mu.
+	detStop   chan struct{}
+	detDone   chan struct{}
+	detMisses int
 }
 
 // NormalizeAddr canonicalizes a peer address: trims space and trailing
@@ -240,15 +255,22 @@ func (c *Cluster) PeerAddrs() []string {
 	return out
 }
 
-// PeerDown reports whether addr's breaker is currently refusing
-// requests — the "presumed dead" signal the victim-side result poller
-// uses to fall back to local compute.
+// PeerDown reports whether addr is presumed dead: its breaker is
+// currently refusing requests, or the failure detector has marked it
+// dead. Unknown health ("", detector never probed) does not count —
+// a node without a running detector sees exactly the old breaker-only
+// behavior.
 func (c *Cluster) PeerDown(addr string) bool {
 	p, ok := c.peers[NormalizeAddr(addr)]
 	if !ok {
 		return false
 	}
-	return p.breaker.State() == StateOpen
+	if p.breaker.State() == StateOpen {
+		return true
+	}
+	p.hmu.Lock()
+	defer p.hmu.Unlock()
+	return p.health == HealthDead
 }
 
 func (c *Cluster) count(peerAddr, op, outcome string) {
@@ -259,19 +281,21 @@ func (c *Cluster) count(peerAddr, op, outcome string) {
 
 // FetchResult consults key's replica set for a stored result: the ring
 // owner first, then each distinct successor, skipping self (the caller
-// already missed locally). It returns on the first hit; misses and
-// failures fall through to the next replica — a peer problem must never
-// be worse than a cache miss.
-func (c *Cluster) FetchResult(ctx context.Context, key string) ([]byte, bool) {
+// already missed locally). It returns on the first hit, along with the
+// address of the peer that served it (so the caller's read-repair can
+// exclude the one replica known to hold the body); misses and failures
+// fall through to the next replica — a peer problem must never be worse
+// than a cache miss.
+func (c *Cluster) FetchResult(ctx context.Context, key string) ([]byte, string, bool) {
 	for _, addr := range c.ReplicaSet(key) {
 		if addr == c.self {
 			continue
 		}
 		if body, found, _ := c.FetchFrom(ctx, addr, key); found {
-			return body, true
+			return body, addr, true
 		}
 	}
-	return nil, false
+	return nil, "", false
 }
 
 // FetchFrom asks one specific peer for key's result bytes. It returns
@@ -561,12 +585,23 @@ type PeerInfo struct {
 	Addr     string `json:"addr"`
 	Breaker  string `json:"breaker"`
 	Failures int    `json:"consecutive_failures,omitempty"`
+	// Health is the failure detector's view: alive, suspect, or dead.
+	// Empty when no detector has probed this peer.
+	Health string `json:"health,omitempty"`
+	// Misses is the current consecutive failed-ping count.
+	Misses int `json:"missed_pings,omitempty"`
+	// LastSeenUnix is when the peer last answered a ping (unix seconds);
+	// 0 when it never has.
+	LastSeenUnix int64 `json:"last_seen_unix,omitempty"`
 }
 
 // Snapshot is the point-in-time cluster view served by
 // GET /v1/admin/cluster and folded into /metrics and /healthz.
 type Snapshot struct {
-	Self     string     `json:"self"`
+	Self string `json:"self"`
+	// Members is the full ring membership (self included), sorted — the
+	// denominator operators compare the replication factor against.
+	Members  []string   `json:"members"`
 	VNodes   int        `json:"vnodes"`
 	Factor   int        `json:"factor"`
 	Peers    []PeerInfo `json:"peers"`
@@ -577,13 +612,23 @@ type Snapshot struct {
 // counters in stable sorted order.
 func (c *Cluster) Snapshot() Snapshot {
 	snap := Snapshot{Self: c.self, VNodes: c.vnodes, Factor: c.factor}
+	snap.Members = append(append(snap.Members, c.self), c.order...)
+	sort.Strings(snap.Members)
 	for _, addr := range c.order {
 		p := c.peers[addr]
-		snap.Peers = append(snap.Peers, PeerInfo{
+		info := PeerInfo{
 			Addr:     p.addr,
 			Breaker:  p.breaker.State(),
 			Failures: p.breaker.Failures(),
-		})
+		}
+		p.hmu.Lock()
+		info.Health = p.health
+		info.Misses = p.misses
+		if !p.lastSeen.IsZero() {
+			info.LastSeenUnix = p.lastSeen.Unix()
+		}
+		p.hmu.Unlock()
+		snap.Peers = append(snap.Peers, info)
 	}
 	c.mu.Lock()
 	for k, v := range c.reqs {

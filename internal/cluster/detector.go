@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Peer health states, as reported by the failure detector. The zero
+// value "" means unknown: no detector has probed the peer yet, and
+// nothing (PeerDown included) may treat unknown as dead.
+const (
+	// HealthAlive: the peer answered its most recent ping.
+	HealthAlive = "alive"
+	// HealthSuspect: at least one ping missed, fewer than the
+	// consecutive-miss threshold.
+	HealthSuspect = "suspect"
+	// HealthDead: misses reached the threshold. Dead peers are skipped
+	// by PeerDown consumers (steal victim selection, local-compute
+	// fallback) and watched for the dead→alive transition that triggers
+	// hint delivery.
+	HealthDead = "dead"
+)
+
+// DetectorOptions configures StartDetector.
+type DetectorOptions struct {
+	// Interval between ping rounds; <= 0 means 1 s.
+	Interval time.Duration
+	// Misses is the consecutive failed-ping count that marks a peer
+	// dead; <= 0 means 3.
+	Misses int
+	// OnAlive, when non-nil, is called after every successful ping with
+	// the peer's address and whether this ping was a transition to alive
+	// (the peer was previously suspect, dead, or unknown). Hint delivery
+	// hooks here: a dead→alive edge is the moment to drain the peer's
+	// hint queue. Called from the detector goroutine; implementations
+	// must not block for long (they gate the next ping of that peer).
+	OnAlive func(addr string, becameAlive bool)
+}
+
+// Ping probes one peer's liveness with GET /v1/peer/ping. It bypasses
+// the breaker's Allow gate — the whole point of the detector is to
+// probe peers the breaker has written off — but feeds the breaker's
+// Success/Failure, so a recovered peer's breaker closes proactively
+// instead of sacrificing a real request to the half-open probe.
+//
+// Liveness semantics: any 2xx, or a 404 (the process answered; an older
+// build without the ping route still counts as alive), means alive. A
+// 5xx or transport error is a miss — a process that answers 503 is a
+// corpse with a listener.
+//
+// It returns whether this ping transitioned the peer to alive, and the
+// probe error if the ping missed.
+func (c *Cluster) Ping(ctx context.Context, peerAddr string) (becameAlive bool, err error) {
+	p, ok := c.peers[NormalizeAddr(peerAddr)]
+	if !ok {
+		return false, fmt.Errorf("cluster: unknown peer %s", peerAddr)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.addr+PingPath, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.client.Do(req)
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode/100 == 2 || resp.StatusCode == http.StatusNotFound {
+			p.breaker.Success()
+			c.count(p.addr, "ping", "ok")
+			return p.markAlive(), nil
+		}
+		err = fmt.Errorf("cluster: peer %s answered %d to ping", p.addr, resp.StatusCode)
+	}
+	p.breaker.Failure()
+	c.count(p.addr, "ping", "error")
+	p.markMissed(c.detectorMisses())
+	return false, err
+}
+
+// markAlive records a successful ping and reports whether it was a
+// transition (the peer was not already alive).
+func (p *peer) markAlive() bool {
+	p.hmu.Lock()
+	defer p.hmu.Unlock()
+	was := p.health
+	p.health = HealthAlive
+	p.misses = 0
+	p.lastSeen = time.Now()
+	return was != HealthAlive
+}
+
+// markMissed records a failed ping against the consecutive-miss
+// threshold.
+func (p *peer) markMissed(threshold int) {
+	p.hmu.Lock()
+	defer p.hmu.Unlock()
+	p.misses++
+	if p.misses >= threshold {
+		p.health = HealthDead
+	} else {
+		p.health = HealthSuspect
+	}
+}
+
+// PeerHealth returns the detector's view of addr: HealthAlive,
+// HealthSuspect, HealthDead, or "" when never probed.
+func (c *Cluster) PeerHealth(addr string) string {
+	p, ok := c.peers[NormalizeAddr(addr)]
+	if !ok {
+		return ""
+	}
+	p.hmu.Lock()
+	defer p.hmu.Unlock()
+	return p.health
+}
+
+// detectorMisses reads the configured consecutive-miss threshold,
+// defaulting to 3 for direct Ping calls outside a running detector.
+func (c *Cluster) detectorMisses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.detMisses <= 0 {
+		return 3
+	}
+	return c.detMisses
+}
+
+// StartDetector launches the heartbeat loop: every Interval it pings
+// all peers in parallel, each ping bounded by the cluster's peer
+// timeout. Starting an already-running detector is a no-op.
+func (c *Cluster) StartDetector(opts DetectorOptions) {
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	misses := opts.Misses
+	if misses <= 0 {
+		misses = 3
+	}
+	c.mu.Lock()
+	if c.detStop != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.detMisses = misses
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.detStop, c.detDone = stop, done
+	c.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			// Ping every peer in parallel; the round joins before the
+			// next tick so stop is synchronous and rounds never overlap.
+			var wg sync.WaitGroup
+			for _, addr := range c.order {
+				wg.Add(1)
+				go func(addr string) {
+					defer wg.Done()
+					ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+					defer cancel()
+					became, err := c.Ping(ctx, addr)
+					if err == nil && opts.OnAlive != nil {
+						opts.OnAlive(addr, became)
+					}
+				}(addr)
+			}
+			wg.Wait()
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+			}
+		}
+	}()
+}
+
+// StopDetector stops the heartbeat loop and blocks until it has fully
+// exited — after it returns, no further pings or OnAlive callbacks
+// fire. Idempotent; a never-started detector is a no-op.
+func (c *Cluster) StopDetector() {
+	c.mu.Lock()
+	stop, done := c.detStop, c.detDone
+	c.detStop, c.detDone = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,578 @@
+// Package hints is the durable hinted-handoff log behind the cluster's
+// active-healing layer: when a replica push fails because the target
+// peer is down, the sender queues a hint — "peer P is owed key K" —
+// instead of waiting for the next anti-entropy pass, and the peer
+// failure detector drains the hints the moment the peer answers a probe
+// again.
+//
+// Hints are tiny on purpose. Results are content-addressed and already
+// durable in the sender's local store, so a hint carries only the
+// (peer, key) pair; delivery re-reads the body from the store. Losing a
+// hint is therefore never a correctness loss — the anti-entropy repair
+// loop remains the backstop — which is why the log can shed oldest
+// hints under a byte cap rather than refuse writes.
+//
+// The on-disk format mirrors internal/queue's journal: checksummed
+// record lines in sequence-numbered segments, torn-tail-tolerant
+// replay, compact-on-open, and degrade-to-memory-only on any write
+// error. Line format:
+//
+//	coordd-hints/v1 <sha256-hex over the JSON> <compact JSON record>\n
+package hints
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"coordattack/internal/store"
+)
+
+// logVersion prefixes every record line. Unrecognized versions are
+// skipped on replay, never misparsed.
+const logVersion = "coordd-hints/v1"
+
+// Record ops.
+const (
+	// OpAdd queues one hint: peer is owed key.
+	OpAdd = "add"
+	// OpDone tombstones a hint: delivered, or shed under the byte cap.
+	OpDone = "done"
+)
+
+// Record is one hint-log entry.
+type Record struct {
+	Op   string `json:"op"`
+	Peer string `json:"peer"`
+	Key  string `json:"key"`
+	// At is the queue wall-clock in unix nanoseconds, preserved across
+	// replay so hint-age observations survive a restart.
+	At int64 `json:"at,omitempty"`
+}
+
+// Options tunes Open.
+type Options struct {
+	// FS overrides the filesystem; nil means the real disk. Chaos
+	// harnesses inject faults here.
+	FS store.FS
+	// Logf receives one line per degradation, truncation, shed, and
+	// compaction event; nil discards them.
+	Logf func(format string, args ...any)
+	// MaxBytes caps the encoded size of the pending hint set; once an
+	// Add would exceed it the oldest pending hints are shed (tombstoned
+	// and counted in Stats.Dropped) until the new hint fits. <= 0 means
+	// unlimited.
+	MaxBytes int64
+	// CompactEvery rewrites the log once this many tombstones have
+	// accumulated since the last compaction. 0 means 1024.
+	CompactEvery int
+}
+
+// Stats is a point-in-time snapshot for /metrics and the admin surface.
+type Stats struct {
+	// Pending is the current queued-hint count across all peers.
+	Pending int `json:"pending"`
+	// Peers is how many distinct peers have pending hints.
+	Peers int `json:"peers"`
+	// Adds counts hints ever queued (dedup suppresses re-adds of an
+	// already-pending pair); Delivered counts hints cleared by delivery;
+	// Dropped counts hints shed under MaxBytes.
+	Adds      int64 `json:"adds"`
+	Delivered int64 `json:"delivered"`
+	Dropped   int64 `json:"dropped"`
+	// Replayed is how many pending hints the log recovered at open.
+	Replayed int `json:"replayed"`
+	// Truncated counts undecodable lines skipped on replay.
+	Truncated int64 `json:"truncated"`
+	// Degraded is true once a write error demoted the log to
+	// memory-only.
+	Degraded bool `json:"degraded"`
+}
+
+// hint is one pending entry with its byte-accounting weight.
+type hint struct {
+	peer, key string
+	at        int64
+	size      int64 // encoded add-line length, the MaxBytes unit
+}
+
+// Log is the hinted-handoff queue. Safe for concurrent use; every
+// append is fsynced before it returns. A Log opened with an empty dir
+// is memory-only: same API, no durability.
+type Log struct {
+	dir  string // "" = memory-only
+	fs   store.FS
+	logf func(format string, args ...any)
+
+	mu           sync.Mutex
+	active       store.File
+	seq          uint64
+	pending      map[string]map[string]*hint // peer → key → hint
+	order        []*hint                     // global queue order, oldest first
+	bytes        int64                       // encoded size of the pending set
+	maxBytes     int64
+	doneSince    int
+	compactEvery int
+	degraded     bool
+
+	adds, delivered, dropped, truncated int64
+	replayed                            int
+}
+
+// Open opens (or creates) the hint log at dir, replays its segments,
+// and compacts them into a fresh one. An empty dir yields a memory-only
+// log that never touches the filesystem.
+func Open(dir string, opts Options) (*Log, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = store.DiskFS()
+	}
+	if opts.CompactEvery == 0 {
+		opts.CompactEvery = 1024
+	}
+	l := &Log{
+		dir:          dir,
+		fs:           fs,
+		logf:         opts.Logf,
+		pending:      make(map[string]map[string]*hint),
+		maxBytes:     opts.MaxBytes,
+		compactEvery: opts.CompactEvery,
+	}
+	if dir == "" {
+		return l, nil
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("hints: %w", err)
+	}
+	segs, err := l.scan()
+	if err != nil {
+		return nil, err
+	}
+	l.replayed = len(l.order)
+	l.mu.Lock()
+	if err := l.compactLocked(); err == nil {
+		for _, s := range segs {
+			_ = l.fs.Remove(filepath.Join(dir, s))
+		}
+	}
+	l.mu.Unlock()
+	return l, nil
+}
+
+// scan replays every segment in order, building the pending set, and
+// returns the segment filenames it consumed. Stray temp files from a
+// crash mid-compaction are swept.
+func (l *Log) scan() ([]string, error) {
+	entries, err := l.fs.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("hints: %w", err)
+	}
+	var segs []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, "tmp-") {
+			_ = l.fs.Remove(filepath.Join(l.dir, name))
+			continue
+		}
+		if seq, ok := segmentSeq(name); ok {
+			segs = append(segs, name)
+			if seq > l.seq {
+				l.seq = seq
+			}
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool {
+		sa, _ := segmentSeq(segs[a])
+		sb, _ := segmentSeq(segs[b])
+		return sa < sb
+	})
+	for _, name := range segs {
+		data, err := l.fs.ReadFile(filepath.Join(l.dir, name))
+		if err != nil {
+			continue
+		}
+		l.applySegment(name, data)
+	}
+	return segs, nil
+}
+
+// applySegment replays one segment's lines. Undecodable lines — the
+// torn tail of a crash mid-append, or a chaos-injected short write —
+// are counted and skipped; every line that checksums is applied.
+func (l *Log) applySegment(name string, data []byte) {
+	for len(data) > 0 {
+		line := data
+		if nl := indexByte(data, '\n'); nl >= 0 {
+			line, data = data[:nl], data[nl+1:]
+		} else {
+			data = nil // trailing partial line
+		}
+		if len(line) == 0 {
+			continue
+		}
+		rec, err := decodeLine(line)
+		if err != nil {
+			l.truncated++
+			if l.logf != nil {
+				l.logf("hints: log %s: dropped undecodable record: %v", name, err)
+			}
+			continue
+		}
+		switch rec.Op {
+		case OpAdd:
+			l.insertLocked(rec.Peer, rec.Key, rec.At)
+		case OpDone:
+			l.removeLocked(rec.Peer, rec.Key)
+		}
+	}
+}
+
+// insertLocked adds (peer, key) to the pending set if absent. Returns
+// the hint and whether it was freshly inserted.
+func (l *Log) insertLocked(peer, key string, at int64) (*hint, bool) {
+	byKey := l.pending[peer]
+	if byKey == nil {
+		byKey = make(map[string]*hint)
+		l.pending[peer] = byKey
+	}
+	if h, ok := byKey[key]; ok {
+		return h, false
+	}
+	h := &hint{peer: peer, key: key, at: at, size: addLineSize(peer, key, at)}
+	byKey[key] = h
+	l.order = append(l.order, h)
+	l.bytes += h.size
+	return h, true
+}
+
+// removeLocked drops (peer, key) from the pending set if present.
+func (l *Log) removeLocked(peer, key string) bool {
+	byKey := l.pending[peer]
+	h, ok := byKey[key]
+	if !ok {
+		return false
+	}
+	delete(byKey, key)
+	if len(byKey) == 0 {
+		delete(l.pending, peer)
+	}
+	for i, o := range l.order {
+		if o == h {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+	l.bytes -= h.size
+	return true
+}
+
+// Add queues one hint: peer is owed key's body. Re-adding an already
+// pending pair is a free no-op — delivery is idempotent anyway, but the
+// log stays minimal. When MaxBytes is set and exceeded, the oldest
+// pending hints are shed (tombstoned and counted as dropped) until the
+// new hint fits; the newest hint is always kept.
+func (l *Log) Add(peer, key string) error {
+	now := time.Now().UnixNano()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h, fresh := l.insertLocked(peer, key, now)
+	if !fresh {
+		return nil
+	}
+	l.adds++
+	err := l.appendLocked(&Record{Op: OpAdd, Peer: peer, Key: key, At: h.at})
+	// Shed oldest-first past the cap. Shedding appends tombstones (so a
+	// replayed log agrees), but never sheds the hint just added: losing
+	// the newest to make room for the oldest would invert the queue.
+	for l.maxBytes > 0 && l.bytes > l.maxBytes && len(l.order) > 1 {
+		oldest := l.order[0]
+		if oldest == h {
+			break
+		}
+		l.removeLocked(oldest.peer, oldest.key)
+		l.dropped++
+		if l.logf != nil {
+			l.logf("hints: shed oldest hint (%s ← %.8s) over the %d-byte cap", oldest.peer, oldest.key, l.maxBytes)
+		}
+		_ = l.appendLocked(&Record{Op: OpDone, Peer: oldest.peer, Key: oldest.key})
+		l.noteDoneLocked()
+	}
+	return err
+}
+
+// Delivered tombstones one hint after a successful push (or after the
+// body vanished locally and the hint became undeliverable). Clearing a
+// pair that is not pending is a no-op.
+func (l *Log) Delivered(peer, key string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.removeLocked(peer, key) {
+		return nil
+	}
+	l.delivered++
+	err := l.appendLocked(&Record{Op: OpDone, Peer: peer, Key: key})
+	l.noteDoneLocked()
+	return err
+}
+
+// noteDoneLocked triggers a live compaction once a segment's worth of
+// tombstones has accumulated, bounding the log by its backlog.
+func (l *Log) noteDoneLocked() {
+	l.doneSince++
+	if l.doneSince < l.compactEvery {
+		return
+	}
+	old := l.activeSegmentPath()
+	if err := l.compactLocked(); err == nil && old != "" {
+		_ = l.fs.Remove(old)
+	}
+}
+
+// Pending returns peer's queued keys, oldest first.
+func (l *Log) Pending(peer string) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	byKey := l.pending[peer]
+	if len(byKey) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(byKey))
+	for _, h := range l.order {
+		if h.peer == peer {
+			out = append(out, h.key)
+		}
+	}
+	return out
+}
+
+// PendingFor reports how many hints are queued for peer.
+func (l *Log) PendingFor(peer string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending[peer])
+}
+
+// Peers returns the peers with pending hints, sorted.
+func (l *Log) Peers() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.pending))
+	for peer := range l.pending {
+		out = append(out, peer)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Pending:   len(l.order),
+		Peers:     len(l.pending),
+		Adds:      l.adds,
+		Delivered: l.delivered,
+		Dropped:   l.dropped,
+		Replayed:  l.replayed,
+		Truncated: l.truncated,
+		Degraded:  l.degraded,
+	}
+}
+
+// Degraded reports whether a write error demoted the log.
+func (l *Log) Degraded() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.degraded
+}
+
+// Close closes the active segment handle. Hints already appended stay
+// durable; a closed log refuses nothing — further appends simply demote
+// it (the daemon is exiting anyway).
+func (l *Log) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active != nil {
+		l.active.Close()
+		l.active = nil
+		l.degraded = true
+	}
+}
+
+// appendLocked writes one fsynced record line to the active segment,
+// opening the first segment lazily. Memory-only logs skip the disk.
+// Any error demotes the log.
+func (l *Log) appendLocked(rec *Record) error {
+	if l.dir == "" || l.degraded {
+		return nil
+	}
+	if l.active == nil {
+		if err := l.compactLocked(); err != nil {
+			return err
+		}
+	}
+	line, err := encodeLine(rec)
+	if err != nil {
+		return l.demoteLocked(err)
+	}
+	if _, err := l.active.Write(line); err != nil {
+		return l.demoteLocked(err)
+	}
+	if err := l.active.Sync(); err != nil {
+		return l.demoteLocked(err)
+	}
+	return nil
+}
+
+func (l *Log) activeSegmentPath() string {
+	if l.active == nil {
+		return ""
+	}
+	return filepath.Join(l.dir, fmt.Sprintf("%08d.wal", l.seq))
+}
+
+// compactLocked writes the current pending set into a fresh segment —
+// temp file, fsync, rename, dir fsync — and makes it the active append
+// target. The caller removes superseded segments on success.
+func (l *Log) compactLocked() error {
+	if l.dir == "" {
+		return nil
+	}
+	tmp, err := l.fs.CreateTemp(l.dir, "tmp-*")
+	if err != nil {
+		return l.demoteLocked(err)
+	}
+	for _, h := range l.order {
+		line, err := encodeLine(&Record{Op: OpAdd, Peer: h.peer, Key: h.key, At: h.at})
+		if err != nil {
+			tmp.Close()
+			_ = l.fs.Remove(tmp.Name())
+			return l.demoteLocked(err)
+		}
+		if _, err := tmp.Write(line); err != nil {
+			tmp.Close()
+			_ = l.fs.Remove(tmp.Name())
+			return l.demoteLocked(err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		_ = l.fs.Remove(tmp.Name())
+		return l.demoteLocked(err)
+	}
+	next := l.seq + 1
+	dest := filepath.Join(l.dir, fmt.Sprintf("%08d.wal", next))
+	if err := l.fs.Rename(tmp.Name(), dest); err != nil {
+		tmp.Close()
+		_ = l.fs.Remove(tmp.Name())
+		return l.demoteLocked(err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		tmp.Close()
+		return l.demoteLocked(err)
+	}
+	// The open handle follows the rename: appends land in the new
+	// segment file.
+	if l.active != nil {
+		l.active.Close()
+	}
+	l.active = tmp
+	l.seq = next
+	l.doneSince = 0
+	return nil
+}
+
+// demoteLocked flips the log to memory-only exactly once.
+func (l *Log) demoteLocked(cause error) error {
+	if !l.degraded {
+		l.degraded = true
+		if l.logf != nil {
+			l.logf("hints: log degraded to memory-only: %v (queued hints lose crash durability until restart)", cause)
+		}
+	}
+	return cause
+}
+
+func indexByte(b []byte, c byte) int {
+	for i, v := range b {
+		if v == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// segmentSeq parses "<seq>.wal" names.
+func segmentSeq(name string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, ".wal")
+	if !ok || len(base) != 8 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// addLineSize is the encoded add-line length of one hint — the unit the
+// MaxBytes cap meters.
+func addLineSize(peer, key string, at int64) int64 {
+	line, err := encodeLine(&Record{Op: OpAdd, Peer: peer, Key: key, At: at})
+	if err != nil {
+		return int64(len(peer) + len(key))
+	}
+	return int64(len(line))
+}
+
+// encodeLine renders one record line with its binding checksum.
+func encodeLine(rec *Record) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(body)
+	line := make([]byte, 0, len(logVersion)+1+64+1+len(body)+1)
+	line = append(line, logVersion...)
+	line = append(line, ' ')
+	line = append(line, hex.EncodeToString(sum[:])...)
+	line = append(line, ' ')
+	line = append(line, body...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// decodeLine parses and verifies one record line.
+func decodeLine(line []byte) (*Record, error) {
+	rest, ok := strings.CutPrefix(string(line), logVersion+" ")
+	if !ok {
+		return nil, fmt.Errorf("bad version prefix")
+	}
+	sum, body, ok := strings.Cut(rest, " ")
+	if !ok || len(sum) != 64 {
+		return nil, fmt.Errorf("malformed checksum field")
+	}
+	got := sha256.Sum256([]byte(body))
+	if hex.EncodeToString(got[:]) != sum {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		return nil, err
+	}
+	if rec.Peer == "" || rec.Key == "" || (rec.Op != OpAdd && rec.Op != OpDone) {
+		return nil, fmt.Errorf("invalid record op %q", rec.Op)
+	}
+	return &rec, nil
+}

@@ -31,6 +31,7 @@ import (
 //	POST   /v1/peer/steal      donate pending jobs to an idle peer
 //	POST   /v1/peer/steal/commit thief confirms stolen jobs are in its WAL
 //	GET    /v1/peer/jobs/{key} whether this node has any record of a key
+//	GET    /v1/peer/ping       failure-detector heartbeat (always 200)
 //	GET    /v1/admin/store     durable-store state + quarantine listing
 //	POST   /v1/admin/store/rescan re-verify entries, re-admit repaired ones
 //	GET    /v1/admin/cluster   ring membership, breaker states, peer counters
@@ -54,6 +55,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/peer/steal", s.handlePeerSteal)
 	mux.HandleFunc("POST /v1/peer/steal/commit", s.handlePeerStealCommit)
 	mux.HandleFunc("GET /v1/peer/jobs/{key}", s.handlePeerKnowsJob)
+	mux.HandleFunc("GET /v1/peer/ping", s.handlePeerPing)
 	mux.HandleFunc("GET /v1/admin/store", s.handleAdminStore)
 	mux.HandleFunc("POST /v1/admin/store/rescan", s.handleAdminStoreRescan)
 	mux.HandleFunc("GET /v1/admin/cluster", s.handleAdminCluster)
@@ -316,6 +318,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// peer's arcs.
 	clusterState := "off"
 	var peers map[string]string
+	var peerHealth map[string]string
 	if g.ClusterEnabled {
 		clusterState = "ok"
 		peers = make(map[string]string, len(g.Cluster.Peers))
@@ -324,18 +327,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			if p.Breaker == cluster.StateOpen {
 				clusterState = "degraded"
 			}
+			if p.Health != "" {
+				if peerHealth == nil {
+					peerHealth = make(map[string]string, len(g.Cluster.Peers))
+				}
+				peerHealth[p.Addr] = p.Health
+				if p.Health == cluster.HealthDead {
+					clusterState = "degraded"
+				}
+			}
+		}
+	}
+	hintsState := "off"
+	if g.HintsEnabled {
+		hintsState = "ok"
+		if g.Hints.Degraded {
+			hintsState = "degraded"
 		}
 	}
 	writeJSON(w, http.StatusOK, struct {
-		Status      string            `json:"status"`
-		JobsQueued  int               `json:"jobs_queued"`
-		Queue       map[string]int    `json:"queue"`
-		JobsRunning int               `json:"jobs_running"`
-		Draining    bool              `json:"draining"`
-		Store       string            `json:"store"`
-		Journal     string            `json:"journal"`
-		Cluster     string            `json:"cluster"`
-		Peers       map[string]string `json:"peers,omitempty"`
+		Status      string         `json:"status"`
+		JobsQueued  int            `json:"jobs_queued"`
+		Queue       map[string]int `json:"queue"`
+		JobsRunning int            `json:"jobs_running"`
+		Draining    bool           `json:"draining"`
+		Store       string         `json:"store"`
+		Journal     string         `json:"journal"`
+		Cluster     string         `json:"cluster"`
+		// Peers maps each peer to its breaker state ("closed"/"open"/
+		// "half-open"); PeerHealth maps those the failure detector has
+		// probed to alive/suspect/dead.
+		Peers      map[string]string `json:"peers,omitempty"`
+		PeerHealth map[string]string `json:"peer_health,omitempty"`
+		// Hints is the hinted-handoff log state ("off"/"ok"/"degraded");
+		// HintsPending is its queued-hint count.
+		Hints        string `json:"hints"`
+		HintsPending int    `json:"hints_pending,omitempty"`
 	}{
 		Status:     "ok",
 		JobsQueued: g.JobsQueued,
@@ -343,12 +370,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"interactive": g.QueueInteractive,
 			"sweep":       g.QueueSweep,
 		},
-		JobsRunning: g.JobsRunning,
-		Draining:    draining,
-		Store:       storeState,
-		Journal:     journalState,
-		Cluster:     clusterState,
-		Peers:       peers,
+		JobsRunning:  g.JobsRunning,
+		Draining:     draining,
+		Store:        storeState,
+		Journal:      journalState,
+		Cluster:      clusterState,
+		Peers:        peers,
+		PeerHealth:   peerHealth,
+		Hints:        hintsState,
+		HintsPending: g.Hints.Pending,
 	})
 }
 

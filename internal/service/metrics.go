@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"coordattack/internal/cluster"
+	"coordattack/internal/hints"
 	"coordattack/internal/queue"
 	"coordattack/internal/store"
 )
@@ -59,6 +60,16 @@ type Metrics struct {
 	// ReplicaRepairs counts bodies the anti-entropy repair loop pushed
 	// to replicas found missing them — the under-replication it healed.
 	ReplicaRepairs atomic.Int64
+	// ReadRepairs counts bodies pushed back to replica-set members that
+	// missed them, triggered by a fetch falling through the set — the
+	// fast-path heal, as opposed to the repair loop's background walk.
+	ReadRepairs atomic.Int64
+
+	// pfMu guards pushFailures, the per-peer count of replica pushes
+	// that failed (the previously silent "healed later" path), rendered
+	// as coordd_replica_push_failures_total{peer}.
+	pfMu         sync.Mutex
+	pushFailures map[string]int64
 
 	// EngineRuns counts actual engine executions: submissions minus
 	// cache hits, coalesced attaches, rejections, and queued cancels.
@@ -103,11 +114,30 @@ func NewMetrics() *Metrics {
 	copy(b, defaultBuckets)
 	sort.Float64s(b)
 	return &Metrics{
-		buckets:    b,
-		counts:     make([]int64, len(b)),
-		classSum:   make(map[queue.Class]float64),
-		classCount: make(map[queue.Class]int64),
+		buckets:      b,
+		counts:       make([]int64, len(b)),
+		classSum:     make(map[queue.Class]float64),
+		classCount:   make(map[queue.Class]int64),
+		pushFailures: make(map[string]int64),
 	}
+}
+
+// IncReplicaPushFailure counts one failed replica push toward peer.
+func (m *Metrics) IncReplicaPushFailure(peer string) {
+	m.pfMu.Lock()
+	m.pushFailures[peer]++
+	m.pfMu.Unlock()
+}
+
+// PushFailures snapshots the per-peer failed-push counters.
+func (m *Metrics) PushFailures() map[string]int64 {
+	m.pfMu.Lock()
+	defer m.pfMu.Unlock()
+	out := make(map[string]int64, len(m.pushFailures))
+	for k, v := range m.pushFailures {
+		out[k] = v
+	}
+	return out
 }
 
 // ObserveJobSeconds records one job's wall-clock duration under its
@@ -185,6 +215,11 @@ type Gauges struct {
 	// ring/breaker/request-counter snapshot.
 	ClusterEnabled bool
 	Cluster        cluster.Snapshot
+	// HintsEnabled marks a daemon with a hinted-handoff log (every
+	// clustered daemon has one; it is durable only under -queue-dir);
+	// Hints is its snapshot.
+	HintsEnabled bool
+	Hints        hints.Stats
 }
 
 // WritePrometheus renders every metric in Prometheus text format.
@@ -228,6 +263,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	counter("coordd_steal_commits_total", "Two-phase steal commits posted back to victims.", m.StealCommits.Load())
 	counter("coordd_replica_pushes_total", "Result bodies successfully pushed to replica peers.", m.ReplicaPushes.Load())
 	counter("coordd_replica_repairs_total", "Under-replicated bodies healed by the anti-entropy repair loop.", m.ReplicaRepairs.Load())
+	counter("coordd_read_repairs_total", "Bodies pushed back to replicas that missed them after a fall-through fetch.", m.ReadRepairs.Load())
 	counter("coordd_queue_journal_accepts_total", "Accept records appended to the queue journal.", g.Journal.Accepts)
 	counter("coordd_queue_journal_settles_total", "Settle tombstones appended to the queue journal.", g.Journal.Settles)
 	counter("coordd_queue_journal_truncated_total", "Undecodable journal records skipped on replay.", g.Journal.Truncated)
@@ -265,6 +301,42 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 			}
 			fmt.Fprintf(w, "coordd_peer_breaker_open{peer=%q} %d\n", p.Addr, open)
 		}
+		fmt.Fprintf(w, "# HELP coordd_peer_health Failure-detector peer state: 0 unknown, 1 alive, 2 suspect, 3 dead.\n# TYPE coordd_peer_health gauge\n")
+		for _, p := range g.Cluster.Peers {
+			var h int
+			switch p.Health {
+			case cluster.HealthAlive:
+				h = 1
+			case cluster.HealthSuspect:
+				h = 2
+			case cluster.HealthDead:
+				h = 3
+			}
+			fmt.Fprintf(w, "coordd_peer_health{peer=%q} %d\n", p.Addr, h)
+		}
+		fmt.Fprintf(w, "# HELP coordd_replica_push_failures_total Replica pushes that failed, by target peer (hint queued; repair is the backstop).\n# TYPE coordd_replica_push_failures_total counter\n")
+		pf := m.PushFailures()
+		peers := make([]string, 0, len(pf))
+		for p := range pf {
+			peers = append(peers, p)
+		}
+		sort.Strings(peers)
+		for _, p := range peers {
+			fmt.Fprintf(w, "coordd_replica_push_failures_total{peer=%q} %d\n", p, pf[p])
+		}
+	}
+	if g.HintsEnabled {
+		counter("coordd_hints_queued_total", "Hinted handoffs queued after failed replica pushes.", g.Hints.Adds)
+		counter("coordd_hints_delivered_total", "Hinted handoffs delivered to recovered peers.", g.Hints.Delivered)
+		counter("coordd_hints_dropped_total", "Hints shed oldest-first under the hint-log byte cap.", g.Hints.Dropped)
+		counter("coordd_hints_replayed_total", "Pending hints recovered from the hint log on restart.", int64(g.Hints.Replayed))
+		counter("coordd_hints_truncated_total", "Undecodable hint-log records skipped on replay.", g.Hints.Truncated)
+		gauge("coordd_hints_pending", "Hints currently queued for unreachable peers.", g.Hints.Pending)
+		hintsDegraded := 0
+		if g.Hints.Degraded {
+			hintsDegraded = 1
+		}
+		gauge("coordd_hints_degraded", "1 when a write error demoted the hint log to memory-only.", hintsDegraded)
 	}
 
 	m.mu.Lock()

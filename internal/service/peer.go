@@ -193,15 +193,17 @@ func (s *Server) handleAdminCluster(w http.ResponseWriter, r *http.Request) {
 // self (the local tiers already missed). Called on the worker path
 // before the engine runs; any peer failure degrades to local compute —
 // a dead replica costs one breaker-limited timeout, never correctness.
-func (s *Server) peerFetch(j *Job) (json.RawMessage, bool) {
+// The serving peer's address comes back with the body so the caller's
+// read-repair can skip the one replica known to hold it.
+func (s *Server) peerFetch(j *Job) (json.RawMessage, string, bool) {
 	if s.cluster == nil {
-		return nil, false
+		return nil, "", false
 	}
-	body, ok := s.cluster.FetchResult(j.ctx, j.key)
+	body, from, ok := s.cluster.FetchResult(j.ctx, j.key)
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
-	return json.RawMessage(body), true
+	return json.RawMessage(body), from, true
 }
 
 // settlePeerResult finishes j with a body retrieved from a peer —
@@ -222,9 +224,14 @@ func (s *Server) settlePeerResult(j *Job, body json.RawMessage) {
 }
 
 // replicateResult pushes a freshly computed body to every member of the
-// key's replica set (owner + distinct successors, self excluded),
-// best-effort and off the worker path. A failed push is healed later by
-// the anti-entropy repair loop; the body is already durable locally.
+// key's replica set (owner + distinct successors, self excluded), off
+// the worker path. A push that fails is no longer silently dropped: it
+// is counted per peer (coordd_replica_push_failures_total{peer}) and a
+// hint is queued so the failure detector delivers the body the moment
+// the peer answers a probe again — the anti-entropy repair loop stays
+// as the backstop, not the primary heal. The body is already durable
+// locally (storePut runs before this), so the hint carries only the
+// (peer, key) pair.
 func (s *Server) replicateResult(key string, body json.RawMessage) {
 	if s.cluster == nil {
 		return
@@ -232,8 +239,16 @@ func (s *Server) replicateResult(key string, body json.RawMessage) {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		if n := s.cluster.PushResult(context.Background(), key, body); n > 0 {
-			s.metrics.ReplicaPushes.Add(int64(n))
+		for _, addr := range s.cluster.ReplicaSet(key) {
+			if addr == s.cluster.Self() {
+				continue
+			}
+			if err := s.cluster.PushTo(context.Background(), addr, key, body); err != nil {
+				s.metrics.IncReplicaPushFailure(addr)
+				s.hintAdd(addr, key)
+				continue
+			}
+			s.metrics.ReplicaPushes.Add(1)
 		}
 	}()
 }

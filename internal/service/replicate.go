@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"coordattack/internal/cluster"
+	"coordattack/internal/hints"
 )
 
 // This file is the anti-entropy repair loop: the background half of
@@ -17,10 +18,6 @@ import (
 // because a membership edit moved the key's replica set. Like the steal
 // loop it is idle-paced: one bounded batch of keys per tick, probed
 // with cheap HEAD requests, pushing bodies only on a confirmed miss.
-
-// repairProbeTimeout bounds one repair pass's network budget. The pass
-// runs off every hot path, but it must never wedge Drain.
-const repairProbeTimeout = 10 * time.Second
 
 // adminCluster is the body of GET /v1/admin/cluster: the cluster
 // snapshot (ring membership, breakers, request counters) plus the
@@ -46,15 +43,33 @@ type ReplicationInfo struct {
 	// wall-clock second the latest one finished (0 before the first).
 	RepairRuns     int64 `json:"repair_runs"`
 	LastRepairUnix int64 `json:"last_repair_unix,omitempty"`
+	// ReadRepairs mirrors coordd_read_repairs_total: bodies pushed back
+	// to replicas that a fall-through fetch proved were missing them.
+	ReadRepairs int64 `json:"read_repairs"`
+	// PushFailures is the per-peer count of replica pushes that failed
+	// (each queued a hint), mirroring
+	// coordd_replica_push_failures_total{peer}.
+	PushFailures map[string]int64 `json:"push_failures,omitempty"`
+	// Hints is the hinted-handoff log snapshot: pending/delivered/
+	// dropped counts and whether the log degraded to memory-only.
+	Hints *hints.Stats `json:"hints,omitempty"`
 }
 
 // replicationInfo snapshots the replication summary for the admin
 // endpoint. Called with s.cluster non-nil.
 func (s *Server) replicationInfo() *ReplicationInfo {
 	info := &ReplicationInfo{
-		LocalKeys: -1,
-		Pushes:    s.metrics.ReplicaPushes.Load(),
-		Repairs:   s.metrics.ReplicaRepairs.Load(),
+		LocalKeys:   -1,
+		Pushes:      s.metrics.ReplicaPushes.Load(),
+		Repairs:     s.metrics.ReplicaRepairs.Load(),
+		ReadRepairs: s.metrics.ReadRepairs.Load(),
+	}
+	if pf := s.metrics.PushFailures(); len(pf) > 0 {
+		info.PushFailures = pf
+	}
+	if s.hints != nil {
+		hs := s.hints.Stats()
+		info.Hints = &hs
 	}
 	if s.store != nil {
 		info.LocalKeys = s.store.Len()
@@ -79,7 +94,10 @@ func (s *Server) repairLoop(interval time.Duration) {
 			return
 		case <-tick.C:
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), repairProbeTimeout)
+		// The pass budget scales with the interval (cfg.RepairTimeout,
+		// clamped to [1s, 10s] by default) so short intervals cannot
+		// overlap a stuck pass — and it must never wedge Drain.
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RepairTimeout)
 		s.repairPass(ctx)
 		cancel()
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"coordattack/internal/cluster"
+	"coordattack/internal/hints"
 	"coordattack/internal/mc"
 	"coordattack/internal/queue"
 	"coordattack/internal/stats"
@@ -107,6 +108,25 @@ type Config struct {
 	// means 128. The cursor persists across passes, so the whole key
 	// space is walked eventually regardless of batch size.
 	RepairBatch int
+	// RepairTimeout bounds one anti-entropy repair pass. <= 0 derives it
+	// from RepairInterval, clamped to [1s, 10s], so a short interval
+	// cannot overlap a stuck pass and a long one is not starved by its
+	// own budget.
+	RepairTimeout time.Duration
+	// Hints, when non-nil, is the durable hinted-handoff log
+	// (internal/hints): replica pushes that fail queue a (peer, key)
+	// hint there and the failure detector drains it the moment the peer
+	// answers a probe again. When nil and a Cluster is configured, the
+	// server keeps a memory-only hint log — same healing behavior, no
+	// crash durability.
+	Hints *hints.Log
+	// ProbeInterval is how often the peer failure detector pings every
+	// peer (GET /v1/peer/ping); 0 means 1 s, negative disables the
+	// detector (hints then deliver only via explicit replay or repair).
+	ProbeInterval time.Duration
+	// ProbeMisses is how many consecutive failed pings mark a peer dead;
+	// 0 means 3.
+	ProbeMisses int
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +177,22 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RepairBatch == 0 {
 		c.RepairBatch = 128
+	}
+	if c.RepairTimeout <= 0 {
+		rt := c.RepairInterval
+		if rt < time.Second {
+			rt = time.Second
+		}
+		if rt > 10*time.Second {
+			rt = 10 * time.Second
+		}
+		c.RepairTimeout = rt
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeMisses == 0 {
+		c.ProbeMisses = 3
 	}
 	return c
 }
@@ -330,6 +366,7 @@ type Server struct {
 	store   *store.Store     // nil = memory-only
 	journal *queue.Journal   // nil = pending queue is memory-only
 	cluster *cluster.Cluster // nil = standalone daemon
+	hints   *hints.Log       // nil = standalone daemon (clustered servers always have one)
 	metrics *Metrics
 	engines map[string]engine
 
@@ -368,6 +405,19 @@ type Server struct {
 	repairCur  string // last store key probed; next pass resumes after it
 	repairRuns int64
 	lastRepair time.Time
+
+	// detectorOn marks a started failure detector so Drain knows to stop
+	// it (set once in New, read in Drain).
+	detectorOn bool
+	// hintMu guards hintActive: the per-peer "a delivery goroutine is
+	// already draining this peer" latch, so overlapping alive signals do
+	// not double-deliver concurrently (delivery itself is idempotent).
+	hintMu     sync.Mutex
+	hintActive map[string]bool
+	// rrSem is the read-repair in-flight budget: a full channel means
+	// new read-repairs are skipped, not queued — the anti-entropy loop
+	// remains the backstop.
+	rrSem chan struct{}
 }
 
 // workerToken is one worker goroutine's claim on a pool slot. The
@@ -395,16 +445,19 @@ func (t *workerToken) release(wg *sync.WaitGroup) {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheSize),
-		store:    cfg.Store,
-		journal:  cfg.Journal,
-		cluster:  cfg.Cluster,
-		metrics:  NewMetrics(),
-		engines:  engineRegistry(),
-		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
-		sweeps:   make(map[string]*Sweep),
+		cfg:        cfg,
+		cache:      NewCache(cfg.CacheSize),
+		store:      cfg.Store,
+		journal:    cfg.Journal,
+		cluster:    cfg.Cluster,
+		hints:      cfg.Hints,
+		metrics:    NewMetrics(),
+		engines:    engineRegistry(),
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		sweeps:     make(map[string]*Sweep),
+		hintActive: make(map[string]bool),
+		rrSem:      make(chan struct{}, readRepairBudget),
 		sched: queue.NewSched(queue.SchedOptions{
 			MaxDepth: cfg.QueueDepth,
 			Strict:   cfg.StrictFIFO,
@@ -435,6 +488,22 @@ func New(cfg Config) *Server {
 		s.repairStop = make(chan struct{})
 		s.repairDone = make(chan struct{})
 		go s.repairLoop(cfg.RepairInterval)
+	}
+	if s.cluster != nil {
+		if s.hints == nil {
+			// Every clustered server gets a hint log; without a configured
+			// durable one it is memory-only (Open with an empty dir cannot
+			// fail).
+			s.hints, _ = hints.Open("", hints.Options{})
+		}
+		if cfg.ProbeInterval > 0 {
+			s.detectorOn = true
+			s.cluster.StartDetector(cluster.DetectorOptions{
+				Interval: cfg.ProbeInterval,
+				Misses:   cfg.ProbeMisses,
+				OnAlive:  s.onPeerAlive,
+			})
+		}
 	}
 	return s
 }
@@ -922,9 +991,13 @@ func (s *Server) runJob(j *Job, t *workerToken) {
 	// Cluster lookup sits between the local tiers and the engine: the
 	// key's ring owner may already hold the body another node computed.
 	// Checked before the job is marked running — a peer hit settles it
-	// as a cache hit with no engine run counted.
-	if body, ok := s.peerFetch(j); ok {
+	// as a cache hit with no engine run counted. A hit that had to come
+	// from a peer means some replicas (this node included, if it is in
+	// the set) were missing the body: read-repair pushes it back to
+	// them off the request path.
+	if body, from, ok := s.peerFetch(j); ok {
 		s.settlePeerResult(j, body)
+		s.readRepair(j.key, body, from)
 		return
 	}
 	j.mu.Lock()
@@ -1028,6 +1101,10 @@ func (s *Server) gauges() Gauges {
 		g.Cluster = s.cluster.Snapshot()
 		g.ClusterEnabled = true
 	}
+	if s.hints != nil {
+		g.Hints = s.hints.Stats()
+		g.HintsEnabled = true
+	}
 	return g
 }
 
@@ -1091,6 +1168,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	if s.repairDone != nil {
 		<-s.repairDone
+	}
+	if s.detectorOn {
+		// Synchronous: after this returns no OnAlive callback can fire,
+		// so no new hint-delivery goroutine can race the wg.Wait below
+		// (the ones already spawned hold wg shares and drain normally).
+		s.cluster.StopDetector()
 	}
 
 	idle := make(chan struct{})
